@@ -1,0 +1,60 @@
+//! Criterion benchmarks of collusion-tolerant evaluation — the cost of
+//! the extra per-combination verifications (Table 5's runtime column at
+//! sampling-friendly scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gendpr_bench::workload::paper_cohort;
+use gendpr_core::collusion::{combinations, evaluation_subsets, intersect_selections};
+use gendpr_core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr_core::protocol::Federation;
+use gendpr_genomics::snp::SnpId;
+use std::hint::black_box;
+
+fn bench_combination_generation(c: &mut Criterion) {
+    c.bench_function("combinations_20_choose_10", |b| {
+        b.iter(|| combinations(black_box(20), black_box(10)));
+    });
+    c.bench_function("evaluation_subsets_g7_all", |b| {
+        b.iter(|| evaluation_subsets(black_box(7), CollusionMode::AllUpTo));
+    });
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let selections: Vec<Vec<SnpId>> = (0..16)
+        .map(|offset| (offset..5_000u32).map(SnpId).collect())
+        .collect();
+    c.bench_function("intersect_16_selections_5k", |b| {
+        b.iter(|| intersect_selections(black_box(&selections)));
+    });
+}
+
+fn bench_collusion_modes(c: &mut Criterion) {
+    let cohort = paper_cohort(600, 300);
+    let params = GwasParams::secure_genome_defaults();
+    let mut group = c.benchmark_group("collusion_g4_600_genomes_300_snps");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("f0", CollusionMode::None),
+        ("f1", CollusionMode::Fixed(1)),
+        ("f3", CollusionMode::Fixed(3)),
+        ("all", CollusionMode::AllUpTo),
+    ] {
+        let fed = Federation::new(
+            FederationConfig::new(4).with_collusion(mode),
+            params,
+            &cohort,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fed, |b, fed| {
+            b.iter(|| fed.run().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_combination_generation,
+    bench_intersection,
+    bench_collusion_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the from-scratch crypto primitives that
+//! every GenDPR message passes through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gendpr_crypto::aead::ChaCha20Poly1305;
+use gendpr_crypto::hmac::HmacSha256;
+use gendpr_crypto::rng::ChaChaRng;
+use gendpr_crypto::{sha256, x25519};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256::digest(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0u8; 1024];
+    c.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| HmacSha256::mac(black_box(b"key"), black_box(&data)));
+    });
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let cipher = ChaCha20Poly1305::new(&[7u8; 32]);
+    let mut group = c.benchmark_group("chacha20poly1305");
+    for size in [256usize, 4096, 65_536] {
+        let plaintext = vec![0x55u8; size];
+        let nonce = [1u8; 12];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("seal", size),
+            &plaintext,
+            |b, plaintext| {
+                b.iter(|| cipher.seal(black_box(&nonce), black_box(plaintext), b"aad"));
+            },
+        );
+        let sealed = cipher.seal(&nonce, &plaintext, b"aad");
+        group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, sealed| {
+            b.iter(|| {
+                cipher
+                    .open(black_box(&nonce), black_box(sealed), b"aad")
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_seed_u64(1);
+    let sk_a = x25519::clamp_scalar(rng.gen_key());
+    let pk_b = x25519::public_key(&x25519::clamp_scalar(rng.gen_key()));
+    c.bench_function("x25519_diffie_hellman", |b| {
+        b.iter(|| x25519::diffie_hellman(black_box(&sk_a), black_box(&pk_b)).unwrap());
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_seed_u64(2);
+    let mut buf = vec![0u8; 4096];
+    c.bench_function("chacha_rng_fill_4k", |b| {
+        b.iter(|| rng.fill_bytes(black_box(&mut buf)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_aead,
+    bench_x25519,
+    bench_rng
+);
+criterion_main!(benches);

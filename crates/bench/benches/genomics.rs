@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the genome substrate: synthetic generation,
+//! bit-packed matrix kernels and the signed variant-file codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use gendpr_genomics::synth::SyntheticCohort;
+use gendpr_genomics::vcf;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthetic_generation");
+    group.sample_size(10);
+    for (n, l) in [(500usize, 500usize), (2_000, 1_000)] {
+        group.throughput(Throughput::Elements((n * l) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{l}")),
+            &(n, l),
+            |b, &(n, l)| {
+                b.iter(|| {
+                    SyntheticCohort::builder()
+                        .snps(l)
+                        .case_individuals(n)
+                        .reference_individuals(8)
+                        .seed(1)
+                        .build()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_matrix_kernels(c: &mut Criterion) {
+    let cohort = SyntheticCohort::builder()
+        .snps(2_000)
+        .case_individuals(4_000)
+        .reference_individuals(8)
+        .seed(2)
+        .build();
+    let m = cohort.case().clone();
+    c.bench_function("pair_count_4k_individuals", |b| {
+        b.iter(|| m.pair_count(black_box(SnpId(3)), black_box(SnpId(1_500))));
+    });
+    c.bench_function("row_range_shard_quarter", |b| {
+        b.iter(|| black_box(&m).row_range(0, 1_000));
+    });
+    let shards: Vec<GenotypeMatrix> = (0..4).map(|i| m.row_range(i * 1_000, 1_000)).collect();
+    c.bench_function("stack_4_shards", |b| {
+        b.iter(|| {
+            let mut acc = shards[0].clone();
+            for s in &shards[1..] {
+                acc = acc.stack(s).unwrap();
+            }
+            acc
+        });
+    });
+}
+
+fn bench_vcf_codec(c: &mut Criterion) {
+    let cohort = SyntheticCohort::builder()
+        .snps(500)
+        .case_individuals(500)
+        .reference_individuals(8)
+        .seed(3)
+        .build();
+    let text = vcf::write_signed(cohort.panel(), cohort.case(), b"key");
+    let mut group = c.benchmark_group("vcf_500x500");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("write_signed", |b| {
+        b.iter(|| vcf::write_signed(cohort.panel(), cohort.case(), b"key"));
+    });
+    group.bench_function("read_signed", |b| {
+        b.iter(|| vcf::read_signed(black_box(&text), b"key").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_matrix_kernels,
+    bench_vcf_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of end-to-end protocol runs — scaled-down
+//! versions of the Figure 5/6 comparison suitable for repeated sampling
+//! (the full-size figures come from `cargo run --bin fig5/fig6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gendpr_bench::workload::paper_cohort;
+use gendpr_core::baseline::centralized::CentralizedPipeline;
+use gendpr_core::config::{FederationConfig, GwasParams};
+use gendpr_core::protocol::Federation;
+use gendpr_core::runtime::run_federation;
+use std::hint::black_box;
+use std::time::Duration;
+
+const GENOMES: usize = 1_000;
+const SNPS: usize = 500;
+
+fn bench_centralized(c: &mut Criterion) {
+    let cohort = paper_cohort(GENOMES, SNPS);
+    let params = GwasParams::secure_genome_defaults();
+    c.bench_function("centralized_1k_genomes_500_snps", |b| {
+        b.iter(|| {
+            CentralizedPipeline::new(params)
+                .run(black_box(cohort.as_ref()))
+                .unwrap()
+        });
+    });
+}
+
+fn bench_gendpr_in_process(c: &mut Criterion) {
+    let cohort = paper_cohort(GENOMES, SNPS);
+    let params = GwasParams::secure_genome_defaults();
+    let mut group = c.benchmark_group("gendpr_in_process_1k_500");
+    for gdos in [2usize, 3, 5, 7] {
+        let fed = Federation::new(FederationConfig::new(gdos), params, &cohort);
+        group.bench_with_input(BenchmarkId::from_parameter(gdos), &fed, |b, fed| {
+            b.iter(|| fed.run().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gendpr_threaded(c: &mut Criterion) {
+    let cohort = paper_cohort(GENOMES, SNPS);
+    let params = GwasParams::secure_genome_defaults();
+    let mut group = c.benchmark_group("gendpr_threaded_1k_500");
+    group.sample_size(10);
+    for gdos in [2usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(gdos), &gdos, |b, &gdos| {
+            b.iter(|| {
+                run_federation(
+                    FederationConfig::new(gdos),
+                    params,
+                    &cohort,
+                    None,
+                    Duration::from_secs(600),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_centralized,
+    bench_gendpr_in_process,
+    bench_gendpr_threaded
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the binary wire codec and the attested
+//! channel — the per-message cost GenDPR pays over raw computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gendpr_core::messages::{CountsReport, LrReport, ProtocolMessage};
+use gendpr_crypto::rng::ChaChaRng;
+use gendpr_fednet::wire::{from_bytes, to_bytes};
+use gendpr_tee::attestation::AttestationService;
+use gendpr_tee::platform::Platform;
+use gendpr_tee::session::Handshake;
+use std::hint::black_box;
+
+fn bench_counts_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counts_report");
+    for snps in [1_000usize, 10_000] {
+        let msg = ProtocolMessage::Counts(CountsReport {
+            counts: (0..snps as u64).collect(),
+            n_case: 5_000,
+        });
+        let bytes = to_bytes(&msg);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", snps), &msg, |b, msg| {
+            b.iter(|| to_bytes(black_box(msg)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", snps), &bytes, |b, bytes| {
+            b.iter(|| from_bytes::<ProtocolMessage>(black_box(bytes)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lr_report_roundtrip(c: &mut Criterion) {
+    let msg = ProtocolMessage::Lr(
+        0,
+        LrReport {
+            individuals: 500,
+            snps: 100,
+            values: vec![0.125f64; 500 * 100],
+        },
+    );
+    let bytes = to_bytes(&msg);
+    let mut group = c.benchmark_group("lr_report_500x100");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| to_bytes(black_box(&msg))));
+    group.bench_function("decode", |b| {
+        b.iter(|| from_bytes::<ProtocolMessage>(black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_attested_handshake(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_seed_u64(3);
+    let svc = AttestationService::new(&mut rng);
+    let pa = Platform::new("a", &svc, &mut rng);
+    let pb = Platform::new("b", &svc, &mut rng);
+    let ea = pa.launch_enclave("gendpr", ());
+    let eb = pb.launch_enclave("gendpr", ());
+    c.bench_function("attested_handshake_pair", |b| {
+        b.iter(|| {
+            let ha = Handshake::start(&ea, &mut rng);
+            let hb = Handshake::start(&eb, &mut rng);
+            let mb = hb.message().clone();
+            let ma = ha.message().clone();
+            let ca = ha.complete(&mb, &eb.measurement()).unwrap();
+            let cb = hb.complete(&ma, &ea.measurement()).unwrap();
+            black_box((ca, cb))
+        });
+    });
+}
+
+fn bench_channel_message(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_seed_u64(4);
+    let svc = AttestationService::new(&mut rng);
+    let pa = Platform::new("a", &svc, &mut rng);
+    let pb = Platform::new("b", &svc, &mut rng);
+    let ea = pa.launch_enclave("gendpr", ());
+    let eb = pb.launch_enclave("gendpr", ());
+    let ha = Handshake::start(&ea, &mut rng);
+    let hb = Handshake::start(&eb, &mut rng);
+    let mb = hb.message().clone();
+    let ma = ha.message().clone();
+    let mut ca = ha.complete(&mb, &eb.measurement()).unwrap();
+    let mut cb = hb.complete(&ma, &ea.measurement()).unwrap();
+    let payload = vec![0u8; 4096];
+    c.bench_function("channel_send_recv_4k", |b| {
+        b.iter(|| {
+            let ct = ca.send(black_box(&payload), b"phase");
+            cb.recv(&ct, b"phase").unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_counts_roundtrip,
+    bench_lr_report_roundtrip,
+    bench_attested_handshake,
+    bench_channel_message
+);
+criterion_main!(benches);

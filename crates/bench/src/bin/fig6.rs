@@ -1,0 +1,11 @@
+//! Regenerates **Figure 6** — running-time comparison over 10,000 SNPs:
+//! (a) 7,430 case genomes, (b) 14,860 case genomes; centralized baseline
+//! vs GenDPR with 2/3/5/7 GDOs, broken down into the paper's four tasks.
+
+use gendpr_bench::figures::run_figure;
+use gendpr_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    run_figure("Figure 6", 10_000, &args);
+}

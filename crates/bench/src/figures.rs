@@ -1,0 +1,110 @@
+//! Shared driver for Figures 5 and 6 (running-time comparison).
+
+use crate::workload::paper_cohort;
+use crate::{ms, BenchArgs, TextTable};
+use gendpr_core::baseline::centralized::CentralizedPipeline;
+use gendpr_core::config::{FederationConfig, GwasParams};
+use gendpr_core::protocol::PhaseTimings;
+use gendpr_core::runtime::{run_federation, run_federation_with, RuntimeOptions};
+use std::time::Duration;
+
+/// Runs one figure: both genome settings at `paper_snps`, centralized
+/// baseline plus 2/3/5/7-GDO federations, averaged over `args.repetitions`.
+pub fn run_figure(figure: &str, paper_snps: usize, args: &BenchArgs) {
+    let params = GwasParams::secure_genome_defaults();
+    let snps = args.scaled(paper_snps);
+
+    for paper_genomes in [crate::PAPER_CASES_HALF, crate::PAPER_CASES_FULL] {
+        let genomes = args.scaled(paper_genomes);
+        let cohort = paper_cohort(genomes, snps);
+        println!(
+            "\n== {figure}: {genomes} case genomes / {snps} SNPs (paper: {paper_genomes} / {paper_snps}) =="
+        );
+        let mut table = TextTable::new(vec![
+            "Setting",
+            "Data aggregation (ms)",
+            "Indexing/Sorting/AlleleFreq (ms)",
+            "LD analysis (ms)",
+            "LR-test analysis (ms)",
+            "Total (ms)",
+        ]);
+
+        // Centralized baseline (SecureGenome in a single enclave).
+        let mut total = PhaseTimings::default();
+        for _ in 0..args.repetitions {
+            let out = CentralizedPipeline::new(params)
+                .run(cohort.as_ref())
+                .expect("centralized pipeline completes");
+            total.aggregation += out.timings.aggregation;
+            total.indexing += out.timings.indexing;
+            total.ld += out.timings.ld;
+            total.lr += out.timings.lr;
+        }
+        push_row(&mut table, "Centralized", &total, args.repetitions);
+
+        // GenDPR with 2/3/5/7 members (threaded, attested, encrypted).
+        for gdos in [2usize, 3, 5, 7] {
+            let mut total = PhaseTimings::default();
+            for rep in 0..args.repetitions {
+                let report = run_federation(
+                    FederationConfig::new(gdos).with_seed(rep as u64),
+                    params,
+                    &cohort,
+                    None,
+                    Duration::from_secs(3600),
+                )
+                .expect("fault-free run completes");
+                total.aggregation += report.timings.aggregation;
+                total.indexing += report.timings.indexing;
+                total.ld += report.timings.ld;
+                total.lr += report.timings.lr;
+            }
+            push_row(
+                &mut table,
+                &format!("{gdos} GDOs"),
+                &total,
+                args.repetitions,
+            );
+        }
+        // One extra row beyond the paper: 7 GDOs with the selection-
+        // preserving transport optimizations (compact LR + LD prefetch).
+        let mut total = PhaseTimings::default();
+        for rep in 0..args.repetitions {
+            let report = run_federation_with(
+                FederationConfig::new(7).with_seed(rep as u64),
+                params,
+                &cohort,
+                None,
+                RuntimeOptions {
+                    timeout: Duration::from_secs(3600),
+                    compact_lr: true,
+                    prefetch_ld: true,
+                },
+            )
+            .expect("fault-free run completes");
+            total.aggregation += report.timings.aggregation;
+            total.indexing += report.timings.indexing;
+            total.ld += report.timings.ld;
+            total.lr += report.timings.lr;
+        }
+        push_row(
+            &mut table,
+            "7 GDOs (optimized transport)",
+            &total,
+            args.repetitions,
+        );
+        table.print();
+    }
+}
+
+fn push_row(table: &mut TextTable, label: &str, total: &PhaseTimings, reps: usize) {
+    let div = |d: Duration| ms(d / reps as u32);
+    table.row(vec![
+        label.to_string(),
+        div(total.aggregation),
+        div(total.indexing),
+        div(total.ld),
+        div(total.lr),
+        div(total.total()),
+    ]);
+}

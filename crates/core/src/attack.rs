@@ -1,0 +1,384 @@
+//! The membership-inference adversary.
+//!
+//! Implements the LR-test attack of Sankararaman et al. (the strongest of
+//! the statistics the paper's threat model considers): the adversary holds
+//! a victim's genotype, the released case allele frequencies and a
+//! reference panel, computes the victim's LR score over the released SNPs
+//! and flags membership when the score exceeds the (1−β) quantile of the
+//! reference (null) scores.
+//!
+//! GenDPR's whole point is that over `L_safe` this attack's power stays
+//! below the configured threshold — the integration tests use this module
+//! to verify that end to end, and to show that releasing the *rejected*
+//! SNPs would have been dangerous.
+
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::homer::homer_contribution;
+use gendpr_stats::lr::lr_contribution;
+use gendpr_stats::special::empirical_quantile;
+
+/// What the adversary sees: a release over some SNPs.
+#[derive(Debug, Clone)]
+pub struct ReleasedStatistics {
+    /// Released SNP ids.
+    pub snps: Vec<SnpId>,
+    /// Released case allele frequencies (one per SNP).
+    pub case_freqs: Vec<f64>,
+    /// Reference allele frequencies the adversary can obtain publicly.
+    pub ref_freqs: Vec<f64>,
+}
+
+/// Which test statistic the adversary uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackStatistic {
+    /// Sankararaman et al.'s likelihood-ratio test — the strongest known
+    /// statistic, and the one GenDPR's Phase 3 defends against.
+    #[default]
+    LikelihoodRatio,
+    /// Homer et al.'s allele-distance statistic (the 2008 attack).
+    HomerDistance,
+}
+
+/// A membership attacker armed with a released statistic.
+#[derive(Debug, Clone)]
+pub struct MembershipAttacker {
+    release: ReleasedStatistics,
+    threshold: f64,
+    statistic: AttackStatistic,
+}
+
+impl MembershipAttacker {
+    /// Prepares the LR-test attack: calibrates the detection threshold as
+    /// the (1−β) quantile of the reference individuals' LR scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the release vectors disagree in length, the reference
+    /// panel is empty, or `false_positive_rate` is outside `(0, 1)`.
+    #[must_use]
+    pub fn calibrate(
+        release: ReleasedStatistics,
+        reference: &GenotypeMatrix,
+        false_positive_rate: f64,
+    ) -> Self {
+        Self::calibrate_with(
+            release,
+            reference,
+            false_positive_rate,
+            AttackStatistic::LikelihoodRatio,
+        )
+    }
+
+    /// Prepares the attack with an explicit choice of statistic.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::calibrate`].
+    #[must_use]
+    pub fn calibrate_with(
+        release: ReleasedStatistics,
+        reference: &GenotypeMatrix,
+        false_positive_rate: f64,
+        statistic: AttackStatistic,
+    ) -> Self {
+        assert_eq!(release.snps.len(), release.case_freqs.len());
+        assert_eq!(release.snps.len(), release.ref_freqs.len());
+        assert!(reference.individuals() > 0, "need a reference panel");
+        assert!(
+            false_positive_rate > 0.0 && false_positive_rate < 1.0,
+            "false-positive rate must be in (0,1)"
+        );
+        let mut null_scores: Vec<f64> = (0..reference.individuals())
+            .map(|i| score_genotype(&release, statistic, |l| reference.get(i, l)))
+            .collect();
+        null_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let threshold = empirical_quantile(&null_scores, 1.0 - false_positive_rate);
+        Self {
+            release,
+            threshold,
+            statistic,
+        }
+    }
+
+    /// The calibrated detection threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The statistic this attacker uses.
+    #[must_use]
+    pub fn statistic(&self) -> AttackStatistic {
+        self.statistic
+    }
+
+    /// The victim's score over the released SNPs.
+    #[must_use]
+    pub fn score(&self, victim: &[u8]) -> f64 {
+        score_genotype(&self.release, self.statistic, |l| victim[l])
+    }
+
+    /// The attack decision: was the victim in the case population?
+    #[must_use]
+    pub fn claims_membership(&self, victim: &[u8]) -> bool {
+        self.score(victim) > self.threshold
+    }
+
+    /// Empirical detection power: the fraction of true case members the
+    /// attack flags.
+    #[must_use]
+    pub fn power_against(&self, case: &GenotypeMatrix) -> f64 {
+        if case.individuals() == 0 {
+            return 0.0;
+        }
+        let detected = (0..case.individuals())
+            .filter(|&i| {
+                let score = score_genotype(&self.release, self.statistic, |l| case.get(i, l));
+                score > self.threshold
+            })
+            .count();
+        detected as f64 / case.individuals() as f64
+    }
+
+    /// Empirical detection power with a Wilson 95% confidence interval —
+    /// error bars for the point estimate of [`Self::power_against`].
+    #[must_use]
+    pub fn power_interval(&self, case: &GenotypeMatrix) -> (f64, f64) {
+        if case.individuals() == 0 {
+            return (0.0, 0.0);
+        }
+        let detected = (0..case.individuals())
+            .filter(|&i| {
+                let score = score_genotype(&self.release, self.statistic, |l| case.get(i, l));
+                score > self.threshold
+            })
+            .count() as u64;
+        gendpr_stats::special::wilson_interval(detected, case.individuals() as u64, 0.95)
+    }
+
+    /// Empirical false-positive rate against non-members.
+    #[must_use]
+    pub fn false_positive_rate_against(&self, non_members: &GenotypeMatrix) -> f64 {
+        if non_members.individuals() == 0 {
+            return 0.0;
+        }
+        let flagged = (0..non_members.individuals())
+            .filter(|&i| {
+                let score =
+                    score_genotype(&self.release, self.statistic, |l| non_members.get(i, l));
+                score > self.threshold
+            })
+            .count();
+        flagged as f64 / non_members.individuals() as f64
+    }
+}
+
+fn score_genotype(
+    release: &ReleasedStatistics,
+    statistic: AttackStatistic,
+    allele_at: impl Fn(usize) -> u8,
+) -> f64 {
+    let contribution = match statistic {
+        AttackStatistic::LikelihoodRatio => lr_contribution,
+        AttackStatistic::HomerDistance => homer_contribution,
+    };
+    release
+        .snps
+        .iter()
+        .enumerate()
+        .map(|(j, id)| {
+            contribution(
+                allele_at(id.index()),
+                release.case_freqs[j],
+                release.ref_freqs[j],
+            )
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendpr_crypto::rng::ChaChaRng;
+
+    /// Builds case/reference populations with a per-SNP frequency gap.
+    fn populations(
+        snps: usize,
+        n: usize,
+        gap: f64,
+        seed: u64,
+    ) -> (GenotypeMatrix, GenotypeMatrix, ReleasedStatistics) {
+        let mut rng = ChaChaRng::from_seed_u64(seed);
+        let ref_freqs: Vec<f64> = (0..snps).map(|_| 0.2 + 0.2 * rng.next_f64()).collect();
+        let case_freqs: Vec<f64> = ref_freqs.iter().map(|p| (p + gap).min(0.9)).collect();
+        let mut case = GenotypeMatrix::zeroed(n, snps);
+        let mut reference = GenotypeMatrix::zeroed(n, snps);
+        for i in 0..n {
+            for l in 0..snps {
+                if rng.next_bool(case_freqs[l]) {
+                    case.set(i, l, true);
+                }
+                if rng.next_bool(ref_freqs[l]) {
+                    reference.set(i, l, true);
+                }
+            }
+        }
+        // The adversary sees empirical released frequencies.
+        let emp_case: Vec<f64> = case
+            .column_counts()
+            .iter()
+            .map(|&c| c as f64 / n as f64)
+            .collect();
+        let emp_ref: Vec<f64> = reference
+            .column_counts()
+            .iter()
+            .map(|&c| c as f64 / n as f64)
+            .collect();
+        let release = ReleasedStatistics {
+            snps: (0..snps as u32).map(SnpId).collect(),
+            case_freqs: emp_case,
+            ref_freqs: emp_ref,
+        };
+        (case, reference, release)
+    }
+
+    #[test]
+    fn attack_succeeds_on_divergent_release() {
+        let (case, reference, release) = populations(150, 500, 0.15, 1);
+        let attacker = MembershipAttacker::calibrate(release, &reference, 0.1);
+        let power = attacker.power_against(&case);
+        assert!(power > 0.7, "expected a strong attack, power = {power}");
+    }
+
+    #[test]
+    fn attack_exploits_overfitting_even_without_true_divergence() {
+        // Homer et al.'s core observation: releasing *empirical* case
+        // frequencies leaks the case sample even when the underlying
+        // populations are identical, because the sample defined the
+        // statistics. Power must exceed the false-positive rate...
+        let (case, reference, release) = populations(150, 500, 0.0, 2);
+        let attacker = MembershipAttacker::calibrate(release.clone(), &reference, 0.1);
+        let power = attacker.power_against(&case);
+        assert!(power > 0.1, "overfitting signal expected, power = {power}");
+        assert!(power < 0.6, "but far from certain, power = {power}");
+        // ...while genuinely fresh individuals drawn from the same
+        // distribution are flagged at roughly the false-positive rate.
+        let mut rng = ChaChaRng::from_seed_u64(99);
+        let mut fresh = GenotypeMatrix::zeroed(500, 150);
+        for i in 0..500 {
+            for (l, &p) in release.ref_freqs.iter().enumerate() {
+                if rng.next_bool(p) {
+                    fresh.set(i, l, true);
+                }
+            }
+        }
+        let fpr = attacker.power_against(&fresh);
+        assert!(fpr < 0.2, "fresh non-members flagged at {fpr}");
+    }
+
+    #[test]
+    fn false_positive_rate_is_calibrated() {
+        let (_, reference, release) = populations(100, 1000, 0.1, 3);
+        let attacker = MembershipAttacker::calibrate(release, &reference, 0.1);
+        // Against the calibration population itself the FPR is beta by
+        // construction (up to quantile granularity).
+        let fpr = attacker.false_positive_rate_against(&reference);
+        assert!((fpr - 0.1).abs() < 0.03, "fpr = {fpr}");
+    }
+
+    #[test]
+    fn individual_decisions_are_consistent_with_scores() {
+        let (case, reference, release) = populations(50, 200, 0.2, 4);
+        let attacker = MembershipAttacker::calibrate(release, &reference, 0.1);
+        let victim = case.row(0);
+        assert_eq!(
+            attacker.claims_membership(&victim),
+            attacker.score(&victim) > attacker.threshold()
+        );
+    }
+
+    #[test]
+    fn power_interval_brackets_the_point_estimate() {
+        let (case, reference, release) = populations(80, 300, 0.15, 31);
+        let attacker = MembershipAttacker::calibrate(release, &reference, 0.1);
+        let p = attacker.power_against(&case);
+        let (lo, hi) = attacker.power_interval(&case);
+        assert!(lo <= p && p <= hi, "{lo} <= {p} <= {hi}");
+        assert!(hi - lo < 0.15, "300 victims give a tight interval");
+        assert_eq!(
+            attacker.power_interval(&GenotypeMatrix::zeroed(0, 80)),
+            (0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn empty_victim_population_yields_zero() {
+        let (_, reference, release) = populations(10, 50, 0.1, 5);
+        let attacker = MembershipAttacker::calibrate(release, &reference, 0.1);
+        assert_eq!(attacker.power_against(&GenotypeMatrix::zeroed(0, 10)), 0.0);
+    }
+
+    #[test]
+    fn lr_test_dominates_homer() {
+        // SecureGenome's empirical claim (paper §3.2.3): the LR-test is
+        // more powerful than Homer et al.'s statistic. Check it across
+        // several divergence levels and seeds.
+        let mut lr_wins = 0;
+        let mut trials = 0;
+        for seed in 0..4u64 {
+            for gap in [0.05f64, 0.1, 0.15] {
+                let (case, reference, release) = populations(120, 400, gap, 100 + seed);
+                let lr = MembershipAttacker::calibrate_with(
+                    release.clone(),
+                    &reference,
+                    0.1,
+                    AttackStatistic::LikelihoodRatio,
+                );
+                let homer = MembershipAttacker::calibrate_with(
+                    release,
+                    &reference,
+                    0.1,
+                    AttackStatistic::HomerDistance,
+                );
+                assert_eq!(homer.statistic(), AttackStatistic::HomerDistance);
+                let p_lr = lr.power_against(&case);
+                let p_homer = homer.power_against(&case);
+                trials += 1;
+                if p_lr >= p_homer - 0.02 {
+                    lr_wins += 1;
+                }
+            }
+        }
+        assert!(
+            lr_wins as f64 >= 0.8 * trials as f64,
+            "LR should dominate Homer: won {lr_wins}/{trials}"
+        );
+    }
+
+    #[test]
+    fn homer_attack_also_works_on_divergent_data() {
+        let (case, reference, release) = populations(150, 500, 0.15, 21);
+        let homer = MembershipAttacker::calibrate_with(
+            release,
+            &reference,
+            0.1,
+            AttackStatistic::HomerDistance,
+        );
+        let power = homer.power_against(&case);
+        assert!(power > 0.5, "Homer should still find signal, got {power}");
+    }
+
+    #[test]
+    fn more_snps_more_power() {
+        let (case_small, ref_small, rel_small) = populations(20, 400, 0.12, 6);
+        let (case_big, ref_big, rel_big) = populations(200, 400, 0.12, 6);
+        let p_small =
+            MembershipAttacker::calibrate(rel_small, &ref_small, 0.1).power_against(&case_small);
+        let p_big = MembershipAttacker::calibrate(rel_big, &ref_big, 0.1).power_against(&case_big);
+        assert!(
+            p_big > p_small,
+            "power should grow with SNPs: {p_small} vs {p_big}"
+        );
+    }
+}

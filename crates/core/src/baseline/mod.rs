@@ -1,0 +1,13 @@
+//! Comparison baselines from the paper's evaluation.
+//!
+//! * [`centralized`] — SecureGenome inside a single enclave that pools all
+//!   genomes (the DyPS-style baseline of Figures 5/6 and Table 4),
+//! * [`naive`] — the naïve distributed protocol of §7.3 that runs LD and
+//!   the LR-test on each member's local data and intersects the index
+//!   vectors, demonstrating why GenDPR's aggregation adjustments matter.
+
+pub mod centralized;
+pub mod naive;
+
+pub use centralized::CentralizedPipeline;
+pub use naive::NaiveDistributed;

@@ -1,0 +1,342 @@
+//! Dynamic studies: assessing releases as genomes arrive over time.
+//!
+//! GenDPR builds on DyPS (Pascoal et al., PETS '21 — reference \[36\] of
+//! the paper), which selects safe SNP subsets "in a federated and
+//! *dynamic* manner, i.e., as soon as new genomes become available". This
+//! module implements that extension on top of the GenDPR pipeline, with
+//! the constraint that makes the dynamic setting genuinely hard:
+//! **releases are irreversible**. Once a SNP's statistics are public they
+//! cannot be retracted, so at every epoch the federation must certify the
+//! *cumulative* release — everything published so far plus whatever it
+//! adds now — against the data it currently holds.
+//!
+//! [`DynamicAssessor`] therefore:
+//!
+//! 1. accumulates genome batches into the growing case population,
+//! 2. re-runs the MAF/LD screens over the cumulative data,
+//! 3. seeds the LR-test with the already-released SNPs (their
+//!    contributions are charged against the power budget first — see
+//!    [`gendpr_stats::lr::select_safe_subset_seeded`]), and only then
+//! 4. admits new candidates while the cumulative attack power stays
+//!    below the threshold.
+//!
+//! The per-epoch [`EpochReport`] also surfaces *regret*: previously
+//! released SNPs that the current data would no longer certify — the
+//! quantity DyPS exists to keep at zero by delaying releases.
+
+use crate::config::GwasParams;
+use crate::error::ProtocolError;
+use crate::phases::ld::run_ld_scan;
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
+use gendpr_stats::lr::{select_safe_subset_seeded, LrMatrix};
+use gendpr_stats::maf::passes_maf;
+use gendpr_stats::ranking::{rank_by_association, sort_most_significant_first};
+
+/// What happened in one assessment epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Case genomes accumulated so far.
+    pub total_genomes: usize,
+    /// SNPs newly added to the public release this epoch (panel order).
+    pub newly_released: Vec<SnpId>,
+    /// Cumulative release size after this epoch.
+    pub total_released: usize,
+    /// Previously released SNPs the *current* data would not certify —
+    /// irreversibility regret. These stay released (nothing can be done)
+    /// but are charged against the power budget.
+    pub regret: Vec<SnpId>,
+}
+
+/// Incremental release assessment over a growing case population.
+#[derive(Debug, Clone)]
+pub struct DynamicAssessor {
+    params: GwasParams,
+    reference: GenotypeMatrix,
+    ref_counts: Vec<u64>,
+    cumulative: GenotypeMatrix,
+    released: Vec<SnpId>,
+    epochs: usize,
+}
+
+impl DynamicAssessor {
+    /// Creates an assessor for a study over `reference.snps()` SNP
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] / [`ProtocolError::EmptyStudy`]
+    /// for bad parameters or an empty reference.
+    pub fn new(params: GwasParams, reference: GenotypeMatrix) -> Result<Self, ProtocolError> {
+        params.validate().map_err(ProtocolError::InvalidConfig)?;
+        if reference.individuals() == 0 || reference.snps() == 0 {
+            return Err(ProtocolError::EmptyStudy);
+        }
+        let ref_counts = reference.column_counts();
+        let snps = reference.snps();
+        Ok(Self {
+            params,
+            reference,
+            ref_counts,
+            cumulative: GenotypeMatrix::zeroed(0, snps),
+            released: Vec::new(),
+            epochs: 0,
+        })
+    }
+
+    /// The cumulative public release so far, in panel order.
+    #[must_use]
+    pub fn released(&self) -> &[SnpId] {
+        &self.released
+    }
+
+    /// Case genomes accumulated so far.
+    #[must_use]
+    pub fn total_genomes(&self) -> usize {
+        self.cumulative.individuals()
+    }
+
+    /// Ingests a batch of newly contributed case genomes and re-assesses.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] if the batch's SNP count differs
+    /// from the study panel.
+    pub fn add_batch(&mut self, batch: &GenotypeMatrix) -> Result<EpochReport, ProtocolError> {
+        if batch.snps() != self.reference.snps() {
+            return Err(ProtocolError::InvalidConfig(
+                "batch SNP count differs from the study panel",
+            ));
+        }
+        self.cumulative = self
+            .cumulative
+            .stack(batch)
+            .expect("dimensions checked above");
+        let epoch = self.epochs;
+        self.epochs += 1;
+
+        let n_case = self.cumulative.individuals() as u64;
+        let n_ref = self.reference.individuals() as u64;
+        let case_counts = self.cumulative.column_counts();
+        let n_total = n_case + n_ref;
+
+        // MAF screen over cumulative data, excluding already-released SNPs
+        // (they are forced, not candidates).
+        let mut l_prime = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..self.reference.snps() {
+            let id = SnpId(l as u32);
+            if self.released.contains(&id) {
+                continue;
+            }
+            let freq = (case_counts[l] + self.ref_counts[l]) as f64 / n_total as f64;
+            if passes_maf(freq, self.params.maf_cutoff) {
+                l_prime.push(id);
+            }
+        }
+
+        // Ranking over the full panel (needed for LD tie-breaks and the
+        // LR admission order).
+        let all_ids: Vec<SnpId> = (0..self.reference.snps() as u32).map(SnpId).collect();
+        let ranks = rank_by_association(&all_ids, &case_counts, n_case, &self.ref_counts, n_ref);
+
+        // LD screen over the candidates.
+        let l_double_prime = run_ld_scan(
+            &l_prime,
+            |a, b| {
+                LdMoments::from_cached_counts(
+                    &self.cumulative,
+                    a,
+                    b,
+                    case_counts[a.index()],
+                    case_counts[b.index()],
+                )
+                .merge(LdMoments::from_cached_counts(
+                    &self.reference,
+                    a,
+                    b,
+                    self.ref_counts[a.index()],
+                    self.ref_counts[b.index()],
+                ))
+            },
+            |s| ranks[s.index()].p_value,
+            self.params.ld_cutoff,
+        );
+
+        // LR-test with the released set forced: columns cover released ∪
+        // candidates.
+        let mut columns: Vec<SnpId> = self.released.clone();
+        columns.extend(l_double_prime.iter().copied());
+        let case_freqs: Vec<f64> = columns
+            .iter()
+            .map(|s| case_counts[s.index()] as f64 / n_case.max(1) as f64)
+            .collect();
+        let ref_freqs: Vec<f64> = columns
+            .iter()
+            .map(|s| self.ref_counts[s.index()] as f64 / n_ref as f64)
+            .collect();
+        let case_matrix =
+            LrMatrix::from_genotypes(&self.cumulative, &columns, &case_freqs, &ref_freqs);
+        let null_matrix =
+            LrMatrix::from_genotypes(&self.reference, &columns, &case_freqs, &ref_freqs);
+        let forced: Vec<usize> = (0..self.released.len()).collect();
+        // Candidate order: most significant first (the paper's admission
+        // order), as column indices into `columns`.
+        let candidate_ranks =
+            sort_most_significant_first(l_double_prime.iter().map(|&s| ranks[s.index()]).collect());
+        let order: Vec<usize> = candidate_ranks
+            .iter()
+            .map(|r| {
+                self.released.len()
+                    + l_double_prime
+                        .iter()
+                        .position(|&s| s == r.snp)
+                        .expect("candidate present")
+            })
+            .collect();
+        let selection =
+            select_safe_subset_seeded(&case_matrix, &null_matrix, &forced, &order, &self.params.lr);
+        let mut newly_released: Vec<SnpId> =
+            selection.kept_columns.iter().map(|&c| columns[c]).collect();
+        newly_released.sort_unstable();
+
+        // Regret: released SNPs the current data would screen out (MAF/LD
+        // status lost) or that a fresh LR admission would reject. We use
+        // the screening criteria as the observable proxy.
+        let regret: Vec<SnpId> = self
+            .released
+            .iter()
+            .copied()
+            .filter(|s| {
+                let freq =
+                    (case_counts[s.index()] + self.ref_counts[s.index()]) as f64 / n_total as f64;
+                !passes_maf(freq, self.params.maf_cutoff)
+            })
+            .collect();
+
+        self.released.extend(newly_released.iter().copied());
+        self.released.sort_unstable();
+
+        Ok(EpochReport {
+            epoch,
+            total_genomes: self.cumulative.individuals(),
+            newly_released,
+            total_released: self.released.len(),
+            regret,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{MembershipAttacker, ReleasedStatistics};
+    use gendpr_genomics::synth::SyntheticCohort;
+
+    fn study(seed: u64) -> (SyntheticCohort, GwasParams) {
+        let cohort = SyntheticCohort::builder()
+            .snps(200)
+            .case_individuals(600)
+            .reference_individuals(400)
+            .seed(seed)
+            .build();
+        let mut params = GwasParams::secure_genome_defaults();
+        params.lr.power_threshold = 0.7;
+        (cohort, params)
+    }
+
+    #[test]
+    fn release_grows_monotonically() {
+        let (cohort, params) = study(1);
+        let mut assessor = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+        let batches = cohort.case().row_range(0, 600);
+        let mut previous = 0;
+        for (i, start) in [0usize, 200, 400].iter().enumerate() {
+            let batch = batches.row_range(*start, 200);
+            let report = assessor.add_batch(&batch).unwrap();
+            assert_eq!(report.epoch, i);
+            assert_eq!(report.total_genomes, (i + 1) * 200);
+            assert!(report.total_released >= previous, "release never shrinks");
+            previous = report.total_released;
+            // Newly released SNPs were not released before.
+            assert_eq!(report.total_released, previous, "bookkeeping is consistent");
+        }
+        assert_eq!(assessor.total_genomes(), 600);
+        assert!(assessor.released().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cumulative_release_stays_attack_safe_each_epoch() {
+        let (cohort, params) = study(2);
+        let mut assessor = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+        for start in [0usize, 300] {
+            let batch = cohort.case().row_range(start, 300);
+            assessor.add_batch(&batch).unwrap();
+            if assessor.released().is_empty() {
+                continue;
+            }
+            // Attack the cumulative release with the *cumulative* data.
+            let cumulative = cohort.case().row_range(0, start + 300);
+            let n = cumulative.individuals() as f64;
+            let counts = cumulative.column_counts();
+            let rc = cohort.reference().column_counts();
+            let nr = cohort.reference().individuals() as f64;
+            let release = ReleasedStatistics {
+                snps: assessor.released().to_vec(),
+                case_freqs: assessor
+                    .released()
+                    .iter()
+                    .map(|s| counts[s.index()] as f64 / n)
+                    .collect(),
+                ref_freqs: assessor
+                    .released()
+                    .iter()
+                    .map(|s| rc[s.index()] as f64 / nr)
+                    .collect(),
+            };
+            let attacker = MembershipAttacker::calibrate(
+                release,
+                cohort.reference(),
+                params.lr.false_positive_rate,
+            );
+            let power = attacker.power_against(&cumulative);
+            assert!(
+                power < params.lr.power_threshold + 0.05,
+                "epoch ending at {}: power {power}",
+                start + 300
+            );
+        }
+    }
+
+    #[test]
+    fn single_epoch_matches_static_assessment_size() {
+        // Feeding all data at once should release a set comparable to the
+        // static pipeline (identical candidate screens; LR admission uses
+        // the same seeded search with an empty seed).
+        let (cohort, params) = study(3);
+        let mut assessor = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+        let report = assessor.add_batch(cohort.case()).unwrap();
+        let central = crate::baseline::centralized::CentralizedPipeline::new(params)
+            .run(cohort.as_ref())
+            .unwrap();
+        assert_eq!(report.newly_released, central.safe_snps);
+    }
+
+    #[test]
+    fn rejects_mismatched_batches_and_empty_reference() {
+        let (cohort, params) = study(4);
+        let mut assessor = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+        let bad = GenotypeMatrix::zeroed(5, 7);
+        assert!(matches!(
+            assessor.add_batch(&bad).unwrap_err(),
+            ProtocolError::InvalidConfig(_)
+        ));
+        assert!(matches!(
+            DynamicAssessor::new(params, GenotypeMatrix::zeroed(0, 10)).unwrap_err(),
+            ProtocolError::EmptyStudy
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! The genome data owner's local (untrusted-side + enclave-side)
+//! computations.
+//!
+//! A [`GdoNode`] holds one member's case-genotype shard — the data that
+//! never leaves the premises — and produces exactly the intermediate
+//! results the protocol outsources: allele-count vectors, LD moments and
+//! LR matrices. Every method consumes the shard read-only.
+
+use crate::messages::{CountsReport, LrReport, LrReportCompact, MomentsReport};
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
+use gendpr_stats::lr::LrMatrix;
+
+/// One federation member's data and local compute.
+#[derive(Debug, Clone)]
+pub struct GdoNode {
+    id: usize,
+    shard: GenotypeMatrix,
+    // Per-SNP minor counts, computed once at construction: the counts
+    // vector is needed for the pre-processing report anyway, and reusing
+    // it makes each LD moments query a single pass (only Σxy is fresh).
+    counts: Vec<u64>,
+}
+
+impl GdoNode {
+    /// Creates a node for member `id` holding `shard`.
+    #[must_use]
+    pub fn new(id: usize, shard: GenotypeMatrix) -> Self {
+        let counts = shard.column_counts();
+        Self { id, shard, counts }
+    }
+
+    /// The member's index in the federation.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The member's local case shard.
+    #[must_use]
+    pub fn shard(&self) -> &GenotypeMatrix {
+        &self.shard
+    }
+
+    /// Pre-processing: `caseLocalCounts[L_des]_g` plus `N^case_g`.
+    #[must_use]
+    pub fn counts_report(&self) -> CountsReport {
+        CountsReport {
+            counts: self.counts.clone(),
+            n_case: self.shard.individuals() as u64,
+        }
+    }
+
+    /// Phase 2: local correlation moments for one pair (one genotype pass;
+    /// the marginal counts come from the cached pre-processing vector).
+    #[must_use]
+    pub fn ld_moments(&self, a: SnpId, b: SnpId) -> MomentsReport {
+        LdMoments::from_cached_counts(
+            &self.shard,
+            a,
+            b,
+            self.counts[a.index()],
+            self.counts[b.index()],
+        )
+        .into()
+    }
+
+    /// Phase 3: the local LR matrix over `snps`, built with the *global*
+    /// frequency vectors broadcast by the leader (using local frequencies
+    /// here is exactly the naïve protocol's mistake).
+    #[must_use]
+    pub fn lr_report(&self, snps: &[SnpId], case_freqs: &[f64], ref_freqs: &[f64]) -> LrReport {
+        LrReport::from_matrix(&LrMatrix::from_genotypes(
+            &self.shard,
+            snps,
+            case_freqs,
+            ref_freqs,
+        ))
+    }
+
+    /// Phase 3, compressed transport: the same local LR matrix as
+    /// [`Self::lr_report`], encoded as one indicator bit per cell (the
+    /// leader rebuilds the values from its own broadcast frequencies).
+    #[must_use]
+    pub fn lr_report_compact(&self, snps: &[SnpId]) -> LrReportCompact {
+        LrReportCompact::from_indicator(self.shard.individuals(), snps.len(), |i, j| {
+            self.shard.get(i, snps[j].index()) == 1
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> GdoNode {
+        let mut m = GenotypeMatrix::zeroed(3, 4);
+        m.set(0, 0, true);
+        m.set(1, 0, true);
+        m.set(2, 2, true);
+        GdoNode::new(7, m)
+    }
+
+    #[test]
+    fn counts_report_matches_shard() {
+        let n = node();
+        assert_eq!(n.id(), 7);
+        let report = n.counts_report();
+        assert_eq!(report.counts, vec![2, 0, 1, 0]);
+        assert_eq!(report.n_case, 3);
+    }
+
+    #[test]
+    fn moments_match_stats_layer() {
+        let n = node();
+        let m = n.ld_moments(SnpId(0), SnpId(2));
+        assert_eq!(m.sum_x, 2);
+        assert_eq!(m.sum_y, 1);
+        assert_eq!(m.sum_xy, 0);
+        assert_eq!(m.n, 3);
+    }
+
+    #[test]
+    fn compact_report_matches_dense() {
+        let n = node();
+        let snps = [SnpId(0), SnpId(2)];
+        let cf = [0.4, 0.3];
+        let rf = [0.2, 0.25];
+        let dense = n.lr_report(&snps, &cf, &rf).into_matrix().unwrap();
+        let compact = n.lr_report_compact(&snps).into_matrix(&cf, &rf).unwrap();
+        assert_eq!(dense, compact);
+    }
+
+    #[test]
+    fn lr_report_dimensions() {
+        let n = node();
+        let snps = [SnpId(0), SnpId(2)];
+        let report = n.lr_report(&snps, &[0.4, 0.3], &[0.2, 0.3]);
+        assert_eq!(report.individuals, 3);
+        assert_eq!(report.snps, 2);
+        assert_eq!(report.values.len(), 6);
+        let matrix = report.into_matrix().unwrap();
+        // Individual 2 carries the minor allele at SNP 2 where freqs are
+        // equal -> zero contribution.
+        assert_eq!(matrix.get(2, 1), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Phase 2: LD analysis (Algorithm 1 lines 28–58).
+//!
+//! A greedy left-to-right scan over `L'`: the current *survivor* is
+//! compared against the next retained SNP; if the pair's r² p-value is
+//! above the cutoff they are independent and both stay, otherwise only the
+//! better-χ²-ranked of the two survives. The scan needs the **pooled**
+//! moments of each compared pair, which the leader obtains by querying
+//! every member (plus the reference set) — abstracted here as a moments
+//! oracle so the same scan drives the distributed protocol, the threaded
+//! runtime and the centralized baseline.
+
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::{is_independent, LdMoments};
+
+/// Runs the LD scan over `l_prime`.
+///
+/// * `moments` — oracle returning the **aggregated** moments of a pair
+///   (federation-wide plus reference),
+/// * `rank_p_value` — each SNP's χ² association p-value (for
+///   `getMostRanked`),
+/// * `ld_cutoff` — pairs with p-value ≤ cutoff are dependent.
+///
+/// Returns `L''` in panel order.
+#[must_use]
+pub fn run_ld_scan(
+    l_prime: &[SnpId],
+    mut moments: impl FnMut(SnpId, SnpId) -> LdMoments,
+    rank_p_value: impl Fn(SnpId) -> f64,
+    ld_cutoff: f64,
+) -> Vec<SnpId> {
+    let mut retained: Vec<SnpId> = Vec::new();
+    let mut iter = l_prime.iter().copied();
+    let Some(first) = iter.next() else {
+        return retained;
+    };
+    retained.push(first);
+
+    for next in iter {
+        let current = *retained.last().expect("retained is never empty here");
+        let pooled = moments(current, next);
+        if is_independent(pooled.p_value(), ld_cutoff) {
+            retained.push(next);
+        } else {
+            // Dependent: keep the better-ranked SNP (smaller p-value wins;
+            // ties keep the earlier SNP, matching ranking::most_ranked).
+            if rank_p_value(next) < rank_p_value(current) {
+                retained.pop();
+                retained.push(next);
+            }
+        }
+    }
+    retained
+}
+
+/// The number of pairwise comparisons the scan performs for a given `L'`
+/// size — each costs one moments round-trip per member in the distributed
+/// setting.
+#[must_use]
+pub fn scan_comparisons(l_prime_len: usize) -> usize {
+    l_prime_len.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    /// Oracle over a fixed p-value map keyed by (a, b); moments are forged
+    /// so that `p_value()` is 1.0 (independent) unless the pair is listed.
+    fn scan_with(snps: &[u32], dependent_pairs: &[(u32, u32)], ranks: &[(u32, f64)]) -> Vec<u32> {
+        let dep: std::collections::HashSet<(u32, u32)> = dependent_pairs.iter().copied().collect();
+        let rank: HashMap<u32, f64> = ranks.iter().copied().collect();
+        let ids: Vec<SnpId> = snps.iter().map(|&s| SnpId(s)).collect();
+        let queries = RefCell::new(0usize);
+        let out = run_ld_scan(
+            &ids,
+            |a, b| {
+                *queries.borrow_mut() += 1;
+                if dep.contains(&(a.0, b.0)) {
+                    // Perfectly correlated 1000-individual pair: p ~ 0.
+                    LdMoments {
+                        sum_x: 500,
+                        sum_y: 500,
+                        sum_xy: 500,
+                        sum_xx: 500,
+                        sum_yy: 500,
+                        n: 1000,
+                    }
+                } else {
+                    // Independent balanced pair: r² = 0.
+                    LdMoments {
+                        sum_x: 500,
+                        sum_y: 500,
+                        sum_xy: 250,
+                        sum_xx: 500,
+                        sum_yy: 500,
+                        n: 1000,
+                    }
+                }
+            },
+            |s| rank.get(&s.0).copied().unwrap_or(0.5),
+            1e-5,
+        );
+        assert_eq!(*queries.borrow(), scan_comparisons(ids.len()));
+        out.into_iter().map(|s| s.0).collect()
+    }
+
+    #[test]
+    fn all_independent_keeps_everything() {
+        assert_eq!(scan_with(&[0, 1, 2, 3], &[], &[]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dependent_pair_keeps_better_ranked() {
+        // 0-1 dependent; 1 ranks better (smaller p) -> 1 replaces 0.
+        assert_eq!(
+            scan_with(&[0, 1, 2], &[(0, 1)], &[(0, 0.5), (1, 0.01)]),
+            vec![1, 2]
+        );
+        // 0 ranks better -> 1 dropped.
+        assert_eq!(
+            scan_with(&[0, 1, 2], &[(0, 1)], &[(0, 0.01), (1, 0.5)]),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn tie_keeps_earlier_snp() {
+        assert_eq!(
+            scan_with(&[0, 1], &[(0, 1)], &[(0, 0.3), (1, 0.3)]),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn chain_of_dependence_collapses_to_one() {
+        // Every adjacent pair dependent, ranks improving rightward.
+        let out = scan_with(
+            &[0, 1, 2, 3],
+            &[(0, 1), (1, 2), (2, 3)],
+            &[(0, 0.4), (1, 0.3), (2, 0.2), (3, 0.1)],
+        );
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn survivor_is_compared_with_later_snps() {
+        // 1 is dropped against 0; then the scan compares (0, 2) — which is
+        // also dependent — so only the best of the chain remains.
+        let out = scan_with(
+            &[0, 1, 2],
+            &[(0, 1), (0, 2)],
+            &[(0, 0.1), (1, 0.5), (2, 0.5)],
+        );
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(scan_with(&[], &[], &[]), Vec::<u32>::new());
+        assert_eq!(scan_with(&[7], &[], &[]), vec![7]);
+        assert_eq!(scan_comparisons(0), 0);
+        assert_eq!(scan_comparisons(1), 0);
+        assert_eq!(scan_comparisons(5), 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! Phase 3: LR-test analysis (Algorithm 1 lines 60–69, Figure 4).
+//!
+//! The leader merges the members' LR matrices with its own, builds the
+//! null model from the reference individuals, and runs SecureGenome's
+//! empirical subset search over the χ²-ranked candidates.
+
+use gendpr_genomics::snp::SnpId;
+#[cfg(test)]
+use gendpr_stats::lr::LrMatrix;
+use gendpr_stats::lr::{select_safe_subset, LrTestParams, LrValues};
+use gendpr_stats::oblivious::select_safe_subset_oblivious;
+use gendpr_stats::ranking::{sort_most_significant_first, SnpRank};
+
+/// Which implementation of the subset search the leader enclave runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionKernel {
+    /// Quickselect quantiles and branching keep/back-out — fastest.
+    #[default]
+    Fast,
+    /// Bitonic-network quantiles and branchless updates: identical
+    /// selections with a data-independent memory access pattern (the
+    /// paper's side-channel future work; see `gendpr_stats::oblivious`).
+    Oblivious,
+}
+
+/// Runs the LR-test over the merged case matrix and the reference null
+/// matrix. `candidates[j]` names the SNP behind column `j` of both
+/// matrices; `ranks` carries each candidate's χ² p-value.
+///
+/// Returns `L_safe` in panel order.
+///
+/// # Panics
+///
+/// Panics if `ranks` does not cover exactly the candidate set or the
+/// matrices disagree with `candidates` in width.
+#[must_use]
+pub fn run_lr_test<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    candidates: &[SnpId],
+    case_matrix: &M,
+    null_matrix: &N,
+    ranks: &[SnpRank],
+    params: &LrTestParams,
+) -> Vec<SnpId> {
+    run_lr_test_with(
+        candidates,
+        case_matrix,
+        null_matrix,
+        ranks,
+        params,
+        SelectionKernel::Fast,
+    )
+}
+
+/// [`run_lr_test`] with an explicit [`SelectionKernel`].
+///
+/// # Panics
+///
+/// Same conditions as [`run_lr_test`].
+#[must_use]
+pub fn run_lr_test_with<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    candidates: &[SnpId],
+    case_matrix: &M,
+    null_matrix: &N,
+    ranks: &[SnpRank],
+    params: &LrTestParams,
+    kernel: SelectionKernel,
+) -> Vec<SnpId> {
+    assert_eq!(
+        case_matrix.snps(),
+        candidates.len(),
+        "case matrix width must match candidates"
+    );
+    assert_eq!(
+        null_matrix.snps(),
+        candidates.len(),
+        "null matrix width must match candidates"
+    );
+    assert_eq!(ranks.len(), candidates.len(), "one rank per candidate");
+
+    // Column order: most significant first.
+    let col_of: std::collections::HashMap<SnpId, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(j, &s)| (s, j))
+        .collect();
+    let sorted = sort_most_significant_first(ranks.to_vec());
+    let order: Vec<usize> = sorted
+        .iter()
+        .map(|r| {
+            *col_of
+                .get(&r.snp)
+                .expect("rank refers to a SNP outside the candidate set")
+        })
+        .collect();
+
+    let selection = match kernel {
+        SelectionKernel::Fast => select_safe_subset(case_matrix, null_matrix, &order, params),
+        SelectionKernel::Oblivious => {
+            select_safe_subset_oblivious(case_matrix, null_matrix, &order, params)
+        }
+    };
+    let mut safe: Vec<SnpId> = selection
+        .kept_columns
+        .iter()
+        .map(|&j| candidates[j])
+        .collect();
+    safe.sort_unstable();
+    safe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendpr_crypto::rng::ChaChaRng;
+    use gendpr_genomics::genotype::GenotypeMatrix;
+
+    /// Builds case/null genotypes where the first `hot` SNPs diverge.
+    fn build(
+        hot: usize,
+        cold: usize,
+        gap: f64,
+        n: usize,
+    ) -> (Vec<SnpId>, LrMatrix, LrMatrix, Vec<SnpRank>) {
+        let total = hot + cold;
+        let mut rng = ChaChaRng::from_seed_u64(11);
+        let mut case = GenotypeMatrix::zeroed(n, total);
+        let mut refm = GenotypeMatrix::zeroed(n, total);
+        for j in 0..total {
+            let p = 0.3;
+            let q = if j < hot { p + gap } else { p };
+            for i in 0..n {
+                if rng.next_bool(q) {
+                    case.set(i, j, true);
+                }
+                if rng.next_bool(p) {
+                    refm.set(i, j, true);
+                }
+            }
+        }
+        let ids: Vec<SnpId> = (0..total as u32).map(SnpId).collect();
+        let cf: Vec<f64> = case
+            .column_counts()
+            .iter()
+            .map(|&c| c as f64 / n as f64)
+            .collect();
+        let rf: Vec<f64> = refm
+            .column_counts()
+            .iter()
+            .map(|&c| c as f64 / n as f64)
+            .collect();
+        let case_m = LrMatrix::from_genotypes(&case, &ids, &cf, &rf);
+        let null_m = LrMatrix::from_genotypes(&refm, &ids, &cf, &rf);
+        let ranks = gendpr_stats::ranking::rank_by_association(
+            &ids,
+            &case.column_counts(),
+            n as u64,
+            &refm.column_counts(),
+            n as u64,
+        );
+        (ids, case_m, null_m, ranks)
+    }
+
+    #[test]
+    fn neutral_snps_all_safe() {
+        let (ids, case_m, null_m, ranks) = build(0, 25, 0.0, 300);
+        let safe = run_lr_test(
+            &ids,
+            &case_m,
+            &null_m,
+            &ranks,
+            &LrTestParams::secure_genome_defaults(),
+        );
+        assert_eq!(safe.len(), 25);
+    }
+
+    #[test]
+    fn divergent_snps_partially_rejected() {
+        let (ids, case_m, null_m, ranks) = build(40, 0, 0.35, 400);
+        let safe = run_lr_test(
+            &ids,
+            &case_m,
+            &null_m,
+            &ranks,
+            &LrTestParams::secure_genome_defaults(),
+        );
+        assert!(safe.len() < 40, "kept {} of 40", safe.len());
+        assert!(!safe.is_empty());
+        // Output is sorted by id.
+        assert!(safe.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn oblivious_kernel_selects_identically() {
+        let (ids, case_m, null_m, ranks) = build(20, 20, 0.25, 250);
+        let params = LrTestParams {
+            false_positive_rate: 0.1,
+            power_threshold: 0.6,
+        };
+        let fast = run_lr_test_with(
+            &ids,
+            &case_m,
+            &null_m,
+            &ranks,
+            &params,
+            SelectionKernel::Fast,
+        );
+        let oblivious = run_lr_test_with(
+            &ids,
+            &case_m,
+            &null_m,
+            &ranks,
+            &params,
+            SelectionKernel::Oblivious,
+        );
+        assert_eq!(fast, oblivious);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rank per candidate")]
+    fn rank_count_must_match() {
+        let (ids, case_m, null_m, mut ranks) = build(0, 5, 0.0, 50);
+        ranks.pop();
+        let _ = run_lr_test(
+            &ids,
+            &case_m,
+            &null_m,
+            &ranks,
+            &LrTestParams::secure_genome_defaults(),
+        );
+    }
+}

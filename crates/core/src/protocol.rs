@@ -1,0 +1,626 @@
+//! The in-process GenDPR protocol driver.
+//!
+//! [`Federation`] executes Algorithm 1 deterministically in a single
+//! process: every member's local computation runs against its own shard
+//! only, the leader aggregates exactly the intermediate values the real
+//! deployment would receive, and collusion tolerance re-evaluates each
+//! phase per member combination (§5.6). This driver is what the
+//! correctness experiments (Table 4), collusion experiments (Table 5) and
+//! the running-time figures (5/6) measure; the fully threaded,
+//! enclave-encrypted deployment lives in [`crate::runtime`].
+
+use crate::collusion::{evaluation_subsets, intersect_selections};
+use crate::config::{FederationConfig, GwasParams};
+use crate::error::ProtocolError;
+use crate::gdo::GdoNode;
+use crate::leader::elect_seeded;
+use crate::messages::CountsReport;
+use crate::phases::ld::{run_ld_scan, scan_comparisons};
+use crate::phases::lrtest::{run_lr_test_with, SelectionKernel};
+use crate::phases::maf::{run_maf, MafOutcome};
+use gendpr_genomics::cohort::Cohort;
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
+use gendpr_stats::lr::LrMatrix;
+use gendpr_stats::ranking::{rank_by_association, SnpRank};
+use std::time::{Duration, Instant};
+
+/// Per-task CPU time, matching the paper's Figure 5/6 breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Collecting and summing members' intermediate data.
+    pub aggregation: Duration,
+    /// Indexing / sorting / allele-frequency computation (MAF + ranking).
+    pub indexing: Duration,
+    /// LD analysis.
+    pub ld: Duration,
+    /// LR-test analysis.
+    pub lr: Duration,
+}
+
+impl PhaseTimings {
+    /// Total running time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.aggregation + self.indexing + self.ld + self.lr
+    }
+}
+
+/// Analytic bandwidth accounting for one protocol run (paper §7.1): how
+/// many messages crossed member boundaries and how many bytes they
+/// carried, before and after encryption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficEstimate {
+    /// Messages exchanged (member→leader and broadcasts).
+    pub messages: u64,
+    /// Payload bytes before encryption.
+    pub plaintext_bytes: u64,
+    /// Bytes on the wire (payload + AEAD tag + length framing).
+    pub wire_bytes: u64,
+    /// Communication rounds on the protocol's critical path (each costs
+    /// one round trip in a geo-distributed deployment).
+    pub round_trips: u64,
+}
+
+/// Per-message encryption + framing overhead: 16-byte Poly1305 tag plus an
+/// 8-byte length prefix.
+pub const MESSAGE_OVERHEAD: u64 = 24;
+
+impl TrafficEstimate {
+    fn add(&mut self, messages: u64, payload_bytes: u64) {
+        self.messages += messages;
+        self.plaintext_bytes += payload_bytes;
+        self.wire_bytes += payload_bytes + messages * MESSAGE_OVERHEAD;
+    }
+
+    /// Estimated wall-clock communication cost in a geo-distributed
+    /// deployment: every critical-path round pays one round trip, and the
+    /// total volume streams at the link bandwidth.
+    #[must_use]
+    pub fn wan_estimate(&self, model: &gendpr_fednet::latency::LatencyModel) -> Duration {
+        let rtt = model.base * 2;
+        let transfer = Duration::from_secs_f64(self.wire_bytes as f64 / model.bytes_per_second);
+        rtt * u32::try_from(self.round_trips).unwrap_or(u32::MAX) + transfer
+    }
+}
+
+/// Result of one GenDPR run.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutcome {
+    /// Which member was elected leader.
+    pub leader: usize,
+    /// `L'` — survivors of the MAF phase (intersected over combinations).
+    pub l_prime: Vec<SnpId>,
+    /// `L''` — survivors of the LD phase.
+    pub l_double_prime: Vec<SnpId>,
+    /// `L_safe` — the final safe-to-release set.
+    pub safe_snps: Vec<SnpId>,
+    /// Wall-clock per task.
+    pub timings: PhaseTimings,
+    /// Bandwidth accounting.
+    pub traffic: TrafficEstimate,
+    /// How many member combinations were evaluated (1 without collusion
+    /// tolerance).
+    pub evaluations: usize,
+    /// The full-set combination's final selection *within this run* — what
+    /// the federation would release if it ignored colluders. Since the
+    /// full set participates in every phase intersection,
+    /// `safe_snps ⊆ full_set_safe` always holds; the difference is the
+    /// paper's "# vulnerable SNPs without collusion-tolerance".
+    pub full_set_safe: Vec<SnpId>,
+    /// Global case allele frequencies over `L''` (for release building).
+    pub case_freqs: Vec<f64>,
+    /// Reference allele frequencies over `L''`.
+    pub ref_freqs: Vec<f64>,
+}
+
+/// A GenDPR federation ready to assess one study.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    config: FederationConfig,
+    params: GwasParams,
+    nodes: Vec<GdoNode>,
+    reference: GenotypeMatrix,
+    panel_len: usize,
+    kernel: SelectionKernel,
+}
+
+impl Federation {
+    /// Assembles a federation: the cohort's case population is split
+    /// near-equally among `config.gdo_count` members (as in the paper's
+    /// evaluation) and the reference set is shared.
+    #[must_use]
+    pub fn new(config: FederationConfig, params: GwasParams, cohort: impl AsRef<Cohort>) -> Self {
+        let cohort = cohort.as_ref();
+        let shards = if config.gdo_count == 0 {
+            Vec::new()
+        } else {
+            cohort.split_case_among(config.gdo_count)
+        };
+        let nodes = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| GdoNode::new(i, shard))
+            .collect();
+        Self {
+            config,
+            params,
+            nodes,
+            reference: cohort.reference().clone(),
+            panel_len: cohort.panel().len(),
+            kernel: SelectionKernel::Fast,
+        }
+    }
+
+    /// Selects the LR subset-search kernel ([`SelectionKernel::Oblivious`]
+    /// hardens the leader enclave against memory-access side channels at a
+    /// measured slowdown; the selection is identical).
+    #[must_use]
+    pub fn with_selection_kernel(mut self, kernel: SelectionKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builds a federation from explicit per-member shards (for tests that
+    /// control the partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shards/reference disagree on SNP count.
+    #[must_use]
+    pub fn from_shards(
+        config: FederationConfig,
+        params: GwasParams,
+        shards: Vec<GenotypeMatrix>,
+        reference: GenotypeMatrix,
+    ) -> Self {
+        let panel_len = reference.snps();
+        for s in &shards {
+            assert_eq!(s.snps(), panel_len, "shard SNP count mismatch");
+        }
+        let nodes = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| GdoNode::new(i, shard))
+            .collect();
+        Self {
+            config,
+            params,
+            nodes,
+            reference,
+            panel_len,
+            kernel: SelectionKernel::Fast,
+        }
+    }
+
+    /// The federation members.
+    #[must_use]
+    pub fn nodes(&self) -> &[GdoNode] {
+        &self.nodes
+    }
+
+    /// Executes the three-phase protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] for bad parameters,
+    /// [`ProtocolError::EmptyStudy`] when there are no SNPs or no
+    /// reference individuals (the LR-test has no null model without them).
+    pub fn run(&self) -> Result<ProtocolOutcome, ProtocolError> {
+        self.config
+            .validate()
+            .map_err(ProtocolError::InvalidConfig)?;
+        self.params
+            .validate()
+            .map_err(ProtocolError::InvalidConfig)?;
+        if self.panel_len == 0 || self.reference.individuals() == 0 {
+            return Err(ProtocolError::EmptyStudy);
+        }
+
+        let g = self.config.gdo_count;
+        let leader = elect_seeded(self.config.seed, g);
+        let subsets = evaluation_subsets(g, self.config.collusion);
+        let mut traffic = TrafficEstimate::default();
+        let mut timings = PhaseTimings::default();
+
+        // ---- Pre-processing + Phase 1: counts, aggregation, MAF ----
+        let t = Instant::now();
+        let reports: Vec<CountsReport> = self.nodes.iter().map(GdoNode::counts_report).collect();
+        let ref_counts = self.reference.column_counts();
+        let n_ref = self.reference.individuals() as u64;
+        // Every non-leader member ships its counts vector (u64 per SNP + n).
+        traffic.add(
+            (g - 1) as u64,
+            (g - 1) as u64 * (8 * self.panel_len as u64 + 16),
+        );
+        traffic.round_trips += 1; // counts collection
+        timings.aggregation += t.elapsed();
+
+        let t = Instant::now();
+        let mut maf_outcomes: Vec<MafOutcome> = Vec::with_capacity(subsets.len());
+        for subset in &subsets {
+            let subset_reports: Vec<CountsReport> =
+                subset.iter().map(|&i| reports[i].clone()).collect();
+            maf_outcomes.push(run_maf(
+                &subset_reports,
+                ref_counts.clone(),
+                n_ref,
+                self.params.maf_cutoff,
+            ));
+        }
+        let l_prime = intersect_selections(
+            &maf_outcomes
+                .iter()
+                .map(|o| o.retained.clone())
+                .collect::<Vec<_>>(),
+        );
+        // Rankings per combination (χ² of the combination's own counts).
+        let all_ids: Vec<SnpId> = (0..self.panel_len as u32).map(SnpId).collect();
+        let rankings: Vec<Vec<SnpRank>> = maf_outcomes
+            .iter()
+            .map(|o| {
+                rank_by_association(&all_ids, &o.case_counts, o.n_case, &o.ref_counts, o.n_ref)
+            })
+            .collect();
+        // Leader broadcasts L' to all members.
+        traffic.add(
+            (g - 1) as u64,
+            (g - 1) as u64 * (4 * l_prime.len() as u64 + 8),
+        );
+        traffic.round_trips += 1;
+        timings.indexing += t.elapsed();
+
+        // ---- Phase 2: LD analysis ----
+        let t = Instant::now();
+        let mut ld_selections = Vec::with_capacity(subsets.len());
+        for (c, subset) in subsets.iter().enumerate() {
+            let ranks = &rankings[c];
+            let retained = run_ld_scan(
+                &l_prime,
+                |a, b| {
+                    let mut pooled = LdMoments::from_cached_counts(
+                        &self.reference,
+                        a,
+                        b,
+                        ref_counts[a.index()],
+                        ref_counts[b.index()],
+                    );
+                    for &i in subset {
+                        pooled = pooled.merge(LdMoments::from(self.nodes[i].ld_moments(a, b)));
+                    }
+                    pooled
+                },
+                |s| ranks[s.index()].p_value,
+                self.params.ld_cutoff,
+            );
+            // Each comparison costs one request + one response per
+            // non-leader member of the subset.
+            let responders = subset.iter().filter(|&&i| i != leader).count() as u64;
+            let comparisons = scan_comparisons(l_prime.len()) as u64;
+            traffic.add(
+                comparisons * responders,
+                comparisons * responders * (8 + 48),
+            );
+            // Each comparison is a request/response round (the optimized
+            // runtime's adjacent-pair prefetch collapses most of these).
+            traffic.round_trips += comparisons;
+            ld_selections.push(retained);
+        }
+        let l_double_prime = intersect_selections(&ld_selections);
+        // Leader broadcasts L'' and the frequency vectors per combination.
+        let phase2_payload = (4 + 8 + 8) * l_double_prime.len() as u64 + 8;
+        traffic.add(
+            (g - 1) as u64 * subsets.len() as u64,
+            (g - 1) as u64 * subsets.len() as u64 * phase2_payload,
+        );
+        traffic.round_trips += subsets.len() as u64; // Phase 2 broadcast + LR reply
+        timings.ld += t.elapsed();
+
+        // ---- Phase 3: LR-test analysis ----
+        let t = Instant::now();
+        let mut lr_selections = Vec::with_capacity(subsets.len());
+        let mut full_case_freqs = Vec::new();
+        let mut full_ref_freqs = Vec::new();
+        for (c, subset) in subsets.iter().enumerate() {
+            let outcome = &maf_outcomes[c];
+            let case_freqs: Vec<f64> = l_double_prime
+                .iter()
+                .map(|&s| outcome.case_frequency(s))
+                .collect();
+            let ref_freqs: Vec<f64> = l_double_prime
+                .iter()
+                .map(|&s| outcome.ref_frequency(s))
+                .collect();
+            if c == 0 {
+                full_case_freqs.clone_from(&case_freqs);
+                full_ref_freqs.clone_from(&ref_freqs);
+            }
+
+            // Each member builds its local LR matrix with the broadcast
+            // frequencies; the leader concatenates them (Figure 4).
+            let parts: Vec<LrMatrix> = subset
+                .iter()
+                .map(|&i| {
+                    self.nodes[i]
+                        .lr_report(&l_double_prime, &case_freqs, &ref_freqs)
+                        .into_matrix()
+                        .expect("locally built matrices are well-formed")
+                })
+                .collect();
+            let case_matrix = LrMatrix::concat_rows(&parts);
+            let null_matrix =
+                LrMatrix::from_genotypes(&self.reference, &l_double_prime, &case_freqs, &ref_freqs);
+            let ranks: Vec<SnpRank> = l_double_prime
+                .iter()
+                .map(|&s| rankings[c][s.index()])
+                .collect();
+            let safe = run_lr_test_with(
+                &l_double_prime,
+                &case_matrix,
+                &null_matrix,
+                &ranks,
+                &self.params.lr,
+                self.kernel,
+            );
+            // Members ship their LR matrices: 8 bytes per cell + header.
+            for &i in subset {
+                if i != leader {
+                    let cells =
+                        self.nodes[i].shard().individuals() as u64 * l_double_prime.len() as u64;
+                    traffic.add(1, 8 * cells + 16);
+                }
+            }
+            lr_selections.push(safe);
+        }
+        let full_set_safe = lr_selections[0].clone();
+        let safe_snps = intersect_selections(&lr_selections);
+        debug_assert!(
+            safe_snps.iter().all(|s| full_set_safe.contains(s)),
+            "intersection must be within the full-set selection"
+        );
+        // Final broadcast of L_safe.
+        traffic.add(
+            (g - 1) as u64,
+            (g - 1) as u64 * (4 * safe_snps.len() as u64 + 8),
+        );
+        traffic.round_trips += 1;
+        timings.lr += t.elapsed();
+
+        Ok(ProtocolOutcome {
+            leader,
+            l_prime,
+            l_double_prime,
+            safe_snps,
+            timings,
+            traffic,
+            evaluations: subsets.len(),
+            full_set_safe,
+            case_freqs: full_case_freqs,
+            ref_freqs: full_ref_freqs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollusionMode;
+    use gendpr_genomics::synth::SyntheticCohort;
+
+    fn cohort(snps: usize, n: usize, seed: u64) -> SyntheticCohort {
+        SyntheticCohort::builder()
+            .snps(snps)
+            .case_individuals(n)
+            .reference_individuals(n)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn pipeline_shrinks_monotonically() {
+        let c = cohort(300, 400, 1);
+        let fed = Federation::new(
+            FederationConfig::new(3),
+            GwasParams::secure_genome_defaults(),
+            &c,
+        );
+        let out = fed.run().unwrap();
+        assert!(out.l_prime.len() <= 300);
+        assert!(out.l_double_prime.len() <= out.l_prime.len());
+        assert!(out.safe_snps.len() <= out.l_double_prime.len());
+        assert!(!out.l_prime.is_empty(), "MAF should keep common SNPs");
+        assert_eq!(out.evaluations, 1);
+        assert_eq!(out.case_freqs.len(), out.l_double_prime.len());
+        // Safe set is sorted panel-order and unique.
+        assert!(out.safe_snps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn outcome_is_independent_of_member_count() {
+        // Paper: "changing the number of GDOs in the federation does not
+        // affect the outcome of the verification".
+        let c = cohort(250, 300, 2);
+        let mut selections = Vec::new();
+        for g in [1usize, 2, 3, 5, 7] {
+            let fed = Federation::new(
+                FederationConfig::new(g),
+                GwasParams::secure_genome_defaults(),
+                &c,
+            );
+            let out = fed.run().unwrap();
+            selections.push((g, out.l_prime, out.l_double_prime, out.safe_snps));
+        }
+        for w in selections.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "L' differs between G={} and G={}",
+                w[0].0, w[1].0
+            );
+            assert_eq!(w[0].2, w[1].2, "L'' differs");
+            assert_eq!(w[0].3, w[1].3, "L_safe differs");
+        }
+    }
+
+    #[test]
+    fn collusion_tolerance_shrinks_release() {
+        let c = cohort(200, 240, 3);
+        let base = Federation::new(
+            FederationConfig::new(3),
+            GwasParams::secure_genome_defaults(),
+            &c,
+        )
+        .run()
+        .unwrap();
+        let tolerant = Federation::new(
+            FederationConfig::new(3).with_collusion(CollusionMode::Fixed(2)),
+            GwasParams::secure_genome_defaults(),
+            &c,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(tolerant.evaluations, 4); // full + C(3,1)
+        assert!(tolerant.safe_snps.len() <= base.safe_snps.len());
+        assert!(tolerant
+            .safe_snps
+            .iter()
+            .all(|s| base.safe_snps.contains(s)));
+        // The guaranteed-monotone comparison: within one run, the
+        // intersection is a subset of the full-set combination's selection.
+        assert!(tolerant
+            .safe_snps
+            .iter()
+            .all(|s| tolerant.full_set_safe.contains(s)));
+        // Without collusion tolerance the two coincide.
+        assert_eq!(base.full_set_safe, base.safe_snps);
+    }
+
+    #[test]
+    fn all_up_to_is_subset_of_every_fixed() {
+        let c = cohort(150, 200, 4);
+        let params = GwasParams::secure_genome_defaults();
+        let all = Federation::new(
+            FederationConfig::new(3).with_collusion(CollusionMode::AllUpTo),
+            params,
+            &c,
+        )
+        .run()
+        .unwrap();
+        assert_eq!(all.evaluations, 7);
+        for f in 1..3 {
+            let fixed = Federation::new(
+                FederationConfig::new(3).with_collusion(CollusionMode::Fixed(f)),
+                params,
+                &c,
+            )
+            .run()
+            .unwrap();
+            assert!(
+                all.safe_snps.iter().all(|s| fixed.safe_snps.contains(s)),
+                "AllUpTo must be within Fixed({f})"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_scales_with_snps_not_genomes() {
+        let small = cohort(100, 400, 5);
+        let big_snps = cohort(200, 400, 5);
+        let params = GwasParams::secure_genome_defaults();
+        let t_small = Federation::new(FederationConfig::new(3), params, &small)
+            .run()
+            .unwrap()
+            .traffic;
+        let t_big = Federation::new(FederationConfig::new(3), params, &big_snps)
+            .run()
+            .unwrap()
+            .traffic;
+        assert!(t_big.plaintext_bytes > t_small.plaintext_bytes);
+        assert!(t_big.wire_bytes > t_big.plaintext_bytes);
+        // No genome sequences: traffic stays far below shipping genotypes.
+        let genome_bytes = 400 * 100 / 4; // 2 bits per SNP per genome
+        assert!(t_small.plaintext_bytes < 100 * genome_bytes);
+    }
+
+    #[test]
+    fn empty_study_is_an_error() {
+        let c = cohort(10, 20, 6);
+        let fed = Federation::from_shards(
+            FederationConfig::new(2),
+            GwasParams::secure_genome_defaults(),
+            c.split_case_among(2),
+            GenotypeMatrix::zeroed(0, 10),
+        );
+        assert_eq!(fed.run().unwrap_err(), ProtocolError::EmptyStudy);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let c = cohort(10, 20, 7);
+        let fed = Federation::new(
+            FederationConfig::new(3).with_collusion(CollusionMode::Fixed(5)),
+            GwasParams::secure_genome_defaults(),
+            &c,
+        );
+        assert!(matches!(
+            fed.run().unwrap_err(),
+            ProtocolError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn traffic_round_trips_and_wan_estimate() {
+        let c = cohort(120, 150, 10);
+        let out = Federation::new(
+            FederationConfig::new(3),
+            GwasParams::secure_genome_defaults(),
+            &c,
+        )
+        .run()
+        .unwrap();
+        // counts + L' broadcast + one round per LD comparison + one per
+        // subset (phase 2/LR) + final broadcast.
+        let expected = 1 + 1 + (out.l_prime.len() as u64 - 1) + 1 + 1;
+        assert_eq!(out.traffic.round_trips, expected);
+        // WAN estimate grows with the latency profile.
+        let dc = out
+            .traffic
+            .wan_estimate(&gendpr_fednet::latency::LatencyModel::datacenter());
+        let wan = out
+            .traffic
+            .wan_estimate(&gendpr_fednet::latency::LatencyModel::wide_area());
+        assert!(wan > dc);
+        assert!(wan >= std::time::Duration::from_millis(80 * out.traffic.round_trips as u64 / 1000));
+    }
+
+    #[test]
+    fn oblivious_kernel_end_to_end_identical() {
+        let c = cohort(150, 200, 9);
+        let params = GwasParams::secure_genome_defaults();
+        let fast = Federation::new(FederationConfig::new(3), params, &c)
+            .run()
+            .unwrap();
+        let oblivious = Federation::new(FederationConfig::new(3), params, &c)
+            .with_selection_kernel(SelectionKernel::Oblivious)
+            .run()
+            .unwrap();
+        assert_eq!(fast.safe_snps, oblivious.safe_snps);
+        assert_eq!(fast.l_double_prime, oblivious.l_double_prime);
+    }
+
+    #[test]
+    fn leader_follows_seed() {
+        let c = cohort(50, 60, 8);
+        let params = GwasParams::secure_genome_defaults();
+        let leaders: std::collections::HashSet<usize> = (0..20)
+            .map(|seed| {
+                Federation::new(FederationConfig::new(5).with_seed(seed), params, &c)
+                    .run()
+                    .unwrap()
+                    .leader
+            })
+            .collect();
+        assert!(leaders.len() > 1, "leader should vary with the seed");
+        assert!(leaders.iter().all(|&l| l < 5));
+    }
+}

@@ -1,0 +1,411 @@
+//! Building the open-access GWAS release.
+//!
+//! After GenDPR identifies `L_safe`, the federation computes and publishes
+//! GWAS statistics over exactly those SNPs. This module assembles that
+//! release from the aggregates the leader already holds, and implements
+//! the hybrid extension sketched in §5.5: statistics over the *rejected*
+//! SNPs (`L_des \ L_safe`) can still be published under differential
+//! privacy, trading accuracy for coverage.
+
+use crate::attack::ReleasedStatistics;
+use gendpr_crypto::rng::ChaChaRng;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::chi2::chi2_p_value;
+use gendpr_stats::contingency::SinglewiseTable;
+
+/// One released SNP's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnpStatistics {
+    /// Which SNP.
+    pub snp: SnpId,
+    /// Case minor-allele frequency (noise-free for safe SNPs, perturbed
+    /// for DP-released ones).
+    pub case_freq: f64,
+    /// Reference/control minor-allele frequency.
+    pub ref_freq: f64,
+    /// χ² association p-value.
+    pub chi2_p_value: f64,
+    /// Allelic odds ratio (case odds / control odds), Haldane-Anscombe
+    /// corrected when a cell is empty (always finite).
+    pub odds_ratio: f64,
+    /// 95% confidence interval of the odds ratio (Woolf's logit method).
+    pub odds_ratio_ci95: (f64, f64),
+    /// Whether this entry was perturbed with differential privacy.
+    pub dp_protected: bool,
+}
+
+/// Allelic odds ratio and its 95% CI from a 2×2 table (Woolf's method
+/// with a Haldane-Anscombe 0.5 correction when any cell is zero).
+fn odds_ratio_ci(table: &SinglewiseTable) -> (f64, (f64, f64)) {
+    let cells = [
+        table.case_minor as f64,
+        table.case_major() as f64,
+        table.control_minor as f64,
+        table.control_major() as f64,
+    ];
+    let correct = cells.contains(&0.0);
+    let [a, b, c, d] = cells.map(|x| if correct { x + 0.5 } else { x });
+    let or = (a * d) / (b * c);
+    let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
+    let z = 1.959_963_984_540_054; // Φ⁻¹(0.975)
+    let lo = (or.ln() - z * se).exp();
+    let hi = (or.ln() + z * se).exp();
+    (or, (lo, hi))
+}
+
+/// An open-access release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GwasRelease {
+    /// Statistics per released SNP, panel order.
+    pub entries: Vec<SnpStatistics>,
+}
+
+impl GwasRelease {
+    /// Builds the noise-free release over the safe SNPs from pooled
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if counts vectors are shorter than the largest safe id.
+    #[must_use]
+    pub fn noise_free(
+        safe: &[SnpId],
+        case_counts: &[u64],
+        n_case: u64,
+        ref_counts: &[u64],
+        n_ref: u64,
+    ) -> Self {
+        let entries = safe
+            .iter()
+            .map(|&snp| {
+                let cc = case_counts[snp.index()];
+                let rc = ref_counts[snp.index()];
+                let table = SinglewiseTable::new(cc, n_case, rc, n_ref);
+                let (odds_ratio, odds_ratio_ci95) = odds_ratio_ci(&table);
+                SnpStatistics {
+                    snp,
+                    case_freq: table.case_frequency(),
+                    ref_freq: table.control_frequency(),
+                    chi2_p_value: chi2_p_value(&table),
+                    odds_ratio,
+                    odds_ratio_ci95,
+                    dp_protected: false,
+                }
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// The hybrid scheme of §5.5: noise-free entries for `safe`, plus
+    /// Laplace-perturbed entries (scale `sensitivity / epsilon` on the
+    /// frequencies) for every other SNP in `all`, so the release covers
+    /// the full `L_des`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn hybrid_with_dp(
+        safe: &[SnpId],
+        all: &[SnpId],
+        case_counts: &[u64],
+        n_case: u64,
+        ref_counts: &[u64],
+        n_ref: u64,
+        epsilon: f64,
+        rng: &mut ChaChaRng,
+    ) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let mut release = Self::noise_free(safe, case_counts, n_case, ref_counts, n_ref);
+        let safe_set: std::collections::HashSet<SnpId> = safe.iter().copied().collect();
+        // Frequency sensitivity: one individual changes a frequency by at
+        // most 1/n.
+        let scale_case = 1.0 / (n_case.max(1) as f64 * epsilon);
+        let scale_ref = 1.0 / (n_ref.max(1) as f64 * epsilon);
+        for &snp in all {
+            if safe_set.contains(&snp) {
+                continue;
+            }
+            let cc = case_counts[snp.index()];
+            let rc = ref_counts[snp.index()];
+            let table = SinglewiseTable::new(cc, n_case, rc, n_ref);
+            let case_freq = (table.case_frequency() + laplace(rng, scale_case)).clamp(0.0, 1.0);
+            let ref_freq = (table.control_frequency() + laplace(rng, scale_ref)).clamp(0.0, 1.0);
+            // The χ² statistic is recomputed from the *perturbed*
+            // frequencies so the release is consistent with itself.
+            let noisy_table = SinglewiseTable::new(
+                (case_freq * n_case as f64).round() as u64,
+                n_case,
+                (ref_freq * n_ref as f64).round() as u64,
+                n_ref,
+            );
+            let (odds_ratio, odds_ratio_ci95) = odds_ratio_ci(&noisy_table);
+            release.entries.push(SnpStatistics {
+                snp,
+                case_freq,
+                ref_freq,
+                chi2_p_value: chi2_p_value(&noisy_table),
+                odds_ratio,
+                odds_ratio_ci95,
+                dp_protected: true,
+            });
+        }
+        release.entries.sort_by_key(|e| e.snp);
+        Self {
+            entries: release.entries,
+        }
+    }
+
+    /// Number of released entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was released.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Projects the release into the adversary's view ([`ReleasedStatistics`]).
+    #[must_use]
+    pub fn adversary_view(&self) -> ReleasedStatistics {
+        ReleasedStatistics {
+            snps: self.entries.iter().map(|e| e.snp).collect(),
+            case_freqs: self.entries.iter().map(|e| e.case_freq).collect(),
+            ref_freqs: self.entries.iter().map(|e| e.ref_freq).collect(),
+        }
+    }
+
+    /// The most significant released SNPs, best first — "the SNPs with the
+    /// smallest p-values are the most significant (ranked) SNPs of a
+    /// GWAS".
+    #[must_use]
+    pub fn top_ranked(&self, k: usize) -> Vec<&SnpStatistics> {
+        let mut sorted: Vec<&SnpStatistics> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.chi2_p_value
+                .partial_cmp(&b.chi2_p_value)
+                .expect("finite p-values")
+                .then(a.snp.cmp(&b.snp))
+        });
+        sorted.truncate(k);
+        sorted
+    }
+}
+
+impl GwasRelease {
+    /// Serializes the release as a tab-separated table (one header line,
+    /// one row per SNP) — the artifact a biocenter would actually publish.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "snp\tcase_freq\tref_freq\tchi2_p\todds_ratio\tor_ci_low\tor_ci_high\tdp\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}\t{:.6}\t{:.6}\t{:e}\t{:.6}\t{:.6}\t{:.6}\t{}\n",
+                e.snp.0,
+                e.case_freq,
+                e.ref_freq,
+                e.chi2_p_value,
+                e.odds_ratio,
+                e.odds_ratio_ci95.0,
+                e.odds_ratio_ci95.1,
+                u8::from(e.dp_protected),
+            ));
+        }
+        out
+    }
+
+    /// Parses a release back from its TSV form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_tsv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty release file")?;
+        if !header.starts_with("snp\t") {
+            return Err("missing TSV header".to_string());
+        }
+        let mut entries = Vec::new();
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 8 {
+                return Err(format!("line {}: expected 8 fields", no + 2));
+            }
+            let err = |what: &str| format!("line {}: bad {what}", no + 2);
+            entries.push(SnpStatistics {
+                snp: SnpId(fields[0].parse().map_err(|_| err("snp id"))?),
+                case_freq: fields[1].parse().map_err(|_| err("case_freq"))?,
+                ref_freq: fields[2].parse().map_err(|_| err("ref_freq"))?,
+                chi2_p_value: fields[3].parse().map_err(|_| err("chi2_p"))?,
+                odds_ratio: fields[4].parse().map_err(|_| err("odds_ratio"))?,
+                odds_ratio_ci95: (
+                    fields[5].parse().map_err(|_| err("or_ci_low"))?,
+                    fields[6].parse().map_err(|_| err("or_ci_high"))?,
+                ),
+                dp_protected: fields[7] == "1",
+            });
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Laplace(0, scale) sample via inverse CDF.
+fn laplace(rng: &mut ChaChaRng, scale: f64) -> f64 {
+    let u = rng.next_f64() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> (Vec<u64>, Vec<u64>) {
+        (vec![30, 5, 80, 40], vec![20, 5, 20, 41])
+    }
+
+    #[test]
+    fn noise_free_release_reports_exact_frequencies() {
+        let (cc, rc) = counts();
+        let release = GwasRelease::noise_free(&[SnpId(0), SnpId(2)], &cc, 100, &rc, 100);
+        assert_eq!(release.len(), 2);
+        assert!(!release.is_empty());
+        assert_eq!(release.entries[0].case_freq, 0.30);
+        assert_eq!(release.entries[1].case_freq, 0.80);
+        assert!(release.entries.iter().all(|e| !e.dp_protected));
+        // SNP2 (80 vs 20) is far more significant than SNP0 (30 vs 20).
+        let top = release.top_ranked(1);
+        assert_eq!(top[0].snp, SnpId(2));
+    }
+
+    #[test]
+    fn odds_ratios_are_sensible() {
+        let (cc, rc) = counts();
+        let release = GwasRelease::noise_free(
+            &[SnpId(0), SnpId(1), SnpId(2), SnpId(3)],
+            &cc,
+            100,
+            &rc,
+            100,
+        );
+        // SNP0: 30/70 vs 20/80 -> OR = (30*80)/(70*20) = 1.714…
+        let e0 = &release.entries[0];
+        assert!((e0.odds_ratio - 30.0 * 80.0 / (70.0 * 20.0)).abs() < 1e-12);
+        assert!(e0.odds_ratio_ci95.0 < e0.odds_ratio);
+        assert!(e0.odds_ratio_ci95.1 > e0.odds_ratio);
+        // SNP1: identical counts -> OR = 1, CI spans 1.
+        let e1 = &release.entries[1];
+        assert!((e1.odds_ratio - 1.0).abs() < 1e-12);
+        assert!(e1.odds_ratio_ci95.0 < 1.0 && e1.odds_ratio_ci95.1 > 1.0);
+        // Strong association (SNP2) -> CI excludes 1.
+        let e2 = &release.entries[2];
+        assert!(e2.odds_ratio_ci95.0 > 1.0, "CI {:?}", e2.odds_ratio_ci95);
+    }
+
+    #[test]
+    fn odds_ratio_handles_zero_cells() {
+        let release = GwasRelease::noise_free(&[SnpId(0)], &[0], 50, &[10], 50);
+        let e = &release.entries[0];
+        assert!(
+            e.odds_ratio.is_finite(),
+            "Haldane correction keeps OR finite"
+        );
+        assert!(e.odds_ratio < 1.0);
+        assert!(e.odds_ratio_ci95.0 > 0.0);
+    }
+
+    #[test]
+    fn hybrid_covers_all_snps() {
+        let (cc, rc) = counts();
+        let all: Vec<SnpId> = (0..4u32).map(SnpId).collect();
+        let mut rng = ChaChaRng::from_seed_u64(1);
+        let release =
+            GwasRelease::hybrid_with_dp(&[SnpId(0)], &all, &cc, 100, &rc, 100, 1.0, &mut rng);
+        assert_eq!(release.len(), 4);
+        let dp_count = release.entries.iter().filter(|e| e.dp_protected).count();
+        assert_eq!(dp_count, 3);
+        // The safe SNP is exact.
+        let safe_entry = release.entries.iter().find(|e| e.snp == SnpId(0)).unwrap();
+        assert!(!safe_entry.dp_protected);
+        assert_eq!(safe_entry.case_freq, 0.30);
+    }
+
+    #[test]
+    fn dp_noise_shrinks_with_epsilon() {
+        let (cc, rc) = counts();
+        let all: Vec<SnpId> = (0..4u32).map(SnpId).collect();
+        let err_for = |eps: f64| {
+            let mut total = 0.0;
+            for seed in 0..50 {
+                let mut rng = ChaChaRng::from_seed_u64(seed);
+                let r = GwasRelease::hybrid_with_dp(&[], &all, &cc, 100, &rc, 100, eps, &mut rng);
+                for e in &r.entries {
+                    let exact = cc[e.snp.index()] as f64 / 100.0;
+                    total += (e.case_freq - exact).abs();
+                }
+            }
+            total / (50.0 * 4.0)
+        };
+        let loose = err_for(0.1);
+        let tight = err_for(10.0);
+        assert!(
+            tight < loose,
+            "higher epsilon must mean less noise: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let (cc, rc) = counts();
+        let release = GwasRelease::noise_free(&[SnpId(0), SnpId(2)], &cc, 100, &rc, 100);
+        let tsv = release.to_tsv();
+        let parsed = GwasRelease::from_tsv(&tsv).unwrap();
+        assert_eq!(parsed.len(), release.len());
+        for (a, b) in parsed.entries.iter().zip(release.entries.iter()) {
+            assert_eq!(a.snp, b.snp);
+            assert!((a.case_freq - b.case_freq).abs() < 1e-6);
+            assert!((a.chi2_p_value - b.chi2_p_value).abs() < 1e-12 * b.chi2_p_value.max(1e-300));
+            assert_eq!(a.dp_protected, b.dp_protected);
+        }
+    }
+
+    #[test]
+    fn tsv_rejects_malformed() {
+        assert!(GwasRelease::from_tsv("").is_err());
+        assert!(GwasRelease::from_tsv("wrong header\n").is_err());
+        assert!(GwasRelease::from_tsv(
+            "snp\tcase_freq\tref_freq\tchi2_p\todds_ratio\tor_ci_low\tor_ci_high\tdp\n1\t2\n"
+        )
+        .is_err());
+        assert!(GwasRelease::from_tsv("snp\tcase_freq\tref_freq\tchi2_p\todds_ratio\tor_ci_low\tor_ci_high\tdp\nx\t0\t0\t0\t1\t1\t1\t0\n").is_err());
+    }
+
+    #[test]
+    fn adversary_view_matches_entries() {
+        let (cc, rc) = counts();
+        let release = GwasRelease::noise_free(&[SnpId(1), SnpId(3)], &cc, 100, &rc, 100);
+        let view = release.adversary_view();
+        assert_eq!(view.snps, vec![SnpId(1), SnpId(3)]);
+        assert_eq!(view.case_freqs[0], release.entries[0].case_freq);
+    }
+
+    #[test]
+    fn laplace_is_centered_and_scaled() {
+        let mut rng = ChaChaRng::from_seed_u64(2);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| laplace(&mut rng, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        // Var of Laplace(b) = 2b² = 8.
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.8, "var {var}");
+    }
+}

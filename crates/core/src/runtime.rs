@@ -1,0 +1,1276 @@
+//! The threaded GenDPR deployment: one thread per GDO, real enclaves,
+//! remote attestation, commit-reveal leader election and encrypted
+//! channels end to end.
+//!
+//! Where [`crate::protocol`] executes Algorithm 1 as a deterministic
+//! in-process computation (for benchmarking the *analysis*), this module
+//! deploys it the way the paper's Figure 2 draws it: every member runs
+//! concurrently on its own premises, launches an enclave whose
+//! measurement covers the GenDPR build *and* the study parameters, and
+//! exchanges intermediate results exclusively through mutually attested
+//! ChaCha20-Poly1305 channels over the federation network. Traffic and
+//! enclave memory are metered, which is what Table 3 reports.
+
+use crate::certificate::{AssessmentCertificate, AssessmentFacts};
+use crate::collusion::{evaluation_subsets, intersect_selections};
+use crate::config::{FederationConfig, GwasParams};
+use crate::error::ProtocolError;
+use crate::gdo::GdoNode;
+use crate::leader::{draw_nonce, elect, verify_reveal, ElectionCommit, ElectionReveal};
+use crate::messages::{
+    CountsReport, MomentsReport, MomentsRequest, Phase1Broadcast, Phase2Broadcast, Phase3Broadcast,
+    ProtocolMessage,
+};
+use crate::phases::ld::run_ld_scan;
+use crate::phases::lrtest::run_lr_test;
+use crate::phases::maf::{run_maf, MafOutcome};
+use crate::protocol::PhaseTimings;
+use gendpr_crypto::rng::ChaChaRng;
+use gendpr_fednet::fault::FaultPlan;
+use gendpr_fednet::metrics::TrafficStats;
+use gendpr_fednet::transport::{Endpoint, NetError, Network, PeerId};
+use gendpr_fednet::wire::{self, Decode, Encode, Reader, WireError};
+use gendpr_genomics::cohort::Cohort;
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
+use gendpr_stats::lr::{BitLrMatrix, LrMatrix, LrValues};
+use gendpr_stats::ranking::{rank_by_association, SnpRank};
+use gendpr_tee::attestation::AttestationService;
+use gendpr_tee::enclave::Enclave;
+use gendpr_tee::measurement::Measurement;
+use gendpr_tee::platform::Platform;
+use gendpr_tee::session::{Handshake, HandshakeMessage, SecureChannel};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Code identity of the GenDPR member enclave. All members must run the
+/// same build or mutual attestation fails.
+pub const CODE_IDENTITY: &str = "gendpr/member/v1";
+
+const CHANNEL_AAD: &[u8] = b"gendpr/protocol/v1";
+
+/// Deployment options for the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeOptions {
+    /// Bound on every wait; a silent member aborts the protocol.
+    pub timeout: Duration,
+    /// Ship Phase 3 matrices as one-bit-per-cell compact reports instead
+    /// of the paper's dense value matrices (same reconstruction, ~64×
+    /// less traffic). Off by default for paper fidelity.
+    pub compact_lr: bool,
+    /// Prefetch the LD moments of every adjacent pair of `L'` in a single
+    /// batched round before the scan, collapsing the per-pair round trips
+    /// of Algorithm 1's inner loop to cache misses only. Off by default
+    /// for paper fidelity.
+    pub prefetch_ld: bool,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(300),
+            compact_lr: false,
+            prefetch_ld: false,
+        }
+    }
+}
+
+/// Per-member resource report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberResources {
+    /// Member index.
+    pub id: usize,
+    /// Peak enclave memory (bytes) — the Table 3 "Memory" column.
+    pub peak_enclave_bytes: u64,
+    /// Enclave entries performed.
+    pub ecalls: u64,
+}
+
+/// Result of a full threaded run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// The elected leader.
+    pub leader: usize,
+    /// MAF survivors.
+    pub l_prime: Vec<SnpId>,
+    /// LD survivors.
+    pub l_double_prime: Vec<SnpId>,
+    /// The final safe set (identical at every member).
+    pub safe_snps: Vec<SnpId>,
+    /// Measured network traffic (every byte of it enclave-encrypted).
+    pub traffic: TrafficStats,
+    /// Per-member enclave resource usage.
+    pub resources: Vec<MemberResources>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Leader-side per-task wall times (each includes waiting for the
+    /// members' parallel local computations — the federated critical path).
+    pub timings: PhaseTimings,
+    /// Enclave-signed certificate binding parameters, input digests and
+    /// the safe set (verify with [`AssessmentCertificate::verify`]).
+    pub certificate: AssessmentCertificate,
+}
+
+/// Untyped transport frames (election and handshake are public-by-design;
+/// everything else travels as channel ciphertext).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Frame {
+    Commit([u8; 32]),
+    Reveal([u8; 32]),
+    Handshake([u8; 128]),
+    Sealed(Vec<u8>),
+}
+
+impl Encode for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Self::Commit(c) => {
+                0u8.encode(buf);
+                c.encode(buf);
+            }
+            Self::Reveal(r) => {
+                1u8.encode(buf);
+                r.encode(buf);
+            }
+            Self::Handshake(h) => {
+                2u8.encode(buf);
+                h.encode(buf);
+            }
+            Self::Sealed(payload) => {
+                3u8.encode(buf);
+                payload.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => Self::Commit(<[u8; 32]>::decode(r)?),
+            1 => Self::Reveal(<[u8; 32]>::decode(r)?),
+            2 => Self::Handshake(<[u8; 128]>::decode(r)?),
+            3 => Self::Sealed(Vec::decode(r)?),
+            _ => return Err(WireError::InvalidValue("Frame tag")),
+        })
+    }
+}
+
+fn measurement_config(params: &GwasParams) -> Vec<u8> {
+    let mut buf = Vec::new();
+    params.maf_cutoff.encode(&mut buf);
+    params.ld_cutoff.encode(&mut buf);
+    params.lr.false_positive_rate.encode(&mut buf);
+    params.lr.power_threshold.encode(&mut buf);
+    buf
+}
+
+/// The measurement every member expects its peers to attest.
+#[must_use]
+pub fn expected_measurement(params: &GwasParams) -> Measurement {
+    Measurement::compute(CODE_IDENTITY, &measurement_config(params))
+}
+
+struct MemberCtx {
+    id: usize,
+    g: usize,
+    endpoint: Endpoint,
+    enclave: Enclave<()>,
+    rng: ChaChaRng,
+    timeout: Duration,
+    compact_lr: bool,
+    prefetch_ld: bool,
+    expected: Measurement,
+    /// Raw frames that arrived while waiting for something else.
+    backlog: HashMap<u32, VecDeque<Frame>>,
+}
+
+impl MemberCtx {
+    fn send_frame(
+        &self,
+        to: usize,
+        frame: &Frame,
+        plaintext_len: usize,
+    ) -> Result<(), ProtocolError> {
+        match self
+            .endpoint
+            .send(PeerId(to as u32), wire::to_bytes(frame), plaintext_len)
+        {
+            Ok(()) | Err(NetError::Dropped) => Ok(()), // drops surface as peer timeouts
+            Err(_) => Err(ProtocolError::MemberUnresponsive {
+                member: to,
+                phase: "transport",
+            }),
+        }
+    }
+
+    /// Receives the next frame from `from`, buffering frames from others.
+    fn recv_frame_from(
+        &mut self,
+        from: usize,
+        phase: &'static str,
+    ) -> Result<Frame, ProtocolError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(frame) = self
+                .backlog
+                .get_mut(&(from as u32))
+                .and_then(VecDeque::pop_front)
+            {
+                return Ok(frame);
+            }
+            let remaining = deadline.checked_duration_since(Instant::now()).ok_or(
+                ProtocolError::MemberUnresponsive {
+                    member: from,
+                    phase,
+                },
+            )?;
+            let env = self.endpoint.recv_timeout(remaining).map_err(|_| {
+                ProtocolError::MemberUnresponsive {
+                    member: from,
+                    phase,
+                }
+            })?;
+            let frame: Frame =
+                wire::from_bytes(&env.payload).map_err(|_| ProtocolError::MalformedMessage {
+                    member: env.from.0 as usize,
+                })?;
+            self.backlog.entry(env.from.0).or_default().push_back(frame);
+        }
+    }
+}
+
+/// Commit-reveal election among all members (paper: "randomly choosing one
+/// of the registered enclaves").
+fn run_election(ctx: &mut MemberCtx) -> Result<usize, ProtocolError> {
+    let (reveal, commitment) = draw_nonce(&mut ctx.rng);
+    for peer in 0..ctx.g {
+        if peer != ctx.id {
+            ctx.send_frame(peer, &Frame::Commit(commitment.0), 32)?;
+        }
+    }
+    let mut commits: HashMap<usize, ElectionCommit> = HashMap::new();
+    commits.insert(ctx.id, commitment);
+    while commits.len() < ctx.g {
+        for peer in 0..ctx.g {
+            if commits.contains_key(&peer) {
+                continue;
+            }
+            match ctx.recv_frame_from(peer, "election-commit")? {
+                Frame::Commit(c) => {
+                    commits.insert(peer, ElectionCommit(c));
+                }
+                _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+            }
+        }
+    }
+    for peer in 0..ctx.g {
+        if peer != ctx.id {
+            ctx.send_frame(peer, &Frame::Reveal(reveal.0), 32)?;
+        }
+    }
+    let mut reveals: Vec<ElectionReveal> = vec![ElectionReveal([0u8; 32]); ctx.g];
+    reveals[ctx.id] = reveal;
+    let mut have = vec![false; ctx.g];
+    have[ctx.id] = true;
+    while have.iter().any(|h| !h) {
+        for peer in 0..ctx.g {
+            if have[peer] {
+                continue;
+            }
+            match ctx.recv_frame_from(peer, "election-reveal")? {
+                Frame::Reveal(nonce) => {
+                    let r = ElectionReveal(nonce);
+                    if !verify_reveal(&commits[&peer], &r) {
+                        return Err(ProtocolError::MalformedMessage { member: peer });
+                    }
+                    reveals[peer] = r;
+                    have[peer] = true;
+                }
+                _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+            }
+        }
+    }
+    Ok(elect(&reveals, ctx.g))
+}
+
+/// Establishes an attested channel with `peer` (both sides run this).
+fn establish_channel(ctx: &mut MemberCtx, peer: usize) -> Result<SecureChannel, ProtocolError> {
+    let handshake = Handshake::start(&ctx.enclave, &mut ctx.rng);
+    let msg = handshake.message().to_bytes();
+    ctx.send_frame(peer, &Frame::Handshake(msg), msg.len())?;
+    let frame = ctx.recv_frame_from(peer, "handshake")?;
+    let Frame::Handshake(peer_bytes) = frame else {
+        return Err(ProtocolError::MalformedMessage { member: peer });
+    };
+    let peer_msg = HandshakeMessage::from_bytes(&peer_bytes);
+    handshake
+        .complete(&peer_msg, &ctx.expected)
+        .map_err(|cause| ProtocolError::SecurityFailure {
+            member: peer,
+            cause,
+        })
+}
+
+fn send_protocol(
+    ctx: &MemberCtx,
+    channel: &mut SecureChannel,
+    to: usize,
+    msg: &ProtocolMessage,
+) -> Result<(), ProtocolError> {
+    let plaintext = wire::to_bytes(msg);
+    let plaintext_len = plaintext.len();
+    let sealed = channel.send(&plaintext, CHANNEL_AAD);
+    ctx.send_frame(to, &Frame::Sealed(sealed), plaintext_len)
+}
+
+fn recv_protocol(
+    ctx: &mut MemberCtx,
+    channel: &mut SecureChannel,
+    from: usize,
+    phase: &'static str,
+) -> Result<ProtocolMessage, ProtocolError> {
+    let frame = ctx.recv_frame_from(from, phase)?;
+    let Frame::Sealed(sealed) = frame else {
+        return Err(ProtocolError::MalformedMessage { member: from });
+    };
+    let plaintext =
+        channel
+            .recv(&sealed, CHANNEL_AAD)
+            .map_err(|cause| ProtocolError::SecurityFailure {
+                member: from,
+                cause,
+            })?;
+    wire::from_bytes(&plaintext).map_err(|_| ProtocolError::MalformedMessage { member: from })
+}
+
+struct ThreadReport {
+    id: usize,
+    peak_enclave_bytes: u64,
+    ecalls: u64,
+    leader: usize,
+    outcome: Option<(Vec<SnpId>, Vec<SnpId>, Vec<SnpId>)>,
+    safe_seen: Vec<SnpId>,
+    timings: PhaseTimings,
+    certificate: Option<AssessmentCertificate>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn leader_main(
+    ctx: &mut MemberCtx,
+    node: &GdoNode,
+    reference: &GenotypeMatrix,
+    config: &FederationConfig,
+    params: &GwasParams,
+) -> Result<ThreadReport, ProtocolError> {
+    let g = ctx.g;
+    let me = ctx.id;
+    let mut channels: HashMap<usize, SecureChannel> = HashMap::new();
+    #[allow(clippy::needless_range_loop)]
+    for peer in 0..g {
+        if peer != me {
+            channels.insert(peer, establish_channel(ctx, peer)?);
+        }
+    }
+    let subsets = evaluation_subsets(g, config.collusion);
+    let mut timings = PhaseTimings::default();
+
+    // ---- Collect counts ----
+    let t = Instant::now();
+    let own_counts = ctx.enclave.enter(|(), epc| {
+        let report = node.counts_report();
+        epc.alloc(8 * report.counts.len() as u64);
+        report
+    });
+    let mut reports: Vec<Option<CountsReport>> = vec![None; g];
+    let panel_len = own_counts.counts.len();
+    reports[me] = Some(own_counts);
+    #[allow(clippy::needless_range_loop)] // peer is also the message address
+    for peer in 0..g {
+        if peer == me {
+            continue;
+        }
+        let channel = channels.get_mut(&peer).expect("channel established");
+        match recv_protocol(ctx, channel, peer, "counts")? {
+            ProtocolMessage::Counts(c) if c.counts.len() == panel_len => {
+                reports[peer] = Some(c);
+            }
+            ProtocolMessage::Counts(_) => {
+                return Err(ProtocolError::MalformedMessage { member: peer })
+            }
+            _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+        }
+    }
+    let reports: Vec<CountsReport> = reports.into_iter().map(|r| r.expect("collected")).collect();
+    timings.aggregation += t.elapsed();
+
+    // ---- Phase 1: MAF per subset + intersection ----
+    let t = Instant::now();
+    let ref_counts = ctx.enclave.enter(|(), epc| {
+        epc.alloc(8 * reference.snps() as u64);
+        reference.column_counts()
+    });
+    let n_ref = reference.individuals() as u64;
+    let mut maf_outcomes: Vec<MafOutcome> = Vec::with_capacity(subsets.len());
+    for subset in &subsets {
+        let subset_reports: Vec<CountsReport> =
+            subset.iter().map(|&i| reports[i].clone()).collect();
+        maf_outcomes.push(run_maf(
+            &subset_reports,
+            ref_counts.clone(),
+            n_ref,
+            params.maf_cutoff,
+        ));
+    }
+    let l_prime = intersect_selections(
+        &maf_outcomes
+            .iter()
+            .map(|o| o.retained.clone())
+            .collect::<Vec<_>>(),
+    );
+    let all_ids: Vec<SnpId> = (0..panel_len as u32).map(SnpId).collect();
+    let rankings: Vec<Vec<SnpRank>> = maf_outcomes
+        .iter()
+        .map(|o| rank_by_association(&all_ids, &o.case_counts, o.n_case, &o.ref_counts, o.n_ref))
+        .collect();
+    let phase1 = ProtocolMessage::Phase1(Phase1Broadcast {
+        retained: l_prime.iter().map(|s| s.0).collect(),
+    });
+    for peer in 0..g {
+        if peer != me {
+            let channel = channels.get_mut(&peer).expect("channel");
+            send_protocol(ctx, channel, peer, &phase1)?;
+        }
+    }
+
+    timings.indexing += t.elapsed();
+
+    // ---- Phase 2: LD per subset + intersection ----
+    let t = Instant::now();
+    let mut ld_selections = Vec::with_capacity(subsets.len());
+    for (c, subset) in subsets.iter().enumerate() {
+        let ranks = &rankings[c];
+        // Optional single-round prefetch of every adjacent pair's moments:
+        // the greedy scan compares (survivor, next), and the survivor is
+        // usually `next - 1`, so most lookups hit this cache.
+        let mut moments_cache: HashMap<(u32, u32), LdMoments> = HashMap::new();
+        if ctx.prefetch_ld && l_prime.len() >= 2 {
+            let pairs: Vec<MomentsRequest> = l_prime
+                .windows(2)
+                .map(|w| MomentsRequest {
+                    a: w[0].0,
+                    b: w[1].0,
+                })
+                .collect();
+            for w in l_prime.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let mut pooled = LdMoments::from_cached_counts(
+                    reference,
+                    a,
+                    b,
+                    ref_counts[a.index()],
+                    ref_counts[b.index()],
+                );
+                if subset.contains(&me) {
+                    pooled = pooled.merge(LdMoments::from(node.ld_moments(a, b)));
+                }
+                moments_cache.insert((a.0, b.0), pooled);
+            }
+            let request = ProtocolMessage::MomentsRequest(pairs.clone());
+            for &peer in subset {
+                if peer != me {
+                    let channel = channels.get_mut(&peer).expect("channel");
+                    send_protocol(ctx, channel, peer, &request)?;
+                }
+            }
+            for &peer in subset {
+                if peer == me {
+                    continue;
+                }
+                let channel = channels.get_mut(&peer).expect("channel");
+                match recv_protocol(ctx, channel, peer, "ld-prefetch")? {
+                    ProtocolMessage::Moments(ms) if ms.len() == pairs.len() => {
+                        for (pair, m) in pairs.iter().zip(ms) {
+                            let entry = moments_cache
+                                .get_mut(&(pair.a, pair.b))
+                                .expect("prefetched pair");
+                            *entry = entry.merge(LdMoments::from(m));
+                        }
+                    }
+                    _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                }
+            }
+        }
+        let mut scan_error: Option<ProtocolError> = None;
+        let retained = {
+            let channels = &mut channels;
+            let ctx_cell = std::cell::RefCell::new(&mut *ctx);
+            let scan_error = &mut scan_error;
+            run_ld_scan(
+                &l_prime,
+                |a, b| {
+                    if scan_error.is_some() {
+                        return LdMoments::default();
+                    }
+                    if let Some(&cached) = moments_cache.get(&(a.0, b.0)) {
+                        return cached;
+                    }
+                    // Fan the request out to every subset member first, so
+                    // their shard scans run in parallel, then collect.
+                    let request =
+                        ProtocolMessage::MomentsRequest(vec![MomentsRequest { a: a.0, b: b.0 }]);
+                    for &peer in subset.iter() {
+                        if peer == me {
+                            continue;
+                        }
+                        let ctx = ctx_cell.borrow_mut();
+                        let channel = channels.get_mut(&peer).expect("channel");
+                        if let Err(e) = send_protocol(&ctx, channel, peer, &request) {
+                            *scan_error = Some(e);
+                            return LdMoments::default();
+                        }
+                    }
+                    let mut pooled = LdMoments::from_cached_counts(
+                        reference,
+                        a,
+                        b,
+                        ref_counts[a.index()],
+                        ref_counts[b.index()],
+                    );
+                    if subset.contains(&me) {
+                        pooled = pooled.merge(LdMoments::from(node.ld_moments(a, b)));
+                    }
+                    for &peer in subset.iter() {
+                        if peer == me {
+                            continue;
+                        }
+                        let mut ctx = ctx_cell.borrow_mut();
+                        let channel = channels.get_mut(&peer).expect("channel");
+                        match recv_protocol(&mut ctx, channel, peer, "ld-moments") {
+                            Ok(ProtocolMessage::Moments(ms)) if ms.len() == 1 => {
+                                pooled = pooled.merge(LdMoments::from(ms[0]));
+                            }
+                            Ok(_) => {
+                                *scan_error =
+                                    Some(ProtocolError::MalformedMessage { member: peer });
+                            }
+                            Err(e) => *scan_error = Some(e),
+                        }
+                    }
+                    pooled
+                },
+                |s| ranks[s.index()].p_value,
+                params.ld_cutoff,
+            )
+        };
+        if let Some(e) = scan_error {
+            abort_all(ctx, &mut channels, &e);
+            return Err(e);
+        }
+        ld_selections.push(retained);
+    }
+    let l_double_prime = intersect_selections(&ld_selections);
+    timings.ld += t.elapsed();
+
+    // ---- Phase 3: LR per subset + intersection ----
+    let t = Instant::now();
+    let mut lr_selections = Vec::with_capacity(subsets.len());
+    for (c, subset) in subsets.iter().enumerate() {
+        let outcome = &maf_outcomes[c];
+        let case_freqs: Vec<f64> = l_double_prime
+            .iter()
+            .map(|&s| outcome.case_frequency(s))
+            .collect();
+        let ref_freqs: Vec<f64> = l_double_prime
+            .iter()
+            .map(|&s| outcome.ref_frequency(s))
+            .collect();
+        let broadcast = ProtocolMessage::Phase2(
+            c as u32,
+            Phase2Broadcast {
+                retained: l_double_prime.iter().map(|s| s.0).collect(),
+                case_freqs: case_freqs.clone(),
+                ref_freqs: ref_freqs.clone(),
+            },
+        );
+        for &peer in subset {
+            if peer == me {
+                continue;
+            }
+            let channel = channels.get_mut(&peer).expect("channel");
+            send_protocol(ctx, channel, peer, &broadcast)?;
+        }
+        let ranks: Vec<SnpRank> = l_double_prime
+            .iter()
+            .map(|&s| rankings[c][s.index()])
+            .collect();
+        let safe = if ctx.compact_lr {
+            // Bit-packed end to end: members ship indicator bits, the
+            // leader keeps everything — merged case matrix and the null
+            // model — packed, 64× below the dense footprint.
+            let mut parts: Vec<BitLrMatrix> = Vec::with_capacity(subset.len());
+            if subset.contains(&me) {
+                let own = ctx.enclave.enter(|(), epc| {
+                    let m = BitLrMatrix::from_genotypes(
+                        node.shard(),
+                        &l_double_prime,
+                        &case_freqs,
+                        &ref_freqs,
+                    );
+                    epc.alloc(m.heap_bytes() as u64);
+                    m
+                });
+                parts.push(own);
+            }
+            for &peer in subset {
+                if peer == me {
+                    continue;
+                }
+                let channel = channels.get_mut(&peer).expect("channel");
+                let m = match recv_protocol(ctx, channel, peer, "lr-matrices")? {
+                    ProtocolMessage::LrCompact(combo, report) if combo == c as u32 => {
+                        BitLrMatrix::from_raw_bits(
+                            report.individuals as usize,
+                            report.snps as usize,
+                            report.bits,
+                            &case_freqs,
+                            &ref_freqs,
+                        )
+                        .map_err(|_| ProtocolError::MalformedMessage { member: peer })?
+                    }
+                    _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                };
+                if m.snps() != l_double_prime.len() {
+                    return Err(ProtocolError::MalformedMessage { member: peer });
+                }
+                ctx.enclave
+                    .enter(|(), epc| epc.alloc(m.heap_bytes() as u64));
+                parts.push(m);
+            }
+            let (safe, freed) = ctx.enclave.enter(|(), epc| {
+                let case_matrix = BitLrMatrix::concat_rows(&parts);
+                epc.alloc(case_matrix.heap_bytes() as u64);
+                let null_matrix = BitLrMatrix::from_genotypes(
+                    reference,
+                    &l_double_prime,
+                    &case_freqs,
+                    &ref_freqs,
+                );
+                epc.alloc(null_matrix.heap_bytes() as u64);
+                let safe = run_lr_test(
+                    &l_double_prime,
+                    &case_matrix,
+                    &null_matrix,
+                    &ranks,
+                    &params.lr,
+                );
+                let freed = case_matrix.heap_bytes() as u64 + null_matrix.heap_bytes() as u64;
+                (safe, freed)
+            });
+            let part_bytes: u64 = parts.iter().map(|p| p.heap_bytes() as u64).sum();
+            ctx.enclave.enter(|(), epc| epc.free(freed + part_bytes));
+            safe
+        } else {
+            // Paper-faithful dense matrices.
+            let mut parts: Vec<LrMatrix> = Vec::with_capacity(subset.len());
+            if subset.contains(&me) {
+                let own = ctx.enclave.enter(|(), epc| {
+                    let m = node
+                        .lr_report(&l_double_prime, &case_freqs, &ref_freqs)
+                        .into_matrix()
+                        .expect("well-formed local matrix");
+                    epc.alloc(m.heap_bytes() as u64);
+                    m
+                });
+                parts.push(own);
+            }
+            for &peer in subset {
+                if peer == me {
+                    continue;
+                }
+                let channel = channels.get_mut(&peer).expect("channel");
+                let m = match recv_protocol(ctx, channel, peer, "lr-matrices")? {
+                    ProtocolMessage::Lr(combo, report) if combo == c as u32 => report
+                        .into_matrix()
+                        .map_err(|_| ProtocolError::MalformedMessage { member: peer })?,
+                    _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                };
+                if m.snps() != l_double_prime.len() {
+                    return Err(ProtocolError::MalformedMessage { member: peer });
+                }
+                ctx.enclave
+                    .enter(|(), epc| epc.alloc(m.heap_bytes() as u64));
+                parts.push(m);
+            }
+            let (safe, freed) = ctx.enclave.enter(|(), epc| {
+                let case_matrix = LrMatrix::concat_rows(&parts);
+                epc.alloc(case_matrix.heap_bytes() as u64);
+                let null_matrix =
+                    LrMatrix::from_genotypes(reference, &l_double_prime, &case_freqs, &ref_freqs);
+                epc.alloc(null_matrix.heap_bytes() as u64);
+                let safe = run_lr_test(
+                    &l_double_prime,
+                    &case_matrix,
+                    &null_matrix,
+                    &ranks,
+                    &params.lr,
+                );
+                let freed = case_matrix.heap_bytes() as u64 + null_matrix.heap_bytes() as u64;
+                (safe, freed)
+            });
+            let part_bytes: u64 = parts.iter().map(|p| p.heap_bytes() as u64).sum();
+            ctx.enclave.enter(|(), epc| epc.free(freed + part_bytes));
+            safe
+        };
+        lr_selections.push(safe);
+    }
+    let safe_snps = intersect_selections(&lr_selections);
+    timings.lr += t.elapsed();
+
+    // ---- Audit certificate (issued inside the leader enclave) ----
+    let full = &maf_outcomes[0];
+    let certificate = AssessmentCertificate::issue(
+        &ctx.enclave,
+        &AssessmentFacts {
+            params,
+            gdo_count: g,
+            panel_len,
+            case_counts: &full.case_counts,
+            n_case: full.n_case,
+            ref_counts: &full.ref_counts,
+            n_ref: full.n_ref,
+            safe: &safe_snps,
+            evaluations: subsets.len() as u64,
+        },
+    );
+
+    // ---- Final broadcast ----
+    let phase3 = ProtocolMessage::Phase3(Phase3Broadcast {
+        safe: safe_snps.iter().map(|s| s.0).collect(),
+    });
+    for peer in 0..g {
+        if peer != me {
+            let channel = channels.get_mut(&peer).expect("channel");
+            send_protocol(ctx, channel, peer, &phase3)?;
+        }
+    }
+
+    Ok(ThreadReport {
+        id: me,
+        peak_enclave_bytes: ctx.enclave.epc().peak(),
+        ecalls: ctx.enclave.ecalls(),
+        leader: me,
+        outcome: Some((l_prime, l_double_prime, safe_snps.clone())),
+        safe_seen: safe_snps,
+        timings,
+        certificate: Some(certificate),
+    })
+}
+
+fn abort_all(
+    ctx: &mut MemberCtx,
+    channels: &mut HashMap<usize, SecureChannel>,
+    err: &ProtocolError,
+) {
+    let msg = ProtocolMessage::Abort(err.to_string());
+    for (&peer, channel) in channels.iter_mut() {
+        let _ = send_protocol(ctx, channel, peer, &msg);
+    }
+}
+
+fn follower_main(
+    ctx: &mut MemberCtx,
+    node: &GdoNode,
+    leader: usize,
+) -> Result<ThreadReport, ProtocolError> {
+    let mut channel = establish_channel(ctx, leader)?;
+
+    let counts = ctx.enclave.enter(|(), epc| {
+        let report = node.counts_report();
+        epc.alloc(8 * report.counts.len() as u64);
+        report
+    });
+    send_protocol(ctx, &mut channel, leader, &ProtocolMessage::Counts(counts))?;
+
+    loop {
+        match recv_protocol(ctx, &mut channel, leader, "awaiting-leader")? {
+            ProtocolMessage::Phase1(_) => {
+                // Informational: L' arrives before the moments queries.
+            }
+            ProtocolMessage::MomentsRequest(pairs) => {
+                let reports: Vec<MomentsReport> = pairs
+                    .iter()
+                    .map(|p| node.ld_moments(SnpId(p.a), SnpId(p.b)))
+                    .collect();
+                send_protocol(
+                    ctx,
+                    &mut channel,
+                    leader,
+                    &ProtocolMessage::Moments(reports),
+                )?;
+            }
+            ProtocolMessage::Phase2(combo, broadcast) => {
+                let snps: Vec<SnpId> = broadcast.retained.iter().map(|&s| SnpId(s)).collect();
+                if ctx.compact_lr {
+                    let report = ctx.enclave.enter(|(), epc| {
+                        let r = node.lr_report_compact(&snps);
+                        epc.alloc(8 * r.bits.len() as u64);
+                        r
+                    });
+                    let bytes = 8 * report.bits.len() as u64;
+                    send_protocol(
+                        ctx,
+                        &mut channel,
+                        leader,
+                        &ProtocolMessage::LrCompact(combo, report),
+                    )?;
+                    ctx.enclave.enter(|(), epc| epc.free(bytes));
+                } else {
+                    let report = ctx.enclave.enter(|(), epc| {
+                        let r = node.lr_report(&snps, &broadcast.case_freqs, &broadcast.ref_freqs);
+                        epc.alloc(8 * r.values.len() as u64);
+                        r
+                    });
+                    let bytes = 8 * report.values.len() as u64;
+                    send_protocol(
+                        ctx,
+                        &mut channel,
+                        leader,
+                        &ProtocolMessage::Lr(combo, report),
+                    )?;
+                    ctx.enclave.enter(|(), epc| epc.free(bytes));
+                }
+            }
+            ProtocolMessage::Phase3(broadcast) => {
+                return Ok(ThreadReport {
+                    id: ctx.id,
+                    peak_enclave_bytes: ctx.enclave.epc().peak(),
+                    ecalls: ctx.enclave.ecalls(),
+                    leader,
+                    outcome: None,
+                    safe_seen: broadcast.safe.into_iter().map(SnpId).collect(),
+                    timings: PhaseTimings::default(),
+                    certificate: None,
+                });
+            }
+            ProtocolMessage::Abort(reason) => {
+                return Err(ProtocolError::MemberUnresponsive {
+                    member: leader,
+                    phase: if reason.is_empty() {
+                        "aborted"
+                    } else {
+                        "aborted-by-leader"
+                    },
+                });
+            }
+            _ => return Err(ProtocolError::MalformedMessage { member: leader }),
+        }
+    }
+}
+
+/// Runs the full threaded deployment over `cohort`.
+///
+/// `faults` optionally injects crashes/partitions; `timeout` bounds every
+/// wait (a silent member aborts the protocol, per the paper's liveness
+/// caveat).
+///
+/// # Errors
+///
+/// Configuration errors, [`ProtocolError::MemberUnresponsive`] under
+/// faults, or [`ProtocolError::SecurityFailure`] if attestation fails.
+pub fn run_federation(
+    config: FederationConfig,
+    params: GwasParams,
+    cohort: impl AsRef<Cohort>,
+    faults: Option<FaultPlan>,
+    timeout: Duration,
+) -> Result<RuntimeReport, ProtocolError> {
+    run_federation_with(
+        config,
+        params,
+        cohort,
+        faults,
+        RuntimeOptions {
+            timeout,
+            ..RuntimeOptions::default()
+        },
+    )
+}
+
+/// [`run_federation`] with explicit [`RuntimeOptions`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_federation`].
+pub fn run_federation_with(
+    config: FederationConfig,
+    params: GwasParams,
+    cohort: impl AsRef<Cohort>,
+    faults: Option<FaultPlan>,
+    options: RuntimeOptions,
+) -> Result<RuntimeReport, ProtocolError> {
+    config.validate().map_err(ProtocolError::InvalidConfig)?;
+    params.validate().map_err(ProtocolError::InvalidConfig)?;
+    let cohort = cohort.as_ref();
+    if cohort.panel().is_empty() || cohort.reference_individuals() == 0 {
+        return Err(ProtocolError::EmptyStudy);
+    }
+
+    let g = config.gdo_count;
+    let network = Network::new();
+    if let Some(f) = faults {
+        network.set_faults(f);
+    }
+    let mut master = ChaChaRng::from_seed_u64(config.seed);
+    let service = AttestationService::new(&mut master.fork("attestation-service"));
+    let reference = Arc::new(cohort.reference().clone());
+    let shards = cohort.split_case_among(g);
+    let expected = expected_measurement(&params);
+    let start = Instant::now();
+
+    // Register every endpoint before any thread runs: a member must never
+    // observe a federation where a peer does not exist yet.
+    let mut endpoints: Vec<Endpoint> = (0..g)
+        .map(|id| network.register(PeerId(id as u32)))
+        .collect();
+    endpoints.reverse(); // pop() below hands out id 0 first
+
+    let mut handles = Vec::with_capacity(g);
+    for (id, shard) in shards.into_iter().enumerate() {
+        let endpoint = endpoints.pop().expect("one endpoint per member");
+        let platform = Platform::new(&format!("gdo-{id}"), &service, &mut master.fork("platform"));
+        let rng = master.fork(&format!("member-{id}"));
+        let reference = Arc::clone(&reference);
+        let cfg_bytes = measurement_config(&params);
+        let handle = std::thread::spawn(move || -> Result<ThreadReport, ProtocolError> {
+            let enclave = platform.launch_enclave_with_config(CODE_IDENTITY, &cfg_bytes, ());
+            let mut ctx = MemberCtx {
+                id,
+                g,
+                endpoint,
+                enclave,
+                rng,
+                timeout: options.timeout,
+                compact_lr: options.compact_lr,
+                prefetch_ld: options.prefetch_ld,
+                expected,
+                backlog: HashMap::new(),
+            };
+            let node = GdoNode::new(id, shard);
+            let leader = run_election(&mut ctx)?;
+            if leader == id {
+                leader_main(&mut ctx, &node, &reference, &config, &params)
+            } else {
+                follower_main(&mut ctx, &node, leader)
+            }
+        });
+        handles.push(handle);
+    }
+
+    let mut reports = Vec::with_capacity(g);
+    let mut errors: Vec<ProtocolError> = Vec::new();
+    for handle in handles {
+        match handle.join().expect("member thread must not panic") {
+            Ok(report) => reports.push(report),
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        // One member failing makes its peers see transport errors; report
+        // the root cause (a non-transport error) when there is one.
+        let root = errors
+            .iter()
+            .find(|e| {
+                !matches!(
+                    e,
+                    ProtocolError::MemberUnresponsive {
+                        phase: "transport",
+                        ..
+                    }
+                )
+            })
+            .unwrap_or(&errors[0])
+            .clone();
+        return Err(root);
+    }
+
+    let leader = reports[0].leader;
+    let (l_prime, l_double_prime, safe_snps) = reports
+        .iter()
+        .find_map(|r| r.outcome.clone())
+        .expect("leader produced an outcome");
+    let timings = reports
+        .iter()
+        .find(|r| r.outcome.is_some())
+        .map(|r| r.timings)
+        .expect("leader produced timings");
+    let certificate = reports
+        .iter()
+        .find_map(|r| r.certificate.clone())
+        .expect("leader produced a certificate");
+    // Every member must have learned the same safe set.
+    for r in &reports {
+        assert_eq!(
+            r.safe_seen, safe_snps,
+            "member {} disagrees on L_safe",
+            r.id
+        );
+        assert_eq!(r.leader, leader, "member {} disagrees on the leader", r.id);
+    }
+    reports.sort_by_key(|r| r.id);
+    let resources = reports
+        .iter()
+        .map(|r| MemberResources {
+            id: r.id,
+            peak_enclave_bytes: r.peak_enclave_bytes,
+            ecalls: r.ecalls,
+        })
+        .collect();
+
+    Ok(RuntimeReport {
+        leader,
+        l_prime,
+        l_double_prime,
+        safe_snps,
+        traffic: network.total_stats(),
+        resources,
+        elapsed: start.elapsed(),
+        timings,
+        certificate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollusionMode;
+    use crate::protocol::Federation;
+    use gendpr_genomics::synth::SyntheticCohort;
+
+    fn cohort(snps: usize, n: usize) -> SyntheticCohort {
+        SyntheticCohort::builder()
+            .snps(snps)
+            .case_individuals(n)
+            .reference_individuals(n)
+            .seed(31)
+            .build()
+    }
+
+    const TIMEOUT: Duration = Duration::from_secs(20);
+
+    #[test]
+    fn threaded_run_matches_in_process_driver() {
+        let c = cohort(150, 180);
+        let config = FederationConfig::new(3).with_seed(4);
+        let params = GwasParams::secure_genome_defaults();
+        let threaded = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let in_process = Federation::new(config, params, &c).run().unwrap();
+        assert_eq!(threaded.l_prime, in_process.l_prime);
+        assert_eq!(threaded.l_double_prime, in_process.l_double_prime);
+        assert_eq!(threaded.safe_snps, in_process.safe_snps);
+        assert!(threaded.traffic.messages > 0);
+        assert!(threaded.traffic.wire_bytes > threaded.traffic.plaintext_bytes);
+        assert_eq!(threaded.resources.len(), 3);
+        assert!(threaded.resources.iter().all(|r| r.peak_enclave_bytes > 0));
+    }
+
+    #[test]
+    fn collusion_tolerant_threaded_run() {
+        let c = cohort(100, 120);
+        let config = FederationConfig::new(3)
+            .with_collusion(CollusionMode::Fixed(1))
+            .with_seed(7);
+        let params = GwasParams::secure_genome_defaults();
+        let threaded = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let in_process = Federation::new(config, params, &c).run().unwrap();
+        assert_eq!(threaded.safe_snps, in_process.safe_snps);
+    }
+
+    #[test]
+    fn certificate_verifies_against_recomputed_facts() {
+        // The harness plays the auditor: rebuild the facts from the raw
+        // data and check the leader's certificate against them. The
+        // attestation service must be derived from the same seed the
+        // runtime used.
+        let c = cohort(80, 200);
+        let config = FederationConfig::new(3).with_seed(5);
+        let params = GwasParams::secure_genome_defaults();
+        let report = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+
+        let mut master = ChaChaRng::from_seed_u64(config.seed);
+        let service = AttestationService::new(&mut master.fork("attestation-service"));
+        let facts = crate::certificate::AssessmentFacts {
+            params: &params,
+            gdo_count: 3,
+            panel_len: c.panel().len(),
+            case_counts: &c.case().column_counts(),
+            n_case: c.case().individuals() as u64,
+            ref_counts: &c.reference().column_counts(),
+            n_ref: c.reference().individuals() as u64,
+            safe: &report.safe_snps,
+            evaluations: 1,
+        };
+        report
+            .certificate
+            .verify(&service, &expected_measurement(&params), &facts)
+            .expect("genuine certificate verifies");
+
+        // Claiming a different safe set fails.
+        let mut wrong = facts;
+        let other: Vec<SnpId> = report.safe_snps.iter().take(1).copied().collect();
+        wrong.safe = &other;
+        assert!(report
+            .certificate
+            .verify(&service, &expected_measurement(&params), &wrong)
+            .is_err());
+    }
+
+    #[test]
+    fn compact_lr_mode_selects_identically_with_less_traffic() {
+        let c = cohort(90, 400);
+        let config = FederationConfig::new(3).with_seed(2);
+        let params = GwasParams::secure_genome_defaults();
+        let dense = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let compact = run_federation_with(
+            config,
+            params,
+            &c,
+            None,
+            RuntimeOptions {
+                timeout: TIMEOUT,
+                compact_lr: true,
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(dense.safe_snps, compact.safe_snps);
+        assert_eq!(dense.l_double_prime, compact.l_double_prime);
+        assert!(
+            compact.traffic.wire_bytes < dense.traffic.wire_bytes,
+            "compact {} vs dense {}",
+            compact.traffic.wire_bytes,
+            dense.traffic.wire_bytes
+        );
+    }
+
+    #[test]
+    fn prefetch_ld_mode_selects_identically_with_fewer_messages() {
+        let c = cohort(120, 300);
+        let config = FederationConfig::new(3).with_seed(6);
+        let params = GwasParams::secure_genome_defaults();
+        let plain = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let prefetch = run_federation_with(
+            config,
+            params,
+            &c,
+            None,
+            RuntimeOptions {
+                timeout: TIMEOUT,
+                prefetch_ld: true,
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.safe_snps, prefetch.safe_snps);
+        assert_eq!(plain.l_double_prime, prefetch.l_double_prime);
+        assert!(
+            prefetch.traffic.messages < plain.traffic.messages,
+            "prefetch {} vs per-pair {}",
+            prefetch.traffic.messages,
+            plain.traffic.messages
+        );
+    }
+
+    #[test]
+    fn all_optimizations_together_still_match_the_driver() {
+        let c = cohort(100, 250);
+        let config = FederationConfig::new(4)
+            .with_collusion(CollusionMode::Fixed(1))
+            .with_seed(3);
+        let params = GwasParams::secure_genome_defaults();
+        let optimized = run_federation_with(
+            config,
+            params,
+            &c,
+            None,
+            RuntimeOptions {
+                timeout: TIMEOUT,
+                compact_lr: true,
+                prefetch_ld: true,
+            },
+        )
+        .unwrap();
+        let in_process = Federation::new(config, params, &c).run().unwrap();
+        assert_eq!(optimized.safe_snps, in_process.safe_snps);
+    }
+
+    #[test]
+    fn compact_mode_slashes_leader_enclave_memory() {
+        let c = cohort(150, 800);
+        let config = FederationConfig::new(3).with_seed(2);
+        let params = GwasParams::secure_genome_defaults();
+        let dense = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let compact = run_federation_with(
+            config,
+            params,
+            &c,
+            None,
+            RuntimeOptions {
+                timeout: TIMEOUT,
+                compact_lr: true,
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(dense.safe_snps, compact.safe_snps);
+        let peak = |r: &RuntimeReport| {
+            r.resources
+                .iter()
+                .find(|m| m.id == r.leader)
+                .unwrap()
+                .peak_enclave_bytes
+        };
+        assert!(
+            peak(&compact) * 4 < peak(&dense),
+            "compact leader peak {} vs dense {}",
+            peak(&compact),
+            peak(&dense)
+        );
+    }
+
+    #[test]
+    fn crashed_member_aborts_with_unresponsive_error() {
+        let c = cohort(60, 80);
+        let mut faults = FaultPlan::none();
+        faults.crash(2);
+        let err = run_federation(
+            FederationConfig::new(3),
+            GwasParams::secure_genome_defaults(),
+            &c,
+            Some(faults),
+            Duration::from_millis(400),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::MemberUnresponsive { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn two_member_federation_works() {
+        let c = cohort(80, 100);
+        let report = run_federation(
+            FederationConfig::new(2).with_seed(1),
+            GwasParams::secure_genome_defaults(),
+            &c,
+            None,
+            TIMEOUT,
+        )
+        .unwrap();
+        assert!(report.leader < 2);
+        assert!(!report.l_prime.is_empty());
+    }
+}

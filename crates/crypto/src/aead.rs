@@ -1,0 +1,203 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! This is the cipher every GenDPR message travels under: allele-count
+//! vectors, LD moments and LR matrices are sealed with a session key bound
+//! to the attested enclave pair, with the protocol phase as associated data.
+
+use crate::chacha20::{self, NONCE_LEN};
+use crate::constant_time::ct_eq;
+use crate::poly1305::{Poly1305, TAG_LEN};
+use crate::CryptoError;
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Total ciphertext expansion: the appended Poly1305 tag.
+pub const OVERHEAD: usize = TAG_LEN;
+
+/// A ChaCha20-Poly1305 AEAD cipher keyed once and used for many messages
+/// (with distinct nonces).
+///
+/// # Example
+///
+/// ```
+/// use gendpr_crypto::aead::ChaCha20Poly1305;
+///
+/// let cipher = ChaCha20Poly1305::new(&[1u8; 32]);
+/// let ct = cipher.seal(&[0u8; 12], b"secret", b"header");
+/// assert_eq!(cipher.open(&[0u8; 12], &ct, b"header").unwrap(), b"secret");
+/// assert!(cipher.open(&[0u8; 12], &ct, b"tampered").is_err());
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for ChaCha20Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("ChaCha20Poly1305").finish_non_exhaustive()
+    }
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates a cipher from a 32-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        Self { key: *key }
+    }
+
+    fn poly_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+        let block = chacha20::block(&self.key, 0, nonce);
+        let mut pk = [0u8; 32];
+        pk.copy_from_slice(&block[..32]);
+        pk
+    }
+
+    fn compute_tag(poly_key: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = Poly1305::new(poly_key);
+        mac.update(aad);
+        mac.update(&zero_pad(aad.len()));
+        mac.update(ciphertext);
+        mac.update(&zero_pad(ciphertext.len()));
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts `plaintext` with `aad` as associated data, returning
+    /// `ciphertext || tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = chacha20::encrypt(&self.key, nonce, 1, plaintext);
+        let tag = Self::compute_tag(&self.poly_key(nonce), aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and verifies `sealed` (as produced by [`Self::seal`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError`] if the input is shorter than a tag or the tag
+    /// does not verify (wrong key, nonce, AAD or modified ciphertext).
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = Self::compute_tag(&self.poly_key(nonce), aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError);
+        }
+        Ok(chacha20::encrypt(&self.key, nonce, 1, ciphertext))
+    }
+}
+
+fn zero_pad(len: usize) -> Vec<u8> {
+    vec![0u8; (16 - len % 16) % 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could \
+offer you only one tip for the future, sunscreen would be it.";
+        let cipher = ChaCha20Poly1305::new(&key);
+        let sealed = cipher.seal(&nonce, plaintext, &aad);
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        assert_eq!(
+            hex(ct),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116"
+        );
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        let opened = cipher.open(&nonce, &sealed, &aad).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn tamper_detection_every_byte() {
+        let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [1u8; 12];
+        let sealed = cipher.seal(&nonce, b"counts: [1, 2, 3]", b"phase1");
+        for i in 0..sealed.len() {
+            let mut corrupted = sealed.clone();
+            corrupted[i] ^= 0x01;
+            assert!(
+                cipher.open(&nonce, &corrupted, b"phase1").is_err(),
+                "bit flip at byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_nonce_key_or_aad_fails() {
+        let cipher = ChaCha20Poly1305::new(&[9u8; 32]);
+        let sealed = cipher.seal(&[1u8; 12], b"data", b"aad");
+        assert!(cipher.open(&[2u8; 12], &sealed, b"aad").is_err());
+        assert!(cipher.open(&[1u8; 12], &sealed, b"dad").is_err());
+        let other = ChaCha20Poly1305::new(&[8u8; 32]);
+        assert!(other.open(&[1u8; 12], &sealed, b"aad").is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let cipher = ChaCha20Poly1305::new(&[3u8; 32]);
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(cipher.open(&[0u8; 12], &sealed, b"").unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let cipher = ChaCha20Poly1305::new(&[3u8; 32]);
+        assert_eq!(cipher.open(&[0u8; 12], &[0u8; 15], b""), Err(CryptoError));
+    }
+
+    #[test]
+    fn overhead_is_exactly_tag_len() {
+        let cipher = ChaCha20Poly1305::new(&[3u8; 32]);
+        for len in [0usize, 1, 15, 16, 17, 1000] {
+            let sealed = cipher.seal(&[0u8; 12], &vec![0u8; len], b"");
+            assert_eq!(sealed.len(), len + OVERHEAD);
+        }
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let cipher = ChaCha20Poly1305::new(&[0xaau8; 32]);
+        let s = format!("{cipher:?}");
+        assert!(!s.contains("aa"), "Debug output must not contain key bytes");
+    }
+}

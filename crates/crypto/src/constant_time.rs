@@ -1,0 +1,106 @@
+//! Timing-safe comparison helpers.
+//!
+//! Branching on secret data leaks it through execution time. Every tag or
+//! MAC comparison in this workspace goes through [`ct_eq`], which inspects
+//! all bytes regardless of where the first mismatch occurs.
+
+/// Compares two byte slices in constant time with respect to their contents.
+///
+/// Returns `false` immediately if the lengths differ (lengths are public).
+///
+/// # Example
+///
+/// ```
+/// use gendpr_crypto::constant_time::ct_eq;
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tad"));
+/// assert!(!ct_eq(b"tag", b"tags"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    diff == 0
+}
+
+/// Selects `a` if `choice` is 1 and `b` if `choice` is 0, without branching.
+///
+/// # Panics
+///
+/// Panics if `choice` is neither 0 nor 1 (a caller bug, not secret data).
+#[must_use]
+pub fn ct_select_u64(choice: u8, a: u64, b: u64) -> u64 {
+    assert!(choice <= 1, "choice must be 0 or 1");
+    let mask = (choice as u64).wrapping_neg(); // 0x00..00 or 0xff..ff
+    (a & mask) | (b & !mask)
+}
+
+/// Conditionally swaps two `u64` slices in constant time.
+///
+/// Used by the X25519 Montgomery ladder, where the swap decision is a
+/// secret key bit.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `choice > 1`.
+pub fn ct_swap_u64(choice: u8, a: &mut [u64], b: &mut [u64]) {
+    assert!(choice <= 1, "choice must be 0 or 1");
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    let mask = (choice as u64).wrapping_neg();
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = mask & (*x ^ *y);
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches_std_eq() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"a", b"a"),
+            (b"a", b"b"),
+            (b"abc", b"abd"),
+            (b"abc", b"abcd"),
+            (b"\x00\x00", b"\x00\x00"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(ct_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn select_picks_correct_operand() {
+        assert_eq!(ct_select_u64(1, 5, 9), 5);
+        assert_eq!(ct_select_u64(0, 5, 9), 9);
+    }
+
+    #[test]
+    fn swap_swaps_only_when_asked() {
+        let mut a = [1u64, 2, 3];
+        let mut b = [9u64, 8, 7];
+        ct_swap_u64(0, &mut a, &mut b);
+        assert_eq!(a, [1, 2, 3]);
+        ct_swap_u64(1, &mut a, &mut b);
+        assert_eq!(a, [9, 8, 7]);
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice must be 0 or 1")]
+    fn swap_rejects_bad_choice() {
+        let mut a = [0u64];
+        let mut b = [0u64];
+        ct_swap_u64(2, &mut a, &mut b);
+    }
+}

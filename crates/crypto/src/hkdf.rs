@@ -1,0 +1,144 @@
+//! HKDF with SHA-256 (RFC 5869).
+//!
+//! Key derivation for sealed storage (sealing keys are derived from a
+//! platform secret and the enclave measurement) and for attested channel
+//! session keys (derived from the X25519 shared secret and the handshake
+//! transcript).
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// Extracts a pseudorandom key from input keying material.
+///
+/// `salt` may be empty, in which case a string of zeros is used per the RFC.
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    let salt: &[u8] = if salt.is_empty() {
+        &[0u8; DIGEST_LEN]
+    } else {
+        salt
+    };
+    HmacSha256::mac(salt, ikm)
+}
+
+/// Expands a pseudorandom key into `out.len()` bytes of output keying
+/// material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit).
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= 255 * DIGEST_LEN,
+        "HKDF-Expand output limited to 8160 bytes"
+    );
+    let mut t: Vec<u8> = Vec::new();
+    let mut generated = 0usize;
+    let mut counter = 1u8;
+    while generated < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - generated).min(DIGEST_LEN);
+        out[generated..generated + take].copy_from_slice(&block[..take]);
+        generated += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-call extract-then-expand.
+///
+/// # Example
+///
+/// ```
+/// let mut key = [0u8; 32];
+/// gendpr_crypto::hkdf::derive(b"salt", b"secret", b"gendpr/session", &mut key);
+/// assert_ne!(key, [0u8; 32]);
+/// ```
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 2 (longer inputs/outputs).
+    #[test]
+    fn rfc5869_case_2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let mut okm = [0u8; 82];
+        derive(&salt, &ikm, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let mut okm = [0u8; 42];
+        derive(&[], &ikm, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        derive(b"salt", b"ikm", b"context-a", &mut a);
+        derive(b"salt", b"ikm", b"context-b", &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF-Expand output limited")]
+    fn expand_rejects_oversized_output() {
+        let prk = [0u8; DIGEST_LEN];
+        let mut out = vec![0u8; 255 * DIGEST_LEN + 1];
+        expand(&prk, b"", &mut out);
+    }
+}

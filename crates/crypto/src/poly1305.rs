@@ -1,0 +1,297 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with 26-bit limbs and 64-bit accumulators (the widely used
+//! "donna" radix-2^26 schedule), which keeps every intermediate product
+//! comfortably inside `u64`.
+
+/// Key length in bytes (16-byte `r` part plus 16-byte `s` part).
+pub const KEY_LEN: usize = 32;
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// Internal block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+const MASK26: u64 = 0x3ff_ffff;
+
+/// Incremental Poly1305 state.
+///
+/// A Poly1305 key must never be reused across messages; the AEAD in
+/// [`crate::aead`] derives a fresh one per nonce.
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 4],
+    h: [u64; 5],
+    buffer: [u8; BLOCK_LEN],
+    buffered: usize,
+}
+
+impl Poly1305 {
+    /// Initializes the authenticator with a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let le32 = |b: &[u8]| u64::from(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        // Clamp r per the RFC.
+        let r0 = le32(&key[0..4]) & 0x3ff_ffff;
+        let r1 = (le32(&key[3..7]) >> 2) & 0x3ff_ff03;
+        let r2 = (le32(&key[6..10]) >> 4) & 0x3ff_c0ff;
+        let r3 = (le32(&key[9..13]) >> 6) & 0x3f0_3fff;
+        let r4 = (le32(&key[12..16]) >> 8) & 0x00f_ffff;
+        let s = [
+            le32(&key[16..20]),
+            le32(&key[20..24]),
+            le32(&key[24..28]),
+            le32(&key[28..32]),
+        ];
+        Self {
+            r: [r0, r1, r2, r3, r4],
+            s,
+            h: [0; 5],
+            buffer: [0; BLOCK_LEN],
+            buffered: 0,
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; BLOCK_LEN], hibit: u64) {
+        let le32 = |b: &[u8]| u64::from(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        let [r0, r1, r2, r3, r4] = self.r;
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+
+        self.h[0] += le32(&block[0..4]) & MASK26;
+        self.h[1] += (le32(&block[3..7]) >> 2) & MASK26;
+        self.h[2] += (le32(&block[6..10]) >> 4) & MASK26;
+        self.h[3] += (le32(&block[9..13]) >> 6) & MASK26;
+        self.h[4] += (le32(&block[12..16]) >> 8) | hibit;
+
+        let [h0, h1, h2, h3, h4] = self.h;
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c = d0 >> 26;
+        self.h[0] = d0 & MASK26;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        self.h[1] = d1 & MASK26;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        self.h[2] = d2 & MASK26;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        self.h[3] = d3 & MASK26;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        self.h[4] = d4 & MASK26;
+        self.h[0] += c * 5;
+        c = self.h[0] >> 26;
+        self.h[0] &= MASK26;
+        self.h[1] += c;
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.process_block(&block, 1 << 24);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&data[..BLOCK_LEN]);
+            self.process_block(&block, 1 << 24);
+            data = &data[BLOCK_LEN..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Consumes the state and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buffered > 0 {
+            let mut block = [0u8; BLOCK_LEN];
+            block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+            block[self.buffered] = 1;
+            self.process_block(&block, 0);
+        }
+        // Fully reduce h modulo 2^130 - 5.
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let mut c = h1 >> 26;
+        h1 &= MASK26;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= MASK26;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= MASK26;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= MASK26;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= MASK26;
+        h1 += c;
+
+        // Compute h + -p = h - (2^130 - 5) and select it if non-negative.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= MASK26;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= MASK26;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= MASK26;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= MASK26;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // If g4's sign bit (bit 63) is clear, h >= p and we take g.
+        let take_g = ((g4 >> 63) ^ 1) & 1; // 1 => take g
+        let mask = take_g.wrapping_neg();
+        h0 = (g0 & mask) | (h0 & !mask);
+        h1 = (g1 & mask) | (h1 & !mask);
+        h2 = (g2 & mask) | (h2 & !mask);
+        h3 = (g3 & mask) | (h3 & !mask);
+        h4 = ((g4 & MASK26) & mask) | (h4 & !mask);
+
+        // Convert to four 32-bit little-endian words.
+        let f0 = (h0 | (h1 << 26)) & 0xffff_ffff;
+        let f1 = ((h1 >> 6) | (h2 << 20)) & 0xffff_ffff;
+        let f2 = ((h2 >> 12) | (h3 << 14)) & 0xffff_ffff;
+        let f3 = ((h3 >> 18) | (h4 << 8)) & 0xffff_ffff;
+
+        // Add s modulo 2^128.
+        let mut acc = f0 + self.s[0];
+        let w0 = acc as u32;
+        acc = (acc >> 32) + f1 + self.s[1];
+        let w1 = acc as u32;
+        acc = (acc >> 32) + f2 + self.s[2];
+        let w2 = acc as u32;
+        acc = (acc >> 32) + f3 + self.s[3];
+        let w3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&w0.to_le_bytes());
+        tag[4..8].copy_from_slice(&w1.to_le_bytes());
+        tag[8..12].copy_from_slice(&w2.to_le_bytes());
+        tag[12..16].copy_from_slice(&w3.to_le_bytes());
+        tag
+    }
+
+    /// One-shot tag computation.
+    #[must_use]
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Self::new(key);
+        p.update(data);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2.
+    #[test]
+    fn rfc8439_tag() {
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(&key_bytes);
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    // RFC 8439 Appendix A.3 vector #1: zero key, zero message.
+    #[test]
+    fn zero_key_zero_message() {
+        let key = [0u8; KEY_LEN];
+        let tag = Poly1305::mac(&key, &[0u8; 64]);
+        assert_eq!(hex(&tag), "00000000000000000000000000000000");
+    }
+
+    // RFC 8439 Appendix A.3 vector #2: r = 0, s = secret, text message.
+    #[test]
+    fn r_zero_tag_equals_s() {
+        let mut key = [0u8; KEY_LEN];
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(hex(&tag), "36e5f6b5c5e06070f0efca96227a863e");
+    }
+
+    // RFC 8439 Appendix A.3 vector #11-style edge: tests the g-selection path
+    // where h is exactly p - 1 or wraps. Vector #5: 0xffff.. block with r = 2.
+    #[test]
+    fn reduction_edge_case() {
+        let mut key = [0u8; KEY_LEN];
+        key[0] = 2;
+        let msg = unhex("ffffffffffffffffffffffffffffffff");
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(hex(&tag), "03000000000000000000000000000000");
+    }
+
+    // RFC 8439 A.3 vector #6: s has high bit pattern, message = -1.
+    #[test]
+    fn s_addition_carry() {
+        let mut key = [0u8; KEY_LEN];
+        key[0] = 2;
+        key[16..].copy_from_slice(&unhex("ffffffffffffffffffffffffffffffff"));
+        let msg = unhex("02000000000000000000000000000000");
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(hex(&tag), "03000000000000000000000000000000");
+    }
+
+    // RFC 8439 A.3 vector #7: tests carry propagation in full reduction.
+    #[test]
+    fn carry_propagation() {
+        let mut key = [0u8; KEY_LEN];
+        key[0] = 1;
+        let msg = unhex(
+            "ffffffffffffffffffffffffffffffff\
+             f0ffffffffffffffffffffffffffffff\
+             11000000000000000000000000000000",
+        );
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(hex(&tag), "05000000000000000000000000000000");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = (i * 7 + 1) as u8;
+        }
+        let msg: Vec<u8> = (0..255u8).collect();
+        for chunk in [1usize, 5, 15, 16, 17, 100] {
+            let mut p = Poly1305::new(&key);
+            for piece in msg.chunks(chunk) {
+                p.update(piece);
+            }
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &msg), "chunk {chunk}");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Deterministic ChaCha20-based random generator.
+//!
+//! Every source of randomness in the GenDPR workspace — leader-election
+//! nonces, ephemeral X25519 keys, synthetic cohort generation — draws from a
+//! [`ChaChaRng`] so that whole experiments are reproducible from a single
+//! seed. The generator runs ChaCha20 in counter mode over a zero message,
+//! i.e. it emits the raw keystream, which is indistinguishable from random
+//! under the same assumption the cipher itself relies on.
+
+use crate::chacha20::{self, BLOCK_LEN, KEY_LEN, NONCE_LEN};
+
+/// A seedable, deterministic cryptographic random generator.
+///
+/// # Example
+///
+/// ```
+/// use gendpr_crypto::rng::ChaChaRng;
+///
+/// let mut a = ChaChaRng::from_seed_u64(42);
+/// let mut b = ChaChaRng::from_seed_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone)]
+pub struct ChaChaRng {
+    key: [u8; KEY_LEN],
+    counter: u32,
+    block: [u8; BLOCK_LEN],
+    offset: usize,
+}
+
+impl std::fmt::Debug for ChaChaRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaChaRng")
+            .field("counter", &self.counter)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChaChaRng {
+    /// Creates a generator from a full 32-byte seed.
+    #[must_use]
+    pub fn from_seed(seed: [u8; KEY_LEN]) -> Self {
+        Self {
+            key: seed,
+            counter: 0,
+            block: [0; BLOCK_LEN],
+            offset: BLOCK_LEN,
+        }
+    }
+
+    /// Creates a generator from a 64-bit seed (expanded via SHA-256).
+    #[must_use]
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut material = *b"gendpr/rng/seed/........        ";
+        material[16..24].copy_from_slice(&seed.to_le_bytes());
+        Self::from_seed(crate::sha256::digest(&material))
+    }
+
+    /// Derives an independent child generator labeled by `label`.
+    ///
+    /// Useful for giving each GDO / phase its own stream so that adding a
+    /// consumer does not perturb the draws of another.
+    #[must_use]
+    pub fn fork(&mut self, label: &str) -> Self {
+        let mut seed_input = Vec::with_capacity(KEY_LEN + label.len() + 8);
+        let mut fresh = [0u8; 32];
+        self.fill_bytes(&mut fresh);
+        seed_input.extend_from_slice(&fresh);
+        seed_input.extend_from_slice(label.as_bytes());
+        Self::from_seed(crate::sha256::digest(&seed_input))
+    }
+
+    fn refill(&mut self) {
+        let nonce = [0u8; NONCE_LEN];
+        self.block = chacha20::block(&self.key, self.counter, &nonce);
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("ChaChaRng exhausted 256 GiB of keystream; reseed required");
+        self.offset = 0;
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut written = 0;
+        while written < dest.len() {
+            if self.offset == BLOCK_LEN {
+                self.refill();
+            }
+            let take = (BLOCK_LEN - self.offset).min(dest.len() - written);
+            dest[written..written + take]
+                .copy_from_slice(&self.block[self.offset..self.offset + take]);
+            self.offset += take;
+            written += take;
+        }
+    }
+
+    /// Returns a uniformly random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.fill_bytes(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Returns a uniformly random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.fill_bytes(&mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Returns a uniform value in `[0, bound)` using rejection sampling
+    /// (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a standard-normal draw (Box-Muller).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by mapping the zero draw away from 0.
+        let u1 = (self.next_u64() >> 11) as f64 + 0.5;
+        let u1 = u1 * (1.0 / (1u64 << 53) as f64);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.next_f64() < p
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Generates a fresh 32-byte key.
+    pub fn gen_key(&mut self) -> [u8; 32] {
+        let mut k = [0u8; 32];
+        self.fill_bytes(&mut k);
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = ChaChaRng::from_seed_u64(7);
+        let mut b = ChaChaRng::from_seed_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaChaRng::from_seed_u64(1);
+        let mut b = ChaChaRng::from_seed_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_consumption() {
+        let mut parent1 = ChaChaRng::from_seed_u64(5);
+        let mut parent2 = ChaChaRng::from_seed_u64(5);
+        let mut child1 = parent1.fork("gdo-0");
+        let mut child2 = parent2.fork("gdo-0");
+        assert_eq!(child1.next_u64(), child2.next_u64());
+        // Distinct labels give distinct streams.
+        let mut parent3 = ChaChaRng::from_seed_u64(5);
+        let mut other = parent3.fork("gdo-1");
+        assert_ne!(child1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = ChaChaRng::from_seed_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = ChaChaRng::from_seed_u64(13);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = ChaChaRng::from_seed_u64(17);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaChaRng::from_seed_u64(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_chunking_consistent() {
+        let mut a = ChaChaRng::from_seed_u64(23);
+        let mut b = ChaChaRng::from_seed_u64(23);
+        let mut buf_a = [0u8; 200];
+        a.fill_bytes(&mut buf_a);
+        let mut buf_b = [0u8; 200];
+        for chunk in buf_b.chunks_mut(7) {
+            b.fill_bytes(chunk);
+        }
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn monobit_sanity() {
+        let mut rng = ChaChaRng::from_seed_u64(29);
+        let mut buf = [0u8; 8192];
+        rng.fill_bytes(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        let total = (buf.len() * 8) as f64;
+        let frac = f64::from(ones) / total;
+        assert!((frac - 0.5).abs() < 0.02, "ones fraction {frac}");
+    }
+}

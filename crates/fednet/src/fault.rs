@@ -1,0 +1,111 @@
+//! Fault injection.
+//!
+//! The paper "make\[s\] no further liveness guarantees once federation
+//! members become non-responsive" (§4). This module lets tests and
+//! examples create exactly those conditions: crashed peers, dropped
+//! messages and partitions, so the protocol's abort behaviour can be
+//! exercised deterministically.
+
+use std::collections::HashSet;
+
+/// A deterministic fault plan evaluated on every send.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crashed: HashSet<u32>,
+    drop_links: HashSet<(u32, u32)>,
+    drop_after: Vec<(u32, u64)>, // peer, sends allowed before it goes dark
+    sends_seen: Vec<(u32, u64)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Marks `peer` as crashed: it neither sends nor receives.
+    pub fn crash(&mut self, peer: u32) {
+        self.crashed.insert(peer);
+    }
+
+    /// Silently drops every message on the directed link `from → to`.
+    pub fn partition_link(&mut self, from: u32, to: u32) {
+        self.drop_links.insert((from, to));
+    }
+
+    /// Lets `peer` send `sends` messages, then crashes it (models a member
+    /// dying mid-protocol).
+    pub fn crash_after_sends(&mut self, peer: u32, sends: u64) {
+        self.drop_after.push((peer, sends));
+        self.sends_seen.push((peer, 0));
+    }
+
+    /// Whether `peer` is (currently) crashed.
+    #[must_use]
+    pub fn is_crashed(&self, peer: u32) -> bool {
+        self.crashed.contains(&peer)
+    }
+
+    /// Evaluates a send attempt; returns `true` if the message must be
+    /// dropped. Mutates internal counters for `crash_after_sends`.
+    pub fn on_send(&mut self, from: u32, to: u32) -> bool {
+        if self.crashed.contains(&from) || self.crashed.contains(&to) {
+            return true;
+        }
+        if self.drop_links.contains(&(from, to)) {
+            return true;
+        }
+        for (i, &(peer, limit)) in self.drop_after.iter().enumerate() {
+            if peer == from {
+                let seen = &mut self.sends_seen[i].1;
+                *seen += 1;
+                if *seen > limit {
+                    self.crashed.insert(peer);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_by_default() {
+        let mut plan = FaultPlan::none();
+        assert!(!plan.on_send(0, 1));
+        assert!(!plan.is_crashed(0));
+    }
+
+    #[test]
+    fn crashed_peer_drops_both_directions() {
+        let mut plan = FaultPlan::none();
+        plan.crash(1);
+        assert!(plan.on_send(1, 0), "crashed sender");
+        assert!(plan.on_send(0, 1), "crashed receiver");
+        assert!(!plan.on_send(0, 2));
+    }
+
+    #[test]
+    fn partition_is_directional() {
+        let mut plan = FaultPlan::none();
+        plan.partition_link(0, 1);
+        assert!(plan.on_send(0, 1));
+        assert!(!plan.on_send(1, 0));
+    }
+
+    #[test]
+    fn crash_after_sends_counts() {
+        let mut plan = FaultPlan::none();
+        plan.crash_after_sends(3, 2);
+        assert!(!plan.on_send(3, 0));
+        assert!(!plan.on_send(3, 1));
+        assert!(plan.on_send(3, 2), "third send crashes the peer");
+        assert!(plan.is_crashed(3));
+        assert!(plan.on_send(0, 3), "now unreachable too");
+    }
+}

@@ -1,0 +1,77 @@
+//! Synthetic network latency model.
+//!
+//! The paper reports CPU time and discusses bandwidth analytically; for
+//! end-to-end simulations this model attributes a deterministic latency to
+//! each message from its size, so experiments can estimate wall-clock
+//! behaviour of geo-distributed federations without sleeping.
+
+use std::time::Duration;
+
+/// Affine latency model: `base + bytes/bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// One-way propagation delay.
+    pub base: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bytes_per_second: f64,
+}
+
+impl LatencyModel {
+    /// A same-datacenter profile (0.2 ms, 10 Gbit/s).
+    #[must_use]
+    pub fn datacenter() -> Self {
+        Self {
+            base: Duration::from_micros(200),
+            bytes_per_second: 1.25e9,
+        }
+    }
+
+    /// A cross-continent federation profile (40 ms, 100 Mbit/s) — the
+    /// geo-distributed biocenter setting GenDPR targets.
+    #[must_use]
+    pub fn wide_area() -> Self {
+        Self {
+            base: Duration::from_millis(40),
+            bytes_per_second: 1.25e7,
+        }
+    }
+
+    /// Latency attributed to one message of `bytes` size.
+    #[must_use]
+    pub fn latency_for(&self, bytes: usize) -> Duration {
+        let transfer = bytes as f64 / self.bytes_per_second;
+        self.base + Duration::from_secs_f64(transfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_monotone_in_size() {
+        let m = LatencyModel::wide_area();
+        let small = m.latency_for(1_000);
+        let big = m.latency_for(10_000_000);
+        assert!(big > small);
+        assert!(small >= m.base);
+    }
+
+    #[test]
+    fn datacenter_is_faster_than_wan() {
+        let bytes = 4 * 10_000; // a 10k-SNP count vector
+        assert!(
+            LatencyModel::datacenter().latency_for(bytes)
+                < LatencyModel::wide_area().latency_for(bytes)
+        );
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        let m = LatencyModel {
+            base: Duration::ZERO,
+            bytes_per_second: 1000.0,
+        };
+        assert_eq!(m.latency_for(500), Duration::from_millis(500));
+    }
+}

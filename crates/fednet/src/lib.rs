@@ -1,0 +1,39 @@
+//! Simulated federation network for the GenDPR reproduction.
+//!
+//! GDO enclaves exchange encrypted intermediate results; this crate gives
+//! them something to exchange it over:
+//!
+//! * [`wire`] — a strict little-endian binary codec with a
+//!   [`wire_struct!`] derive macro (no serde format crate is available
+//!   offline, see `DESIGN.md` §4),
+//! * [`transport`] — an in-memory reliable in-order message fabric with
+//!   per-link traffic metering,
+//! * [`metrics`] — the bandwidth accounting behind the paper's Table 3
+//!   discussion,
+//! * [`fault`] — deterministic crash/partition injection (the paper's
+//!   no-liveness-under-faults caveat),
+//! * [`latency`] — an affine latency model for geo-distributed estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use gendpr_fednet::transport::{Network, PeerId};
+//!
+//! let net = Network::new();
+//! let alice = net.register(PeerId(0));
+//! let bob = net.register(PeerId(1));
+//! alice.send(PeerId(1), b"encrypted counts".to_vec(), 16)?;
+//! assert_eq!(bob.recv()?.payload, b"encrypted counts");
+//! # Ok::<(), gendpr_fednet::transport::NetError>(())
+//! ```
+
+pub mod fault;
+pub mod latency;
+pub mod metrics;
+pub mod transport;
+pub mod wire;
+
+pub use fault::FaultPlan;
+pub use latency::LatencyModel;
+pub use metrics::{TrafficMatrix, TrafficStats};
+pub use transport::{Endpoint, Envelope, NetError, Network, PeerId};

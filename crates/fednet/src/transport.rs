@@ -1,0 +1,298 @@
+//! In-memory federation transport.
+//!
+//! A [`Network`] connects the federation's endpoints with reliable,
+//! in-order, point-to-point message delivery (crossbeam channels), while
+//! recording traffic metrics and applying the configured [`FaultPlan`].
+//! GenDPR's runtime gives each GDO thread one [`Endpoint`]; everything the
+//! endpoints carry is already enclave-encrypted by the TEE layer.
+
+use crate::fault::FaultPlan;
+use crate::metrics::{TrafficMatrix, TrafficStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a federation endpoint (GDO index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u32);
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer-{}", self.0)
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: PeerId,
+    /// Receiver.
+    pub to: PeerId,
+    /// Opaque (typically enclave-encrypted) payload.
+    pub payload: Vec<u8>,
+    /// Plaintext size declared by the sender, for metrics only.
+    pub plaintext_len: usize,
+}
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Destination was never registered.
+    UnknownPeer(PeerId),
+    /// The message was dropped by the fault plan (crash/partition).
+    Dropped,
+    /// Receive timed out — in GenDPR this is how a member's
+    /// non-responsiveness surfaces (the paper makes no liveness guarantee).
+    Timeout,
+    /// The endpoint's queue was disconnected.
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            Self::Dropped => f.write_str("message dropped by fault plan"),
+            Self::Timeout => f.write_str("receive timed out"),
+            Self::Disconnected => f.write_str("endpoint disconnected"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[derive(Debug, Default)]
+struct NetworkState {
+    inboxes: HashMap<PeerId, Sender<Envelope>>,
+    metrics: TrafficMatrix,
+    faults: FaultPlan,
+}
+
+/// The federation's message fabric. Cheap to clone; all clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    state: Arc<Mutex<NetworkState>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a peer and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered (a wiring bug).
+    #[must_use]
+    pub fn register(&self, id: PeerId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut state = self.state.lock();
+        let prev = state.inboxes.insert(id, tx);
+        assert!(prev.is_none(), "peer {id} registered twice");
+        Endpoint {
+            id,
+            rx,
+            network: self.clone(),
+        }
+    }
+
+    /// Installs a fault plan (replacing any previous one).
+    pub fn set_faults(&self, faults: FaultPlan) {
+        self.state.lock().faults = faults;
+    }
+
+    /// Snapshot of one directed link's traffic.
+    #[must_use]
+    pub fn link_stats(&self, from: PeerId, to: PeerId) -> TrafficStats {
+        self.state.lock().metrics.link(from.0, to.0)
+    }
+
+    /// Snapshot of network-wide traffic.
+    #[must_use]
+    pub fn total_stats(&self) -> TrafficStats {
+        self.state.lock().metrics.total()
+    }
+
+    /// Snapshot of everything received by `peer`.
+    #[must_use]
+    pub fn ingress_stats(&self, peer: PeerId) -> TrafficStats {
+        self.state.lock().metrics.ingress(peer.0)
+    }
+
+    /// Snapshot of everything sent by `peer`.
+    #[must_use]
+    pub fn egress_stats(&self, peer: PeerId) -> TrafficStats {
+        self.state.lock().metrics.egress(peer.0)
+    }
+
+    fn send(&self, env: Envelope) -> Result<(), NetError> {
+        let mut state = self.state.lock();
+        if state.faults.on_send(env.from.0, env.to.0) {
+            return Err(NetError::Dropped);
+        }
+        let tx = state
+            .inboxes
+            .get(&env.to)
+            .ok_or(NetError::UnknownPeer(env.to))?
+            .clone();
+        state
+            .metrics
+            .record(env.from.0, env.to.0, env.plaintext_len, env.payload.len());
+        drop(state);
+        tx.send(env).map_err(|_| NetError::Disconnected)
+    }
+}
+
+/// One peer's handle on the network.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: PeerId,
+    rx: Receiver<Envelope>,
+    network: Network,
+}
+
+impl Endpoint {
+    /// This endpoint's id.
+    #[must_use]
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Sends `payload` to `to`. `plaintext_len` is the pre-encryption size,
+    /// recorded for bandwidth accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownPeer`] or [`NetError::Dropped`].
+    pub fn send(&self, to: PeerId, payload: Vec<u8>, plaintext_len: usize) -> Result<(), NetError> {
+        self.network.send(Envelope {
+            from: self.id,
+            to,
+            plaintext_len,
+            payload,
+        })
+    }
+
+    /// Blocks for the next message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the network was torn down.
+    pub fn recv(&self) -> Result<Envelope, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Blocks for the next message up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] or [`NetError::Disconnected`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive; `None` when the inbox is empty.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// The network this endpoint belongs to.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery_in_order() {
+        let net = Network::new();
+        let a = net.register(PeerId(0));
+        let b = net.register(PeerId(1));
+        a.send(PeerId(1), vec![1], 1).unwrap();
+        a.send(PeerId(1), vec![2], 1).unwrap();
+        assert_eq!(b.recv().unwrap().payload, vec![1]);
+        assert_eq!(b.recv().unwrap().payload, vec![2]);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let net = Network::new();
+        let a = net.register(PeerId(0));
+        assert_eq!(
+            a.send(PeerId(9), vec![0], 1),
+            Err(NetError::UnknownPeer(PeerId(9)))
+        );
+    }
+
+    #[test]
+    fn metrics_capture_sizes() {
+        let net = Network::new();
+        let a = net.register(PeerId(0));
+        let _b = net.register(PeerId(1));
+        a.send(PeerId(1), vec![0u8; 130], 100).unwrap();
+        let link = net.link_stats(PeerId(0), PeerId(1));
+        assert_eq!(link.messages, 1);
+        assert_eq!(link.plaintext_bytes, 100);
+        assert_eq!(link.wire_bytes, 130);
+        assert_eq!(net.ingress_stats(PeerId(1)).wire_bytes, 130);
+        assert_eq!(net.egress_stats(PeerId(0)).wire_bytes, 130);
+        assert_eq!(net.total_stats().messages, 1);
+    }
+
+    #[test]
+    fn fault_plan_drops() {
+        let net = Network::new();
+        let a = net.register(PeerId(0));
+        let b = net.register(PeerId(1));
+        let mut faults = FaultPlan::none();
+        faults.crash(1);
+        net.set_faults(faults);
+        assert_eq!(a.send(PeerId(1), vec![1], 1), Err(NetError::Dropped));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+        // Dropped messages are not counted as delivered.
+        assert_eq!(net.total_stats().messages, 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net = Network::new();
+        let a = net.register(PeerId(0));
+        let b = net.register(PeerId(1));
+        let handle = std::thread::spawn(move || {
+            let env = b.recv().unwrap();
+            assert_eq!(env.from, PeerId(0));
+            env.payload
+        });
+        a.send(PeerId(1), b"hello enclave".to_vec(), 13).unwrap();
+        assert_eq!(handle.join().unwrap(), b"hello enclave");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let net = Network::new();
+        let _a = net.register(PeerId(0));
+        let _dup = net.register(PeerId(0));
+    }
+}

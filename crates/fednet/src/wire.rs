@@ -1,0 +1,417 @@
+//! Hand-rolled binary wire codec.
+//!
+//! GenDPR's enclaves exchange typed messages (count vectors, LD moments,
+//! LR matrices). No serde *format* crate is in the sanctioned dependency
+//! set, so this module defines a small, explicit little-endian codec:
+//! fixed-width integers/floats, length-prefixed sequences and strings, and
+//! a [`wire_struct!`](crate::wire_struct) helper macro that derives `Encode`/`Decode` for plain
+//! structs. Decoding is strict — trailing bytes and truncation are errors,
+//! and every length prefix is validated against the remaining input so a
+//! malicious peer cannot trigger huge allocations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input.
+    LengthOverrun {
+        /// Claimed number of elements.
+        claimed: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Bytes were left over after a complete decode.
+    TrailingBytes(usize),
+    /// An enum discriminant or validated value was out of range.
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd => f.write_str("input ended unexpectedly"),
+            Self::LengthOverrun { claimed, remaining } => {
+                write!(
+                    f,
+                    "length prefix {claimed} exceeds remaining {remaining} bytes"
+                )
+            }
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Self::InvalidValue(what) => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// A cursor over the bytes being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `data` for decoding.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEnd`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// Value that can be written to the wire.
+pub trait Encode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+}
+
+/// Value that can be read back from the wire.
+pub trait Decode: Sized {
+    /// Decodes one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value, requiring the input to be fully consumed.
+///
+/// # Errors
+///
+/// Any [`WireError`], including [`WireError::TrailingBytes`].
+pub fn from_bytes<T: Decode>(data: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(data);
+    let v = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact size")))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::InvalidValue("bool")),
+        }
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| WireError::InvalidValue("usize"))
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = r.take(N)?;
+        Ok(bytes.try_into().expect("exact size"))
+    }
+}
+
+/// Minimum encoded size of any element, used to validate length prefixes
+/// before allocating. Conservative (1 byte) since nested containers can
+/// encode as little as their own length prefix.
+const MIN_ELEMENT_SIZE: u64 = 1;
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u64::decode(r)?;
+        if len * MIN_ELEMENT_SIZE > r.remaining() as u64 {
+            return Err(WireError::LengthOverrun {
+                claimed: len,
+                remaining: r.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u64::decode(r)?;
+        if len > r.remaining() as u64 {
+            return Err(WireError::LengthOverrun {
+                claimed: len,
+                remaining: r.remaining(),
+            });
+        }
+        let bytes = r.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidValue("utf-8 string"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => false.encode(buf),
+            Some(v) => {
+                true.encode(buf);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        if bool::decode(r)? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Implements [`Encode`]/[`Decode`] for a plain struct, field by field in
+/// declaration order.
+///
+/// ```
+/// use gendpr_fednet::wire_struct;
+/// use gendpr_fednet::wire::{to_bytes, from_bytes};
+///
+/// #[derive(Debug, PartialEq)]
+/// pub struct Counts { pub snps: Vec<u64>, pub total: u64 }
+/// wire_struct!(Counts { snps, total });
+///
+/// let c = Counts { snps: vec![1, 2], total: 3 };
+/// let back: Counts = from_bytes(&to_bytes(&c)).unwrap();
+/// assert_eq!(back, c);
+/// ```
+#[macro_export]
+macro_rules! wire_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::wire::Encode for $name {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $($crate::wire::Encode::encode(&self.$field, buf);)+
+            }
+        }
+        impl $crate::wire::Decode for $name {
+            fn decode(
+                r: &mut $crate::wire::Reader<'_>,
+            ) -> Result<Self, $crate::wire::WireError> {
+                Ok(Self {
+                    $($field: $crate::wire::Decode::decode(r)?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(123_456u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.25f64);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(42usize);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip("héllo wörld".to_string());
+        roundtrip(String::new());
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u8, vec![2.5f64, 3.5]));
+        roundtrip([7u8; 32]);
+        roundtrip(vec![vec![1u32], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        assert_eq!(to_bytes(&0x0102_0304u32), vec![4, 3, 2, 1]);
+        assert_eq!(to_bytes(&1u64)[0], 1);
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = to_bytes(&123_456u32);
+        assert_eq!(
+            from_bytes::<u32>(&bytes[..3]).unwrap_err(),
+            WireError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_fail() {
+        let mut bytes = to_bytes(&1u8);
+        bytes.push(0);
+        assert_eq!(
+            from_bytes::<u8>(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_without_allocation() {
+        // Claims 2^60 elements with 0 bytes of payload.
+        let mut bytes = Vec::new();
+        (1u64 << 60).encode(&mut bytes);
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::LengthOverrun { .. }), "{err:?}");
+        let err2 = from_bytes::<String>(&bytes).unwrap_err();
+        assert!(matches!(err2, WireError::LengthOverrun { .. }));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_rejected() {
+        assert_eq!(
+            from_bytes::<bool>(&[2]).unwrap_err(),
+            WireError::InvalidValue("bool")
+        );
+        let mut bytes = Vec::new();
+        (2u64).encode(&mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            from_bytes::<String>(&bytes).unwrap_err(),
+            WireError::InvalidValue("utf-8 string")
+        );
+    }
+
+    #[test]
+    fn wire_struct_macro_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct Msg {
+            id: u32,
+            payload: Vec<f64>,
+            label: String,
+        }
+        wire_struct!(Msg { id, payload, label });
+        let m = Msg {
+            id: 9,
+            payload: vec![1.0, -2.0],
+            label: "ld-moments".into(),
+        };
+        let back: Msg = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nested_option_vec() {
+        roundtrip(vec![Some(1u64), None, Some(3)]);
+    }
+}

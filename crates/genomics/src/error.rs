@@ -1,0 +1,89 @@
+//! Error types for genome data handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, parsing or verifying genome data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenomicsError {
+    /// A matrix/panel dimension did not line up.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the container required.
+        expected: usize,
+        /// Which dimension was wrong ("snps", "individuals", ...).
+        what: &'static str,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+        /// Which axis ("snp", "individual").
+        what: &'static str,
+    },
+    /// A VCF-like file failed to parse.
+    ParseVcf {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A signed file's HMAC did not verify.
+    SignatureInvalid,
+    /// A federation split was requested with zero members.
+    EmptyFederation,
+}
+
+impl fmt::Display for GenomicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch {
+                got,
+                expected,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch: got {got} {what}, expected {expected}"
+                )
+            }
+            Self::IndexOutOfBounds { index, len, what } => {
+                write!(f, "{what} index {index} out of bounds for length {len}")
+            }
+            Self::ParseVcf { line, reason } => {
+                write!(f, "invalid variant file at line {line}: {reason}")
+            }
+            Self::SignatureInvalid => f.write_str("variant file signature did not verify"),
+            Self::EmptyFederation => f.write_str("cannot split a cohort among zero members"),
+        }
+    }
+}
+
+impl Error for GenomicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GenomicsError::DimensionMismatch {
+            got: 3,
+            expected: 5,
+            what: "snps",
+        };
+        assert!(e.to_string().contains("got 3 snps"));
+        assert!(GenomicsError::SignatureInvalid
+            .to_string()
+            .contains("signature"));
+        let p = GenomicsError::ParseVcf {
+            line: 12,
+            reason: "bad allele".into(),
+        };
+        assert!(p.to_string().contains("line 12"));
+    }
+}

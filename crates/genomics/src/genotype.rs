@@ -1,0 +1,369 @@
+//! Bit-packed genotype matrices.
+//!
+//! Each individual's genotype is one bit per SNP (the paper's Table 1
+//! encoding: 0 = major allele, 1 = minor allele present). A matrix of
+//! `N` individuals × `L` SNPs is stored row-major with 64 SNPs per word,
+//! so 14,860 genomes × 10,000 SNPs — the paper's largest setting — fits in
+//! ≈ 18 MB instead of 148 MB, and per-SNP allele counts reduce to popcounts.
+
+use crate::error::GenomicsError;
+use crate::snp::SnpId;
+
+/// A dense `individuals × snps` matrix of biallelic genotypes.
+///
+/// # Example
+///
+/// ```
+/// use gendpr_genomics::genotype::GenotypeMatrix;
+///
+/// let mut m = GenotypeMatrix::zeroed(2, 3);
+/// m.set(0, 1, true);
+/// m.set(1, 1, true);
+/// assert_eq!(m.get(0, 1), 1);
+/// assert_eq!(m.column_counts(), vec![0, 2, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenotypeMatrix {
+    individuals: usize,
+    snps: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl GenotypeMatrix {
+    /// Creates an all-major-allele (all-zero) matrix.
+    #[must_use]
+    pub fn zeroed(individuals: usize, snps: usize) -> Self {
+        let words_per_row = snps.div_ceil(64);
+        Self {
+            individuals,
+            snps,
+            words_per_row,
+            words: vec![0u64; individuals * words_per_row],
+        }
+    }
+
+    /// Builds a matrix from row-major byte data (any nonzero = minor allele).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomicsError::DimensionMismatch`] if `rows` are not all of
+    /// length `snps`.
+    pub fn from_rows(rows: &[Vec<u8>], snps: usize) -> Result<Self, GenomicsError> {
+        let mut m = Self::zeroed(rows.len(), snps);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != snps {
+                return Err(GenomicsError::DimensionMismatch {
+                    got: row.len(),
+                    expected: snps,
+                    what: "snps",
+                });
+            }
+            for (l, &allele) in row.iter().enumerate() {
+                if allele != 0 {
+                    m.set(i, l, true);
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of individuals (rows).
+    #[must_use]
+    pub fn individuals(&self) -> usize {
+        self.individuals
+    }
+
+    /// Number of SNPs (columns).
+    #[must_use]
+    pub fn snps(&self) -> usize {
+        self.snps
+    }
+
+    /// Approximate heap size in bytes (used for enclave memory accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Returns the allele of `individual` at SNP `snp` as 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, individual: usize, snp: usize) -> u8 {
+        assert!(individual < self.individuals, "individual out of bounds");
+        assert!(snp < self.snps, "snp out of bounds");
+        let word = self.words[individual * self.words_per_row + snp / 64];
+        ((word >> (snp % 64)) & 1) as u8
+    }
+
+    /// Sets the allele of `individual` at SNP `snp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, individual: usize, snp: usize, minor: bool) {
+        assert!(individual < self.individuals, "individual out of bounds");
+        assert!(snp < self.snps, "snp out of bounds");
+        let idx = individual * self.words_per_row + snp / 64;
+        let bit = 1u64 << (snp % 64);
+        if minor {
+            self.words[idx] |= bit;
+        } else {
+            self.words[idx] &= !bit;
+        }
+    }
+
+    /// Minor-allele count of one column (`N₁` for that SNP).
+    #[must_use]
+    pub fn column_count(&self, snp: SnpId) -> u64 {
+        let l = snp.index();
+        assert!(l < self.snps, "snp out of bounds");
+        let word_idx = l / 64;
+        let bit = 1u64 << (l % 64);
+        let mut count = 0u64;
+        for row in 0..self.individuals {
+            if self.words[row * self.words_per_row + word_idx] & bit != 0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Minor-allele counts for every column — the `caseLocalCounts[L_des]`
+    /// vector each GDO outsources in the paper's pre-processing step.
+    #[must_use]
+    pub fn column_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.snps];
+        for row in 0..self.individuals {
+            let base = row * self.words_per_row;
+            for w in 0..self.words_per_row {
+                let mut word = self.words[base + w];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    let snp = w * 64 + bit;
+                    // The last word may carry unused high bits; they are
+                    // never set, so no bound check is needed here.
+                    counts[snp] += 1;
+                    word &= word - 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Row `individual` unpacked to one byte per SNP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `individual` is out of bounds.
+    #[must_use]
+    pub fn row(&self, individual: usize) -> Vec<u8> {
+        assert!(individual < self.individuals, "individual out of bounds");
+        (0..self.snps).map(|l| self.get(individual, l)).collect()
+    }
+
+    /// Pairwise product count `Σ_n x_{n,a} · x_{n,b}` — both minor.
+    ///
+    /// This and [`Self::column_count`] are exactly the second-order moments
+    /// GDO enclaves outsource during the LD phase.
+    #[must_use]
+    pub fn pair_count(&self, a: SnpId, b: SnpId) -> u64 {
+        let (la, lb) = (a.index(), b.index());
+        assert!(la < self.snps && lb < self.snps, "snp out of bounds");
+        let (wa, ba) = (la / 64, 1u64 << (la % 64));
+        let (wb, bb) = (lb / 64, 1u64 << (lb % 64));
+        let mut count = 0u64;
+        for row in 0..self.individuals {
+            let base = row * self.words_per_row;
+            let has_a = self.words[base + wa] & ba != 0;
+            let has_b = self.words[base + wb] & bb != 0;
+            if has_a && has_b {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Creates a sub-matrix containing rows `[start, start + len)`.
+    ///
+    /// Used to shard a cohort across federation members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix.
+    #[must_use]
+    pub fn row_range(&self, start: usize, len: usize) -> GenotypeMatrix {
+        assert!(start + len <= self.individuals, "row range out of bounds");
+        let mut out = Self::zeroed(len, self.snps);
+        let src = start * self.words_per_row;
+        out.words
+            .copy_from_slice(&self.words[src..src + len * self.words_per_row]);
+        out
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomicsError::DimensionMismatch`] if SNP counts differ.
+    pub fn stack(&self, other: &GenotypeMatrix) -> Result<GenotypeMatrix, GenomicsError> {
+        if self.snps != other.snps {
+            return Err(GenomicsError::DimensionMismatch {
+                got: other.snps,
+                expected: self.snps,
+                what: "snps",
+            });
+        }
+        let mut out = Self::zeroed(self.individuals + other.individuals, self.snps);
+        out.words[..self.words.len()].copy_from_slice(&self.words);
+        out.words[self.words.len()..].copy_from_slice(&other.words);
+        Ok(out)
+    }
+
+    /// Restricts the matrix to the given columns, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of bounds.
+    #[must_use]
+    pub fn select_columns(&self, snps: &[SnpId]) -> GenotypeMatrix {
+        let mut out = Self::zeroed(self.individuals, snps.len());
+        for (new_l, id) in snps.iter().enumerate() {
+            let old_l = id.index();
+            assert!(old_l < self.snps, "snp out of bounds");
+            for row in 0..self.individuals {
+                if self.get(row, old_l) == 1 {
+                    out.set(row, new_l, true);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(n: usize, l: usize) -> GenotypeMatrix {
+        let mut m = GenotypeMatrix::zeroed(n, l);
+        for i in 0..n {
+            for j in 0..l {
+                if (i + j) % 2 == 0 {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = GenotypeMatrix::zeroed(3, 130); // crosses word boundaries
+        m.set(1, 0, true);
+        m.set(1, 63, true);
+        m.set(1, 64, true);
+        m.set(2, 129, true);
+        assert_eq!(m.get(1, 0), 1);
+        assert_eq!(m.get(1, 63), 1);
+        assert_eq!(m.get(1, 64), 1);
+        assert_eq!(m.get(2, 129), 1);
+        assert_eq!(m.get(0, 0), 0);
+        m.set(1, 63, false);
+        assert_eq!(m.get(1, 63), 0);
+    }
+
+    #[test]
+    fn column_counts_match_scalar_path() {
+        let m = checkerboard(13, 70);
+        let fast = m.column_counts();
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..70 {
+            assert_eq!(fast[l], m.column_count(SnpId(l as u32)), "col {l}");
+            let manual: u64 = (0..13).map(|i| u64::from(m.get(i, l))).sum();
+            assert_eq!(fast[l], manual);
+        }
+    }
+
+    #[test]
+    fn pair_count_matches_manual() {
+        let m = checkerboard(10, 8);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let manual: u64 = (0..10)
+                    .map(|i| u64::from(m.get(i, a as usize) & m.get(i, b as usize)))
+                    .sum();
+                assert_eq!(m.pair_count(SnpId(a), SnpId(b)), manual);
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_validates_dimensions() {
+        let rows = vec![vec![0u8, 1, 0], vec![1, 1]];
+        let err = GenotypeMatrix::from_rows(&rows, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            GenomicsError::DimensionMismatch { got: 2, .. }
+        ));
+        let ok = GenotypeMatrix::from_rows(&[vec![0, 1, 1]], 3).unwrap();
+        assert_eq!(ok.row(0), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn row_range_and_stack_are_inverses() {
+        let m = checkerboard(9, 33);
+        let top = m.row_range(0, 4);
+        let bottom = m.row_range(4, 5);
+        assert_eq!(top.individuals(), 4);
+        assert_eq!(bottom.individuals(), 5);
+        assert_eq!(top.stack(&bottom).unwrap(), m);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_snps() {
+        let a = GenotypeMatrix::zeroed(2, 5);
+        let b = GenotypeMatrix::zeroed(2, 6);
+        assert!(a.stack(&b).is_err());
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let m = checkerboard(4, 10);
+        let sel = m.select_columns(&[SnpId(9), SnpId(0), SnpId(4)]);
+        assert_eq!(sel.snps(), 3);
+        for i in 0..4 {
+            assert_eq!(sel.get(i, 0), m.get(i, 9));
+            assert_eq!(sel.get(i, 1), m.get(i, 0));
+            assert_eq!(sel.get(i, 2), m.get(i, 4));
+        }
+    }
+
+    #[test]
+    fn heap_bytes_reflects_packing() {
+        let m = GenotypeMatrix::zeroed(100, 1000);
+        // 1000 SNPs -> 16 words/row -> 12.8 kB, far below the byte encoding.
+        assert_eq!(m.heap_bytes(), 100 * 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "snp out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = GenotypeMatrix::zeroed(1, 1);
+        let _ = m.get(0, 1);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let m = GenotypeMatrix::zeroed(0, 0);
+        assert_eq!(m.column_counts(), Vec::<u64>::new());
+        assert_eq!(m.individuals(), 0);
+        let m2 = GenotypeMatrix::zeroed(5, 0);
+        assert_eq!(m2.column_counts(), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,184 @@
+//! SNP identifiers and panel metadata.
+//!
+//! A GWAS is conducted over an ordered panel of `L` SNP positions
+//! (`L_des` in the paper). Protocol phases communicate *indices into the
+//! panel*; [`SnpId`] is a newtype for those indices so they cannot be
+//! confused with individual indices or counts.
+
+use std::fmt;
+
+/// Index of a SNP within a [`SnpPanel`] (position `l ∈ {0, …, L−1}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SnpId(pub u32);
+
+impl SnpId {
+    /// Returns the panel index as a `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SnpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SNP{}", self.0)
+    }
+}
+
+impl From<u32> for SnpId {
+    fn from(v: u32) -> Self {
+        SnpId(v)
+    }
+}
+
+/// Metadata describing one SNP position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnpInfo {
+    /// Human-readable identifier, e.g. `rs4988235`.
+    pub name: String,
+    /// Chromosome number (1–22, 23 = X, 24 = Y).
+    pub chromosome: u8,
+    /// Base-pair position on the chromosome.
+    pub position: u64,
+    /// The major (most common) allele.
+    pub major_allele: char,
+    /// The minor (least common) allele.
+    pub minor_allele: char,
+}
+
+impl SnpInfo {
+    /// Creates a synthetic SNP record for panel slot `index`.
+    ///
+    /// Used by the generator: SNPs are laid out contiguously so that
+    /// adjacent panel indices are adjacent on the chromosome, matching the
+    /// paper's adjacent-pair LD scan.
+    #[must_use]
+    pub fn synthetic(index: u32) -> Self {
+        const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+        let major = BASES[(index % 4) as usize];
+        let minor = BASES[((index / 4 + 1 + index) % 4) as usize];
+        let minor = if minor == major {
+            BASES[(index as usize + 2) % 4]
+        } else {
+            minor
+        };
+        Self {
+            name: format!("rs{:07}", 1_000_000 + index),
+            chromosome: ((index / 12_000) % 22 + 1) as u8,
+            position: 10_000 + u64::from(index % 12_000) * 2_500,
+            major_allele: major,
+            minor_allele: minor,
+        }
+    }
+}
+
+/// An ordered panel of SNP positions — the study's `L_des`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnpPanel {
+    snps: Vec<SnpInfo>,
+}
+
+impl SnpPanel {
+    /// Creates a panel from SNP records.
+    #[must_use]
+    pub fn new(snps: Vec<SnpInfo>) -> Self {
+        Self { snps }
+    }
+
+    /// Creates a synthetic panel of `len` SNPs.
+    #[must_use]
+    pub fn synthetic(len: usize) -> Self {
+        Self {
+            snps: (0..len as u32).map(SnpInfo::synthetic).collect(),
+        }
+    }
+
+    /// Number of SNPs in the panel.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snps.len()
+    }
+
+    /// Whether the panel is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snps.is_empty()
+    }
+
+    /// Returns the record for `id`, if in range.
+    #[must_use]
+    pub fn get(&self, id: SnpId) -> Option<&SnpInfo> {
+        self.snps.get(id.index())
+    }
+
+    /// Iterates over `(SnpId, &SnpInfo)` pairs in panel order.
+    pub fn iter(&self) -> impl Iterator<Item = (SnpId, &SnpInfo)> {
+        self.snps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SnpId(i as u32), s))
+    }
+
+    /// All SNP ids in panel order — the initial `L_des` candidate set.
+    #[must_use]
+    pub fn all_ids(&self) -> Vec<SnpId> {
+        (0..self.snps.len() as u32).map(SnpId).collect()
+    }
+}
+
+impl FromIterator<SnpInfo> for SnpPanel {
+    fn from_iter<T: IntoIterator<Item = SnpInfo>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snp_id_roundtrip_and_display() {
+        let id = SnpId::from(42u32);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "SNP42");
+    }
+
+    #[test]
+    fn synthetic_panel_has_distinct_alleles() {
+        let panel = SnpPanel::synthetic(100);
+        assert_eq!(panel.len(), 100);
+        for (_, info) in panel.iter() {
+            assert_ne!(info.major_allele, info.minor_allele);
+        }
+    }
+
+    #[test]
+    fn synthetic_positions_increase_within_chromosome() {
+        let panel = SnpPanel::synthetic(1000);
+        for i in 1..1000 {
+            let a = panel.get(SnpId(i - 1)).unwrap();
+            let b = panel.get(SnpId(i)).unwrap();
+            if a.chromosome == b.chromosome {
+                assert!(b.position > a.position, "at snp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_ids_matches_len() {
+        let panel = SnpPanel::synthetic(17);
+        let ids = panel.all_ids();
+        assert_eq!(ids.len(), 17);
+        assert_eq!(ids[0], SnpId(0));
+        assert_eq!(ids[16], SnpId(16));
+        assert!(panel.get(SnpId(17)).is_none());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let panel: SnpPanel = (0..5).map(SnpInfo::synthetic).collect();
+        assert_eq!(panel.len(), 5);
+        assert!(!panel.is_empty());
+        assert!(SnpPanel::default().is_empty());
+    }
+}

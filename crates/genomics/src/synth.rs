@@ -1,0 +1,688 @@
+//! Seeded synthetic cohort generation.
+//!
+//! The paper evaluates on 27,895 real genomes from the access-controlled
+//! dbGaP dataset phs001039.v1.p1. This module is the substitution
+//! documented in `DESIGN.md` §4: a deterministic generator that controls
+//! exactly the properties GenDPR's three phases consume —
+//!
+//! * the **minor-allele-frequency spectrum** (Beta-distributed, with real
+//!   mass below the 0.05 cutoff, driving Phase 1 attrition),
+//! * **linkage-disequilibrium structure** (haplotype blocks with geometric
+//!   lengths and within-block allele copying, driving Phase 2 attrition),
+//! * **case/reference frequency divergence** (per-SNP drift plus planted
+//!   effect SNPs, driving Phase 3's LR-test power).
+//!
+//! Everything is reproducible from a single `u64` seed.
+
+use crate::cohort::Cohort;
+use crate::genotype::GenotypeMatrix;
+use crate::snp::SnpPanel;
+use gendpr_crypto::rng::ChaChaRng;
+
+/// A generated study dataset plus the ground-truth parameters it was drawn
+/// from (useful for assertions in tests and benches).
+#[derive(Debug, Clone)]
+pub struct SyntheticCohort {
+    cohort: Cohort,
+    reference_freqs: Vec<f64>,
+    case_freqs: Vec<f64>,
+    effect_snps: Vec<usize>,
+    block_starts: Vec<usize>,
+}
+
+impl SyntheticCohort {
+    /// Starts configuring a generator.
+    #[must_use]
+    pub fn builder() -> SyntheticCohortBuilder {
+        SyntheticCohortBuilder::default()
+    }
+
+    /// The generated cohort.
+    #[must_use]
+    pub fn cohort(&self) -> &Cohort {
+        &self.cohort
+    }
+
+    /// Ground-truth reference minor-allele frequencies.
+    #[must_use]
+    pub fn reference_freqs(&self) -> &[f64] {
+        &self.reference_freqs
+    }
+
+    /// Ground-truth case minor-allele frequencies.
+    #[must_use]
+    pub fn case_freqs(&self) -> &[f64] {
+        &self.case_freqs
+    }
+
+    /// Indices of planted effect SNPs (strong case/control association).
+    #[must_use]
+    pub fn effect_snps(&self) -> &[usize] {
+        &self.effect_snps
+    }
+
+    /// Indices where a new LD block starts.
+    #[must_use]
+    pub fn block_starts(&self) -> &[usize] {
+        &self.block_starts
+    }
+}
+
+impl SyntheticCohort {
+    /// The SNP panel — delegates to [`Cohort::panel`].
+    #[must_use]
+    pub fn panel(&self) -> &SnpPanel {
+        self.cohort.panel()
+    }
+
+    /// Pooled case genotypes — delegates to [`Cohort::case`].
+    #[must_use]
+    pub fn case(&self) -> &GenotypeMatrix {
+        self.cohort.case()
+    }
+
+    /// Shared reference genotypes — delegates to [`Cohort::reference`].
+    #[must_use]
+    pub fn reference(&self) -> &GenotypeMatrix {
+        self.cohort.reference()
+    }
+
+    /// Shards the case population — delegates to [`Cohort::split_case_among`].
+    #[must_use]
+    pub fn split_case_among(&self, gdos: usize) -> Vec<GenotypeMatrix> {
+        self.cohort.split_case_among(gdos)
+    }
+}
+
+impl AsRef<Cohort> for SyntheticCohort {
+    fn as_ref(&self) -> &Cohort {
+        &self.cohort
+    }
+}
+
+impl From<SyntheticCohort> for Cohort {
+    fn from(sc: SyntheticCohort) -> Cohort {
+        sc.cohort
+    }
+}
+
+/// Builder for [`SyntheticCohort`].
+///
+/// # Example
+///
+/// ```
+/// use gendpr_genomics::synth::SyntheticCohort;
+///
+/// let a = SyntheticCohort::builder().snps(50).seed(3).build();
+/// let b = SyntheticCohort::builder().snps(50).seed(3).build();
+/// assert_eq!(a.case(), b.case()); // fully deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCohortBuilder {
+    snps: usize,
+    case_individuals: usize,
+    reference_individuals: usize,
+    seed: u64,
+    maf_alpha: f64,
+    maf_beta: f64,
+    ld_mean_block_len: f64,
+    ld_rho: f64,
+    effect_fraction: f64,
+    effect_shift: f64,
+    drift: f64,
+    subpopulations: usize,
+    fst: f64,
+}
+
+impl Default for SyntheticCohortBuilder {
+    fn default() -> Self {
+        Self {
+            snps: 1_000,
+            case_individuals: 1_000,
+            reference_individuals: 1_000,
+            seed: 0,
+            maf_alpha: 0.55,
+            maf_beta: 1.1,
+            ld_mean_block_len: 6.0,
+            ld_rho: 0.55,
+            effect_fraction: 0.03,
+            effect_shift: 0.10,
+            drift: 0.012,
+            subpopulations: 1,
+            fst: 0.0,
+        }
+    }
+}
+
+impl SyntheticCohortBuilder {
+    /// Number of SNP positions (`L_des`).
+    #[must_use]
+    pub fn snps(mut self, snps: usize) -> Self {
+        self.snps = snps;
+        self
+    }
+
+    /// Number of case individuals across the whole federation.
+    #[must_use]
+    pub fn case_individuals(mut self, n: usize) -> Self {
+        self.case_individuals = n;
+        self
+    }
+
+    /// Number of reference (≈ control) individuals.
+    #[must_use]
+    pub fn reference_individuals(mut self, n: usize) -> Self {
+        self.reference_individuals = n;
+        self
+    }
+
+    /// Master seed; every derived stream forks from it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Beta(α, β) shape of the reference MAF spectrum (scaled to
+    /// `[0.005, 0.5]`). The default puts roughly a third of SNPs below the
+    /// 0.05 MAF cutoff, mirroring the attrition in the paper's Table 4.
+    #[must_use]
+    pub fn maf_shape(mut self, alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "Beta parameters must be positive"
+        );
+        self.maf_alpha = alpha;
+        self.maf_beta = beta;
+        self
+    }
+
+    /// Mean LD-block length in SNPs (geometric distribution) and the
+    /// within-block allele-copy probability `ρ ∈ [0, 1)`.
+    #[must_use]
+    pub fn ld_structure(mut self, mean_block_len: f64, rho: f64) -> Self {
+        assert!(mean_block_len >= 1.0, "blocks contain at least one SNP");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        self.ld_mean_block_len = mean_block_len;
+        self.ld_rho = rho;
+        self
+    }
+
+    /// Fraction of SNPs with a planted case-frequency shift and the size of
+    /// that shift.
+    #[must_use]
+    pub fn effects(mut self, fraction: f64, shift: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        self.effect_fraction = fraction;
+        self.effect_shift = shift;
+        self
+    }
+
+    /// Standard deviation of the per-SNP case/reference frequency drift
+    /// affecting *all* SNPs (this is what gives the LR-test its power).
+    #[must_use]
+    pub fn drift(mut self, sd: f64) -> Self {
+        assert!(sd >= 0.0, "drift must be non-negative");
+        self.drift = sd;
+        self
+    }
+
+    /// Adds population stratification: individuals are assigned round-robin
+    /// to `k` subpopulations whose per-SNP frequencies deviate from the
+    /// ancestral frequency following the Balding–Nichols model with
+    /// fixation index `fst` — the standard way GWAS methods papers model
+    /// the under-represented-populations problem the paper's §3.1 raises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `fst` is outside `[0, 1)`.
+    #[must_use]
+    pub fn subpopulations(mut self, k: usize, fst: f64) -> Self {
+        assert!(k >= 1, "need at least one subpopulation");
+        assert!((0.0..1.0).contains(&fst), "Fst must be in [0, 1)");
+        self.subpopulations = k;
+        self.fst = fst;
+        self
+    }
+
+    /// Generates the cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snps == 0`.
+    #[must_use]
+    pub fn build(self) -> SyntheticCohort {
+        assert!(self.snps > 0, "a study needs at least one SNP");
+        let mut master = ChaChaRng::from_seed_u64(self.seed);
+        let mut freq_rng = master.fork("frequencies");
+        let mut block_rng = master.fork("blocks");
+        let mut case_rng = master.fork("case-genotypes");
+        let mut ref_rng = master.fork("reference-genotypes");
+
+        // 1. Reference MAF spectrum.
+        let reference_freqs: Vec<f64> = (0..self.snps)
+            .map(|_| 0.005 + 0.495 * sample_beta(&mut freq_rng, self.maf_alpha, self.maf_beta))
+            .collect();
+
+        // 2. Case frequencies: drift on every SNP, plus planted effects.
+        let effect_count = (self.snps as f64 * self.effect_fraction).round() as usize;
+        let mut indices: Vec<usize> = (0..self.snps).collect();
+        freq_rng.shuffle(&mut indices);
+        let mut effect_snps: Vec<usize> = indices.into_iter().take(effect_count).collect();
+        effect_snps.sort_unstable();
+        let mut case_freqs = Vec::with_capacity(self.snps);
+        for (l, &p) in reference_freqs.iter().enumerate() {
+            let mut q = p + self.drift * freq_rng.next_gaussian();
+            if effect_snps.binary_search(&l).is_ok() {
+                q += self.effect_shift;
+            }
+            case_freqs.push(q.clamp(0.002, 0.95));
+        }
+
+        // 2b. Population stratification: Balding–Nichols per-subpopulation
+        //     frequencies around each ancestral frequency.
+        let subpop_case_freqs = stratify(&mut freq_rng, &case_freqs, self.subpopulations, self.fst);
+        let subpop_ref_freqs = stratify(
+            &mut freq_rng,
+            &reference_freqs,
+            self.subpopulations,
+            self.fst,
+        );
+
+        // 3. LD block boundaries (shared between populations, as real
+        //    haplotype structure would be).
+        let new_block_p = 1.0 / self.ld_mean_block_len;
+        let mut block_starts = vec![0usize];
+        for l in 1..self.snps {
+            if block_rng.next_bool(new_block_p) {
+                block_starts.push(l);
+            }
+        }
+
+        let is_block_start = {
+            let mut v = vec![false; self.snps];
+            for &s in &block_starts {
+                v[s] = true;
+            }
+            v
+        };
+
+        // 4. Genotypes: within a block, copy the previous SNP's allele with
+        //    probability rho, otherwise draw from the population frequency.
+        let case = generate_matrix(
+            &mut case_rng,
+            self.case_individuals,
+            &subpop_case_freqs,
+            &is_block_start,
+            self.ld_rho,
+        );
+        let reference = generate_matrix(
+            &mut ref_rng,
+            self.reference_individuals,
+            &subpop_ref_freqs,
+            &is_block_start,
+            self.ld_rho,
+        );
+
+        let cohort = Cohort::new(SnpPanel::synthetic(self.snps), case, reference)
+            .expect("generator produces consistent dimensions");
+
+        SyntheticCohort {
+            cohort,
+            reference_freqs,
+            case_freqs,
+            effect_snps,
+            block_starts,
+        }
+    }
+}
+
+/// Per-subpopulation frequency vectors: row `s` holds subpopulation `s`'s
+/// frequency for every SNP. With `k == 1` or `fst == 0` every row equals
+/// the ancestral vector.
+fn stratify(
+    rng: &mut ChaChaRng,
+    ancestral: &[f64],
+    subpopulations: usize,
+    fst: f64,
+) -> Vec<Vec<f64>> {
+    if subpopulations == 1 || fst == 0.0 {
+        return vec![ancestral.to_vec()];
+    }
+    // Balding–Nichols: p_s ~ Beta(p(1−F)/F, (1−p)(1−F)/F).
+    let scale = (1.0 - fst) / fst;
+    (0..subpopulations)
+        .map(|_| {
+            ancestral
+                .iter()
+                .map(|&p| {
+                    let p = p.clamp(0.01, 0.99);
+                    sample_beta(rng, p * scale, (1.0 - p) * scale).clamp(0.002, 0.98)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn generate_matrix(
+    rng: &mut ChaChaRng,
+    individuals: usize,
+    subpop_freqs: &[Vec<f64>],
+    is_block_start: &[bool],
+    rho: f64,
+) -> GenotypeMatrix {
+    let snps = subpop_freqs[0].len();
+    let k = subpop_freqs.len();
+    let mut m = GenotypeMatrix::zeroed(individuals, snps);
+    for n in 0..individuals {
+        // Contiguous assignment: consecutive individuals share a
+        // subpopulation, so federation shards are genuinely heterogeneous
+        // — the geographically-distant-biocenters setting of §3.1.
+        let freqs = &subpop_freqs[(n * k) / individuals.max(1)];
+        let mut prev = false;
+        for l in 0..snps {
+            let allele = if l > 0 && !is_block_start[l] && rng.next_bool(rho) {
+                prev
+            } else {
+                rng.next_bool(freqs[l])
+            };
+            if allele {
+                m.set(n, l, true);
+            }
+            prev = allele;
+        }
+    }
+    m
+}
+
+/// Samples Beta(α, β) via two Gamma draws (Marsaglia–Tsang).
+fn sample_beta(rng: &mut ChaChaRng, alpha: f64, beta: f64) -> f64 {
+    let x = sample_gamma(rng, alpha);
+    let y = sample_gamma(rng, beta);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Samples Gamma(shape, 1) with the Marsaglia–Tsang squeeze method.
+fn sample_gamma(rng: &mut ChaChaRng, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = rng.next_gaussian();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snp::SnpId;
+
+    fn small() -> SyntheticCohort {
+        SyntheticCohort::builder()
+            .snps(300)
+            .case_individuals(400)
+            .reference_individuals(400)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.case(), b.case());
+        assert_eq!(a.reference(), b.reference());
+        assert_eq!(a.effect_snps(), b.effect_snps());
+    }
+
+    #[test]
+    fn different_seed_different_data() {
+        let a = small();
+        let b = SyntheticCohort::builder()
+            .snps(300)
+            .case_individuals(400)
+            .reference_individuals(400)
+            .seed(43)
+            .build();
+        assert_ne!(a.case(), b.case());
+    }
+
+    #[test]
+    fn empirical_frequencies_track_ground_truth() {
+        let sc = SyntheticCohort::builder()
+            .snps(100)
+            .case_individuals(3_000)
+            .reference_individuals(3_000)
+            .ld_structure(1.0, 0.0) // independent SNPs for a clean check
+            .seed(7)
+            .build();
+        let counts = sc.reference().column_counts();
+        let n = sc.reference().individuals() as f64;
+        for (l, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n;
+            let truth = sc.reference_freqs()[l];
+            // Binomial sd ~ sqrt(p(1-p)/n) <= 0.009; allow 5 sigma.
+            assert!(
+                (emp - truth).abs() < 0.05,
+                "snp {l}: empirical {emp:.3} vs truth {truth:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn maf_spectrum_has_mass_below_cutoff() {
+        let sc = SyntheticCohort::builder()
+            .snps(2_000)
+            .case_individuals(10)
+            .reference_individuals(10)
+            .seed(1)
+            .build();
+        let below = sc.reference_freqs().iter().filter(|&&p| p < 0.05).count() as f64 / 2_000.0;
+        assert!(
+            (0.10..0.60).contains(&below),
+            "fraction below MAF cutoff = {below}"
+        );
+    }
+
+    #[test]
+    fn ld_blocks_induce_adjacent_correlation() {
+        let sc = SyntheticCohort::builder()
+            .snps(200)
+            .case_individuals(2_000)
+            .reference_individuals(10)
+            .ld_structure(8.0, 0.8)
+            .seed(5)
+            .build();
+        let m = sc.case();
+        let n = m.individuals() as f64;
+        // Average |r| over within-block adjacent pairs should clearly exceed
+        // the cross-block baseline.
+        let block_start: std::collections::HashSet<usize> =
+            sc.block_starts().iter().copied().collect();
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for l in 1..200usize {
+            let a = m.column_count(SnpId((l - 1) as u32)) as f64;
+            let b = m.column_count(SnpId(l as u32)) as f64;
+            let ab = m.pair_count(SnpId((l - 1) as u32), SnpId(l as u32)) as f64;
+            let cov = ab / n - (a / n) * (b / n);
+            let var_a = a / n * (1.0 - a / n);
+            let var_b = b / n * (1.0 - b / n);
+            if var_a <= 0.0 || var_b <= 0.0 {
+                continue;
+            }
+            let r = cov / (var_a * var_b).sqrt();
+            if block_start.contains(&l) {
+                across.push(r.abs());
+            } else {
+                within.push(r.abs());
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&within) > mean(&across) + 0.2,
+            "within {} vs across {}",
+            mean(&within),
+            mean(&across)
+        );
+    }
+
+    #[test]
+    fn effect_snps_shift_case_frequency() {
+        let sc = SyntheticCohort::builder()
+            .snps(500)
+            .case_individuals(4_000)
+            .reference_individuals(4_000)
+            .effects(0.05, 0.2)
+            .drift(0.0)
+            .ld_structure(1.0, 0.0)
+            .seed(3)
+            .build();
+        let case_counts = sc.case().column_counts();
+        let n = sc.case().individuals() as f64;
+        for &l in sc.effect_snps() {
+            let emp_case = case_counts[l] as f64 / n;
+            let p_ref = sc.reference_freqs()[l];
+            assert!(
+                emp_case > p_ref + 0.1,
+                "effect snp {l}: case {emp_case:.3} vs ref {p_ref:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn stratification_spreads_subpopulation_frequencies() {
+        let fst = 0.15;
+        let sc = SyntheticCohort::builder()
+            .snps(60)
+            .case_individuals(4_000)
+            .reference_individuals(10)
+            .subpopulations(2, fst)
+            .ld_structure(1.0, 0.0)
+            .drift(0.0)
+            .effects(0.0, 0.0)
+            .seed(41)
+            .build();
+        // Individuals are contiguously assigned, so the first and second
+        // halves belong to different subpopulations; their empirical
+        // frequencies must diverge far more than binomial noise allows.
+        let m = sc.case();
+        let half = m.individuals() / 2;
+        let mut divergence = 0.0;
+        for l in 0..60 {
+            let (mut first, mut second) = (0u32, 0u32);
+            for i in 0..m.individuals() {
+                if m.get(i, l) == 1 {
+                    if i < half {
+                        first += 1;
+                    } else {
+                        second += 1;
+                    }
+                }
+            }
+            let n_half = half as f64;
+            divergence += (f64::from(first) / n_half - f64::from(second) / n_half).abs();
+        }
+        divergence /= 60.0;
+        // Balding–Nichols with Fst 0.15 around p≈0.2 gives sd ≈ 0.15 per
+        // subpopulation; the mean absolute difference should be well above
+        // the ~0.012 binomial noise floor.
+        assert!(divergence > 0.05, "mean |p_even - p_odd| = {divergence}");
+
+        // Without stratification the same measurement sits at noise level.
+        let flat = SyntheticCohort::builder()
+            .snps(60)
+            .case_individuals(4_000)
+            .reference_individuals(10)
+            .ld_structure(1.0, 0.0)
+            .drift(0.0)
+            .effects(0.0, 0.0)
+            .seed(41)
+            .build();
+        let m = flat.case();
+        let half = m.individuals() / 2;
+        let mut flat_div = 0.0;
+        for l in 0..60 {
+            let (mut first, mut second) = (0u32, 0u32);
+            for i in 0..m.individuals() {
+                if m.get(i, l) == 1 {
+                    if i < half {
+                        first += 1;
+                    } else {
+                        second += 1;
+                    }
+                }
+            }
+            let n_half = half as f64;
+            flat_div += (f64::from(first) / n_half - f64::from(second) / n_half).abs();
+        }
+        flat_div /= 60.0;
+        assert!(
+            divergence > 3.0 * flat_div,
+            "stratified {divergence} vs flat {flat_div}"
+        );
+    }
+
+    #[test]
+    fn balding_nichols_preserves_the_ancestral_mean() {
+        let mut rng = ChaChaRng::from_seed_u64(7);
+        let ancestral = vec![0.3; 500];
+        let sub = stratify(&mut rng, &ancestral, 40, 0.1);
+        let mean: f64 = sub.iter().flat_map(|v| v.iter()).sum::<f64>() / (40.0 * 500.0);
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Fst must be in [0, 1)")]
+    fn stratification_validates_fst() {
+        let _ = SyntheticCohort::builder().subpopulations(2, 1.0);
+    }
+
+    #[test]
+    fn gamma_sampler_mean_and_variance() {
+        let mut rng = ChaChaRng::from_seed_u64(9);
+        for shape in [0.5f64, 1.0, 2.5, 8.0] {
+            let n = 20_000;
+            let draws: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, shape)).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(0.5),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_sampler_stays_in_unit_interval() {
+        let mut rng = ChaChaRng::from_seed_u64(10);
+        for _ in 0..5_000 {
+            let b = sample_beta(&mut rng, 0.55, 1.1);
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SNP")]
+    fn zero_snps_rejected() {
+        let _ = SyntheticCohort::builder().snps(0).build();
+    }
+}

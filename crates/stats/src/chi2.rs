@@ -1,0 +1,139 @@
+//! χ² association tests.
+//!
+//! The χ² statistic measures the association of a SNP with the phenotype of
+//! interest; its p-value ranks SNPs ("the SNPs with the smallest p-values
+//! are the most significant"). The paper's §3.1 gives a simplified form
+//! `(N₁^case − N₁^control)² / N₁^control`; this module provides both that
+//! and the standard 2×2 Pearson statistic (used for ranking, since it is
+//! well-defined for unbalanced populations).
+
+use crate::contingency::SinglewiseTable;
+use crate::special::chi2_sf;
+
+/// Pearson's χ² statistic for a 2×2 singlewise table (1 degree of freedom).
+///
+/// Returns 0 when a margin is empty (no information).
+#[must_use]
+pub fn chi2_statistic(table: &SinglewiseTable) -> f64 {
+    let n = table.grand_total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let cells = [
+        (
+            table.case_major() as f64,
+            table.major_total(),
+            table.case_total,
+        ),
+        (
+            table.control_major() as f64,
+            table.major_total(),
+            table.control_total,
+        ),
+        (
+            table.case_minor as f64,
+            table.minor_total(),
+            table.case_total,
+        ),
+        (
+            table.control_minor as f64,
+            table.minor_total(),
+            table.control_total,
+        ),
+    ];
+    let mut stat = 0.0;
+    for (observed, row_total, col_total) in cells {
+        let expected = row_total as f64 * col_total as f64 / n;
+        if expected == 0.0 {
+            return 0.0;
+        }
+        let d = observed - expected;
+        stat += d * d / expected;
+    }
+    stat
+}
+
+/// The paper's simplified χ² form: `(N₁^case − N₁^control)² / N₁^control`.
+///
+/// Only meaningful for equal-size populations; returns `f64::INFINITY`
+/// when the control count is 0 but the case count is not, and 0 when both
+/// are 0.
+#[must_use]
+pub fn chi2_statistic_simplified(case_minor: u64, control_minor: u64) -> f64 {
+    let d = case_minor as f64 - control_minor as f64;
+    if control_minor == 0 {
+        if case_minor == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        d * d / control_minor as f64
+    }
+}
+
+/// P-value of the Pearson χ² association test (df = 1).
+#[must_use]
+pub fn chi2_p_value(table: &SinglewiseTable) -> f64 {
+    chi2_sf(chi2_statistic(table), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_association_gives_zero_statistic() {
+        // Same frequency in both populations.
+        let t = SinglewiseTable::new(20, 100, 20, 100);
+        assert!(chi2_statistic(&t).abs() < 1e-12);
+        assert!((chi2_p_value(&t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textbook_2x2_example() {
+        // Classic example: cells [[10, 20], [30, 40]] as (case/control × major/minor).
+        // case: major 10, minor 30 -> case_total 40... construct carefully:
+        // case_minor=30, case_total=40, control_minor=40, control_total=60.
+        let t = SinglewiseTable::new(30, 40, 40, 60);
+        // Expected chi2 = N(ad-bc)^2 / (row1 row2 col1 col2)
+        let n = 100.0;
+        let a = 10.0; // case major
+        let b = 20.0; // control major
+        let c = 30.0; // case minor
+        let d = 40.0; // control minor
+        let expected = n * (a * d - b * c) * (a * d - b * c) / (30.0 * 70.0 * 40.0 * 60.0);
+        assert!((chi2_statistic(&t) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn strong_association_small_p() {
+        let t = SinglewiseTable::new(90, 100, 10, 100);
+        let p = chi2_p_value(&t);
+        assert!(p < 1e-8, "p = {p}");
+    }
+
+    #[test]
+    fn empty_margins_are_zero() {
+        let t = SinglewiseTable::new(0, 100, 0, 100);
+        assert_eq!(chi2_statistic(&t), 0.0);
+        let t2 = SinglewiseTable::new(0, 0, 0, 0);
+        assert_eq!(chi2_statistic(&t2), 0.0);
+    }
+
+    #[test]
+    fn simplified_form_matches_paper() {
+        assert_eq!(chi2_statistic_simplified(10, 10), 0.0);
+        assert!((chi2_statistic_simplified(20, 10) - 10.0).abs() < 1e-12);
+        assert_eq!(chi2_statistic_simplified(5, 0), f64::INFINITY);
+        assert_eq!(chi2_statistic_simplified(0, 0), 0.0);
+    }
+
+    #[test]
+    fn statistic_is_symmetric_in_allele_labeling() {
+        // Swapping major/minor labels (minor = total - minor) keeps chi2.
+        let t1 = SinglewiseTable::new(30, 100, 50, 120);
+        let t2 = SinglewiseTable::new(70, 100, 70, 120);
+        assert!((chi2_statistic(&t1) - chi2_statistic(&t2)).abs() < 1e-10);
+    }
+}

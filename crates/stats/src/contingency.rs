@@ -1,0 +1,273 @@
+//! GWAS contingency tables (Tables 2a/2b of the paper).
+//!
+//! A *singlewise* table counts major/minor alleles per population for one
+//! SNP; a *pairwise* table counts the four allele combinations between two
+//! SNP positions. Both are built purely from aggregate counts, which is
+//! what lets GenDPR compute them distributedly.
+
+/// Singlewise contingency table for one SNP (paper Table 2a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinglewiseTable {
+    /// Minor-allele count in the case population (`N₁^case`).
+    pub case_minor: u64,
+    /// Number of case individuals (`N^case`).
+    pub case_total: u64,
+    /// Minor-allele count in the control/reference population.
+    pub control_minor: u64,
+    /// Number of control/reference individuals.
+    pub control_total: u64,
+}
+
+impl SinglewiseTable {
+    /// Builds a table from population counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a minor count exceeds its population size.
+    #[must_use]
+    pub fn new(case_minor: u64, case_total: u64, control_minor: u64, control_total: u64) -> Self {
+        assert!(
+            case_minor <= case_total,
+            "case minor count exceeds population"
+        );
+        assert!(
+            control_minor <= control_total,
+            "control minor count exceeds population"
+        );
+        Self {
+            case_minor,
+            case_total,
+            control_minor,
+            control_total,
+        }
+    }
+
+    /// Major-allele count in the case population (`N₀^case`).
+    #[must_use]
+    pub fn case_major(&self) -> u64 {
+        self.case_total - self.case_minor
+    }
+
+    /// Major-allele count in the control population (`N₀^control`).
+    #[must_use]
+    pub fn control_major(&self) -> u64 {
+        self.control_total - self.control_minor
+    }
+
+    /// Row total for the minor allele (`N₁`).
+    #[must_use]
+    pub fn minor_total(&self) -> u64 {
+        self.case_minor + self.control_minor
+    }
+
+    /// Row total for the major allele (`N₀`).
+    #[must_use]
+    pub fn major_total(&self) -> u64 {
+        self.case_major() + self.control_major()
+    }
+
+    /// Grand total (`N_T`).
+    #[must_use]
+    pub fn grand_total(&self) -> u64 {
+        self.case_total + self.control_total
+    }
+
+    /// Pooled minor-allele frequency over both populations — the
+    /// `globalAlleleFreq[l]` of Phase 1.
+    #[must_use]
+    pub fn pooled_frequency(&self) -> f64 {
+        if self.grand_total() == 0 {
+            return 0.0;
+        }
+        self.minor_total() as f64 / self.grand_total() as f64
+    }
+
+    /// Case minor-allele frequency (`p̂_l` in Eq. 1).
+    #[must_use]
+    pub fn case_frequency(&self) -> f64 {
+        if self.case_total == 0 {
+            return 0.0;
+        }
+        self.case_minor as f64 / self.case_total as f64
+    }
+
+    /// Control minor-allele frequency (`p_l` in Eq. 1).
+    #[must_use]
+    pub fn control_frequency(&self) -> f64 {
+        if self.control_total == 0 {
+            return 0.0;
+        }
+        self.control_minor as f64 / self.control_total as f64
+    }
+}
+
+/// Pairwise contingency table between two SNPs (paper Table 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseTable {
+    /// `C[x][y]` = number of individuals with allele `x` at the first SNP
+    /// and `y` at the second.
+    pub counts: [[u64; 2]; 2],
+}
+
+impl PairwiseTable {
+    /// Builds the table from the sufficient statistics GDOs exchange:
+    /// per-SNP minor counts, the joint minor-minor count, and `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts are inconsistent (`both > minor_a`, etc.).
+    #[must_use]
+    pub fn from_counts(minor_a: u64, minor_b: u64, both_minor: u64, n: u64) -> Self {
+        assert!(
+            both_minor <= minor_a && both_minor <= minor_b,
+            "joint count too large"
+        );
+        assert!(minor_a <= n && minor_b <= n, "marginal count exceeds n");
+        let c11 = both_minor;
+        let c10 = minor_a - both_minor;
+        let c01 = minor_b - both_minor;
+        assert!(
+            c10 + c01 + c11 <= n,
+            "counts imply a negative major-major cell"
+        );
+        let c00 = n - c10 - c01 - c11;
+        Self {
+            counts: [[c00, c01], [c10, c11]],
+        }
+    }
+
+    /// Marginal count of the first SNP's allele `x` (`C_x−`).
+    #[must_use]
+    pub fn row_total(&self, x: usize) -> u64 {
+        self.counts[x][0] + self.counts[x][1]
+    }
+
+    /// Marginal count of the second SNP's allele `y` (`C_−y`).
+    #[must_use]
+    pub fn col_total(&self, y: usize) -> u64 {
+        self.counts[0][y] + self.counts[1][y]
+    }
+
+    /// Grand total.
+    #[must_use]
+    pub fn grand_total(&self) -> u64 {
+        self.row_total(0) + self.row_total(1)
+    }
+
+    /// The LD correlation coefficient r² from the paper's §3.1 formula:
+    /// `(C00·C11 − C01·C10)² / (C0−·C1−·C−0·C−1)`.
+    ///
+    /// Returns 0 when either SNP is monomorphic (a zero margin), where LD is
+    /// undefined and no dependence can be measured.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        let c = &self.counts;
+        let denom = self.row_total(0) as f64
+            * self.row_total(1) as f64
+            * self.col_total(0) as f64
+            * self.col_total(1) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let num = c[0][0] as f64 * c[1][1] as f64 - c[0][1] as f64 * c[1][0] as f64;
+        // Guard tiny floating overshoot above 1.0.
+        ((num * num) / denom).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singlewise_margins_are_consistent() {
+        let t = SinglewiseTable::new(30, 100, 10, 80);
+        assert_eq!(t.case_major(), 70);
+        assert_eq!(t.control_major(), 70);
+        assert_eq!(t.minor_total(), 40);
+        assert_eq!(t.major_total(), 140);
+        assert_eq!(t.grand_total(), 180);
+        assert!((t.pooled_frequency() - 40.0 / 180.0).abs() < 1e-15);
+        assert!((t.case_frequency() - 0.3).abs() < 1e-15);
+        assert!((t.control_frequency() - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singlewise_zero_population_is_zero_freq() {
+        let t = SinglewiseTable::new(0, 0, 0, 0);
+        assert_eq!(t.pooled_frequency(), 0.0);
+        assert_eq!(t.case_frequency(), 0.0);
+        assert_eq!(t.control_frequency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "case minor count exceeds population")]
+    fn singlewise_rejects_inconsistent_counts() {
+        let _ = SinglewiseTable::new(5, 4, 0, 0);
+    }
+
+    #[test]
+    fn pairwise_cells_reconstruct() {
+        // 10 individuals: 4 minor at A, 3 minor at B, 2 both.
+        let t = PairwiseTable::from_counts(4, 3, 2, 10);
+        assert_eq!(t.counts[1][1], 2);
+        assert_eq!(t.counts[1][0], 2);
+        assert_eq!(t.counts[0][1], 1);
+        assert_eq!(t.counts[0][0], 5);
+        assert_eq!(t.row_total(1), 4);
+        assert_eq!(t.col_total(1), 3);
+        assert_eq!(t.grand_total(), 10);
+    }
+
+    #[test]
+    fn r_squared_perfect_correlation() {
+        // Alleles always equal: C00=6, C11=4.
+        let t = PairwiseTable::from_counts(4, 4, 4, 10);
+        assert!((t.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_independence() {
+        // P(A)=1/2, P(B)=1/2 independent over 4 individuals: one in each cell.
+        let t = PairwiseTable::from_counts(2, 2, 1, 4);
+        assert!(t.r_squared().abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_monomorphic_is_zero() {
+        let t = PairwiseTable::from_counts(0, 3, 0, 10);
+        assert_eq!(t.r_squared(), 0.0);
+    }
+
+    #[test]
+    fn r_squared_matches_pearson_definition() {
+        // Compare against explicit Pearson correlation on 0/1 data.
+        let data = [
+            (0u8, 0u8),
+            (0, 1),
+            (1, 1),
+            (1, 1),
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (0, 0),
+        ];
+        let n = data.len() as f64;
+        let sa: f64 = data.iter().map(|&(a, _)| f64::from(a)).sum();
+        let sb: f64 = data.iter().map(|&(_, b)| f64::from(b)).sum();
+        let sab: f64 = data.iter().map(|&(a, b)| f64::from(a * b)).sum();
+        let cov = sab / n - (sa / n) * (sb / n);
+        let var_a = sa / n * (1.0 - sa / n);
+        let var_b = sb / n * (1.0 - sb / n);
+        let r2_pearson = cov * cov / (var_a * var_b);
+
+        let t = PairwiseTable::from_counts(sa as u64, sb as u64, sab as u64, data.len() as u64);
+        assert!((t.r_squared() - r2_pearson).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint count too large")]
+    fn pairwise_rejects_inconsistent_joint() {
+        let _ = PairwiseTable::from_counts(2, 5, 3, 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! Fisher's exact test for 2×2 contingency tables.
+//!
+//! The χ² approximation degrades when expected cell counts are small —
+//! exactly the situation for rare variants near the MAF cutoff. GWAS
+//! practice switches to Fisher's exact test there, and the release
+//! builder offers it alongside χ². The two-sided p-value follows the
+//! conventional definition: the total probability of all tables (with the
+//! observed margins) whose hypergeometric probability does not exceed the
+//! observed table's.
+
+use crate::contingency::SinglewiseTable;
+use crate::special::ln_gamma;
+
+fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Natural log of the hypergeometric probability of table
+/// `[[a, b], [c, d]]` given fixed margins.
+fn ln_hypergeometric(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let n = a + b + c + d;
+    ln_factorial(a + b) + ln_factorial(c + d) + ln_factorial(a + c) + ln_factorial(b + d)
+        - ln_factorial(n)
+        - ln_factorial(a)
+        - ln_factorial(b)
+        - ln_factorial(c)
+        - ln_factorial(d)
+}
+
+/// Two-sided Fisher exact p-value for the 2×2 table `[[a, b], [c, d]]`.
+///
+/// Returns 1.0 for degenerate tables (an empty margin carries no
+/// information).
+#[must_use]
+pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let row1 = a + b;
+    let col1 = a + c;
+    let n = a + b + c + d;
+    if n == 0 || row1 == 0 || row1 == n || col1 == 0 || col1 == n {
+        return 1.0;
+    }
+    let observed = ln_hypergeometric(a, b, c, d);
+    // Enumerate every table with the same margins: a' ranges over
+    // [max(0, row1 + col1 − n), min(row1, col1)].
+    let lo = row1.saturating_sub(n - col1);
+    let hi = row1.min(col1);
+    let mut p = 0.0;
+    // Tolerance absorbs round-off when comparing equal-probability tables.
+    const REL_TOL: f64 = 1e-7;
+    for a_alt in lo..=hi {
+        let b_alt = row1 - a_alt;
+        let c_alt = col1 - a_alt;
+        let d_alt = n - row1 - c_alt;
+        let lp = ln_hypergeometric(a_alt, b_alt, c_alt, d_alt);
+        if lp <= observed + REL_TOL {
+            p += lp.exp();
+        }
+    }
+    p.min(1.0)
+}
+
+/// Fisher exact p-value straight from a singlewise GWAS table
+/// (rows = minor/major allele, columns = case/control).
+#[must_use]
+pub fn fisher_exact_table(table: &SinglewiseTable) -> f64 {
+    fisher_exact(
+        table.case_minor,
+        table.control_minor,
+        table.case_major(),
+        table.control_major(),
+    )
+}
+
+/// Whether GWAS practice would prefer the exact test over χ² for this
+/// table: any *expected* cell count below 5.
+#[must_use]
+pub fn prefers_exact_test(table: &SinglewiseTable) -> bool {
+    let n = table.grand_total() as f64;
+    if n == 0.0 {
+        return true;
+    }
+    let rows = [table.minor_total() as f64, table.major_total() as f64];
+    let cols = [table.case_total as f64, table.control_total as f64];
+    rows.iter().any(|r| cols.iter().any(|c| r * c / n < 5.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn lady_tasting_tea() {
+        // Fisher's classic [[3,1],[1,3]]: two-sided p = 0.4857142857.
+        close(fisher_exact(3, 1, 1, 3), 0.485_714_285_7, 1e-9);
+    }
+
+    #[test]
+    fn perfectly_separated_table() {
+        // [[10,0],[0,10]]: p = 2 / C(20,10) = 1.0824...e-5.
+        close(fisher_exact(10, 0, 0, 10), 2.0 / 184_756.0, 1e-12);
+    }
+
+    #[test]
+    fn known_r_value() {
+        // R: fisher.test(matrix(c(1,11,9,3),2,2))$p.value = 0.002759...
+        close(fisher_exact(1, 9, 11, 3), 0.002_759_456, 1e-7);
+    }
+
+    #[test]
+    fn symmetric_tables_give_p_one() {
+        close(fisher_exact(5, 5, 5, 5), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_margins_are_uninformative() {
+        assert_eq!(fisher_exact(0, 0, 3, 4), 1.0);
+        assert_eq!(fisher_exact(3, 4, 0, 0), 1.0);
+        assert_eq!(fisher_exact(0, 3, 0, 4), 1.0);
+        assert_eq!(fisher_exact(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn agrees_with_chi2_for_large_balanced_tables() {
+        use crate::chi2::chi2_p_value;
+        // With comfortable cell counts the exact and asymptotic tests
+        // should broadly agree.
+        let t = SinglewiseTable::new(60, 200, 40, 200);
+        let exact = fisher_exact_table(&t);
+        let chi2 = chi2_p_value(&t);
+        assert!(
+            (exact.ln() - chi2.ln()).abs() < 0.5,
+            "exact {exact} vs chi2 {chi2}"
+        );
+    }
+
+    #[test]
+    fn exact_test_preference_rule() {
+        // Tiny counts -> exact preferred.
+        assert!(prefers_exact_test(&SinglewiseTable::new(1, 20, 2, 20)));
+        // Comfortable counts -> chi2 fine.
+        assert!(!prefers_exact_test(&SinglewiseTable::new(50, 200, 40, 200)));
+        assert!(prefers_exact_test(&SinglewiseTable::new(0, 0, 0, 0)));
+    }
+
+    #[test]
+    fn p_value_is_probability() {
+        for (a, b, c, d) in [(2u64, 7, 8, 2), (1, 1, 1, 1), (12, 3, 5, 9), (0, 5, 5, 0)] {
+            let p = fisher_exact(a, b, c, d);
+            assert!((0.0..=1.0).contains(&p), "p({a},{b},{c},{d}) = {p}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Homer et al.'s distance-based membership statistic.
+//!
+//! The original membership-inference attack on GWAS releases (Homer et
+//! al. 2008, cited as \[24\] in the paper) compares a victim's alleles with
+//! the released case frequencies and a reference panel:
+//!
+//! `D(victim) = Σ_l ( |x_l − p_l| − |x_l − p̂_l| )`
+//!
+//! where `p̂` is the released case frequency and `p` the reference
+//! frequency. Positive `D` means the victim resembles the case pool more
+//! than the reference. SecureGenome's authors showed the LR-test strictly
+//! dominates this statistic; this module exists so that claim can be
+//! reproduced (see the `attack` module of `gendpr-core` and the
+//! `lr_vs_homer` integration tests).
+
+/// One SNP's contribution to Homer's D statistic.
+#[must_use]
+pub fn homer_contribution(x: u8, case_freq: f64, ref_freq: f64) -> f64 {
+    debug_assert!(x <= 1, "allele must be 0/1");
+    let x = f64::from(x);
+    (x - ref_freq).abs() - (x - case_freq).abs()
+}
+
+/// Homer's D over a genotype slice and matching frequency vectors.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+#[must_use]
+pub fn homer_statistic(genotype: &[u8], case_freqs: &[f64], ref_freqs: &[f64]) -> f64 {
+    assert_eq!(
+        genotype.len(),
+        case_freqs.len(),
+        "one case frequency per SNP"
+    );
+    assert_eq!(
+        genotype.len(),
+        ref_freqs.len(),
+        "one reference frequency per SNP"
+    );
+    genotype
+        .iter()
+        .zip(case_freqs.iter().zip(ref_freqs.iter()))
+        .map(|(&x, (&p_hat, &p))| homer_contribution(x, p_hat, p))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contribution_signs() {
+        // Case pool is minor-rich: carrying the minor allele makes the
+        // victim look like a case member (positive D).
+        assert!(homer_contribution(1, 0.6, 0.2) > 0.0);
+        assert!(homer_contribution(0, 0.6, 0.2) < 0.0);
+        // Identical pools carry no information.
+        assert_eq!(homer_contribution(1, 0.3, 0.3), 0.0);
+        assert_eq!(homer_contribution(0, 0.3, 0.3), 0.0);
+    }
+
+    #[test]
+    fn statistic_sums_contributions() {
+        let genotype = [1u8, 0, 1];
+        let case = [0.5, 0.5, 0.5];
+        let reference = [0.25, 0.25, 0.75];
+        let expected: f64 = homer_contribution(1, 0.5, 0.25)
+            + homer_contribution(0, 0.5, 0.25)
+            + homer_contribution(1, 0.5, 0.75);
+        assert!((homer_statistic(&genotype, &case, &reference) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetric_pools_cancel() {
+        // p̂ and p mirrored around the victim's allele value give D = 0.
+        assert_eq!(homer_contribution(1, 0.6, 0.6), 0.0);
+        let d = homer_statistic(&[0, 1], &[0.2, 0.8], &[0.2, 0.8]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one case frequency per SNP")]
+    fn mismatched_lengths_panic() {
+        let _ = homer_statistic(&[1], &[0.5, 0.5], &[0.5]);
+    }
+}

@@ -1,0 +1,1116 @@
+//! The SecureGenome likelihood-ratio test — Phase 3 of GenDPR.
+//!
+//! An adversary holding a victim's genotype computes the LR statistic of
+//! Eq. 1 against the released frequencies; if it exceeds a threshold the
+//! victim is flagged as a case participant. SecureGenome (Sankararaman et
+//! al.) inverts this: it *simulates* the attack over the study's own data
+//! and keeps only a subset of SNPs for which the attack's power stays below
+//! a configured bound at a tolerated false-positive rate.
+//!
+//! The distributed twist (paper §5.5): each GDO computes the per-individual
+//! per-SNP LR *contributions* for its local genomes — using the **global**
+//! case/reference frequencies broadcast by the leader — and ships that
+//! matrix; the leader concatenates the rows and runs the subset search.
+
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+
+/// Frequencies are clamped away from 0/1 so `ln` stays finite even for
+/// degenerate counts.
+const FREQ_EPS: f64 = 1e-9;
+
+/// One individual's LR contribution at one SNP (Eq. 1 summand):
+/// `x·ln(p̂/p) + (1−x)·ln((1−p̂)/(1−p))`.
+#[must_use]
+pub fn lr_contribution(x: u8, case_freq: f64, ref_freq: f64) -> f64 {
+    debug_assert!(x <= 1, "allele must be 0/1");
+    let p_hat = case_freq.clamp(FREQ_EPS, 1.0 - FREQ_EPS);
+    let p = ref_freq.clamp(FREQ_EPS, 1.0 - FREQ_EPS);
+    if x == 1 {
+        (p_hat / p).ln()
+    } else {
+        ((1.0 - p_hat) / (1.0 - p)).ln()
+    }
+}
+
+/// The two possible per-column LR contributions: `(major, minor)` values
+/// for each SNP, i.e. the Eq. 1 summand at `x = 0` and `x = 1`.
+///
+/// Since an LR matrix column holds only these two values, a matrix can be
+/// transported as one bit per cell plus the frequency vectors the leader
+/// already broadcast — the compressed LR reports of the optimized runtime.
+///
+/// # Panics
+///
+/// Panics if the vectors disagree in length.
+#[must_use]
+pub fn lr_levels(case_freqs: &[f64], ref_freqs: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(
+        case_freqs.len(),
+        ref_freqs.len(),
+        "one pair of frequencies per SNP"
+    );
+    let major = case_freqs
+        .iter()
+        .zip(ref_freqs.iter())
+        .map(|(&p_hat, &p)| lr_contribution(0, p_hat, p))
+        .collect();
+    let minor = case_freqs
+        .iter()
+        .zip(ref_freqs.iter())
+        .map(|(&p_hat, &p)| lr_contribution(1, p_hat, p))
+        .collect();
+    (major, minor)
+}
+
+/// A dense `individuals × snps` matrix of LR contributions — the paper's
+/// "local LR-matrix" of size `N^case_g × L''`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrMatrix {
+    individuals: usize,
+    snps: usize,
+    values: Vec<f64>,
+}
+
+impl LrMatrix {
+    /// Builds the LR matrix for `genotypes` restricted to `snps` (ids into
+    /// the original panel), with `case_freqs[j]` / `ref_freqs[j]` giving the
+    /// global frequencies of `snps[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency vectors do not match `snps` in length.
+    #[must_use]
+    pub fn from_genotypes(
+        genotypes: &GenotypeMatrix,
+        snps: &[SnpId],
+        case_freqs: &[f64],
+        ref_freqs: &[f64],
+    ) -> Self {
+        assert_eq!(snps.len(), case_freqs.len(), "one case frequency per SNP");
+        assert_eq!(
+            snps.len(),
+            ref_freqs.len(),
+            "one reference frequency per SNP"
+        );
+        let n = genotypes.individuals();
+        let l = snps.len();
+        // Each column takes one of exactly two values (x = 0 or x = 1), so
+        // the logarithms are computed once per SNP, not once per cell.
+        let (major, minor) = lr_levels(case_freqs, ref_freqs);
+        let mut values = Vec::with_capacity(n * l);
+        for ind in 0..n {
+            for (j, id) in snps.iter().enumerate() {
+                let x = genotypes.get(ind, id.index());
+                values.push(if x == 1 { minor[j] } else { major[j] });
+            }
+        }
+        Self {
+            individuals: n,
+            snps: l,
+            values,
+        }
+    }
+
+    /// Number of individuals (rows).
+    #[must_use]
+    pub fn individuals(&self) -> usize {
+        self.individuals
+    }
+
+    /// Number of SNPs (columns).
+    #[must_use]
+    pub fn snps(&self) -> usize {
+        self.snps
+    }
+
+    /// The contribution of `individual` at column `snp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[must_use]
+    pub fn get(&self, individual: usize, snp: usize) -> f64 {
+        assert!(
+            individual < self.individuals && snp < self.snps,
+            "index out of bounds"
+        );
+        self.values[individual * self.snps + snp]
+    }
+
+    /// Raw row-major values (for serialization).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Reassembles a matrix from row-major values (the wire decoder's side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != individuals * snps`.
+    #[must_use]
+    pub fn from_values(individuals: usize, snps: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            individuals * snps,
+            "value buffer has wrong size"
+        );
+        Self {
+            individuals,
+            snps,
+            values,
+        }
+    }
+
+    /// Rebuilds a matrix from its two per-column levels and a minor-allele
+    /// indicator — the decompression side of the compact LR transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level vectors do not both have `snps` entries.
+    #[must_use]
+    pub fn from_indicator(
+        individuals: usize,
+        snps: usize,
+        major: &[f64],
+        minor: &[f64],
+        indicator: impl Fn(usize, usize) -> bool,
+    ) -> Self {
+        assert_eq!(major.len(), snps, "one major level per SNP");
+        assert_eq!(minor.len(), snps, "one minor level per SNP");
+        let mut values = Vec::with_capacity(individuals * snps);
+        for i in 0..individuals {
+            for j in 0..snps {
+                values.push(if indicator(i, j) { minor[j] } else { major[j] });
+            }
+        }
+        Self {
+            individuals,
+            snps,
+            values,
+        }
+    }
+
+    /// Concatenates the rows of all matrices — the leader-side merge of
+    /// Algorithm 1 lines 63–67.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices disagree on the number of SNPs, or `parts`
+    /// is empty.
+    #[must_use]
+    pub fn concat_rows(parts: &[LrMatrix]) -> LrMatrix {
+        assert!(!parts.is_empty(), "need at least one LR matrix");
+        let snps = parts[0].snps;
+        let mut individuals = 0;
+        let mut values = Vec::new();
+        for p in parts {
+            assert_eq!(p.snps, snps, "all LR matrices must cover the same SNPs");
+            individuals += p.individuals;
+            values.extend_from_slice(&p.values);
+        }
+        LrMatrix {
+            individuals,
+            snps,
+            values,
+        }
+    }
+
+    /// Approximate heap size in bytes (enclave memory accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Read access to an `individuals × snps` table of LR contributions.
+///
+/// Implemented by the dense [`LrMatrix`] and the bit-packed
+/// [`BitLrMatrix`]; the subset search is generic over both, so the leader
+/// can run the exact same selection over 64× less enclave memory when the
+/// federation uses compact LR transport.
+pub trait LrValues {
+    /// Number of individuals (rows).
+    fn individuals(&self) -> usize;
+    /// Number of SNPs (columns).
+    fn snps(&self) -> usize;
+    /// The contribution of `individual` at column `snp`.
+    fn get(&self, individual: usize, snp: usize) -> f64;
+}
+
+impl LrValues for LrMatrix {
+    fn individuals(&self) -> usize {
+        self.individuals
+    }
+    fn snps(&self) -> usize {
+        self.snps
+    }
+    fn get(&self, individual: usize, snp: usize) -> f64 {
+        LrMatrix::get(self, individual, snp)
+    }
+}
+
+/// A bit-packed LR matrix: one indicator bit per cell plus the two
+/// per-column contribution levels. Stores `N × L''` cells in
+/// `N × ⌈L''/64⌉` words — 0.8 MB instead of 52 MB for the paper's largest
+/// setting — while [`LrValues::get`] returns exactly the dense values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitLrMatrix {
+    individuals: usize,
+    snps: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+    major: Vec<f64>,
+    minor: Vec<f64>,
+}
+
+impl BitLrMatrix {
+    /// Builds the packed matrix from an indicator and the global
+    /// case/reference frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency vectors disagree in length.
+    #[must_use]
+    pub fn from_indicator(
+        individuals: usize,
+        case_freqs: &[f64],
+        ref_freqs: &[f64],
+        indicator: impl Fn(usize, usize) -> bool,
+    ) -> Self {
+        let (major, minor) = lr_levels(case_freqs, ref_freqs);
+        let snps = major.len();
+        let words_per_row = snps.div_ceil(64);
+        let mut bits = vec![0u64; individuals * words_per_row];
+        for i in 0..individuals {
+            for j in 0..snps {
+                if indicator(i, j) {
+                    bits[i * words_per_row + j / 64] |= 1 << (j % 64);
+                }
+            }
+        }
+        Self {
+            individuals,
+            snps,
+            words_per_row,
+            bits,
+            major,
+            minor,
+        }
+    }
+
+    /// Builds the packed matrix straight from genotypes (the leader's own
+    /// shard and the reference null model in compact mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency vectors do not match `snps` in length.
+    #[must_use]
+    pub fn from_genotypes(
+        genotypes: &GenotypeMatrix,
+        snps: &[SnpId],
+        case_freqs: &[f64],
+        ref_freqs: &[f64],
+    ) -> Self {
+        assert_eq!(snps.len(), case_freqs.len(), "one case frequency per SNP");
+        Self::from_indicator(genotypes.individuals(), case_freqs, ref_freqs, |i, j| {
+            genotypes.get(i, snps[j].index()) == 1
+        })
+    }
+
+    /// Assembles a packed matrix from transported indicator words (row
+    /// stride `⌈snps/64⌉`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description if the buffer does not match the
+    /// declared dimensions.
+    pub fn from_raw_bits(
+        individuals: usize,
+        snps: usize,
+        bits: Vec<u64>,
+        case_freqs: &[f64],
+        ref_freqs: &[f64],
+    ) -> Result<Self, &'static str> {
+        let words_per_row = snps.div_ceil(64);
+        if individuals.checked_mul(words_per_row) != Some(bits.len()) {
+            return Err("bit buffer does not match dimensions");
+        }
+        if case_freqs.len() != snps || ref_freqs.len() != snps {
+            return Err("frequency vectors do not match dimensions");
+        }
+        let (major, minor) = lr_levels(case_freqs, ref_freqs);
+        Ok(Self {
+            individuals,
+            snps,
+            words_per_row,
+            bits,
+            major,
+            minor,
+        })
+    }
+
+    /// Vertically concatenates packed matrices (leader-side merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the parts disagree on columns or
+    /// levels.
+    #[must_use]
+    pub fn concat_rows(parts: &[BitLrMatrix]) -> BitLrMatrix {
+        assert!(!parts.is_empty(), "need at least one LR matrix");
+        let first = &parts[0];
+        let mut individuals = 0;
+        let mut bits = Vec::new();
+        for p in parts {
+            assert_eq!(
+                p.snps, first.snps,
+                "all LR matrices must cover the same SNPs"
+            );
+            assert_eq!(p.major, first.major, "parts must share contribution levels");
+            assert_eq!(p.minor, first.minor, "parts must share contribution levels");
+            individuals += p.individuals;
+            bits.extend_from_slice(&p.bits);
+        }
+        BitLrMatrix {
+            individuals,
+            snps: first.snps,
+            words_per_row: first.words_per_row,
+            bits,
+            major: first.major.clone(),
+            minor: first.minor.clone(),
+        }
+    }
+
+    /// Expands to the dense representation (for tests and conversions).
+    #[must_use]
+    pub fn to_dense(&self) -> LrMatrix {
+        LrMatrix::from_indicator(
+            self.individuals,
+            self.snps,
+            &self.major,
+            &self.minor,
+            |i, j| self.bit(i, j),
+        )
+    }
+
+    fn bit(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Approximate heap size in bytes (enclave memory accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len() * 8 + (self.major.len() + self.minor.len()) * 8
+    }
+}
+
+impl LrValues for BitLrMatrix {
+    fn individuals(&self) -> usize {
+        self.individuals
+    }
+    fn snps(&self) -> usize {
+        self.snps
+    }
+    fn get(&self, individual: usize, snp: usize) -> f64 {
+        assert!(
+            individual < self.individuals && snp < self.snps,
+            "index out of bounds"
+        );
+        if self.bit(individual, snp) {
+            self.minor[snp]
+        } else {
+            self.major[snp]
+        }
+    }
+}
+
+/// Parameters of the LR-test subset search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrTestParams {
+    /// Tolerated false-positive rate β of the simulated attack (paper uses
+    /// 0.1): the detection threshold is the (1−β) quantile of the null
+    /// distribution.
+    pub false_positive_rate: f64,
+    /// Maximum tolerated identification power (paper uses 0.9): a SNP set
+    /// is safe while the attack detects fewer than this fraction of true
+    /// case participants.
+    pub power_threshold: f64,
+}
+
+impl LrTestParams {
+    /// SecureGenome's suggested settings: β = 0.1, power < 0.9.
+    #[must_use]
+    pub fn secure_genome_defaults() -> Self {
+        Self {
+            false_positive_rate: 0.1,
+            power_threshold: 0.9,
+        }
+    }
+}
+
+/// Result of the subset search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrSelection {
+    /// Column indices (into the candidate matrix) retained as safe, in the
+    /// order they were admitted.
+    pub kept_columns: Vec<usize>,
+    /// The attack's empirical power over the final kept set.
+    pub final_power: f64,
+    /// The detection threshold (null-quantile) over the final kept set.
+    pub final_threshold: f64,
+}
+
+/// Runs the SecureGenome empirical subset search (`LRtest` in Algorithm 1).
+///
+/// `case` holds LR contributions of the true case participants, `null` the
+/// contributions of reference individuals (the null model). `order` visits
+/// candidate columns most-significant-first (the χ² ranking); each column
+/// is kept iff the attack's power over the kept-set-so-far stays *below*
+/// `params.power_threshold`.
+///
+/// # Panics
+///
+/// Panics if the matrices disagree on columns, `order` indexes out of
+/// bounds, or `null` has no individuals (no null model to test against).
+#[must_use]
+pub fn select_safe_subset<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    order: &[usize],
+    params: &LrTestParams,
+) -> LrSelection {
+    assert_eq!(
+        case.snps(),
+        null.snps(),
+        "case and null must cover the same SNPs"
+    );
+    assert!(
+        null.individuals() > 0,
+        "need reference individuals for the null model"
+    );
+    assert!(
+        (0.0..1.0).contains(&params.false_positive_rate),
+        "false-positive rate must be in [0,1)"
+    );
+
+    let mut case_sums = vec![0.0f64; case.individuals()];
+    let mut null_sums = vec![0.0f64; null.individuals()];
+    let mut kept = Vec::new();
+    let mut final_power = 0.0;
+    let mut final_threshold = f64::INFINITY;
+
+    for &col in order {
+        assert!(col < case.snps(), "ranking indexes a non-existent column");
+        // Tentatively admit the column.
+        for (i, sum) in case_sums.iter_mut().enumerate() {
+            *sum += case.get(i, col);
+        }
+        for (i, sum) in null_sums.iter_mut().enumerate() {
+            *sum += null.get(i, col);
+        }
+        let threshold = null_quantile(&null_sums, 1.0 - params.false_positive_rate);
+        let detected = case_sums.iter().filter(|&&s| s > threshold).count();
+        let power = detected as f64 / case.individuals().max(1) as f64;
+        if power < params.power_threshold {
+            kept.push(col);
+            final_power = power;
+            final_threshold = threshold;
+        } else {
+            // Back the column out and move on.
+            for (i, sum) in case_sums.iter_mut().enumerate() {
+                *sum -= case.get(i, col);
+            }
+            for (i, sum) in null_sums.iter_mut().enumerate() {
+                *sum -= null.get(i, col);
+            }
+        }
+    }
+
+    LrSelection {
+        kept_columns: kept,
+        final_power,
+        final_threshold,
+    }
+}
+
+/// Like [`select_safe_subset`], but with a *forced* set of columns that
+/// are unconditionally part of the release before any candidate is
+/// considered — the dynamic-study setting, where previously released
+/// statistics cannot be retracted. The forced columns seed the cumulative
+/// LR sums; candidates are then admitted only while the attack's power
+/// over `forced ∪ kept` stays below the bound.
+///
+/// `kept_columns` contains only the newly admitted candidates (not the
+/// forced set); `final_power`/`final_threshold` describe the full
+/// cumulative release.
+///
+/// # Panics
+///
+/// Same conditions as [`select_safe_subset`], plus out-of-range forced
+/// columns.
+#[must_use]
+pub fn select_safe_subset_seeded<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    forced: &[usize],
+    order: &[usize],
+    params: &LrTestParams,
+) -> LrSelection {
+    assert_eq!(
+        case.snps(),
+        null.snps(),
+        "case and null must cover the same SNPs"
+    );
+    assert!(
+        null.individuals() > 0,
+        "need reference individuals for the null model"
+    );
+    assert!(
+        (0.0..1.0).contains(&params.false_positive_rate),
+        "false-positive rate must be in [0,1)"
+    );
+
+    let mut case_sums = vec![0.0f64; case.individuals()];
+    let mut null_sums = vec![0.0f64; null.individuals()];
+    for &col in forced {
+        assert!(col < case.snps(), "forced column out of range");
+        for (i, sum) in case_sums.iter_mut().enumerate() {
+            *sum += case.get(i, col);
+        }
+        for (i, sum) in null_sums.iter_mut().enumerate() {
+            *sum += null.get(i, col);
+        }
+    }
+    let power_of = |case_sums: &[f64], threshold: f64| {
+        let detected = case_sums.iter().filter(|&&s| s > threshold).count();
+        detected as f64 / case.individuals().max(1) as f64
+    };
+    let mut final_threshold = if forced.is_empty() {
+        f64::INFINITY
+    } else {
+        null_quantile(&null_sums, 1.0 - params.false_positive_rate)
+    };
+    let mut final_power = if forced.is_empty() {
+        0.0
+    } else {
+        power_of(&case_sums, final_threshold)
+    };
+    let mut kept = Vec::new();
+
+    for &col in order {
+        assert!(col < case.snps(), "ranking indexes a non-existent column");
+        debug_assert!(!forced.contains(&col), "candidate overlaps forced set");
+        for (i, sum) in case_sums.iter_mut().enumerate() {
+            *sum += case.get(i, col);
+        }
+        for (i, sum) in null_sums.iter_mut().enumerate() {
+            *sum += null.get(i, col);
+        }
+        let threshold = null_quantile(&null_sums, 1.0 - params.false_positive_rate);
+        let power = power_of(&case_sums, threshold);
+        if power < params.power_threshold {
+            kept.push(col);
+            final_power = power;
+            final_threshold = threshold;
+        } else {
+            for (i, sum) in case_sums.iter_mut().enumerate() {
+                *sum -= case.get(i, col);
+            }
+            for (i, sum) in null_sums.iter_mut().enumerate() {
+                *sum -= null.get(i, col);
+            }
+        }
+    }
+
+    LrSelection {
+        kept_columns: kept,
+        final_power,
+        final_threshold,
+    }
+}
+
+/// The (1−β) quantile of the null LR sums: the type-7 estimator, computed
+/// with two quickselects instead of a full sort (the subset search calls
+/// this once per candidate SNP).
+fn null_quantile(null_sums: &[f64], q: f64) -> f64 {
+    let n = null_sums.len();
+    if n == 1 {
+        return null_sums[0];
+    }
+    let h = q * (n as f64 - 1.0);
+    let lo = (h.floor() as usize).min(n - 1);
+    let frac = h - lo as f64;
+    let mut scratch = null_sums.to_vec();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("LR sums are finite");
+    let (_, &mut low_stat, rest) = scratch.select_nth_unstable_by(lo, cmp);
+    if frac == 0.0 || rest.is_empty() {
+        return low_stat;
+    }
+    let high_stat = rest
+        .iter()
+        .copied()
+        .min_by(|a, b| cmp(a, b))
+        .expect("rest is non-empty");
+    low_stat + frac * (high_stat - low_stat)
+}
+
+/// Normal-approximation of the LR-test (used by the ablation benches and to
+/// cross-check the empirical search).
+///
+/// Accumulates per-SNP terms of the null/alternative mean and variance of
+/// the LR statistic; `power` then evaluates
+/// `P(N(μ₁,σ₁²) > μ₀ + z_{1−β}·σ₀)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TheoreticalLr {
+    /// Mean under the null (individual drawn from the reference).
+    pub mu0: f64,
+    /// Variance under the null.
+    pub var0: f64,
+    /// Mean under the alternative (individual in the case group).
+    pub mu1: f64,
+    /// Variance under the alternative.
+    pub var1: f64,
+}
+
+impl TheoreticalLr {
+    /// Adds one SNP's contribution given its global case/reference
+    /// frequencies.
+    pub fn add_snp(&mut self, case_freq: f64, ref_freq: f64) {
+        let p_hat = case_freq.clamp(FREQ_EPS, 1.0 - FREQ_EPS);
+        let p = ref_freq.clamp(FREQ_EPS, 1.0 - FREQ_EPS);
+        let l1 = (p_hat / p).ln();
+        let l0 = ((1.0 - p_hat) / (1.0 - p)).ln();
+        let lambda = l1 - l0;
+        self.mu0 += p * l1 + (1.0 - p) * l0;
+        self.var0 += p * (1.0 - p) * lambda * lambda;
+        self.mu1 += p_hat * l1 + (1.0 - p_hat) * l0;
+        self.var1 += p_hat * (1.0 - p_hat) * lambda * lambda;
+    }
+
+    /// Detection power at false-positive rate β under the normal
+    /// approximation.
+    #[must_use]
+    pub fn power(&self, false_positive_rate: f64) -> f64 {
+        if self.var0 <= 0.0 || self.var1 <= 0.0 {
+            return 0.0;
+        }
+        let z = crate::special::normal_quantile(1.0 - false_positive_rate);
+        let threshold = self.mu0 + z * self.var0.sqrt();
+        crate::special::normal_sf((threshold - self.mu1) / self.var1.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendpr_crypto::rng::ChaChaRng;
+
+    #[test]
+    fn contribution_signs() {
+        // Minor allele more frequent in cases: carrying it raises the LR.
+        assert!(lr_contribution(1, 0.4, 0.2) > 0.0);
+        assert!(lr_contribution(0, 0.4, 0.2) < 0.0);
+        // Equal frequencies carry no information.
+        assert_eq!(lr_contribution(1, 0.3, 0.3), 0.0);
+        assert_eq!(lr_contribution(0, 0.3, 0.3), 0.0);
+    }
+
+    #[test]
+    fn contribution_is_finite_for_degenerate_freqs() {
+        for x in [0u8, 1] {
+            assert!(lr_contribution(x, 0.0, 0.5).is_finite());
+            assert!(lr_contribution(x, 1.0, 0.5).is_finite());
+            assert!(lr_contribution(x, 0.5, 0.0).is_finite());
+            assert!(lr_contribution(x, 0.5, 1.0).is_finite());
+        }
+    }
+
+    fn toy_matrix(rows: &[&[u8]]) -> GenotypeMatrix {
+        let snps = rows[0].len();
+        let mut m = GenotypeMatrix::zeroed(rows.len(), snps);
+        for (i, row) in rows.iter().enumerate() {
+            for (l, &x) in row.iter().enumerate() {
+                if x == 1 {
+                    m.set(i, l, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matrix_from_genotypes_matches_manual() {
+        let g = toy_matrix(&[&[0, 1], &[1, 1]]);
+        let snps = [SnpId(0), SnpId(1)];
+        let cf = [0.4, 0.6];
+        let rf = [0.2, 0.5];
+        let m = LrMatrix::from_genotypes(&g, &snps, &cf, &rf);
+        assert_eq!(m.individuals(), 2);
+        assert_eq!(m.snps(), 2);
+        assert!((m.get(0, 0) - lr_contribution(0, 0.4, 0.2)).abs() < 1e-15);
+        assert!((m.get(0, 1) - lr_contribution(1, 0.6, 0.5)).abs() < 1e-15);
+        assert!((m.get(1, 0) - lr_contribution(1, 0.4, 0.2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let g1 = toy_matrix(&[&[0, 1]]);
+        let g2 = toy_matrix(&[&[1, 0], &[1, 1]]);
+        let snps = [SnpId(0), SnpId(1)];
+        let cf = [0.4, 0.6];
+        let rf = [0.2, 0.5];
+        let m1 = LrMatrix::from_genotypes(&g1, &snps, &cf, &rf);
+        let m2 = LrMatrix::from_genotypes(&g2, &snps, &cf, &rf);
+        let merged = LrMatrix::concat_rows(&[m1.clone(), m2]);
+        assert_eq!(merged.individuals(), 3);
+        assert!((merged.get(0, 0) - m1.get(0, 0)).abs() < 1e-15);
+        // Row 1 of merged == row 0 of g2.
+        assert!((merged.get(1, 0) - lr_contribution(1, 0.4, 0.2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let g = toy_matrix(&[&[0, 1], &[1, 0]]);
+        let m = LrMatrix::from_genotypes(&g, &[SnpId(0), SnpId(1)], &[0.3, 0.3], &[0.2, 0.4]);
+        let rebuilt = LrMatrix::from_values(2, 2, m.values().to_vec());
+        assert_eq!(m, rebuilt);
+    }
+
+    /// Builds case/null LR matrices from synthetic frequencies: `divergent`
+    /// columns have a real case/ref frequency gap, the rest none.
+    fn synthetic_lr(
+        n_case: usize,
+        n_ref: usize,
+        divergent: usize,
+        neutral: usize,
+        gap: f64,
+        seed: u64,
+    ) -> (LrMatrix, LrMatrix, Vec<usize>) {
+        let mut rng = ChaChaRng::from_seed_u64(seed);
+        let total = divergent + neutral;
+        let mut case_freqs = Vec::new();
+        let mut ref_freqs = Vec::new();
+        for j in 0..total {
+            let p = 0.2 + 0.3 * rng.next_f64();
+            ref_freqs.push(p);
+            case_freqs.push(if j < divergent {
+                (p + gap).min(0.95)
+            } else {
+                p
+            });
+        }
+        let mut case_g = GenotypeMatrix::zeroed(n_case, total);
+        let mut ref_g = GenotypeMatrix::zeroed(n_ref, total);
+        for i in 0..n_case {
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..total {
+                if rng.next_bool(case_freqs[j]) {
+                    case_g.set(i, j, true);
+                }
+            }
+        }
+        for i in 0..n_ref {
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..total {
+                if rng.next_bool(ref_freqs[j]) {
+                    ref_g.set(i, j, true);
+                }
+            }
+        }
+        let ids: Vec<SnpId> = (0..total as u32).map(SnpId).collect();
+        // The "attack model" uses the empirical frequencies, as the protocol
+        // would compute them.
+        let emp_case: Vec<f64> = case_g
+            .column_counts()
+            .iter()
+            .map(|&c| c as f64 / n_case as f64)
+            .collect();
+        let emp_ref: Vec<f64> = ref_g
+            .column_counts()
+            .iter()
+            .map(|&c| c as f64 / n_ref as f64)
+            .collect();
+        let case_m = LrMatrix::from_genotypes(&case_g, &ids, &emp_case, &emp_ref);
+        let null_m = LrMatrix::from_genotypes(&ref_g, &ids, &emp_case, &emp_ref);
+        let order: Vec<usize> = (0..total).collect();
+        (case_m, null_m, order)
+    }
+
+    #[test]
+    fn selection_keeps_everything_when_no_divergence() {
+        let (case, null, order) = synthetic_lr(300, 300, 0, 30, 0.0, 1);
+        let sel = select_safe_subset(
+            &case,
+            &null,
+            &order,
+            &LrTestParams::secure_genome_defaults(),
+        );
+        assert_eq!(sel.kept_columns.len(), 30, "neutral SNPs are all safe");
+        assert!(sel.final_power < 0.9);
+    }
+
+    #[test]
+    fn selection_drops_columns_when_divergence_is_extreme() {
+        // 60 strongly divergent SNPs: the attack gains power as columns
+        // accumulate, so the search must reject some.
+        let (case, null, order) = synthetic_lr(400, 400, 60, 0, 0.35, 2);
+        let sel = select_safe_subset(
+            &case,
+            &null,
+            &order,
+            &LrTestParams::secure_genome_defaults(),
+        );
+        assert!(
+            sel.kept_columns.len() < 60,
+            "kept {} of 60 strongly divergent SNPs",
+            sel.kept_columns.len()
+        );
+        assert!(sel.final_power < 0.9, "power bound respected");
+    }
+
+    #[test]
+    fn final_power_bound_holds() {
+        for seed in 0..5 {
+            let (case, null, order) = synthetic_lr(200, 200, 20, 20, 0.25, seed);
+            let params = LrTestParams {
+                false_positive_rate: 0.1,
+                power_threshold: 0.6,
+            };
+            let sel = select_safe_subset(&case, &null, &order, &params);
+            assert!(
+                sel.final_power < 0.6,
+                "seed {seed}: power {}",
+                sel.final_power
+            );
+        }
+    }
+
+    #[test]
+    fn stricter_power_threshold_keeps_fewer() {
+        let (case, null, order) = synthetic_lr(300, 300, 40, 10, 0.3, 3);
+        let loose = select_safe_subset(
+            &case,
+            &null,
+            &order,
+            &LrTestParams {
+                false_positive_rate: 0.1,
+                power_threshold: 0.9,
+            },
+        );
+        let strict = select_safe_subset(
+            &case,
+            &null,
+            &order,
+            &LrTestParams {
+                false_positive_rate: 0.1,
+                power_threshold: 0.3,
+            },
+        );
+        assert!(strict.kept_columns.len() <= loose.kept_columns.len());
+    }
+
+    #[test]
+    fn theoretical_power_tracks_empirical() {
+        // One configuration, both estimators should agree on the big picture.
+        let n = 2_000;
+        let (case, null, order) = synthetic_lr(n, n, 15, 0, 0.12, 4);
+        let sel = select_safe_subset(
+            &case,
+            &null,
+            &order,
+            &LrTestParams {
+                false_positive_rate: 0.1,
+                power_threshold: 2.0, // never reject: measure full-set power
+            },
+        );
+        // Theoretical power over all 15 columns with the same frequencies is
+        // hard to reconstruct here without re-deriving frequencies, so check
+        // qualitative agreement: with a real gap, power is well above beta.
+        assert!(sel.final_power > 0.2, "power {}", sel.final_power);
+
+        let mut th = TheoreticalLr::default();
+        for _ in 0..15 {
+            th.add_snp(0.42, 0.30);
+        }
+        let p = th.power(0.1);
+        assert!(p > 0.2 && p <= 1.0, "theoretical power {p}");
+        // More divergent SNPs -> more power.
+        let mut th2 = th;
+        for _ in 0..15 {
+            th2.add_snp(0.42, 0.30);
+        }
+        assert!(th2.power(0.1) > p);
+    }
+
+    #[test]
+    fn theoretical_power_zero_without_divergence() {
+        let mut th = TheoreticalLr::default();
+        th.add_snp(0.3, 0.3);
+        assert_eq!(th.power(0.1), 0.0, "no variance, no power");
+    }
+
+    #[test]
+    fn bit_matrix_matches_dense_everywhere() {
+        let g = toy_matrix(&[&[0, 1], &[1, 1], &[1, 0]]);
+        let snps = [SnpId(0), SnpId(1)];
+        let cf = [0.4, 0.6];
+        let rf = [0.2, 0.5];
+        let dense = LrMatrix::from_genotypes(&g, &snps, &cf, &rf);
+        let packed = BitLrMatrix::from_genotypes(&g, &snps, &cf, &rf);
+        assert_eq!(packed.individuals(), dense.individuals());
+        assert_eq!(packed.snps(), dense.snps());
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(LrValues::get(&packed, i, j), dense.get(i, j));
+            }
+        }
+        assert_eq!(packed.to_dense(), dense);
+        // The 64x packing advantage shows at realistic sizes (the tiny
+        // matrix above is dominated by the level vectors).
+        let big = GenotypeMatrix::zeroed(1_000, 128);
+        let ids: Vec<SnpId> = (0..128u32).map(SnpId).collect();
+        let freqs = vec![0.3; 128];
+        let big_dense = LrMatrix::from_genotypes(&big, &ids, &freqs, &freqs);
+        let big_packed = BitLrMatrix::from_genotypes(&big, &ids, &freqs, &freqs);
+        assert!(big_packed.heap_bytes() * 30 < big_dense.heap_bytes());
+    }
+
+    #[test]
+    fn packed_selection_equals_dense_selection() {
+        let (case, null, order) = synthetic_lr(200, 200, 15, 15, 0.25, 8);
+        let params = LrTestParams::secure_genome_defaults();
+        let dense_sel = select_safe_subset(&case, &null, &order, &params);
+        // Rebuild packed versions from the dense values' sign structure is
+        // impossible in general; instead regenerate from the same inputs.
+        // synthetic_lr builds from genotypes internally, so emulate with
+        // from_indicator off the dense matrices' two-level structure.
+        // Columns are two-valued: minor value is the larger-magnitude of
+        // distinct values... simpler: use from_raw_bits via dense lookup.
+        // Here we check mixed-type selection: packed case vs dense null.
+        let n = case.individuals();
+        let l = case.snps();
+        // Reconstruct levels: for each column grab the distinct values.
+        let mut major = vec![0.0; l];
+        let mut minor = vec![0.0; l];
+        for j in 0..l {
+            let v0 = case.get(0, j);
+            let mut v1 = v0;
+            for i in 0..n {
+                if case.get(i, j) != v0 {
+                    v1 = case.get(i, j);
+                    break;
+                }
+            }
+            // Assign arbitrarily; the indicator below matches the choice.
+            major[j] = v0;
+            minor[j] = v1;
+        }
+        let packed = {
+            let mut bits = vec![0u64; n * l.div_ceil(64)];
+            let words = l.div_ceil(64);
+            for i in 0..n {
+                for j in 0..l {
+                    if case.get(i, j) == minor[j] && minor[j] != major[j] {
+                        bits[i * words + j / 64] |= 1 << (j % 64);
+                    }
+                }
+            }
+            // from_raw_bits recomputes levels from freqs; instead build via
+            // from_indicator-style private path: reuse LrMatrix::from_indicator
+            // to make a dense copy and compare.
+            LrMatrix::from_indicator(n, l, &major, &minor, |i, j| {
+                bits[i * words + j / 64] >> (j % 64) & 1 == 1
+            })
+        };
+        assert_eq!(packed, case, "reconstruction must be exact");
+        let packed_sel = select_safe_subset(&packed, &null, &order, &params);
+        assert_eq!(dense_sel, packed_sel);
+    }
+
+    #[test]
+    fn bit_matrix_concat_matches_dense_concat() {
+        let g1 = toy_matrix(&[&[0, 1]]);
+        let g2 = toy_matrix(&[&[1, 0], &[1, 1]]);
+        let snps = [SnpId(0), SnpId(1)];
+        let cf = [0.4, 0.6];
+        let rf = [0.2, 0.5];
+        let p1 = BitLrMatrix::from_genotypes(&g1, &snps, &cf, &rf);
+        let p2 = BitLrMatrix::from_genotypes(&g2, &snps, &cf, &rf);
+        let merged = BitLrMatrix::concat_rows(&[p1, p2]);
+        let d1 = LrMatrix::from_genotypes(&g1, &snps, &cf, &rf);
+        let d2 = LrMatrix::from_genotypes(&g2, &snps, &cf, &rf);
+        assert_eq!(merged.to_dense(), LrMatrix::concat_rows(&[d1, d2]));
+    }
+
+    #[test]
+    fn raw_bits_validation() {
+        assert!(BitLrMatrix::from_raw_bits(2, 70, vec![0; 4], &[0.5; 70], &[0.4; 70]).is_ok());
+        assert!(BitLrMatrix::from_raw_bits(2, 70, vec![0; 3], &[0.5; 70], &[0.4; 70]).is_err());
+        assert!(BitLrMatrix::from_raw_bits(2, 70, vec![0; 4], &[0.5; 69], &[0.4; 70]).is_err());
+    }
+
+    #[test]
+    fn seeded_selection_with_empty_forced_equals_plain() {
+        let (case, null, order) = synthetic_lr(200, 200, 10, 20, 0.2, 12);
+        let params = LrTestParams::secure_genome_defaults();
+        let plain = select_safe_subset(&case, &null, &order, &params);
+        let seeded = select_safe_subset_seeded(&case, &null, &[], &order, &params);
+        assert_eq!(plain, seeded);
+    }
+
+    #[test]
+    fn forced_columns_consume_the_power_budget() {
+        let (case, null, order) = synthetic_lr(300, 300, 30, 0, 0.3, 13);
+        let params = LrTestParams {
+            false_positive_rate: 0.1,
+            power_threshold: 0.6,
+        };
+        // Without a forced set, some candidates fit under the budget.
+        let plain = select_safe_subset(&case, &null, &order, &params);
+        assert!(!plain.kept_columns.is_empty());
+        // Force the plain selection; the remaining candidates must admit
+        // no more than what a fresh run over the leftovers would.
+        let leftovers: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|c| !plain.kept_columns.contains(c))
+            .collect();
+        let seeded =
+            select_safe_subset_seeded(&case, &null, &plain.kept_columns, &leftovers, &params);
+        // The forced set already sits just under the bound, so few (often
+        // zero) additional divergent columns can join.
+        assert!(
+            seeded.kept_columns.len() <= leftovers.len(),
+            "sanity: cannot admit more than offered"
+        );
+        assert!(seeded.final_power < params.power_threshold);
+    }
+
+    #[test]
+    fn null_quantile_matches_sorted_estimator() {
+        let mut rng = ChaChaRng::from_seed_u64(31);
+        for n in [1usize, 2, 5, 100, 1001] {
+            let sums: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+            for q in [0.0, 0.1, 0.5, 0.9, 0.95, 1.0] {
+                let mut sorted = sums.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let reference = crate::special::empirical_quantile(&sorted, q);
+                let fast = super::null_quantile(&sums, q);
+                assert!(
+                    (fast - reference).abs() < 1e-12,
+                    "n={n} q={q}: {fast} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same SNPs")]
+    fn selection_rejects_mismatched_matrices() {
+        let a = LrMatrix::from_values(1, 2, vec![0.0; 2]);
+        let b = LrMatrix::from_values(1, 3, vec![0.0; 3]);
+        let _ = select_safe_subset(&a, &b, &[0], &LrTestParams::secure_genome_defaults());
+    }
+}

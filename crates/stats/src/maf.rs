@@ -1,0 +1,80 @@
+//! Minor-allele frequency (MAF) computations — Phase 1 of GenDPR.
+//!
+//! SNPs with rare minor alleles are characteristic outliers that enable
+//! membership inference (paper §3.2.1), so Phase 1 removes every SNP whose
+//! *global* MAF — computed over the pooled case + reference populations —
+//! falls below a cutoff (0.05 in SecureGenome's suggested settings).
+
+/// Aggregates per-GDO allele counts into a global frequency.
+///
+/// `counts` are each member's minor-allele counts for one SNP (including
+/// the leader's and the reference's), `totals` the matching population
+/// sizes. This mirrors Algorithm 1 lines 15–19.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn global_frequency(counts: &[u64], totals: &[u64]) -> f64 {
+    assert_eq!(counts.len(), totals.len(), "one total per count vector");
+    let minor: u64 = counts.iter().sum();
+    let n: u64 = totals.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    minor as f64 / n as f64
+}
+
+/// The MAF itself: the frequency of the *least common* allele. Input is
+/// the minor-allele frequency under the panel's encoding; if drift pushed
+/// it above 0.5 the other allele is the rarer one.
+#[must_use]
+pub fn minor_allele_frequency(freq: f64) -> f64 {
+    freq.min(1.0 - freq)
+}
+
+/// Phase 1 decision: keep the SNP iff its global MAF is at or above the
+/// cutoff (Algorithm 1 line 20 removes `MAF_l < MAF_cutoff`).
+#[must_use]
+pub fn passes_maf(global_freq: f64, cutoff: f64) -> bool {
+    minor_allele_frequency(global_freq) >= cutoff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_frequency_pools_counts() {
+        // Three GDOs + reference: 10/100, 20/100, 0/50, 30/250.
+        let f = global_frequency(&[10, 20, 0, 30], &[100, 100, 50, 250]);
+        assert!((f - 60.0 / 500.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn global_frequency_empty_is_zero() {
+        assert_eq!(global_frequency(&[], &[]), 0.0);
+        assert_eq!(global_frequency(&[0], &[0]), 0.0);
+    }
+
+    #[test]
+    fn maf_folds_above_half() {
+        assert!((minor_allele_frequency(0.7) - 0.3).abs() < 1e-15);
+        assert!((minor_allele_frequency(0.3) - 0.3).abs() < 1e-15);
+        assert_eq!(minor_allele_frequency(0.5), 0.5);
+    }
+
+    #[test]
+    fn cutoff_boundary_is_inclusive() {
+        assert!(passes_maf(0.05, 0.05));
+        assert!(!passes_maf(0.049_999, 0.05));
+        assert!(!passes_maf(0.96, 0.05)); // MAF = 0.04 < cutoff
+        assert!(passes_maf(0.5, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "one total per count")]
+    fn mismatched_lengths_panic() {
+        let _ = global_frequency(&[1, 2], &[10]);
+    }
+}

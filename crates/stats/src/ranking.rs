@@ -1,0 +1,123 @@
+//! SNP ranking by χ² significance.
+//!
+//! Phase 2 keeps "the higher ranked (in terms of p-value on χ²)" SNP of a
+//! dependent pair, and Phase 3 admits candidates most-significant-first.
+//! Ranking needs only the aggregate singlewise tables, so the leader can
+//! compute it from the counts gathered in Phase 1.
+
+use crate::chi2::chi2_p_value;
+use crate::contingency::SinglewiseTable;
+use gendpr_genomics::snp::SnpId;
+
+/// A SNP's association score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnpRank {
+    /// Which SNP.
+    pub snp: SnpId,
+    /// χ² association p-value (smaller = more significant).
+    pub p_value: f64,
+}
+
+/// Computes each candidate SNP's χ² p-value from global case/reference
+/// counts.
+///
+/// `case_counts[j]` / `ref_counts[j]` are the pooled minor-allele counts of
+/// `snps[j]`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+#[must_use]
+pub fn rank_by_association(
+    snps: &[SnpId],
+    case_counts: &[u64],
+    case_total: u64,
+    ref_counts: &[u64],
+    ref_total: u64,
+) -> Vec<SnpRank> {
+    assert_eq!(snps.len(), case_counts.len(), "one case count per SNP");
+    assert_eq!(snps.len(), ref_counts.len(), "one reference count per SNP");
+    snps.iter()
+        .zip(case_counts.iter().zip(ref_counts.iter()))
+        .map(|(&snp, (&cc, &rc))| SnpRank {
+            snp,
+            p_value: chi2_p_value(&SinglewiseTable::new(cc, case_total, rc, ref_total)),
+        })
+        .collect()
+}
+
+/// Sorts ranks most-significant-first (ascending p-value; ties broken by
+/// SNP id for determinism across leaders).
+#[must_use]
+pub fn sort_most_significant_first(mut ranks: Vec<SnpRank>) -> Vec<SnpRank> {
+    ranks.sort_by(|a, b| {
+        a.p_value
+            .partial_cmp(&b.p_value)
+            .expect("p-values are finite")
+            .then(a.snp.cmp(&b.snp))
+    });
+    ranks
+}
+
+/// Of two SNPs, returns the one with the better (smaller) p-value — the
+/// `getMostRanked` helper of Algorithm 1. Ties prefer the first argument.
+#[must_use]
+pub fn most_ranked(a: SnpRank, b: SnpRank) -> SnpId {
+    if b.p_value < a.p_value {
+        b.snp
+    } else {
+        a.snp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_orders_by_significance() {
+        let snps = [SnpId(0), SnpId(1), SnpId(2)];
+        // SNP1 is strongly associated, SNP0 mildly, SNP2 not at all.
+        let ranks = rank_by_association(&snps, &[30, 80, 20], 100, &[20, 20, 20], 100);
+        let sorted = sort_most_significant_first(ranks);
+        assert_eq!(sorted[0].snp, SnpId(1));
+        assert_eq!(sorted[1].snp, SnpId(0));
+        assert_eq!(sorted[2].snp, SnpId(2));
+        assert!(sorted[0].p_value < sorted[1].p_value);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let snps = [SnpId(5), SnpId(3)];
+        let ranks = rank_by_association(&snps, &[10, 10], 50, &[10, 10], 50);
+        let sorted = sort_most_significant_first(ranks);
+        assert_eq!(sorted[0].snp, SnpId(3));
+        assert_eq!(sorted[1].snp, SnpId(5));
+    }
+
+    #[test]
+    fn most_ranked_picks_smaller_p() {
+        let a = SnpRank {
+            snp: SnpId(0),
+            p_value: 0.2,
+        };
+        let b = SnpRank {
+            snp: SnpId(1),
+            p_value: 0.01,
+        };
+        assert_eq!(most_ranked(a, b), SnpId(1));
+        assert_eq!(most_ranked(b, a), SnpId(1));
+        // Tie prefers the first argument.
+        let c = SnpRank {
+            snp: SnpId(2),
+            p_value: 0.2,
+        };
+        assert_eq!(most_ranked(a, c), SnpId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one case count per SNP")]
+    fn mismatched_lengths_panic() {
+        let _ = rank_by_association(&[SnpId(0)], &[1, 2], 10, &[1], 10);
+    }
+}

@@ -1,0 +1,420 @@
+//! Special functions implemented from scratch.
+//!
+//! Everything downstream — χ² p-values, LD significance, LR-test
+//! thresholds — reduces to the regularized incomplete gamma function and
+//! the normal distribution, so those are implemented here once, carefully,
+//! and validated against published values.
+
+use std::f64::consts::PI;
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 over the positive reals.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (reflection is not needed by this crate).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        return (PI / (PI * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// `x >= a + 1` (Numerical Recipes `gammp`).
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 3e-15;
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 3e-15;
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: `P(X > x)`.
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `x < 0`.
+#[must_use]
+pub fn chi2_sf(x: f64, df: u32) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    assert!(x >= 0.0, "chi-square statistic must be non-negative");
+    gamma_q(f64::from(df) / 2.0, x / 2.0)
+}
+
+/// The error function `erf(x)`.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else if x == 0.0 {
+        0.0
+    } else {
+        gamma_p(0.5, x * x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else if x == 0.0 {
+        1.0
+    } else {
+        gamma_q(0.5, x * x)
+    }
+}
+
+/// Standard normal cumulative distribution function.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function `P(Z > x)`.
+#[must_use]
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (quantile function), Acklam's
+/// rational approximation refined by one Halley step (~1e-15 accurate).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement against the true CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Wilson score interval for a binomial proportion — the right way to put
+/// error bars on an empirically estimated attack power or false-positive
+/// rate (plain Wald intervals misbehave near 0 and 1).
+///
+/// Returns `(low, high)` at the given confidence level.
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, `trials == 0`, or `confidence` is not
+/// in `(0, 1)`.
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let n = trials as f64;
+    let p_hat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p_hat + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Empirical quantile of a sample (linear interpolation between order
+/// statistics, the common "type 7" estimator).
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn empirical_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "sample must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(0.5), (PI).sqrt().ln(), 1e-12);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-11);
+        close(ln_gamma(10.0), 362_880f64.ln(), 1e-10);
+        // Gamma(0.1) = 9.513507698668731836...
+        close(ln_gamma(0.1), 9.513_507_698_668_73_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one() {
+        for a in [0.5, 1.0, 2.5, 10.0] {
+            for x in [0.1, 0.9, 1.0, 3.0, 15.0] {
+                close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - exp(-x).
+        for x in [0.1, 1.0, 2.0, 5.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn chi2_sf_published_values() {
+        // df=1: P(X > 3.841) ≈ 0.05; P(X > 6.635) ≈ 0.01.
+        close(chi2_sf(3.841_458_820_694_124, 1), 0.05, 1e-9);
+        close(chi2_sf(6.634_896_601_021_214, 1), 0.01, 1e-9);
+        // df=2: sf(x) = exp(-x/2).
+        close(chi2_sf(4.0, 2), (-2.0f64).exp(), 1e-12);
+        // df=5: P(X > 11.0705) ≈ 0.05.
+        close(chi2_sf(11.070_497_693_516_35, 5), 0.05, 1e-9);
+        // Extreme tail used by GWAS significance (p < 1e-8 territory).
+        let p = chi2_sf(32.841, 1);
+        assert!(p > 0.9e-8 && p < 1.1e-8, "p = {p}");
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+        close(erfc(1.0), 1.0 - 0.842_700_792_949_714_9, 1e-12);
+        close(erfc(-2.0), 2.0 - erfc(2.0), 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 1e-15);
+        close(normal_cdf(1.959_963_984_540_054), 0.975, 1e-12);
+        close(normal_cdf(-1.959_963_984_540_054), 0.025, 1e-12);
+        close(normal_cdf(1.644_853_626_951_472_6), 0.95, 1e-12);
+        close(normal_sf(1.281_551_565_544_600_5), 0.1, 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for p in [1e-10, 1e-6, 0.01, 0.1, 0.5, 0.9, 0.975, 0.999_999] {
+            let x = normal_quantile(p);
+            close(normal_cdf(x), p, 1e-12);
+        }
+        close(normal_quantile(0.975), 1.959_963_984_540_054, 1e-9);
+        close(normal_quantile(0.5), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn empirical_quantile_behaviour() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        close(empirical_quantile(&sample, 0.0), 1.0, 1e-15);
+        close(empirical_quantile(&sample, 1.0), 5.0, 1e-15);
+        close(empirical_quantile(&sample, 0.5), 3.0, 1e-15);
+        close(empirical_quantile(&sample, 0.25), 2.0, 1e-15);
+        close(empirical_quantile(&[7.0], 0.3), 7.0, 1e-15);
+    }
+
+    #[test]
+    fn wilson_interval_known_values() {
+        // 8/10 successes at 95%: Wilson interval ≈ (0.490, 0.943).
+        let (lo, hi) = wilson_interval(8, 10, 0.95);
+        close(lo, 0.490, 0.01);
+        close(hi, 0.943, 0.01);
+        // Extreme proportions stay inside [0, 1] and are non-degenerate.
+        let (lo, hi) = wilson_interval(0, 20, 0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.3);
+        let (lo, hi) = wilson_interval(20, 20, 0.95);
+        assert!(lo > 0.7 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+        // More trials tighten the interval.
+        let (l1, h1) = wilson_interval(50, 100, 0.95);
+        let (l2, h2) = wilson_interval(500, 1000, 0.95);
+        assert!(h2 - l2 < h1 - l1);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed trials")]
+    fn wilson_rejects_inconsistent_counts() {
+        let _ = wilson_interval(5, 4, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empirical_quantile_empty_panics() {
+        let _ = empirical_quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_bounds() {
+        let _ = normal_quantile(0.0);
+    }
+}

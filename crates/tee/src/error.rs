@@ -1,0 +1,66 @@
+//! TEE error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the simulated TEE substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TeeError {
+    /// A quote's MAC did not verify against the attestation service.
+    QuoteInvalid,
+    /// A quote verified but reported an unexpected enclave measurement.
+    MeasurementMismatch,
+    /// The handshake's report data did not bind the ephemeral key.
+    HandshakeBindingInvalid,
+    /// The X25519 exchange produced a low-order (all-zero) shared secret.
+    WeakKey,
+    /// Sealed data failed to decrypt (wrong platform, enclave or tampering).
+    UnsealFailed,
+    /// An encrypted channel message failed to authenticate or arrived out
+    /// of order.
+    ChannelMessageRejected,
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::QuoteInvalid => "attestation quote did not verify",
+            Self::MeasurementMismatch => "enclave measurement was not the expected one",
+            Self::HandshakeBindingInvalid => "handshake key was not bound to the quote",
+            Self::WeakKey => "key exchange produced a weak shared secret",
+            Self::UnsealFailed => "sealed data could not be unsealed",
+            Self::ChannelMessageRejected => "secure channel rejected a message",
+        })
+    }
+}
+
+impl Error for TeeError {}
+
+impl From<gendpr_crypto::CryptoError> for TeeError {
+    fn from(_: gendpr_crypto::CryptoError) -> Self {
+        TeeError::ChannelMessageRejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            TeeError::QuoteInvalid,
+            TeeError::MeasurementMismatch,
+            TeeError::HandshakeBindingInvalid,
+            TeeError::WeakKey,
+            TeeError::UnsealFailed,
+            TeeError::ChannelMessageRejected,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Simulated Trusted Execution Environment substrate.
+//!
+//! The paper runs GenDPR inside Intel SGX enclaves (via Graphene-SGX). No
+//! SGX hardware is available here, so this crate provides a faithful
+//! *architectural* simulation — the substitution is documented in
+//! `DESIGN.md` §4. What is preserved:
+//!
+//! * **Measurement** — an enclave's identity is a SHA-256 over its code
+//!   identity and configuration ([`measurement`]), the analogue of
+//!   MRENCLAVE.
+//! * **Remote attestation** — a [`attestation::AttestationService`] issues
+//!   MAC-signed [`attestation::Quote`]s over `(measurement, report_data)`
+//!   that any holder of the service's verification capability can check,
+//!   playing the role of Intel's EPID/DCAP infrastructure.
+//! * **Sealed storage** — [`sealing`] binds ciphertexts to the platform
+//!   *and* the enclave measurement, like SGX's `MRENCLAVE` sealing policy.
+//! * **Attested secure channels** — [`session`] runs an X25519 handshake
+//!   whose ephemeral keys are bound into fresh quotes, then derives
+//!   direction-separated ChaCha20-Poly1305 session keys; this is how
+//!   GenDPR's enclaves exchange intermediate results so that "only a
+//!   properly authenticated enclave can decrypt them".
+//! * **EPC accounting** — [`memory::EpcAccount`] meters trusted memory
+//!   against the 128 MB EPC budget and counts paging beyond it, which is
+//!   what Table 3 of the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use gendpr_tee::platform::Platform;
+//! use gendpr_tee::attestation::AttestationService;
+//! use gendpr_crypto::rng::ChaChaRng;
+//!
+//! let service = AttestationService::new(&mut ChaChaRng::from_seed_u64(1));
+//! let platform = Platform::new("gdo-0", &service, &mut ChaChaRng::from_seed_u64(2));
+//! let mut enclave = platform.launch_enclave("gendpr/phase-runner", 0u64);
+//! let result = enclave.enter(|state, _epc| {
+//!     *state += 41;
+//!     *state + 1
+//! });
+//! assert_eq!(result, 42);
+//! ```
+
+pub mod attestation;
+pub mod enclave;
+pub mod error;
+pub mod measurement;
+pub mod memory;
+pub mod platform;
+pub mod sealing;
+pub mod session;
+
+pub use attestation::{AttestationService, Quote};
+pub use enclave::Enclave;
+pub use error::TeeError;
+pub use measurement::Measurement;
+pub use memory::EpcAccount;
+pub use platform::Platform;
+pub use session::{HandshakeMessage, SecureChannel};

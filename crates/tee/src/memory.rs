@@ -1,0 +1,136 @@
+//! EPC (enclave page cache) accounting.
+//!
+//! SGX1 enclaves have ~128 MB of protected memory; SGX2 can page beyond it
+//! at significant cost (paper §2.1). GenDPR's design goal is to stay far
+//! below the limit by exchanging aggregates instead of genomes — Table 3
+//! shows ~2.1 MB per enclave. This account meters allocations so the
+//! benchmark harness can reproduce that table.
+
+/// Default EPC budget: 128 MB, the classic SGX1 limit.
+pub const DEFAULT_EPC_BYTES: u64 = 128 * 1024 * 1024;
+
+/// Tracks trusted-memory usage of one enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpcAccount {
+    limit: u64,
+    in_use: u64,
+    peak: u64,
+    paged_bytes: u64,
+    alloc_calls: u64,
+}
+
+impl Default for EpcAccount {
+    fn default() -> Self {
+        Self::new(DEFAULT_EPC_BYTES)
+    }
+}
+
+impl EpcAccount {
+    /// Creates an account with the given budget in bytes.
+    #[must_use]
+    pub fn new(limit: u64) -> Self {
+        Self {
+            limit,
+            in_use: 0,
+            peak: 0,
+            paged_bytes: 0,
+            alloc_calls: 0,
+        }
+    }
+
+    /// Records an allocation of `bytes`. Allocation beyond the budget is
+    /// permitted (SGX2 paging) but metered in [`Self::paged_bytes`].
+    pub fn alloc(&mut self, bytes: u64) {
+        self.alloc_calls += 1;
+        self.in_use += bytes;
+        if self.in_use > self.peak {
+            self.peak = self.in_use;
+        }
+        if self.in_use > self.limit {
+            self.paged_bytes += self.in_use - self.limit.max(self.in_use - bytes);
+        }
+    }
+
+    /// Records a release of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than is in use (an accounting bug).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(bytes <= self.in_use, "freeing more than allocated");
+        self.in_use -= bytes;
+    }
+
+    /// Bytes currently accounted inside the enclave.
+    #[must_use]
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark — the number Table 3 reports.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Bytes that spilled beyond the EPC budget (0 in every paper setting).
+    #[must_use]
+    pub fn paged_bytes(&self) -> u64 {
+        self.paged_bytes
+    }
+
+    /// Number of allocation events.
+    #[must_use]
+    pub fn alloc_calls(&self) -> u64 {
+        self.alloc_calls
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut epc = EpcAccount::new(1000);
+        epc.alloc(300);
+        epc.alloc(400);
+        epc.free(500);
+        epc.alloc(100);
+        assert_eq!(epc.in_use(), 300);
+        assert_eq!(epc.peak(), 700);
+        assert_eq!(epc.alloc_calls(), 3);
+        assert_eq!(epc.paged_bytes(), 0);
+    }
+
+    #[test]
+    fn paging_beyond_budget_is_metered() {
+        let mut epc = EpcAccount::new(100);
+        epc.alloc(80);
+        assert_eq!(epc.paged_bytes(), 0);
+        epc.alloc(50); // 30 bytes over budget
+        assert_eq!(epc.paged_bytes(), 30);
+        epc.free(130);
+        epc.alloc(250); // 150 over in one allocation
+        assert_eq!(epc.paged_bytes(), 30 + 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more than allocated")]
+    fn over_free_panics() {
+        let mut epc = EpcAccount::new(100);
+        epc.alloc(10);
+        epc.free(11);
+    }
+
+    #[test]
+    fn default_is_sgx1_budget() {
+        assert_eq!(EpcAccount::default().limit(), 128 * 1024 * 1024);
+    }
+}

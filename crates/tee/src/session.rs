@@ -1,0 +1,347 @@
+//! Attested end-to-end encrypted sessions between enclaves.
+//!
+//! "Any communication between federation members is encrypted and happens
+//! only between TEEs … GDOs agree on keys and other credentials during the
+//! remote attestation phase to connect the trust-chain from boot to
+//! communication" (paper §5.1). The handshake here implements that chain:
+//!
+//! 1. each enclave draws an ephemeral X25519 key pair and obtains a fresh
+//!    [`Quote`] whose `report_data` is the hash of the ephemeral public
+//!    key — so the key provably originated inside the attested enclave;
+//! 2. the peers exchange `(quote, public key)` messages and verify: quote
+//!    authenticity, expected measurement (mutual attestation), and the
+//!    key-to-quote binding;
+//! 3. both derive direction-separated ChaCha20-Poly1305 keys from the
+//!    Diffie-Hellman secret with the handshake transcript as salt;
+//! 4. messages carry monotonically increasing sequence-number nonces, so
+//!    replayed, reordered or dropped ciphertexts are rejected.
+
+use crate::attestation::{AttestationService, Quote};
+use crate::enclave::Enclave;
+use crate::error::TeeError;
+use crate::measurement::Measurement;
+use gendpr_crypto::aead::ChaCha20Poly1305;
+use gendpr_crypto::rng::ChaChaRng;
+use gendpr_crypto::sha256::Sha256;
+use gendpr_crypto::{hkdf, x25519};
+
+/// The first (and only) handshake flight: an attestation quote plus the
+/// ephemeral public key it binds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeMessage {
+    /// Fresh quote with `report_data = H(ephemeral_public)`.
+    pub quote: Quote,
+    /// X25519 ephemeral public key.
+    pub ephemeral_public: [u8; 32],
+}
+
+impl HandshakeMessage {
+    /// Wire encoding (quote ‖ public key, 128 bytes).
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 128] {
+        let mut out = [0u8; 128];
+        out[..96].copy_from_slice(&self.quote.to_bytes());
+        out[96..].copy_from_slice(&self.ephemeral_public);
+        out
+    }
+
+    /// Parses the wire encoding.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 128]) -> Self {
+        let mut q = [0u8; 96];
+        q.copy_from_slice(&bytes[..96]);
+        let mut pk = [0u8; 32];
+        pk.copy_from_slice(&bytes[96..]);
+        Self {
+            quote: Quote::from_bytes(&q),
+            ephemeral_public: pk,
+        }
+    }
+}
+
+fn bind_key(public: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"gendpr/handshake/v1\0");
+    h.update(public);
+    h.finalize()
+}
+
+/// An in-progress handshake holding the local ephemeral secret.
+#[derive(Debug)]
+pub struct Handshake {
+    secret: [u8; 32],
+    message: HandshakeMessage,
+    service: AttestationService,
+}
+
+impl Handshake {
+    /// Starts a handshake from inside `enclave`.
+    #[must_use]
+    pub fn start<S>(enclave: &Enclave<S>, rng: &mut ChaChaRng) -> Self {
+        let secret = x25519::clamp_scalar(rng.gen_key());
+        let public = x25519::public_key(&secret);
+        let quote = enclave.quote(bind_key(&public));
+        Self {
+            secret,
+            message: HandshakeMessage {
+                quote,
+                ephemeral_public: public,
+            },
+            service: enclave.platform().service().clone(),
+        }
+    }
+
+    /// The flight to send to the peer.
+    #[must_use]
+    pub fn message(&self) -> &HandshakeMessage {
+        &self.message
+    }
+
+    /// Completes the handshake against the peer's flight, requiring the
+    /// peer to attest as `expected` (mutual attestation).
+    ///
+    /// # Errors
+    ///
+    /// * [`TeeError::QuoteInvalid`] — forged or foreign quote,
+    /// * [`TeeError::MeasurementMismatch`] — wrong enclave build,
+    /// * [`TeeError::HandshakeBindingInvalid`] — key not bound to quote,
+    /// * [`TeeError::WeakKey`] — degenerate Diffie-Hellman result.
+    pub fn complete(
+        self,
+        peer: &HandshakeMessage,
+        expected: &Measurement,
+    ) -> Result<SecureChannel, TeeError> {
+        self.service.verify_expected(&peer.quote, expected)?;
+        if peer.quote.report_data != bind_key(&peer.ephemeral_public) {
+            return Err(TeeError::HandshakeBindingInvalid);
+        }
+        let shared = x25519::diffie_hellman(&self.secret, &peer.ephemeral_public)
+            .ok_or(TeeError::WeakKey)?;
+
+        // Transcript salt: both public keys in a canonical order.
+        let (lo, hi) = if self.message.ephemeral_public <= peer.ephemeral_public {
+            (&self.message.ephemeral_public, &peer.ephemeral_public)
+        } else {
+            (&peer.ephemeral_public, &self.message.ephemeral_public)
+        };
+        let mut salt = [0u8; 64];
+        salt[..32].copy_from_slice(lo);
+        salt[32..].copy_from_slice(hi);
+
+        // Direction keys: the sender's public key names the direction, so
+        // both sides derive the same pair and assign them oppositely.
+        let derive = |sender_pub: &[u8; 32]| {
+            let mut info = Vec::with_capacity(20 + 32);
+            info.extend_from_slice(b"gendpr/session/v1\0");
+            info.extend_from_slice(sender_pub);
+            let mut key = [0u8; 32];
+            hkdf::derive(&salt, &shared, &info, &mut key);
+            key
+        };
+        let send_key = derive(&self.message.ephemeral_public);
+        let recv_key = derive(&peer.ephemeral_public);
+
+        Ok(SecureChannel {
+            send: ChaCha20Poly1305::new(&send_key),
+            recv: ChaCha20Poly1305::new(&recv_key),
+            send_seq: 0,
+            recv_seq: 0,
+        })
+    }
+}
+
+/// An established attested channel.
+///
+/// Sequence numbers advance on every message; a replayed or reordered
+/// ciphertext authenticates under the wrong nonce and is rejected.
+pub struct SecureChannel {
+    send: ChaCha20Poly1305,
+    recv: ChaCha20Poly1305,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl std::fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureChannel")
+            .field("send_seq", &self.send_seq)
+            .field("recv_seq", &self.recv_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+fn seq_nonce(seq: u64) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[..8].copy_from_slice(&seq.to_le_bytes());
+    nonce
+}
+
+impl SecureChannel {
+    /// Encrypts `plaintext` with `aad` as authenticated context (GenDPR
+    /// uses the protocol phase and study id).
+    pub fn send(&mut self, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let nonce = seq_nonce(self.send_seq);
+        self.send_seq += 1;
+        self.send.seal(&nonce, plaintext, aad)
+    }
+
+    /// Decrypts the next in-order message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::ChannelMessageRejected`] on tampering, replay,
+    /// reordering or AAD mismatch.
+    pub fn recv(&mut self, ciphertext: &[u8], aad: &[u8]) -> Result<Vec<u8>, TeeError> {
+        let nonce = seq_nonce(self.recv_seq);
+        let plaintext = self.recv.open(&nonce, ciphertext, aad)?;
+        self.recv_seq += 1;
+        Ok(plaintext)
+    }
+
+    /// Messages sent so far.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.send_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    struct Setup {
+        a: Enclave<()>,
+        b: Enclave<()>,
+        rng: ChaChaRng,
+    }
+
+    fn setup(code_a: &str, code_b: &str) -> Setup {
+        let mut rng = ChaChaRng::from_seed_u64(77);
+        let svc = AttestationService::new(&mut rng);
+        let pa = Platform::new("gdo-a", &svc, &mut rng);
+        let pb = Platform::new("gdo-b", &svc, &mut rng);
+        Setup {
+            a: pa.launch_enclave(code_a, ()),
+            b: pb.launch_enclave(code_b, ()),
+            rng,
+        }
+    }
+
+    fn establish(s: &mut Setup) -> (SecureChannel, SecureChannel) {
+        let ha = Handshake::start(&s.a, &mut s.rng);
+        let hb = Handshake::start(&s.b, &mut s.rng);
+        let ma = ha.message().clone();
+        let mb = hb.message().clone();
+        let ca = ha.complete(&mb, &s.b.measurement()).unwrap();
+        let cb = hb.complete(&ma, &s.a.measurement()).unwrap();
+        (ca, cb)
+    }
+
+    #[test]
+    fn bidirectional_messaging() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let ct = ca.send(b"counts", b"phase1");
+        assert_eq!(cb.recv(&ct, b"phase1").unwrap(), b"counts");
+        let ct2 = cb.send(b"retained snps", b"phase1");
+        assert_eq!(ca.recv(&ct2, b"phase1").unwrap(), b"retained snps");
+        assert_eq!(ca.messages_sent(), 1);
+    }
+
+    #[test]
+    fn directions_use_distinct_keys() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let from_a = ca.send(b"same", b"");
+        let from_b = cb.send(b"same", b"");
+        assert_ne!(from_a, from_b);
+    }
+
+    #[test]
+    fn replay_and_reorder_rejected() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let m1 = ca.send(b"one", b"");
+        let m2 = ca.send(b"two", b"");
+        // Reorder: m2 first fails.
+        assert_eq!(cb.recv(&m2, b""), Err(TeeError::ChannelMessageRejected));
+        assert_eq!(cb.recv(&m1, b"").unwrap(), b"one");
+        // Replay of m1 fails.
+        assert_eq!(cb.recv(&m1, b""), Err(TeeError::ChannelMessageRejected));
+        assert_eq!(cb.recv(&m2, b"").unwrap(), b"two");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let mut ct = ca.send(b"payload", b"aad");
+        ct[0] ^= 1;
+        assert_eq!(cb.recv(&ct, b"aad"), Err(TeeError::ChannelMessageRejected));
+    }
+
+    #[test]
+    fn wrong_measurement_fails_mutual_attestation() {
+        let mut s = setup("gendpr/honest", "gendpr/modified");
+        let ha = Handshake::start(&s.a, &mut s.rng);
+        let hb = Handshake::start(&s.b, &mut s.rng);
+        let mb = hb.message().clone();
+        // A expects the honest build but B runs a modified one.
+        let expected = Measurement::compute("gendpr/honest", b"");
+        assert_eq!(
+            ha.complete(&mb, &expected).unwrap_err(),
+            TeeError::MeasurementMismatch
+        );
+    }
+
+    #[test]
+    fn unbound_key_rejected() {
+        // A MITM substitutes its own ephemeral key into an honest flight.
+        let mut s = setup("gendpr", "gendpr");
+        let ha = Handshake::start(&s.a, &mut s.rng);
+        let hb = Handshake::start(&s.b, &mut s.rng);
+        let mut mb = hb.message().clone();
+        mb.ephemeral_public = [9u8; 32]; // quote no longer binds this key
+        assert_eq!(
+            ha.complete(&mb, &s.b.measurement()).unwrap_err(),
+            TeeError::HandshakeBindingInvalid
+        );
+    }
+
+    #[test]
+    fn foreign_attestation_root_rejected() {
+        let mut s = setup("gendpr", "gendpr");
+        // An enclave from a different federation (different service root).
+        let mut rng2 = ChaChaRng::from_seed_u64(99);
+        let other_svc = AttestationService::new(&mut rng2);
+        let other_platform = Platform::new("intruder", &other_svc, &mut rng2);
+        let intruder: Enclave<()> = other_platform.launch_enclave("gendpr", ());
+        let hi = Handshake::start(&intruder, &mut rng2);
+        let ha = Handshake::start(&s.a, &mut s.rng);
+        let mi = hi.message().clone();
+        assert_eq!(
+            ha.complete(&mi, &intruder.measurement()).unwrap_err(),
+            TeeError::QuoteInvalid
+        );
+    }
+
+    #[test]
+    fn handshake_message_wire_roundtrip() {
+        let mut s = setup("gendpr", "gendpr");
+        let ha = Handshake::start(&s.a, &mut s.rng);
+        let m = ha.message().clone();
+        assert_eq!(HandshakeMessage::from_bytes(&m.to_bytes()), m);
+    }
+
+    #[test]
+    fn aad_mismatch_rejected() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let ct = ca.send(b"data", b"phase1");
+        assert_eq!(
+            cb.recv(&ct, b"phase2"),
+            Err(TeeError::ChannelMessageRejected)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Collusion-tolerant assessment (paper §5.6, Table 5).
+//!
+//! ```text
+//! cargo run --example collusion_tolerance --release
+//! ```
+//!
+//! Colluding members can subtract their own contributions from released
+//! aggregates and attack whatever remains. This example runs the same
+//! study under increasing collusion assumptions and shows which SNPs the
+//! federation must additionally withhold.
+
+use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::protocol::Federation;
+use gendpr::genomics::synth::SyntheticCohort;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cohort = SyntheticCohort::builder()
+        .snps(800)
+        .case_individuals(900)
+        .reference_individuals(900)
+        .seed(17)
+        .build();
+    let params = GwasParams::secure_genome_defaults();
+    const G: usize = 4;
+
+    let base = Federation::new(FederationConfig::new(G), params, &cohort).run()?;
+    println!(
+        "federation of {G} members, no collusion tolerance: {} SNPs releasable",
+        base.safe_snps.len()
+    );
+
+    let mut modes: Vec<(String, CollusionMode)> = (1..G)
+        .map(|f| (format!("f = {f}"), CollusionMode::Fixed(f)))
+        .collect();
+    modes.push((
+        "f = {1,2,3} (conservative)".to_string(),
+        CollusionMode::AllUpTo,
+    ));
+
+    for (label, mode) in modes {
+        let outcome = Federation::new(
+            FederationConfig::new(G).with_collusion(mode),
+            params,
+            &cohort,
+        )
+        .run()?;
+        let withheld: Vec<_> = outcome
+            .full_set_safe
+            .iter()
+            .filter(|s| !outcome.safe_snps.contains(s))
+            .collect();
+        // The greedy LD scan is path-dependent: intersecting L' across
+        // combinations can occasionally let a *different* SNP of a
+        // dependent pair survive, so the tolerant set is not always a
+        // strict subset of the f = 0 set — but every released SNP was
+        // certified safe in every evaluated combination.
+        let gained = outcome
+            .safe_snps
+            .iter()
+            .filter(|s| !base.safe_snps.contains(s))
+            .count();
+        println!(
+            "\n{label}: {} combinations evaluated, {} SNPs releasable ({:.1}% of f = 0), \
+{} withheld vs f = 0{}",
+            outcome.evaluations,
+            outcome.safe_snps.len(),
+            100.0 * outcome.safe_snps.len() as f64 / base.safe_snps.len().max(1) as f64,
+            withheld.len(),
+            if gained > 0 {
+                format!(", {gained} admitted via an alternate LD survivor chain")
+            } else {
+                String::new()
+            }
+        );
+        if !withheld.is_empty() {
+            let preview: Vec<String> = withheld.iter().take(8).map(ToString::to_string).collect();
+            println!(
+                "  withheld because colluders could isolate them: {}",
+                preview.join(", ")
+            );
+        }
+        // Guaranteed by construction: the tolerant release is a subset of
+        // what the same run would release with zero colluders.
+        assert!(
+            outcome
+                .safe_snps
+                .iter()
+                .all(|s| outcome.full_set_safe.contains(s)),
+            "tolerating colluders never grows the release"
+        );
+    }
+
+    println!(
+        "\nevery collusion-tolerant release only contains SNPs certified safe in every \
+member combination, so colluders gain nothing from isolating any subset"
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # GenDPR — facade crate
+//!
+//! Reproduction of *"Secure and Distributed Assessment of Privacy-Preserving
+//! GWAS Releases"* (Pascoal, Decouchant, Völp; ACM/IFIP Middleware 2022).
+//!
+//! This crate re-exports the whole workspace so that examples and downstream
+//! users need a single dependency:
+//!
+//! * [`genomics`] — genotype matrices, cohorts, synthetic data, VCF-like I/O,
+//! * [`stats`] — MAF / LD / χ² / likelihood-ratio test machinery,
+//! * [`crypto`] — from-scratch primitives (SHA-256, ChaCha20-Poly1305, X25519…),
+//! * [`tee`] — the simulated trusted-execution substrate,
+//! * [`fednet`] — the federation transport, wire codec and traffic metrics,
+//! * [`core`] — the GenDPR protocol, baselines, collusion tolerance, attacks.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory and experiment index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gendpr::core::protocol::Federation;
+//! use gendpr::core::config::{FederationConfig, GwasParams};
+//! use gendpr::genomics::synth::SyntheticCohort;
+//!
+//! // Generate a small synthetic study and split it across 3 data owners.
+//! let cohort = SyntheticCohort::builder()
+//!     .snps(200)
+//!     .case_individuals(300)
+//!     .reference_individuals(300)
+//!     .seed(7)
+//!     .build();
+//!
+//! let federation = Federation::new(
+//!     FederationConfig::new(3),
+//!     GwasParams::secure_genome_defaults(),
+//!     &cohort,
+//! );
+//! let outcome = federation.run().expect("protocol completes");
+//! assert!(outcome.safe_snps.len() <= 200);
+//! ```
+
+pub use gendpr_core as core;
+pub use gendpr_crypto as crypto;
+pub use gendpr_fednet as fednet;
+pub use gendpr_genomics as genomics;
+pub use gendpr_stats as stats;
+pub use gendpr_tee as tee;

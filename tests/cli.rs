@@ -1,0 +1,144 @@
+//! End-to-end tests of the `gendpr` command-line binary: synth → assess →
+//! attack over real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gendpr"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gendpr-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = temp_dir("workflow");
+    let data = dir.join("data");
+    let release = dir.join("release.tsv");
+
+    let synth = bin()
+        .args([
+            "synth",
+            "--snps",
+            "200",
+            "--cases",
+            "200",
+            "--reference",
+            "150",
+        ])
+        .args(["--seed", "3", "--out"])
+        .arg(&data)
+        .output()
+        .expect("synth runs");
+    assert!(
+        synth.status.success(),
+        "{}",
+        String::from_utf8_lossy(&synth.stderr)
+    );
+    assert!(data.join("case.vcf").exists());
+    assert!(data.join("reference.vcf").exists());
+
+    let assess = bin()
+        .args(["assess", "--gdos", "2", "--case"])
+        .arg(data.join("case.vcf"))
+        .arg("--reference")
+        .arg(data.join("reference.vcf"))
+        .arg("--out")
+        .arg(&release)
+        .output()
+        .expect("assess runs");
+    assert!(
+        assess.status.success(),
+        "{}",
+        String::from_utf8_lossy(&assess.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&assess.stdout);
+    assert!(stdout.contains("L_safe"), "{stdout}");
+    assert!(stdout.contains("assessment certificate"), "{stdout}");
+    assert!(release.exists());
+    let tsv = std::fs::read_to_string(&release).unwrap();
+    assert!(tsv.starts_with("snp\t"));
+    assert!(tsv.lines().count() > 1, "release should contain SNPs");
+
+    let attack = bin()
+        .args(["attack", "--release"])
+        .arg(&release)
+        .arg("--victims")
+        .arg(data.join("case.vcf"))
+        .arg("--reference")
+        .arg(data.join("reference.vcf"))
+        .output()
+        .expect("attack runs");
+    assert!(
+        attack.status.success(),
+        "{}",
+        String::from_utf8_lossy(&attack.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&attack.stdout);
+    assert!(stdout.contains("LR-test"), "{stdout}");
+    assert!(stdout.contains("Homer distance"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn assess_rejects_tampered_input() {
+    let dir = temp_dir("tamper");
+    let data = dir.join("data");
+    let synth = bin()
+        .args([
+            "synth",
+            "--snps",
+            "50",
+            "--cases",
+            "40",
+            "--reference",
+            "40",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .expect("synth runs");
+    assert!(synth.status.success());
+
+    // Flip one genotype character: the signature must fail.
+    let case_path = data.join("case.vcf");
+    let text = std::fs::read_to_string(&case_path).unwrap();
+    let idx = text.find("#GENOTYPES").unwrap() + "#GENOTYPES\n".len();
+    let mut bytes = text.into_bytes();
+    bytes[idx] = if bytes[idx] == b'0' { b'1' } else { b'0' };
+    std::fs::write(&case_path, bytes).unwrap();
+
+    let assess = bin()
+        .args(["assess", "--case"])
+        .arg(&case_path)
+        .arg("--reference")
+        .arg(data.join("reference.vcf"))
+        .output()
+        .expect("assess runs");
+    assert!(!assess.status.success(), "tampered input must be rejected");
+    let stderr = String::from_utf8_lossy(&assess.stderr);
+    assert!(stderr.contains("signature"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flags_and_subcommands_error_cleanly() {
+    let out = bin().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let help = bin().arg("--help").output().expect("runs");
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+
+    let missing = bin().args(["assess"]).output().expect("runs");
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--case"));
+}

@@ -1,0 +1,164 @@
+//! Collusion-tolerance properties (paper §5.6, Table 5).
+
+use gendpr::core::collusion::{combination_count, evaluation_subsets, intersect_selections};
+use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::protocol::Federation;
+use gendpr::genomics::snp::SnpId;
+use gendpr::genomics::synth::SyntheticCohort;
+use proptest::prelude::*;
+
+fn cohort(seed: u64) -> SyntheticCohort {
+    SyntheticCohort::builder()
+        .snps(150)
+        .case_individuals(240)
+        .reference_individuals(240)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn every_released_snp_is_safe_in_every_combination() {
+    // The defining guarantee: a SNP survives only if the isolated data of
+    // every member combination also classifies it as safe. We verify by
+    // re-running the full pipeline on each sub-federation built from the
+    // exact shards and checking membership.
+    let c = cohort(1);
+    let params = GwasParams::secure_genome_defaults();
+    let g = 3;
+    let config = FederationConfig::new(g).with_collusion(CollusionMode::Fixed(2));
+    let outcome = Federation::new(config, params, &c).run().unwrap();
+
+    // f = 2 means singleton combinations: each member's shard alone, plus
+    // the full federation.
+    let shards = c.split_case_among(g);
+    for (i, shard) in shards.iter().enumerate() {
+        let solo = Federation::from_shards(
+            FederationConfig::new(1),
+            params,
+            vec![shard.clone()],
+            c.reference().clone(),
+        )
+        .run()
+        .unwrap();
+        // The released SNPs need not match the solo run's selection (the
+        // scan paths differ), but each one must at least be MAF-safe in
+        // the solo view, which is the phase where intersection binds
+        // hardest and is path-independent.
+        for s in &outcome.safe_snps {
+            assert!(
+                solo.l_prime.contains(s),
+                "SNP {s} released but MAF-unsafe for isolated member {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn collusion_never_grows_the_release() {
+    let params = GwasParams::secure_genome_defaults();
+    for seed in 0..4u64 {
+        let c = cohort(seed);
+        let base = Federation::new(FederationConfig::new(3), params, &c)
+            .run()
+            .unwrap();
+        for mode in [
+            CollusionMode::Fixed(1),
+            CollusionMode::Fixed(2),
+            CollusionMode::AllUpTo,
+        ] {
+            let tolerant =
+                Federation::new(FederationConfig::new(3).with_collusion(mode), params, &c)
+                    .run()
+                    .unwrap();
+            assert!(
+                tolerant.safe_snps.len() <= base.safe_snps.len(),
+                "seed {seed} {mode:?}: {} > {}",
+                tolerant.safe_snps.len(),
+                base.safe_snps.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluation_counts_match_binomials() {
+    // Table 5's combination counts.
+    for g in 2..=7usize {
+        for f in 1..g {
+            let subsets = evaluation_subsets(g, CollusionMode::Fixed(f));
+            assert_eq!(
+                subsets.len() as u64,
+                1 + combination_count(g, g - f),
+                "G={g} f={f}"
+            );
+        }
+        let all = evaluation_subsets(g, CollusionMode::AllUpTo);
+        let expected: u64 = (1..g).map(|f| combination_count(g, g - f)).sum();
+        assert_eq!(all.len() as u64, 1 + expected, "G={g} all");
+    }
+}
+
+#[test]
+fn f_equals_g_minus_1_has_fewest_combinations() {
+    // The paper: "shorter running times are achieved in the f = G−1
+    // setting" because only singletons are evaluated.
+    for g in 3..=6usize {
+        let smallest = evaluation_subsets(g, CollusionMode::Fixed(g - 1)).len();
+        for f in 1..g - 1 {
+            let other = evaluation_subsets(g, CollusionMode::Fixed(f)).len();
+            assert!(
+                smallest <= other,
+                "G={g}: f={} has {} combos, f=G-1 has {smallest}",
+                f,
+                other
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn intersection_is_sound(selections in proptest::collection::vec(
+        proptest::collection::vec(0u32..60, 0..30),
+        1..6,
+    )) {
+        let sels: Vec<Vec<SnpId>> = selections
+            .iter()
+            .map(|v| {
+                let mut ids: Vec<SnpId> = v.iter().map(|&x| SnpId(x)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        let common = intersect_selections(&sels);
+        // Every result member is in every selection.
+        for s in &common {
+            for sel in &sels {
+                prop_assert!(sel.contains(s));
+            }
+        }
+        // Nothing in all selections is missing from the result.
+        for s in &sels[0] {
+            if sels.iter().all(|sel| sel.contains(s)) {
+                prop_assert!(common.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_lists_are_valid(g in 1usize..8, f in 0usize..7) {
+        prop_assume!(f < g);
+        let mode = if f == 0 { CollusionMode::None } else { CollusionMode::Fixed(f) };
+        let subsets = evaluation_subsets(g, mode);
+        // First entry is always the full federation.
+        prop_assert_eq!(&subsets[0], &(0..g).collect::<Vec<_>>());
+        for s in &subsets[1..] {
+            prop_assert_eq!(s.len(), g - f);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted");
+            prop_assert!(s.iter().all(|&m| m < g), "in range");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration: the threaded deployment, the in-process
+//! driver, release building and adversarial validation must all agree.
+
+use gendpr::core::attack::MembershipAttacker;
+use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::protocol::Federation;
+use gendpr::core::release::GwasRelease;
+use gendpr::core::runtime::run_federation;
+use gendpr::crypto::rng::ChaChaRng;
+use gendpr::genomics::synth::SyntheticCohort;
+use std::time::Duration;
+
+fn cohort(seed: u64) -> SyntheticCohort {
+    SyntheticCohort::builder()
+        .snps(250)
+        .case_individuals(300)
+        .reference_individuals(280)
+        .seed(seed)
+        .build()
+}
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+#[test]
+fn threaded_and_in_process_agree_across_federation_sizes() {
+    let c = cohort(1);
+    let params = GwasParams::secure_genome_defaults();
+    for g in [2usize, 3, 5] {
+        let config = FederationConfig::new(g).with_seed(11);
+        let threaded = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let in_process = Federation::new(config, params, &c).run().unwrap();
+        assert_eq!(threaded.l_prime, in_process.l_prime, "G={g}");
+        assert_eq!(threaded.l_double_prime, in_process.l_double_prime, "G={g}");
+        assert_eq!(threaded.safe_snps, in_process.safe_snps, "G={g}");
+    }
+}
+
+#[test]
+fn threaded_collusion_modes_agree_with_driver() {
+    let c = cohort(2);
+    let params = GwasParams::secure_genome_defaults();
+    for mode in [
+        CollusionMode::Fixed(1),
+        CollusionMode::Fixed(2),
+        CollusionMode::AllUpTo,
+    ] {
+        let config = FederationConfig::new(3).with_collusion(mode).with_seed(5);
+        let threaded = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+        let in_process = Federation::new(config, params, &c).run().unwrap();
+        assert_eq!(threaded.safe_snps, in_process.safe_snps, "{mode:?}");
+    }
+}
+
+#[test]
+fn full_pipeline_to_validated_release() {
+    let c = cohort(3);
+    let params = GwasParams::secure_genome_defaults();
+    let outcome = Federation::new(FederationConfig::new(3), params, &c)
+        .run()
+        .unwrap();
+
+    let case_counts = c.case().column_counts();
+    let ref_counts = c.reference().column_counts();
+    let release = GwasRelease::noise_free(
+        &outcome.safe_snps,
+        &case_counts,
+        c.case().individuals() as u64,
+        &ref_counts,
+        c.reference().individuals() as u64,
+    );
+    assert_eq!(release.len(), outcome.safe_snps.len());
+
+    // The adversary of the paper's threat model cannot exceed the bound.
+    let attacker = MembershipAttacker::calibrate(
+        release.adversary_view(),
+        c.reference(),
+        params.lr.false_positive_rate,
+    );
+    let power = attacker.power_against(c.case());
+    assert!(
+        power < params.lr.power_threshold,
+        "power {power} must stay below {}",
+        params.lr.power_threshold
+    );
+}
+
+#[test]
+fn hybrid_dp_release_covers_everything_and_stays_bounded() {
+    let c = cohort(4);
+    let params = GwasParams::secure_genome_defaults();
+    let outcome = Federation::new(FederationConfig::new(2), params, &c)
+        .run()
+        .unwrap();
+    let case_counts = c.case().column_counts();
+    let ref_counts = c.reference().column_counts();
+    let mut rng = ChaChaRng::from_seed_u64(5);
+    let hybrid = GwasRelease::hybrid_with_dp(
+        &outcome.safe_snps,
+        &c.panel().all_ids(),
+        &case_counts,
+        c.case().individuals() as u64,
+        &ref_counts,
+        c.reference().individuals() as u64,
+        1.0,
+        &mut rng,
+    );
+    assert_eq!(hybrid.len(), 250);
+    let exact = hybrid.entries.iter().filter(|e| !e.dp_protected).count();
+    assert_eq!(exact, outcome.safe_snps.len());
+    for e in &hybrid.entries {
+        assert!((0.0..=1.0).contains(&e.case_freq));
+        assert!((0.0..=1.0).contains(&e.ref_freq));
+        assert!(e.chi2_p_value.is_finite());
+    }
+}
+
+#[test]
+fn runtime_resources_stay_within_tee_budget() {
+    // The paper's headline: intermediate-data exchange keeps enclaves far
+    // below the 128 MB EPC limit.
+    let c = cohort(6);
+    let report = run_federation(
+        FederationConfig::new(3),
+        GwasParams::secure_genome_defaults(),
+        &c,
+        None,
+        TIMEOUT,
+    )
+    .unwrap();
+    for r in &report.resources {
+        assert!(
+            r.peak_enclave_bytes < 128 * 1024 * 1024,
+            "GDO {} used {} bytes",
+            r.id,
+            r.peak_enclave_bytes
+        );
+        assert!(r.ecalls > 0);
+    }
+    // Leader aggregates, so it dominates memory.
+    let leader_peak = report
+        .resources
+        .iter()
+        .find(|r| r.id == report.leader)
+        .unwrap()
+        .peak_enclave_bytes;
+    let member_max = report
+        .resources
+        .iter()
+        .filter(|r| r.id != report.leader)
+        .map(|r| r.peak_enclave_bytes)
+        .max()
+        .unwrap();
+    assert!(leader_peak >= member_max);
+}
+
+#[test]
+fn deterministic_given_seed_and_data() {
+    let c = cohort(7);
+    let params = GwasParams::secure_genome_defaults();
+    let config = FederationConfig::new(4).with_seed(9);
+    let a = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+    let b = run_federation(config, params, &c, None, TIMEOUT).unwrap();
+    assert_eq!(a.safe_snps, b.safe_snps);
+    assert_eq!(a.leader, b.leader);
+    assert_eq!(a.traffic.messages, b.traffic.messages);
+    assert_eq!(a.traffic.wire_bytes, b.traffic.wire_bytes);
+}

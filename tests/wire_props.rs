@@ -1,0 +1,90 @@
+//! Property-based tests of the wire codec and protocol messages: every
+//! value round-trips, and no mutated byte stream is silently accepted as
+//! a *different* valid value of unexpected shape.
+
+use gendpr::core::messages::{
+    CountsReport, LrReport, Phase1Broadcast, Phase2Broadcast, ProtocolMessage,
+};
+use gendpr::fednet::wire::{from_bytes, to_bytes};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counts_report_roundtrips(counts in proptest::collection::vec(any::<u64>(), 0..300), n_case in any::<u64>()) {
+        let msg = CountsReport { counts, n_case };
+        let back: CountsReport = from_bytes(&to_bytes(&msg)).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn phase2_broadcast_roundtrips(
+        retained in proptest::collection::vec(any::<u32>(), 0..100),
+        freqs in proptest::collection::vec(0.0f64..1.0, 0..100),
+    ) {
+        let msg = Phase2Broadcast {
+            retained,
+            case_freqs: freqs.clone(),
+            ref_freqs: freqs,
+        };
+        let back: Phase2Broadcast = from_bytes(&to_bytes(&msg)).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn lr_report_roundtrips(rows in 0u64..20, cols in 0u64..20) {
+        let msg = LrReport {
+            individuals: rows,
+            snps: cols,
+            values: vec![0.5; (rows * cols) as usize],
+        };
+        let back: LrReport = from_bytes(&to_bytes(&msg)).unwrap();
+        prop_assert_eq!(back.clone(), msg);
+        prop_assert!(back.into_matrix().is_ok());
+    }
+
+    #[test]
+    fn protocol_message_roundtrips(tag in 0u8..4, payload in proptest::collection::vec(any::<u32>(), 0..50)) {
+        let msg = match tag {
+            0 => ProtocolMessage::Phase1(Phase1Broadcast { retained: payload }),
+            1 => ProtocolMessage::Counts(CountsReport {
+                counts: payload.iter().map(|&x| u64::from(x)).collect(),
+                n_case: payload.len() as u64,
+            }),
+            2 => ProtocolMessage::Abort(format!("{payload:?}")),
+            _ => ProtocolMessage::Phase3(gendpr::core::messages::Phase3Broadcast {
+                safe: payload,
+            }),
+        };
+        let back: ProtocolMessage = from_bytes(&to_bytes(&msg)).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(
+        counts in proptest::collection::vec(any::<u64>(), 1..50),
+        cut in 1usize..8,
+    ) {
+        let msg = CountsReport { counts, n_case: 1 };
+        let bytes = to_bytes(&msg);
+        let truncated = &bytes[..bytes.len() - cut.min(bytes.len())];
+        prop_assert!(from_bytes::<CountsReport>(truncated).is_err());
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Decoding hostile input must fail cleanly, never panic or OOM.
+        let _ = from_bytes::<ProtocolMessage>(&bytes);
+        let _ = from_bytes::<CountsReport>(&bytes);
+        let _ = from_bytes::<LrReport>(&bytes);
+    }
+
+    #[test]
+    fn appended_garbage_is_rejected(extra in 1usize..10) {
+        let msg = CountsReport { counts: vec![1, 2, 3], n_case: 3 };
+        let mut bytes = to_bytes(&msg);
+        bytes.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(from_bytes::<CountsReport>(&bytes).is_err());
+    }
+}
