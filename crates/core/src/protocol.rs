@@ -590,7 +590,7 @@ mod tests {
             .traffic
             .wan_estimate(&gendpr_fednet::latency::LatencyModel::wide_area());
         assert!(wan > dc);
-        assert!(wan >= std::time::Duration::from_millis(80 * out.traffic.round_trips as u64 / 1000));
+        assert!(wan >= std::time::Duration::from_millis(80 * out.traffic.round_trips / 1000));
     }
 
     #[test]

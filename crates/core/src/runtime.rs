@@ -28,7 +28,7 @@ use crate::protocol::PhaseTimings;
 use gendpr_crypto::rng::ChaChaRng;
 use gendpr_fednet::fault::FaultPlan;
 use gendpr_fednet::metrics::TrafficStats;
-use gendpr_fednet::transport::{Endpoint, NetError, Network, PeerId};
+use gendpr_fednet::transport::{Endpoint, NetError, Network, PeerId, Transport};
 use gendpr_fednet::wire::{self, Decode, Encode, Reader, WireError};
 use gendpr_genomics::cohort::Cohort;
 use gendpr_genomics::genotype::GenotypeMatrix;
@@ -173,10 +173,10 @@ pub fn expected_measurement(params: &GwasParams) -> Measurement {
     Measurement::compute(CODE_IDENTITY, &measurement_config(params))
 }
 
-struct MemberCtx {
+struct MemberCtx<T: Transport> {
     id: usize,
     g: usize,
-    endpoint: Endpoint,
+    endpoint: T,
     enclave: Enclave<()>,
     rng: ChaChaRng,
     timeout: Duration,
@@ -187,7 +187,7 @@ struct MemberCtx {
     backlog: HashMap<u32, VecDeque<Frame>>,
 }
 
-impl MemberCtx {
+impl<T: Transport> MemberCtx<T> {
     fn send_frame(
         &self,
         to: usize,
@@ -244,7 +244,7 @@ impl MemberCtx {
 
 /// Commit-reveal election among all members (paper: "randomly choosing one
 /// of the registered enclaves").
-fn run_election(ctx: &mut MemberCtx) -> Result<usize, ProtocolError> {
+fn run_election<T: Transport>(ctx: &mut MemberCtx<T>) -> Result<usize, ProtocolError> {
     let (reveal, commitment) = draw_nonce(&mut ctx.rng);
     for peer in 0..ctx.g {
         if peer != ctx.id {
@@ -297,7 +297,10 @@ fn run_election(ctx: &mut MemberCtx) -> Result<usize, ProtocolError> {
 }
 
 /// Establishes an attested channel with `peer` (both sides run this).
-fn establish_channel(ctx: &mut MemberCtx, peer: usize) -> Result<SecureChannel, ProtocolError> {
+fn establish_channel<T: Transport>(
+    ctx: &mut MemberCtx<T>,
+    peer: usize,
+) -> Result<SecureChannel, ProtocolError> {
     let handshake = Handshake::start(&ctx.enclave, &mut ctx.rng);
     let msg = handshake.message().to_bytes();
     ctx.send_frame(peer, &Frame::Handshake(msg), msg.len())?;
@@ -314,8 +317,8 @@ fn establish_channel(ctx: &mut MemberCtx, peer: usize) -> Result<SecureChannel, 
         })
 }
 
-fn send_protocol(
-    ctx: &MemberCtx,
+fn send_protocol<T: Transport>(
+    ctx: &MemberCtx<T>,
     channel: &mut SecureChannel,
     to: usize,
     msg: &ProtocolMessage,
@@ -326,8 +329,8 @@ fn send_protocol(
     ctx.send_frame(to, &Frame::Sealed(sealed), plaintext_len)
 }
 
-fn recv_protocol(
-    ctx: &mut MemberCtx,
+fn recv_protocol<T: Transport>(
+    ctx: &mut MemberCtx<T>,
     channel: &mut SecureChannel,
     from: usize,
     phase: &'static str,
@@ -347,7 +350,6 @@ fn recv_protocol(
 }
 
 struct ThreadReport {
-    id: usize,
     peak_enclave_bytes: u64,
     ecalls: u64,
     leader: usize,
@@ -358,8 +360,8 @@ struct ThreadReport {
 }
 
 #[allow(clippy::too_many_lines)]
-fn leader_main(
-    ctx: &mut MemberCtx,
+fn leader_main<T: Transport>(
+    ctx: &mut MemberCtx<T>,
     node: &GdoNode,
     reference: &GenotypeMatrix,
     config: &FederationConfig,
@@ -758,7 +760,6 @@ fn leader_main(
     }
 
     Ok(ThreadReport {
-        id: me,
         peak_enclave_bytes: ctx.enclave.epc().peak(),
         ecalls: ctx.enclave.ecalls(),
         leader: me,
@@ -769,8 +770,8 @@ fn leader_main(
     })
 }
 
-fn abort_all(
-    ctx: &mut MemberCtx,
+fn abort_all<T: Transport>(
+    ctx: &mut MemberCtx<T>,
     channels: &mut HashMap<usize, SecureChannel>,
     err: &ProtocolError,
 ) {
@@ -780,8 +781,8 @@ fn abort_all(
     }
 }
 
-fn follower_main(
-    ctx: &mut MemberCtx,
+fn follower_main<T: Transport>(
+    ctx: &mut MemberCtx<T>,
     node: &GdoNode,
     leader: usize,
 ) -> Result<ThreadReport, ProtocolError> {
@@ -845,7 +846,6 @@ fn follower_main(
             }
             ProtocolMessage::Phase3(broadcast) => {
                 return Ok(ThreadReport {
-                    id: ctx.id,
                     peak_enclave_bytes: ctx.enclave.epc().peak(),
                     ecalls: ctx.enclave.ecalls(),
                     leader,
@@ -901,6 +901,10 @@ pub fn run_federation(
 
 /// [`run_federation`] with explicit [`RuntimeOptions`].
 ///
+/// Deploys over the in-memory [`Network`]; use [`run_federation_over`] to
+/// supply your own transports (e.g. [`gendpr_fednet::tcp::TcpTransport`])
+/// and [`run_member`] to run a single member in its own process.
+///
 /// # Errors
 ///
 /// Same conditions as [`run_federation`].
@@ -912,68 +916,204 @@ pub fn run_federation_with(
     options: RuntimeOptions,
 ) -> Result<RuntimeReport, ProtocolError> {
     config.validate().map_err(ProtocolError::InvalidConfig)?;
+    let network = Network::new();
+    if let Some(f) = faults {
+        network.set_faults(f);
+    }
+    // Register every endpoint before any thread runs: a member must never
+    // observe a federation where a peer does not exist yet.
+    let transports: Vec<Endpoint> = (0..config.gdo_count)
+        .map(|id| network.register(PeerId(id as u32)))
+        .collect();
+    run_federation_over(transports, config, params, cohort, options)
+}
+
+/// What one member observed during a federation run — the unit returned
+/// by [`run_member`] and aggregated by [`run_federation_over`].
+#[derive(Debug, Clone)]
+pub struct MemberOutcome {
+    /// This member's index.
+    pub id: usize,
+    /// The leader this member elected.
+    pub leader: usize,
+    /// The safe set this member learned (identical at every honest member).
+    pub safe_snps: Vec<SnpId>,
+    /// MAF survivors — populated only at the leader.
+    pub l_prime: Option<Vec<SnpId>>,
+    /// LD survivors — populated only at the leader.
+    pub l_double_prime: Option<Vec<SnpId>>,
+    /// The enclave-signed certificate — produced only at the leader.
+    pub certificate: Option<AssessmentCertificate>,
+    /// Leader-side phase timings (zero at followers).
+    pub timings: PhaseTimings,
+    /// Enclave resource usage of this member.
+    pub resources: MemberResources,
+    /// Bytes this member put on the wire.
+    pub egress: TrafficStats,
+    /// Bytes this member received off the wire.
+    pub ingress: TrafficStats,
+    /// Outbound per-link stats, `(peer, stats)` for every other member.
+    pub links: Vec<(u32, TrafficStats)>,
+}
+
+/// Runs a single federation member over an arbitrary [`Transport`].
+///
+/// This is the body of one `run_federation` thread, exposed so a real
+/// deployment (the `gendpr node` daemon) can run each member in its own
+/// process. All per-member secrets — the attestation root, platform keys
+/// and the member's protocol RNG — are derived from `config.seed` with
+/// the exact fork sequence `run_federation_over` uses, so G independent
+/// processes sharing a seed reconstruct one consistent federation and
+/// produce bit-identical results to the threaded deployment.
+///
+/// `shard` is this member's case-cohort slice (shard `member` of
+/// [`Cohort::split_case_among`] with `config.gdo_count` shards);
+/// `reference` is the public reference panel every member holds.
+///
+/// # Errors
+///
+/// Configuration errors, [`ProtocolError::MemberUnresponsive`] when a
+/// peer stays silent past `options.timeout`, or
+/// [`ProtocolError::SecurityFailure`] if attestation fails.
+#[allow(clippy::needless_pass_by_value)] // the transport is consumed by the run
+pub fn run_member<T: Transport>(
+    transport: T,
+    member: usize,
+    config: &FederationConfig,
+    params: &GwasParams,
+    options: RuntimeOptions,
+    shard: GenotypeMatrix,
+    reference: &GenotypeMatrix,
+) -> Result<MemberOutcome, ProtocolError> {
+    config.validate().map_err(ProtocolError::InvalidConfig)?;
+    params.validate().map_err(ProtocolError::InvalidConfig)?;
+    let g = config.gdo_count;
+    if member >= g {
+        return Err(ProtocolError::InvalidConfig("member id out of range"));
+    }
+
+    // Derive this member's share of the federation state. The fork order
+    // must match run_federation_over exactly: attestation service first,
+    // then a (platform, member) RNG pair per member in id order.
+    let mut master = ChaChaRng::from_seed_u64(config.seed);
+    let service = AttestationService::new(&mut master.fork("attestation-service"));
+    let mut keys = None;
+    for id in 0..=member {
+        let platform_rng = master.fork("platform");
+        let member_rng = master.fork(&format!("member-{id}"));
+        if id == member {
+            keys = Some((platform_rng, member_rng));
+        }
+    }
+    let (mut platform_rng, rng) = keys.expect("loop visits `member`");
+    let platform = Platform::new(&format!("gdo-{member}"), &service, &mut platform_rng);
+    let enclave =
+        platform.launch_enclave_with_config(CODE_IDENTITY, &measurement_config(params), ());
+
+    let mut ctx = MemberCtx {
+        id: member,
+        g,
+        endpoint: transport,
+        enclave,
+        rng,
+        timeout: options.timeout,
+        compact_lr: options.compact_lr,
+        prefetch_ld: options.prefetch_ld,
+        expected: expected_measurement(params),
+        backlog: HashMap::new(),
+    };
+    let node = GdoNode::new(member, shard);
+    let leader = run_election(&mut ctx)?;
+    let report = if leader == member {
+        leader_main(&mut ctx, &node, reference, config, params)?
+    } else {
+        follower_main(&mut ctx, &node, leader)?
+    };
+    let egress = ctx.endpoint.egress_stats();
+    let ingress = ctx.endpoint.ingress_stats();
+    let links = (0..g)
+        .filter(|&peer| peer != member)
+        .map(|peer| (peer as u32, ctx.endpoint.link_stats(PeerId(peer as u32))))
+        .collect();
+    let (l_prime, l_double_prime) = match report.outcome {
+        Some((lp, ld, _)) => (Some(lp), Some(ld)),
+        None => (None, None),
+    };
+    Ok(MemberOutcome {
+        id: member,
+        leader: report.leader,
+        safe_snps: report.safe_seen,
+        l_prime,
+        l_double_prime,
+        certificate: report.certificate,
+        timings: report.timings,
+        resources: MemberResources {
+            id: member,
+            peak_enclave_bytes: report.peak_enclave_bytes,
+            ecalls: report.ecalls,
+        },
+        egress,
+        ingress,
+        links,
+    })
+}
+
+/// Runs the full deployment over caller-supplied transports, one per
+/// member in id order (transport `i` must report `PeerId(i)`).
+///
+/// [`run_federation_with`] is this function applied to a fresh in-memory
+/// [`Network`]; passing [`gendpr_fednet::tcp::TcpTransport`]s instead
+/// runs the same protocol over real sockets.
+///
+/// # Errors
+///
+/// Same conditions as [`run_federation`], plus
+/// [`ProtocolError::InvalidConfig`] if the transports do not line up with
+/// the configured member count.
+pub fn run_federation_over<T: Transport + 'static>(
+    transports: Vec<T>,
+    config: FederationConfig,
+    params: GwasParams,
+    cohort: impl AsRef<Cohort>,
+    options: RuntimeOptions,
+) -> Result<RuntimeReport, ProtocolError> {
+    config.validate().map_err(ProtocolError::InvalidConfig)?;
     params.validate().map_err(ProtocolError::InvalidConfig)?;
     let cohort = cohort.as_ref();
     if cohort.panel().is_empty() || cohort.reference_individuals() == 0 {
         return Err(ProtocolError::EmptyStudy);
     }
-
     let g = config.gdo_count;
-    let network = Network::new();
-    if let Some(f) = faults {
-        network.set_faults(f);
+    if transports.len() != g {
+        return Err(ProtocolError::InvalidConfig("one transport per member"));
     }
-    let mut master = ChaChaRng::from_seed_u64(config.seed);
-    let service = AttestationService::new(&mut master.fork("attestation-service"));
+    if transports
+        .iter()
+        .enumerate()
+        .any(|(id, t)| t.id() != PeerId(id as u32))
+    {
+        return Err(ProtocolError::InvalidConfig(
+            "transports must be ordered by member id",
+        ));
+    }
     let reference = Arc::new(cohort.reference().clone());
     let shards = cohort.split_case_among(g);
-    let expected = expected_measurement(&params);
     let start = Instant::now();
 
-    // Register every endpoint before any thread runs: a member must never
-    // observe a federation where a peer does not exist yet.
-    let mut endpoints: Vec<Endpoint> = (0..g)
-        .map(|id| network.register(PeerId(id as u32)))
-        .collect();
-    endpoints.reverse(); // pop() below hands out id 0 first
-
     let mut handles = Vec::with_capacity(g);
-    for (id, shard) in shards.into_iter().enumerate() {
-        let endpoint = endpoints.pop().expect("one endpoint per member");
-        let platform = Platform::new(&format!("gdo-{id}"), &service, &mut master.fork("platform"));
-        let rng = master.fork(&format!("member-{id}"));
+    for (id, (transport, shard)) in transports.into_iter().zip(shards).enumerate() {
         let reference = Arc::clone(&reference);
-        let cfg_bytes = measurement_config(&params);
-        let handle = std::thread::spawn(move || -> Result<ThreadReport, ProtocolError> {
-            let enclave = platform.launch_enclave_with_config(CODE_IDENTITY, &cfg_bytes, ());
-            let mut ctx = MemberCtx {
-                id,
-                g,
-                endpoint,
-                enclave,
-                rng,
-                timeout: options.timeout,
-                compact_lr: options.compact_lr,
-                prefetch_ld: options.prefetch_ld,
-                expected,
-                backlog: HashMap::new(),
-            };
-            let node = GdoNode::new(id, shard);
-            let leader = run_election(&mut ctx)?;
-            if leader == id {
-                leader_main(&mut ctx, &node, &reference, &config, &params)
-            } else {
-                follower_main(&mut ctx, &node, leader)
-            }
+        let handle = std::thread::spawn(move || -> Result<MemberOutcome, ProtocolError> {
+            run_member(transport, id, &config, &params, options, shard, &reference)
         });
         handles.push(handle);
     }
 
-    let mut reports = Vec::with_capacity(g);
+    let mut outcomes = Vec::with_capacity(g);
     let mut errors: Vec<ProtocolError> = Vec::new();
     for handle in handles {
         match handle.join().expect("member thread must not panic") {
-            Ok(report) => reports.push(report),
+            Ok(outcome) => outcomes.push(outcome),
             Err(e) => errors.push(e),
         }
     }
@@ -996,45 +1136,42 @@ pub fn run_federation_with(
         return Err(root);
     }
 
-    let leader = reports[0].leader;
-    let (l_prime, l_double_prime, safe_snps) = reports
+    let leader = outcomes[0].leader;
+    let leader_outcome = outcomes
         .iter()
-        .find_map(|r| r.outcome.clone())
+        .find(|o| o.l_prime.is_some())
         .expect("leader produced an outcome");
-    let timings = reports
-        .iter()
-        .find(|r| r.outcome.is_some())
-        .map(|r| r.timings)
-        .expect("leader produced timings");
-    let certificate = reports
-        .iter()
-        .find_map(|r| r.certificate.clone())
+    let l_prime = leader_outcome.l_prime.clone().expect("checked above");
+    let l_double_prime = leader_outcome
+        .l_double_prime
+        .clone()
+        .expect("leader produced both survivor sets");
+    let safe_snps = leader_outcome.safe_snps.clone();
+    let timings = leader_outcome.timings;
+    let certificate = leader_outcome
+        .certificate
+        .clone()
         .expect("leader produced a certificate");
     // Every member must have learned the same safe set.
-    for r in &reports {
+    let mut traffic = TrafficStats::default();
+    for o in &outcomes {
         assert_eq!(
-            r.safe_seen, safe_snps,
+            o.safe_snps, safe_snps,
             "member {} disagrees on L_safe",
-            r.id
+            o.id
         );
-        assert_eq!(r.leader, leader, "member {} disagrees on the leader", r.id);
+        assert_eq!(o.leader, leader, "member {} disagrees on the leader", o.id);
+        traffic.merge(&o.egress);
     }
-    reports.sort_by_key(|r| r.id);
-    let resources = reports
-        .iter()
-        .map(|r| MemberResources {
-            id: r.id,
-            peak_enclave_bytes: r.peak_enclave_bytes,
-            ecalls: r.ecalls,
-        })
-        .collect();
+    outcomes.sort_by_key(|o| o.id);
+    let resources = outcomes.iter().map(|o| o.resources).collect();
 
     Ok(RuntimeReport {
         leader,
         l_prime,
         l_double_prime,
         safe_snps,
-        traffic: network.total_stats(),
+        traffic,
         resources,
         elapsed: start.elapsed(),
         timings,

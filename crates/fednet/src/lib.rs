@@ -6,8 +6,11 @@
 //! * [`wire`] — a strict little-endian binary codec with a
 //!   [`wire_struct!`] derive macro (no serde format crate is available
 //!   offline, see `DESIGN.md` §4),
-//! * [`transport`] — an in-memory reliable in-order message fabric with
-//!   per-link traffic metering,
+//! * [`transport`] — the [`Transport`] trait plus an in-memory reliable
+//!   in-order message fabric with per-link traffic metering,
+//! * [`tcp`] — the same contract over real sockets: length-prefixed
+//!   framing, dial retry with backoff, deadline-bounded connects — the
+//!   substrate of the `gendpr node` daemon,
 //! * [`metrics`] — the bandwidth accounting behind the paper's Table 3
 //!   discussion,
 //! * [`fault`] — deterministic crash/partition injection (the paper's
@@ -30,10 +33,12 @@
 pub mod fault;
 pub mod latency;
 pub mod metrics;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;
 pub use metrics::{TrafficMatrix, TrafficStats};
-pub use transport::{Endpoint, Envelope, NetError, Network, PeerId};
+pub use tcp::{TcpOptions, TcpTransport};
+pub use transport::{Endpoint, Envelope, NetError, Network, PeerId, Transport};

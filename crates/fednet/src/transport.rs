@@ -1,19 +1,25 @@
-//! In-memory federation transport.
+//! Federation transports.
 //!
-//! A [`Network`] connects the federation's endpoints with reliable,
-//! in-order, point-to-point message delivery (crossbeam channels), while
-//! recording traffic metrics and applying the configured [`FaultPlan`].
-//! GenDPR's runtime gives each GDO thread one [`Endpoint`]; everything the
-//! endpoints carry is already enclave-encrypted by the TEE layer.
+//! The [`Transport`] trait is the runtime's only view of the network: a
+//! peer identity, blocking point-to-point send/receive with deadlines, and
+//! per-link traffic accounting. Two implementations exist:
+//!
+//! * [`Network`]/[`Endpoint`] (this module) — reliable, in-order,
+//!   in-memory delivery over channels, for single-process deployments and
+//!   benchmarks;
+//! * [`crate::tcp::TcpTransport`] — length-prefixed frames over real TCP
+//!   sockets, for multi-process deployments (`gendpr node`).
+//!
+//! Everything a transport carries is already enclave-encrypted by the TEE
+//! layer; the transport stays oblivious to plaintext.
 
 use crate::fault::FaultPlan;
 use crate::metrics::{TrafficMatrix, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Identifies a federation endpoint (GDO index).
@@ -45,27 +51,82 @@ pub struct Envelope {
 pub enum NetError {
     /// Destination was never registered.
     UnknownPeer(PeerId),
-    /// The message was dropped by the fault plan (crash/partition).
+    /// The message was dropped by the fault plan (crash/partition), or the
+    /// connection carrying it died mid-transfer.
     Dropped,
-    /// Receive timed out — in GenDPR this is how a member's
-    /// non-responsiveness surfaces (the paper makes no liveness guarantee).
+    /// A deadline elapsed — either a receive wait or a connection attempt.
+    /// In GenDPR this is how a member's non-responsiveness surfaces (the
+    /// paper makes no liveness guarantee).
     Timeout,
     /// The endpoint's queue was disconnected.
     Disconnected,
+    /// The message exceeds the transport's maximum frame size.
+    FrameTooLarge(usize),
 }
 
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownPeer(p) => write!(f, "unknown peer {p}"),
-            Self::Dropped => f.write_str("message dropped by fault plan"),
-            Self::Timeout => f.write_str("receive timed out"),
+            Self::Dropped => f.write_str("message dropped by fault plan or dead connection"),
+            Self::Timeout => f.write_str("deadline elapsed"),
             Self::Disconnected => f.write_str("endpoint disconnected"),
+            Self::FrameTooLarge(n) => write!(f, "{n}-byte message exceeds the frame size limit"),
         }
     }
 }
 
 impl Error for NetError {}
+
+/// What the GenDPR runtime requires of a federation network: a fixed peer
+/// identity, blocking deadline-bounded point-to-point messaging, fault
+/// injection, and per-link traffic accounting.
+///
+/// Semantics every implementation must honour:
+///
+/// * messages between a fixed `(sender, receiver)` pair are delivered in
+///   send order (cross-pair ordering is unspecified);
+/// * [`Transport::send`] returns [`NetError::Dropped`] when the fault plan
+///   swallows the message or the link died — the sender treats that as
+///   best-effort delivery and lets the silence surface at the receiver;
+/// * [`Transport::recv_timeout`] returns [`NetError::Timeout`] once the
+///   deadline elapses with nothing delivered;
+/// * traffic counters report bytes as they appear on this transport's
+///   medium (for TCP, framing included).
+pub trait Transport: Send {
+    /// This endpoint's peer id.
+    fn id(&self) -> PeerId;
+
+    /// Sends `payload` to `to`; `plaintext_len` is the pre-encryption size,
+    /// recorded for bandwidth accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownPeer`], [`NetError::Dropped`],
+    /// [`NetError::Timeout`] (connection deadline) or
+    /// [`NetError::FrameTooLarge`].
+    fn send(&self, to: PeerId, payload: Vec<u8>, plaintext_len: usize) -> Result<(), NetError>;
+
+    /// Blocks for the next message up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] or [`NetError::Disconnected`].
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError>;
+
+    /// Installs a fault plan evaluated on every send (replacing any
+    /// previous one).
+    fn set_faults(&self, faults: FaultPlan);
+
+    /// Traffic sent by this endpoint to `to`.
+    fn link_stats(&self, to: PeerId) -> TrafficStats;
+
+    /// Everything sent by this endpoint.
+    fn egress_stats(&self) -> TrafficStats;
+
+    /// Everything received by this endpoint.
+    fn ingress_stats(&self) -> TrafficStats;
+}
 
 #[derive(Debug, Default)]
 struct NetworkState {
@@ -94,8 +155,8 @@ impl Network {
     /// Panics if the id is already registered (a wiring bug).
     #[must_use]
     pub fn register(&self, id: PeerId) -> Endpoint {
-        let (tx, rx) = unbounded();
-        let mut state = self.state.lock();
+        let (tx, rx) = channel();
+        let mut state = self.lock();
         let prev = state.inboxes.insert(id, tx);
         assert!(prev.is_none(), "peer {id} registered twice");
         Endpoint {
@@ -105,37 +166,43 @@ impl Network {
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, NetworkState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Installs a fault plan (replacing any previous one).
     pub fn set_faults(&self, faults: FaultPlan) {
-        self.state.lock().faults = faults;
+        self.lock().faults = faults;
     }
 
     /// Snapshot of one directed link's traffic.
     #[must_use]
     pub fn link_stats(&self, from: PeerId, to: PeerId) -> TrafficStats {
-        self.state.lock().metrics.link(from.0, to.0)
+        self.lock().metrics.link(from.0, to.0)
     }
 
     /// Snapshot of network-wide traffic.
     #[must_use]
     pub fn total_stats(&self) -> TrafficStats {
-        self.state.lock().metrics.total()
+        self.lock().metrics.total()
     }
 
     /// Snapshot of everything received by `peer`.
     #[must_use]
     pub fn ingress_stats(&self, peer: PeerId) -> TrafficStats {
-        self.state.lock().metrics.ingress(peer.0)
+        self.lock().metrics.ingress(peer.0)
     }
 
     /// Snapshot of everything sent by `peer`.
     #[must_use]
     pub fn egress_stats(&self, peer: PeerId) -> TrafficStats {
-        self.state.lock().metrics.egress(peer.0)
+        self.lock().metrics.egress(peer.0)
     }
 
     fn send(&self, env: Envelope) -> Result<(), NetError> {
-        let mut state = self.state.lock();
+        let mut state = self.lock();
         if state.faults.on_send(env.from.0, env.to.0) {
             return Err(NetError::Dropped);
         }
@@ -198,8 +265,8 @@ impl Endpoint {
     /// [`NetError::Timeout`] or [`NetError::Disconnected`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
-            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
-            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+            std::sync::mpsc::RecvTimeoutError::Timeout => NetError::Timeout,
+            std::sync::mpsc::RecvTimeoutError::Disconnected => NetError::Disconnected,
         })
     }
 
@@ -213,6 +280,36 @@ impl Endpoint {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.network
+    }
+}
+
+impl Transport for Endpoint {
+    fn id(&self) -> PeerId {
+        Endpoint::id(self)
+    }
+
+    fn send(&self, to: PeerId, payload: Vec<u8>, plaintext_len: usize) -> Result<(), NetError> {
+        Endpoint::send(self, to, payload, plaintext_len)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn set_faults(&self, faults: FaultPlan) {
+        self.network.set_faults(faults);
+    }
+
+    fn link_stats(&self, to: PeerId) -> TrafficStats {
+        self.network.link_stats(self.id, to)
+    }
+
+    fn egress_stats(&self) -> TrafficStats {
+        self.network.egress_stats(self.id)
+    }
+
+    fn ingress_stats(&self) -> TrafficStats {
+        self.network.ingress_stats(self.id)
     }
 }
 

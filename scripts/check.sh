@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo health check: formatting, lints, full test suite.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

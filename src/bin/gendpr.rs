@@ -4,39 +4,90 @@
 //! gendpr synth  --snps 1000 --cases 600 --reference 500 --seed 7 --out data/
 //! gendpr assess --case data/case.vcf --reference data/reference.vcf \
 //!               --gdos 3 [--collusion <f|all>] [--maf 0.05] [--ld 1e-5] \
-//!               [--fpr 0.1] [--power 0.9] [--out release.tsv]
+//!               [--fpr 0.1] [--power 0.9] [--out release.tsv] [--distributed]
+//! gendpr node   --id 0 --peers 127.0.0.1:9470,127.0.0.1:9471,127.0.0.1:9472 \
+//!               --case data/case.vcf --reference data/reference.vcf
 //! gendpr attack --release release.tsv --victims data/case.vcf \
 //!               --reference data/reference.vcf [--fpr 0.1]
 //! ```
 //!
 //! `synth` writes a signed synthetic study; `assess` runs the full
 //! threaded GenDPR deployment (enclaves, attestation, encrypted channels)
-//! over the case file split among the GDOs and emits the safe release;
-//! `attack` plays the LR membership adversary against a published release
-//! to check what a victim would face.
+//! over the case file split among the GDOs and emits the safe release —
+//! with `--distributed` it spawns one `gendpr node` process per GDO and
+//! runs the same protocol over real TCP sockets; `node` runs a single
+//! federation member daemon; `attack` plays the LR membership adversary
+//! against a published release to check what a victim would face.
 
 use gendpr::core::attack::{AttackStatistic, MembershipAttacker};
 use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
 use gendpr::core::release::GwasRelease;
-use gendpr::core::runtime::{run_federation_with, RuntimeOptions};
+use gendpr::core::runtime::{run_federation_with, run_member, RuntimeOptions};
+use gendpr::fednet::tcp::{TcpOptions, TcpTransport};
+use gendpr::fednet::transport::PeerId;
 use gendpr::genomics::cohort::Cohort;
 use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::genomics::vcf;
 use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Command, ExitCode, Stdio};
 use std::time::Duration;
 
 /// Default HMAC key for signed VCF files; override with `--key`.
 const DEFAULT_KEY: &[u8] = b"gendpr-demo-signing-key";
 
+/// Flags that take a value, per subcommand. `parse_flags` rejects
+/// anything not listed here.
+const SYNTH_FLAGS: &[&str] = &["snps", "cases", "reference", "seed", "out", "key"];
+const ASSESS_FLAGS: &[&str] = &[
+    "case",
+    "reference",
+    "gdos",
+    "collusion",
+    "seed",
+    "maf",
+    "ld",
+    "fpr",
+    "power",
+    "out",
+    "key",
+    "timeout",
+];
+const ASSESS_BOOLS: &[&str] = &["distributed"];
+const NODE_FLAGS: &[&str] = &[
+    "id",
+    "gdos",
+    "peers",
+    "listen",
+    "case",
+    "reference",
+    "collusion",
+    "seed",
+    "maf",
+    "ld",
+    "fpr",
+    "power",
+    "out",
+    "key",
+    "timeout",
+];
+const ATTACK_FLAGS: &[&str] = &["release", "victims", "reference", "fpr", "key"];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
     let result = match args.first().map(String::as_str) {
-        Some("synth") => cmd_synth(&parse_flags(&args[1..])),
-        Some("assess") => cmd_assess(&parse_flags(&args[1..])),
-        Some("attack") => cmd_attack(&parse_flags(&args[1..])),
-        Some("--help" | "-h") | None => {
+        Some("synth") => parse_flags(&args[1..], SYNTH_FLAGS, &[]).and_then(|f| cmd_synth(&f)),
+        Some("assess") => {
+            parse_flags(&args[1..], ASSESS_FLAGS, ASSESS_BOOLS).and_then(|f| cmd_assess(&f))
+        }
+        Some("node") => parse_flags(&args[1..], NODE_FLAGS, &[]).and_then(|f| cmd_node(&f)),
+        Some("attack") => parse_flags(&args[1..], ATTACK_FLAGS, &[]).and_then(|f| cmd_attack(&f)),
+        None => {
             print_usage();
             Ok(())
         }
@@ -56,24 +107,89 @@ fn print_usage() {
         "gendpr — secure and distributed assessment of privacy-preserving GWAS releases\n\n\
 USAGE:\n  gendpr synth  --snps N --cases N --reference N [--seed N] [--out DIR] [--key HEX]\n  \
 gendpr assess --case FILE --reference FILE --gdos N [--collusion f|all]\n                \
-[--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n  \
-gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]"
+[--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
+[--distributed] [--timeout SECS]\n  \
+gendpr node   --id K --peers HOST:PORT,... --case FILE --reference FILE\n                \
+[--gdos N] [--listen ADDR] [--collusion f|all] [--seed N]\n                \
+[--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
+[--timeout SECS]\n  \
+gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n\n\
+`assess --distributed` spawns one `gendpr node` process per GDO on free\n\
+localhost ports and runs the protocol over real TCP sockets; `node` runs a\n\
+single member against an explicit peer roster (same seed + study files on\n\
+every host ⇒ same federation, bit-identical release)."
     );
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Levenshtein distance, for "did you mean" suggestions on unknown flags.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Strict flag parser: every flag must be declared (either taking a value
+/// or boolean), duplicates and stray positional arguments are errors, and
+/// unknown flags get a nearest-match suggestion.
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
-        } else {
+        let arg = &args[i];
+        let Some(raw) = arg.strip_prefix("--") else {
+            return Err(format!(
+                "unexpected argument {arg:?}; flags look like --name VALUE"
+            ));
+        };
+        let (name, inline) = match raw.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (raw, None),
+        };
+        if flags.contains_key(name) {
+            return Err(format!("flag --{name} given more than once"));
+        }
+        if bool_flags.contains(&name) {
+            if let Some(v) = inline {
+                return Err(format!("--{name} takes no value (got {v:?})"));
+            }
+            flags.insert(name.to_string(), "true".to_string());
             i += 1;
+        } else if value_flags.contains(&name) {
+            let value = match inline {
+                Some(v) => v,
+                None => {
+                    i += 1;
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| format!("--{name} expects a value"))?
+                }
+            };
+            flags.insert(name.to_string(), value);
+            i += 1;
+        } else {
+            let suggestion = value_flags
+                .iter()
+                .chain(bool_flags)
+                .min_by_key(|known| edit_distance(name, known))
+                .filter(|known| edit_distance(name, known) <= 2)
+                .map(|known| format!(" (did you mean --{known}?)"))
+                .unwrap_or_default();
+            return Err(format!("unknown flag --{name}{suggestion}"));
         }
     }
-    flags
+    Ok(flags)
 }
 
 fn flag<T: std::str::FromStr>(
@@ -165,10 +281,10 @@ fn params_from_flags(flags: &HashMap<String, String>) -> Result<GwasParams, Stri
     Ok(params)
 }
 
-fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
-    let cohort = load_cohort(flags)?;
-    let gdos: usize = flag(flags, "gdos", 3)?;
-    let params = params_from_flags(flags)?;
+fn config_from_flags(
+    flags: &HashMap<String, String>,
+    gdos: usize,
+) -> Result<FederationConfig, String> {
     let collusion = match flags.get("collusion").map(String::as_str) {
         None => CollusionMode::None,
         Some("all") => CollusionMode::AllUpTo,
@@ -181,6 +297,28 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
         .with_collusion(collusion)
         .with_seed(flag(flags, "seed", 0u64)?);
     config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+fn release_for(cohort: &Cohort, safe_snps: &[gendpr::genomics::snp::SnpId]) -> GwasRelease {
+    GwasRelease::noise_free(
+        safe_snps,
+        &cohort.case().column_counts(),
+        cohort.case_individuals() as u64,
+        &cohort.reference().column_counts(),
+        cohort.reference_individuals() as u64,
+    )
+}
+
+fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("distributed") {
+        return cmd_assess_distributed(flags);
+    }
+    let cohort = load_cohort(flags)?;
+    let gdos: usize = flag(flags, "gdos", 3)?;
+    let params = params_from_flags(flags)?;
+    let config = config_from_flags(flags, gdos)?;
+    let timeout: u64 = flag(flags, "timeout", 3_600)?;
 
     println!(
         "assessing {} case genomes / {} reference genomes over {} SNPs with {gdos} GDOs…",
@@ -194,7 +332,7 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
         &cohort,
         None,
         RuntimeOptions {
-            timeout: Duration::from_secs(3_600),
+            timeout: Duration::from_secs(timeout),
             compact_lr: true,
             prefetch_ld: true,
         },
@@ -220,13 +358,7 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
         report.elapsed.as_secs_f64() * 1e3
     );
 
-    let release = GwasRelease::noise_free(
-        &report.safe_snps,
-        &cohort.case().column_counts(),
-        cohort.case_individuals() as u64,
-        &cohort.reference().column_counts(),
-        cohort.reference_individuals() as u64,
-    );
+    let release = release_for(&cohort, &report.safe_snps);
     if let Some(out) = flags.get("out") {
         std::fs::write(out, release.to_tsv()).map_err(|e| format!("writing {out}: {e}"))?;
         println!("release written to {out} ({} SNPs)", release.len());
@@ -242,6 +374,204 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
                 stat.odds_ratio_ci95.1
             );
         }
+    }
+    Ok(())
+}
+
+/// `assess --distributed`: probe free localhost ports, spawn one
+/// `gendpr node` process per GDO against that roster, and relay their
+/// output. Node 0 writes the release (`--out`); every node verifies it
+/// reached the same safe set or the protocol aborts.
+fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gdos: usize = flag(flags, "gdos", 3)?;
+    let case = required(flags, "case")?.to_string();
+    let reference = required(flags, "reference")?.to_string();
+    config_from_flags(flags, gdos)?; // fail fast on bad federation flags
+
+    // Probe free ports by binding ephemeral listeners, then release them
+    // for the node processes to claim.
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(gdos);
+    {
+        let mut probes = Vec::with_capacity(gdos);
+        for _ in 0..gdos {
+            let probe = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| format!("probing a free localhost port: {e}"))?;
+            addrs.push(probe.local_addr().map_err(|e| e.to_string())?);
+            probes.push(probe);
+        }
+    }
+    let peers = addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let exe = std::env::current_exe().map_err(|e| format!("locating gendpr binary: {e}"))?;
+    println!("spawning {gdos} gendpr node processes: {peers}");
+
+    let mut children = Vec::with_capacity(gdos);
+    for id in 0..gdos {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("node")
+            .args(["--id", &id.to_string()])
+            .args(["--gdos", &gdos.to_string()])
+            .args(["--peers", &peers])
+            .args(["--case", &case])
+            .args(["--reference", &reference]);
+        for name in [
+            "collusion",
+            "seed",
+            "maf",
+            "ld",
+            "fpr",
+            "power",
+            "key",
+            "timeout",
+        ] {
+            if let Some(v) = flags.get(name) {
+                cmd.arg(format!("--{name}")).arg(v);
+            }
+        }
+        if id == 0 {
+            if let Some(out) = flags.get("out") {
+                cmd.args(["--out", out]);
+            }
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning node {id}: {e}"))?;
+        children.push((id, child));
+    }
+
+    let mut failed = false;
+    for (id, child) in children {
+        let output = child
+            .wait_with_output()
+            .map_err(|e| format!("waiting for node {id}: {e}"))?;
+        for line in String::from_utf8_lossy(&output.stdout).lines() {
+            println!("[gdo {id}] {line}");
+        }
+        for line in String::from_utf8_lossy(&output.stderr).lines() {
+            eprintln!("[gdo {id}] {line}");
+        }
+        if !output.status.success() {
+            failed = true;
+        }
+    }
+    if failed {
+        return Err("one or more node processes failed".to_string());
+    }
+    if let Some(out) = flags.get("out") {
+        println!("distributed assessment complete; release written to {out} by node 0");
+    } else {
+        println!("distributed assessment complete (pass --out FILE to save the release)");
+    }
+    Ok(())
+}
+
+fn resolve_addr(spec: &str) -> Result<SocketAddr, String> {
+    spec.to_socket_addrs()
+        .map_err(|e| format!("resolving {spec:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{spec:?} resolves to no address"))
+}
+
+/// `gendpr node`: run one federation member over real TCP sockets.
+///
+/// Every node loads the same signed study files and derives its shard
+/// (slice `--id` of the case cohort split `--gdos` ways) and all secret
+/// material from `--seed`, so a roster of independently started processes
+/// reconstructs exactly the federation `gendpr assess` runs in-process.
+fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
+    let id: usize = required(flags, "id")?
+        .parse()
+        .map_err(|_| "--id: expected a member index".to_string())?;
+    let roster_spec = required(flags, "peers")?;
+    let mut roster: Vec<(PeerId, SocketAddr)> = Vec::new();
+    for (i, spec) in roster_spec.split(',').enumerate() {
+        roster.push((PeerId(i as u32), resolve_addr(spec.trim())?));
+    }
+    let gdos: usize = flag(flags, "gdos", roster.len())?;
+    if gdos != roster.len() {
+        return Err(format!(
+            "--peers lists {} addresses but --gdos is {gdos}",
+            roster.len()
+        ));
+    }
+    if id >= gdos {
+        return Err(format!("--id {id} out of range for a federation of {gdos}"));
+    }
+
+    let cohort = load_cohort(flags)?;
+    let params = params_from_flags(flags)?;
+    let config = config_from_flags(flags, gdos)?;
+    let timeout: u64 = flag(flags, "timeout", 60)?;
+    let timeout = Duration::from_secs(timeout);
+
+    let listen = match flags.get("listen") {
+        Some(spec) => resolve_addr(spec)?,
+        None => roster[id].1,
+    };
+    let transport = TcpTransport::bind(
+        PeerId(id as u32),
+        listen,
+        &roster,
+        TcpOptions {
+            connect_timeout: timeout,
+            ..TcpOptions::default()
+        },
+    )
+    .map_err(|e| format!("binding {listen}: {e}"))?;
+    println!(
+        "member {id}/{gdos} listening on {} (seed {})",
+        transport.local_addr(),
+        config.seed
+    );
+
+    let shard = cohort
+        .split_case_among(gdos)
+        .into_iter()
+        .nth(id)
+        .expect("id < gdos");
+    let options = RuntimeOptions {
+        timeout,
+        compact_lr: true,
+        prefetch_ld: true,
+    };
+    let outcome = run_member(
+        transport,
+        id,
+        &config,
+        &params,
+        options,
+        shard,
+        cohort.reference(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("leader: GDO {}", outcome.leader);
+    if let Some(cert) = &outcome.certificate {
+        println!(
+            "assessment certificate: {} (enclave-signed; binds parameters, inputs and L_safe)",
+            cert.fingerprint()
+        );
+    }
+    println!("L_safe = {} SNPs", outcome.safe_snps.len());
+    for (peer, stats) in &outcome.links {
+        println!(
+            "link → gdo {peer}: {} messages, {} wire bytes ({} plaintext)",
+            stats.messages, stats.wire_bytes, stats.plaintext_bytes
+        );
+    }
+    println!(
+        "egress {} bytes / ingress {} bytes on the wire",
+        outcome.egress.wire_bytes, outcome.ingress.wire_bytes
+    );
+
+    if let Some(out) = flags.get("out") {
+        let release = release_for(&cohort, &outcome.safe_snps);
+        std::fs::write(out, release.to_tsv()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("release written to {out} ({} SNPs)", release.len());
     }
     Ok(())
 }

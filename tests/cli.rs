@@ -142,3 +142,146 @@ fn unknown_flags_and_subcommands_error_cleanly() {
     assert!(!missing.status.success());
     assert!(String::from_utf8_lossy(&missing.stderr).contains("--case"));
 }
+
+#[test]
+fn strict_flag_parsing_rejects_mistakes() {
+    // Unknown flag, with a nearest-match suggestion.
+    let typo = bin()
+        .args(["assess", "--csae", "x.vcf"])
+        .output()
+        .expect("runs");
+    assert!(!typo.status.success());
+    let stderr = String::from_utf8_lossy(&typo.stderr);
+    assert!(stderr.contains("unknown flag --csae"), "{stderr}");
+    assert!(stderr.contains("did you mean --case"), "{stderr}");
+
+    // Duplicated flag.
+    let dup = bin()
+        .args(["synth", "--seed", "1", "--seed", "2"])
+        .output()
+        .expect("runs");
+    assert!(!dup.status.success());
+    let stderr = String::from_utf8_lossy(&dup.stderr);
+    assert!(stderr.contains("more than once"), "{stderr}");
+
+    // Flag at the end with no value.
+    let dangling = bin().args(["synth", "--seed"]).output().expect("runs");
+    assert!(!dangling.status.success());
+    let stderr = String::from_utf8_lossy(&dangling.stderr);
+    assert!(stderr.contains("expects a value"), "{stderr}");
+
+    // Stray positional argument.
+    let stray = bin()
+        .args(["synth", "whatever", "--seed", "1"])
+        .output()
+        .expect("runs");
+    assert!(!stray.status.success());
+    let stderr = String::from_utf8_lossy(&stray.stderr);
+    assert!(stderr.contains("unexpected argument"), "{stderr}");
+
+    // A flag from another subcommand is unknown here.
+    let wrong_cmd = bin()
+        .args(["attack", "--gdos", "3"])
+        .output()
+        .expect("runs");
+    assert!(!wrong_cmd.status.success());
+    let stderr = String::from_utf8_lossy(&wrong_cmd.stderr);
+    assert!(stderr.contains("unknown flag --gdos"), "{stderr}");
+}
+
+#[test]
+fn node_validates_roster_flags() {
+    let bad_id = bin()
+        .args([
+            "node",
+            "--id",
+            "5",
+            "--peers",
+            "127.0.0.1:9470,127.0.0.1:9471",
+            "--case",
+            "missing.vcf",
+            "--reference",
+            "missing.vcf",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!bad_id.status.success());
+    let stderr = String::from_utf8_lossy(&bad_id.stderr);
+    assert!(stderr.contains("out of range"), "{stderr}");
+
+    let mismatch = bin()
+        .args([
+            "node",
+            "--id",
+            "0",
+            "--gdos",
+            "3",
+            "--peers",
+            "127.0.0.1:9470,127.0.0.1:9471",
+            "--case",
+            "missing.vcf",
+            "--reference",
+            "missing.vcf",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!mismatch.status.success());
+    let stderr = String::from_utf8_lossy(&mismatch.stderr);
+    assert!(stderr.contains("--gdos"), "{stderr}");
+}
+
+#[test]
+fn distributed_assess_matches_in_process_release() {
+    let dir = temp_dir("distributed");
+    let data = dir.join("data");
+    let synth = bin()
+        .args([
+            "synth",
+            "--snps",
+            "150",
+            "--cases",
+            "90",
+            "--reference",
+            "80",
+            "--seed",
+            "5",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .expect("synth runs");
+    assert!(synth.status.success());
+
+    let in_process = dir.join("in-process.tsv");
+    let distributed = dir.join("distributed.tsv");
+    let base = |out: &std::path::Path| {
+        let mut cmd = bin();
+        cmd.args(["assess", "--gdos", "3", "--seed", "9", "--case"])
+            .arg(data.join("case.vcf"))
+            .arg("--reference")
+            .arg(data.join("reference.vcf"))
+            .arg("--out")
+            .arg(out);
+        cmd
+    };
+
+    let a = base(&in_process).output().expect("assess runs");
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let b = base(&distributed)
+        .arg("--distributed")
+        .output()
+        .expect("distributed assess runs");
+    assert!(b.status.success(), "{}", String::from_utf8_lossy(&b.stderr));
+    let stdout = String::from_utf8_lossy(&b.stdout);
+    assert!(stdout.contains("wire bytes"), "{stdout}");
+
+    let lhs = std::fs::read(&in_process).unwrap();
+    let rhs = std::fs::read(&distributed).unwrap();
+    assert!(!lhs.is_empty());
+    assert_eq!(
+        lhs, rhs,
+        "releases must be byte-identical across transports"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,242 @@
+//! Distributed-deployment integration tests: the same seeded study must
+//! produce bit-identical results whether the federation runs over the
+//! in-memory fabric or over real TCP sockets, and a member that never
+//! shows up must abort the protocol cleanly instead of hanging.
+
+use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::error::ProtocolError;
+use gendpr::core::release::GwasRelease;
+use gendpr::core::runtime::{
+    run_federation_over, run_federation_with, run_member, RuntimeOptions, RuntimeReport,
+};
+use gendpr::fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
+use gendpr::fednet::transport::PeerId;
+use gendpr::genomics::cohort::Cohort;
+use gendpr::genomics::synth::SyntheticCohort;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn study() -> SyntheticCohort {
+    SyntheticCohort::builder()
+        .snps(120)
+        .case_individuals(90)
+        .reference_individuals(80)
+        .seed(23)
+        .build()
+}
+
+fn config(g: usize) -> FederationConfig {
+    FederationConfig::new(g)
+        .with_collusion(CollusionMode::Fixed(1))
+        .with_seed(17)
+}
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions {
+        timeout: TIMEOUT,
+        ..RuntimeOptions::default()
+    }
+}
+
+fn run_over_tcp(g: usize, cohort: &Cohort) -> Result<RuntimeReport, ProtocolError> {
+    let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
+    let transports: Vec<TcpTransport> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            TcpTransport::from_listener(PeerId(id as u32), listener, &roster, TcpOptions::default())
+                .expect("transport from bound listener")
+        })
+        .collect();
+    run_federation_over(
+        transports,
+        config(g),
+        GwasParams::secure_genome_defaults(),
+        cohort,
+        options(),
+    )
+}
+
+fn release_of(cohort: &Cohort, report: &RuntimeReport) -> String {
+    GwasRelease::noise_free(
+        &report.safe_snps,
+        &cohort.case().column_counts(),
+        cohort.case_individuals() as u64,
+        &cohort.reference().column_counts(),
+        cohort.reference_individuals() as u64,
+    )
+    .to_tsv()
+}
+
+#[test]
+fn tcp_and_in_memory_runs_are_bit_identical() {
+    let g = 3;
+    let study = study();
+    let cohort: &Cohort = study.as_ref();
+    let in_memory = run_federation_with(
+        config(g),
+        GwasParams::secure_genome_defaults(),
+        cohort,
+        None,
+        options(),
+    )
+    .unwrap();
+    let over_tcp = run_over_tcp(g, cohort).unwrap();
+
+    assert_eq!(over_tcp.leader, in_memory.leader);
+    assert_eq!(over_tcp.l_prime, in_memory.l_prime);
+    assert_eq!(over_tcp.l_double_prime, in_memory.l_double_prime);
+    assert_eq!(over_tcp.safe_snps, in_memory.safe_snps);
+    // The certificate binds parameters, input digests and L_safe; identical
+    // certificates mean the two deployments assessed the same study the
+    // same way down to every signed byte.
+    assert_eq!(over_tcp.certificate, in_memory.certificate);
+    // And the published artifact is byte-identical.
+    assert_eq!(
+        release_of(cohort, &over_tcp),
+        release_of(cohort, &in_memory)
+    );
+}
+
+#[test]
+fn tcp_traffic_is_metered_with_framing_overhead() {
+    let g = 3;
+    let study = study();
+    let in_memory = run_federation_with(
+        config(g),
+        GwasParams::secure_genome_defaults(),
+        study.as_ref(),
+        None,
+        options(),
+    )
+    .unwrap();
+    let over_tcp = run_over_tcp(g, study.as_ref()).unwrap();
+
+    assert_eq!(over_tcp.traffic.messages, in_memory.traffic.messages);
+    assert!(
+        over_tcp.traffic.wire_bytes > 0,
+        "real bytes on real sockets"
+    );
+    // TCP framing (length prefix + frame header fields) costs strictly more
+    // than the in-memory fabric's accounting of the same ciphertexts.
+    assert!(
+        over_tcp.traffic.wire_bytes > in_memory.traffic.wire_bytes,
+        "tcp {} vs in-memory {}",
+        over_tcp.traffic.wire_bytes,
+        in_memory.traffic.wire_bytes
+    );
+}
+
+#[test]
+fn member_outcomes_agree_across_processes_in_spirit() {
+    // run_member is the daemon's entry point: drive it directly on separate
+    // threads (one "process" each — no shared Network object) and check
+    // every member independently derives the same federation.
+    let g = 3;
+    let study = study();
+    let cohort: &Cohort = study.as_ref();
+    let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
+    let shards = cohort.split_case_among(g);
+    let reference = cohort.reference().clone();
+
+    let mut handles = Vec::new();
+    for ((id, listener), shard) in listeners.into_iter().enumerate().zip(shards) {
+        let roster = roster.clone();
+        let reference = reference.clone();
+        handles.push(std::thread::spawn(move || {
+            let transport = TcpTransport::from_listener(
+                PeerId(id as u32),
+                listener,
+                &roster,
+                TcpOptions::default(),
+            )
+            .expect("transport from bound listener");
+            run_member(
+                transport,
+                id,
+                &config(g),
+                &GwasParams::secure_genome_defaults(),
+                options(),
+                shard,
+                &reference,
+            )
+        }));
+    }
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap().unwrap())
+        .collect();
+
+    let leader = outcomes[0].leader;
+    let safe = outcomes[0].safe_snps.clone();
+    assert!(!safe.is_empty(), "study should retain some SNPs");
+    for o in &outcomes {
+        assert_eq!(o.leader, leader, "member {} disagrees on leader", o.id);
+        assert_eq!(o.safe_snps, safe, "member {} disagrees on L_safe", o.id);
+        assert!(o.egress.wire_bytes > 0, "member {} sent nothing", o.id);
+        assert!(o.ingress.wire_bytes > 0, "member {} received nothing", o.id);
+        for (peer, stats) in &o.links {
+            assert!(stats.wire_bytes > 0, "member {} link to {peer} idle", o.id);
+        }
+    }
+    let certificates: Vec<_> = outcomes
+        .iter()
+        .filter_map(|o| o.certificate.clone())
+        .collect();
+    assert_eq!(certificates.len(), 1, "exactly one leader signs");
+}
+
+#[test]
+fn never_connecting_member_aborts_cleanly_within_deadline() {
+    let g = 3;
+    let study = study();
+    let cohort: &Cohort = study.as_ref();
+    let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
+    // Member 2 never starts: drop its listener so nothing ever accepts or
+    // dials from that slot.
+    let mut listeners = listeners.into_iter();
+    let short = RuntimeOptions {
+        timeout: Duration::from_secs(2),
+        ..RuntimeOptions::default()
+    };
+    let opts = TcpOptions {
+        connect_timeout: Duration::from_secs(2),
+        ..TcpOptions::default()
+    };
+
+    let mut handles = Vec::new();
+    let shards = cohort.split_case_among(g);
+    let reference = cohort.reference().clone();
+    for (id, shard) in shards.into_iter().enumerate().take(2) {
+        let listener = listeners.next().unwrap();
+        let roster = roster.clone();
+        let reference = reference.clone();
+        handles.push(std::thread::spawn(move || {
+            let transport = TcpTransport::from_listener(PeerId(id as u32), listener, &roster, opts)
+                .expect("transport from bound listener");
+            run_member(
+                transport,
+                id,
+                &config(g),
+                &GwasParams::secure_genome_defaults(),
+                short,
+                shard,
+                &reference,
+            )
+        }));
+    }
+    let started = std::time::Instant::now();
+    for handle in handles {
+        let err = handle.join().expect("no panic").unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::MemberUnresponsive { .. }),
+            "{err:?}"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "abort must not hang: took {:?}",
+        started.elapsed()
+    );
+}

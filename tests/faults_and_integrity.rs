@@ -4,9 +4,13 @@
 
 use gendpr::core::config::{FederationConfig, GwasParams};
 use gendpr::core::error::ProtocolError;
-use gendpr::core::runtime::{expected_measurement, run_federation};
+use gendpr::core::runtime::{
+    expected_measurement, run_federation, run_federation_over, RuntimeOptions, RuntimeReport,
+};
 use gendpr::crypto::rng::ChaChaRng;
 use gendpr::fednet::fault::FaultPlan;
+use gendpr::fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
+use gendpr::fednet::transport::{PeerId, Transport};
 use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::genomics::vcf;
 use gendpr::tee::attestation::AttestationService;
@@ -26,40 +30,72 @@ fn cohort() -> SyntheticCohort {
 
 const SHORT: Duration = Duration::from_millis(400);
 
+/// Runs a `g`-member federation under `faults` over the given transport,
+/// so every fault scenario exercises the in-memory fabric and the real
+/// TCP sockets through the same code path.
+fn run_faulted(
+    tcp: bool,
+    g: usize,
+    faults: &FaultPlan,
+    timeout: Duration,
+) -> Result<RuntimeReport, ProtocolError> {
+    let config = FederationConfig::new(g);
+    let params = GwasParams::secure_genome_defaults();
+    if !tcp {
+        return run_federation(config, params, cohort(), Some(faults.clone()), timeout);
+    }
+    let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
+    let transports: Vec<TcpTransport> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let t = TcpTransport::from_listener(
+                PeerId(id as u32),
+                listener,
+                &roster,
+                TcpOptions::default(),
+            )
+            .expect("transport from bound listener");
+            t.set_faults(faults.clone());
+            t
+        })
+        .collect();
+    run_federation_over(
+        transports,
+        config,
+        params,
+        cohort(),
+        RuntimeOptions {
+            timeout,
+            ..RuntimeOptions::default()
+        },
+    )
+}
+
+/// Asserts that `faults` aborts a `g`-member run with
+/// [`ProtocolError::MemberUnresponsive`] over both transports.
+fn assert_aborts_on_both_transports(g: usize, faults: &FaultPlan) {
+    for tcp in [false, true] {
+        let err = run_faulted(tcp, g, faults, SHORT).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::MemberUnresponsive { .. }),
+            "tcp={tcp}: {err:?}"
+        );
+    }
+}
+
 #[test]
 fn crashed_member_aborts_the_protocol() {
     let mut faults = FaultPlan::none();
     faults.crash(1);
-    let err = run_federation(
-        FederationConfig::new(3),
-        GwasParams::secure_genome_defaults(),
-        cohort(),
-        Some(faults),
-        SHORT,
-    )
-    .unwrap_err();
-    assert!(
-        matches!(err, ProtocolError::MemberUnresponsive { .. }),
-        "{err:?}"
-    );
+    assert_aborts_on_both_transports(3, &faults);
 }
 
 #[test]
 fn mid_protocol_crash_aborts() {
     let mut faults = FaultPlan::none();
     faults.crash_after_sends(0, 10);
-    let err = run_federation(
-        FederationConfig::new(3),
-        GwasParams::secure_genome_defaults(),
-        cohort(),
-        Some(faults),
-        SHORT,
-    )
-    .unwrap_err();
-    assert!(
-        matches!(err, ProtocolError::MemberUnresponsive { .. }),
-        "{err:?}"
-    );
+    assert_aborts_on_both_transports(3, &faults);
 }
 
 #[test]
@@ -67,31 +103,18 @@ fn partitioned_link_aborts() {
     let mut faults = FaultPlan::none();
     faults.partition_link(2, 0);
     faults.partition_link(2, 1);
-    let err = run_federation(
-        FederationConfig::new(3),
-        GwasParams::secure_genome_defaults(),
-        cohort(),
-        Some(faults),
-        SHORT,
-    )
-    .unwrap_err();
-    assert!(
-        matches!(err, ProtocolError::MemberUnresponsive { .. }),
-        "{err:?}"
-    );
+    assert_aborts_on_both_transports(3, &faults);
 }
 
 #[test]
 fn no_faults_means_no_abort_even_with_short_deadlines() {
-    let report = run_federation(
-        FederationConfig::new(3),
-        GwasParams::secure_genome_defaults(),
-        cohort(),
-        Some(FaultPlan::none()),
-        Duration::from_secs(30),
-    )
-    .unwrap();
-    assert!(!report.safe_snps.is_empty() || report.l_prime.is_empty());
+    for tcp in [false, true] {
+        let report = run_faulted(tcp, 3, &FaultPlan::none(), Duration::from_secs(30)).unwrap();
+        assert!(
+            !report.safe_snps.is_empty() || report.l_prime.is_empty(),
+            "tcp={tcp}"
+        );
+    }
 }
 
 #[test]
@@ -142,14 +165,8 @@ fn modified_enclave_build_cannot_join() {
 fn unresponsive_error_names_phase() {
     let mut faults = FaultPlan::none();
     faults.crash(2);
-    let err = run_federation(
-        FederationConfig::new(4),
-        GwasParams::secure_genome_defaults(),
-        cohort(),
-        Some(faults),
-        SHORT,
-    )
-    .unwrap_err();
-    let msg = err.to_string();
-    assert!(msg.contains("unresponsive"), "{msg}");
+    for tcp in [false, true] {
+        let msg = run_faulted(tcp, 4, &faults, SHORT).unwrap_err().to_string();
+        assert!(msg.contains("unresponsive"), "tcp={tcp}: {msg}");
+    }
 }

@@ -5,6 +5,9 @@
 use gendpr::core::messages::{
     CountsReport, LrReport, Phase1Broadcast, Phase2Broadcast, ProtocolMessage,
 };
+use gendpr::fednet::tcp::{
+    decode_frame, encode_frame, FrameError, TcpFrame, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
 use gendpr::fednet::wire::{from_bytes, to_bytes};
 use proptest::prelude::*;
 
@@ -87,4 +90,99 @@ proptest! {
         bytes.extend(std::iter::repeat_n(0u8, extra));
         prop_assert!(from_bytes::<CountsReport>(&bytes).is_err());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tcp_frame_roundtrips(
+        from in any::<u32>(),
+        plaintext_len in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2_000),
+    ) {
+        let frame = TcpFrame { from, plaintext_len, payload };
+        let bytes = encode_frame(&frame).unwrap();
+        let (back, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more_and_never_panic(
+        payload in proptest::collection::vec(any::<u8>(), 0..500),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let frame = TcpFrame { from: 1, plaintext_len: 9, payload };
+        let bytes = encode_frame(&frame).unwrap();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let keep = ((bytes.len() as f64) * keep_frac) as usize;
+        prop_assume!(keep < bytes.len());
+        match decode_frame(&bytes[..keep]) {
+            Err(FrameError::Incomplete { have, need }) => {
+                prop_assert_eq!(have, keep);
+                prop_assert!(need > keep, "must ask for more than it has");
+                prop_assert!(need <= bytes.len(), "must never ask past the frame");
+            }
+            other => prop_assert!(false, "expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocating(
+        claimed in (MAX_FRAME_BYTES as u32 + 1)..=u32::MAX,
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = claimed.to_le_bytes().to_vec();
+        bytes.extend(garbage);
+        prop_assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            FrameError::TooLarge { claimed: u64::from(claimed) }
+        );
+    }
+
+    #[test]
+    fn random_frame_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_frame_from_a_stream(
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+        extra in proptest::collection::vec(any::<u8>(), 1..50),
+    ) {
+        // Streaming: decode one frame, report its size, leave the rest alone.
+        let frame = TcpFrame { from: 7, plaintext_len: 3, payload };
+        let mut bytes = encode_frame(&frame).unwrap();
+        let framed_len = bytes.len();
+        bytes.extend(&extra);
+        let (back, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(consumed, framed_len);
+        prop_assert_eq!(back, frame);
+    }
+}
+
+#[test]
+fn oversized_frame_is_rejected_at_encode_time() {
+    let frame = TcpFrame {
+        from: 0,
+        plaintext_len: 0,
+        payload: vec![0; MAX_FRAME_BYTES + 1],
+    };
+    assert!(matches!(
+        encode_frame(&frame),
+        Err(FrameError::TooLarge { .. })
+    ));
+}
+
+#[test]
+fn frame_header_is_four_bytes_little_endian() {
+    let frame = TcpFrame {
+        from: 3,
+        plaintext_len: 5,
+        payload: vec![0xAB; 10],
+    };
+    let bytes = encode_frame(&frame).unwrap();
+    let body_len = u32::from_le_bytes(bytes[..FRAME_HEADER_BYTES].try_into().unwrap()) as usize;
+    assert_eq!(body_len, bytes.len() - FRAME_HEADER_BYTES);
 }
