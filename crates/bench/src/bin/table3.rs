@@ -56,6 +56,7 @@ fn main() {
                     timeout: Duration::from_secs(600),
                     compact_lr: true,
                     prefetch_ld: true,
+                    ..RuntimeOptions::default()
                 },
             )
             .expect("fault-free run completes");

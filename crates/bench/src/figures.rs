@@ -79,6 +79,7 @@ pub fn run_figure(figure: &str, paper_snps: usize, args: &BenchArgs) {
                     timeout: Duration::from_secs(3600),
                     compact_lr: true,
                     prefetch_ld: true,
+                    ..RuntimeOptions::default()
                 },
             )
             .expect("fault-free run completes");

@@ -33,6 +33,13 @@ pub struct AssessmentCertificate {
     pub safe_count: u64,
     /// Member combinations evaluated (collusion tolerance).
     pub evaluations: u64,
+    /// Epoch in which the assessment completed (1 for a crash-free run;
+    /// higher after view changes).
+    pub epoch: u64,
+    /// Surviving roster whose inputs the decision covers, in member-id
+    /// order. Equal to `0..G` for a crash-free run; a strict subset marks
+    /// a degraded assessment after non-leader crashes.
+    pub roster: Vec<u32>,
     /// Leader enclave quote over the certificate digest.
     pub quote: Quote,
 }
@@ -75,20 +82,34 @@ fn digest_safe(safe: &[SnpId]) -> [u8; 32] {
     h.finalize()
 }
 
+fn digest_roster(epoch: u64, roster: &[u32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"gendpr/certificate/roster/v1\0");
+    h.update(&epoch.to_le_bytes());
+    h.update(&(roster.len() as u64).to_le_bytes());
+    for &m in roster {
+        h.update(&m.to_le_bytes());
+    }
+    h.finalize()
+}
+
 fn certificate_digest(
     study: &[u8; 32],
     inputs: &[u8; 32],
     safe: &[u8; 32],
     safe_count: u64,
     evaluations: u64,
+    epoch: u64,
+    roster: &[u32],
 ) -> [u8; 32] {
     let mut h = Sha256::new();
-    h.update(b"gendpr/certificate/v1\0");
+    h.update(b"gendpr/certificate/v2\0");
     h.update(study);
     h.update(inputs);
     h.update(safe);
     h.update(&safe_count.to_le_bytes());
     h.update(&evaluations.to_le_bytes());
+    h.update(&digest_roster(epoch, roster));
     h.finalize()
 }
 
@@ -113,6 +134,10 @@ pub struct AssessmentFacts<'a> {
     pub safe: &'a [SnpId],
     /// Member combinations evaluated.
     pub evaluations: u64,
+    /// Epoch in which the assessment completed.
+    pub epoch: u64,
+    /// Surviving roster the decision covers (member ids, ascending).
+    pub roster: &'a [u32],
 }
 
 impl AssessmentCertificate {
@@ -133,6 +158,8 @@ impl AssessmentCertificate {
             &safe_digest,
             facts.safe.len() as u64,
             facts.evaluations,
+            facts.epoch,
+            facts.roster,
         );
         Self {
             study_digest,
@@ -140,6 +167,8 @@ impl AssessmentCertificate {
             safe_digest,
             safe_count: facts.safe.len() as u64,
             evaluations: facts.evaluations,
+            epoch: facts.epoch,
+            roster: facts.roster.to_vec(),
             quote: leader.quote(report),
         }
     }
@@ -167,6 +196,8 @@ impl AssessmentCertificate {
             &self.safe_digest,
             self.safe_count,
             self.evaluations,
+            self.epoch,
+            &self.roster,
         );
         if self.quote.report_data != report {
             return Err(TeeError::HandshakeBindingInvalid);
@@ -182,7 +213,9 @@ impl AssessmentCertificate {
                 )
             && self.safe_digest == digest_safe(facts.safe)
             && self.safe_count == facts.safe.len() as u64
-            && self.evaluations == facts.evaluations;
+            && self.evaluations == facts.evaluations
+            && self.epoch == facts.epoch
+            && self.roster == facts.roster;
         if facts_ok {
             Ok(())
         } else {
@@ -199,6 +232,8 @@ impl AssessmentCertificate {
             &self.safe_digest,
             self.safe_count,
             self.evaluations,
+            self.epoch,
+            &self.roster,
         );
         report[..8].iter().map(|b| format!("{b:02x}")).collect()
     }
@@ -234,6 +269,8 @@ mod tests {
             n_ref: 90,
             safe,
             evaluations: 1,
+            epoch: 1,
+            roster: &[0, 1, 2],
         }
     }
 
@@ -284,6 +321,44 @@ mod tests {
         assert_eq!(
             cert.verify(&service, &enclave.measurement(), &f4),
             Err(TeeError::ChannelMessageRejected)
+        );
+
+        // Different epoch or roster claimed.
+        let mut f5 = facts(&params, &cc, &rc, &safe);
+        f5.epoch = 2;
+        assert_eq!(
+            cert.verify(&service, &enclave.measurement(), &f5),
+            Err(TeeError::ChannelMessageRejected)
+        );
+        let mut f6 = facts(&params, &cc, &rc, &safe);
+        f6.roster = &[0, 2];
+        assert_eq!(
+            cert.verify(&service, &enclave.measurement(), &f6),
+            Err(TeeError::ChannelMessageRejected)
+        );
+    }
+
+    #[test]
+    fn degraded_roster_is_bound_into_the_quote() {
+        let (service, enclave) = setup();
+        let params = GwasParams::secure_genome_defaults();
+        let cc = vec![10u64, 20, 30];
+        let rc = vec![8u64, 19, 33];
+        let safe = vec![SnpId(0)];
+        let mut f = facts(&params, &cc, &rc, &safe);
+        f.epoch = 2;
+        f.roster = &[0, 2];
+        let cert = AssessmentCertificate::issue(&enclave, &f);
+        assert_eq!(cert.epoch, 2);
+        assert_eq!(cert.roster, vec![0, 2]);
+        assert!(cert.verify(&service, &enclave.measurement(), &f).is_ok());
+
+        // Rewriting the roster after issuance breaks the quote binding.
+        let mut forged = cert;
+        forged.roster = vec![0, 1, 2];
+        assert_eq!(
+            forged.verify(&service, &enclave.measurement(), &f),
+            Err(TeeError::HandshakeBindingInvalid)
         );
     }
 

@@ -264,6 +264,17 @@ pub enum ProtocolMessage {
     Phase3(Phase3Broadcast),
     /// Leader → members: protocol aborted (e.g. non-responsive member).
     Abort(String),
+    /// Leader → members: too many members crashed to form another epoch;
+    /// carries the structured facts so every survivor surfaces the same
+    /// precise [`crate::error::ProtocolError::QuorumLost`].
+    QuorumLost {
+        /// Epoch in which the quorum was lost.
+        epoch: u64,
+        /// Surviving members at that point.
+        survivors: u32,
+        /// Configured minimum quorum.
+        required: u32,
+    },
 }
 
 impl Encode for ProtocolMessage {
@@ -308,6 +319,16 @@ impl Encode for ProtocolMessage {
                 combo.encode(buf);
                 m.encode(buf);
             }
+            Self::QuorumLost {
+                epoch,
+                survivors,
+                required,
+            } => {
+                9u8.encode(buf);
+                epoch.encode(buf);
+                survivors.encode(buf);
+                required.encode(buf);
+            }
         }
     }
 }
@@ -324,6 +345,11 @@ impl Decode for ProtocolMessage {
             6 => Self::Phase3(Phase3Broadcast::decode(r)?),
             7 => Self::Abort(String::decode(r)?),
             8 => Self::LrCompact(u32::decode(r)?, LrReportCompact::decode(r)?),
+            9 => Self::QuorumLost {
+                epoch: u64::decode(r)?,
+                survivors: u32::decode(r)?,
+                required: u32::decode(r)?,
+            },
             _ => return Err(WireError::InvalidValue("ProtocolMessage tag")),
         })
     }
@@ -383,6 +409,11 @@ mod tests {
             LrReportCompact::from_indicator(3, 70, |i, j| (i + j) % 3 == 0),
         ));
         roundtrip(ProtocolMessage::Abort("member 2 unresponsive".into()));
+        roundtrip(ProtocolMessage::QuorumLost {
+            epoch: 3,
+            survivors: 2,
+            required: 4,
+        });
     }
 
     #[test]

@@ -10,13 +10,38 @@
 //! exchanges intermediate results exclusively through mutually attested
 //! ChaCha20-Poly1305 channels over the federation network. Traffic and
 //! enclave memory are metered, which is what Table 3 reports.
+//!
+//! # Epochs and recovery
+//!
+//! The paper makes no liveness guarantee under faults; by default this
+//! runtime keeps that behaviour (a silent member aborts the run). With
+//! [`RecoveryOptions::max_epochs`] above one the runtime instead layers an
+//! epoch-based recovery protocol on top:
+//!
+//! * every frame is stamped with the sender's **epoch** and a per-link
+//!   **sequence number**; receivers deliver in sequence order (masking
+//!   duplicated and reordered frames) and drop stale-epoch frames;
+//! * a **failure detector** slices every wait into probe intervals and
+//!   pings the awaited peer after each silent interval; only after
+//!   [`RecoveryOptions::suspect_after`] consecutive misses (or the hard
+//!   phase timeout) is the peer suspected;
+//! * a suspicion triggers a **view change**: the survivor broadcasts the
+//!   reduced roster stamped with epoch `e + 1`, everyone re-runs the
+//!   commit-reveal election over the surviving roster and restarts the
+//!   assessment from the members' cached count reports;
+//! * if the surviving roster falls below [`RecoveryOptions::min_quorum`]
+//!   (default `G − f`), the run fails with a precise
+//!   [`ProtocolError::QuorumLost`] instead of a generic timeout.
+//!
+//! A degraded run's certificate carries the epoch and surviving roster so
+//! an auditor can see exactly whose inputs the release covers.
 
 use crate::certificate::{AssessmentCertificate, AssessmentFacts};
-use crate::collusion::{evaluation_subsets, intersect_selections};
-use crate::config::{FederationConfig, GwasParams};
+use crate::collusion::{evaluation_subsets_of, intersect_selections};
+use crate::config::{CollusionMode, FederationConfig, GwasParams};
 use crate::error::ProtocolError;
 use crate::gdo::GdoNode;
-use crate::leader::{draw_nonce, elect, verify_reveal, ElectionCommit, ElectionReveal};
+use crate::leader::{draw_nonce, elect_among, verify_reveal, ElectionCommit, ElectionReveal};
 use crate::messages::{
     CountsReport, MomentsReport, MomentsRequest, Phase1Broadcast, Phase2Broadcast, Phase3Broadcast,
     ProtocolMessage,
@@ -28,7 +53,7 @@ use crate::protocol::PhaseTimings;
 use gendpr_crypto::rng::ChaChaRng;
 use gendpr_fednet::fault::FaultPlan;
 use gendpr_fednet::metrics::TrafficStats;
-use gendpr_fednet::transport::{Endpoint, NetError, Network, PeerId, Transport};
+use gendpr_fednet::transport::{Endpoint, Envelope, Network, PeerId, Transport};
 use gendpr_fednet::wire::{self, Decode, Encode, Reader, WireError};
 use gendpr_genomics::cohort::Cohort;
 use gendpr_genomics::genotype::GenotypeMatrix;
@@ -41,7 +66,7 @@ use gendpr_tee::enclave::Enclave;
 use gendpr_tee::measurement::Measurement;
 use gendpr_tee::platform::Platform;
 use gendpr_tee::session::{Handshake, HandshakeMessage, SecureChannel};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,10 +76,40 @@ pub const CODE_IDENTITY: &str = "gendpr/member/v1";
 
 const CHANNEL_AAD: &[u8] = b"gendpr/protocol/v1";
 
+/// Failure-detection and view-change knobs of the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Consecutive silent probe intervals before a peer is suspected.
+    pub suspect_after: u32,
+    /// Length of one probe interval; `None` derives it from the phase
+    /// timeout (`timeout / suspect_after`), which makes the detector
+    /// exactly as patient as the paper's single hard timeout.
+    pub probe_interval: Option<Duration>,
+    /// Highest epoch the member will participate in. `1` (the default)
+    /// disables recovery entirely: the first suspicion aborts the run with
+    /// [`ProtocolError::MemberUnresponsive`], the paper's behaviour.
+    pub max_epochs: u64,
+    /// Smallest surviving roster allowed to form a new epoch. `0` (the
+    /// default) derives `G − f` from the collusion mode.
+    pub min_quorum: usize,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        Self {
+            suspect_after: 3,
+            probe_interval: None,
+            max_epochs: 1,
+            min_quorum: 0,
+        }
+    }
+}
+
 /// Deployment options for the threaded runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeOptions {
-    /// Bound on every wait; a silent member aborts the protocol.
+    /// Bound on every wait; a silent member aborts the protocol (or, with
+    /// recovery enabled, triggers a view change).
     pub timeout: Duration,
     /// Ship Phase 3 matrices as one-bit-per-cell compact reports instead
     /// of the paper's dense value matrices (same reconstruction, ~64×
@@ -65,6 +120,8 @@ pub struct RuntimeOptions {
     /// of Algorithm 1's inner loop to cache misses only. Off by default
     /// for paper fidelity.
     pub prefetch_ld: bool,
+    /// Failure detection and epoch-based view changes.
+    pub recovery: RecoveryOptions,
 }
 
 impl Default for RuntimeOptions {
@@ -73,6 +130,7 @@ impl Default for RuntimeOptions {
             timeout: Duration::from_secs(300),
             compact_lr: false,
             prefetch_ld: false,
+            recovery: RecoveryOptions::default(),
         }
     }
 }
@@ -91,56 +149,86 @@ pub struct MemberResources {
 /// Result of a full threaded run.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
-    /// The elected leader.
+    /// The elected leader (of the final epoch).
     pub leader: usize,
     /// MAF survivors.
     pub l_prime: Vec<SnpId>,
     /// LD survivors.
     pub l_double_prime: Vec<SnpId>,
-    /// The final safe set (identical at every member).
+    /// The final safe set (identical at every surviving member).
     pub safe_snps: Vec<SnpId>,
     /// Measured network traffic (every byte of it enclave-encrypted).
     pub traffic: TrafficStats,
-    /// Per-member enclave resource usage.
+    /// Per-member enclave resource usage (surviving members only).
     pub resources: Vec<MemberResources>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Leader-side per-task wall times (each includes waiting for the
     /// members' parallel local computations — the federated critical path).
     pub timings: PhaseTimings,
-    /// Enclave-signed certificate binding parameters, input digests and
-    /// the safe set (verify with [`AssessmentCertificate::verify`]).
+    /// Enclave-signed certificate binding parameters, input digests, the
+    /// safe set and the surviving roster (verify with
+    /// [`AssessmentCertificate::verify`]).
     pub certificate: AssessmentCertificate,
+    /// Epoch in which the assessment completed (1 = crash-free).
+    pub epoch: u64,
+    /// Surviving roster of the final epoch.
+    pub roster: Vec<u32>,
+    /// Members that crashed or were excluded along the way.
+    pub failed: Vec<usize>,
 }
 
 /// Untyped transport frames (election and handshake are public-by-design;
-/// everything else travels as channel ciphertext).
+/// everything else travels as channel ciphertext). Every frame carries the
+/// sender's epoch and a per-link sequence number so receivers can reject
+/// stale-epoch traffic and mask duplicated or reordered delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Frame {
+struct Frame {
+    epoch: u64,
+    seq: u64,
+    body: FrameBody,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FrameBody {
     Commit([u8; 32]),
     Reveal([u8; 32]),
     Handshake([u8; 128]),
     Sealed(Vec<u8>),
+    /// Failure-detector probe.
+    Ping,
+    /// Probe answer: "still alive, just busy".
+    Pong,
+    /// View-change announcement: the new epoch's surviving roster.
+    ViewChange(Vec<u32>),
 }
 
 impl Encode for Frame {
     fn encode(&self, buf: &mut Vec<u8>) {
-        match self {
-            Self::Commit(c) => {
+        self.epoch.encode(buf);
+        self.seq.encode(buf);
+        match &self.body {
+            FrameBody::Commit(c) => {
                 0u8.encode(buf);
                 c.encode(buf);
             }
-            Self::Reveal(r) => {
+            FrameBody::Reveal(r) => {
                 1u8.encode(buf);
                 r.encode(buf);
             }
-            Self::Handshake(h) => {
+            FrameBody::Handshake(h) => {
                 2u8.encode(buf);
                 h.encode(buf);
             }
-            Self::Sealed(payload) => {
+            FrameBody::Sealed(payload) => {
                 3u8.encode(buf);
                 payload.encode(buf);
+            }
+            FrameBody::Ping => 4u8.encode(buf),
+            FrameBody::Pong => 5u8.encode(buf),
+            FrameBody::ViewChange(roster) => {
+                6u8.encode(buf);
+                roster.encode(buf);
             }
         }
     }
@@ -148,13 +236,19 @@ impl Encode for Frame {
 
 impl Decode for Frame {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(match u8::decode(r)? {
-            0 => Self::Commit(<[u8; 32]>::decode(r)?),
-            1 => Self::Reveal(<[u8; 32]>::decode(r)?),
-            2 => Self::Handshake(<[u8; 128]>::decode(r)?),
-            3 => Self::Sealed(Vec::decode(r)?),
+        let epoch = u64::decode(r)?;
+        let seq = u64::decode(r)?;
+        let body = match u8::decode(r)? {
+            0 => FrameBody::Commit(<[u8; 32]>::decode(r)?),
+            1 => FrameBody::Reveal(<[u8; 32]>::decode(r)?),
+            2 => FrameBody::Handshake(<[u8; 128]>::decode(r)?),
+            3 => FrameBody::Sealed(Vec::decode(r)?),
+            4 => FrameBody::Ping,
+            5 => FrameBody::Pong,
+            6 => FrameBody::ViewChange(Vec::decode(r)?),
             _ => return Err(WireError::InvalidValue("Frame tag")),
-        })
+        };
+        Ok(Self { epoch, seq, body })
     }
 }
 
@@ -173,6 +267,26 @@ pub fn expected_measurement(params: &GwasParams) -> Measurement {
     Measurement::compute(CODE_IDENTITY, &measurement_config(params))
 }
 
+/// Why a phase function unwound: either the run is over (fatal error) or
+/// the federation is re-forming in a new epoch.
+#[derive(Debug, Clone)]
+enum Interrupt {
+    Fatal(ProtocolError),
+    NewView {
+        epoch: u64,
+        roster: Vec<usize>,
+        /// Whether this member initiated the change (and must broadcast
+        /// the announcement) or merely adopted a peer's announcement.
+        announce: bool,
+    },
+}
+
+impl From<ProtocolError> for Interrupt {
+    fn from(e: ProtocolError) -> Self {
+        Self::Fatal(e)
+    }
+}
+
 struct MemberCtx<T: Transport> {
     id: usize,
     g: usize,
@@ -182,143 +296,406 @@ struct MemberCtx<T: Transport> {
     timeout: Duration,
     compact_lr: bool,
     prefetch_ld: bool,
+    recovery: RecoveryOptions,
+    collusion: CollusionMode,
     expected: Measurement,
-    /// Raw frames that arrived while waiting for something else.
-    backlog: HashMap<u32, VecDeque<Frame>>,
+    /// Current epoch (starts at 1).
+    epoch: u64,
+    /// Surviving roster of the current epoch, ascending member ids.
+    roster: Vec<usize>,
+    /// Next sequence number per destination (monotone across epochs).
+    send_seq: HashMap<u32, u64>,
+    /// Next expected sequence number per sender.
+    recv_next: HashMap<u32, u64>,
+    /// Out-of-order frames per sender, keyed by sequence number.
+    pending: HashMap<u32, BTreeMap<u64, Frame>>,
+    /// In-sequence frames from epochs we have not entered yet.
+    future: HashMap<u32, VecDeque<Frame>>,
+    /// Frames delivered per sender — the failure detector's liveness
+    /// signal (any delivery, including a pong, clears pending misses).
+    heard: HashMap<u32, u64>,
+    /// Current-epoch frames that arrived while waiting for someone else.
+    backlog: HashMap<u32, VecDeque<FrameBody>>,
 }
 
 impl<T: Transport> MemberCtx<T> {
+    /// Smallest roster allowed to form a new epoch. An explicit
+    /// `min_quorum` wins; otherwise `G − f` from the collusion mode. In
+    /// `Fixed(f)` mode the roster must additionally keep more than `f`
+    /// members or the collusion subsets are undefined.
+    fn required_quorum(&self) -> usize {
+        let auto = FederationConfig {
+            gdo_count: self.g,
+            collusion: self.collusion,
+            seed: 0,
+        }
+        .default_min_quorum();
+        if self.recovery.min_quorum == 0 {
+            return auto;
+        }
+        // An explicit quorum can relax G − f, but never below what the
+        // collusion mode needs to stay well-defined.
+        let floor = match self.collusion {
+            CollusionMode::None => 1,
+            CollusionMode::Fixed(f) => f + 1,
+            CollusionMode::AllUpTo => 2,
+        };
+        self.recovery.min_quorum.max(floor)
+    }
+
     fn send_frame(
-        &self,
+        &mut self,
         to: usize,
-        frame: &Frame,
+        body: FrameBody,
         plaintext_len: usize,
     ) -> Result<(), ProtocolError> {
-        match self
+        self.send_frame_at(to, self.epoch, body, plaintext_len)
+    }
+
+    /// Sends a frame stamped with an explicit epoch (view-change
+    /// announcements are stamped with the epoch being formed). Sends are
+    /// best-effort: a dead link surfaces at the receiver as silence, which
+    /// the failure detector turns into a suspicion.
+    fn send_frame_at(
+        &mut self,
+        to: usize,
+        epoch: u64,
+        body: FrameBody,
+        plaintext_len: usize,
+    ) -> Result<(), ProtocolError> {
+        let seq = self.send_seq.entry(to as u32).or_insert(0);
+        let frame = Frame {
+            epoch,
+            seq: *seq,
+            body,
+        };
+        *seq += 1;
+        let _ = self
             .endpoint
-            .send(PeerId(to as u32), wire::to_bytes(frame), plaintext_len)
-        {
-            Ok(()) | Err(NetError::Dropped) => Ok(()), // drops surface as peer timeouts
-            Err(_) => Err(ProtocolError::MemberUnresponsive {
-                member: to,
-                phase: "transport",
-            }),
+            .send(PeerId(to as u32), wire::to_bytes(&frame), plaintext_len);
+        Ok(())
+    }
+
+    /// Files an incoming envelope into the sequence machinery and delivers
+    /// everything that became contiguous.
+    fn ingest(&mut self, env: Envelope) -> Result<(), Interrupt> {
+        let from = env.from.0;
+        let frame: Frame = wire::from_bytes(&env.payload).map_err(|_| {
+            Interrupt::Fatal(ProtocolError::MalformedMessage {
+                member: from as usize,
+            })
+        })?;
+        let next = self.recv_next.get(&from).copied().unwrap_or(0);
+        if frame.seq < next {
+            return Ok(()); // replayed duplicate
+        }
+        self.pending
+            .entry(from)
+            .or_default()
+            .insert(frame.seq, frame);
+        self.pump(from)
+    }
+
+    /// Delivers contiguous pending frames from `from` in sequence order.
+    fn pump(&mut self, from: u32) -> Result<(), Interrupt> {
+        loop {
+            let next = self.recv_next.get(&from).copied().unwrap_or(0);
+            let Some(frame) = self.pending.get_mut(&from).and_then(|p| p.remove(&next)) else {
+                return Ok(());
+            };
+            self.recv_next.insert(from, next + 1);
+            self.deliver(from, frame)?;
+        }
+    }
+
+    /// Routes one in-sequence frame: stale epochs are dropped, future
+    /// epochs buffered (or adopted, for view changes), current-epoch
+    /// frames answered (pings) or backlogged.
+    fn deliver(&mut self, from: u32, frame: Frame) -> Result<(), Interrupt> {
+        *self.heard.entry(from).or_default() += 1;
+        match frame.epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Less => Ok(()), // stale epoch
+            std::cmp::Ordering::Greater => match frame.body {
+                FrameBody::ViewChange(roster) => self.adopt_view(frame.epoch, &roster),
+                _ => {
+                    self.future.entry(from).or_default().push_back(frame);
+                    Ok(())
+                }
+            },
+            std::cmp::Ordering::Equal => match frame.body {
+                FrameBody::Ping => {
+                    self.send_frame(from as usize, FrameBody::Pong, 0)?;
+                    Ok(())
+                }
+                FrameBody::Pong => Ok(()),
+                FrameBody::ViewChange(roster) => {
+                    let roster: Vec<usize> = roster.iter().map(|&m| m as usize).collect();
+                    if roster == self.roster {
+                        return Ok(()); // duplicate announcement of this view
+                    }
+                    // Conflicting views of the same epoch (two members
+                    // suspected different peers concurrently): converge on
+                    // the intersection in a fresh epoch.
+                    let merged: Vec<usize> = self
+                        .roster
+                        .iter()
+                        .copied()
+                        .filter(|m| roster.contains(m))
+                        .collect();
+                    if !merged.contains(&self.id) {
+                        return Err(Interrupt::Fatal(ProtocolError::Evicted {
+                            epoch: self.epoch + 1,
+                        }));
+                    }
+                    let required = self.required_quorum();
+                    if merged.len() < required {
+                        return Err(Interrupt::Fatal(ProtocolError::QuorumLost {
+                            epoch: self.epoch + 1,
+                            survivors: merged.len(),
+                            required,
+                        }));
+                    }
+                    Err(Interrupt::NewView {
+                        epoch: self.epoch + 1,
+                        roster: merged,
+                        announce: true,
+                    })
+                }
+                body => {
+                    self.backlog.entry(from).or_default().push_back(body);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Adopts a peer's view-change announcement for a later epoch.
+    fn adopt_view(&mut self, epoch: u64, roster: &[u32]) -> Result<(), Interrupt> {
+        let roster: Vec<usize> = roster.iter().map(|&m| m as usize).collect();
+        if !roster.contains(&self.id) {
+            return Err(Interrupt::Fatal(ProtocolError::Evicted { epoch }));
+        }
+        let required = self.required_quorum();
+        if roster.len() < required {
+            return Err(Interrupt::Fatal(ProtocolError::QuorumLost {
+                epoch,
+                survivors: roster.len(),
+                required,
+            }));
+        }
+        Err(Interrupt::NewView {
+            epoch,
+            roster,
+            announce: false,
+        })
+    }
+
+    /// Turns a suspicion about `member` into the next step: abort (no
+    /// recovery budget), quorum loss, or a view change over the survivors.
+    fn suspect(&mut self, member: usize, phase: &'static str) -> Interrupt {
+        let next_epoch = self.epoch + 1;
+        if next_epoch > self.recovery.max_epochs {
+            return Interrupt::Fatal(ProtocolError::MemberUnresponsive { member, phase });
+        }
+        let survivors: Vec<usize> = self
+            .roster
+            .iter()
+            .copied()
+            .filter(|&m| m != member)
+            .collect();
+        let required = self.required_quorum();
+        if survivors.len() < required {
+            // Tell the other survivors the federation is disbanding; they
+            // derive the same QuorumLost from the undersized roster.
+            let notice: Vec<u32> = survivors.iter().map(|&m| m as u32).collect();
+            for peer in survivors.clone() {
+                if peer != self.id {
+                    let _ = self.send_frame_at(
+                        peer,
+                        next_epoch,
+                        FrameBody::ViewChange(notice.clone()),
+                        0,
+                    );
+                }
+            }
+            return Interrupt::Fatal(ProtocolError::QuorumLost {
+                epoch: next_epoch,
+                survivors: survivors.len(),
+                required,
+            });
+        }
+        Interrupt::NewView {
+            epoch: next_epoch,
+            roster: survivors,
+            announce: true,
+        }
+    }
+
+    /// Enters a new epoch: announces it if this member initiated the view
+    /// change (including an eviction notice to the excluded members),
+    /// clears current-epoch state and replays buffered future frames.
+    fn begin_epoch(&mut self, epoch: u64, roster: Vec<usize>, announce: bool) {
+        let old_roster = std::mem::replace(&mut self.roster, roster);
+        self.epoch = epoch;
+        self.backlog.clear();
+        self.heard.clear();
+        if announce {
+            let wire_roster: Vec<u32> = self.roster.iter().map(|&m| m as u32).collect();
+            for peer in old_roster {
+                if peer != self.id {
+                    let _ = self.send_frame(peer, FrameBody::ViewChange(wire_roster.clone()), 0);
+                }
+            }
+        }
+        let senders: Vec<u32> = self.future.keys().copied().collect();
+        for from in senders {
+            let queue = self.future.remove(&from).unwrap_or_default();
+            let mut rest = VecDeque::new();
+            for frame in queue {
+                match frame.epoch.cmp(&self.epoch) {
+                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Equal => {
+                        self.backlog.entry(from).or_default().push_back(frame.body);
+                    }
+                    std::cmp::Ordering::Greater => rest.push_back(frame),
+                }
+            }
+            if !rest.is_empty() {
+                self.future.insert(from, rest);
+            }
         }
     }
 
     /// Receives the next frame from `from`, buffering frames from others.
+    /// Waits are sliced into probe intervals: a silent interval sends a
+    /// ping, and `suspect_after` consecutive silent intervals (or
+    /// `timeout` of unbroken silence) suspect the peer. Any delivered
+    /// frame from `from` — a pong counts — is a sign of life that resets
+    /// the clock, so a member merely *busy* (e.g. a leader itself waiting
+    /// out a dead peer's timeout) is never suspected, only a silent one.
     fn recv_frame_from(
         &mut self,
         from: usize,
         phase: &'static str,
-    ) -> Result<Frame, ProtocolError> {
-        let deadline = Instant::now() + self.timeout;
+    ) -> Result<FrameBody, Interrupt> {
+        let key = from as u32;
+        let mut deadline = Instant::now() + self.timeout;
+        let probe = self
+            .recovery
+            .probe_interval
+            .unwrap_or(self.timeout / self.recovery.suspect_after.max(1));
+        let mut misses = 0u32;
         loop {
-            if let Some(frame) = self
-                .backlog
-                .get_mut(&(from as u32))
-                .and_then(VecDeque::pop_front)
-            {
-                return Ok(frame);
+            self.pump(key)?;
+            if let Some(body) = self.backlog.get_mut(&key).and_then(VecDeque::pop_front) {
+                return Ok(body);
             }
-            let remaining = deadline.checked_duration_since(Instant::now()).ok_or(
-                ProtocolError::MemberUnresponsive {
-                    member: from,
-                    phase,
-                },
-            )?;
-            let env = self.endpoint.recv_timeout(remaining).map_err(|_| {
-                ProtocolError::MemberUnresponsive {
-                    member: from,
-                    phase,
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                return Err(self.suspect(from, phase));
+            };
+            let heard_before = self.heard.get(&key).copied().unwrap_or(0);
+            match self.endpoint.recv_timeout(probe.min(remaining)) {
+                Ok(env) => self.ingest(env)?,
+                Err(_) => {
+                    misses += 1;
+                    if misses >= self.recovery.suspect_after {
+                        return Err(self.suspect(from, phase));
+                    }
+                    self.send_frame(from, FrameBody::Ping, 0)?;
                 }
-            })?;
-            let frame: Frame =
-                wire::from_bytes(&env.payload).map_err(|_| ProtocolError::MalformedMessage {
-                    member: env.from.0 as usize,
-                })?;
-            self.backlog.entry(env.from.0).or_default().push_back(frame);
+            }
+            if self.heard.get(&key).copied().unwrap_or(0) != heard_before {
+                misses = 0;
+                deadline = Instant::now() + self.timeout;
+            }
         }
     }
 }
 
-/// Commit-reveal election among all members (paper: "randomly choosing one
-/// of the registered enclaves").
-fn run_election<T: Transport>(ctx: &mut MemberCtx<T>) -> Result<usize, ProtocolError> {
+/// Commit-reveal election among the surviving roster (paper: "randomly
+/// choosing one of the registered enclaves"; epochs above one re-run it
+/// over the survivors).
+fn run_election<T: Transport>(ctx: &mut MemberCtx<T>) -> Result<usize, Interrupt> {
+    let roster = ctx.roster.clone();
     let (reveal, commitment) = draw_nonce(&mut ctx.rng);
-    for peer in 0..ctx.g {
+    for &peer in &roster {
         if peer != ctx.id {
-            ctx.send_frame(peer, &Frame::Commit(commitment.0), 32)?;
+            ctx.send_frame(peer, FrameBody::Commit(commitment.0), 32)?;
         }
     }
     let mut commits: HashMap<usize, ElectionCommit> = HashMap::new();
     commits.insert(ctx.id, commitment);
-    while commits.len() < ctx.g {
-        for peer in 0..ctx.g {
+    while commits.len() < roster.len() {
+        for &peer in &roster {
             if commits.contains_key(&peer) {
                 continue;
             }
             match ctx.recv_frame_from(peer, "election-commit")? {
-                Frame::Commit(c) => {
+                FrameBody::Commit(c) => {
                     commits.insert(peer, ElectionCommit(c));
                 }
-                _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
             }
         }
     }
-    for peer in 0..ctx.g {
+    for &peer in &roster {
         if peer != ctx.id {
-            ctx.send_frame(peer, &Frame::Reveal(reveal.0), 32)?;
+            ctx.send_frame(peer, FrameBody::Reveal(reveal.0), 32)?;
         }
     }
-    let mut reveals: Vec<ElectionReveal> = vec![ElectionReveal([0u8; 32]); ctx.g];
-    reveals[ctx.id] = reveal;
-    let mut have = vec![false; ctx.g];
-    have[ctx.id] = true;
+    let mut reveals: Vec<ElectionReveal> = vec![ElectionReveal([0u8; 32]); roster.len()];
+    let mut have = vec![false; roster.len()];
+    let my_slot = roster.iter().position(|&m| m == ctx.id).expect("in roster");
+    reveals[my_slot] = reveal;
+    have[my_slot] = true;
     while have.iter().any(|h| !h) {
-        for peer in 0..ctx.g {
-            if have[peer] {
+        for (slot, &peer) in roster.iter().enumerate() {
+            if have[slot] {
                 continue;
             }
             match ctx.recv_frame_from(peer, "election-reveal")? {
-                Frame::Reveal(nonce) => {
+                FrameBody::Reveal(nonce) => {
                     let r = ElectionReveal(nonce);
                     if !verify_reveal(&commits[&peer], &r) {
-                        return Err(ProtocolError::MalformedMessage { member: peer });
+                        return Err(ProtocolError::MalformedMessage { member: peer }.into());
                     }
-                    reveals[peer] = r;
-                    have[peer] = true;
+                    reveals[slot] = r;
+                    have[slot] = true;
                 }
-                _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
             }
         }
     }
-    Ok(elect(&reveals, ctx.g))
+    Ok(elect_among(&reveals, &roster))
 }
 
 /// Establishes an attested channel with `peer` (both sides run this).
 fn establish_channel<T: Transport>(
     ctx: &mut MemberCtx<T>,
     peer: usize,
-) -> Result<SecureChannel, ProtocolError> {
+) -> Result<SecureChannel, Interrupt> {
     let handshake = Handshake::start(&ctx.enclave, &mut ctx.rng);
     let msg = handshake.message().to_bytes();
-    ctx.send_frame(peer, &Frame::Handshake(msg), msg.len())?;
+    ctx.send_frame(peer, FrameBody::Handshake(msg), msg.len())?;
     let frame = ctx.recv_frame_from(peer, "handshake")?;
-    let Frame::Handshake(peer_bytes) = frame else {
-        return Err(ProtocolError::MalformedMessage { member: peer });
+    let FrameBody::Handshake(peer_bytes) = frame else {
+        return Err(ProtocolError::MalformedMessage { member: peer }.into());
     };
     let peer_msg = HandshakeMessage::from_bytes(&peer_bytes);
     handshake
         .complete(&peer_msg, &ctx.expected)
-        .map_err(|cause| ProtocolError::SecurityFailure {
-            member: peer,
-            cause,
+        .map_err(|cause| {
+            ProtocolError::SecurityFailure {
+                member: peer,
+                cause,
+            }
+            .into()
         })
 }
 
 fn send_protocol<T: Transport>(
-    ctx: &MemberCtx<T>,
+    ctx: &mut MemberCtx<T>,
     channel: &mut SecureChannel,
     to: usize,
     msg: &ProtocolMessage,
@@ -326,7 +703,7 @@ fn send_protocol<T: Transport>(
     let plaintext = wire::to_bytes(msg);
     let plaintext_len = plaintext.len();
     let sealed = channel.send(&plaintext, CHANNEL_AAD);
-    ctx.send_frame(to, &Frame::Sealed(sealed), plaintext_len)
+    ctx.send_frame(to, FrameBody::Sealed(sealed), plaintext_len)
 }
 
 fn recv_protocol<T: Transport>(
@@ -334,19 +711,19 @@ fn recv_protocol<T: Transport>(
     channel: &mut SecureChannel,
     from: usize,
     phase: &'static str,
-) -> Result<ProtocolMessage, ProtocolError> {
+) -> Result<ProtocolMessage, Interrupt> {
     let frame = ctx.recv_frame_from(from, phase)?;
-    let Frame::Sealed(sealed) = frame else {
-        return Err(ProtocolError::MalformedMessage { member: from });
+    let FrameBody::Sealed(sealed) = frame else {
+        return Err(ProtocolError::MalformedMessage { member: from }.into());
     };
-    let plaintext =
-        channel
-            .recv(&sealed, CHANNEL_AAD)
-            .map_err(|cause| ProtocolError::SecurityFailure {
-                member: from,
-                cause,
-            })?;
-    wire::from_bytes(&plaintext).map_err(|_| ProtocolError::MalformedMessage { member: from })
+    let plaintext = channel.recv(&sealed, CHANNEL_AAD).map_err(|cause| {
+        Interrupt::Fatal(ProtocolError::SecurityFailure {
+            member: from,
+            cause,
+        })
+    })?;
+    wire::from_bytes(&plaintext)
+        .map_err(|_| ProtocolError::MalformedMessage { member: from }.into())
 }
 
 struct ThreadReport {
@@ -366,31 +743,26 @@ fn leader_main<T: Transport>(
     reference: &GenotypeMatrix,
     config: &FederationConfig,
     params: &GwasParams,
-) -> Result<ThreadReport, ProtocolError> {
+    own_counts: &CountsReport,
+) -> Result<ThreadReport, Interrupt> {
     let g = ctx.g;
     let me = ctx.id;
+    let roster = ctx.roster.clone();
     let mut channels: HashMap<usize, SecureChannel> = HashMap::new();
-    #[allow(clippy::needless_range_loop)]
-    for peer in 0..g {
+    for &peer in &roster {
         if peer != me {
             channels.insert(peer, establish_channel(ctx, peer)?);
         }
     }
-    let subsets = evaluation_subsets(g, config.collusion);
+    let subsets = evaluation_subsets_of(&roster, config.collusion);
     let mut timings = PhaseTimings::default();
 
     // ---- Collect counts ----
     let t = Instant::now();
-    let own_counts = ctx.enclave.enter(|(), epc| {
-        let report = node.counts_report();
-        epc.alloc(8 * report.counts.len() as u64);
-        report
-    });
     let mut reports: Vec<Option<CountsReport>> = vec![None; g];
     let panel_len = own_counts.counts.len();
-    reports[me] = Some(own_counts);
-    #[allow(clippy::needless_range_loop)] // peer is also the message address
-    for peer in 0..g {
+    reports[me] = Some(own_counts.clone());
+    for &peer in &roster {
         if peer == me {
             continue;
         }
@@ -399,13 +771,9 @@ fn leader_main<T: Transport>(
             ProtocolMessage::Counts(c) if c.counts.len() == panel_len => {
                 reports[peer] = Some(c);
             }
-            ProtocolMessage::Counts(_) => {
-                return Err(ProtocolError::MalformedMessage { member: peer })
-            }
-            _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+            _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
         }
     }
-    let reports: Vec<CountsReport> = reports.into_iter().map(|r| r.expect("collected")).collect();
     timings.aggregation += t.elapsed();
 
     // ---- Phase 1: MAF per subset + intersection ----
@@ -417,8 +785,10 @@ fn leader_main<T: Transport>(
     let n_ref = reference.individuals() as u64;
     let mut maf_outcomes: Vec<MafOutcome> = Vec::with_capacity(subsets.len());
     for subset in &subsets {
-        let subset_reports: Vec<CountsReport> =
-            subset.iter().map(|&i| reports[i].clone()).collect();
+        let subset_reports: Vec<CountsReport> = subset
+            .iter()
+            .map(|&i| reports[i].clone().expect("subset member reported"))
+            .collect();
         maf_outcomes.push(run_maf(
             &subset_reports,
             ref_counts.clone(),
@@ -440,7 +810,7 @@ fn leader_main<T: Transport>(
     let phase1 = ProtocolMessage::Phase1(Phase1Broadcast {
         retained: l_prime.iter().map(|s| s.0).collect(),
     });
-    for peer in 0..g {
+    for &peer in &roster {
         if peer != me {
             let channel = channels.get_mut(&peer).expect("channel");
             send_protocol(ctx, channel, peer, &phase1)?;
@@ -501,11 +871,11 @@ fn leader_main<T: Transport>(
                             *entry = entry.merge(LdMoments::from(m));
                         }
                     }
-                    _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                    _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
                 }
             }
         }
-        let mut scan_error: Option<ProtocolError> = None;
+        let mut scan_error: Option<Interrupt> = None;
         let retained = {
             let channels = &mut channels;
             let ctx_cell = std::cell::RefCell::new(&mut *ctx);
@@ -527,10 +897,10 @@ fn leader_main<T: Transport>(
                         if peer == me {
                             continue;
                         }
-                        let ctx = ctx_cell.borrow_mut();
+                        let mut ctx = ctx_cell.borrow_mut();
                         let channel = channels.get_mut(&peer).expect("channel");
-                        if let Err(e) = send_protocol(&ctx, channel, peer, &request) {
-                            *scan_error = Some(e);
+                        if let Err(e) = send_protocol(&mut ctx, channel, peer, &request) {
+                            *scan_error = Some(e.into());
                             return LdMoments::default();
                         }
                     }
@@ -556,7 +926,7 @@ fn leader_main<T: Transport>(
                             }
                             Ok(_) => {
                                 *scan_error =
-                                    Some(ProtocolError::MalformedMessage { member: peer });
+                                    Some(ProtocolError::MalformedMessage { member: peer }.into());
                             }
                             Err(e) => *scan_error = Some(e),
                         }
@@ -567,9 +937,11 @@ fn leader_main<T: Transport>(
                 params.ld_cutoff,
             )
         };
-        if let Some(e) = scan_error {
-            abort_all(ctx, &mut channels, &e);
-            return Err(e);
+        if let Some(intr) = scan_error {
+            if let Interrupt::Fatal(ref e) = intr {
+                abort_all(ctx, &mut channels, e);
+            }
+            return Err(intr);
         }
         ld_selections.push(retained);
     }
@@ -642,10 +1014,10 @@ fn leader_main<T: Transport>(
                         )
                         .map_err(|_| ProtocolError::MalformedMessage { member: peer })?
                     }
-                    _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                    _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
                 };
                 if m.snps() != l_double_prime.len() {
-                    return Err(ProtocolError::MalformedMessage { member: peer });
+                    return Err(ProtocolError::MalformedMessage { member: peer }.into());
                 }
                 ctx.enclave
                     .enter(|(), epc| epc.alloc(m.heap_bytes() as u64));
@@ -697,10 +1069,10 @@ fn leader_main<T: Transport>(
                     ProtocolMessage::Lr(combo, report) if combo == c as u32 => report
                         .into_matrix()
                         .map_err(|_| ProtocolError::MalformedMessage { member: peer })?,
-                    _ => return Err(ProtocolError::MalformedMessage { member: peer }),
+                    _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
                 };
                 if m.snps() != l_double_prime.len() {
-                    return Err(ProtocolError::MalformedMessage { member: peer });
+                    return Err(ProtocolError::MalformedMessage { member: peer }.into());
                 }
                 ctx.enclave
                     .enter(|(), epc| epc.alloc(m.heap_bytes() as u64));
@@ -733,6 +1105,7 @@ fn leader_main<T: Transport>(
 
     // ---- Audit certificate (issued inside the leader enclave) ----
     let full = &maf_outcomes[0];
+    let roster_u32: Vec<u32> = roster.iter().map(|&m| m as u32).collect();
     let certificate = AssessmentCertificate::issue(
         &ctx.enclave,
         &AssessmentFacts {
@@ -745,6 +1118,8 @@ fn leader_main<T: Transport>(
             n_ref: full.n_ref,
             safe: &safe_snps,
             evaluations: subsets.len() as u64,
+            epoch: ctx.epoch,
+            roster: &roster_u32,
         },
     );
 
@@ -752,7 +1127,7 @@ fn leader_main<T: Transport>(
     let phase3 = ProtocolMessage::Phase3(Phase3Broadcast {
         safe: safe_snps.iter().map(|s| s.0).collect(),
     });
-    for peer in 0..g {
+    for &peer in &roster {
         if peer != me {
             let channel = channels.get_mut(&peer).expect("channel");
             send_protocol(ctx, channel, peer, &phase3)?;
@@ -775,8 +1150,21 @@ fn abort_all<T: Transport>(
     channels: &mut HashMap<usize, SecureChannel>,
     err: &ProtocolError,
 ) {
-    let msg = ProtocolMessage::Abort(err.to_string());
-    for (&peer, channel) in channels.iter_mut() {
+    let msg = match err {
+        ProtocolError::QuorumLost {
+            epoch,
+            survivors,
+            required,
+        } => ProtocolMessage::QuorumLost {
+            epoch: *epoch,
+            survivors: *survivors as u32,
+            required: *required as u32,
+        },
+        _ => ProtocolMessage::Abort(err.to_string()),
+    };
+    let peers: Vec<usize> = channels.keys().copied().collect();
+    for peer in peers {
+        let channel = channels.get_mut(&peer).expect("iterating keys");
         let _ = send_protocol(ctx, channel, peer, &msg);
     }
 }
@@ -785,15 +1173,16 @@ fn follower_main<T: Transport>(
     ctx: &mut MemberCtx<T>,
     node: &GdoNode,
     leader: usize,
-) -> Result<ThreadReport, ProtocolError> {
+    own_counts: &CountsReport,
+) -> Result<ThreadReport, Interrupt> {
     let mut channel = establish_channel(ctx, leader)?;
 
-    let counts = ctx.enclave.enter(|(), epc| {
-        let report = node.counts_report();
-        epc.alloc(8 * report.counts.len() as u64);
-        report
-    });
-    send_protocol(ctx, &mut channel, leader, &ProtocolMessage::Counts(counts))?;
+    send_protocol(
+        ctx,
+        &mut channel,
+        leader,
+        &ProtocolMessage::Counts(own_counts.clone()),
+    )?;
 
     loop {
         match recv_protocol(ctx, &mut channel, leader, "awaiting-leader")? {
@@ -855,6 +1244,18 @@ fn follower_main<T: Transport>(
                     certificate: None,
                 });
             }
+            ProtocolMessage::QuorumLost {
+                epoch,
+                survivors,
+                required,
+            } => {
+                return Err(ProtocolError::QuorumLost {
+                    epoch,
+                    survivors: survivors as usize,
+                    required: required as usize,
+                }
+                .into());
+            }
             ProtocolMessage::Abort(reason) => {
                 return Err(ProtocolError::MemberUnresponsive {
                     member: leader,
@@ -863,9 +1264,10 @@ fn follower_main<T: Transport>(
                     } else {
                         "aborted-by-leader"
                     },
-                });
+                }
+                .into());
             }
-            _ => return Err(ProtocolError::MalformedMessage { member: leader }),
+            _ => return Err(ProtocolError::MalformedMessage { member: leader }.into()),
         }
     }
 }
@@ -934,7 +1336,7 @@ pub fn run_federation_with(
 pub struct MemberOutcome {
     /// This member's index.
     pub id: usize,
-    /// The leader this member elected.
+    /// The leader this member elected (in the final epoch).
     pub leader: usize,
     /// The safe set this member learned (identical at every honest member).
     pub safe_snps: Vec<SnpId>,
@@ -954,6 +1356,10 @@ pub struct MemberOutcome {
     pub ingress: TrafficStats,
     /// Outbound per-link stats, `(peer, stats)` for every other member.
     pub links: Vec<(u32, TrafficStats)>,
+    /// Epoch in which this member finished.
+    pub epoch: u64,
+    /// Surviving roster of that epoch.
+    pub roster: Vec<usize>,
 }
 
 /// Runs a single federation member over an arbitrary [`Transport`].
@@ -973,8 +1379,11 @@ pub struct MemberOutcome {
 /// # Errors
 ///
 /// Configuration errors, [`ProtocolError::MemberUnresponsive`] when a
-/// peer stays silent past `options.timeout`, or
-/// [`ProtocolError::SecurityFailure`] if attestation fails.
+/// peer stays silent past `options.timeout` with recovery disabled,
+/// [`ProtocolError::QuorumLost`] when too many members crashed for a new
+/// epoch to form, [`ProtocolError::Evicted`] when the survivors re-formed
+/// without this member, or [`ProtocolError::SecurityFailure`] if
+/// attestation fails.
 #[allow(clippy::needless_pass_by_value)] // the transport is consumed by the run
 pub fn run_member<T: Transport>(
     transport: T,
@@ -1019,15 +1428,47 @@ pub fn run_member<T: Transport>(
         timeout: options.timeout,
         compact_lr: options.compact_lr,
         prefetch_ld: options.prefetch_ld,
+        recovery: options.recovery,
+        collusion: config.collusion,
         expected: expected_measurement(params),
+        epoch: 1,
+        roster: (0..g).collect(),
+        send_seq: HashMap::new(),
+        recv_next: HashMap::new(),
+        pending: HashMap::new(),
+        future: HashMap::new(),
+        heard: HashMap::new(),
         backlog: HashMap::new(),
     };
     let node = GdoNode::new(member, shard);
-    let leader = run_election(&mut ctx)?;
-    let report = if leader == member {
-        leader_main(&mut ctx, &node, reference, config, params)?
-    } else {
-        follower_main(&mut ctx, &node, leader)?
+    // Member-side checkpoint: the counts report is computed once and
+    // survives view changes (Phase 1/2 selections are deterministic given
+    // the reports, so re-running an epoch needs nothing else).
+    let own_counts = ctx.enclave.enter(|(), epc| {
+        let report = node.counts_report();
+        epc.alloc(8 * report.counts.len() as u64);
+        report
+    });
+
+    let report = loop {
+        let result = match run_election(&mut ctx) {
+            Ok(leader) if leader == member => {
+                leader_main(&mut ctx, &node, reference, config, params, &own_counts)
+            }
+            Ok(leader) => follower_main(&mut ctx, &node, leader, &own_counts),
+            Err(intr) => Err(intr),
+        };
+        match result {
+            Ok(report) => break report,
+            Err(Interrupt::Fatal(e)) => return Err(e),
+            Err(Interrupt::NewView {
+                epoch,
+                roster,
+                announce,
+            }) => {
+                ctx.begin_epoch(epoch, roster, announce);
+            }
+        }
     };
     let egress = ctx.endpoint.egress_stats();
     let ingress = ctx.endpoint.ingress_stats();
@@ -1055,6 +1496,8 @@ pub fn run_member<T: Transport>(
         egress,
         ingress,
         links,
+        epoch: ctx.epoch,
+        roster: ctx.roster,
     })
 }
 
@@ -1065,11 +1508,18 @@ pub fn run_member<T: Transport>(
 /// [`Network`]; passing [`gendpr_fednet::tcp::TcpTransport`]s instead
 /// runs the same protocol over real sockets.
 ///
+/// With recovery enabled ([`RecoveryOptions::max_epochs`] above one) the
+/// run tolerates member crashes: as long as one epoch completes with a
+/// certificate, the report is returned with the casualties listed in
+/// [`RuntimeReport::failed`] and the certificate stamped with the final
+/// epoch and surviving roster.
+///
 /// # Errors
 ///
 /// Same conditions as [`run_federation`], plus
 /// [`ProtocolError::InvalidConfig`] if the transports do not line up with
-/// the configured member count.
+/// the configured member count, and [`ProtocolError::QuorumLost`] when
+/// too many members fail for any epoch to complete.
 pub fn run_federation_over<T: Transport + 'static>(
     transports: Vec<T>,
     config: FederationConfig,
@@ -1110,38 +1560,43 @@ pub fn run_federation_over<T: Transport + 'static>(
     }
 
     let mut outcomes = Vec::with_capacity(g);
-    let mut errors: Vec<ProtocolError> = Vec::new();
-    for handle in handles {
+    let mut failures: Vec<(usize, ProtocolError)> = Vec::new();
+    for (id, handle) in handles.into_iter().enumerate() {
         match handle.join().expect("member thread must not panic") {
             Ok(outcome) => outcomes.push(outcome),
-            Err(e) => errors.push(e),
+            Err(e) => failures.push((id, e)),
         }
     }
-    if !errors.is_empty() {
-        // One member failing makes its peers see transport errors; report
-        // the root cause (a non-transport error) when there is one.
-        let root = errors
-            .iter()
-            .find(|e| {
-                !matches!(
-                    e,
-                    ProtocolError::MemberUnresponsive {
-                        phase: "transport",
-                        ..
-                    }
-                )
-            })
-            .unwrap_or(&errors[0])
-            .clone();
-        return Err(root);
-    }
 
-    let leader = outcomes[0].leader;
-    let leader_outcome = outcomes
-        .iter()
-        .find(|o| o.l_prime.is_some())
-        .expect("leader produced an outcome");
-    let l_prime = leader_outcome.l_prime.clone().expect("checked above");
+    let Some(leader_outcome) = outcomes.iter().find(|o| o.certificate.is_some()) else {
+        // No epoch completed. Report the most precise root cause: a quorum
+        // loss beats a generic timeout, which beats transport noise.
+        let root = failures
+            .iter()
+            .map(|(_, e)| e)
+            .find(|e| matches!(e, ProtocolError::QuorumLost { .. }))
+            .or_else(|| {
+                failures.iter().map(|(_, e)| e).find(|e| {
+                    !matches!(
+                        e,
+                        ProtocolError::MemberUnresponsive {
+                            phase: "transport",
+                            ..
+                        }
+                    )
+                })
+            })
+            .or_else(|| failures.first().map(|(_, e)| e))
+            .cloned()
+            .unwrap_or(ProtocolError::InvalidConfig(
+                "no member produced a certificate",
+            ));
+        return Err(root);
+    };
+
+    let leader = leader_outcome.leader;
+    let final_epoch = leader_outcome.epoch;
+    let l_prime = leader_outcome.l_prime.clone().expect("leader outcome");
     let l_double_prime = leader_outcome
         .l_double_prime
         .clone()
@@ -1151,20 +1606,23 @@ pub fn run_federation_over<T: Transport + 'static>(
     let certificate = leader_outcome
         .certificate
         .clone()
-        .expect("leader produced a certificate");
-    // Every member must have learned the same safe set.
+        .expect("found by certificate presence");
+    // Every member that finished the final epoch must agree.
     let mut traffic = TrafficStats::default();
     for o in &outcomes {
-        assert_eq!(
-            o.safe_snps, safe_snps,
-            "member {} disagrees on L_safe",
-            o.id
-        );
-        assert_eq!(o.leader, leader, "member {} disagrees on the leader", o.id);
+        if o.epoch == final_epoch {
+            assert_eq!(
+                o.safe_snps, safe_snps,
+                "member {} disagrees on L_safe",
+                o.id
+            );
+            assert_eq!(o.leader, leader, "member {} disagrees on the leader", o.id);
+        }
         traffic.merge(&o.egress);
     }
     outcomes.sort_by_key(|o| o.id);
     let resources = outcomes.iter().map(|o| o.resources).collect();
+    let failed: Vec<usize> = failures.iter().map(|&(id, _)| id).collect();
 
     Ok(RuntimeReport {
         leader,
@@ -1175,7 +1633,10 @@ pub fn run_federation_over<T: Transport + 'static>(
         resources,
         elapsed: start.elapsed(),
         timings,
-        certificate,
+        certificate: certificate.clone(),
+        epoch: final_epoch,
+        roster: certificate.roster,
+        failed,
     })
 }
 
@@ -1211,6 +1672,10 @@ mod tests {
         assert!(threaded.traffic.wire_bytes > threaded.traffic.plaintext_bytes);
         assert_eq!(threaded.resources.len(), 3);
         assert!(threaded.resources.iter().all(|r| r.peak_enclave_bytes > 0));
+        assert_eq!(threaded.epoch, 1, "crash-free run stays in epoch 1");
+        assert_eq!(threaded.roster, vec![0, 1, 2]);
+        assert!(threaded.failed.is_empty());
+        assert_eq!(threaded.certificate.epoch, 1);
     }
 
     #[test]
@@ -1248,6 +1713,8 @@ mod tests {
             n_ref: c.reference().individuals() as u64,
             safe: &report.safe_snps,
             evaluations: 1,
+            epoch: 1,
+            roster: &[0, 1, 2],
         };
         report
             .certificate
@@ -1336,6 +1803,7 @@ mod tests {
                 timeout: TIMEOUT,
                 compact_lr: true,
                 prefetch_ld: true,
+                ..RuntimeOptions::default()
             },
         )
         .unwrap();
@@ -1379,6 +1847,7 @@ mod tests {
 
     #[test]
     fn crashed_member_aborts_with_unresponsive_error() {
+        // Default options: max_epochs = 1, the paper's no-liveness abort.
         let c = cohort(60, 80);
         let mut faults = FaultPlan::none();
         faults.crash(2);
@@ -1393,6 +1862,71 @@ mod tests {
         assert!(
             matches!(err, ProtocolError::MemberUnresponsive { .. }),
             "{err:?}"
+        );
+    }
+
+    #[test]
+    fn crashed_member_is_survived_with_recovery_enabled() {
+        // Same crash, but with an epoch budget: the survivors re-form and
+        // finish, and the certificate says so.
+        let c = cohort(60, 80);
+        let mut faults = FaultPlan::none();
+        faults.crash(2);
+        let config = FederationConfig::new(3)
+            .with_collusion(CollusionMode::Fixed(1))
+            .with_seed(9);
+        let report = run_federation_with(
+            config,
+            GwasParams::secure_genome_defaults(),
+            &c,
+            Some(faults),
+            RuntimeOptions {
+                timeout: Duration::from_millis(400),
+                recovery: RecoveryOptions {
+                    max_epochs: 4,
+                    ..RecoveryOptions::default()
+                },
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.epoch >= 2, "a view change must have happened");
+        assert_eq!(report.roster, vec![0, 1]);
+        assert_eq!(report.failed, vec![2]);
+        assert_eq!(report.certificate.roster, vec![0, 1]);
+        assert!(report.certificate.epoch >= 2);
+        assert!(!report.roster.contains(&2));
+    }
+
+    #[test]
+    fn quorum_loss_is_reported_precisely() {
+        // Two of three members crash; even with recovery the survivor
+        // cannot form a quorum.
+        let c = cohort(60, 80);
+        let mut faults = FaultPlan::none();
+        faults.crash(1);
+        faults.crash(2);
+        let config = FederationConfig::new(3)
+            .with_collusion(CollusionMode::Fixed(1))
+            .with_seed(9);
+        let err = run_federation_with(
+            config,
+            GwasParams::secure_genome_defaults(),
+            &c,
+            Some(faults),
+            RuntimeOptions {
+                timeout: Duration::from_millis(300),
+                recovery: RecoveryOptions {
+                    max_epochs: 6,
+                    ..RecoveryOptions::default()
+                },
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::QuorumLost { .. }),
+            "expected QuorumLost, got {err:?}"
         );
     }
 

@@ -181,6 +181,11 @@ pub struct TcpOptions {
     pub retry_initial: Duration,
     /// Backoff cap (doubling from `retry_initial`).
     pub retry_max: Duration,
+    /// Budget for re-dialing a peer whose established connection died
+    /// mid-write (a restarted peer). Kept short so a genuinely dead peer
+    /// degrades into [`NetError::Dropped`] quickly rather than stalling
+    /// every subsequent send for `connect_timeout`.
+    pub reconnect_timeout: Duration,
 }
 
 impl Default for TcpOptions {
@@ -189,8 +194,18 @@ impl Default for TcpOptions {
             connect_timeout: Duration::from_secs(10),
             retry_initial: Duration::from_millis(25),
             retry_max: Duration::from_millis(500),
+            reconnect_timeout: Duration::from_secs(1),
         }
     }
+}
+
+/// An encoded frame held back by a reorder fault, flushed by the chaos
+/// flusher thread once due.
+struct HeldTcpFrame {
+    to: PeerId,
+    bytes: Vec<u8>,
+    plaintext_len: usize,
+    due: Instant,
 }
 
 struct TcpShared {
@@ -199,6 +214,8 @@ struct TcpShared {
     conns: Mutex<HashMap<u32, TcpStream>>,
     metrics: Mutex<TrafficMatrix>,
     faults: Mutex<FaultPlan>,
+    held: Mutex<Vec<HeldTcpFrame>>,
+    flusher: AtomicBool,
     opts: TcpOptions,
     shutdown: AtomicBool,
 }
@@ -261,6 +278,8 @@ impl TcpTransport {
             conns: Mutex::new(HashMap::new()),
             metrics: Mutex::new(TrafficMatrix::default()),
             faults: Mutex::new(FaultPlan::none()),
+            held: Mutex::new(Vec::new()),
+            flusher: AtomicBool::new(false),
             opts,
             shutdown: AtomicBool::new(false),
         });
@@ -282,7 +301,8 @@ impl TcpTransport {
         plaintext_len: usize,
     ) -> Result<(), NetError> {
         let shared = &self.shared;
-        if lock(&shared.faults).on_send(shared.id.0, to.0) {
+        let decision = lock(&shared.faults).decide(shared.id.0, to.0);
+        if !decision.deliver {
             return Err(NetError::Dropped);
         }
         let addr = *shared.peers.get(&to).ok_or(NetError::UnknownPeer(to))?;
@@ -295,20 +315,101 @@ impl TcpTransport {
             FrameError::TooLarge { claimed } => NetError::FrameTooLarge(claimed as usize),
             FrameError::Incomplete { .. } | FrameError::Malformed(_) => NetError::Dropped,
         })?;
-        let mut conns = lock(&shared.conns);
-        let stream = match conns.entry(to.0) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => e.insert(dial(addr, shared.opts)?),
-        };
-        if stream.write_all(&frame).is_err() {
-            // The peer died mid-protocol: drop the connection and let the
-            // silence surface as a receive timeout, like an in-memory drop.
-            conns.remove(&to.0);
-            return Err(NetError::Dropped);
+        for _ in 0..decision.duplicates {
+            let _ = write_frame(shared, to, addr, &frame, plaintext_len);
         }
+        if let Some(delay) = decision.delay {
+            lock(&shared.held).push(HeldTcpFrame {
+                to,
+                bytes: frame,
+                plaintext_len,
+                due: Instant::now() + delay,
+            });
+            ensure_flusher(shared);
+            return Ok(());
+        }
+        write_frame(shared, to, addr, &frame, plaintext_len)
+    }
+}
+
+/// Writes one encoded frame to `to`, dialing lazily. A write failure on an
+/// established connection means the peer died or restarted: the stale
+/// connection is discarded and one re-dial (bounded by
+/// [`TcpOptions::reconnect_timeout`]) is attempted before giving up with
+/// [`NetError::Dropped`].
+fn write_frame(
+    shared: &Arc<TcpShared>,
+    to: PeerId,
+    addr: SocketAddr,
+    frame: &[u8],
+    plaintext_len: usize,
+) -> Result<(), NetError> {
+    let mut conns = lock(&shared.conns);
+    let stream = match conns.entry(to.0) {
+        Entry::Occupied(e) => e.into_mut(),
+        Entry::Vacant(e) => e.insert(dial(addr, shared.opts)?),
+    };
+    if stream.write_all(frame).is_ok() {
         drop(conns);
         lock(&shared.metrics).record(shared.id.0, to.0, plaintext_len, frame.len());
-        Ok(())
+        return Ok(());
+    }
+    conns.remove(&to.0);
+    let redial = TcpOptions {
+        connect_timeout: shared.opts.reconnect_timeout,
+        ..shared.opts
+    };
+    match dial(addr, redial) {
+        Ok(mut stream) => {
+            if stream.write_all(frame).is_err() {
+                return Err(NetError::Dropped);
+            }
+            conns.insert(to.0, stream);
+            drop(conns);
+            lock(&shared.metrics).record(shared.id.0, to.0, plaintext_len, frame.len());
+            Ok(())
+        }
+        Err(_) => Err(NetError::Dropped),
+    }
+}
+
+/// Starts the background thread that flushes reorder-held frames, once per
+/// transport; it exits with the transport's shutdown flag.
+fn ensure_flusher(shared: &Arc<TcpShared>) {
+    if shared.flusher.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let shared = Arc::clone(shared);
+    thread::spawn(move || {
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            flush_due(&shared);
+            thread::sleep(Duration::from_millis(1));
+        }
+    });
+}
+
+fn flush_due(shared: &Arc<TcpShared>) {
+    let due: Vec<HeldTcpFrame> = {
+        let mut held = lock(&shared.held);
+        if held.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < held.len() {
+            if held[i].due <= now {
+                due.push(held.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    };
+    for f in due {
+        if let Some(&addr) = shared.peers.get(&f.to) {
+            let _ = write_frame(shared, f.to, addr, &f.bytes, f.plaintext_len);
+        }
     }
 }
 
@@ -359,6 +460,12 @@ impl Drop for TcpTransport {
 fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
     let deadline = Instant::now() + opts.connect_timeout;
     let mut backoff = opts.retry_initial;
+    // Jitter seed: wall-clock nanos differ across processes, so members
+    // retrying a restarted peer at once don't re-dial in lockstep.
+    let mut jitter_state = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0x9E37_79B9, |d| u64::from(d.subsec_nanos()))
+        ^ (u64::from(addr.port()) << 32);
     loop {
         let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
             return Err(NetError::Timeout);
@@ -372,7 +479,12 @@ fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                     return Err(NetError::Timeout);
                 };
-                thread::sleep(backoff.min(remaining));
+                // Sleep a uniform draw from [backoff/2, backoff] so
+                // simultaneous reconnects desynchronize.
+                let span = (backoff / 2).as_nanos().max(1) as u64;
+                let jitter =
+                    Duration::from_nanos(crate::fault::splitmix64(&mut jitter_state) % span);
+                thread::sleep((backoff / 2 + jitter).min(remaining));
                 backoff = (backoff * 2).min(opts.retry_max);
             }
         }
@@ -577,6 +689,70 @@ mod tests {
         a.set_faults(faults);
         assert_eq!(a.send(PeerId(1), vec![0], 1), Err(NetError::Dropped));
         assert_eq!(a.egress_stats().messages, 0, "dropped frames not metered");
+    }
+
+    #[test]
+    fn reconnect_on_send_reaches_a_restarted_peer() {
+        let (roster, mut listeners) = ephemeral_listeners(2).unwrap();
+        let opts = TcpOptions {
+            connect_timeout: Duration::from_secs(2),
+            reconnect_timeout: Duration::from_millis(500),
+            ..TcpOptions::default()
+        };
+        let b_listener = listeners.pop().unwrap();
+        let a = TcpTransport::from_listener(PeerId(0), listeners.pop().unwrap(), &roster, opts)
+            .unwrap();
+        a.send(PeerId(1), vec![1], 1).unwrap();
+        // The peer dies mid-session: its first incarnation accepts the
+        // connection and is gone before reading anything, leaving `a`
+        // with a stale connection. The listener itself stays bound (a
+        // same-port rebind here would race the kernel's FIN_WAIT/
+        // TIME_WAIT teardown of the dropped connection, which std's
+        // TcpListener cannot override without SO_REUSEADDR).
+        let (doomed, _) = b_listener.accept().expect("first incarnation accepts");
+        drop(doomed);
+        let b2 = TcpTransport::from_listener(PeerId(1), b_listener, &roster, opts).unwrap();
+        // The restarted incarnation serves the same roster address. `a`
+        // still holds the stale connection; writes into it may succeed
+        // until the kernel surfaces the reset, after which write_frame
+        // re-dials. Keep sending until a frame lands.
+        let mut delivered = None;
+        for attempt in 0u8..50 {
+            let _ = a.send(PeerId(1), vec![attempt], 1);
+            if let Ok(env) = b2.recv_timeout(Duration::from_millis(100)) {
+                delivered = Some(env.payload[0]);
+                break;
+            }
+        }
+        assert!(
+            delivered.is_some(),
+            "sender must reconnect to the restarted peer"
+        );
+    }
+
+    #[test]
+    fn chaos_over_tcp_delivers_every_frame() {
+        let (a, b) = pair();
+        let mut faults = FaultPlan::none();
+        faults.chaos(crate::fault::ChaosFaults {
+            seed: 5,
+            drop_rate: 0.0,
+            duplicate_rate: 0.5,
+            reorder_window_ms: 3,
+        });
+        a.set_faults(faults);
+        let sent = 20u8;
+        for i in 0..sent {
+            a.send(PeerId(1), vec![i], 1).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Ok(env) = b.recv_timeout(Duration::from_millis(300)) {
+            seen.insert(env.payload[0]);
+            if seen.len() == usize::from(sent) {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), usize::from(sent), "no frame may be lost");
     }
 
     #[test]

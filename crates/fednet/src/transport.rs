@@ -20,7 +20,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Identifies a federation endpoint (GDO index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -128,11 +128,19 @@ pub trait Transport: Send {
     fn ingress_stats(&self) -> TrafficStats;
 }
 
+/// A frame held back by a reorder fault, due for delivery later.
+#[derive(Debug)]
+struct HeldFrame {
+    env: Envelope,
+    due: Instant,
+}
+
 #[derive(Debug, Default)]
 struct NetworkState {
     inboxes: HashMap<PeerId, Sender<Envelope>>,
     metrics: TrafficMatrix,
     faults: FaultPlan,
+    held: Vec<HeldFrame>,
 }
 
 /// The federation's message fabric. Cheap to clone; all clones share state.
@@ -203,9 +211,30 @@ impl Network {
 
     fn send(&self, env: Envelope) -> Result<(), NetError> {
         let mut state = self.lock();
-        if state.faults.on_send(env.from.0, env.to.0) {
+        Self::flush_due_locked(&mut state);
+        let decision = state.faults.decide(env.from.0, env.to.0);
+        if !decision.deliver {
             return Err(NetError::Dropped);
         }
+        if !state.inboxes.contains_key(&env.to) {
+            return Err(NetError::UnknownPeer(env.to));
+        }
+        for _ in 0..decision.duplicates {
+            let _ = Self::deliver_locked(&mut state, env.clone());
+        }
+        match decision.delay {
+            Some(delay) => {
+                state.held.push(HeldFrame {
+                    env,
+                    due: Instant::now() + delay,
+                });
+                Ok(())
+            }
+            None => Self::deliver_locked(&mut state, env),
+        }
+    }
+
+    fn deliver_locked(state: &mut NetworkState, env: Envelope) -> Result<(), NetError> {
         let tx = state
             .inboxes
             .get(&env.to)
@@ -214,8 +243,32 @@ impl Network {
         state
             .metrics
             .record(env.from.0, env.to.0, env.plaintext_len, env.payload.len());
-        drop(state);
         tx.send(env).map_err(|_| NetError::Disconnected)
+    }
+
+    fn flush_due_locked(state: &mut NetworkState) {
+        if state.held.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < state.held.len() {
+            if state.held[i].due <= now {
+                let frame = state.held.swap_remove(i);
+                let _ = Self::deliver_locked(state, frame.env);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Delivers every held frame that is due and reports whether delayed
+    /// deliveries are possible at all (chaos active or frames still held),
+    /// so receivers know to poll instead of blocking for the full deadline.
+    fn poll_pending(&self) -> bool {
+        let mut state = self.lock();
+        Self::flush_due_locked(&mut state);
+        state.faults.has_chaos() || !state.held.is_empty()
     }
 }
 
@@ -258,16 +311,37 @@ impl Endpoint {
         self.rx.recv().map_err(|_| NetError::Disconnected)
     }
 
-    /// Blocks for the next message up to `timeout`.
+    /// Blocks for the next message up to `timeout`. While reorder chaos is
+    /// active the wait is sliced so frames held by the fault plan are
+    /// flushed to their inboxes as they come due.
     ///
     /// # Errors
     ///
     /// [`NetError::Timeout`] or [`NetError::Disconnected`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, NetError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            std::sync::mpsc::RecvTimeoutError::Timeout => NetError::Timeout,
-            std::sync::mpsc::RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })
+        let deadline = Instant::now() + timeout;
+        loop {
+            let delayed_possible = self.network.poll_pending();
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !delayed_possible {
+                return self.rx.recv_timeout(remaining).map_err(|e| match e {
+                    std::sync::mpsc::RecvTimeoutError::Timeout => NetError::Timeout,
+                    std::sync::mpsc::RecvTimeoutError::Disconnected => NetError::Disconnected,
+                });
+            }
+            let slice = remaining.min(Duration::from_millis(1));
+            match self.rx.recv_timeout(slice) {
+                Ok(env) => return Ok(env),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout);
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Disconnected)
+                }
+            }
+        }
     }
 
     /// Non-blocking receive; `None` when the inbox is empty.
@@ -383,6 +457,36 @@ mod tests {
         });
         a.send(PeerId(1), b"hello enclave".to_vec(), 13).unwrap();
         assert_eq!(handle.join().unwrap(), b"hello enclave");
+    }
+
+    #[test]
+    fn chaos_duplicates_and_delays_still_deliver_every_frame() {
+        let net = Network::new();
+        let a = net.register(PeerId(0));
+        let b = net.register(PeerId(1));
+        let mut faults = FaultPlan::none();
+        faults.chaos(crate::fault::ChaosFaults {
+            seed: 11,
+            drop_rate: 0.0,
+            duplicate_rate: 0.5,
+            reorder_window_ms: 3,
+        });
+        net.set_faults(faults);
+        let sent = 20u8;
+        for i in 0..sent {
+            a.send(PeerId(1), vec![i], 1).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut copies = 0u32;
+        while let Ok(env) = b.recv_timeout(Duration::from_millis(100)) {
+            seen.insert(env.payload[0]);
+            copies += 1;
+            if seen.len() == usize::from(sent) && copies > u32::from(sent) {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), usize::from(sent), "no frame may be lost");
+        assert!(copies > u32::from(sent), "duplicates at 0.5 rate expected");
     }
 
     #[test]

@@ -21,10 +21,12 @@
 
 use gendpr::core::attack::{AttackStatistic, MembershipAttacker};
 use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::error::ProtocolError;
 use gendpr::core::release::GwasRelease;
-use gendpr::core::runtime::{run_federation_with, run_member, RuntimeOptions};
+use gendpr::core::runtime::{run_federation_with, run_member, RecoveryOptions, RuntimeOptions};
+use gendpr::fednet::fault::{ChaosFaults, FaultPlan};
 use gendpr::fednet::tcp::{TcpOptions, TcpTransport};
-use gendpr::fednet::transport::PeerId;
+use gendpr::fednet::transport::{PeerId, Transport};
 use gendpr::genomics::cohort::Cohort;
 use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::genomics::vcf;
@@ -53,6 +55,9 @@ const ASSESS_FLAGS: &[&str] = &[
     "out",
     "key",
     "timeout",
+    "min-quorum",
+    "max-epochs",
+    "heartbeat-ms",
 ];
 const ASSESS_BOOLS: &[&str] = &["distributed"];
 const NODE_FLAGS: &[&str] = &[
@@ -71,8 +76,51 @@ const NODE_FLAGS: &[&str] = &[
     "out",
     "key",
     "timeout",
+    "min-quorum",
+    "max-epochs",
+    "heartbeat-ms",
+    "chaos",
 ];
 const ATTACK_FLAGS: &[&str] = &["release", "victims", "reference", "fpr", "key"];
+
+/// Exit code for a protocol failure, so scripts (and the `assess
+/// --distributed` parent) can distinguish the interesting outcomes:
+/// 3 = quorum lost, 4 = member unresponsive / timeout, 5 = attestation or
+/// channel security failure, 6 = evicted from the surviving roster.
+/// Everything else (bad flags, I/O, malformed input) is the generic 1.
+const EXIT_QUORUM_LOST: u8 = 3;
+const EXIT_UNRESPONSIVE: u8 = 4;
+const EXIT_SECURITY: u8 = 5;
+const EXIT_EVICTED: u8 = 6;
+
+fn exit_code_for(err: &ProtocolError) -> u8 {
+    match err {
+        ProtocolError::QuorumLost { .. } => EXIT_QUORUM_LOST,
+        ProtocolError::MemberUnresponsive { .. } => EXIT_UNRESPONSIVE,
+        ProtocolError::SecurityFailure { .. } => EXIT_SECURITY,
+        ProtocolError::Evicted { .. } => EXIT_EVICTED,
+        _ => 1,
+    }
+}
+
+/// A CLI failure: a message plus the process exit code it maps to.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { message, code: 1 }
+    }
+}
+
+fn protocol_error(err: ProtocolError) -> CliError {
+    CliError {
+        message: err.to_string(),
+        code: exit_code_for(&err),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,23 +129,31 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let result = match args.first().map(String::as_str) {
-        Some("synth") => parse_flags(&args[1..], SYNTH_FLAGS, &[]).and_then(|f| cmd_synth(&f)),
-        Some("assess") => {
-            parse_flags(&args[1..], ASSESS_FLAGS, ASSESS_BOOLS).and_then(|f| cmd_assess(&f))
-        }
-        Some("node") => parse_flags(&args[1..], NODE_FLAGS, &[]).and_then(|f| cmd_node(&f)),
-        Some("attack") => parse_flags(&args[1..], ATTACK_FLAGS, &[]).and_then(|f| cmd_attack(&f)),
+        Some("synth") => parse_flags(&args[1..], SYNTH_FLAGS, &[])
+            .map_err(CliError::from)
+            .and_then(|f| cmd_synth(&f)),
+        Some("assess") => parse_flags(&args[1..], ASSESS_FLAGS, ASSESS_BOOLS)
+            .map_err(CliError::from)
+            .and_then(|f| cmd_assess(&f)),
+        Some("node") => parse_flags(&args[1..], NODE_FLAGS, &[])
+            .map_err(CliError::from)
+            .and_then(|f| cmd_node(&f)),
+        Some("attack") => parse_flags(&args[1..], ATTACK_FLAGS, &[])
+            .map_err(CliError::from)
+            .and_then(|f| cmd_attack(&f)),
         None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}; try --help")),
+        Some(other) => Err(CliError::from(format!(
+            "unknown subcommand {other:?}; try --help"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError { message, code }) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }
@@ -108,16 +164,25 @@ fn print_usage() {
 USAGE:\n  gendpr synth  --snps N --cases N --reference N [--seed N] [--out DIR] [--key HEX]\n  \
 gendpr assess --case FILE --reference FILE --gdos N [--collusion f|all]\n                \
 [--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
-[--distributed] [--timeout SECS]\n  \
+[--distributed] [--timeout SECS] [--max-epochs N]\n                \
+[--min-quorum N] [--heartbeat-ms MS]\n  \
 gendpr node   --id K --peers HOST:PORT,... --case FILE --reference FILE\n                \
 [--gdos N] [--listen ADDR] [--collusion f|all] [--seed N]\n                \
 [--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
-[--timeout SECS]\n  \
+[--timeout SECS] [--max-epochs N] [--min-quorum N]\n                \
+[--heartbeat-ms MS] [--chaos SEED]\n  \
 gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n\n\
 `assess --distributed` spawns one `gendpr node` process per GDO on free\n\
 localhost ports and runs the protocol over real TCP sockets; `node` runs a\n\
 single member against an explicit peer roster (same seed + study files on\n\
-every host ⇒ same federation, bit-identical release)."
+every host ⇒ same federation, bit-identical release).\n\n\
+FAULT TOLERANCE:\n  --max-epochs N    survive member crashes via up to N-1 view changes\n                    \
+(default 1: abort on the first silent member)\n  --min-quorum N    smallest surviving roster \
+allowed to re-form\n                    (default G−f from the collusion mode)\n  \
+--heartbeat-ms MS failure-detector probe interval (default timeout/3)\n  \
+--chaos SEED      node only: seeded duplicate/reorder link faults\n\nEXIT CODES:\n  \
+0 success · 1 generic error · 3 quorum lost · 4 member unresponsive\n  \
+5 attestation/channel security failure · 6 evicted from the roster"
     );
 }
 
@@ -220,7 +285,7 @@ fn signing_key(flags: &HashMap<String, String>) -> Vec<u8> {
         .unwrap_or_else(|| DEFAULT_KEY.to_vec())
 }
 
-fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_synth(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let snps: usize = flag(flags, "snps", 1_000)?;
     let cases: usize = flag(flags, "cases", 600)?;
     let reference: usize = flag(flags, "reference", 500)?;
@@ -300,6 +365,28 @@ fn config_from_flags(
     Ok(config)
 }
 
+/// Recovery knobs shared by `assess` and `node`: `--max-epochs` (default
+/// 1 = no recovery, the paper's abort-on-silence), `--min-quorum`
+/// (default `G − f` from the collusion mode) and `--heartbeat-ms` (probe
+/// interval of the failure detector; default derives it from the timeout).
+fn recovery_from_flags(
+    flags: &HashMap<String, String>,
+    config: &FederationConfig,
+) -> Result<RecoveryOptions, String> {
+    let max_epochs: u64 = flag(flags, "max-epochs", 1)?;
+    if max_epochs == 0 {
+        return Err("--max-epochs must be at least 1".to_string());
+    }
+    let min_quorum: usize = flag(flags, "min-quorum", config.default_min_quorum())?;
+    let heartbeat_ms: u64 = flag(flags, "heartbeat-ms", 0)?;
+    Ok(RecoveryOptions {
+        max_epochs,
+        min_quorum,
+        probe_interval: (heartbeat_ms > 0).then(|| Duration::from_millis(heartbeat_ms)),
+        ..RecoveryOptions::default()
+    })
+}
+
 fn release_for(cohort: &Cohort, safe_snps: &[gendpr::genomics::snp::SnpId]) -> GwasRelease {
     GwasRelease::noise_free(
         safe_snps,
@@ -310,7 +397,7 @@ fn release_for(cohort: &Cohort, safe_snps: &[gendpr::genomics::snp::SnpId]) -> G
     )
 }
 
-fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if flags.contains_key("distributed") {
         return cmd_assess_distributed(flags);
     }
@@ -326,6 +413,7 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
         cohort.reference_individuals(),
         cohort.panel().len()
     );
+    let recovery = recovery_from_flags(flags, &config)?;
     let report = run_federation_with(
         config,
         params,
@@ -335,11 +423,18 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
             timeout: Duration::from_secs(timeout),
             compact_lr: true,
             prefetch_ld: true,
+            recovery,
         },
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(protocol_error)?;
 
     println!("leader: GDO {}", report.leader);
+    if report.epoch > 1 {
+        println!(
+            "degraded run: finished in epoch {} with surviving roster {:?} (failed: {:?})",
+            report.epoch, report.roster, report.failed
+        );
+    }
     println!(
         "assessment certificate: {} (enclave-signed; binds parameters, inputs and L_safe)",
         report.certificate.fingerprint()
@@ -382,7 +477,7 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `gendpr node` process per GDO against that roster, and relay their
 /// output. Node 0 writes the release (`--out`); every node verifies it
 /// reached the same safe set or the protocol aborts.
-fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let gdos: usize = flag(flags, "gdos", 3)?;
     let case = required(flags, "case")?.to_string();
     let reference = required(flags, "reference")?.to_string();
@@ -426,6 +521,9 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), String>
             "power",
             "key",
             "timeout",
+            "min-quorum",
+            "max-epochs",
+            "heartbeat-ms",
         ] {
             if let Some(v) = flags.get(name) {
                 cmd.arg(format!("--{name}")).arg(v);
@@ -443,7 +541,9 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), String>
         children.push((id, child));
     }
 
-    let mut failed = false;
+    // Propagate the most telling child exit code: a typed protocol code
+    // (3–6) beats the generic 1, and quorum loss beats a plain timeout.
+    let mut failed_code: Option<u8> = None;
     for (id, child) in children {
         let output = child
             .wait_with_output()
@@ -455,11 +555,28 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), String>
             eprintln!("[gdo {id}] {line}");
         }
         if !output.status.success() {
-            failed = true;
+            let code = output
+                .status
+                .code()
+                .and_then(|c| u8::try_from(c).ok())
+                .unwrap_or(1);
+            let rank = |c: u8| match c {
+                EXIT_QUORUM_LOST => 0,
+                EXIT_SECURITY => 1,
+                EXIT_EVICTED => 2,
+                EXIT_UNRESPONSIVE => 3,
+                _ => 4,
+            };
+            if failed_code.is_none_or(|prev| rank(code) < rank(prev)) {
+                failed_code = Some(code);
+            }
         }
     }
-    if failed {
-        return Err("one or more node processes failed".to_string());
+    if let Some(code) = failed_code {
+        return Err(CliError {
+            message: "one or more node processes failed".to_string(),
+            code,
+        });
     }
     if let Some(out) = flags.get("out") {
         println!("distributed assessment complete; release written to {out} by node 0");
@@ -482,7 +599,7 @@ fn resolve_addr(spec: &str) -> Result<SocketAddr, String> {
 /// (slice `--id` of the case cohort split `--gdos` ways) and all secret
 /// material from `--seed`, so a roster of independently started processes
 /// reconstructs exactly the federation `gendpr assess` runs in-process.
-fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let id: usize = required(flags, "id")?
         .parse()
         .map_err(|_| "--id: expected a member index".to_string())?;
@@ -493,13 +610,15 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let gdos: usize = flag(flags, "gdos", roster.len())?;
     if gdos != roster.len() {
-        return Err(format!(
+        return Err(CliError::from(format!(
             "--peers lists {} addresses but --gdos is {gdos}",
             roster.len()
-        ));
+        )));
     }
     if id >= gdos {
-        return Err(format!("--id {id} out of range for a federation of {gdos}"));
+        return Err(CliError::from(format!(
+            "--id {id} out of range for a federation of {gdos}"
+        )));
     }
 
     let cohort = load_cohort(flags)?;
@@ -528,15 +647,30 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
         config.seed
     );
 
+    // Seeded link chaos: probabilistically duplicate and reorder this
+    // node's outbound frames. Same seed ⇒ same fault schedule, so a flaky
+    // run reproduces exactly.
+    if let Some(chaos_seed) = flags.get("chaos") {
+        let chaos_seed: u64 = chaos_seed
+            .parse()
+            .map_err(|_| format!("--chaos: expected a seed, got {chaos_seed:?}"))?;
+        let mut plan = FaultPlan::none();
+        plan.chaos(ChaosFaults::seeded(chaos_seed));
+        transport.set_faults(plan);
+        println!("chaos enabled (seed {chaos_seed})");
+    }
+
     let shard = cohort
         .split_case_among(gdos)
         .into_iter()
         .nth(id)
         .expect("id < gdos");
+    let recovery = recovery_from_flags(flags, &config)?;
     let options = RuntimeOptions {
         timeout,
         compact_lr: true,
         prefetch_ld: true,
+        recovery,
     };
     let outcome = run_member(
         transport,
@@ -547,9 +681,15 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
         shard,
         cohort.reference(),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(protocol_error)?;
 
     println!("leader: GDO {}", outcome.leader);
+    if outcome.epoch > 1 {
+        println!(
+            "degraded run: finished in epoch {} with surviving roster {:?}",
+            outcome.epoch, outcome.roster
+        );
+    }
     if let Some(cert) = &outcome.certificate {
         println!(
             "assessment certificate: {} (enclave-signed; binds parameters, inputs and L_safe)",
@@ -576,13 +716,13 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let release_path = required(flags, "release")?;
     let text = std::fs::read_to_string(release_path)
         .map_err(|e| format!("reading {release_path}: {e}"))?;
     let release = GwasRelease::from_tsv(&text)?;
     if release.is_empty() {
-        return Err("release contains no SNPs".to_string());
+        return Err(CliError::from("release contains no SNPs".to_string()));
     }
 
     let key = signing_key(flags);

@@ -230,6 +230,193 @@ fn node_validates_roster_flags() {
     assert!(stderr.contains("--gdos"), "{stderr}");
 }
 
+/// Probes `n` free localhost ports and returns them as a `--peers` roster
+/// string. The probe listeners are dropped before returning so the node
+/// processes can claim the ports.
+fn free_peer_roster(n: usize) -> String {
+    let probes: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("probe port"))
+        .collect();
+    probes
+        .iter()
+        .map(|p| p.local_addr().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn synth_into(dir: &std::path::Path) {
+    let synth = bin()
+        .args([
+            "synth",
+            "--snps",
+            "60",
+            "--cases",
+            "40",
+            "--reference",
+            "40",
+            "--seed",
+            "2",
+            "--out",
+        ])
+        .arg(dir)
+        .output()
+        .expect("synth runs");
+    assert!(synth.status.success());
+}
+
+#[test]
+fn lone_node_without_recovery_exits_with_unresponsive_code() {
+    let dir = temp_dir("exit-unresponsive");
+    synth_into(&dir);
+    // Member 0 of a 3-member roster whose other two members never start:
+    // with the default --max-epochs 1 the first suspicion is fatal and the
+    // typed exit code says "member unresponsive" (4), not a generic 1.
+    let out = bin()
+        .args(["node", "--id", "0", "--peers", &free_peer_roster(3)])
+        .arg("--case")
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--timeout", "2"])
+        .output()
+        .expect("node runs");
+    assert!(!out.status.success());
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unresponsive"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lone_node_with_recovery_exits_with_quorum_lost_code() {
+    let dir = temp_dir("exit-quorum");
+    synth_into(&dir);
+    // Same lonely member, but with an epoch budget and --min-quorum 2: it
+    // sheds one silent peer (epoch 2), then the second suspicion leaves a
+    // roster of one, below quorum — exit code 3.
+    let out = bin()
+        .args(["node", "--id", "0", "--peers", &free_peer_roster(3)])
+        .arg("--case")
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--timeout", "2", "--max-epochs", "5", "--min-quorum", "2"])
+        .output()
+        .expect("node runs");
+    assert!(!out.status.success());
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("quorum"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mismatched_study_parameters_exit_with_security_code() {
+    let dir = temp_dir("exit-security");
+    synth_into(&dir);
+    // Two nodes whose --maf disagree attest different enclave
+    // measurements (the measurement covers the study parameters), so the
+    // handshake fails and both exit with the security code 5.
+    let roster = free_peer_roster(2);
+    let spawn = |id: &str, maf: &str| {
+        bin()
+            .args(["node", "--id", id, "--peers", &roster])
+            .arg("--case")
+            .arg(dir.join("case.vcf"))
+            .arg("--reference")
+            .arg(dir.join("reference.vcf"))
+            .args(["--timeout", "5", "--maf", maf])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("node spawns")
+    };
+    let a = spawn("0", "0.05");
+    let b = spawn("1", "0.2");
+    let a = a.wait_with_output().expect("node 0 finishes");
+    let b = b.wait_with_output().expect("node 1 finishes");
+    for (tag, out) in [("node 0", &a), ("node 1", &b)] {
+        assert!(!out.status.success(), "{tag} must fail");
+        assert_eq!(
+            out.status.code(),
+            Some(5),
+            "{tag} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_node_produces_the_same_release() {
+    let dir = temp_dir("chaos-node");
+    synth_into(&dir);
+    let reference_release = dir.join("clean.tsv");
+    let assess = bin()
+        .args(["assess", "--gdos", "2", "--seed", "6", "--case"])
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .arg("--out")
+        .arg(&reference_release)
+        .output()
+        .expect("assess runs");
+    assert!(
+        assess.status.success(),
+        "{}",
+        String::from_utf8_lossy(&assess.stderr)
+    );
+
+    // The README's worked example: one member running under seeded link
+    // chaos (duplicates + reordering) must still converge on the byte-
+    // identical release.
+    let roster = free_peer_roster(2);
+    let chaotic_release = dir.join("chaotic.tsv");
+    let spawn = |extra: &[&str]| {
+        let mut cmd = bin();
+        cmd.args(["node", "--peers", &roster, "--seed", "6"])
+            .arg("--case")
+            .arg(dir.join("case.vcf"))
+            .arg("--reference")
+            .arg(dir.join("reference.vcf"))
+            .args(["--timeout", "30"])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped());
+        cmd.spawn().expect("node spawns")
+    };
+    let out_flag = chaotic_release.to_str().unwrap().to_string();
+    let a = spawn(&["--id", "0", "--out", &out_flag]);
+    let b = spawn(&["--id", "1", "--chaos", "7"]);
+    let a = a.wait_with_output().expect("node 0 finishes");
+    let b = b.wait_with_output().expect("node 1 finishes");
+    assert!(
+        a.status.success(),
+        "node 0: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert!(
+        b.status.success(),
+        "node 1: {}",
+        String::from_utf8_lossy(&b.stderr)
+    );
+    assert!(String::from_utf8_lossy(&b.stdout).contains("chaos enabled"));
+    assert_eq!(
+        std::fs::read(&reference_release).unwrap(),
+        std::fs::read(&chaotic_release).unwrap(),
+        "chaos must not change a single released byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn distributed_assess_matches_in_process_release() {
     let dir = temp_dir("distributed");

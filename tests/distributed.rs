@@ -7,10 +7,12 @@ use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
 use gendpr::core::error::ProtocolError;
 use gendpr::core::release::GwasRelease;
 use gendpr::core::runtime::{
-    run_federation_over, run_federation_with, run_member, RuntimeOptions, RuntimeReport,
+    run_federation_over, run_federation_with, run_member, RecoveryOptions, RuntimeOptions,
+    RuntimeReport,
 };
+use gendpr::fednet::fault::FaultPlan;
 use gendpr::fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
-use gendpr::fednet::transport::PeerId;
+use gendpr::fednet::transport::{PeerId, Transport};
 use gendpr::genomics::cohort::Cohort;
 use gendpr::genomics::synth::SyntheticCohort;
 use std::time::Duration;
@@ -185,6 +187,217 @@ fn member_outcomes_agree_across_processes_in_spirit() {
         .filter_map(|o| o.certificate.clone())
         .collect();
     assert_eq!(certificates.len(), 1, "exactly one leader signs");
+}
+
+/// Runs a `g`-member federation with the epoch recovery layer enabled,
+/// under `faults`, over either transport. The 2-second phase timeout is
+/// also the failure-detection horizon, so a crashed member is suspected
+/// quickly without flaking healthy phases.
+fn run_recovering(
+    tcp: bool,
+    g: usize,
+    faults: &FaultPlan,
+    max_epochs: u64,
+) -> Result<RuntimeReport, ProtocolError> {
+    let study = study();
+    let cohort: &Cohort = study.as_ref();
+    let opts = RuntimeOptions {
+        timeout: Duration::from_secs(2),
+        recovery: RecoveryOptions {
+            max_epochs,
+            ..RecoveryOptions::default()
+        },
+        ..RuntimeOptions::default()
+    };
+    if !tcp {
+        return run_federation_with(
+            config(g),
+            GwasParams::secure_genome_defaults(),
+            cohort,
+            Some(faults.clone()),
+            opts,
+        );
+    }
+    let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
+    let transports: Vec<TcpTransport> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let t = TcpTransport::from_listener(
+                PeerId(id as u32),
+                listener,
+                &roster,
+                TcpOptions::default(),
+            )
+            .expect("transport from bound listener");
+            t.set_faults(faults.clone());
+            t
+        })
+        .collect();
+    run_federation_over(
+        transports,
+        config(g),
+        GwasParams::secure_genome_defaults(),
+        cohort,
+        opts,
+    )
+}
+
+#[test]
+fn non_leader_crash_mid_phase2_yields_epoch_two_certificate() {
+    // G = 5, f = 1: a follower goes dark right after shipping its counts
+    // checkpoint (4 commits + 4 reveals + handshake + counts = 10 sends),
+    // so the leader's Phase 2 moments query is what exposes the crash.
+    // The survivors must re-form in epoch 2 and certify the degraded
+    // roster.
+    let g = 5;
+    let clean = run_recovering(false, g, &FaultPlan::none(), 1).unwrap();
+    let victim = (0..g).find(|&m| m != clean.leader).unwrap();
+    let mut faults = FaultPlan::none();
+    faults.crash_after_sends(victim as u32, 10);
+
+    for tcp in [false, true] {
+        let report = run_recovering(tcp, g, &faults, 4).unwrap();
+        assert!(report.epoch >= 2, "tcp={tcp}: expected a view change");
+        assert_eq!(report.roster.len(), g - 1, "tcp={tcp}");
+        assert!(
+            !report.roster.contains(&(victim as u32)),
+            "tcp={tcp}: victim must leave the roster"
+        );
+        assert_eq!(report.failed, vec![victim], "tcp={tcp}");
+        // The degraded roster is bound into the signed certificate.
+        assert_eq!(report.certificate.epoch, report.epoch, "tcp={tcp}");
+        assert_eq!(report.certificate.roster, report.roster, "tcp={tcp}");
+        assert!(!report.safe_snps.is_empty() || clean.safe_snps.is_empty());
+    }
+}
+
+#[test]
+fn leader_crash_triggers_deterministic_reelection_on_both_transports() {
+    // The epoch-1 leader goes dark right after its Phase 1 broadcast
+    // (8 election frames + 4 handshakes + 4 Phase-1 messages = 16 sends).
+    // Every follower must suspect it, re-elect among the survivors and
+    // finish — and because each member draws exactly one fresh nonce per
+    // epoch from its seeded RNG, the epoch-2 election must land on the
+    // same new leader over the in-memory fabric and over TCP.
+    let g = 5;
+    let clean = run_recovering(false, g, &FaultPlan::none(), 1).unwrap();
+    let victim = clean.leader;
+    let mut faults = FaultPlan::none();
+    faults.crash_after_sends(victim as u32, 16);
+
+    let mut reports = Vec::new();
+    for tcp in [false, true] {
+        let report = run_recovering(tcp, g, &faults, 4).unwrap();
+        assert!(report.epoch >= 2, "tcp={tcp}");
+        assert_ne!(report.leader, victim, "tcp={tcp}: a new leader must emerge");
+        assert!(!report.roster.contains(&(victim as u32)), "tcp={tcp}");
+        assert_eq!(report.failed, vec![victim], "tcp={tcp}");
+        reports.push(report);
+    }
+    let (mem, tcp) = (&reports[0], &reports[1]);
+    assert_eq!(mem.leader, tcp.leader, "re-election must be deterministic");
+    assert_eq!(mem.epoch, tcp.epoch);
+    assert_eq!(mem.roster, tcp.roster);
+    assert_eq!(mem.safe_snps, tcp.safe_snps);
+    assert_eq!(mem.certificate, tcp.certificate);
+}
+
+#[test]
+fn losing_more_than_f_members_reports_quorum_lost() {
+    // G = 5, f = 1 needs G − f = 4 survivors; two crashed members leave
+    // only 3, so recovery must give up with the precise error rather than
+    // a generic timeout — on both transports.
+    let g = 5;
+    let mut faults = FaultPlan::none();
+    faults.crash(3);
+    faults.crash(4);
+    for tcp in [false, true] {
+        let err = run_recovering(tcp, g, &faults, 6).unwrap_err();
+        match err {
+            ProtocolError::QuorumLost {
+                survivors,
+                required,
+                ..
+            } => {
+                assert_eq!(survivors, 3, "tcp={tcp}");
+                assert_eq!(required, 4, "tcp={tcp}");
+            }
+            other => panic!("tcp={tcp}: expected QuorumLost, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn degraded_run_covering_the_full_cohort_matches_a_crash_free_release() {
+    // 4 case genomes split among 5 GDOs leave member 4 with an empty
+    // shard. Crashing it after its (empty) counts checkpoint degrades the
+    // federation to exactly the members that hold data, so the epoch-2
+    // decision must match a crash-free 4-member run bit for bit: same
+    // pooled inputs, same safe set, same roster — only the study shape
+    // (original G) and the epoch differ.
+    let study = SyntheticCohort::builder()
+        .snps(100)
+        .case_individuals(4)
+        .reference_individuals(60)
+        .seed(23)
+        .build();
+    let cohort: &Cohort = study.as_ref();
+    let params = GwasParams::secure_genome_defaults();
+    let opts = |max_epochs| RuntimeOptions {
+        timeout: Duration::from_secs(2),
+        recovery: RecoveryOptions {
+            max_epochs,
+            ..RecoveryOptions::default()
+        },
+        ..RuntimeOptions::default()
+    };
+
+    // Pick a federation seed whose epoch-1 leader is not member 4, so the
+    // victim's pre-crash send schedule is the follower one.
+    let seed = (17..40)
+        .find(|&s| {
+            run_federation_with(config(5).with_seed(s), params, cohort, None, opts(1))
+                .unwrap()
+                .leader
+                != 4
+        })
+        .expect("some seed elects a leader other than member 4");
+
+    let mut faults = FaultPlan::none();
+    faults.crash_after_sends(4, 10);
+    let degraded = run_federation_with(
+        config(5).with_seed(seed),
+        params,
+        cohort,
+        Some(faults),
+        opts(4),
+    )
+    .unwrap();
+    let crash_free =
+        run_federation_with(config(4).with_seed(seed), params, cohort, None, opts(1)).unwrap();
+
+    assert!(degraded.epoch >= 2);
+    assert_eq!(degraded.roster, vec![0, 1, 2, 3]);
+    assert_eq!(degraded.failed, vec![4]);
+    assert_eq!(crash_free.epoch, 1);
+    // The survivors held the entire cohort, so the certified decision is
+    // identical to never having invited member 4 at all.
+    assert_eq!(degraded.safe_snps, crash_free.safe_snps);
+    assert_eq!(
+        degraded.certificate.inputs_digest,
+        crash_free.certificate.inputs_digest
+    );
+    assert_eq!(
+        degraded.certificate.safe_digest,
+        crash_free.certificate.safe_digest
+    );
+    assert_eq!(degraded.certificate.roster, crash_free.certificate.roster);
+    // And the published artifact is byte-identical.
+    assert_eq!(
+        release_of(cohort, &degraded),
+        release_of(cohort, &crash_free)
+    );
 }
 
 #[test]
