@@ -6,8 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gendpr_bench::workload::paper_cohort;
 use gendpr_core::collusion::{combinations, evaluation_subsets, intersect_selections};
 use gendpr_core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr_core::gdo::GdoNode;
 use gendpr_core::protocol::Federation;
+use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
 use std::hint::black_box;
 
 fn bench_combination_generation(c: &mut Criterion) {
@@ -51,10 +54,69 @@ fn bench_collusion_modes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pooled_moments(c: &mut Criterion) {
+    // The kernel the collusion loop hammers: pooling per-member LD
+    // moments for every (pair, combination). Row-major scans recompute
+    // each member's contribution once per combination; the columnar +
+    // memoized path (what `GdoNode` now does, transpose included in the
+    // iteration) computes each member-pair once.
+    let cohort = paper_cohort(1_000, 300);
+    let g = 4;
+    let shards = cohort.split_case_among(g);
+    let subsets = evaluation_subsets(g, CollusionMode::AllUpTo);
+    let counts: Vec<Vec<u64>> = shards.iter().map(GenotypeMatrix::column_counts).collect();
+    let pairs: Vec<(SnpId, SnpId)> = (0..299u32).map(|i| (SnpId(i), SnpId(i + 1))).collect();
+    let mut group = c.benchmark_group("pooled_ld_moments_g4_all");
+    group.sample_size(10);
+    group.bench_function("row_major", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for subset in &subsets {
+                for &(x, y) in &pairs {
+                    let mut pooled = LdMoments::default();
+                    for &m in subset {
+                        pooled = pooled.merge(LdMoments::from_cached_counts(
+                            &shards[m],
+                            x,
+                            y,
+                            counts[m][x.index()],
+                            counts[m][y.index()],
+                        ));
+                    }
+                    acc ^= pooled.sum_xy;
+                }
+            }
+            acc
+        });
+    });
+    group.bench_function("columnar_memo", |b| {
+        b.iter(|| {
+            let nodes: Vec<GdoNode> = shards
+                .iter()
+                .enumerate()
+                .map(|(id, s)| GdoNode::new(id, s.clone()))
+                .collect();
+            let mut acc = 0u64;
+            for subset in &subsets {
+                for &(x, y) in &pairs {
+                    let mut pooled = LdMoments::default();
+                    for &m in subset {
+                        pooled = pooled.merge(LdMoments::from(nodes[m].ld_moments(x, y)));
+                    }
+                    acc ^= pooled.sum_xy;
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_combination_generation,
     bench_intersection,
-    bench_collusion_modes
+    bench_collusion_modes,
+    bench_pooled_moments
 );
 criterion_main!(benches);

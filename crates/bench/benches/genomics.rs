@@ -2,6 +2,7 @@
 //! bit-packed matrix kernels and the signed variant-file codec.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
 use gendpr_genomics::synth::SyntheticCohort;
@@ -41,6 +42,22 @@ fn bench_matrix_kernels(c: &mut Criterion) {
     let m = cohort.case().clone();
     c.bench_function("pair_count_4k_individuals", |b| {
         b.iter(|| m.pair_count(black_box(SnpId(3)), black_box(SnpId(1_500))));
+    });
+    // The same joint count off the SNP-major transpose: a contiguous
+    // popcount(AND) sweep instead of one strided word per individual.
+    let col = ColumnarGenotypes::from_matrix(&m);
+    c.bench_function("pair_count_4k_individuals_columnar", |b| {
+        b.iter(|| col.pair_count(black_box(SnpId(3)), black_box(SnpId(1_500))));
+    });
+    c.bench_function("columnar_transpose_4k_x_2k", |b| {
+        b.iter(|| ColumnarGenotypes::from_matrix(black_box(&m)));
+    });
+    let rest: Vec<SnpId> = (1..64u32).map(SnpId).collect();
+    c.bench_function("columnar_batched_pair_counts_63", |b| {
+        b.iter(|| col.pair_counts(black_box(SnpId(0)), black_box(&rest)));
+    });
+    c.bench_function("column_counts_4k_x_2k", |b| {
+        b.iter(|| black_box(&m).column_counts());
     });
     c.bench_function("row_range_shard_quarter", |b| {
         b.iter(|| black_box(&m).row_range(0, 1_000));

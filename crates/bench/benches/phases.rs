@@ -7,6 +7,7 @@ use gendpr_core::messages::CountsReport;
 use gendpr_core::phases::ld::run_ld_scan;
 use gendpr_core::phases::lrtest::run_lr_test;
 use gendpr_core::phases::maf::run_maf;
+use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
 use gendpr_stats::lr::{LrMatrix, LrTestParams};
@@ -58,6 +59,35 @@ fn bench_ld_phase(c: &mut Criterion) {
                 |x, y| {
                     LdMoments::from_matrix(&case, x, y)
                         .merge(LdMoments::from_matrix(&reference, x, y))
+                },
+                |s| ranks[s.index()].p_value,
+                1e-5,
+            )
+        });
+    });
+    // The same scan off SNP-major transposes and cached marginal counts —
+    // the kernels the protocol driver now uses.
+    let case_col = ColumnarGenotypes::from_matrix(&case);
+    let ref_col = ColumnarGenotypes::from_matrix(&reference);
+    let n_case = case.individuals() as u64;
+    let n_ref = reference.individuals() as u64;
+    c.bench_function("ld_scan_1k_snps_4k_individuals_columnar", |b| {
+        b.iter(|| {
+            run_ld_scan(
+                black_box(&maf.retained),
+                |x, y| {
+                    LdMoments::from_counts(
+                        maf.case_counts[x.index()],
+                        maf.case_counts[y.index()],
+                        case_col.pair_count(x, y),
+                        n_case,
+                    )
+                    .merge(LdMoments::from_counts(
+                        maf.ref_counts[x.index()],
+                        maf.ref_counts[y.index()],
+                        ref_col.pair_count(x, y),
+                        n_ref,
+                    ))
                 },
                 |s| ranks[s.index()].p_value,
                 1e-5,

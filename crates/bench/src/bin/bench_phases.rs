@@ -1,0 +1,192 @@
+//! Measures the pooled LD-moment evaluation — the kernel the collusion
+//! loop hammers hardest — before and after the columnar + memoization
+//! rework, and emits machine-readable `BENCH_phases.json`.
+//!
+//! The "before" path is the pre-rework kernel exactly: row-major
+//! `pair_count` scans (strided one word per individual) re-pooled from
+//! scratch for every member combination. The "after" path is what
+//! [`gendpr_core::gdo::GdoNode`] and the protocol driver now do: SNP-major
+//! columnar popcount sweeps with per-member moment memoization (building
+//! the columnar views and warming the memo are *included* in the timed
+//! region). Both paths fold the pooled moments into a checksum that must
+//! agree, so the comparison cannot drift semantically.
+//!
+//! Scale defaults to the paper's Table 5 setting — 14,860 case genomes ×
+//! 10,000 SNPs, G = 5, f = 2 (11 combinations) — shrink with
+//! `--scale <f>` for CI. `--out <path>` writes the JSON (default
+//! `BENCH_phases.json`).
+
+use gendpr_bench::workload::paper_cohort;
+use gendpr_bench::PAPER_CASES_FULL;
+use gendpr_core::collusion::evaluation_subsets;
+use gendpr_core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr_core::gdo::GdoNode;
+use gendpr_core::memo::MomentMemo;
+use gendpr_core::protocol::Federation;
+use gendpr_genomics::columnar::ColumnarGenotypes;
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
+use std::time::{Duration, Instant};
+
+const G: usize = 5;
+const F: usize = 2;
+
+fn checksum(acc: u64, m: LdMoments) -> u64 {
+    acc.rotate_left(7)
+        ^ m.sum_x
+        ^ m.sum_y.rotate_left(13)
+        ^ m.sum_xy.rotate_left(26)
+        ^ m.n.rotate_left(39)
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut out = String::from("BENCH_phases.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a number in (0, 1]");
+                assert!(scale > 0.0 && scale <= 1.0, "--scale must be in (0, 1]");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            other => panic!("unknown argument {other}; use --scale <f> | --out <path>"),
+        }
+        i += 1;
+    }
+    let scaled = |v: usize| ((v as f64 * scale).round() as usize).max(1);
+    let genomes = scaled(PAPER_CASES_FULL);
+    let snps = scaled(10_000);
+
+    eprintln!("generating cohort: {genomes} case genomes x {snps} SNPs (G = {G}, f = {F})…");
+    let cohort = paper_cohort(genomes, snps);
+    let reference = cohort.reference();
+    let shards = cohort.split_case_among(G);
+    let subsets = evaluation_subsets(G, CollusionMode::Fixed(F));
+    // The LD scan queries (mostly adjacent) pairs of the retained panel;
+    // adjacent pairs over the full panel are a faithful stand-in.
+    let pairs: Vec<(SnpId, SnpId)> = (0..snps.saturating_sub(1) as u32)
+        .map(|i| (SnpId(i), SnpId(i + 1)))
+        .collect();
+
+    // ---- Before: row-major scans, recomputed per combination ----
+    // (Marginal counts are precomputed outside the timer, as the old
+    // protocol did via the pre-processing reports.)
+    let ref_counts = reference.column_counts();
+    let n_ref = reference.individuals() as u64;
+    let shard_counts: Vec<Vec<u64>> = shards.iter().map(|s| s.column_counts()).collect();
+    eprintln!(
+        "timing row-major kernels ({} combinations x {} pairs)…",
+        subsets.len(),
+        pairs.len()
+    );
+    let t = Instant::now();
+    let mut sum_before = 0u64;
+    for subset in &subsets {
+        for &(a, b) in &pairs {
+            let mut pooled = LdMoments::from_cached_counts(
+                reference,
+                a,
+                b,
+                ref_counts[a.index()],
+                ref_counts[b.index()],
+            );
+            for &m in subset {
+                pooled = pooled.merge(LdMoments::from_cached_counts(
+                    &shards[m],
+                    a,
+                    b,
+                    shard_counts[m][a.index()],
+                    shard_counts[m][b.index()],
+                ));
+            }
+            sum_before = checksum(sum_before, pooled);
+        }
+    }
+    let before = t.elapsed();
+
+    // ---- After: columnar popcount sweeps + per-member memoization ----
+    // (Transposing the shards and warming every memo is part of the
+    // timed region — this is the full cost a fresh federation pays.)
+    eprintln!("timing columnar + memoized kernels…");
+    let t = Instant::now();
+    let nodes: Vec<GdoNode> = shards
+        .iter()
+        .enumerate()
+        .map(|(id, s)| GdoNode::new(id, s.clone()))
+        .collect();
+    let ref_columnar = ColumnarGenotypes::from_matrix(reference);
+    let ref_memo = MomentMemo::new();
+    let mut sum_after = 0u64;
+    for subset in &subsets {
+        for &(a, b) in &pairs {
+            let mut pooled = ref_memo.get_or_compute(a, b, || {
+                LdMoments::from_counts(
+                    ref_counts[a.index()],
+                    ref_counts[b.index()],
+                    ref_columnar.pair_count(a, b),
+                    n_ref,
+                )
+            });
+            for &m in subset {
+                pooled = pooled.merge(LdMoments::from(nodes[m].ld_moments(a, b)));
+            }
+            sum_after = checksum(sum_after, pooled);
+        }
+    }
+    let after = t.elapsed();
+    assert_eq!(
+        sum_before, sum_after,
+        "kernel rework changed the pooled moments"
+    );
+
+    // ---- Full protocol phase breakdown at the same scale ----
+    eprintln!("running the full three-phase protocol for the phase breakdown…");
+    let params = GwasParams::secure_genome_defaults();
+    let config = FederationConfig::new(G).with_collusion(CollusionMode::Fixed(F));
+    let run = |threads: usize| {
+        Federation::new(config, params, &cohort)
+            .with_threads(threads)
+            .run()
+            .expect("protocol completes")
+    };
+    let sequential = run(1);
+    let workers = gendpr_core::pool::available_parallelism();
+    let parallel = run(workers);
+    assert_eq!(
+        sequential.safe_snps, parallel.safe_snps,
+        "thread count changed the release"
+    );
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let speedup = before.as_secs_f64() / after.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"case_genomes\": {genomes},\n    \"snps\": {snps},\n    \"gdos\": {G},\n    \"colluders\": {F},\n    \"combinations\": {},\n    \"pairs\": {},\n    \"scale\": {scale}\n  }},\n  \"pooled_ld_moments\": {{\n    \"row_major_ms\": {:.3},\n    \"columnar_memo_ms\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"protocol_phases_ms\": {{\n    \"threads\": 1,\n    \"aggregation\": {:.3},\n    \"indexing\": {:.3},\n    \"ld\": {:.3},\n    \"lr\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"protocol_parallel\": {{\n    \"threads\": {workers},\n    \"total_ms\": {:.3},\n    \"release_identical\": true\n  }}\n}}\n",
+        subsets.len(),
+        pairs.len(),
+        ms(before),
+        ms(after),
+        speedup,
+        ms(sequential.timings.aggregation),
+        ms(sequential.timings.indexing),
+        ms(sequential.timings.ld),
+        ms(sequential.timings.lr),
+        ms(sequential.timings.total()),
+        ms(parallel.timings.total()),
+    );
+    std::fs::write(&out, &json).expect("writing the JSON report");
+    println!(
+        "pooled LD moments: row-major {:.1} ms -> columnar+memo {:.1} ms ({speedup:.1}x)",
+        ms(before),
+        ms(after)
+    );
+    println!("report written to {out}");
+}

@@ -13,6 +13,7 @@ use crate::phases::ld::run_ld_scan;
 use crate::phases::lrtest::run_lr_test;
 use crate::protocol::PhaseTimings;
 use gendpr_genomics::cohort::Cohort;
+use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
 use gendpr_stats::lr::LrMatrix;
@@ -89,24 +90,25 @@ impl CentralizedPipeline {
         let ranks = rank_by_association(&all_ids, &case_counts, n_case, &ref_counts, n_ref);
         timings.indexing += t.elapsed();
 
-        // LD: moments straight off the pooled matrices.
+        // LD: moments straight off SNP-major views of the pooled matrices
+        // (joint counts become contiguous popcount sweeps).
         let t = Instant::now();
+        let case_columnar = ColumnarGenotypes::from_matrix(case);
+        let ref_columnar = ColumnarGenotypes::from_matrix(reference);
         let l_double_prime = run_ld_scan(
             &l_prime,
             |a, b| {
-                LdMoments::from_cached_counts(
-                    case,
-                    a,
-                    b,
+                LdMoments::from_counts(
                     case_counts[a.index()],
                     case_counts[b.index()],
+                    case_columnar.pair_count(a, b),
+                    n_case,
                 )
-                .merge(LdMoments::from_cached_counts(
-                    reference,
-                    a,
-                    b,
+                .merge(LdMoments::from_counts(
                     ref_counts[a.index()],
                     ref_counts[b.index()],
+                    ref_columnar.pair_count(a, b),
+                    n_ref,
                 ))
             },
             |s| ranks[s.index()].p_value,

@@ -9,7 +9,7 @@
 
 use crate::config::CollusionMode;
 use gendpr_genomics::snp::SnpId;
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// All `k`-element subsets of `0..n`, in lexicographic order.
 ///
@@ -48,17 +48,25 @@ pub fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
 }
 
 /// Binomial coefficient `C(n, k)`.
+///
+/// The multiply-then-divide recurrence is evaluated in `u128`: the
+/// intermediate `result * (n - i)` can exceed `u64` even when the final
+/// value fits (e.g. `C(64, 32)`), which silently wrapped before.
+///
+/// # Panics
+///
+/// Panics if the final coefficient itself exceeds `u64::MAX`.
 #[must_use]
 pub fn combination_count(n: usize, k: usize) -> u64 {
     if k > n {
         return 0;
     }
     let k = k.min(n - k);
-    let mut result = 1u64;
+    let mut result = 1u128;
     for i in 0..k {
-        result = result * (n - i) as u64 / (i + 1) as u64;
+        result = result * (n - i) as u128 / (i + 1) as u128;
     }
-    result
+    u64::try_from(result).expect("C(n, k) exceeds u64")
 }
 
 /// The member subsets a given collusion mode requires evaluating.
@@ -121,15 +129,24 @@ pub fn evaluation_subsets_of(roster: &[usize], mode: CollusionMode) -> Vec<Vec<u
 #[must_use]
 pub fn intersect_selections(selections: &[Vec<SnpId>]) -> Vec<SnpId> {
     assert!(!selections.is_empty(), "need at least one selection");
-    let mut common: HashSet<SnpId> = selections[0].iter().copied().collect();
-    for sel in &selections[1..] {
-        let s: HashSet<SnpId> = sel.iter().copied().collect();
-        common.retain(|id| s.contains(id));
+    // Round-stamped survival: one map for the whole fold instead of a
+    // fresh HashSet per selection. An id survives round `r` only if it
+    // was present in every earlier selection too.
+    let mut last_round: HashMap<SnpId, u32> = selections[0].iter().map(|&id| (id, 0)).collect();
+    for (round, sel) in (1u32..).zip(&selections[1..]) {
+        for id in sel {
+            if let Some(seen) = last_round.get_mut(id) {
+                if *seen == round - 1 {
+                    *seen = round;
+                }
+            }
+        }
     }
+    let final_round = (selections.len() - 1) as u32;
     let mut out: Vec<SnpId> = selections[0]
         .iter()
         .copied()
-        .filter(|id| common.contains(id))
+        .filter(|id| last_round.get(id) == Some(&final_round))
         .collect();
     out.dedup();
     out
@@ -169,6 +186,35 @@ mod tests {
             }
         }
         assert_eq!(combination_count(3, 5), 0);
+    }
+
+    #[test]
+    fn combination_count_survives_large_n() {
+        // Additive Pascal triangle as the overflow-free reference: every
+        // C(n, k) that fits u64 must match. The old multiply-first u64
+        // recurrence wrapped around n = 62 (e.g. C(64, 32)'s intermediate
+        // product exceeds u64::MAX by ~3x).
+        let mut row: Vec<u128> = vec![1];
+        for n in 1..=64usize {
+            let mut next = vec![1u128; n + 1];
+            for k in 1..n {
+                next[k] = row[k - 1] + row[k];
+            }
+            row = next;
+            for (k, &expected) in row.iter().enumerate() {
+                if let Ok(expected) = u64::try_from(expected) {
+                    assert_eq!(combination_count(n, k), expected, "C({n},{k})");
+                }
+            }
+        }
+        assert_eq!(combination_count(64, 32), 1_832_624_140_942_590_534);
+        assert_eq!(combination_count(62, 31), 465_428_353_255_261_088);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u64")]
+    fn combination_count_rejects_results_beyond_u64() {
+        let _ = combination_count(80, 40);
     }
 
     #[test]

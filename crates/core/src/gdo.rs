@@ -6,7 +6,9 @@
 //! results the protocol outsources: allele-count vectors, LD moments and
 //! LR matrices. Every method consumes the shard read-only.
 
+use crate::memo::MomentMemo;
 use crate::messages::{CountsReport, LrReport, LrReportCompact, MomentsReport};
+use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
@@ -17,18 +19,31 @@ use gendpr_stats::lr::LrMatrix;
 pub struct GdoNode {
     id: usize,
     shard: GenotypeMatrix,
+    // SNP-major transpose of the shard, built once: pair counts become
+    // contiguous popcount(AND) sweeps instead of strided row walks.
+    columnar: ColumnarGenotypes,
     // Per-SNP minor counts, computed once at construction: the counts
     // vector is needed for the pre-processing report anyway, and reusing
     // it makes each LD moments query a single pass (only Σxy is fresh).
     counts: Vec<u64>,
+    // (a, b) → moments: collusion tolerance asks for the same pair once
+    // per subset containing this member; the answer never changes.
+    moments: MomentMemo,
 }
 
 impl GdoNode {
     /// Creates a node for member `id` holding `shard`.
     #[must_use]
     pub fn new(id: usize, shard: GenotypeMatrix) -> Self {
-        let counts = shard.column_counts();
-        Self { id, shard, counts }
+        let columnar = ColumnarGenotypes::from_matrix(&shard);
+        let counts = columnar.column_counts();
+        Self {
+            id,
+            shard,
+            columnar,
+            counts,
+            moments: MomentMemo::new(),
+        }
     }
 
     /// The member's index in the federation.
@@ -52,18 +67,28 @@ impl GdoNode {
         }
     }
 
-    /// Phase 2: local correlation moments for one pair (one genotype pass;
-    /// the marginal counts come from the cached pre-processing vector).
+    /// Phase 2: local correlation moments for one pair. The marginal
+    /// counts come from the cached pre-processing vector, the joint count
+    /// is a columnar `popcount(AND)` sweep, and the result is memoized so
+    /// re-evaluations across collusion subsets are free.
     #[must_use]
     pub fn ld_moments(&self, a: SnpId, b: SnpId) -> MomentsReport {
-        LdMoments::from_cached_counts(
-            &self.shard,
-            a,
-            b,
-            self.counts[a.index()],
-            self.counts[b.index()],
-        )
-        .into()
+        self.moments
+            .get_or_compute(a, b, || {
+                LdMoments::from_counts(
+                    self.counts[a.index()],
+                    self.counts[b.index()],
+                    self.columnar.pair_count(a, b),
+                    self.shard.individuals() as u64,
+                )
+            })
+            .into()
+    }
+
+    /// Number of distinct pairs whose moments are memoized.
+    #[must_use]
+    pub fn cached_moment_pairs(&self) -> usize {
+        self.moments.len()
     }
 
     /// Phase 3: the local LR matrix over `snps`, built with the *global*
@@ -119,6 +144,19 @@ mod tests {
         assert_eq!(m.sum_y, 1);
         assert_eq!(m.sum_xy, 0);
         assert_eq!(m.n, 3);
+    }
+
+    #[test]
+    fn moments_are_memoized_and_match_direct_computation() {
+        let n = node();
+        assert_eq!(n.cached_moment_pairs(), 0);
+        let first = n.ld_moments(SnpId(0), SnpId(2));
+        assert_eq!(n.cached_moment_pairs(), 1);
+        let again = n.ld_moments(SnpId(0), SnpId(2));
+        assert_eq!(n.cached_moment_pairs(), 1, "second query must hit the memo");
+        assert_eq!(LdMoments::from(first), LdMoments::from(again));
+        let direct = LdMoments::from_matrix(n.shard(), SnpId(0), SnpId(2));
+        assert_eq!(LdMoments::from(again), direct);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Per-member LD-moment memoization.
+//!
+//! Collusion tolerance re-runs the LD phase once per member combination
+//! (§5.6), and a member belongs to most combinations — under `AllUpTo`
+//! the same `(a, b)` pair is requested an exponential number of times.
+//! The moments are a pure function of the member's shard, so each member
+//! computes a pair once and serves every later request from this memo.
+//!
+//! Interior mutability keeps the owning node's API `&self` (queries are
+//! logically read-only) and makes the memo shareable across the worker
+//! pool; the mutex is uncontended in the sequential path.
+
+use gendpr_genomics::snp::SnpId;
+use gendpr_stats::ld::LdMoments;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A `(a, b) → LdMoments` cache.
+#[derive(Debug, Default)]
+pub struct MomentMemo {
+    map: Mutex<HashMap<(u32, u32), LdMoments>>,
+}
+
+impl MomentMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized moments for `(a, b)`, computing and storing
+    /// them on first request.
+    pub fn get_or_compute(
+        &self,
+        a: SnpId,
+        b: SnpId,
+        compute: impl FnOnce() -> LdMoments,
+    ) -> LdMoments {
+        let key = (a.0, b.0);
+        if let Some(&hit) = self.lock().get(&key) {
+            return hit;
+        }
+        // Computed outside the lock: a racing thread may duplicate the
+        // (deterministic) work, but never blocks on it.
+        let fresh = compute();
+        self.lock().entry(key).or_insert(fresh);
+        fresh
+    }
+
+    /// Number of distinct pairs cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True if nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(u32, u32), LdMoments>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Clone for MomentMemo {
+    fn clone(&self) -> Self {
+        Self {
+            map: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(v: u64) -> LdMoments {
+        LdMoments::from_counts(v, v, v, 10)
+    }
+
+    #[test]
+    fn caches_first_computation() {
+        let memo = MomentMemo::new();
+        let mut calls = 0;
+        for _ in 0..5 {
+            let m = memo.get_or_compute(SnpId(1), SnpId(2), || {
+                calls += 1;
+                moments(3)
+            });
+            assert_eq!(m.sum_xy, 3);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_ordered_pairs() {
+        let memo = MomentMemo::new();
+        memo.get_or_compute(SnpId(1), SnpId(2), || moments(1));
+        memo.get_or_compute(SnpId(2), SnpId(1), || moments(2));
+        assert_eq!(memo.len(), 2, "(a,b) and (b,a) are distinct queries");
+        let back = memo.get_or_compute(SnpId(2), SnpId(1), || unreachable!());
+        assert_eq!(back.sum_xy, 2);
+    }
+
+    #[test]
+    fn clone_carries_cache() {
+        let memo = MomentMemo::new();
+        memo.get_or_compute(SnpId(0), SnpId(1), || moments(7));
+        let copy = memo.clone();
+        assert_eq!(copy.len(), 1);
+        let hit = copy.get_or_compute(SnpId(0), SnpId(1), || unreachable!());
+        assert_eq!(hit.sum_xy, 7);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let memo = MomentMemo::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..50u32 {
+                        let m =
+                            memo.get_or_compute(SnpId(i), SnpId(i + 1), || moments(u64::from(i)));
+                        assert_eq!(m.sum_x, u64::from(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 50);
+    }
+}

@@ -1,0 +1,121 @@
+//! A zero-dependency scoped worker pool for per-subset fan-out.
+//!
+//! Collusion tolerance evaluates every member combination independently,
+//! so the per-subset MAF/LD/LR work is embarrassingly parallel. This pool
+//! is built on `std::thread::scope` only (no crates.io dependency, in
+//! line with the from-scratch crypto policy): workers pull item indices
+//! from a shared atomic counter and write each result into its item's
+//! slot, so the caller always receives results in input order — parallel
+//! execution cannot perturb selections, certificates or traffic
+//! accounting downstream.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism, with a sequential fallback.
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order. `f` receives `(index, &item)`.
+///
+/// `threads <= 1` (or a single item) runs the exact sequential loop a
+/// non-parallel build would, on the calling thread — no pool, no atomics.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (as the sequential loop would).
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // `Mutex<Option<R>>` slots (rather than `OnceLock`) keep the bound at
+    // `R: Send`; each slot's lock is touched exactly once, by the worker
+    // that claimed its index.
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_stay_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 9] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicU32> = (0..37).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..37).collect();
+        parallel_map(4, &items, |_, &x| {
+            counters[x].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[5u8], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(parallel_map(64, &items, |_, &x| x), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = parallel_map(2, &items, |_, &x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+}

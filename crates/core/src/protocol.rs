@@ -14,11 +14,14 @@ use crate::config::{FederationConfig, GwasParams};
 use crate::error::ProtocolError;
 use crate::gdo::GdoNode;
 use crate::leader::elect_seeded;
+use crate::memo::MomentMemo;
 use crate::messages::CountsReport;
 use crate::phases::ld::{run_ld_scan, scan_comparisons};
 use crate::phases::lrtest::{run_lr_test_with, SelectionKernel};
 use crate::phases::maf::{run_maf, MafOutcome};
+use crate::pool::parallel_map;
 use gendpr_genomics::cohort::Cohort;
+use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
@@ -122,8 +125,14 @@ pub struct Federation {
     params: GwasParams,
     nodes: Vec<GdoNode>,
     reference: GenotypeMatrix,
+    // SNP-major view of the reference plus a pair-moment memo: reference
+    // moments are identical across collusion subsets, so they are
+    // computed once and served from cache thereafter.
+    reference_columnar: ColumnarGenotypes,
+    ref_moments: MomentMemo,
     panel_len: usize,
     kernel: SelectionKernel,
+    threads: usize,
 }
 
 impl Federation {
@@ -143,13 +152,18 @@ impl Federation {
             .enumerate()
             .map(|(i, shard)| GdoNode::new(i, shard))
             .collect();
+        let reference = cohort.reference().clone();
+        let reference_columnar = ColumnarGenotypes::from_matrix(&reference);
         Self {
             config,
             params,
             nodes,
-            reference: cohort.reference().clone(),
+            reference,
+            reference_columnar,
+            ref_moments: MomentMemo::new(),
             panel_len: cohort.panel().len(),
             kernel: SelectionKernel::Fast,
+            threads: 1,
         }
     }
 
@@ -159,6 +173,20 @@ impl Federation {
     #[must_use]
     pub fn with_selection_kernel(mut self, kernel: SelectionKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Sets the worker-thread count for per-subset evaluation. `1` (the
+    /// default) runs the exact sequential path; any value yields
+    /// byte-identical outcomes because results are collected in subset
+    /// order. `0` resolves to the machine's available parallelism.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            crate::pool::available_parallelism()
+        } else {
+            threads
+        };
         self
     }
 
@@ -184,13 +212,17 @@ impl Federation {
             .enumerate()
             .map(|(i, shard)| GdoNode::new(i, shard))
             .collect();
+        let reference_columnar = ColumnarGenotypes::from_matrix(&reference);
         Self {
             config,
             params,
             nodes,
             reference,
+            reference_columnar,
+            ref_moments: MomentMemo::new(),
             panel_len,
             kernel: SelectionKernel::Fast,
+            threads: 1,
         }
     }
 
@@ -238,17 +270,16 @@ impl Federation {
         timings.aggregation += t.elapsed();
 
         let t = Instant::now();
-        let mut maf_outcomes: Vec<MafOutcome> = Vec::with_capacity(subsets.len());
-        for subset in &subsets {
+        let maf_outcomes: Vec<MafOutcome> = parallel_map(self.threads, &subsets, |_, subset| {
             let subset_reports: Vec<CountsReport> =
                 subset.iter().map(|&i| reports[i].clone()).collect();
-            maf_outcomes.push(run_maf(
+            run_maf(
                 &subset_reports,
                 ref_counts.clone(),
                 n_ref,
                 self.params.maf_cutoff,
-            ));
-        }
+            )
+        });
         let l_prime = intersect_selections(
             &maf_outcomes
                 .iter()
@@ -257,12 +288,9 @@ impl Federation {
         );
         // Rankings per combination (χ² of the combination's own counts).
         let all_ids: Vec<SnpId> = (0..self.panel_len as u32).map(SnpId).collect();
-        let rankings: Vec<Vec<SnpRank>> = maf_outcomes
-            .iter()
-            .map(|o| {
-                rank_by_association(&all_ids, &o.case_counts, o.n_case, &o.ref_counts, o.n_ref)
-            })
-            .collect();
+        let rankings: Vec<Vec<SnpRank>> = parallel_map(self.threads, &maf_outcomes, |_, o| {
+            rank_by_association(&all_ids, &o.case_counts, o.n_case, &o.ref_counts, o.n_ref)
+        });
         // Leader broadcasts L' to all members.
         traffic.add(
             (g - 1) as u64,
@@ -273,19 +301,22 @@ impl Federation {
 
         // ---- Phase 2: LD analysis ----
         let t = Instant::now();
-        let mut ld_selections = Vec::with_capacity(subsets.len());
-        for (c, subset) in subsets.iter().enumerate() {
+        let ld_selections: Vec<Vec<SnpId>> = parallel_map(self.threads, &subsets, |c, subset| {
             let ranks = &rankings[c];
-            let retained = run_ld_scan(
+            run_ld_scan(
                 &l_prime,
                 |a, b| {
-                    let mut pooled = LdMoments::from_cached_counts(
-                        &self.reference,
-                        a,
-                        b,
-                        ref_counts[a.index()],
-                        ref_counts[b.index()],
-                    );
+                    // Reference moments are subset-independent: every
+                    // combination reads the same memoized entry, and the
+                    // joint count is a columnar popcount sweep.
+                    let mut pooled = self.ref_moments.get_or_compute(a, b, || {
+                        LdMoments::from_counts(
+                            ref_counts[a.index()],
+                            ref_counts[b.index()],
+                            self.reference_columnar.pair_count(a, b),
+                            n_ref,
+                        )
+                    });
                     for &i in subset {
                         pooled = pooled.merge(LdMoments::from(self.nodes[i].ld_moments(a, b)));
                     }
@@ -293,7 +324,11 @@ impl Federation {
                 },
                 |s| ranks[s.index()].p_value,
                 self.params.ld_cutoff,
-            );
+            )
+        });
+        // Traffic is folded after the fan-out, in subset order, so the
+        // estimate is byte-identical to the sequential accounting.
+        for subset in &subsets {
             // Each comparison costs one request + one response per
             // non-leader member of the subset.
             let responders = subset.iter().filter(|&&i| i != leader).count() as u64;
@@ -305,7 +340,6 @@ impl Federation {
             // Each comparison is a request/response round (the optimized
             // runtime's adjacent-pair prefetch collapses most of these).
             traffic.round_trips += comparisons;
-            ld_selections.push(retained);
         }
         let l_double_prime = intersect_selections(&ld_selections);
         // Leader broadcasts L'' and the frequency vectors per combination.
@@ -319,57 +353,68 @@ impl Federation {
 
         // ---- Phase 3: LR-test analysis ----
         let t = Instant::now();
-        let mut lr_selections = Vec::with_capacity(subsets.len());
-        let mut full_case_freqs = Vec::new();
-        let mut full_ref_freqs = Vec::new();
-        for (c, subset) in subsets.iter().enumerate() {
-            let outcome = &maf_outcomes[c];
-            let case_freqs: Vec<f64> = l_double_prime
-                .iter()
-                .map(|&s| outcome.case_frequency(s))
-                .collect();
-            let ref_freqs: Vec<f64> = l_double_prime
-                .iter()
-                .map(|&s| outcome.ref_frequency(s))
-                .collect();
-            if c == 0 {
-                full_case_freqs.clone_from(&case_freqs);
-                full_ref_freqs.clone_from(&ref_freqs);
-            }
+        let lr_results: Vec<(Vec<SnpId>, Vec<f64>, Vec<f64>)> =
+            parallel_map(self.threads, &subsets, |c, subset| {
+                let outcome = &maf_outcomes[c];
+                let case_freqs: Vec<f64> = l_double_prime
+                    .iter()
+                    .map(|&s| outcome.case_frequency(s))
+                    .collect();
+                let ref_freqs: Vec<f64> = l_double_prime
+                    .iter()
+                    .map(|&s| outcome.ref_frequency(s))
+                    .collect();
 
-            // Each member builds its local LR matrix with the broadcast
-            // frequencies; the leader concatenates them (Figure 4).
-            let parts: Vec<LrMatrix> = subset
-                .iter()
-                .map(|&i| {
-                    self.nodes[i]
-                        .lr_report(&l_double_prime, &case_freqs, &ref_freqs)
-                        .into_matrix()
-                        .expect("locally built matrices are well-formed")
-                })
-                .collect();
-            let case_matrix = LrMatrix::concat_rows(&parts);
-            let null_matrix =
-                LrMatrix::from_genotypes(&self.reference, &l_double_prime, &case_freqs, &ref_freqs);
-            let ranks: Vec<SnpRank> = l_double_prime
-                .iter()
-                .map(|&s| rankings[c][s.index()])
-                .collect();
-            let safe = run_lr_test_with(
-                &l_double_prime,
-                &case_matrix,
-                &null_matrix,
-                &ranks,
-                &self.params.lr,
-                self.kernel,
-            );
-            // Members ship their LR matrices: 8 bytes per cell + header.
+                // Each member builds its local LR matrix with the broadcast
+                // frequencies; the leader concatenates them (Figure 4).
+                let parts: Vec<LrMatrix> = subset
+                    .iter()
+                    .map(|&i| {
+                        self.nodes[i]
+                            .lr_report(&l_double_prime, &case_freqs, &ref_freqs)
+                            .into_matrix()
+                            .expect("locally built matrices are well-formed")
+                    })
+                    .collect();
+                let case_matrix = LrMatrix::concat_rows(&parts);
+                let null_matrix = LrMatrix::from_genotypes(
+                    &self.reference,
+                    &l_double_prime,
+                    &case_freqs,
+                    &ref_freqs,
+                );
+                let ranks: Vec<SnpRank> = l_double_prime
+                    .iter()
+                    .map(|&s| rankings[c][s.index()])
+                    .collect();
+                let safe = run_lr_test_with(
+                    &l_double_prime,
+                    &case_matrix,
+                    &null_matrix,
+                    &ranks,
+                    &self.params.lr,
+                    self.kernel,
+                );
+                (safe, case_freqs, ref_freqs)
+            });
+        // Members ship their LR matrices: 8 bytes per cell + header
+        // (folded in subset order, independent of evaluation order).
+        for subset in &subsets {
             for &i in subset {
                 if i != leader {
                     let cells =
                         self.nodes[i].shard().individuals() as u64 * l_double_prime.len() as u64;
                     traffic.add(1, 8 * cells + 16);
                 }
+            }
+        }
+        let mut lr_selections = Vec::with_capacity(subsets.len());
+        let mut full_case_freqs = Vec::new();
+        let mut full_ref_freqs = Vec::new();
+        for (c, (safe, case_freqs, ref_freqs)) in lr_results.into_iter().enumerate() {
+            if c == 0 {
+                full_case_freqs = case_freqs;
+                full_ref_freqs = ref_freqs;
             }
             lr_selections.push(safe);
         }

@@ -49,6 +49,7 @@ use crate::messages::{
 use crate::phases::ld::run_ld_scan;
 use crate::phases::lrtest::run_lr_test;
 use crate::phases::maf::{run_maf, MafOutcome};
+use crate::pool::parallel_map;
 use crate::protocol::PhaseTimings;
 use gendpr_crypto::rng::ChaChaRng;
 use gendpr_fednet::fault::FaultPlan;
@@ -122,6 +123,13 @@ pub struct RuntimeOptions {
     pub prefetch_ld: bool,
     /// Failure detection and epoch-based view changes.
     pub recovery: RecoveryOptions,
+    /// Worker threads for the leader's pure per-subset computations (MAF
+    /// evaluation, rankings, reference-moment precomputation). Network
+    /// message order is untouched — secure channels impose a nonce
+    /// sequence — so any value yields byte-identical selections,
+    /// certificates and traffic. `1` (the default) is the exact
+    /// sequential path; `0` resolves to the machine's parallelism.
+    pub threads: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -131,6 +139,7 @@ impl Default for RuntimeOptions {
             compact_lr: false,
             prefetch_ld: false,
             recovery: RecoveryOptions::default(),
+            threads: 1,
         }
     }
 }
@@ -296,6 +305,7 @@ struct MemberCtx<T: Transport> {
     timeout: Duration,
     compact_lr: bool,
     prefetch_ld: bool,
+    threads: usize,
     recovery: RecoveryOptions,
     collusion: CollusionMode,
     expected: Measurement,
@@ -783,19 +793,22 @@ fn leader_main<T: Transport>(
         reference.column_counts()
     });
     let n_ref = reference.individuals() as u64;
-    let mut maf_outcomes: Vec<MafOutcome> = Vec::with_capacity(subsets.len());
-    for subset in &subsets {
+    // Pure per-subset work (no channel I/O) fans out across the worker
+    // pool; results come back in subset order, so the selections and the
+    // certificate are byte-identical to a sequential run.
+    let threads = ctx.threads;
+    let maf_outcomes: Vec<MafOutcome> = parallel_map(threads, &subsets, |_, subset| {
         let subset_reports: Vec<CountsReport> = subset
             .iter()
             .map(|&i| reports[i].clone().expect("subset member reported"))
             .collect();
-        maf_outcomes.push(run_maf(
+        run_maf(
             &subset_reports,
             ref_counts.clone(),
             n_ref,
             params.maf_cutoff,
-        ));
-    }
+        )
+    });
     let l_prime = intersect_selections(
         &maf_outcomes
             .iter()
@@ -803,10 +816,9 @@ fn leader_main<T: Transport>(
             .collect::<Vec<_>>(),
     );
     let all_ids: Vec<SnpId> = (0..panel_len as u32).map(SnpId).collect();
-    let rankings: Vec<Vec<SnpRank>> = maf_outcomes
-        .iter()
-        .map(|o| rank_by_association(&all_ids, &o.case_counts, o.n_case, &o.ref_counts, o.n_ref))
-        .collect();
+    let rankings: Vec<Vec<SnpRank>> = parallel_map(threads, &maf_outcomes, |_, o| {
+        rank_by_association(&all_ids, &o.case_counts, o.n_case, &o.ref_counts, o.n_ref)
+    });
     let phase1 = ProtocolMessage::Phase1(Phase1Broadcast {
         retained: l_prime.iter().map(|s| s.0).collect(),
     });
@@ -821,6 +833,41 @@ fn leader_main<T: Transport>(
 
     // ---- Phase 2: LD per subset + intersection ----
     let t = Instant::now();
+    // Reference moments do not depend on the subset under evaluation:
+    // compute every adjacent pair of L' once, fanned across the worker
+    // pool, and serve all subsets (prefetch tables and scan cache misses
+    // alike) from this table instead of rescanning the reference panel.
+    let ref_pair_moments: HashMap<(u32, u32), LdMoments> = {
+        let pairs: Vec<(SnpId, SnpId)> = l_prime.windows(2).map(|w| (w[0], w[1])).collect();
+        let moments = parallel_map(threads, &pairs, |_, &(a, b)| {
+            LdMoments::from_cached_counts(
+                reference,
+                a,
+                b,
+                ref_counts[a.index()],
+                ref_counts[b.index()],
+            )
+        });
+        pairs
+            .iter()
+            .zip(moments)
+            .map(|(&(a, b), m)| ((a.0, b.0), m))
+            .collect()
+    };
+    let ref_moments = |a: SnpId, b: SnpId| {
+        ref_pair_moments
+            .get(&(a.0, b.0))
+            .copied()
+            .unwrap_or_else(|| {
+                LdMoments::from_cached_counts(
+                    reference,
+                    a,
+                    b,
+                    ref_counts[a.index()],
+                    ref_counts[b.index()],
+                )
+            })
+    };
     let mut ld_selections = Vec::with_capacity(subsets.len());
     for (c, subset) in subsets.iter().enumerate() {
         let ranks = &rankings[c];
@@ -838,13 +885,7 @@ fn leader_main<T: Transport>(
                 .collect();
             for w in l_prime.windows(2) {
                 let (a, b) = (w[0], w[1]);
-                let mut pooled = LdMoments::from_cached_counts(
-                    reference,
-                    a,
-                    b,
-                    ref_counts[a.index()],
-                    ref_counts[b.index()],
-                );
+                let mut pooled = ref_moments(a, b);
                 if subset.contains(&me) {
                     pooled = pooled.merge(LdMoments::from(node.ld_moments(a, b)));
                 }
@@ -904,13 +945,7 @@ fn leader_main<T: Transport>(
                             return LdMoments::default();
                         }
                     }
-                    let mut pooled = LdMoments::from_cached_counts(
-                        reference,
-                        a,
-                        b,
-                        ref_counts[a.index()],
-                        ref_counts[b.index()],
-                    );
+                    let mut pooled = ref_moments(a, b);
                     if subset.contains(&me) {
                         pooled = pooled.merge(LdMoments::from(node.ld_moments(a, b)));
                     }
@@ -1428,6 +1463,11 @@ pub fn run_member<T: Transport>(
         timeout: options.timeout,
         compact_lr: options.compact_lr,
         prefetch_ld: options.prefetch_ld,
+        threads: if options.threads == 0 {
+            crate::pool::available_parallelism()
+        } else {
+            options.threads
+        },
         recovery: options.recovery,
         collusion: config.collusion,
         expected: expected_measurement(params),

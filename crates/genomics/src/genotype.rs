@@ -86,6 +86,16 @@ impl GenotypeMatrix {
         self.words.len() * 8
     }
 
+    /// Packed words, row-major (64 SNPs per word).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Words per packed row.
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
     /// Returns the allele of `individual` at SNP `snp` as 0 or 1.
     ///
     /// # Panics
@@ -136,20 +146,27 @@ impl GenotypeMatrix {
 
     /// Minor-allele counts for every column — the `caseLocalCounts[L_des]`
     /// vector each GDO outsources in the paper's pre-processing step.
+    ///
+    /// Works 64 rows at a time: each 64×64 bit tile is transposed in
+    /// registers and its columns popcounted, instead of walking every set
+    /// bit with `trailing_zeros`. Density-independent and ~word-speed.
     #[must_use]
     pub fn column_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.snps];
-        for row in 0..self.individuals {
-            let base = row * self.words_per_row;
+        let mut block = [0u64; 64];
+        for q in 0..self.individuals.div_ceil(64) {
+            let rows = (self.individuals - q * 64).min(64);
             for w in 0..self.words_per_row {
-                let mut word = self.words[base + w];
-                while word != 0 {
-                    let bit = word.trailing_zeros() as usize;
-                    let snp = w * 64 + bit;
-                    // The last word may carry unused high bits; they are
-                    // never set, so no bound check is needed here.
-                    counts[snp] += 1;
-                    word &= word - 1;
+                for (r, slot) in block.iter_mut().enumerate().take(rows) {
+                    *slot = self.words[(q * 64 + r) * self.words_per_row + w];
+                }
+                for slot in block.iter_mut().skip(rows) {
+                    *slot = 0;
+                }
+                crate::columnar::transpose64(&mut block);
+                let cols = (self.snps - w * 64).min(64);
+                for (i, &col) in block.iter().enumerate().take(cols) {
+                    counts[w * 64 + i] += u64::from(col.count_ones());
                 }
             }
         }

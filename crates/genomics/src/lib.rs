@@ -6,6 +6,8 @@
 //!
 //! * [`snp`] — SNP identifiers and panel metadata,
 //! * [`genotype`] — bit-packed genotype matrices with fast column counts,
+//! * [`columnar`] — SNP-major transposed views for popcount-speed column
+//!   and pair kernels,
 //! * [`cohort`] — case/reference cohorts and federation partitioning,
 //! * [`synth`] — a seeded synthetic cohort generator substituting for the
 //!   paper's access-controlled dbGaP dataset (see `DESIGN.md` §4),
@@ -30,6 +32,7 @@
 //! ```
 
 pub mod cohort;
+pub mod columnar;
 pub mod error;
 pub mod genotype;
 pub mod snp;
@@ -37,6 +40,7 @@ pub mod synth;
 pub mod vcf;
 
 pub use cohort::{Cohort, Population};
+pub use columnar::ColumnarGenotypes;
 pub use error::GenomicsError;
 pub use genotype::GenotypeMatrix;
 pub use snp::{SnpId, SnpInfo, SnpPanel};

@@ -82,6 +82,23 @@ impl LdMoments {
         }
     }
 
+    /// Builds moments directly from already-known counts: the two
+    /// marginal minor counts, the joint count and the cohort size. This
+    /// is the allocation-free core of [`Self::from_cached_counts`], used
+    /// when the joint count comes from a columnar popcount kernel rather
+    /// than a row-major matrix walk.
+    #[must_use]
+    pub fn from_counts(count_a: u64, count_b: u64, joint: u64, n: u64) -> Self {
+        Self {
+            sum_x: count_a,
+            sum_y: count_b,
+            sum_xy: joint,
+            sum_xx: count_a,
+            sum_yy: count_b,
+            n,
+        }
+    }
+
     /// Aggregates another member's moments (leader-side `+=` of
     /// Algorithm 1 lines 35–46).
     #[must_use]

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Kernel performance report: builds the release binaries and runs the
+# pooled LD-moment before/after comparison plus a full protocol phase
+# breakdown, writing machine-readable BENCH_phases.json.
+#
+# Usage: scripts/bench.sh [--scale F] [--out PATH]
+#   --scale F   workload fraction of the paper's 14,860 x 10,000 Table 5
+#               setting (default 1.0; CI uses a reduced scale)
+#   --out PATH  output path (default BENCH_phases.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p gendpr-bench --bin bench_phases"
+cargo build --release -p gendpr-bench --bin bench_phases
+
+echo "==> bench_phases $*"
+./target/release/bench_phases "$@"

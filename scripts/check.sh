@@ -13,4 +13,7 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "All checks passed."

@@ -58,6 +58,7 @@ const ASSESS_FLAGS: &[&str] = &[
     "min-quorum",
     "max-epochs",
     "heartbeat-ms",
+    "threads",
 ];
 const ASSESS_BOOLS: &[&str] = &["distributed"];
 const NODE_FLAGS: &[&str] = &[
@@ -79,6 +80,7 @@ const NODE_FLAGS: &[&str] = &[
     "min-quorum",
     "max-epochs",
     "heartbeat-ms",
+    "threads",
     "chaos",
 ];
 const ATTACK_FLAGS: &[&str] = &["release", "victims", "reference", "fpr", "key"];
@@ -165,12 +167,12 @@ USAGE:\n  gendpr synth  --snps N --cases N --reference N [--seed N] [--out DIR] 
 gendpr assess --case FILE --reference FILE --gdos N [--collusion f|all]\n                \
 [--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
 [--distributed] [--timeout SECS] [--max-epochs N]\n                \
-[--min-quorum N] [--heartbeat-ms MS]\n  \
+[--min-quorum N] [--heartbeat-ms MS] [--threads N]\n  \
 gendpr node   --id K --peers HOST:PORT,... --case FILE --reference FILE\n                \
 [--gdos N] [--listen ADDR] [--collusion f|all] [--seed N]\n                \
 [--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
 [--timeout SECS] [--max-epochs N] [--min-quorum N]\n                \
-[--heartbeat-ms MS] [--chaos SEED]\n  \
+[--heartbeat-ms MS] [--threads N] [--chaos SEED]\n  \
 gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n\n\
 `assess --distributed` spawns one `gendpr node` process per GDO on free\n\
 localhost ports and runs the protocol over real TCP sockets; `node` runs a\n\
@@ -365,6 +367,19 @@ fn config_from_flags(
     Ok(config)
 }
 
+/// `--threads` (shared by `assess` and `node`): worker-thread count for
+/// the per-subset evaluation fan-out. Defaults to the machine's available
+/// parallelism; `--threads 1` forces the sequential path. Either way the
+/// release and certificate are byte-identical.
+fn threads_from_flags(flags: &HashMap<String, String>) -> Result<usize, String> {
+    let threads: usize = flag(flags, "threads", 0)?;
+    Ok(if threads == 0 {
+        gendpr::core::pool::available_parallelism()
+    } else {
+        threads
+    })
+}
+
 /// Recovery knobs shared by `assess` and `node`: `--max-epochs` (default
 /// 1 = no recovery, the paper's abort-on-silence), `--min-quorum`
 /// (default `G − f` from the collusion mode) and `--heartbeat-ms` (probe
@@ -424,6 +439,7 @@ fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), CliError> {
             compact_lr: true,
             prefetch_ld: true,
             recovery,
+            threads: threads_from_flags(flags)?,
         },
     )
     .map_err(protocol_error)?;
@@ -524,6 +540,7 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), CliErro
             "min-quorum",
             "max-epochs",
             "heartbeat-ms",
+            "threads",
         ] {
             if let Some(v) = flags.get(name) {
                 cmd.arg(format!("--{name}")).arg(v);
@@ -671,6 +688,7 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
         compact_lr: true,
         prefetch_ld: true,
         recovery,
+        threads: threads_from_flags(flags)?,
     };
     let outcome = run_member(
         transport,

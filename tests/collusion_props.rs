@@ -149,6 +149,28 @@ proptest! {
     }
 
     #[test]
+    fn intersection_matches_naive_reference(selections in proptest::collection::vec(
+        proptest::collection::vec(0u32..40, 0..25),
+        1..6,
+    )) {
+        // Unsorted, duplicate-carrying inputs: the single-pass
+        // round-stamped fold must agree with the obvious per-selection
+        // membership filter — same survivors, same first-selection order,
+        // same adjacent-duplicate removal.
+        let sels: Vec<Vec<SnpId>> = selections
+            .iter()
+            .map(|v| v.iter().map(|&x| SnpId(x)).collect())
+            .collect();
+        let mut naive: Vec<SnpId> = sels[0]
+            .iter()
+            .copied()
+            .filter(|id| sels[1..].iter().all(|sel| sel.contains(id)))
+            .collect();
+        naive.dedup();
+        prop_assert_eq!(intersect_selections(&sels), naive);
+    }
+
+    #[test]
     fn subset_lists_are_valid(g in 1usize..8, f in 0usize..7) {
         prop_assume!(f < g);
         let mode = if f == 0 { CollusionMode::None } else { CollusionMode::Fixed(f) };

@@ -42,6 +42,14 @@ fn options() -> RuntimeOptions {
 }
 
 fn run_over_tcp(g: usize, cohort: &Cohort) -> Result<RuntimeReport, ProtocolError> {
+    run_over_tcp_with(g, cohort, options())
+}
+
+fn run_over_tcp_with(
+    g: usize,
+    cohort: &Cohort,
+    opts: RuntimeOptions,
+) -> Result<RuntimeReport, ProtocolError> {
     let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
     let transports: Vec<TcpTransport> = listeners
         .into_iter()
@@ -56,7 +64,7 @@ fn run_over_tcp(g: usize, cohort: &Cohort) -> Result<RuntimeReport, ProtocolErro
         config(g),
         GwasParams::secure_genome_defaults(),
         cohort,
-        options(),
+        opts,
     )
 }
 
@@ -98,6 +106,47 @@ fn tcp_and_in_memory_runs_are_bit_identical() {
     assert_eq!(
         release_of(cohort, &over_tcp),
         release_of(cohort, &in_memory)
+    );
+}
+
+#[test]
+fn thread_count_never_changes_release_or_certificate() {
+    // The leader's per-subset fan-out must be invisible in every output
+    // artifact: same release bytes, same signed certificate, same traffic
+    // accounting — on the in-memory fabric and over real TCP sockets.
+    let g = 3;
+    let study = study();
+    let cohort: &Cohort = study.as_ref();
+    let params = GwasParams::secure_genome_defaults();
+    let threaded = |threads| RuntimeOptions {
+        threads,
+        // Exercise the optimized paths too: the prefetch table and the
+        // hoisted reference moments must not depend on the worker count.
+        compact_lr: true,
+        prefetch_ld: true,
+        ..options()
+    };
+    let sequential = run_federation_with(config(g), params, cohort, None, threaded(1)).unwrap();
+    for threads in [2, 4] {
+        let parallel =
+            run_federation_with(config(g), params, cohort, None, threaded(threads)).unwrap();
+        assert_eq!(parallel.leader, sequential.leader);
+        assert_eq!(parallel.l_prime, sequential.l_prime);
+        assert_eq!(parallel.l_double_prime, sequential.l_double_prime);
+        assert_eq!(parallel.safe_snps, sequential.safe_snps);
+        assert_eq!(parallel.certificate, sequential.certificate);
+        assert_eq!(parallel.traffic, sequential.traffic);
+        assert_eq!(
+            release_of(cohort, &parallel),
+            release_of(cohort, &sequential)
+        );
+    }
+    let over_tcp = run_over_tcp_with(g, cohort, threaded(4)).unwrap();
+    assert_eq!(over_tcp.safe_snps, sequential.safe_snps);
+    assert_eq!(over_tcp.certificate, sequential.certificate);
+    assert_eq!(
+        release_of(cohort, &over_tcp),
+        release_of(cohort, &sequential)
     );
 }
 

@@ -5,7 +5,7 @@
 
 use gendpr::core::baseline::centralized::CentralizedPipeline;
 use gendpr::core::baseline::naive::NaiveDistributed;
-use gendpr::core::config::{FederationConfig, GwasParams};
+use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
 use gendpr::core::protocol::Federation;
 use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::stats::lr::LrTestParams;
@@ -101,5 +101,45 @@ proptest! {
         let a = Federation::new(FederationConfig::new(g1), params, &cohort).run().unwrap();
         let b = Federation::new(FederationConfig::new(g2), params, &cohort).run().unwrap();
         prop_assert_eq!(a.safe_snps, b.safe_snps);
+    }
+
+    #[test]
+    fn outcome_independent_of_thread_count(
+        cohort in cohort_strategy(),
+        gdos in 2usize..6,
+        threads in 2usize..9,
+    ) {
+        // The parallel per-subset fan-out collects results in subset
+        // order, so any worker count must reproduce the sequential run
+        // bit for bit: every selection stage, the traffic estimate and
+        // the serialized release.
+        let params = GwasParams::secure_genome_defaults();
+        let config = FederationConfig::new(gdos).with_collusion(CollusionMode::AllUpTo);
+        let sequential = Federation::new(config, params, &cohort)
+            .with_threads(1)
+            .run()
+            .unwrap();
+        let parallel = Federation::new(config, params, &cohort)
+            .with_threads(threads)
+            .run()
+            .unwrap();
+        prop_assert_eq!(&sequential.l_prime, &parallel.l_prime);
+        prop_assert_eq!(&sequential.l_double_prime, &parallel.l_double_prime);
+        prop_assert_eq!(&sequential.safe_snps, &parallel.safe_snps);
+        prop_assert_eq!(&sequential.full_set_safe, &parallel.full_set_safe);
+        prop_assert_eq!(sequential.traffic, parallel.traffic);
+        prop_assert_eq!(sequential.evaluations, parallel.evaluations);
+        let release = |safe: &[gendpr::genomics::snp::SnpId]| {
+            let c: &gendpr::genomics::cohort::Cohort = cohort.as_ref();
+            gendpr::core::release::GwasRelease::noise_free(
+                safe,
+                &c.case().column_counts(),
+                c.case_individuals() as u64,
+                &c.reference().column_counts(),
+                c.reference_individuals() as u64,
+            )
+            .to_tsv()
+        };
+        prop_assert_eq!(release(&sequential.safe_snps), release(&parallel.safe_snps));
     }
 }
