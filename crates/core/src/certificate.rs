@@ -40,6 +40,10 @@ pub struct AssessmentCertificate {
     /// order. Equal to `0..G` for a crash-free run; a strict subset marks
     /// a degraded assessment after non-leader crashes.
     pub roster: Vec<u32>,
+    /// Digest of the service job context (job id, requested panel, and
+    /// the previously released SNPs the LR phase was seeded with). All
+    /// zeros for a standalone one-shot assessment.
+    pub context_digest: [u8; 32],
     /// Leader enclave quote over the certificate digest.
     pub quote: Quote,
 }
@@ -93,6 +97,25 @@ fn digest_roster(epoch: u64, roster: &[u32]) -> [u8; 32] {
     h.finalize()
 }
 
+fn digest_context(context: Option<JobContext<'_>>) -> [u8; 32] {
+    let Some(ctx) = context else {
+        return [0u8; 32];
+    };
+    let mut h = Sha256::new();
+    h.update(b"gendpr/certificate/context/v1\0");
+    h.update(&ctx.job_id.to_le_bytes());
+    h.update(&(ctx.panel.len() as u64).to_le_bytes());
+    for s in ctx.panel {
+        h.update(&s.0.to_le_bytes());
+    }
+    h.update(&(ctx.forced.len() as u64).to_le_bytes());
+    for s in ctx.forced {
+        h.update(&s.0.to_le_bytes());
+    }
+    h.finalize()
+}
+
+#[allow(clippy::too_many_arguments)] // one hash input per certificate field
 fn certificate_digest(
     study: &[u8; 32],
     inputs: &[u8; 32],
@@ -101,16 +124,33 @@ fn certificate_digest(
     evaluations: u64,
     epoch: u64,
     roster: &[u32],
+    context: &[u8; 32],
 ) -> [u8; 32] {
     let mut h = Sha256::new();
-    h.update(b"gendpr/certificate/v2\0");
+    h.update(b"gendpr/certificate/v3\0");
     h.update(study);
     h.update(inputs);
     h.update(safe);
     h.update(&safe_count.to_le_bytes());
     h.update(&evaluations.to_le_bytes());
     h.update(&digest_roster(epoch, roster));
+    h.update(context);
     h.finalize()
+}
+
+/// The service job a certificate was issued for: which study panel was
+/// requested and which previously released SNPs seeded the LR phase.
+/// Binding this into the quote makes each ledger entry auditable — a
+/// verifier can confirm the release was charged against the *cumulative*
+/// history, not assessed in isolation.
+#[derive(Debug, Clone, Copy)]
+pub struct JobContext<'a> {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// Requested study panel.
+    pub panel: &'a [SnpId],
+    /// Previously released SNPs forced into the LR seed.
+    pub forced: &'a [SnpId],
 }
 
 /// All the facts a certificate binds, supplied at issue and verify time.
@@ -138,6 +178,9 @@ pub struct AssessmentFacts<'a> {
     pub epoch: u64,
     /// Surviving roster the decision covers (member ids, ascending).
     pub roster: &'a [u32],
+    /// Service job context, if issued by the long-running assessment
+    /// service; `None` for a standalone one-shot run.
+    pub context: Option<JobContext<'a>>,
 }
 
 impl AssessmentCertificate {
@@ -152,6 +195,7 @@ impl AssessmentCertificate {
             facts.n_ref,
         );
         let safe_digest = digest_safe(facts.safe);
+        let context_digest = digest_context(facts.context);
         let report = certificate_digest(
             &study_digest,
             &inputs_digest,
@@ -160,6 +204,7 @@ impl AssessmentCertificate {
             facts.evaluations,
             facts.epoch,
             facts.roster,
+            &context_digest,
         );
         Self {
             study_digest,
@@ -169,6 +214,7 @@ impl AssessmentCertificate {
             evaluations: facts.evaluations,
             epoch: facts.epoch,
             roster: facts.roster.to_vec(),
+            context_digest,
             quote: leader.quote(report),
         }
     }
@@ -198,6 +244,7 @@ impl AssessmentCertificate {
             self.evaluations,
             self.epoch,
             &self.roster,
+            &self.context_digest,
         );
         if self.quote.report_data != report {
             return Err(TeeError::HandshakeBindingInvalid);
@@ -215,7 +262,8 @@ impl AssessmentCertificate {
             && self.safe_count == facts.safe.len() as u64
             && self.evaluations == facts.evaluations
             && self.epoch == facts.epoch
-            && self.roster == facts.roster;
+            && self.roster == facts.roster
+            && self.context_digest == digest_context(facts.context);
         if facts_ok {
             Ok(())
         } else {
@@ -234,6 +282,7 @@ impl AssessmentCertificate {
             self.evaluations,
             self.epoch,
             &self.roster,
+            &self.context_digest,
         );
         report[..8].iter().map(|b| format!("{b:02x}")).collect()
     }
@@ -271,6 +320,7 @@ mod tests {
             evaluations: 1,
             epoch: 1,
             roster: &[0, 1, 2],
+            context: None,
         }
     }
 
@@ -360,6 +410,48 @@ mod tests {
             forged.verify(&service, &enclave.measurement(), &f),
             Err(TeeError::HandshakeBindingInvalid)
         );
+    }
+
+    #[test]
+    fn job_context_is_bound_into_the_quote() {
+        let (service, enclave) = setup();
+        let params = GwasParams::secure_genome_defaults();
+        let cc = vec![10u64, 20, 30];
+        let rc = vec![8u64, 19, 33];
+        let safe = vec![SnpId(2)];
+        let panel = vec![SnpId(1), SnpId(2)];
+        let forced = vec![SnpId(0)];
+        let mut f = facts(&params, &cc, &rc, &safe);
+        f.context = Some(JobContext {
+            job_id: 2,
+            panel: &panel,
+            forced: &forced,
+        });
+        let cert = AssessmentCertificate::issue(&enclave, &f);
+        assert_ne!(cert.context_digest, [0u8; 32]);
+        assert!(cert.verify(&service, &enclave.measurement(), &f).is_ok());
+
+        // Claiming a different seed set (or no context at all) fails.
+        let mut f2 = f;
+        f2.context = Some(JobContext {
+            job_id: 2,
+            panel: &panel,
+            forced: &[],
+        });
+        assert_eq!(
+            cert.verify(&service, &enclave.measurement(), &f2),
+            Err(TeeError::ChannelMessageRejected)
+        );
+        let mut f3 = f;
+        f3.context = None;
+        assert_eq!(
+            cert.verify(&service, &enclave.measurement(), &f3),
+            Err(TeeError::ChannelMessageRejected)
+        );
+
+        // A standalone certificate carries the all-zero context digest.
+        let plain = AssessmentCertificate::issue(&enclave, &facts(&params, &cc, &rc, &safe));
+        assert_eq!(plain.context_digest, [0u8; 32]);
     }
 
     #[test]

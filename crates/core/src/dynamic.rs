@@ -93,6 +93,34 @@ impl DynamicAssessor {
         &self.released
     }
 
+    /// Seeds the assessor with SNPs already public *before* its first
+    /// batch — e.g. releases certified by earlier jobs and recorded in the
+    /// service ledger. They are irreversible: every subsequent epoch
+    /// charges them against the power budget first and reports them in
+    /// [`EpochReport::regret`] if the growing data stops certifying them.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] if a SNP id falls outside the
+    /// study panel or batches have already been ingested (the seed must
+    /// describe the world as it was when the assessor started).
+    pub fn seed_released(&mut self, released: &[SnpId]) -> Result<(), ProtocolError> {
+        if self.epochs > 0 {
+            return Err(ProtocolError::InvalidConfig(
+                "seed_released must precede the first batch",
+            ));
+        }
+        if released.iter().any(|s| s.index() >= self.reference.snps()) {
+            return Err(ProtocolError::InvalidConfig(
+                "seeded SNP id outside the study panel",
+            ));
+        }
+        self.released.extend(released.iter().copied());
+        self.released.sort_unstable();
+        self.released.dedup();
+        Ok(())
+    }
+
     /// Case genomes accumulated so far.
     #[must_use]
     pub fn total_genomes(&self) -> usize {

@@ -47,6 +47,11 @@ pub enum ProtocolError {
         /// First epoch whose roster excludes this member.
         epoch: u64,
     },
+    /// A long-running process (node or service daemon) received a shutdown
+    /// signal and stopped cleanly after finishing or aborting the in-flight
+    /// work. Maps to its own CLI exit code so supervisors can distinguish a
+    /// requested stop from a protocol failure.
+    Interrupted,
 }
 
 impl fmt::Display for ProtocolError {
@@ -76,6 +81,7 @@ impl fmt::Display for ProtocolError {
             Self::Evicted { epoch } => {
                 write!(f, "evicted from the federation at epoch {epoch}")
             }
+            Self::Interrupted => f.write_str("interrupted by shutdown signal"),
         }
     }
 }

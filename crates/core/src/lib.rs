@@ -29,7 +29,10 @@
 //!   arrive over time and the irreversible cumulative release is
 //!   re-certified at every epoch,
 //! * [`certificate`] — enclave-signed assessment certificates binding
-//!   parameters, input digests and the safe set for auditability.
+//!   parameters, input digests and the safe set for auditability,
+//! * [`serving`] — long-lived service sessions: the federation attests
+//!   once and serves a queue of jobs, charging every job's LR budget
+//!   against the union of all earlier releases.
 //!
 //! # Example
 //!
@@ -75,6 +78,7 @@ pub mod pool;
 pub mod protocol;
 pub mod release;
 pub mod runtime;
+pub mod serving;
 
 pub use config::{CollusionMode, FederationConfig, GwasParams};
 pub use error::ProtocolError;

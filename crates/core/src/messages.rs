@@ -241,6 +241,26 @@ pub struct Phase3Broadcast {
 }
 wire_struct!(Phase3Broadcast { safe });
 
+/// Leader broadcast opening one assessment job inside a long-lived
+/// service session: the study panel to screen and the SNPs already
+/// released by earlier jobs (forced into the LR seed so the *cumulative*
+/// adversary power across all studies stays below the threshold).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStartBroadcast {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// SNP ids of the requested study panel.
+    pub panel: Vec<u32>,
+    /// Previously released SNP ids charged against the power budget
+    /// before any new candidate is admitted.
+    pub forced: Vec<u32>,
+}
+wire_struct!(JobStartBroadcast {
+    job_id,
+    panel,
+    forced
+});
+
 /// Every message of the protocol, tagged for transport.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -275,6 +295,12 @@ pub enum ProtocolMessage {
         /// Configured minimum quorum.
         required: u32,
     },
+    /// Leader → members: a new assessment job starts inside a long-lived
+    /// service session (the federation stays attested across jobs).
+    JobStart(JobStartBroadcast),
+    /// Leader → members: the service session ends; members may tear down
+    /// their channels and exit cleanly.
+    SessionEnd,
 }
 
 impl Encode for ProtocolMessage {
@@ -329,6 +355,11 @@ impl Encode for ProtocolMessage {
                 survivors.encode(buf);
                 required.encode(buf);
             }
+            Self::JobStart(m) => {
+                10u8.encode(buf);
+                m.encode(buf);
+            }
+            Self::SessionEnd => 11u8.encode(buf),
         }
     }
 }
@@ -350,6 +381,8 @@ impl Decode for ProtocolMessage {
                 survivors: u32::decode(r)?,
                 required: u32::decode(r)?,
             },
+            10 => Self::JobStart(JobStartBroadcast::decode(r)?),
+            11 => Self::SessionEnd,
             _ => return Err(WireError::InvalidValue("ProtocolMessage tag")),
         })
     }
@@ -414,6 +447,12 @@ mod tests {
             survivors: 2,
             required: 4,
         });
+        roundtrip(ProtocolMessage::JobStart(JobStartBroadcast {
+            job_id: 7,
+            panel: vec![0, 1, 4, 9],
+            forced: vec![2, 3],
+        }));
+        roundtrip(ProtocolMessage::SessionEnd);
     }
 
     #[test]

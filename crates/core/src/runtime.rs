@@ -75,7 +75,7 @@ use std::time::{Duration, Instant};
 /// same build or mutual attestation fails.
 pub const CODE_IDENTITY: &str = "gendpr/member/v1";
 
-const CHANNEL_AAD: &[u8] = b"gendpr/protocol/v1";
+pub(crate) const CHANNEL_AAD: &[u8] = b"gendpr/protocol/v1";
 
 /// Failure-detection and view-change knobs of the threaded runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,14 +192,14 @@ pub struct RuntimeReport {
 /// sender's epoch and a per-link sequence number so receivers can reject
 /// stale-epoch traffic and mask duplicated or reordered delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Frame {
+pub(crate) struct Frame {
     epoch: u64,
     seq: u64,
     body: FrameBody,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum FrameBody {
+pub(crate) enum FrameBody {
     Commit([u8; 32]),
     Reveal([u8; 32]),
     Handshake([u8; 128]),
@@ -261,7 +261,7 @@ impl Decode for Frame {
     }
 }
 
-fn measurement_config(params: &GwasParams) -> Vec<u8> {
+pub(crate) fn measurement_config(params: &GwasParams) -> Vec<u8> {
     let mut buf = Vec::new();
     params.maf_cutoff.encode(&mut buf);
     params.ld_cutoff.encode(&mut buf);
@@ -279,7 +279,7 @@ pub fn expected_measurement(params: &GwasParams) -> Measurement {
 /// Why a phase function unwound: either the run is over (fatal error) or
 /// the federation is re-forming in a new epoch.
 #[derive(Debug, Clone)]
-enum Interrupt {
+pub(crate) enum Interrupt {
     Fatal(ProtocolError),
     NewView {
         epoch: u64,
@@ -296,23 +296,23 @@ impl From<ProtocolError> for Interrupt {
     }
 }
 
-struct MemberCtx<T: Transport> {
-    id: usize,
-    g: usize,
-    endpoint: T,
-    enclave: Enclave<()>,
-    rng: ChaChaRng,
-    timeout: Duration,
-    compact_lr: bool,
-    prefetch_ld: bool,
-    threads: usize,
-    recovery: RecoveryOptions,
-    collusion: CollusionMode,
-    expected: Measurement,
+pub(crate) struct MemberCtx<T: Transport> {
+    pub(crate) id: usize,
+    pub(crate) g: usize,
+    pub(crate) endpoint: T,
+    pub(crate) enclave: Enclave<()>,
+    pub(crate) rng: ChaChaRng,
+    pub(crate) timeout: Duration,
+    pub(crate) compact_lr: bool,
+    pub(crate) prefetch_ld: bool,
+    pub(crate) threads: usize,
+    pub(crate) recovery: RecoveryOptions,
+    pub(crate) collusion: CollusionMode,
+    pub(crate) expected: Measurement,
     /// Current epoch (starts at 1).
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Surviving roster of the current epoch, ascending member ids.
-    roster: Vec<usize>,
+    pub(crate) roster: Vec<usize>,
     /// Next sequence number per destination (monotone across epochs).
     send_seq: HashMap<u32, u64>,
     /// Next expected sequence number per sender.
@@ -626,7 +626,7 @@ impl<T: Transport> MemberCtx<T> {
 /// Commit-reveal election among the surviving roster (paper: "randomly
 /// choosing one of the registered enclaves"; epochs above one re-run it
 /// over the survivors).
-fn run_election<T: Transport>(ctx: &mut MemberCtx<T>) -> Result<usize, Interrupt> {
+pub(crate) fn run_election<T: Transport>(ctx: &mut MemberCtx<T>) -> Result<usize, Interrupt> {
     let roster = ctx.roster.clone();
     let (reveal, commitment) = draw_nonce(&mut ctx.rng);
     for &peer in &roster {
@@ -681,7 +681,7 @@ fn run_election<T: Transport>(ctx: &mut MemberCtx<T>) -> Result<usize, Interrupt
 }
 
 /// Establishes an attested channel with `peer` (both sides run this).
-fn establish_channel<T: Transport>(
+pub(crate) fn establish_channel<T: Transport>(
     ctx: &mut MemberCtx<T>,
     peer: usize,
 ) -> Result<SecureChannel, Interrupt> {
@@ -704,7 +704,7 @@ fn establish_channel<T: Transport>(
         })
 }
 
-fn send_protocol<T: Transport>(
+pub(crate) fn send_protocol<T: Transport>(
     ctx: &mut MemberCtx<T>,
     channel: &mut SecureChannel,
     to: usize,
@@ -716,7 +716,7 @@ fn send_protocol<T: Transport>(
     ctx.send_frame(to, FrameBody::Sealed(sealed), plaintext_len)
 }
 
-fn recv_protocol<T: Transport>(
+pub(crate) fn recv_protocol<T: Transport>(
     ctx: &mut MemberCtx<T>,
     channel: &mut SecureChannel,
     from: usize,
@@ -1155,6 +1155,7 @@ fn leader_main<T: Transport>(
             evaluations: subsets.len() as u64,
             epoch: ctx.epoch,
             roster: &roster_u32,
+            context: None,
         },
     );
 
@@ -1180,7 +1181,7 @@ fn leader_main<T: Transport>(
     })
 }
 
-fn abort_all<T: Transport>(
+pub(crate) fn abort_all<T: Transport>(
     ctx: &mut MemberCtx<T>,
     channels: &mut HashMap<usize, SecureChannel>,
     err: &ProtocolError,
@@ -1219,8 +1220,32 @@ fn follower_main<T: Transport>(
         &ProtocolMessage::Counts(own_counts.clone()),
     )?;
 
+    let safe = follower_serve(ctx, node, &mut channel, leader)?;
+    Ok(ThreadReport {
+        peak_enclave_bytes: ctx.enclave.epc().peak(),
+        ecalls: ctx.enclave.ecalls(),
+        leader,
+        outcome: None,
+        safe_seen: safe,
+        timings: PhaseTimings::default(),
+        certificate: None,
+    })
+}
+
+/// Serves one assessment as a follower: answers the leader's moments
+/// queries and LR-matrix requests over the attested channel until the
+/// final Phase 3 broadcast arrives, and returns the safe set it carried.
+/// Shared between the one-shot [`follower_main`] and the long-lived
+/// service session loop in [`crate::serving`], so a service job follows
+/// byte-for-byte the same message schedule as a standalone run.
+pub(crate) fn follower_serve<T: Transport>(
+    ctx: &mut MemberCtx<T>,
+    node: &GdoNode,
+    channel: &mut SecureChannel,
+    leader: usize,
+) -> Result<Vec<SnpId>, Interrupt> {
     loop {
-        match recv_protocol(ctx, &mut channel, leader, "awaiting-leader")? {
+        match recv_protocol(ctx, channel, leader, "awaiting-leader")? {
             ProtocolMessage::Phase1(_) => {
                 // Informational: L' arrives before the moments queries.
             }
@@ -1229,12 +1254,7 @@ fn follower_main<T: Transport>(
                     .iter()
                     .map(|p| node.ld_moments(SnpId(p.a), SnpId(p.b)))
                     .collect();
-                send_protocol(
-                    ctx,
-                    &mut channel,
-                    leader,
-                    &ProtocolMessage::Moments(reports),
-                )?;
+                send_protocol(ctx, channel, leader, &ProtocolMessage::Moments(reports))?;
             }
             ProtocolMessage::Phase2(combo, broadcast) => {
                 let snps: Vec<SnpId> = broadcast.retained.iter().map(|&s| SnpId(s)).collect();
@@ -1247,7 +1267,7 @@ fn follower_main<T: Transport>(
                     let bytes = 8 * report.bits.len() as u64;
                     send_protocol(
                         ctx,
-                        &mut channel,
+                        channel,
                         leader,
                         &ProtocolMessage::LrCompact(combo, report),
                     )?;
@@ -1259,25 +1279,12 @@ fn follower_main<T: Transport>(
                         r
                     });
                     let bytes = 8 * report.values.len() as u64;
-                    send_protocol(
-                        ctx,
-                        &mut channel,
-                        leader,
-                        &ProtocolMessage::Lr(combo, report),
-                    )?;
+                    send_protocol(ctx, channel, leader, &ProtocolMessage::Lr(combo, report))?;
                     ctx.enclave.enter(|(), epc| epc.free(bytes));
                 }
             }
             ProtocolMessage::Phase3(broadcast) => {
-                return Ok(ThreadReport {
-                    peak_enclave_bytes: ctx.enclave.epc().peak(),
-                    ecalls: ctx.enclave.ecalls(),
-                    leader,
-                    outcome: None,
-                    safe_seen: broadcast.safe.into_iter().map(SnpId).collect(),
-                    timings: PhaseTimings::default(),
-                    certificate: None,
-                });
+                return Ok(broadcast.safe.into_iter().map(SnpId).collect());
             }
             ProtocolMessage::QuorumLost {
                 epoch,
@@ -1419,16 +1426,20 @@ pub struct MemberOutcome {
 /// epoch to form, [`ProtocolError::Evicted`] when the survivors re-formed
 /// without this member, or [`ProtocolError::SecurityFailure`] if
 /// attestation fails.
-#[allow(clippy::needless_pass_by_value)] // the transport is consumed by the run
-pub fn run_member<T: Transport>(
+/// Validates the configuration and builds one member's protocol context:
+/// the enclave, the deterministic per-member secrets and the frame
+/// sequencing state. The fork order of the derivation must match
+/// `run_federation_over` exactly: attestation service first, then a
+/// (platform, member) RNG pair per member in id order — this is what lets
+/// G independent processes (or a restarted service daemon) sharing a seed
+/// reconstruct one consistent federation.
+pub(crate) fn build_member_ctx<T: Transport>(
     transport: T,
     member: usize,
     config: &FederationConfig,
     params: &GwasParams,
     options: RuntimeOptions,
-    shard: GenotypeMatrix,
-    reference: &GenotypeMatrix,
-) -> Result<MemberOutcome, ProtocolError> {
+) -> Result<MemberCtx<T>, ProtocolError> {
     config.validate().map_err(ProtocolError::InvalidConfig)?;
     params.validate().map_err(ProtocolError::InvalidConfig)?;
     let g = config.gdo_count;
@@ -1436,9 +1447,6 @@ pub fn run_member<T: Transport>(
         return Err(ProtocolError::InvalidConfig("member id out of range"));
     }
 
-    // Derive this member's share of the federation state. The fork order
-    // must match run_federation_over exactly: attestation service first,
-    // then a (platform, member) RNG pair per member in id order.
     let mut master = ChaChaRng::from_seed_u64(config.seed);
     let service = AttestationService::new(&mut master.fork("attestation-service"));
     let mut keys = None;
@@ -1454,7 +1462,7 @@ pub fn run_member<T: Transport>(
     let enclave =
         platform.launch_enclave_with_config(CODE_IDENTITY, &measurement_config(params), ());
 
-    let mut ctx = MemberCtx {
+    Ok(MemberCtx {
         id: member,
         g,
         endpoint: transport,
@@ -1479,7 +1487,21 @@ pub fn run_member<T: Transport>(
         future: HashMap::new(),
         heard: HashMap::new(),
         backlog: HashMap::new(),
-    };
+    })
+}
+
+#[allow(clippy::needless_pass_by_value)] // the transport is consumed by the run
+pub fn run_member<T: Transport>(
+    transport: T,
+    member: usize,
+    config: &FederationConfig,
+    params: &GwasParams,
+    options: RuntimeOptions,
+    shard: GenotypeMatrix,
+    reference: &GenotypeMatrix,
+) -> Result<MemberOutcome, ProtocolError> {
+    let mut ctx = build_member_ctx(transport, member, config, params, options)?;
+    let g = config.gdo_count;
     let node = GdoNode::new(member, shard);
     // Member-side checkpoint: the counts report is computed once and
     // survives view changes (Phase 1/2 selections are deterministic given
@@ -1755,6 +1777,7 @@ mod tests {
             evaluations: 1,
             epoch: 1,
             roster: &[0, 1, 2],
+            context: None,
         };
         report
             .certificate

@@ -11,6 +11,8 @@
 //! * [`tcp`] — the same contract over real sockets: length-prefixed
 //!   framing, dial retry with backoff, deadline-bounded connects — the
 //!   substrate of the `gendpr node` daemon,
+//! * [`client`] — length-prefixed message I/O for client ↔ daemon
+//!   streams (the assessment service's submit/status/results protocol),
 //! * [`metrics`] — the bandwidth accounting behind the paper's Table 3
 //!   discussion,
 //! * [`fault`] — deterministic crash/partition injection (the paper's
@@ -30,6 +32,7 @@
 //! # Ok::<(), gendpr_fednet::transport::NetError>(())
 //! ```
 
+pub mod client;
 pub mod fault;
 pub mod latency;
 pub mod metrics;

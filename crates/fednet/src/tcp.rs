@@ -457,6 +457,20 @@ impl Drop for TcpTransport {
     }
 }
 
+/// Connects to `addr` with the same retry-with-jittered-backoff policy
+/// the federation transport uses for member links: re-dial until
+/// `opts.connect_timeout` is spent, doubling the backoff from
+/// `opts.retry_initial` up to `opts.retry_max`. This is what lets a
+/// client race a daemon that is still binding its listener.
+///
+/// # Errors
+///
+/// [`NetError::Timeout`] when the budget is exhausted without a
+/// connection.
+pub fn connect_retry(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
+    dial(addr, opts)
+}
+
 fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
     let deadline = Instant::now() + opts.connect_timeout;
     let mut backoff = opts.retry_initial;

@@ -1,0 +1,121 @@
+//! Client side of the assessment service: one TCP connection per
+//! request, dialed with the federation's retry/backoff machinery so a
+//! client started a moment before the daemon finishes binding still
+//! connects.
+
+use crate::ledger::LedgerRecord;
+use crate::protocol::{ClientRequest, ClientResponse, ServiceStatus};
+use gendpr_fednet::client::{read_message, write_message};
+use gendpr_fednet::tcp::{connect_retry, TcpOptions};
+use std::io;
+use std::net::SocketAddr;
+
+/// A handle on a running `gendpr serve` daemon.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    addr: SocketAddr,
+    options: TcpOptions,
+}
+
+impl ServiceClient {
+    /// A client for the daemon at `addr` with default dial options.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            options: TcpOptions::default(),
+        }
+    }
+
+    /// Overrides the dial options (connect timeout, retry backoff).
+    #[must_use]
+    pub fn with_options(mut self, options: TcpOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    fn call(&self, request: &ClientRequest) -> io::Result<ClientResponse> {
+        let mut stream = connect_retry(self.addr, self.options)
+            .map_err(|e| io::Error::new(io::ErrorKind::ConnectionRefused, e.to_string()))?;
+        write_message(&mut stream, request)?;
+        read_message(&mut stream)
+    }
+
+    /// Queues a job and returns its id without waiting for it to run.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or [`io::ErrorKind::Other`] carrying the daemon's
+    /// rejection message.
+    pub fn submit(&self, panel: Vec<u32>, batches: u32) -> io::Result<u64> {
+        match self.call(&ClientRequest::Submit {
+            panel,
+            batches,
+            wait: false,
+        })? {
+            ClientResponse::Accepted { job_id } => Ok(job_id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Queues a job and blocks until its record is in the ledger.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or [`io::ErrorKind::Other`] carrying the daemon's
+    /// rejection or the job's failure message.
+    pub fn submit_and_wait(&self, panel: Vec<u32>, batches: u32) -> io::Result<LedgerRecord> {
+        match self.call(&ClientRequest::Submit {
+            panel,
+            batches,
+            wait: true,
+        })? {
+            ClientResponse::Completed(record) => Ok(record),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the daemon's status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or an unexpected response.
+    pub fn status(&self) -> io::Result<ServiceStatus> {
+        match self.call(&ClientRequest::Status)? {
+            ClientResponse::Status(status) => Ok(status),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the ledger record of one finished job, if any.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or an unexpected response.
+    pub fn results(&self, job_id: u64) -> io::Result<Option<LedgerRecord>> {
+        match self.call(&ClientRequest::Results { job_id })? {
+            ClientResponse::Results(record) => Ok(record),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to finish the in-flight job and exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or an unexpected response.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self.call(&ClientRequest::Shutdown)? {
+            ClientResponse::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: ClientResponse) -> io::Error {
+    let message = match response {
+        ClientResponse::Error(message) => message,
+        other => format!("unexpected response: {other:?}"),
+    };
+    io::Error::other(message)
+}

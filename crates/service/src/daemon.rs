@@ -1,0 +1,530 @@
+//! The assessment daemon: a FIFO job queue in front of a long-lived
+//! [`ServiceFederation`], with every certified release recorded in the
+//! [`ReleaseLedger`].
+//!
+//! # Job lifecycle
+//!
+//! 1. A client connects to the daemon's listener and sends one
+//!    [`ClientRequest::Submit`]; the accept loop validates the panel,
+//!    assigns the next job id and queues the job.
+//! 2. The serve loop ([`AssessmentService::run`]) pops jobs in FIFO
+//!    order. Every job's LR phase is seeded with the ledger's
+//!    [`ReleaseLedger::released_union`] — the union of *all* SNPs ever
+//!    released, by any earlier job, in any earlier run of the daemon —
+//!    so the certified adversary power covers the cumulative release.
+//! 3. The job's record is appended (checksummed, fsynced) to the ledger
+//!    before the submitter is answered; a crash after the append can
+//!    lose the response but never the release.
+//!
+//! Federated jobs run on the attested member session (one election and
+//! attestation per daemon lifetime, channels ratcheted between jobs);
+//! dynamic jobs (`batches > 0`) run [`DynamicAssessor`] locally over the
+//! case cohort, seeded from the same ledger.
+
+use crate::error::ServiceError;
+use crate::ledger::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger};
+use crate::protocol::{ClientRequest, ClientResponse, ServiceStatus};
+use crate::signals;
+use gendpr_core::attack::{MembershipAttacker, ReleasedStatistics};
+use gendpr_core::config::GwasParams;
+use gendpr_core::dynamic::DynamicAssessor;
+use gendpr_core::error::ProtocolError;
+use gendpr_core::serving::{JobSpec, ServiceFederation};
+use gendpr_fednet::client::{read_message, write_message};
+use gendpr_genomics::cohort::Cohort;
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How often the serve loop wakes to poll the shutdown-signal flag while
+/// the queue is empty.
+const SIGNAL_POLL: Duration = Duration::from_millis(100);
+
+/// One queued job.
+struct QueuedJob {
+    job_id: u64,
+    panel: Vec<u32>,
+    batches: u32,
+    /// Present when the submitter is blocking for the result.
+    reply: Option<mpsc::Sender<Result<LedgerRecord, String>>>,
+}
+
+/// State shared between the serve loop and the client accept loop.
+struct Shared {
+    leader: u32,
+    gdos: u32,
+    panel_len: u64,
+    case_genomes: u64,
+    state: Mutex<Inner>,
+    cv: Condvar,
+}
+
+struct Inner {
+    queue: VecDeque<QueuedJob>,
+    done: Vec<LedgerRecord>,
+    next_job_id: u64,
+    running: bool,
+    shutdown: bool,
+}
+
+/// The long-running assessment service.
+pub struct AssessmentService {
+    federation: ServiceFederation,
+    ledger: ReleaseLedger,
+    case: GenotypeMatrix,
+    reference: GenotypeMatrix,
+    params: GwasParams,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    client_addr: SocketAddr,
+}
+
+impl AssessmentService {
+    /// Puts the daemon in front of an already-started federation session,
+    /// serving the client protocol on `listener`.
+    ///
+    /// The ledger's existing records immediately count: the first job's
+    /// LR seed is the union of everything released in earlier runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] when the federation's panel width does
+    /// not match the cohort; [`ServiceError::Io`] when the accept thread
+    /// cannot start.
+    pub fn start(
+        federation: ServiceFederation,
+        ledger: ReleaseLedger,
+        cohort: &Cohort,
+        params: GwasParams,
+        listener: TcpListener,
+    ) -> Result<Self, ServiceError> {
+        if federation.panel_len() != cohort.case().snps() {
+            return Err(ProtocolError::InvalidConfig(
+                "federation panel width differs from the cohort",
+            )
+            .into());
+        }
+        let client_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            leader: federation.leader() as u32,
+            gdos: federation.gdo_count() as u32,
+            panel_len: federation.panel_len() as u64,
+            case_genomes: cohort.case_individuals() as u64,
+            state: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                done: ledger.records().to_vec(),
+                next_job_id: ledger.next_job_id(),
+                running: false,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("gendpr-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        Ok(Self {
+            federation,
+            ledger,
+            case: cohort.case().clone(),
+            reference: cohort.reference().clone(),
+            params,
+            shared,
+            accept: Some(accept),
+            client_addr,
+        })
+    }
+
+    /// Where clients reach the daemon.
+    #[must_use]
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// The ledger (e.g. for inspecting records between jobs in tests).
+    #[must_use]
+    pub fn ledger(&self) -> &ReleaseLedger {
+        &self.ledger
+    }
+
+    /// Runs one job synchronously, outside the queue: assigns the next
+    /// job id, seeds from the ledger, executes, appends the record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on a rejected spec or failed job,
+    /// [`ServiceError::Io`] on a ledger write failure.
+    pub fn execute(&mut self, panel: Vec<u32>, batches: u32) -> Result<LedgerRecord, ServiceError> {
+        let job_id = {
+            let mut inner = self.shared.state.lock().expect("daemon state");
+            let id = inner.next_job_id;
+            inner.next_job_id += 1;
+            id
+        };
+        let record = self.run_job(job_id, panel, batches)?;
+        let mut inner = self.shared.state.lock().expect("daemon state");
+        inner.done.push(record.clone());
+        Ok(record)
+    }
+
+    /// Serves the queue until a client asks for [`ClientRequest::Shutdown`]
+    /// or a SIGTERM/SIGINT arrives: the in-flight job finishes, its
+    /// record is flushed to the ledger, queued-but-unstarted jobs are
+    /// answered with an error, and the federation session closes cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Interrupted`] (wrapped) when the exit was caused
+    /// by a shutdown signal — the CLI maps it to its own exit code — or
+    /// the underlying failure when the federation session died.
+    pub fn run(mut self) -> Result<(), ServiceError> {
+        loop {
+            let job = {
+                let mut inner = self.shared.state.lock().expect("daemon state");
+                loop {
+                    if signals::requested() || inner.shutdown {
+                        break None;
+                    }
+                    if let Some(job) = inner.queue.pop_front() {
+                        inner.running = true;
+                        break Some(job);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .cv
+                        .wait_timeout(inner, SIGNAL_POLL)
+                        .expect("daemon state");
+                    inner = guard;
+                }
+            };
+            let Some(job) = job else {
+                return self.finish(signals::requested());
+            };
+            let result = self.run_job(job.job_id, job.panel, job.batches);
+            let mut inner = self.shared.state.lock().expect("daemon state");
+            inner.running = false;
+            match result {
+                Ok(record) => {
+                    inner.done.push(record.clone());
+                    if let Some(reply) = job.reply {
+                        let _ = reply.send(Ok(record));
+                    }
+                }
+                Err(error) => {
+                    let message = error.to_string();
+                    if let Some(reply) = job.reply {
+                        let _ = reply.send(Err(message));
+                    }
+                    // A rejected spec leaves the session healthy; anything
+                    // else means the federation (or the ledger) is gone.
+                    match &error {
+                        ServiceError::Protocol(
+                            ProtocolError::InvalidConfig(_) | ProtocolError::EmptyStudy,
+                        ) => {}
+                        _ => {
+                            drop(inner);
+                            let _ = self.finish(false);
+                            return Err(error);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the daemon without serving: drains the queue, stops the
+    /// accept thread and shuts the federation session down.
+    ///
+    /// # Errors
+    ///
+    /// The federation session's failure, if it died.
+    pub fn stop(self) -> Result<(), ServiceError> {
+        self.finish(false)
+    }
+
+    fn finish(mut self, interrupted: bool) -> Result<(), ServiceError> {
+        {
+            let mut inner = self.shared.state.lock().expect("daemon state");
+            inner.shutdown = true;
+            for job in inner.queue.drain(..) {
+                if let Some(reply) = job.reply {
+                    let _ = reply.send(Err("service shutting down".to_string()));
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+        // The accept loop blocks in `accept`; poke it so it re-checks the
+        // shutdown flag and exits.
+        let _ = TcpStream::connect(self.client_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.federation.shutdown()?;
+        if interrupted {
+            return Err(ProtocolError::Interrupted.into());
+        }
+        Ok(())
+    }
+
+    fn run_job(
+        &mut self,
+        job_id: u64,
+        panel: Vec<u32>,
+        batches: u32,
+    ) -> Result<LedgerRecord, ServiceError> {
+        let forced = self.ledger.released_union();
+        let record = if batches == 0 {
+            let spec = JobSpec {
+                job_id,
+                panel: panel.into_iter().map(SnpId).collect(),
+                forced,
+            };
+            let outcome = self.federation.submit(&spec)?;
+            LedgerRecord::from_outcome(&spec, &outcome)
+        } else {
+            self.run_dynamic_job(job_id, panel, batches, forced)?
+        };
+        self.ledger.append(record.clone())?;
+        Ok(record)
+    }
+
+    /// A dynamic job: feed the case cohort in `batches` chunks through
+    /// [`DynamicAssessor`], seeded with the ledger's released union, and
+    /// measure the final adversary power over the cumulative release.
+    fn run_dynamic_job(
+        &self,
+        job_id: u64,
+        panel: Vec<u32>,
+        batches: u32,
+        forced: Vec<SnpId>,
+    ) -> Result<LedgerRecord, ServiceError> {
+        let width = self.reference.snps();
+        if panel.len() != width || panel.iter().enumerate().any(|(i, &s)| s != i as u32) {
+            return Err(ProtocolError::InvalidConfig(
+                "dynamic jobs assess the full panel (submit --snps all)",
+            )
+            .into());
+        }
+        let genomes = self.case.individuals();
+        if batches as usize > genomes {
+            return Err(ProtocolError::InvalidConfig("more batches than case genomes").into());
+        }
+        let mut assessor = DynamicAssessor::new(self.params, self.reference.clone())?;
+        assessor.seed_released(&forced)?;
+        let base = genomes / batches as usize;
+        let extra = genomes % batches as usize;
+        let mut start = 0;
+        for i in 0..batches as usize {
+            let len = base + usize::from(i < extra);
+            assessor.add_batch(&self.case.row_range(start, len))?;
+            start += len;
+        }
+        let released: Vec<SnpId> = assessor
+            .released()
+            .iter()
+            .copied()
+            .filter(|s| forced.binary_search(s).is_err())
+            .collect();
+
+        let case_counts = self.case.column_counts();
+        let ref_counts = self.reference.column_counts();
+        let n_case = genomes as f64;
+        let n_ref = self.reference.individuals() as f64;
+        let freqs = |snps: &[SnpId]| -> (Vec<f64>, Vec<f64>) {
+            snps.iter()
+                .map(|s| {
+                    (
+                        case_counts[s.index()] as f64 / n_case,
+                        ref_counts[s.index()] as f64 / n_ref,
+                    )
+                })
+                .unzip()
+        };
+        let (case_freqs, ref_freqs) = freqs(&released);
+
+        // The certified quantity: adversary power over the *cumulative*
+        // release (seed ∪ new) given everything assessed so far.
+        let cumulative = assessor.released().to_vec();
+        let final_power = if cumulative.is_empty() {
+            0.0
+        } else {
+            let (cum_case, cum_ref) = freqs(&cumulative);
+            MembershipAttacker::calibrate(
+                ReleasedStatistics {
+                    snps: cumulative,
+                    case_freqs: cum_case,
+                    ref_freqs: cum_ref,
+                },
+                &self.reference,
+                self.params.lr.false_positive_rate,
+            )
+            .power_against(&self.case)
+        };
+
+        Ok(LedgerRecord {
+            job_id,
+            kind: JobKind::Dynamic,
+            panel,
+            forced: forced.iter().map(|s| s.0).collect(),
+            released: released.iter().map(|s| s.0).collect(),
+            final_power,
+            final_threshold: self.params.lr.power_threshold,
+            case_freqs,
+            ref_freqs,
+            epoch: u64::from(batches),
+            roster: Vec::new(),
+            traffic: Vec::new(),
+            certificate: None,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.state.lock().expect("daemon state").shutdown {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("gendpr-client".into())
+            .spawn(move || handle_client(stream, &shared));
+    }
+}
+
+fn handle_client(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(request) = read_message::<ClientRequest>(&mut stream) else {
+        return;
+    };
+    let response = match request {
+        ClientRequest::Status => ClientResponse::Status(status_snapshot(shared)),
+        ClientRequest::Results { job_id } => {
+            let inner = shared.state.lock().expect("daemon state");
+            ClientResponse::Results(inner.done.iter().find(|r| r.job_id == job_id).cloned())
+        }
+        ClientRequest::Shutdown => {
+            let mut inner = shared.state.lock().expect("daemon state");
+            inner.shutdown = true;
+            drop(inner);
+            shared.cv.notify_all();
+            ClientResponse::ShuttingDown
+        }
+        ClientRequest::Submit {
+            panel,
+            batches,
+            wait,
+        } => match enqueue(shared, panel, batches, wait) {
+            Err(message) => ClientResponse::Error(message),
+            Ok(Enqueued::Accepted(job_id)) => ClientResponse::Accepted { job_id },
+            Ok(Enqueued::Wait(result)) => match result.recv() {
+                Ok(Ok(record)) => ClientResponse::Completed(record),
+                Ok(Err(message)) => ClientResponse::Error(message),
+                Err(_) => ClientResponse::Error("service exited".to_string()),
+            },
+        },
+    };
+    let _ = write_message(&mut stream, &response);
+}
+
+enum Enqueued {
+    Accepted(u64),
+    Wait(mpsc::Receiver<Result<LedgerRecord, String>>),
+}
+
+fn enqueue(
+    shared: &Arc<Shared>,
+    mut panel: Vec<u32>,
+    batches: u32,
+    wait: bool,
+) -> Result<Enqueued, String> {
+    panel.sort_unstable();
+    panel.dedup();
+    if panel.is_empty() {
+        return Err("job panel is empty".to_string());
+    }
+    if panel
+        .last()
+        .is_some_and(|&s| u64::from(s) >= shared.panel_len)
+    {
+        return Err(format!(
+            "SNP id out of range (panel width is {})",
+            shared.panel_len
+        ));
+    }
+    if batches > 0 {
+        if panel.len() as u64 != shared.panel_len {
+            return Err("dynamic jobs assess the full panel (submit --snps all)".to_string());
+        }
+        if u64::from(batches) > shared.case_genomes {
+            return Err(format!(
+                "more batches than case genomes ({})",
+                shared.case_genomes
+            ));
+        }
+    }
+    let mut inner = shared.state.lock().expect("daemon state");
+    if inner.shutdown {
+        return Err("service shutting down".to_string());
+    }
+    let job_id = inner.next_job_id;
+    inner.next_job_id += 1;
+    let (reply, result) = if wait {
+        let (tx, rx) = mpsc::channel();
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
+    inner.queue.push_back(QueuedJob {
+        job_id,
+        panel,
+        batches,
+        reply,
+    });
+    drop(inner);
+    shared.cv.notify_all();
+    Ok(match result {
+        Some(rx) => Enqueued::Wait(rx),
+        None => Enqueued::Accepted(job_id),
+    })
+}
+
+fn status_snapshot(shared: &Arc<Shared>) -> ServiceStatus {
+    let inner = shared.state.lock().expect("daemon state");
+    let mut links: Vec<LinkRecord> = Vec::new();
+    let mut released: Vec<u32> = Vec::new();
+    for record in &inner.done {
+        released.extend_from_slice(&record.released);
+        for link in &record.traffic {
+            match links
+                .iter_mut()
+                .find(|l| l.from == link.from && l.to == link.to)
+            {
+                Some(total) => {
+                    total.messages += link.messages;
+                    total.plaintext_bytes += link.plaintext_bytes;
+                    total.wire_bytes += link.wire_bytes;
+                }
+                None => links.push(*link),
+            }
+        }
+    }
+    links.sort_unstable_by_key(|l| (l.from, l.to));
+    released.sort_unstable();
+    released.dedup();
+    ServiceStatus {
+        leader: shared.leader,
+        gdos: shared.gdos,
+        panel_len: shared.panel_len,
+        jobs_done: inner.done.len() as u64,
+        jobs_queued: inner.queue.len() as u64 + u64::from(inner.running),
+        released_total: released.len() as u64,
+        links,
+    }
+}

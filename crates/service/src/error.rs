@@ -1,0 +1,51 @@
+//! Service-layer errors: the daemon sits between the filesystem (ledger)
+//! and the protocol (federation, client codec), so its fallible paths
+//! surface one of those two worlds.
+
+use gendpr_core::error::ProtocolError;
+use std::fmt;
+use std::io;
+
+/// Anything the assessment service can fail with.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Ledger or client-socket I/O failed.
+    Io(io::Error),
+    /// The federation (or a job) failed.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "service I/O: {e}"),
+            Self::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ServiceError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+impl ServiceError {
+    /// The [`ProtocolError`] to map to an exit code, folding I/O into the
+    /// generic bucket.
+    #[must_use]
+    pub fn as_protocol(&self) -> Option<&ProtocolError> {
+        match self {
+            Self::Protocol(e) => Some(e),
+            Self::Io(_) => None,
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The persistent release ledger: an append-only, checksummed on-disk
+//! log of every certified release.
+//!
+//! Releases are irreversible — once a SNP's statistics are public they
+//! cannot be retracted — so the service must remember every release it
+//! ever certified, across restarts, and charge the union against each
+//! new job's LR power budget. The ledger is that memory.
+//!
+//! # On-disk format
+//!
+//! A flat sequence of self-delimiting frames, one per record:
+//!
+//! ```text
+//! [u32 LE body length][wire-encoded LedgerRecord][32-byte SHA-256 of body]
+//! ```
+//!
+//! The trailing digest makes torn writes detectable: a crash mid-append
+//! leaves a final frame whose length header, body or checksum is
+//! incomplete (or whose checksum mismatches), and [`ReleaseLedger::open`]
+//! truncates the file back to the last intact record. The intact prefix
+//! always loads — appends never rewrite earlier bytes.
+
+use crate::error::ServiceError;
+use gendpr_core::certificate::AssessmentCertificate;
+use gendpr_core::serving::{JobOutcome, JobSpec, LinkUsage};
+use gendpr_crypto::sha256;
+use gendpr_fednet::tcp::MAX_FRAME_BYTES;
+use gendpr_fednet::wire::{self, Decode, Encode, Reader, WireError};
+use gendpr_fednet::wire_struct;
+use gendpr_genomics::snp::SnpId;
+use gendpr_tee::attestation::Quote;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// SHA-256 digest length, the per-record checksum trailer.
+const CHECKSUM_LEN: usize = 32;
+
+/// How a ledger record was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Federated assessment by the attested member session.
+    Federated,
+    /// Local dynamic batch assessment via
+    /// [`gendpr_core::dynamic::DynamicAssessor`].
+    Dynamic,
+}
+
+impl Encode for JobKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Self::Federated => 0u8.encode(buf),
+            Self::Dynamic => 1u8.encode(buf),
+        }
+    }
+}
+
+impl Decode for JobKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::Federated),
+            1 => Ok(Self::Dynamic),
+            _ => Err(WireError::InvalidValue("job kind")),
+        }
+    }
+}
+
+/// Traffic of one directed member link during one job (the on-wire /
+/// on-disk shape of [`LinkUsage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkRecord {
+    /// Sending member.
+    pub from: u32,
+    /// Receiving member.
+    pub to: u32,
+    /// Messages the job put on the link.
+    pub messages: u64,
+    /// Application payload bytes before encryption/framing.
+    pub plaintext_bytes: u64,
+    /// Bytes actually put on the wire.
+    pub wire_bytes: u64,
+}
+wire_struct!(LinkRecord {
+    from,
+    to,
+    messages,
+    plaintext_bytes,
+    wire_bytes
+});
+
+impl From<LinkUsage> for LinkRecord {
+    fn from(link: LinkUsage) -> Self {
+        Self {
+            from: link.from,
+            to: link.to,
+            messages: link.stats.messages,
+            plaintext_bytes: link.stats.plaintext_bytes,
+            wire_bytes: link.stats.wire_bytes,
+        }
+    }
+}
+
+/// An [`AssessmentCertificate`] flattened for the wire codec (the quote
+/// travels as its canonical 96-byte serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCertificate {
+    /// See [`AssessmentCertificate::study_digest`].
+    pub study_digest: [u8; 32],
+    /// See [`AssessmentCertificate::inputs_digest`].
+    pub inputs_digest: [u8; 32],
+    /// See [`AssessmentCertificate::safe_digest`].
+    pub safe_digest: [u8; 32],
+    /// See [`AssessmentCertificate::safe_count`].
+    pub safe_count: u64,
+    /// See [`AssessmentCertificate::evaluations`].
+    pub evaluations: u64,
+    /// See [`AssessmentCertificate::epoch`].
+    pub epoch: u64,
+    /// See [`AssessmentCertificate::roster`].
+    pub roster: Vec<u32>,
+    /// See [`AssessmentCertificate::context_digest`].
+    pub context_digest: [u8; 32],
+    /// [`Quote::to_bytes`] of the leader enclave quote.
+    pub quote: [u8; 96],
+}
+wire_struct!(WireCertificate {
+    study_digest,
+    inputs_digest,
+    safe_digest,
+    safe_count,
+    evaluations,
+    epoch,
+    roster,
+    context_digest,
+    quote
+});
+
+impl From<&AssessmentCertificate> for WireCertificate {
+    fn from(cert: &AssessmentCertificate) -> Self {
+        Self {
+            study_digest: cert.study_digest,
+            inputs_digest: cert.inputs_digest,
+            safe_digest: cert.safe_digest,
+            safe_count: cert.safe_count,
+            evaluations: cert.evaluations,
+            epoch: cert.epoch,
+            roster: cert.roster.clone(),
+            context_digest: cert.context_digest,
+            quote: cert.quote.to_bytes(),
+        }
+    }
+}
+
+impl WireCertificate {
+    /// Reconstructs the verifiable certificate.
+    #[must_use]
+    pub fn to_certificate(&self) -> AssessmentCertificate {
+        AssessmentCertificate {
+            study_digest: self.study_digest,
+            inputs_digest: self.inputs_digest,
+            safe_digest: self.safe_digest,
+            safe_count: self.safe_count,
+            evaluations: self.evaluations,
+            epoch: self.epoch,
+            roster: self.roster.clone(),
+            context_digest: self.context_digest,
+            quote: Quote::from_bytes(&self.quote),
+        }
+    }
+}
+
+/// One certified release: everything a later job (or an auditor) needs —
+/// the SNP ids, the published statistics, the certificate and the session
+/// facts it was produced under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Service-assigned job id (strictly increasing across the ledger).
+    pub job_id: u64,
+    /// How the record was produced.
+    pub kind: JobKind,
+    /// The requested study panel (SNP ids).
+    pub panel: Vec<u32>,
+    /// SNPs already public when the job ran — what its LR phase was
+    /// seeded with.
+    pub forced: Vec<u32>,
+    /// Newly released SNP ids (disjoint from `forced`).
+    pub released: Vec<u32>,
+    /// Adversary power over forced ∪ released after the job.
+    pub final_power: f64,
+    /// Detection threshold the power was held below.
+    pub final_threshold: f64,
+    /// Case minor-allele frequencies of the released SNPs — the
+    /// statistics the study may now publish.
+    pub case_freqs: Vec<f64>,
+    /// Reference frequencies of the released SNPs.
+    pub ref_freqs: Vec<f64>,
+    /// Session epoch the job completed in (batch count for dynamic jobs).
+    pub epoch: u64,
+    /// Member roster that produced the release (empty for dynamic jobs).
+    pub roster: Vec<u32>,
+    /// Per-link member traffic the job generated (empty for dynamic
+    /// jobs, which run locally).
+    pub traffic: Vec<LinkRecord>,
+    /// Enclave-signed certificate (absent for dynamic jobs).
+    pub certificate: Option<WireCertificate>,
+}
+wire_struct!(LedgerRecord {
+    job_id,
+    kind,
+    panel,
+    forced,
+    released,
+    final_power,
+    final_threshold,
+    case_freqs,
+    ref_freqs,
+    epoch,
+    roster,
+    traffic,
+    certificate
+});
+
+impl LedgerRecord {
+    /// Builds the record of a completed federated job.
+    #[must_use]
+    pub fn from_outcome(spec: &JobSpec, outcome: &JobOutcome) -> Self {
+        Self {
+            job_id: outcome.job_id,
+            kind: JobKind::Federated,
+            panel: spec.panel.iter().map(|s| s.0).collect(),
+            forced: spec.forced.iter().map(|s| s.0).collect(),
+            released: outcome.released.iter().map(|s| s.0).collect(),
+            final_power: outcome.final_power,
+            final_threshold: outcome.final_threshold,
+            case_freqs: outcome.case_freqs.clone(),
+            ref_freqs: outcome.ref_freqs.clone(),
+            epoch: outcome.epoch,
+            roster: outcome.roster.clone(),
+            traffic: outcome.traffic.iter().copied().map(Into::into).collect(),
+            certificate: Some((&outcome.certificate).into()),
+        }
+    }
+}
+
+/// The append-only on-disk log of certified releases.
+#[derive(Debug)]
+pub struct ReleaseLedger {
+    file: File,
+    path: PathBuf,
+    records: Vec<LedgerRecord>,
+    /// Bytes discarded from a torn tail by [`ReleaseLedger::open`].
+    recovered: u64,
+}
+
+impl ReleaseLedger {
+    /// Opens (creating if absent) the ledger at `path`, loads every
+    /// intact record and truncates any torn tail left by a crash
+    /// mid-append.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on filesystem failures.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut records = Vec::new();
+        let mut good = 0usize;
+        while let Some(end) = next_frame(&bytes, good) {
+            let body = &bytes[good + 4..end - CHECKSUM_LEN];
+            let claimed = &bytes[end - CHECKSUM_LEN..end];
+            if sha256::digest(body).as_slice() != claimed {
+                break;
+            }
+            match wire::from_bytes::<LedgerRecord>(body) {
+                Ok(record) => {
+                    records.push(record);
+                    good = end;
+                }
+                Err(_) => break,
+            }
+        }
+        let recovered = (bytes.len() - good) as u64;
+        if recovered > 0 {
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            file,
+            path,
+            records,
+            recovered,
+        })
+    }
+
+    /// Appends one record durably (flushed and fsynced before returning).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on write failures; the in-memory view is only
+    /// extended after the bytes are synced.
+    pub fn append(&mut self, record: LedgerRecord) -> Result<(), ServiceError> {
+        let body = wire::to_bytes(&record);
+        assert!(
+            body.len() <= MAX_FRAME_BYTES,
+            "ledger record over frame cap"
+        );
+        let mut frame = Vec::with_capacity(4 + body.len() + CHECKSUM_LEN);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&sha256::digest(&body));
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Every record, in append order.
+    #[must_use]
+    pub fn records(&self) -> &[LedgerRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no release has been certified yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bytes of torn tail discarded when the ledger was opened.
+    #[must_use]
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered
+    }
+
+    /// The ledger file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The next job id: one past the highest ever recorded, starting at 1
+    /// — stable across restarts, which keeps re-run jobs (and therefore
+    /// their certificate context digests) identical.
+    #[must_use]
+    pub fn next_job_id(&self) -> u64 {
+        self.records.iter().map(|r| r.job_id).max().unwrap_or(0) + 1
+    }
+
+    /// Sorted union of every SNP ever released — the forced seed for the
+    /// next job's LR phase.
+    #[must_use]
+    pub fn released_union(&self) -> Vec<SnpId> {
+        let mut union: Vec<SnpId> = self
+            .records
+            .iter()
+            .flat_map(|r| r.released.iter().copied().map(SnpId))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+}
+
+/// Returns the end offset of the frame starting at `start`, or `None`
+/// when the remaining bytes cannot hold one (torn tail).
+fn next_frame(bytes: &[u8], start: usize) -> Option<usize> {
+    let header = bytes.get(start..start + 4)?;
+    let len = u32::from_le_bytes(header.try_into().expect("four bytes")) as usize;
+    if len > MAX_FRAME_BYTES {
+        return None;
+    }
+    let end = start + 4 + len + CHECKSUM_LEN;
+    (end <= bytes.len()).then_some(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(job_id: u64) -> LedgerRecord {
+        LedgerRecord {
+            job_id,
+            kind: JobKind::Federated,
+            panel: (0..40).collect(),
+            forced: vec![1, 5],
+            released: vec![2, 7, 11 + job_id as u32],
+            final_power: 0.42,
+            final_threshold: 0.9,
+            case_freqs: vec![0.25, 0.5, 0.125],
+            ref_freqs: vec![0.2, 0.45, 0.1],
+            epoch: 1,
+            roster: vec![0, 1, 2],
+            traffic: vec![LinkRecord {
+                from: 0,
+                to: 1,
+                messages: 9,
+                plaintext_bytes: 1000,
+                wire_bytes: 1200,
+            }],
+            certificate: None,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gendpr-ledger-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ledger.bin")
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut ledger = ReleaseLedger::open(&path).unwrap();
+            assert!(ledger.is_empty());
+            assert_eq!(ledger.next_job_id(), 1);
+            ledger.append(sample(1)).unwrap();
+            ledger.append(sample(2)).unwrap();
+        }
+        let ledger = ReleaseLedger::open(&path).unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.recovered_bytes(), 0);
+        assert_eq!(ledger.records()[0], sample(1));
+        assert_eq!(ledger.next_job_id(), 3);
+        assert_eq!(
+            ledger.released_union(),
+            vec![SnpId(2), SnpId(7), SnpId(12), SnpId(13)]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut ledger = ReleaseLedger::open(&path).unwrap();
+            ledger.append(sample(1)).unwrap();
+            ledger.append(sample(2)).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let mut ledger = ReleaseLedger::open(&path).unwrap();
+        assert_eq!(ledger.len(), 1, "intact prefix loads");
+        assert!(ledger.recovered_bytes() > 0);
+        // The ledger is usable again: a fresh append replaces the tail.
+        ledger.append(sample(2)).unwrap();
+        drop(ledger);
+        assert_eq!(ReleaseLedger::open(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_is_dropped() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut ledger = ReleaseLedger::open(&path).unwrap();
+            ledger.append(sample(1)).unwrap();
+            ledger.append(sample(2)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a checksum byte of the final record
+        std::fs::write(&path, &bytes).unwrap();
+        let ledger = ReleaseLedger::open(&path).unwrap();
+        assert_eq!(ledger.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! The GenDPR assessment service: the long-running serving layer on top
+//! of the one-shot federation pipeline.
+//!
+//! The paper's protocol certifies a single release and exits. Real
+//! deployments answer a *stream* of study requests whose releases are
+//! interdependent — published statistics are irreversible, so every
+//! later release must be certified against everything already public
+//! (cf. I-GWAS and DyPS). This crate keeps the federation up between
+//! jobs and keeps the cumulative release on disk:
+//!
+//! * [`ledger`] — the append-only, checksummed release ledger: every
+//!   certified release (SNP ids, statistics, certificate, epoch/roster),
+//!   durable across restarts, seeding each new job's LR phase,
+//! * [`daemon`] — the `gendpr serve` core: FIFO job queue, scheduler
+//!   over a [`gendpr_core::serving::ServiceFederation`], dynamic batch
+//!   jobs via [`gendpr_core::dynamic::DynamicAssessor`], client accept
+//!   loop, graceful signal shutdown,
+//! * [`protocol`] — the length-prefixed client request/response codec
+//!   (`submit` / `status` / `results` / shutdown),
+//! * [`client`] — the client used by the `gendpr submit`, `status` and
+//!   `results` subcommands,
+//! * [`signals`] — SIGTERM/SIGINT latching (pure std),
+//! * [`error`] — the service error type.
+
+pub mod client;
+pub mod daemon;
+pub mod error;
+pub mod ledger;
+pub mod protocol;
+pub mod signals;
+
+pub use client::ServiceClient;
+pub use daemon::AssessmentService;
+pub use error::ServiceError;
+pub use ledger::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger, WireCertificate};
+pub use protocol::{ClientRequest, ClientResponse, ServiceStatus};

@@ -1,0 +1,82 @@
+//! Minimal SIGTERM/SIGINT latching without any non-std dependency.
+//!
+//! The daemon cannot be torn down mid-job by a signal: an in-flight
+//! assessment holds attested channels to every member, and an abrupt exit
+//! would leave the peers timing out and the ledger without the job's
+//! record. Instead the handlers only set a process-wide flag; the serve
+//! loop polls [`requested`] between jobs (and between queue waits),
+//! finishes what it is doing, flushes the ledger and exits with the
+//! dedicated [`gendpr_core::error::ProtocolError::Interrupted`] code.
+//!
+//! Implemented directly over `signal(2)` — the handler body is a single
+//! atomic store, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn latch(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = latch as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal story off Unix; the flag can still be set via
+    /// [`super::request`] (e.g. from a ctrl-c handler the embedder owns).
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// True once a shutdown signal has been received (or [`request`]ed).
+#[must_use]
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag programmatically — same effect as a signal.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag. For tests and long-lived embedders only; a daemon
+/// that observed the flag must exit, not reset it.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_latches_and_resets() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

@@ -144,8 +144,11 @@ impl Handshake {
         Ok(SecureChannel {
             send: ChaCha20Poly1305::new(&send_key),
             recv: ChaCha20Poly1305::new(&recv_key),
+            send_key,
+            recv_key,
             send_seq: 0,
             recv_seq: 0,
+            generation: 0,
         })
     }
 }
@@ -157,8 +160,11 @@ impl Handshake {
 pub struct SecureChannel {
     send: ChaCha20Poly1305,
     recv: ChaCha20Poly1305,
+    send_key: [u8; 32],
+    recv_key: [u8; 32],
     send_seq: u64,
     recv_seq: u64,
+    generation: u64,
 }
 
 impl std::fmt::Debug for SecureChannel {
@@ -166,6 +172,7 @@ impl std::fmt::Debug for SecureChannel {
         f.debug_struct("SecureChannel")
             .field("send_seq", &self.send_seq)
             .field("recv_seq", &self.recv_seq)
+            .field("generation", &self.generation)
             .finish_non_exhaustive()
     }
 }
@@ -202,6 +209,37 @@ impl SecureChannel {
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
         self.send_seq
+    }
+
+    /// Rekey generations performed so far.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Ratchets both direction keys forward with HKDF and resets the
+    /// sequence numbers. A long-lived session (the assessment service
+    /// keeps channels open across jobs) calls this at a deterministic
+    /// protocol point — both ends must ratchet together, at the same
+    /// boundary — giving per-job forward secrecy: compromising the current
+    /// keys reveals nothing about traffic from completed jobs, and the
+    /// nonce space never comes close to exhaustion however many jobs the
+    /// federation serves.
+    pub fn rekey(&mut self) {
+        self.generation += 1;
+        let ratchet = |key: &mut [u8; 32], generation: u64| {
+            let mut info = Vec::with_capacity(24 + 8);
+            info.extend_from_slice(b"gendpr/session/rekey/v1\0");
+            info.extend_from_slice(&generation.to_le_bytes());
+            let old = *key;
+            hkdf::derive(b"gendpr/rekey", &old, &info, key);
+        };
+        ratchet(&mut self.send_key, self.generation);
+        ratchet(&mut self.recv_key, self.generation);
+        self.send = ChaCha20Poly1305::new(&self.send_key);
+        self.recv = ChaCha20Poly1305::new(&self.recv_key);
+        self.send_seq = 0;
+        self.recv_seq = 0;
     }
 }
 
@@ -332,6 +370,50 @@ mod tests {
         let ha = Handshake::start(&s.a, &mut s.rng);
         let m = ha.message().clone();
         assert_eq!(HandshakeMessage::from_bytes(&m.to_bytes()), m);
+    }
+
+    #[test]
+    fn rekeyed_channels_interoperate() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let ct = ca.send(b"job 0 traffic", b"");
+        assert_eq!(cb.recv(&ct, b"").unwrap(), b"job 0 traffic");
+        ca.rekey();
+        cb.rekey();
+        assert_eq!(ca.generation(), 1);
+        assert_eq!(cb.generation(), 1);
+        // Sequence numbers restart under the new keys, both directions.
+        assert_eq!(ca.messages_sent(), 0);
+        let ct = ca.send(b"job 1 traffic", b"aad");
+        assert_eq!(cb.recv(&ct, b"aad").unwrap(), b"job 1 traffic");
+        let ct = cb.send(b"reply", b"");
+        assert_eq!(ca.recv(&ct, b"").unwrap(), b"reply");
+    }
+
+    #[test]
+    fn rekey_invalidates_old_keys() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        let stale = ca.send(b"captured before ratchet", b"");
+        ca.rekey();
+        cb.rekey();
+        // A ciphertext from the previous generation no longer decrypts,
+        // even though its sequence number (0) matches the reset counter.
+        assert_eq!(cb.recv(&stale, b""), Err(TeeError::ChannelMessageRejected));
+    }
+
+    #[test]
+    fn rekey_must_be_synchronized() {
+        let mut s = setup("gendpr", "gendpr");
+        let (mut ca, mut cb) = establish(&mut s);
+        ca.rekey();
+        let ct = ca.send(b"one side ratcheted", b"");
+        assert_eq!(cb.recv(&ct, b""), Err(TeeError::ChannelMessageRejected));
+        cb.rekey();
+        // The reverse direction was never used, so once both sides have
+        // ratcheted it lines up from sequence zero.
+        let ct = cb.send(b"now aligned", b"");
+        assert_eq!(ca.recv(&ct, b"").unwrap(), b"now aligned");
     }
 
     #[test]

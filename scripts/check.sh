@@ -16,4 +16,7 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+echo "==> service smoke test"
+scripts/service_smoke.sh
+
 echo "All checks passed."

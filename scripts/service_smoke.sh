@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Service smoke test: a live `gendpr serve` federation certifies two
+# overlapping studies, the second seeded with the first's ledger entries,
+# across a daemon kill/restart — and the restarted second certificate is
+# identical to the one a never-restarted daemon produces.
+# Usage: scripts/service_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/gendpr
+cargo build --release -q
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/gendpr-smoke.XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$BIN" synth --snps 60 --cases 40 --reference 40 --seed 2 --out "$DIR/data"
+
+serve() { # $1 = ledger file
+  "$BIN" serve --gdos 2 \
+    --case "$DIR/data/case.vcf" --reference "$DIR/data/reference.vcf" \
+    --ledger "$1" --listen "$ADDR" --timeout 60 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    if "$BIN" status --addr "$ADDR" >/dev/null 2>&1; then return; fi
+    sleep 0.2
+  done
+  echo "error: daemon at $ADDR never came up" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$BIN" stop --addr "$ADDR" >/dev/null
+  wait "$SERVE_PID" # clean shutdown: exit code 0
+  SERVE_PID=""
+}
+
+fingerprint() { grep 'assessment certificate' | awk '{print $3}'; }
+
+echo "==> restarted run: job 1, daemon restart, job 2 over the same ledger"
+ADDR="127.0.0.1:$((7500 + RANDOM % 2000))"
+serve "$DIR/ledger.bin"
+JOB1=$("$BIN" submit --addr "$ADDR" --snps 0-39)
+grep -q 'seeded with 0 prior' <<<"$JOB1" # fresh ledger: nothing to charge
+stop_daemon
+
+serve "$DIR/ledger.bin" # the restart reloads the release ledger
+JOB2=$("$BIN" submit --addr "$ADDR" --snps 20-59)
+if grep -q 'seeded with 0 prior' <<<"$JOB2"; then
+  echo "error: job 2 was not charged with job 1's release" >&2
+  echo "$JOB2" >&2
+  exit 1
+fi
+grep -q 'seeded with' <<<"$JOB2"
+"$BIN" status --addr "$ADDR" | grep -q 'link' # per-link traffic is reported
+FP_RESTARTED=$(fingerprint <<<"$JOB2")
+stop_daemon
+
+echo "==> continuous run: both jobs against one daemon"
+ADDR="127.0.0.1:$((7500 + RANDOM % 2000))"
+serve "$DIR/ledger-continuous.bin"
+"$BIN" submit --addr "$ADDR" --snps 0-39 >/dev/null
+FP_CONTINUOUS=$("$BIN" submit --addr "$ADDR" --snps 20-59 | fingerprint)
+stop_daemon
+
+[ -n "$FP_RESTARTED" ]
+if [ "$FP_RESTARTED" != "$FP_CONTINUOUS" ]; then
+  echo "error: certificate changed across the restart:" >&2
+  echo "  restarted:  $FP_RESTARTED" >&2
+  echo "  continuous: $FP_CONTINUOUS" >&2
+  exit 1
+fi
+echo "service smoke test passed (second certificate $FP_RESTARTED)"

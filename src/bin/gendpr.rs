@@ -21,15 +21,20 @@
 
 use gendpr::core::attack::{AttackStatistic, MembershipAttacker};
 use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::dynamic::DynamicAssessor;
 use gendpr::core::error::ProtocolError;
 use gendpr::core::release::GwasRelease;
 use gendpr::core::runtime::{run_federation_with, run_member, RecoveryOptions, RuntimeOptions};
+use gendpr::core::serving::ServiceFederation;
 use gendpr::fednet::fault::{ChaosFaults, FaultPlan};
-use gendpr::fednet::tcp::{TcpOptions, TcpTransport};
+use gendpr::fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
 use gendpr::fednet::transport::{PeerId, Transport};
 use gendpr::genomics::cohort::Cohort;
 use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::genomics::vcf;
+use gendpr::service::daemon::AssessmentService;
+use gendpr::service::ledger::{LedgerRecord, ReleaseLedger};
+use gendpr::service::{signals, ServiceClient, ServiceError};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -59,6 +64,7 @@ const ASSESS_FLAGS: &[&str] = &[
     "max-epochs",
     "heartbeat-ms",
     "threads",
+    "batches",
 ];
 const ASSESS_BOOLS: &[&str] = &["distributed"];
 const NODE_FLAGS: &[&str] = &[
@@ -84,6 +90,31 @@ const NODE_FLAGS: &[&str] = &[
     "chaos",
 ];
 const ATTACK_FLAGS: &[&str] = &["release", "victims", "reference", "fpr", "key"];
+const SERVE_FLAGS: &[&str] = &[
+    "case",
+    "reference",
+    "gdos",
+    "collusion",
+    "seed",
+    "maf",
+    "ld",
+    "fpr",
+    "power",
+    "key",
+    "timeout",
+    "threads",
+    "ledger",
+    "listen",
+];
+const SERVE_BOOLS: &[&str] = &["tcp"];
+const SUBMIT_FLAGS: &[&str] = &["addr", "snps", "batches"];
+const SUBMIT_BOOLS: &[&str] = &["no-wait"];
+const STATUS_FLAGS: &[&str] = &["addr"];
+const RESULTS_FLAGS: &[&str] = &["addr", "job"];
+const STOP_FLAGS: &[&str] = &["addr"];
+
+/// Default client-protocol address of `gendpr serve`.
+const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:7450";
 
 /// Exit code for a protocol failure, so scripts (and the `assess
 /// --distributed` parent) can distinguish the interesting outcomes:
@@ -94,6 +125,9 @@ const EXIT_QUORUM_LOST: u8 = 3;
 const EXIT_UNRESPONSIVE: u8 = 4;
 const EXIT_SECURITY: u8 = 5;
 const EXIT_EVICTED: u8 = 6;
+/// Graceful exit after SIGTERM/SIGINT: the in-flight work was finished or
+/// aborted cleanly and (for `serve`) the ledger flushed.
+const EXIT_INTERRUPTED: u8 = 7;
 
 fn exit_code_for(err: &ProtocolError) -> u8 {
     match err {
@@ -101,6 +135,7 @@ fn exit_code_for(err: &ProtocolError) -> u8 {
         ProtocolError::MemberUnresponsive { .. } => EXIT_UNRESPONSIVE,
         ProtocolError::SecurityFailure { .. } => EXIT_SECURITY,
         ProtocolError::Evicted { .. } => EXIT_EVICTED,
+        ProtocolError::Interrupted => EXIT_INTERRUPTED,
         _ => 1,
     }
 }
@@ -124,6 +159,13 @@ fn protocol_error(err: ProtocolError) -> CliError {
     }
 }
 
+fn service_error(err: ServiceError) -> CliError {
+    CliError {
+        code: err.as_protocol().map_or(1, exit_code_for),
+        message: err.to_string(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -143,6 +185,21 @@ fn main() -> ExitCode {
         Some("attack") => parse_flags(&args[1..], ATTACK_FLAGS, &[])
             .map_err(CliError::from)
             .and_then(|f| cmd_attack(&f)),
+        Some("serve") => parse_flags(&args[1..], SERVE_FLAGS, SERVE_BOOLS)
+            .map_err(CliError::from)
+            .and_then(|f| cmd_serve(&f)),
+        Some("submit") => parse_flags(&args[1..], SUBMIT_FLAGS, SUBMIT_BOOLS)
+            .map_err(CliError::from)
+            .and_then(|f| cmd_submit(&f)),
+        Some("status") => parse_flags(&args[1..], STATUS_FLAGS, &[])
+            .map_err(CliError::from)
+            .and_then(|f| cmd_status(&f)),
+        Some("results") => parse_flags(&args[1..], RESULTS_FLAGS, &[])
+            .map_err(CliError::from)
+            .and_then(|f| cmd_results(&f)),
+        Some("stop") => parse_flags(&args[1..], STOP_FLAGS, &[])
+            .map_err(CliError::from)
+            .and_then(|f| cmd_stop(&f)),
         None => {
             print_usage();
             Ok(())
@@ -173,18 +230,38 @@ gendpr node   --id K --peers HOST:PORT,... --case FILE --reference FILE\n       
 [--maf F] [--ld F] [--fpr F] [--power F] [--out FILE] [--key HEX]\n                \
 [--timeout SECS] [--max-epochs N] [--min-quorum N]\n                \
 [--heartbeat-ms MS] [--threads N] [--chaos SEED]\n  \
-gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n\n\
+gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n  \
+gendpr serve  --case FILE --reference FILE --ledger FILE [--gdos N] [--tcp]\n                \
+[--listen ADDR] [--collusion f|all] [--seed N] [--maf F] [--ld F]\n                \
+[--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n  \
+gendpr submit [--addr HOST:PORT] [--snps all|A-B|A,B,...] [--batches N] [--no-wait]\n  \
+gendpr status [--addr HOST:PORT]\n  \
+gendpr results --job ID [--addr HOST:PORT]\n  \
+gendpr stop   [--addr HOST:PORT]\n\n\
 `assess --distributed` spawns one `gendpr node` process per GDO on free\n\
 localhost ports and runs the protocol over real TCP sockets; `node` runs a\n\
 single member against an explicit peer roster (same seed + study files on\n\
-every host ⇒ same federation, bit-identical release).\n\n\
+every host ⇒ same federation, bit-identical release). `assess --batches N`\n\
+runs the dynamic assessor instead: the case cohort arrives in N batches and\n\
+every epoch re-certifies the cumulative (irreversible) release.\n\n\
+SERVICE:\n  `serve` keeps the federation attested across a stream of jobs (default\n  \
+client address 127.0.0.1:7450; --tcp runs the members over loopback\n  \
+sockets instead of the in-memory fabric — certificates are byte-identical\n  \
+either way). Every certified release is appended to the checksummed\n  \
+--ledger file and seeds the LR phase of all later jobs, so the certified\n  \
+adversary power always covers the cumulative release — across jobs and\n  \
+across daemon restarts. `submit` queues a job (blocking until certified\n  \
+unless --no-wait); `--batches N` routes it through the dynamic assessor.\n  \
+`status` shows queue depth and cumulative per-link traffic; `results`\n  \
+fetches a job's ledger record; `stop` shuts the daemon down cleanly.\n\n\
 FAULT TOLERANCE:\n  --max-epochs N    survive member crashes via up to N-1 view changes\n                    \
 (default 1: abort on the first silent member)\n  --min-quorum N    smallest surviving roster \
 allowed to re-form\n                    (default G−f from the collusion mode)\n  \
 --heartbeat-ms MS failure-detector probe interval (default timeout/3)\n  \
 --chaos SEED      node only: seeded duplicate/reorder link faults\n\nEXIT CODES:\n  \
 0 success · 1 generic error · 3 quorum lost · 4 member unresponsive\n  \
-5 attestation/channel security failure · 6 evicted from the roster"
+5 attestation/channel security failure · 6 evicted from the roster\n  \
+7 interrupted by SIGTERM/SIGINT (in-flight work finished, ledger flushed)"
     );
 }
 
@@ -414,7 +491,16 @@ fn release_for(cohort: &Cohort, safe_snps: &[gendpr::genomics::snp::SnpId]) -> G
 
 fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), CliError> {
     if flags.contains_key("distributed") {
+        if flags.contains_key("batches") {
+            return Err(CliError::from(
+                "--batches runs locally; drop --distributed".to_string(),
+            ));
+        }
         return cmd_assess_distributed(flags);
+    }
+    let batches: u32 = flag(flags, "batches", 0)?;
+    if batches > 0 {
+        return cmd_assess_dynamic(flags, batches);
     }
     let cohort = load_cohort(flags)?;
     let gdos: usize = flag(flags, "gdos", 3)?;
@@ -612,11 +698,36 @@ fn resolve_addr(spec: &str) -> Result<SocketAddr, String> {
 
 /// `gendpr node`: run one federation member over real TCP sockets.
 ///
+/// The member work runs on a worker thread while the main thread watches
+/// for SIGTERM/SIGINT: a signal aborts the in-flight protocol run (the
+/// peers see a silent member and time out or re-form, exactly as for a
+/// crash) and exits with the dedicated code 7.
+fn cmd_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    signals::install();
+    let worker_flags = flags.clone();
+    let worker = std::thread::Builder::new()
+        .name("gendpr-member".into())
+        .spawn(move || run_node(&worker_flags))
+        .map_err(|e| format!("spawning the member thread: {e}"))?;
+    loop {
+        if worker.is_finished() {
+            return worker.join().expect("member thread");
+        }
+        if signals::requested() {
+            eprintln!("shutdown signal received; aborting the member");
+            return Err(protocol_error(ProtocolError::Interrupted));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The member body of `gendpr node` (see [`cmd_node`]).
+///
 /// Every node loads the same signed study files and derives its shard
 /// (slice `--id` of the case cohort split `--gdos` ways) and all secret
 /// material from `--seed`, so a roster of independently started processes
 /// reconstructs exactly the federation `gendpr assess` runs in-process.
-fn cmd_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn run_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let id: usize = required(flags, "id")?
         .parse()
         .map_err(|_| "--id: expected a member index".to_string())?;
@@ -731,6 +842,271 @@ fn cmd_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
         std::fs::write(out, release.to_tsv()).map_err(|e| format!("writing {out}: {e}"))?;
         println!("release written to {out} ({} SNPs)", release.len());
     }
+    Ok(())
+}
+
+/// `assess --batches N`: the dynamic setting — case genomes arrive in N
+/// batches, every epoch re-screens the cumulative data and certifies the
+/// cumulative (irreversible) release via the seeded LR search.
+fn cmd_assess_dynamic(flags: &HashMap<String, String>, batches: u32) -> Result<(), CliError> {
+    let cohort = load_cohort(flags)?;
+    let params = params_from_flags(flags)?;
+    let genomes = cohort.case_individuals();
+    if batches as usize > genomes {
+        return Err(CliError::from(format!(
+            "--batches {batches} exceeds the {genomes} case genomes"
+        )));
+    }
+    println!(
+        "dynamic assessment: {} SNPs, {genomes} case genomes arriving in {batches} batches…",
+        cohort.panel().len()
+    );
+    let mut assessor =
+        DynamicAssessor::new(params, cohort.reference().clone()).map_err(protocol_error)?;
+    let base = genomes / batches as usize;
+    let extra = genomes % batches as usize;
+    let mut start = 0;
+    for i in 0..batches as usize {
+        let len = base + usize::from(i < extra);
+        let report = assessor
+            .add_batch(&cohort.case().row_range(start, len))
+            .map_err(protocol_error)?;
+        start += len;
+        println!(
+            "epoch {}: {} genomes seen, +{} SNPs released (cumulative {}), regret {}",
+            report.epoch,
+            report.total_genomes,
+            report.newly_released.len(),
+            report.total_released,
+            report.regret.len()
+        );
+    }
+    let release = release_for(&cohort, assessor.released());
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, release.to_tsv()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("release written to {out} ({} SNPs)", release.len());
+    } else {
+        println!(
+            "cumulative release: {} SNPs (pass --out FILE to save it)",
+            release.len()
+        );
+    }
+    Ok(())
+}
+
+/// `gendpr serve`: keep the federation attested and serve a stream of
+/// assessment jobs, certifying each against the ledger's cumulative
+/// release.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    signals::install();
+    let cohort = load_cohort(flags)?;
+    let gdos: usize = flag(flags, "gdos", 3)?;
+    let params = params_from_flags(flags)?;
+    let config = config_from_flags(flags, gdos)?;
+    let timeout: u64 = flag(flags, "timeout", 3_600)?;
+    let ledger_path = required(flags, "ledger")?.to_string();
+
+    let ledger = ReleaseLedger::open(&ledger_path).map_err(service_error)?;
+    if ledger.recovered_bytes() > 0 {
+        println!(
+            "ledger: recovered from a torn write ({} trailing bytes dropped)",
+            ledger.recovered_bytes()
+        );
+    }
+    println!(
+        "ledger {}: {} records, {} SNPs already released",
+        ledger_path,
+        ledger.len(),
+        ledger.released_union().len()
+    );
+
+    let options = RuntimeOptions {
+        timeout: Duration::from_secs(timeout),
+        compact_lr: true,
+        prefetch_ld: true,
+        recovery: RecoveryOptions::default(),
+        threads: threads_from_flags(flags)?,
+    };
+    let federation = if flags.contains_key("tcp") {
+        let (roster, listeners) = ephemeral_listeners(gdos)
+            .map_err(|e| format!("binding member loopback listeners: {e}"))?;
+        let mut transports = Vec::with_capacity(gdos);
+        for (id, listener) in listeners.into_iter().enumerate() {
+            transports.push(
+                TcpTransport::from_listener(
+                    PeerId(id as u32),
+                    listener,
+                    &roster,
+                    TcpOptions::default(),
+                )
+                .map_err(|e| format!("member {id} transport: {e}"))?,
+            );
+        }
+        ServiceFederation::start_over(transports, config, params, &cohort, options)
+    } else {
+        ServiceFederation::start_in_memory(config, params, &cohort, options)
+    }
+    .map_err(protocol_error)?;
+    println!(
+        "federation up: {gdos} members over {} transport, leader GDO {}",
+        if flags.contains_key("tcp") {
+            "loopback TCP"
+        } else {
+            "in-memory"
+        },
+        federation.leader()
+    );
+
+    let listen = match flags.get("listen") {
+        Some(spec) => resolve_addr(spec)?,
+        None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
+    };
+    let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let service = AssessmentService::start(federation, ledger, &cohort, params, listener)
+        .map_err(service_error)?;
+    println!(
+        "serving on {} — submit jobs with `gendpr submit --addr {}`",
+        service.client_addr(),
+        service.client_addr()
+    );
+    service.run().map_err(service_error)?;
+    println!("service stopped cleanly");
+    Ok(())
+}
+
+fn service_client(flags: &HashMap<String, String>) -> Result<ServiceClient, CliError> {
+    let addr = match flags.get("addr") {
+        Some(spec) => resolve_addr(spec)?,
+        None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
+    };
+    Ok(ServiceClient::new(addr))
+}
+
+/// Parses `--snps`: `all` (the daemon's full panel), an inclusive range
+/// `A-B`, or a comma-separated id list.
+fn parse_snp_spec(spec: &str, panel_len: u64) -> Result<Vec<u32>, String> {
+    if spec == "all" {
+        return Ok(
+            (0..u32::try_from(panel_len).map_err(|_| "panel too wide".to_string())?).collect(),
+        );
+    }
+    let parse = |s: &str| -> Result<u32, String> {
+        s.trim()
+            .parse()
+            .map_err(|_| format!("--snps: {s:?} is not a SNP id"))
+    };
+    if let Some((a, b)) = spec.split_once('-') {
+        let (a, b) = (parse(a)?, parse(b)?);
+        if a > b {
+            return Err(format!("--snps: empty range {a}-{b}"));
+        }
+        return Ok((a..=b).collect());
+    }
+    spec.split(',').map(parse).collect()
+}
+
+fn print_record(record: &LedgerRecord) {
+    println!(
+        "job {} ({:?}): released {} of {} requested SNPs (seeded with {} prior)",
+        record.job_id,
+        record.kind,
+        record.released.len(),
+        record.panel.len(),
+        record.forced.len()
+    );
+    println!(
+        "cumulative adversary power {:.4} < threshold {:.4}",
+        record.final_power, record.final_threshold
+    );
+    if let Some(cert) = &record.certificate {
+        println!(
+            "assessment certificate: {} (epoch {}, roster {:?})",
+            cert.to_certificate().fingerprint(),
+            record.epoch,
+            record.roster
+        );
+    }
+    if !record.traffic.is_empty() {
+        let wire: u64 = record.traffic.iter().map(|l| l.wire_bytes).sum();
+        let messages: u64 = record.traffic.iter().map(|l| l.messages).sum();
+        println!("job traffic: {messages} messages, {wire} bytes on the wire");
+    }
+    let preview: Vec<u32> = record.released.iter().copied().take(8).collect();
+    println!(
+        "released ids: {preview:?}{}",
+        if record.released.len() > preview.len() {
+            " …"
+        } else {
+            ""
+        }
+    );
+}
+
+/// `gendpr submit`: queue one job on a running daemon.
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let client = service_client(flags)?;
+    let batches: u32 = flag(flags, "batches", 0)?;
+    let spec = flags.get("snps").map_or("all", String::as_str);
+    let status = client
+        .status()
+        .map_err(|e| format!("reaching the daemon: {e}"))?;
+    let panel = parse_snp_spec(spec, status.panel_len)?;
+    if flags.contains_key("no-wait") {
+        let job_id = client.submit(panel, batches).map_err(|e| e.to_string())?;
+        println!("job {job_id} queued; fetch it later with `gendpr results --job {job_id}`");
+    } else {
+        let record = client
+            .submit_and_wait(panel, batches)
+            .map_err(|e| e.to_string())?;
+        print_record(&record);
+    }
+    Ok(())
+}
+
+/// `gendpr status`: the daemon's snapshot, including cumulative per-link
+/// member traffic.
+fn cmd_status(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let status = service_client(flags)?
+        .status()
+        .map_err(|e| format!("reaching the daemon: {e}"))?;
+    println!(
+        "federation: {} GDOs, leader GDO {}, panel width {}",
+        status.gdos, status.leader, status.panel_len
+    );
+    println!(
+        "jobs: {} done, {} queued | cumulative release: {} SNPs",
+        status.jobs_done, status.jobs_queued, status.released_total
+    );
+    for link in &status.links {
+        println!(
+            "link {} → {}: {} messages, {} wire bytes ({} plaintext)",
+            link.from, link.to, link.messages, link.wire_bytes, link.plaintext_bytes
+        );
+    }
+    Ok(())
+}
+
+/// `gendpr results`: fetch one finished job's ledger record.
+fn cmd_results(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let job_id: u64 = required(flags, "job")?
+        .parse()
+        .map_err(|_| "--job: expected a job id".to_string())?;
+    match service_client(flags)?
+        .results(job_id)
+        .map_err(|e| format!("reaching the daemon: {e}"))?
+    {
+        Some(record) => print_record(&record),
+        None => println!("no record for job {job_id} (still queued, running, or never existed)"),
+    }
+    Ok(())
+}
+
+/// `gendpr stop`: ask the daemon to finish the in-flight job and exit.
+fn cmd_stop(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    service_client(flags)?
+        .shutdown()
+        .map_err(|e| format!("reaching the daemon: {e}"))?;
+    println!("shutdown requested; the daemon exits after the in-flight job");
     Ok(())
 }
 

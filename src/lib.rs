@@ -11,7 +11,9 @@
 //! * [`crypto`] — from-scratch primitives (SHA-256, ChaCha20-Poly1305, X25519…),
 //! * [`tee`] — the simulated trusted-execution substrate,
 //! * [`fednet`] — the federation transport, wire codec and traffic metrics,
-//! * [`core`] — the GenDPR protocol, baselines, collusion tolerance, attacks.
+//! * [`core`] — the GenDPR protocol, baselines, collusion tolerance, attacks,
+//! * [`service`] — the serving layer: long-running assessment daemon, release
+//!   ledger, client protocol.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -44,5 +46,6 @@ pub use gendpr_core as core;
 pub use gendpr_crypto as crypto;
 pub use gendpr_fednet as fednet;
 pub use gendpr_genomics as genomics;
+pub use gendpr_service as service;
 pub use gendpr_stats as stats;
 pub use gendpr_tee as tee;

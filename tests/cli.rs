@@ -417,6 +417,200 @@ fn chaos_node_produces_the_same_release() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Polls `gendpr status` until the daemon at `addr` answers (or panics
+/// after ~20 s — long enough for the attestation handshake on a loaded
+/// test machine).
+fn wait_for_daemon(addr: &str) {
+    for _ in 0..100 {
+        let probe = bin()
+            .args(["status", "--addr", addr])
+            .output()
+            .expect("status runs");
+        if probe.status.success() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    panic!("daemon at {addr} never came up");
+}
+
+#[cfg(unix)]
+fn terminate(pid: u32) {
+    let ok = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(ok.success(), "kill -TERM {pid} failed");
+}
+
+#[test]
+fn serve_submit_status_stop_lifecycle() {
+    let dir = temp_dir("serve");
+    synth_into(&dir);
+    let addr = free_peer_roster(1);
+    let daemon = bin()
+        .args(["serve", "--gdos", "2", "--ledger"])
+        .arg(dir.join("ledger.bin"))
+        .arg("--case")
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--listen", &addr, "--timeout", "60"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    wait_for_daemon(&addr);
+
+    // Job 1 over a fresh ledger is seeded with nothing.
+    let first = bin()
+        .args(["submit", "--addr", &addr, "--snps", "0-29"])
+        .output()
+        .expect("submit runs");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("job 1"), "{stdout}");
+    assert!(stdout.contains("seeded with 0 prior"), "{stdout}");
+    assert!(stdout.contains("assessment certificate"), "{stdout}");
+
+    // Job 2 overlaps job 1's panel: its LR phase must be charged with the
+    // SNPs the ledger already released.
+    let second = bin()
+        .args(["submit", "--addr", &addr, "--snps", "10-49"])
+        .output()
+        .expect("submit runs");
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("job 2"), "{stdout}");
+    assert!(stdout.contains("seeded with"), "{stdout}");
+    assert!(
+        !stdout.contains("seeded with 0 prior"),
+        "job 2 must be seeded with job 1's release: {stdout}"
+    );
+
+    let status = bin()
+        .args(["status", "--addr", &addr])
+        .output()
+        .expect("status runs");
+    assert!(status.status.success());
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("jobs: 2 done, 0 queued"), "{stdout}");
+    assert!(stdout.contains("link"), "per-link traffic: {stdout}");
+
+    let results = bin()
+        .args(["results", "--job", "1", "--addr", &addr])
+        .output()
+        .expect("results runs");
+    assert!(results.status.success());
+    assert!(String::from_utf8_lossy(&results.stdout).contains("job 1"));
+
+    let stop = bin()
+        .args(["stop", "--addr", &addr])
+        .output()
+        .expect("stop runs");
+    assert!(
+        stop.status.success(),
+        "{}",
+        String::from_utf8_lossy(&stop.stderr)
+    );
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("service stopped cleanly"), "{stdout}");
+    assert!(dir.join("ledger.bin").exists(), "ledger was persisted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_exits_node_with_interrupted_code() {
+    let dir = temp_dir("sigterm-node");
+    synth_into(&dir);
+    // A member waiting (with a long budget) for two peers that never
+    // come: SIGTERM must abort it with the dedicated exit code 7, not a
+    // generic failure or a raw signal death.
+    let node = bin()
+        .args(["node", "--id", "0", "--peers", &free_peer_roster(3)])
+        .arg("--case")
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--timeout", "60"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("node spawns");
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    terminate(node.id());
+    let out = node.wait_with_output().expect("node exits");
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("shutdown signal"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_exits_serve_with_interrupted_code_and_flushes_the_ledger() {
+    let dir = temp_dir("sigterm-serve");
+    synth_into(&dir);
+    let addr = free_peer_roster(1);
+    let daemon = bin()
+        .args(["serve", "--gdos", "2", "--ledger"])
+        .arg(dir.join("ledger.bin"))
+        .arg("--case")
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--listen", &addr, "--timeout", "60"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    wait_for_daemon(&addr);
+
+    // One certified job, then SIGTERM: the daemon finishes cleanly with
+    // the interrupted code and the job's record survives on disk.
+    let job = bin()
+        .args(["submit", "--addr", &addr, "--snps", "0-19"])
+        .output()
+        .expect("submit runs");
+    assert!(
+        job.status.success(),
+        "{}",
+        String::from_utf8_lossy(&job.stderr)
+    );
+    terminate(daemon.id());
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        std::fs::metadata(dir.join("ledger.bin")).unwrap().len() > 0,
+        "the certified job was flushed to the ledger before exit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn distributed_assess_matches_in_process_release() {
     let dir = temp_dir("distributed");

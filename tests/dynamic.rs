@@ -1,0 +1,189 @@
+//! Integration tests of the dynamic (batched-arrival) assessment path:
+//! irreversibility regret, seeded-LR cumulative certification, and the
+//! `gendpr assess --batches N` CLI wiring.
+
+use gendpr::core::attack::{MembershipAttacker, ReleasedStatistics};
+use gendpr::core::config::GwasParams;
+use gendpr::core::dynamic::DynamicAssessor;
+use gendpr::genomics::snp::SnpId;
+use gendpr::genomics::synth::SyntheticCohort;
+use gendpr::stats::maf::passes_maf;
+use std::process::Command;
+
+fn study(seed: u64) -> (SyntheticCohort, GwasParams) {
+    let cohort = SyntheticCohort::builder()
+        .snps(150)
+        .case_individuals(400)
+        .reference_individuals(300)
+        .seed(seed)
+        .drift(0.08)
+        .build();
+    let mut params = GwasParams::secure_genome_defaults();
+    params.lr.power_threshold = 0.7;
+    (cohort, params)
+}
+
+#[test]
+fn seeded_assessor_matches_continuous_operation() {
+    // A: two batches, continuously.
+    let (cohort, params) = study(11);
+    let mut continuous = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+    let first = cohort.case().row_range(0, 200);
+    let second = cohort.case().row_range(200, 200);
+    let after_first = continuous.add_batch(&first).unwrap();
+    continuous.add_batch(&second).unwrap();
+
+    // B: a fresh assessor (a restarted service) seeded with A's release
+    // after batch one — exactly what the ledger replays — then handed the
+    // same cumulative data in one batch.
+    let mut restarted = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+    restarted
+        .seed_released(&after_first.newly_released)
+        .unwrap();
+    restarted
+        .add_batch(&cohort.case().row_range(0, 400))
+        .unwrap();
+
+    assert_eq!(
+        restarted.released(),
+        continuous.released(),
+        "ledger-style seeding reproduces the continuous release"
+    );
+}
+
+#[test]
+fn cumulative_release_from_seeded_lr_stays_attack_safe() {
+    let (cohort, params) = study(12);
+
+    // Job 1: first wave of genomes.
+    let mut first_job = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+    first_job
+        .add_batch(&cohort.case().row_range(0, 250))
+        .unwrap();
+    let first_release = first_job.released().to_vec();
+    assert!(!first_release.is_empty(), "job 1 releases something");
+
+    // Job 2: a later study over the full cohort, seeded with job 1's
+    // (irreversible) release.
+    let mut second_job = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+    second_job.seed_released(&first_release).unwrap();
+    second_job.add_batch(cohort.case()).unwrap();
+    let cumulative = second_job.released().to_vec();
+    assert!(
+        cumulative.len() >= first_release.len(),
+        "the seed is never retracted"
+    );
+
+    // The certified claim: an LR membership adversary holding the WHOLE
+    // cumulative release gains at most threshold power.
+    let counts = cohort.case().column_counts();
+    let rc = cohort.reference().column_counts();
+    let n = cohort.case().individuals() as f64;
+    let nr = cohort.reference().individuals() as f64;
+    let release = ReleasedStatistics {
+        snps: cumulative.clone(),
+        case_freqs: cumulative
+            .iter()
+            .map(|s| counts[s.index()] as f64 / n)
+            .collect(),
+        ref_freqs: cumulative
+            .iter()
+            .map(|s| rc[s.index()] as f64 / nr)
+            .collect(),
+    };
+    let attacker =
+        MembershipAttacker::calibrate(release, cohort.reference(), params.lr.false_positive_rate);
+    let power = attacker.power_against(cohort.case());
+    assert!(
+        power < params.lr.power_threshold + 0.05,
+        "cumulative power {power} breaches the threshold"
+    );
+}
+
+#[test]
+fn regret_reports_seeded_snps_the_data_no_longer_certifies() {
+    let (cohort, params) = study(13);
+
+    // Find a SNP the pooled data fails on the MAF screen: seeding it
+    // simulates an earlier release the world has since drifted away from.
+    let counts = cohort.case().column_counts();
+    let rc = cohort.reference().column_counts();
+    let total = (cohort.case().individuals() + cohort.reference().individuals()) as f64;
+    let lost = (0..cohort.panel().len())
+        .find(|&l| !passes_maf((counts[l] + rc[l]) as f64 / total, params.maf_cutoff))
+        .map(|l| SnpId(l as u32))
+        .expect("the default MAF spectrum leaves rare SNPs");
+
+    let mut assessor = DynamicAssessor::new(params, cohort.reference().clone()).unwrap();
+    assessor.seed_released(&[lost]).unwrap();
+    let report = assessor.add_batch(cohort.case()).unwrap();
+    assert!(
+        report.regret.contains(&lost),
+        "the seeded rare SNP shows up as irreversibility regret"
+    );
+    assert!(
+        assessor.released().contains(&lost),
+        "regretted SNPs stay released — they cannot be retracted"
+    );
+    assert!(
+        !report.newly_released.contains(&lost),
+        "regret is not re-release"
+    );
+}
+
+#[test]
+fn cli_assess_batches_runs_the_dynamic_pipeline() {
+    let dir = std::env::temp_dir().join(format!("gendpr-dynamic-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = env!("CARGO_BIN_EXE_gendpr");
+
+    let synth = Command::new(bin)
+        .args([
+            "synth",
+            "--snps",
+            "80",
+            "--cases",
+            "90",
+            "--reference",
+            "80",
+        ])
+        .args(["--seed", "5", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("synth runs");
+    assert!(synth.status.success());
+
+    let release = dir.join("dynamic.tsv");
+    let out = Command::new(bin)
+        .args(["assess", "--batches", "3", "--case"])
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--power", "0.7", "--out"])
+        .arg(&release)
+        .output()
+        .expect("assess --batches runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("epoch 0:"), "{stdout}");
+    assert!(stdout.contains("epoch 2:"), "{stdout}");
+    assert!(stdout.contains("regret"), "{stdout}");
+    let tsv = std::fs::read_to_string(&release).unwrap();
+    assert!(tsv.starts_with("snp\t"));
+
+    // Batches must partition the cohort: more batches than genomes fails.
+    let bad = Command::new(bin)
+        .args(["assess", "--batches", "500", "--case"])
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .output()
+        .expect("assess runs");
+    assert!(!bad.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

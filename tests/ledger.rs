@@ -1,0 +1,255 @@
+//! Property-based durability tests of the release ledger: every record
+//! round-trips through the wire codec, any truncation of the file loads
+//! exactly the intact frame prefix, and a corrupted byte anywhere drops
+//! the damaged record and everything after it — never an earlier one,
+//! and never a panic.
+
+use gendpr::fednet::wire;
+use gendpr::service::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger, WireCertificate};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Checksummed frame overhead: u32 length prefix + SHA-256 trailer.
+const FRAME_OVERHEAD: usize = 4 + 32;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gendpr-ledger-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}.bin",
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn certificate_strategy() -> impl Strategy<Value = WireCertificate> {
+    (
+        (any::<[u8; 32]>(), any::<[u8; 32]>(), any::<[u8; 32]>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            proptest::collection::vec(any::<u32>(), 0..6),
+            any::<[u8; 32]>(),
+            any::<[u8; 96]>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (study, inputs, safe),
+                (safe_count, evaluations, epoch),
+                (roster, context, quote),
+            )| {
+                WireCertificate {
+                    study_digest: study,
+                    inputs_digest: inputs,
+                    safe_digest: safe,
+                    safe_count,
+                    evaluations,
+                    epoch,
+                    roster,
+                    context_digest: context,
+                    quote,
+                }
+            },
+        )
+}
+
+fn record_strategy() -> impl Strategy<Value = LedgerRecord> {
+    (
+        (
+            any::<u64>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u32>(), 0..60),
+            proptest::collection::vec(any::<u32>(), 0..30),
+            proptest::collection::vec(any::<u32>(), 0..30),
+            0.0f64..1.0,
+            0.0f64..1.0,
+        ),
+        (
+            proptest::collection::vec(0.0f64..0.5, 0..30),
+            proptest::collection::vec(0.0f64..0.5, 0..30),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..6),
+            proptest::collection::vec(
+                (
+                    any::<u32>(),
+                    any::<u32>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                    any::<u64>(),
+                ),
+                0..6,
+            ),
+            (any::<bool>(), certificate_strategy()),
+        ),
+    )
+        .prop_map(
+            |(
+                (job_id, dynamic, panel, forced, released, final_power, final_threshold),
+                (case_freqs, ref_freqs, epoch, roster, links, (certified, certificate)),
+            )| {
+                LedgerRecord {
+                    job_id,
+                    kind: if dynamic {
+                        JobKind::Dynamic
+                    } else {
+                        JobKind::Federated
+                    },
+                    panel,
+                    forced,
+                    released,
+                    final_power,
+                    final_threshold,
+                    case_freqs,
+                    ref_freqs,
+                    epoch,
+                    roster,
+                    traffic: links
+                        .into_iter()
+                        .map(
+                            |(from, to, messages, plaintext_bytes, wire_bytes)| LinkRecord {
+                                from,
+                                to,
+                                messages,
+                                plaintext_bytes,
+                                wire_bytes,
+                            },
+                        )
+                        .collect(),
+                    certificate: certified.then_some(certificate),
+                }
+            },
+        )
+}
+
+/// Writes `records` to a fresh ledger file, returning its path and the
+/// on-disk size of each record's frame.
+fn write_ledger(tag: &str, records: &[LedgerRecord]) -> (PathBuf, Vec<usize>) {
+    let path = scratch(tag);
+    let mut ledger = ReleaseLedger::open(&path).unwrap();
+    let mut sizes = Vec::with_capacity(records.len());
+    for record in records {
+        ledger.append(record.clone()).unwrap();
+        sizes.push(wire::to_bytes(record).len() + FRAME_OVERHEAD);
+    }
+    (path, sizes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn records_roundtrip_through_the_wire_codec(record in record_strategy()) {
+        let back: LedgerRecord = wire::from_bytes(&wire::to_bytes(&record)).unwrap();
+        prop_assert_eq!(back, record);
+    }
+
+    #[test]
+    fn certificates_roundtrip_through_their_verifiable_form(cert in certificate_strategy()) {
+        // WireCertificate -> AssessmentCertificate -> WireCertificate is
+        // lossless, including the 96-byte enclave quote.
+        let verifiable = cert.to_certificate();
+        prop_assert_eq!(WireCertificate::from(&verifiable), cert);
+    }
+
+    #[test]
+    fn truncated_records_never_decode_as_valid(
+        record in record_strategy(),
+        cut in 1usize..16,
+    ) {
+        let bytes = wire::to_bytes(&record);
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(wire::from_bytes::<LedgerRecord>(&bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = wire::from_bytes::<LedgerRecord>(&bytes);
+        let _ = wire::from_bytes::<WireCertificate>(&bytes);
+    }
+}
+
+proptest! {
+    // On-disk cases fsync per append; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_truncation_loads_exactly_the_intact_prefix(
+        records in proptest::collection::vec(record_strategy(), 1..4),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (path, sizes) = write_ledger("truncate", &records);
+        let total: usize = sizes.iter().sum();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let cut = (((total - 1) as f64) * cut_frac) as usize + 1;
+        let keep = total - cut;
+
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert_eq!(bytes.len(), total);
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        // The survivors are exactly the frames wholly inside the prefix.
+        let mut expect = 0usize;
+        let mut offset = 0usize;
+        for size in &sizes {
+            if offset + size > keep {
+                break;
+            }
+            offset += size;
+            expect += 1;
+        }
+
+        let mut ledger = ReleaseLedger::open(&path).unwrap();
+        prop_assert_eq!(ledger.len(), expect);
+        prop_assert_eq!(ledger.recovered_bytes(), (keep - offset) as u64);
+        prop_assert_eq!(ledger.records(), &records[..expect]);
+
+        // Recovery leaves an appendable ledger whose tail is replaced.
+        ledger.append(records[0].clone()).unwrap();
+        drop(ledger);
+        let reopened = ReleaseLedger::open(&path).unwrap();
+        prop_assert_eq!(reopened.len(), expect + 1);
+        prop_assert_eq!(reopened.recovered_bytes(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_flipped_byte_drops_the_damaged_record_and_its_successors(
+        records in proptest::collection::vec(record_strategy(), 1..4),
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let (path, sizes) = write_ledger("corrupt", &records);
+        let total: usize = sizes.iter().sum();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let pos = (((total - 1) as f64) * pos_frac) as usize;
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[pos] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The flip lands in some frame; that record and everything after
+        // it are discarded, everything before survives verbatim.
+        let mut damaged = 0usize;
+        let mut offset = 0usize;
+        while offset + sizes[damaged] <= pos {
+            offset += sizes[damaged];
+            damaged += 1;
+        }
+
+        let ledger = ReleaseLedger::open(&path).unwrap();
+        prop_assert_eq!(ledger.len(), damaged);
+        prop_assert_eq!(ledger.records(), &records[..damaged]);
+        prop_assert_eq!(ledger.recovered_bytes(), (total - offset) as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appends_survive_reopen_verbatim(records in proptest::collection::vec(record_strategy(), 0..4)) {
+        let (path, _) = write_ledger("reopen", &records);
+        let ledger = ReleaseLedger::open(&path).unwrap();
+        prop_assert_eq!(ledger.recovered_bytes(), 0);
+        prop_assert_eq!(ledger.records(), records.as_slice());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,355 @@
+//! Service-session integration tests: a long-lived federation serves a
+//! queue of assessment jobs over one attestation, charges every job's LR
+//! budget against the union of earlier releases, and produces
+//! byte-identical certificates over the in-memory fabric and real TCP
+//! sockets.
+
+use gendpr::core::config::{CollusionMode, FederationConfig, GwasParams};
+use gendpr::core::error::ProtocolError;
+use gendpr::core::runtime::{run_federation_with, RuntimeOptions};
+use gendpr::core::serving::{JobSpec, ServiceFederation};
+use gendpr::fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
+use gendpr::fednet::transport::PeerId;
+use gendpr::genomics::snp::SnpId;
+use gendpr::genomics::synth::SyntheticCohort;
+use gendpr::service::daemon::AssessmentService;
+use gendpr::service::ledger::{JobKind, LedgerRecord, ReleaseLedger};
+use gendpr::service::ServiceClient;
+use gendpr::stats::lr::LrTestParams;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn study() -> SyntheticCohort {
+    SyntheticCohort::builder()
+        .snps(100)
+        .case_individuals(120)
+        .reference_individuals(100)
+        .seed(41)
+        .drift(0.25)
+        .build()
+}
+
+fn config(g: usize) -> FederationConfig {
+    FederationConfig::new(g).with_seed(29)
+}
+
+fn params() -> GwasParams {
+    GwasParams {
+        maf_cutoff: 0.05,
+        ld_cutoff: 1e-5,
+        lr: LrTestParams {
+            false_positive_rate: 0.1,
+            power_threshold: 0.6,
+        },
+    }
+}
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions {
+        timeout: TIMEOUT,
+        ..RuntimeOptions::default()
+    }
+}
+
+fn snps(range: std::ops::Range<u32>) -> Vec<SnpId> {
+    range.map(SnpId).collect()
+}
+
+fn start_tcp_session(g: usize) -> ServiceFederation {
+    let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
+    let transports: Vec<TcpTransport> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            TcpTransport::from_listener(PeerId(id as u32), listener, &roster, TcpOptions::default())
+                .expect("transport from bound listener")
+        })
+        .collect();
+    ServiceFederation::start_over(transports, config(g), params(), study(), options())
+        .expect("session starts")
+}
+
+#[test]
+fn two_jobs_charge_the_cumulative_release() {
+    let mut session =
+        ServiceFederation::start_in_memory(config(3), params(), study(), options()).unwrap();
+
+    let first = session
+        .submit(&JobSpec {
+            job_id: 1,
+            panel: snps(0..60),
+            forced: vec![],
+        })
+        .unwrap();
+    assert!(!first.released.is_empty(), "first job releases something");
+    assert!(first.released.iter().all(|s| s.0 < 60));
+    assert!(first.final_power < params().lr.power_threshold);
+    assert_ne!(
+        first.certificate.context_digest, [0u8; 32],
+        "service certificates bind a job context"
+    );
+    assert_eq!(first.case_freqs.len(), first.released.len());
+    assert_eq!(first.ref_freqs.len(), first.released.len());
+
+    // Second, overlapping study: everything released so far is forced
+    // into the LR seed, so the certified power covers BOTH releases.
+    let second = session
+        .submit(&JobSpec {
+            job_id: 2,
+            panel: snps(30..100),
+            forced: first.released.clone(),
+        })
+        .unwrap();
+    assert!(
+        second
+            .released
+            .iter()
+            .all(|s| first.released.binary_search(s).is_err()),
+        "released sets never overlap the forced prefix"
+    );
+    assert!(second.final_power < params().lr.power_threshold);
+    assert_ne!(second.certificate, first.certificate);
+
+    // Per-job traffic covers every directed link of a 3-member clique;
+    // only the leader's star carries bytes (followers never talk to each
+    // other during a job).
+    assert_eq!(first.traffic.len(), 6);
+    let leader = first.leader as u32;
+    for link in &first.traffic {
+        if link.from == leader || link.to == leader {
+            assert!(link.stats.wire_bytes > 0, "leader link {link:?} is silent");
+        }
+    }
+
+    session.shutdown().unwrap();
+}
+
+#[test]
+fn full_panel_job_matches_the_one_shot_runtime() {
+    // A single job over the full panel with nothing forced must select
+    // exactly what the one-shot runtime selects: the session layer may
+    // not perturb the assessment itself.
+    let standalone = run_federation_with(config(3), params(), study(), None, options()).unwrap();
+
+    let mut session =
+        ServiceFederation::start_in_memory(config(3), params(), study(), options()).unwrap();
+    let job = session
+        .submit(&JobSpec {
+            job_id: 7,
+            panel: snps(0..100),
+            forced: vec![],
+        })
+        .unwrap();
+    assert_eq!(job.leader, standalone.leader);
+    assert_eq!(job.l_prime, standalone.l_prime);
+    assert_eq!(job.l_double_prime, standalone.l_double_prime);
+    assert_eq!(job.released, standalone.safe_snps);
+    // Same safe set, but the service certificate additionally binds the
+    // job context, so the quotes must differ.
+    assert_eq!(
+        job.certificate.safe_digest,
+        standalone.certificate.safe_digest
+    );
+    assert_ne!(job.certificate, standalone.certificate);
+    session.shutdown().unwrap();
+}
+
+#[test]
+fn jobs_are_byte_identical_across_transports() {
+    let jobs = [
+        JobSpec {
+            job_id: 1,
+            panel: snps(0..70),
+            forced: vec![],
+        },
+        JobSpec {
+            job_id: 2,
+            panel: snps(40..100),
+            forced: vec![], // filled from job 1 below
+        },
+    ];
+
+    let run = |mut session: ServiceFederation| {
+        let first = session.submit(&jobs[0]).unwrap();
+        let mut second_spec = jobs[1].clone();
+        second_spec.forced = first.released.clone();
+        let second = session.submit(&second_spec).unwrap();
+        session.shutdown().unwrap();
+        (first, second)
+    };
+
+    let memory =
+        run(ServiceFederation::start_in_memory(config(3), params(), study(), options()).unwrap());
+    let tcp = run(start_tcp_session(3));
+
+    assert_eq!(memory.0.released, tcp.0.released);
+    assert_eq!(memory.1.released, tcp.1.released);
+    assert_eq!(
+        memory.0.certificate, tcp.0.certificate,
+        "certificates must be byte-identical across transports"
+    );
+    assert_eq!(memory.1.certificate, tcp.1.certificate);
+    assert_eq!(memory.1.final_power, tcp.1.final_power);
+}
+
+#[test]
+fn collusion_subsets_apply_per_job() {
+    let config = config(3).with_collusion(CollusionMode::Fixed(1));
+    let mut session =
+        ServiceFederation::start_in_memory(config, params(), study(), options()).unwrap();
+    let job = session
+        .submit(&JobSpec {
+            job_id: 1,
+            panel: snps(0..80),
+            forced: vec![],
+        })
+        .unwrap();
+    // The certificate records one evaluation per collusion subset.
+    assert!(job.certificate.evaluations > 1);
+    session.shutdown().unwrap();
+}
+
+fn temp_ledger(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gendpr-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("ledger.bin")
+}
+
+fn start_daemon(ledger: ReleaseLedger) -> AssessmentService {
+    let cohort = study();
+    let federation =
+        ServiceFederation::start_in_memory(config(3), params(), &cohort, options()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral client listener");
+    AssessmentService::start(federation, ledger, cohort.as_ref(), params(), listener)
+        .expect("daemon starts")
+}
+
+/// Strips the timing-dependent field (idle-keepalive Pongs can land in a
+/// job's traffic window) so records can be compared for determinism.
+fn deterministic(record: &LedgerRecord) -> LedgerRecord {
+    LedgerRecord {
+        traffic: Vec::new(),
+        ..record.clone()
+    }
+}
+
+#[test]
+fn daemon_restart_preserves_the_second_certificate() {
+    // Continuous daemon: job 1 then job 2 against one ledger.
+    let continuous_path = temp_ledger("continuous");
+    let mut continuous = start_daemon(ReleaseLedger::open(&continuous_path).unwrap());
+    let first = continuous.execute((0..60).collect(), 0).unwrap();
+    assert_eq!(first.job_id, 1);
+    assert!(!first.released.is_empty());
+    let second = continuous.execute((30..100).collect(), 0).unwrap();
+    assert_eq!(second.job_id, 2);
+    assert_eq!(
+        second.forced, first.released,
+        "job 2's LR phase is seeded with job 1's release from the ledger"
+    );
+    continuous.stop().unwrap();
+
+    // Restarted daemon: job 1, kill the daemon, bring up a fresh one on
+    // the surviving ledger, job 2.
+    let restart_path = temp_ledger("restart");
+    let mut before = start_daemon(ReleaseLedger::open(&restart_path).unwrap());
+    let first_again = before.execute((0..60).collect(), 0).unwrap();
+    assert_eq!(deterministic(&first_again), deterministic(&first));
+    before.stop().unwrap();
+
+    let reopened = ReleaseLedger::open(&restart_path).unwrap();
+    assert_eq!(reopened.len(), 1, "the ledger survived the restart");
+    let mut after = start_daemon(reopened);
+    let second_again = after.execute((30..100).collect(), 0).unwrap();
+    after.stop().unwrap();
+
+    assert_eq!(
+        second_again.certificate, second.certificate,
+        "restarting between jobs must not change the second certificate"
+    );
+    assert_eq!(deterministic(&second_again), deterministic(&second));
+}
+
+#[test]
+fn client_protocol_drives_a_live_daemon() {
+    let path = temp_ledger("client");
+    let daemon = start_daemon(ReleaseLedger::open(&path).unwrap());
+    let addr = daemon.client_addr();
+    let serve = std::thread::spawn(move || daemon.run());
+    let client = ServiceClient::new(addr);
+
+    let first = client.submit_and_wait((0..60).collect(), 0).unwrap();
+    assert_eq!(first.job_id, 1);
+    assert_eq!(first.kind, JobKind::Federated);
+    assert!(!first.released.is_empty());
+    assert!(first.certificate.is_some());
+
+    let second = client.submit_and_wait((30..100).collect(), 0).unwrap();
+    assert_eq!(second.forced, first.released);
+
+    // A dynamic batch job against the same ledger: seeded with both
+    // federated releases.
+    let dynamic = client.submit_and_wait((0..100).collect(), 3).unwrap();
+    assert_eq!(dynamic.kind, JobKind::Dynamic);
+    let mut union = first.released.clone();
+    union.extend_from_slice(&second.released);
+    union.sort_unstable();
+    assert_eq!(dynamic.forced, union);
+    assert!(dynamic.final_power < dynamic.final_threshold + 0.05);
+
+    let status = client.status().unwrap();
+    assert_eq!(status.jobs_done, 3);
+    assert_eq!(status.jobs_queued, 0);
+    assert_eq!(status.gdos, 3);
+    assert!(!status.links.is_empty(), "per-link traffic is reported");
+    assert!(status.links.iter().any(|l| l.wire_bytes > 0));
+
+    assert_eq!(client.results(1).unwrap().unwrap(), first);
+    assert!(client.results(99).unwrap().is_none());
+
+    // Bad submissions are rejected without killing the daemon.
+    assert!(client.submit_and_wait(vec![], 0).is_err());
+    assert!(client.submit_and_wait(vec![0, 1], 2).is_err()); // dynamic needs the full panel
+
+    client.shutdown().unwrap();
+    serve.join().unwrap().unwrap();
+
+    // The ledger holds all three records for the next incarnation.
+    assert_eq!(ReleaseLedger::open(&path).unwrap().len(), 3);
+}
+
+#[test]
+fn malformed_specs_are_rejected_without_poisoning_the_session() {
+    let mut session =
+        ServiceFederation::start_in_memory(config(2), params(), study(), options()).unwrap();
+    assert!(matches!(
+        session.submit(&JobSpec {
+            job_id: 1,
+            panel: vec![],
+            forced: vec![],
+        }),
+        Err(ProtocolError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        session.submit(&JobSpec {
+            job_id: 2,
+            panel: vec![SnpId(100)], // panel width is 100, ids end at 99
+            forced: vec![],
+        }),
+        Err(ProtocolError::InvalidConfig(_))
+    ));
+    // The session is still serving.
+    let ok = session
+        .submit(&JobSpec {
+            job_id: 3,
+            panel: snps(0..10),
+            forced: vec![],
+        })
+        .unwrap();
+    assert_eq!(ok.job_id, 3);
+    session.shutdown().unwrap();
+}
