@@ -92,7 +92,11 @@ impl MembershipAttacker {
         let mut null_scores: Vec<f64> = (0..reference.individuals())
             .map(|i| score_genotype(&release, statistic, |l| reference.get(i, l)))
             .collect();
-        null_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        // total_cmp instead of partial_cmp().expect(): a degenerate release
+        // (e.g. a frequency of exactly 0 or 1 making the log-LR undefined)
+        // must not panic calibration; NaN scores sort to a deterministic
+        // position on every member.
+        null_scores.sort_by(f64::total_cmp);
         let threshold = empirical_quantile(&null_scores, 1.0 - false_positive_rate);
         Self {
             release,

@@ -79,6 +79,7 @@ pub mod protocol;
 pub mod release;
 pub mod runtime;
 pub mod serving;
+pub mod telemetry;
 
 pub use config::{CollusionMode, FederationConfig, GwasParams};
 pub use error::ProtocolError;

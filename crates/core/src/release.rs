@@ -185,10 +185,10 @@ impl GwasRelease {
     #[must_use]
     pub fn top_ranked(&self, k: usize) -> Vec<&SnpStatistics> {
         let mut sorted: Vec<&SnpStatistics> = self.entries.iter().collect();
+        // NaN p-values (degenerate zero-variance SNPs) rank worst instead
+        // of panicking the leader; ties break by SNP id for determinism.
         sorted.sort_by(|a, b| {
-            a.chi2_p_value
-                .partial_cmp(&b.chi2_p_value)
-                .expect("finite p-values")
+            gendpr_stats::ranking::cmp_p_values(a.chi2_p_value, b.chi2_p_value)
                 .then(a.snp.cmp(&b.snp))
         });
         sorted.truncate(k);
@@ -284,6 +284,25 @@ mod tests {
         // SNP2 (80 vs 20) is far more significant than SNP0 (30 vs 20).
         let top = release.top_ranked(1);
         assert_eq!(top[0].snp, SnpId(2));
+    }
+
+    #[test]
+    fn top_ranked_survives_nan_p_values() {
+        // A constant-genotype SNP can degenerate its p-value to NaN; the
+        // old partial_cmp().expect("finite p-values") panicked here.
+        let (cc, rc) = counts();
+        let mut release = GwasRelease::noise_free(
+            &[SnpId(0), SnpId(1), SnpId(2)],
+            &cc[..3],
+            100,
+            &rc[..3],
+            100,
+        );
+        release.entries[1].chi2_p_value = f64::NAN;
+        let top = release.top_ranked(3);
+        assert_eq!(top[0].snp, SnpId(2), "most significant first");
+        assert_eq!(top[2].snp, SnpId(1), "NaN entry ranks worst");
+        assert!(top[2].chi2_p_value.is_nan());
     }
 
     #[test]

@@ -503,6 +503,17 @@ impl<T: Transport> MemberCtx<T> {
     /// Turns a suspicion about `member` into the next step: abort (no
     /// recovery budget), quorum loss, or a view change over the survivors.
     fn suspect(&mut self, member: usize, phase: &'static str) -> Interrupt {
+        crate::telemetry::suspicions().inc();
+        gendpr_obs::event(
+            gendpr_obs::Level::Warn,
+            "runtime",
+            "member_suspected",
+            &[
+                ("member", member.into()),
+                ("phase", phase.into()),
+                ("epoch", self.epoch.into()),
+            ],
+        );
         let next_epoch = self.epoch + 1;
         if next_epoch > self.recovery.max_epochs {
             return Interrupt::Fatal(ProtocolError::MemberUnresponsive { member, phase });
@@ -545,6 +556,17 @@ impl<T: Transport> MemberCtx<T> {
     /// change (including an eviction notice to the excluded members),
     /// clears current-epoch state and replays buffered future frames.
     fn begin_epoch(&mut self, epoch: u64, roster: Vec<usize>, announce: bool) {
+        crate::telemetry::view_changes().inc();
+        gendpr_obs::event(
+            gendpr_obs::Level::Info,
+            "runtime",
+            "view_change",
+            &[
+                ("epoch", epoch.into()),
+                ("survivors", roster.len().into()),
+                ("announced", announce.into()),
+            ],
+        );
         let old_roster = std::mem::replace(&mut self.roster, roster);
         self.epoch = epoch;
         self.backlog.clear();
@@ -766,6 +788,17 @@ fn leader_main<T: Transport>(
     }
     let subsets = evaluation_subsets_of(&roster, config.collusion);
     let mut timings = PhaseTimings::default();
+    crate::telemetry::subsets_evaluated().add(subsets.len() as u64);
+    gendpr_obs::event(
+        gendpr_obs::Level::Info,
+        "runtime",
+        "leader_run_started",
+        &[
+            ("leader", me.into()),
+            ("members", g.into()),
+            ("subsets", subsets.len().into()),
+        ],
+    );
 
     // ---- Collect counts ----
     let t = Instant::now();
@@ -785,6 +818,7 @@ fn leader_main<T: Transport>(
         }
     }
     timings.aggregation += t.elapsed();
+    crate::telemetry::phase_seconds("aggregation").observe_duration(t.elapsed());
 
     // ---- Phase 1: MAF per subset + intersection ----
     let t = Instant::now();
@@ -830,6 +864,7 @@ fn leader_main<T: Transport>(
     }
 
     timings.indexing += t.elapsed();
+    crate::telemetry::phase_seconds("maf").observe_duration(t.elapsed());
 
     // ---- Phase 2: LD per subset + intersection ----
     let t = Instant::now();
@@ -982,6 +1017,7 @@ fn leader_main<T: Transport>(
     }
     let l_double_prime = intersect_selections(&ld_selections);
     timings.ld += t.elapsed();
+    crate::telemetry::phase_seconds("ld").observe_duration(t.elapsed());
 
     // ---- Phase 3: LR per subset + intersection ----
     let t = Instant::now();
@@ -1137,6 +1173,7 @@ fn leader_main<T: Transport>(
     }
     let safe_snps = intersect_selections(&lr_selections);
     timings.lr += t.elapsed();
+    crate::telemetry::phase_seconds("lr").observe_duration(t.elapsed());
 
     // ---- Audit certificate (issued inside the leader enclave) ----
     let full = &maf_outcomes[0];

@@ -57,7 +57,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One assessment job: which SNPs the requesting study wants to release,
 /// and which SNPs earlier jobs already released (charged against the LR
@@ -474,6 +474,20 @@ fn run_leader_job<T: Transport>(
         return Err(ProtocolError::InvalidConfig("job names a SNP outside the study panel").into());
     }
 
+    crate::telemetry::subsets_evaluated().add(state.subsets.len() as u64);
+    gendpr_obs::event(
+        gendpr_obs::Level::Info,
+        "serving",
+        "job_announced",
+        &[
+            ("job_id", spec.job_id.into()),
+            ("panel", panel.len().into()),
+            ("forced", forced.len().into()),
+            ("subsets", state.subsets.len().into()),
+        ],
+    );
+    let phase_clock = Instant::now();
+
     // ---- Announce the job ----
     let announce = ProtocolMessage::JobStart(JobStartBroadcast {
         job_id: spec.job_id,
@@ -517,7 +531,10 @@ fn run_leader_job<T: Transport>(
         }
     }
 
+    crate::telemetry::phase_seconds("maf").observe_duration(phase_clock.elapsed());
+
     // ---- Phase 2: LD scan per subset over this job's L' ----
+    let phase_clock = Instant::now();
     let mut ld_selections = Vec::with_capacity(state.subsets.len());
     for (c, subset) in state.subsets.iter().enumerate() {
         let ranks = &state.rankings[c];
@@ -584,6 +601,8 @@ fn run_leader_job<T: Transport>(
         ld_selections.push(retained);
     }
     let l_double_prime = intersect_selections(&ld_selections);
+    crate::telemetry::phase_seconds("ld").observe_duration(phase_clock.elapsed());
+    let phase_clock = Instant::now();
 
     // ---- Phase 3: seeded LR per subset ----
     // The matrices cover forced ∪ candidates; the forced columns come
@@ -650,6 +669,16 @@ fn run_leader_job<T: Transport>(
         lr_selections.push(safe_c);
     }
     let released = intersect_selections(&lr_selections);
+    crate::telemetry::phase_seconds("lr").observe_duration(phase_clock.elapsed());
+    gendpr_obs::event(
+        gendpr_obs::Level::Info,
+        "serving",
+        "job_phases_complete",
+        &[
+            ("job_id", spec.job_id.into()),
+            ("released", released.len().into()),
+        ],
+    );
 
     // ---- Certificate, bound to the job context ----
     let full = &state.maf_outcomes[0];

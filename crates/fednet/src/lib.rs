@@ -37,6 +37,7 @@ pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 pub mod wire;
 

@@ -32,6 +32,7 @@
 
 use crate::fault::FaultPlan;
 use crate::metrics::{TrafficMatrix, TrafficStats};
+use crate::telemetry;
 use crate::transport::{Envelope, NetError, PeerId, Transport};
 use crate::wire::{self, WireError};
 use crate::wire_struct;
@@ -303,6 +304,7 @@ impl TcpTransport {
         let shared = &self.shared;
         let decision = lock(&shared.faults).decide(shared.id.0, to.0);
         if !decision.deliver {
+            telemetry::frames_dropped().inc();
             return Err(NetError::Dropped);
         }
         let addr = *shared.peers.get(&to).ok_or(NetError::UnknownPeer(to))?;
@@ -352,6 +354,8 @@ fn write_frame(
     if stream.write_all(frame).is_ok() {
         drop(conns);
         lock(&shared.metrics).record(shared.id.0, to.0, plaintext_len, frame.len());
+        telemetry::frames_sent().inc();
+        telemetry::frame_bytes_sent().observe(frame.len() as f64);
         return Ok(());
     }
     conns.remove(&to.0);
@@ -362,14 +366,27 @@ fn write_frame(
     match dial(addr, redial) {
         Ok(mut stream) => {
             if stream.write_all(frame).is_err() {
+                telemetry::frames_dropped().inc();
                 return Err(NetError::Dropped);
             }
+            telemetry::reconnects().inc();
+            gendpr_obs::event(
+                gendpr_obs::Level::Debug,
+                "fednet",
+                "reconnected",
+                &[("peer", to.0.into())],
+            );
             conns.insert(to.0, stream);
             drop(conns);
             lock(&shared.metrics).record(shared.id.0, to.0, plaintext_len, frame.len());
+            telemetry::frames_sent().inc();
+            telemetry::frame_bytes_sent().observe(frame.len() as f64);
             Ok(())
         }
-        Err(_) => Err(NetError::Dropped),
+        Err(_) => {
+            telemetry::frames_dropped().inc();
+            Err(NetError::Dropped)
+        }
     }
 }
 
@@ -482,6 +499,7 @@ fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
         ^ (u64::from(addr.port()) << 32);
     loop {
         let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            telemetry::connect_timeouts().inc();
             return Err(NetError::Timeout);
         };
         match TcpStream::connect_timeout(&addr, remaining) {
@@ -490,7 +508,9 @@ fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
                 return Ok(stream);
             }
             Err(_) => {
+                telemetry::connect_retries().inc();
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    telemetry::connect_timeouts().inc();
                     return Err(NetError::Timeout);
                 };
                 // Sleep a uniform draw from [backoff/2, backoff] so
@@ -549,6 +569,8 @@ fn reader_loop(shared: &Arc<TcpShared>, mut stream: TcpStream, tx: &Sender<Envel
             frame.plaintext_len as usize,
             buf.len(),
         );
+        telemetry::frames_received().inc();
+        telemetry::frame_bytes_received().observe(buf.len() as f64);
         let env = Envelope {
             from: PeerId(frame.from),
             to: shared.id,

@@ -243,6 +243,12 @@ impl Network {
         state
             .metrics
             .record(env.from.0, env.to.0, env.plaintext_len, env.payload.len());
+        // The in-memory fabric delivers synchronously, so one record is both
+        // the send and the receive for the global transport metrics.
+        crate::telemetry::frames_sent().inc();
+        crate::telemetry::frames_received().inc();
+        crate::telemetry::frame_bytes_sent().observe(env.payload.len() as f64);
+        crate::telemetry::frame_bytes_received().observe(env.payload.len() as f64);
         tx.send(env).map_err(|_| NetError::Disconnected)
     }
 

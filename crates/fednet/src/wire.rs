@@ -92,6 +92,15 @@ pub trait Encode {
 
 /// Value that can be read back from the wire.
 pub trait Decode: Sized {
+    /// Lower bound on the encoded size of any value of this type, in
+    /// bytes. Containers multiply this into their length-prefix check so a
+    /// hostile prefix claiming millions of multi-byte elements is rejected
+    /// *before* `Vec::with_capacity` reserves memory the frame body could
+    /// never fill. The default of 1 is always sound; types with a known
+    /// fixed or prefixed encoding override it (u32 → 4, u64 → 8, `Vec`
+    /// → 8 for its own length prefix, …).
+    const MIN_WIRE_SIZE: usize = 1;
+
     /// Decodes one value from the reader.
     ///
     /// # Errors
@@ -129,6 +138,8 @@ macro_rules! impl_wire_int {
             }
         }
         impl Decode for $t {
+            const MIN_WIRE_SIZE: usize = std::mem::size_of::<$t>();
+
             fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
                 let bytes = r.take(std::mem::size_of::<$t>())?;
                 Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact size")))
@@ -162,6 +173,9 @@ impl Encode for usize {
 }
 
 impl Decode for usize {
+    /// Encoded as a fixed-width `u64` regardless of platform.
+    const MIN_WIRE_SIZE: usize = 8;
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let v = u64::decode(r)?;
         usize::try_from(v).map_err(|_| WireError::InvalidValue("usize"))
@@ -175,16 +189,13 @@ impl<const N: usize> Encode for [u8; N] {
 }
 
 impl<const N: usize> Decode for [u8; N] {
+    const MIN_WIRE_SIZE: usize = N;
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let bytes = r.take(N)?;
         Ok(bytes.try_into().expect("exact size"))
     }
 }
-
-/// Minimum encoded size of any element, used to validate length prefixes
-/// before allocating. Conservative (1 byte) since nested containers can
-/// encode as little as their own length prefix.
-const MIN_ELEMENT_SIZE: u64 = 1;
 
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -196,13 +207,22 @@ impl<T: Encode> Encode for Vec<T> {
 }
 
 impl<T: Decode> Decode for Vec<T> {
+    /// A `Vec` encodes as at least its own 8-byte length prefix.
+    const MIN_WIRE_SIZE: usize = 8;
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = u64::decode(r)?;
-        if len * MIN_ELEMENT_SIZE > r.remaining() as u64 {
-            return Err(WireError::LengthOverrun {
-                claimed: len,
-                remaining: r.remaining(),
-            });
+        // Floor the element size at 1 so zero-size elements (e.g. `[u8; 0]`)
+        // cannot smuggle an unbounded iteration count past the check.
+        let element = T::MIN_WIRE_SIZE.max(1) as u64;
+        match len.checked_mul(element) {
+            Some(need) if need <= r.remaining() as u64 => {}
+            _ => {
+                return Err(WireError::LengthOverrun {
+                    claimed: len,
+                    remaining: r.remaining(),
+                })
+            }
         }
         let mut out = Vec::with_capacity(len as usize);
         for _ in 0..len {
@@ -220,6 +240,9 @@ impl Encode for String {
 }
 
 impl Decode for String {
+    /// A `String` encodes as at least its own 8-byte length prefix.
+    const MIN_WIRE_SIZE: usize = 8;
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = u64::decode(r)?;
         if len > r.remaining() as u64 {
@@ -263,6 +286,8 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
 }
 
 impl<A: Decode, B: Decode> Decode for (A, B) {
+    const MIN_WIRE_SIZE: usize = A::MIN_WIRE_SIZE + B::MIN_WIRE_SIZE;
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::decode(r)?, B::decode(r)?))
     }
@@ -375,6 +400,48 @@ mod tests {
         assert!(matches!(err, WireError::LengthOverrun { .. }), "{err:?}");
         let err2 = from_bytes::<String>(&bytes).unwrap_err();
         assert!(matches!(err2, WireError::LengthOverrun { .. }));
+    }
+
+    #[test]
+    fn multibyte_length_prefix_cannot_overreserve() {
+        // 1000 claimed u64 elements over a 2 KiB body: a flat 1-byte
+        // element minimum accepts this and reserves 8 KB for a body that
+        // can hold at most 256 elements; scaled to the 64 MiB frame cap
+        // that is a ~512 MiB reserve. The per-type minimum rejects it.
+        let mut bytes = Vec::new();
+        (1000u64).encode(&mut bytes);
+        bytes.extend_from_slice(&[0u8; 2048]);
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::LengthOverrun { .. }), "{err:?}");
+        // Same prefix is fine for a type whose elements really are 1 byte.
+        let ok = {
+            let mut r = Reader::new(&bytes[..]);
+            Vec::<u8>::decode(&mut r).unwrap()
+        };
+        assert_eq!(ok.len(), 1000);
+    }
+
+    #[test]
+    fn length_prefix_times_element_size_cannot_overflow() {
+        // len * 8 would wrap around u64 without checked multiplication.
+        let mut bytes = Vec::new();
+        (u64::MAX / 2).encode(&mut bytes);
+        bytes.extend_from_slice(&[0u8; 64]);
+        let err = from_bytes::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::LengthOverrun { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn min_wire_sizes_reflect_encodings() {
+        assert_eq!(<u32 as Decode>::MIN_WIRE_SIZE, 4);
+        assert_eq!(<u64 as Decode>::MIN_WIRE_SIZE, 8);
+        assert_eq!(<f64 as Decode>::MIN_WIRE_SIZE, 8);
+        assert_eq!(<usize as Decode>::MIN_WIRE_SIZE, 8);
+        assert_eq!(<Vec<u8> as Decode>::MIN_WIRE_SIZE, 8);
+        assert_eq!(<String as Decode>::MIN_WIRE_SIZE, 8);
+        assert_eq!(<[u8; 32] as Decode>::MIN_WIRE_SIZE, 32);
+        assert_eq!(<(u32, u64) as Decode>::MIN_WIRE_SIZE, 12);
+        assert_eq!(<Option<u64> as Decode>::MIN_WIRE_SIZE, 1);
     }
 
     #[test]

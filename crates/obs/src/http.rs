@@ -1,0 +1,139 @@
+//! Prometheus text exposition over a minimal blocking HTTP responder.
+//!
+//! The server answers `GET /metrics` (and `GET /`) with the global
+//! registry rendered in text format 0.0.4, one short-lived connection per
+//! scrape, on a dedicated thread. It understands just enough HTTP/1.x for
+//! Prometheus, curl, and a shell `/dev/tcp` scrape; anything else gets a
+//! 404 or 400. Shutdown reuses the daemon's poke idiom: set the flag, then
+//! open a throwaway connection to unblock `accept`.
+
+use crate::metrics;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head we bother reading before answering.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Socket deadline for reading the request and writing the response.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running exposition endpoint. Dropping it stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9095`; port 0 picks a free port) and
+    /// serves the global registry until the returned server is dropped.
+    pub fn start<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("gendpr-metrics".into())
+            .spawn(move || serve_loop(listener, flag))?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            // Scrapes are rare and the render is cheap; serving inline keeps
+            // the thread count flat.
+            let _ = answer(stream);
+        }
+    }
+}
+
+/// Reads one request head and writes one response.
+fn answer(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        ("400 Bad Request", String::from("only GET is supported\n"))
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", metrics::global().render())
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_global_registry_and_404s_elsewhere() {
+        metrics::global()
+            .counter("obs_http_test_total", "exposition test counter", &[])
+            .add(5);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind metrics endpoint");
+        let reply = get(server.local_addr(), "/metrics");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"));
+        assert!(reply.contains("text/plain; version=0.0.4"));
+        assert!(reply.contains("obs_http_test_total 5"));
+        let missing = get(server.local_addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        drop(server);
+    }
+}

@@ -1,0 +1,50 @@
+//! Zero-dependency observability for the GenDPR stack.
+//!
+//! The paper's evaluation (§6) attributes wall-clock and bandwidth to the
+//! MAF/LD/LR phases; this crate is the runtime counterpart: a process-global
+//! metrics [`Registry`] (counters, gauges, histograms), RAII [`SpanTimer`]s,
+//! leveled JSON-lines event logging gated by `GENDPR_LOG` / `--log-level`,
+//! and Prometheus text-format exposition behind [`MetricsServer`].
+//!
+//! Everything here is a *pure observer*: instrumented code paths produce
+//! byte-identical protocol output whether observability is on or off, which
+//! the workspace's observability-equivalence tests assert end to end.
+//!
+//! Naming scheme (see DESIGN.md §Observability): every metric is prefixed
+//! `gendpr_`, counters end in `_total`, histograms in their unit
+//! (`_seconds`, `_bytes`), and label keys are lowercase identifiers.
+
+pub mod http;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use http::MetricsServer;
+pub use log::{enabled, event, set_level, Level, Value};
+pub use metrics::{global, Counter, Gauge, Histogram, Registry, BYTE_BUCKETS, DURATION_BUCKETS};
+pub use span::SpanTimer;
+
+/// Gets or creates a counter in the global registry.
+pub fn counter(name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
+    global().counter(name, help, labels)
+}
+
+/// Gets or creates a gauge in the global registry.
+pub fn gauge(name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+    global().gauge(name, help, labels)
+}
+
+/// Gets or creates a histogram in the global registry.
+pub fn histogram(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&str, &str)],
+    bounds: &[f64],
+) -> Histogram {
+    global().histogram(name, help, labels, bounds)
+}
+
+/// Renders the global registry in the Prometheus text format.
+pub fn render() -> String {
+    global().render()
+}

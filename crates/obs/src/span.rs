@@ -1,0 +1,84 @@
+//! RAII span timers.
+//!
+//! A [`SpanTimer`] measures the wall-clock time between its creation and its
+//! drop, feeds the elapsed seconds into a [`Histogram`], and (at `debug`
+//! level) emits a completion event. Phases instrument themselves with one
+//! line and cannot forget to stop the clock on early returns.
+
+use crate::log::{self, Level};
+use crate::metrics::Histogram;
+use std::time::{Duration, Instant};
+
+/// Times a region of code into a histogram; observes on drop.
+pub struct SpanTimer {
+    target: &'static str,
+    name: &'static str,
+    histogram: Histogram,
+    start: Instant,
+    stopped: bool,
+}
+
+impl SpanTimer {
+    /// Starts the clock. `target` is the subsystem, `name` the span.
+    pub fn start(target: &'static str, name: &'static str, histogram: Histogram) -> Self {
+        SpanTimer {
+            target,
+            name,
+            histogram,
+            start: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops the span early and returns its duration.
+    pub fn stop(mut self) -> Duration {
+        self.record();
+        self.start.elapsed()
+    }
+
+    fn record(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        let seconds = self.start.elapsed().as_secs_f64();
+        self.histogram.observe(seconds);
+        log::event(
+            Level::Debug,
+            self.target,
+            "span",
+            &[("span", self.name.into()), ("seconds", seconds.into())],
+        );
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn drop_observes_exactly_once() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_span_seconds", "help", &[], &[1.0]);
+        {
+            let _span = SpanTimer::start("test", "region", h.clone());
+        }
+        assert_eq!(h.count(), 1);
+        let span = SpanTimer::start("test", "region", h.clone());
+        let d = span.stop();
+        assert_eq!(h.count(), 2);
+        assert!(d >= Duration::ZERO);
+    }
+}

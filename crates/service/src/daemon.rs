@@ -34,10 +34,12 @@ use gendpr_fednet::client::{read_message, write_message};
 use gendpr_genomics::cohort::Cohort;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
+use gendpr_obs::{event, Level};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
 
@@ -70,6 +72,19 @@ struct Inner {
     next_job_id: u64,
     running: bool,
     shutdown: bool,
+    /// Crash-test failpoint: job ids armed to panic at the top of
+    /// [`AssessmentService::run_job`]. See
+    /// [`AssessmentService::inject_job_panic`].
+    panic_jobs: Vec<u64>,
+}
+
+/// Locks the daemon state, recovering from a poisoned mutex. Worker job
+/// panics are caught before they can poison anything, but a panic in any
+/// other thread (client handler, test harness) must not brick the daemon:
+/// the queue/done-list invariants hold at every await point, so the state
+/// behind a poisoned lock is still consistent.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The long-running assessment service.
@@ -121,9 +136,22 @@ impl AssessmentService {
                 next_job_id: ledger.next_job_id(),
                 running: false,
                 shutdown: false,
+                panic_jobs: Vec::new(),
             }),
             cv: Condvar::new(),
         });
+        crate::telemetry::register_service_metrics();
+        event(
+            Level::Info,
+            "service",
+            "daemon_started",
+            &[
+                ("addr", client_addr.to_string().as_str().into()),
+                ("gdos", shared.gdos.into()),
+                ("panel_len", shared.panel_len.into()),
+                ("ledger_records", ledger.records().len().into()),
+            ],
+        );
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -163,15 +191,24 @@ impl AssessmentService {
     /// [`ServiceError::Io`] on a ledger write failure.
     pub fn execute(&mut self, panel: Vec<u32>, batches: u32) -> Result<LedgerRecord, ServiceError> {
         let job_id = {
-            let mut inner = self.shared.state.lock().expect("daemon state");
+            let mut inner = lock_state(&self.shared);
             let id = inner.next_job_id;
             inner.next_job_id += 1;
             id
         };
-        let record = self.run_job(job_id, panel, batches)?;
-        let mut inner = self.shared.state.lock().expect("daemon state");
+        let record = self.run_job_caught(job_id, panel, batches)?;
+        let mut inner = lock_state(&self.shared);
         inner.done.push(record.clone());
         Ok(record)
+    }
+
+    /// Arms a crash-test failpoint: when the job with `job_id` starts
+    /// executing, the worker panics. Only the panic path is synthetic —
+    /// everything from `catch_unwind` on (failed-job bookkeeping, client
+    /// response, the daemon surviving) is the production code under test.
+    #[doc(hidden)]
+    pub fn inject_job_panic(&self, job_id: u64) {
+        lock_state(&self.shared).panic_jobs.push(job_id);
     }
 
     /// Serves the queue until a client asks for [`ClientRequest::Shutdown`]
@@ -187,47 +224,79 @@ impl AssessmentService {
     pub fn run(mut self) -> Result<(), ServiceError> {
         loop {
             let job = {
-                let mut inner = self.shared.state.lock().expect("daemon state");
+                let mut inner = lock_state(&self.shared);
                 loop {
                     if signals::requested() || inner.shutdown {
                         break None;
                     }
                     if let Some(job) = inner.queue.pop_front() {
                         inner.running = true;
+                        crate::telemetry::jobs_queued().set(inner.queue.len() as i64);
+                        crate::telemetry::jobs_running().set(1);
                         break Some(job);
                     }
                     let (guard, _) = self
                         .shared
                         .cv
                         .wait_timeout(inner, SIGNAL_POLL)
-                        .expect("daemon state");
+                        .unwrap_or_else(PoisonError::into_inner);
                     inner = guard;
                 }
             };
             let Some(job) = job else {
                 return self.finish(signals::requested());
             };
-            let result = self.run_job(job.job_id, job.panel, job.batches);
-            let mut inner = self.shared.state.lock().expect("daemon state");
+            event(
+                Level::Info,
+                "service",
+                "job_running",
+                &[("job_id", job.job_id.into())],
+            );
+            let result = self.run_job_caught(job.job_id, job.panel, job.batches);
+            let mut inner = lock_state(&self.shared);
             inner.running = false;
+            crate::telemetry::jobs_running().set(0);
             match result {
                 Ok(record) => {
+                    crate::telemetry::jobs_certified().inc();
+                    event(
+                        Level::Info,
+                        "service",
+                        "job_certified",
+                        &[
+                            ("job_id", record.job_id.into()),
+                            ("released", record.released.len().into()),
+                        ],
+                    );
                     inner.done.push(record.clone());
                     if let Some(reply) = job.reply {
                         let _ = reply.send(Ok(record));
                     }
                 }
                 Err(error) => {
+                    crate::telemetry::jobs_failed().inc();
                     let message = error.to_string();
+                    event(
+                        Level::Warn,
+                        "service",
+                        "job_failed",
+                        &[
+                            ("job_id", job.job_id.into()),
+                            ("error", message.as_str().into()),
+                        ],
+                    );
                     if let Some(reply) = job.reply {
                         let _ = reply.send(Err(message));
                     }
-                    // A rejected spec leaves the session healthy; anything
-                    // else means the federation (or the ledger) is gone.
+                    // A rejected spec — or a job whose worker panicked
+                    // before touching the session — leaves the federation
+                    // healthy; anything else means it (or the ledger) is
+                    // gone.
                     match &error {
                         ServiceError::Protocol(
                             ProtocolError::InvalidConfig(_) | ProtocolError::EmptyStudy,
-                        ) => {}
+                        )
+                        | ServiceError::JobPanicked(_) => {}
                         _ => {
                             drop(inner);
                             let _ = self.finish(false);
@@ -237,6 +306,28 @@ impl AssessmentService {
                 }
             }
         }
+    }
+
+    /// Runs one job with an unwind barrier: a panic anywhere in job code
+    /// becomes [`ServiceError::JobPanicked`] instead of unwinding through
+    /// the serve loop, killing the daemon and poisoning the shared state
+    /// every client handler locks.
+    fn run_job_caught(
+        &mut self,
+        job_id: u64,
+        panel: Vec<u32>,
+        batches: u32,
+    ) -> Result<LedgerRecord, ServiceError> {
+        catch_unwind(AssertUnwindSafe(|| self.run_job(job_id, panel, batches))).unwrap_or_else(
+            |payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ServiceError::JobPanicked(message))
+            },
+        )
     }
 
     /// Closes the daemon without serving: drains the queue, stops the
@@ -250,8 +341,14 @@ impl AssessmentService {
     }
 
     fn finish(mut self, interrupted: bool) -> Result<(), ServiceError> {
+        event(
+            Level::Info,
+            "service",
+            "daemon_stopping",
+            &[("interrupted", interrupted.into())],
+        );
         {
-            let mut inner = self.shared.state.lock().expect("daemon state");
+            let mut inner = lock_state(&self.shared);
             inner.shutdown = true;
             for job in inner.queue.drain(..) {
                 if let Some(reply) = job.reply {
@@ -279,6 +376,9 @@ impl AssessmentService {
         panel: Vec<u32>,
         batches: u32,
     ) -> Result<LedgerRecord, ServiceError> {
+        if lock_state(&self.shared).panic_jobs.contains(&job_id) {
+            panic!("injected failpoint panic for job {job_id}");
+        }
         let forced = self.ledger.released_union();
         let record = if batches == 0 {
             let spec = JobSpec {
@@ -388,7 +488,7 @@ impl AssessmentService {
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     for conn in listener.incoming() {
-        if shared.state.lock().expect("daemon state").shutdown {
+        if lock_state(shared).shutdown {
             break;
         }
         let Ok(stream) = conn else { continue };
@@ -406,11 +506,11 @@ fn handle_client(mut stream: TcpStream, shared: &Arc<Shared>) {
     let response = match request {
         ClientRequest::Status => ClientResponse::Status(status_snapshot(shared)),
         ClientRequest::Results { job_id } => {
-            let inner = shared.state.lock().expect("daemon state");
+            let inner = lock_state(shared);
             ClientResponse::Results(inner.done.iter().find(|r| r.job_id == job_id).cloned())
         }
         ClientRequest::Shutdown => {
-            let mut inner = shared.state.lock().expect("daemon state");
+            let mut inner = lock_state(shared);
             inner.shutdown = true;
             drop(inner);
             shared.cv.notify_all();
@@ -469,7 +569,7 @@ fn enqueue(
             ));
         }
     }
-    let mut inner = shared.state.lock().expect("daemon state");
+    let mut inner = lock_state(shared);
     if inner.shutdown {
         return Err("service shutting down".to_string());
     }
@@ -487,6 +587,17 @@ fn enqueue(
         batches,
         reply,
     });
+    crate::telemetry::jobs_queued().set(inner.queue.len() as i64);
+    event(
+        Level::Info,
+        "service",
+        "job_queued",
+        &[
+            ("job_id", job_id.into()),
+            ("depth", inner.queue.len().into()),
+            ("batches", batches.into()),
+        ],
+    );
     drop(inner);
     shared.cv.notify_all();
     Ok(match result {
@@ -496,7 +607,7 @@ fn enqueue(
 }
 
 fn status_snapshot(shared: &Arc<Shared>) -> ServiceStatus {
-    let inner = shared.state.lock().expect("daemon state");
+    let inner = lock_state(shared);
     let mut links: Vec<LinkRecord> = Vec::new();
     let mut released: Vec<u32> = Vec::new();
     for record in &inner.done {
@@ -526,5 +637,6 @@ fn status_snapshot(shared: &Arc<Shared>) -> ServiceStatus {
         jobs_queued: inner.queue.len() as u64 + u64::from(inner.running),
         released_total: released.len() as u64,
         links,
+        metrics: gendpr_obs::render(),
     }
 }

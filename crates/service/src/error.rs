@@ -13,6 +13,10 @@ pub enum ServiceError {
     Io(io::Error),
     /// The federation (or a job) failed.
     Protocol(ProtocolError),
+    /// A job's worker panicked; the payload is the panic message. The
+    /// daemon catches the unwind, marks the job failed and keeps serving —
+    /// the shared queue state is never poisoned by job code.
+    JobPanicked(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -20,6 +24,7 @@ impl fmt::Display for ServiceError {
         match self {
             Self::Io(e) => write!(f, "service I/O: {e}"),
             Self::Protocol(e) => write!(f, "{e}"),
+            Self::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
 }
@@ -45,7 +50,7 @@ impl ServiceError {
     pub fn as_protocol(&self) -> Option<&ProtocolError> {
         match self {
             Self::Protocol(e) => Some(e),
-            Self::Io(_) => None,
+            Self::Io(_) | Self::JobPanicked(_) => None,
         }
     }
 }

@@ -250,6 +250,10 @@ pub struct ReleaseLedger {
     records: Vec<LedgerRecord>,
     /// Bytes discarded from a torn tail by [`ReleaseLedger::open`].
     recovered: u64,
+    /// One past the highest job id ever recorded, maintained at `open`
+    /// and `append` so `next_job_id` does not rescan the whole log on
+    /// every submit.
+    next_id: u64,
 }
 
 impl ReleaseLedger {
@@ -290,13 +294,17 @@ impl ReleaseLedger {
         if recovered > 0 {
             file.set_len(good as u64)?;
             file.sync_data()?;
+            crate::telemetry::ledger_fsyncs().inc();
         }
         file.seek(SeekFrom::End(0))?;
+        let next_id = records.iter().map(|r| r.job_id).max().unwrap_or(0) + 1;
+        crate::telemetry::ledger_records().set(records.len() as i64);
         Ok(Self {
             file,
             path,
             records,
             recovered,
+            next_id,
         })
     }
 
@@ -319,7 +327,11 @@ impl ReleaseLedger {
         self.file.write_all(&frame)?;
         self.file.flush()?;
         self.file.sync_data()?;
+        crate::telemetry::ledger_appends().inc();
+        crate::telemetry::ledger_fsyncs().inc();
+        self.next_id = self.next_id.max(record.job_id + 1);
         self.records.push(record);
+        crate::telemetry::ledger_records().set(self.records.len() as i64);
         Ok(())
     }
 
@@ -355,10 +367,11 @@ impl ReleaseLedger {
 
     /// The next job id: one past the highest ever recorded, starting at 1
     /// — stable across restarts, which keeps re-run jobs (and therefore
-    /// their certificate context digests) identical.
+    /// their certificate context digests) identical. O(1): the maximum is
+    /// cached at `open` and maintained by `append`.
     #[must_use]
     pub fn next_job_id(&self) -> u64 {
-        self.records.iter().map(|r| r.job_id).max().unwrap_or(0) + 1
+        self.next_id
     }
 
     /// Sorted union of every SNP ever released — the forced seed for the
@@ -420,6 +433,26 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gendpr-ledger-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("ledger.bin")
+    }
+
+    #[test]
+    fn next_job_id_cache_tracks_appends_and_reopen() {
+        let path = tmp("next-id");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut ledger = ReleaseLedger::open(&path).unwrap();
+            assert_eq!(ledger.next_job_id(), 1);
+            ledger.append(sample(1)).unwrap();
+            assert_eq!(ledger.next_job_id(), 2);
+            // Out-of-order ids (e.g. replayed from another daemon) still
+            // advance the cache to max + 1, never backwards.
+            ledger.append(sample(7)).unwrap();
+            assert_eq!(ledger.next_job_id(), 8);
+            ledger.append(sample(3)).unwrap();
+            assert_eq!(ledger.next_job_id(), 8);
+        }
+        let ledger = ReleaseLedger::open(&path).unwrap();
+        assert_eq!(ledger.next_job_id(), 8);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod error;
 pub mod ledger;
 pub mod protocol;
 pub mod signals;
+pub mod telemetry;
 
 pub use client::ServiceClient;
 pub use daemon::AssessmentService;

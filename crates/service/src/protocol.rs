@@ -101,6 +101,10 @@ pub struct ServiceStatus {
     pub released_total: u64,
     /// Cumulative per-link member traffic across every recorded job.
     pub links: Vec<LinkRecord>,
+    /// The daemon's metrics registry rendered in the Prometheus text
+    /// exposition format — the same document `--metrics-addr` serves, so
+    /// `gendpr status --metrics` works without an HTTP endpoint.
+    pub metrics: String,
 }
 wire_struct!(ServiceStatus {
     leader,
@@ -109,7 +113,8 @@ wire_struct!(ServiceStatus {
     jobs_done,
     jobs_queued,
     released_total,
-    links
+    links,
+    metrics
 });
 
 /// What the daemon answers.
@@ -217,6 +222,7 @@ mod tests {
                 plaintext_bytes: 300,
                 wire_bytes: 400,
             }],
+            metrics: "# TYPE gendpr_jobs_queued gauge\ngendpr_jobs_queued 1\n".into(),
         }));
     }
 

@@ -1,0 +1,108 @@
+//! Global job-lifecycle and ledger metrics for the assessment daemon.
+//!
+//! Queue depth and the running flag are gauges mirrored from the daemon's
+//! shared state every time it changes; job completions and ledger I/O are
+//! counters. Like every `gendpr-obs` consumer, this is observation only —
+//! the serve loop behaves identically with the registry unread.
+
+use gendpr_obs as obs;
+use std::sync::OnceLock;
+
+/// Jobs sitting in the FIFO queue (excluding the one running).
+pub fn jobs_queued() -> &'static obs::Gauge {
+    static G: OnceLock<obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        obs::gauge(
+            "gendpr_jobs_queued",
+            "Jobs waiting in the daemon's FIFO queue",
+            &[],
+        )
+    })
+}
+
+/// Whether a job is currently executing (0 or 1).
+pub fn jobs_running() -> &'static obs::Gauge {
+    static G: OnceLock<obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        obs::gauge(
+            "gendpr_jobs_running",
+            "Jobs currently executing (0 or 1)",
+            &[],
+        )
+    })
+}
+
+/// Jobs that finished with a certified release.
+pub fn jobs_certified() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_jobs_total",
+            "Jobs finished, by outcome",
+            &[("outcome", "certified")],
+        )
+    })
+}
+
+/// Jobs that finished in error (rejected spec, panic, dead session).
+pub fn jobs_failed() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_jobs_total",
+            "Jobs finished, by outcome",
+            &[("outcome", "failed")],
+        )
+    })
+}
+
+/// Records appended to the release ledger.
+pub fn ledger_appends() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_ledger_appends_total",
+            "Records appended to the release ledger",
+            &[],
+        )
+    })
+}
+
+/// fsyncs issued by the release ledger.
+pub fn ledger_fsyncs() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_ledger_fsyncs_total",
+            "Durability syncs issued by the release ledger",
+            &[],
+        )
+    })
+}
+
+/// Records currently in the ledger (set at open and after each append).
+pub fn ledger_records() -> &'static obs::Gauge {
+    static G: OnceLock<obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        obs::gauge(
+            "gendpr_ledger_records",
+            "Records currently in the release ledger",
+            &[],
+        )
+    })
+}
+
+/// Registers every service metric eagerly, plus the protocol and transport
+/// families underneath, so a daemon's exposition endpoint is fully
+/// populated (at zero) from the first scrape.
+pub fn register_service_metrics() {
+    jobs_queued();
+    jobs_running();
+    jobs_certified();
+    jobs_failed();
+    ledger_appends();
+    ledger_fsyncs();
+    ledger_records();
+    gendpr_core::telemetry::register_protocol_metrics();
+    gendpr_fednet::telemetry::register_transport_metrics();
+}

@@ -643,7 +643,9 @@ fn null_quantile(null_sums: &[f64], q: f64) -> f64 {
     let lo = (h.floor() as usize).min(n - 1);
     let frac = h - lo as f64;
     let mut scratch = null_sums.to_vec();
-    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("LR sums are finite");
+    // total_cmp: LR sums can degenerate to NaN (log of a zero-probability
+    // genotype); quickselect must stay panic-free and deterministic.
+    let cmp = |a: &f64, b: &f64| a.total_cmp(b);
     let (_, &mut low_stat, rest) = scratch.select_nth_unstable_by(lo, cmp);
     if frac == 0.0 || rest.is_empty() {
         return low_stat;

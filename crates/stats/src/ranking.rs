@@ -46,16 +46,27 @@ pub fn rank_by_association(
         .collect()
 }
 
-/// Sorts ranks most-significant-first (ascending p-value; ties broken by
-/// SNP id for determinism across leaders).
+/// Total order on p-values that ranks NaN strictly worst (least
+/// significant). A degenerate zero-variance SNP — every genotype identical,
+/// so a marginal total of the χ² table is 0 — yields a NaN p-value; it must
+/// sort after every real result instead of panicking the leader
+/// mid-protocol, and identically on every member for determinism.
+#[must_use]
+pub fn cmp_p_values(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (true, true) => std::cmp::Ordering::Equal,
+        // NaN is "worse" regardless of sign bit, unlike bare total_cmp.
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+    }
+}
+
+/// Sorts ranks most-significant-first (ascending p-value, NaN last; ties
+/// broken by SNP id for determinism across leaders).
 #[must_use]
 pub fn sort_most_significant_first(mut ranks: Vec<SnpRank>) -> Vec<SnpRank> {
-    ranks.sort_by(|a, b| {
-        a.p_value
-            .partial_cmp(&b.p_value)
-            .expect("p-values are finite")
-            .then(a.snp.cmp(&b.snp))
-    });
+    ranks.sort_by(|a, b| cmp_p_values(a.p_value, b.p_value).then(a.snp.cmp(&b.snp)));
     ranks
 }
 
@@ -63,7 +74,7 @@ pub fn sort_most_significant_first(mut ranks: Vec<SnpRank>) -> Vec<SnpRank> {
 /// `getMostRanked` helper of Algorithm 1. Ties prefer the first argument.
 #[must_use]
 pub fn most_ranked(a: SnpRank, b: SnpRank) -> SnpId {
-    if b.p_value < a.p_value {
+    if cmp_p_values(b.p_value, a.p_value) == std::cmp::Ordering::Less {
         b.snp
     } else {
         a.snp
@@ -119,5 +130,43 @@ mod tests {
     #[should_panic(expected = "one case count per SNP")]
     fn mismatched_lengths_panic() {
         let _ = rank_by_association(&[SnpId(0)], &[1, 2], 10, &[1], 10);
+    }
+
+    #[test]
+    fn constant_genotype_snp_ranks_worst_instead_of_panicking() {
+        // SNP1's minor allele never occurs in either cohort (constant
+        // genotype), making its χ² table degenerate: a marginal total is
+        // 0. The guarded statistic maps that to p = 1.0, but a NaN from
+        // any degenerate float path used to hit the old
+        // partial_cmp().expect("p-values are finite") and panic the
+        // leader mid-protocol — so harden the degenerate entry to NaN and
+        // require the sort to survive and rank it worst.
+        let snps = [SnpId(0), SnpId(1), SnpId(2)];
+        let mut ranks = rank_by_association(&snps, &[30, 0, 20], 100, &[10, 0, 20], 100);
+        ranks[1].p_value = f64::NAN;
+        let sorted = sort_most_significant_first(ranks);
+        assert_eq!(sorted[2].snp, SnpId(1), "NaN ranks last");
+        assert!(!sorted[0].p_value.is_nan());
+        // NaN never wins a pairwise comparison either.
+        let nan = SnpRank {
+            snp: SnpId(1),
+            p_value: f64::NAN,
+        };
+        let real = SnpRank {
+            snp: SnpId(0),
+            p_value: 0.9,
+        };
+        assert_eq!(most_ranked(nan, real), SnpId(0));
+        assert_eq!(most_ranked(real, nan), SnpId(0));
+    }
+
+    #[test]
+    fn cmp_p_values_totally_orders_nans() {
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_p_values(f64::NAN, 0.5), Greater);
+        assert_eq!(cmp_p_values(0.5, f64::NAN), Less);
+        assert_eq!(cmp_p_values(f64::NAN, f64::NAN), Equal);
+        assert_eq!(cmp_p_values(-f64::NAN, 0.5), Greater);
+        assert_eq!(cmp_p_values(0.1, 0.5), Less);
     }
 }

@@ -2,7 +2,9 @@
 # Service smoke test: a live `gendpr serve` federation certifies two
 # overlapping studies, the second seeded with the first's ledger entries,
 # across a daemon kill/restart — and the restarted second certificate is
-# identical to the one a never-restarted daemon produces.
+# identical to the one a never-restarted daemon produces. Along the way
+# the daemon's --metrics-addr exposition is scraped and must contain
+# per-phase timers with samples, job counters and transport counters.
 # Usage: scripts/service_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,7 +25,8 @@ trap cleanup EXIT
 serve() { # $1 = ledger file
   "$BIN" serve --gdos 2 \
     --case "$DIR/data/case.vcf" --reference "$DIR/data/reference.vcf" \
-    --ledger "$1" --listen "$ADDR" --timeout 60 &
+    --ledger "$1" --listen "$ADDR" --timeout 60 \
+    --metrics-addr "$METRICS_ADDR" --log-level info 2>>"$DIR/serve.log" &
   SERVE_PID=$!
   for _ in $(seq 1 100); do
     if "$BIN" status --addr "$ADDR" >/dev/null 2>&1; then return; fi
@@ -41,8 +44,22 @@ stop_daemon() {
 
 fingerprint() { grep 'assessment certificate' | awk '{print $3}'; }
 
+# Fetches the Prometheus exposition from the daemon's --metrics-addr
+# endpoint, via curl when available and bash's /dev/tcp otherwise.
+scrape_metrics() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://$METRICS_ADDR/metrics"
+  else
+    exec 3<>"/dev/tcp/${METRICS_ADDR%:*}/${METRICS_ADDR#*:}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+    cat <&3
+    exec 3<&- 3>&-
+  fi
+}
+
 echo "==> restarted run: job 1, daemon restart, job 2 over the same ledger"
 ADDR="127.0.0.1:$((7500 + RANDOM % 2000))"
+METRICS_ADDR="127.0.0.1:$((9500 + RANDOM % 2000))"
 serve "$DIR/ledger.bin"
 JOB1=$("$BIN" submit --addr "$ADDR" --snps 0-39)
 grep -q 'seeded with 0 prior' <<<"$JOB1" # fresh ledger: nothing to charge
@@ -57,11 +74,46 @@ if grep -q 'seeded with 0 prior' <<<"$JOB2"; then
 fi
 grep -q 'seeded with' <<<"$JOB2"
 "$BIN" status --addr "$ADDR" | grep -q 'link' # per-link traffic is reported
+
+echo "==> metrics exposition at $METRICS_ADDR"
+METRICS=$(scrape_metrics)
+for series in gendpr_phase_seconds gendpr_jobs_total gendpr_jobs_queued \
+  gendpr_subset_evaluations_total gendpr_net_frames_sent_total; do
+  if ! grep -q "^# TYPE $series" <<<"$METRICS"; then
+    echo "error: metrics exposition is missing $series" >&2
+    echo "$METRICS" >&2
+    exit 1
+  fi
+done
+for phase in maf ld lr; do
+  COUNT=$(awk -F' ' "/^gendpr_phase_seconds_count\{phase=\"$phase\"\}/ {print \$2}" <<<"$METRICS")
+  if [ -z "$COUNT" ] || [ "$COUNT" -lt 1 ]; then
+    echo "error: phase timer $phase has no samples (count: '${COUNT:-missing}')" >&2
+    exit 1
+  fi
+done
+CERTIFIED=$(awk -F' ' '/^gendpr_jobs_total\{outcome="certified"\}/ {print $2}' <<<"$METRICS")
+if [ -z "$CERTIFIED" ] || [ "$CERTIFIED" -lt 1 ]; then
+  echo "error: no certified jobs counted in the exposition" >&2
+  exit 1
+fi
+# --log-level info put JSON-lines events on the daemon's stderr.
+grep -q '"msg":"job_certified"' "$DIR/serve.log" || {
+  echo "error: no job_certified event in the daemon log" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+}
+# `status --metrics` dumps the same exposition without the HTTP endpoint.
+"$BIN" status --addr "$ADDR" --metrics | grep -q '^gendpr_jobs_queued' || {
+  echo "error: status --metrics did not include the queue gauge" >&2
+  exit 1
+}
 FP_RESTARTED=$(fingerprint <<<"$JOB2")
 stop_daemon
 
 echo "==> continuous run: both jobs against one daemon"
 ADDR="127.0.0.1:$((7500 + RANDOM % 2000))"
+METRICS_ADDR="127.0.0.1:$((9500 + RANDOM % 2000))"
 serve "$DIR/ledger-continuous.bin"
 "$BIN" submit --addr "$ADDR" --snps 0-39 >/dev/null
 FP_CONTINUOUS=$("$BIN" submit --addr "$ADDR" --snps 20-59 | fingerprint)

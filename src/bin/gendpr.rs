@@ -65,6 +65,7 @@ const ASSESS_FLAGS: &[&str] = &[
     "heartbeat-ms",
     "threads",
     "batches",
+    "log-level",
 ];
 const ASSESS_BOOLS: &[&str] = &["distributed"];
 const NODE_FLAGS: &[&str] = &[
@@ -88,6 +89,7 @@ const NODE_FLAGS: &[&str] = &[
     "heartbeat-ms",
     "threads",
     "chaos",
+    "log-level",
 ];
 const ATTACK_FLAGS: &[&str] = &["release", "victims", "reference", "fpr", "key"];
 const SERVE_FLAGS: &[&str] = &[
@@ -105,11 +107,14 @@ const SERVE_FLAGS: &[&str] = &[
     "threads",
     "ledger",
     "listen",
+    "metrics-addr",
+    "log-level",
 ];
 const SERVE_BOOLS: &[&str] = &["tcp"];
 const SUBMIT_FLAGS: &[&str] = &["addr", "snps", "batches"];
 const SUBMIT_BOOLS: &[&str] = &["no-wait"];
 const STATUS_FLAGS: &[&str] = &["addr"];
+const STATUS_BOOLS: &[&str] = &["metrics"];
 const RESULTS_FLAGS: &[&str] = &["addr", "job"];
 const STOP_FLAGS: &[&str] = &["addr"];
 
@@ -166,6 +171,15 @@ fn service_error(err: ServiceError) -> CliError {
     }
 }
 
+/// Applies `--log-level` (overriding `GENDPR_LOG`) for the long-running
+/// subcommands. Without the flag the environment variable stays in charge.
+fn apply_log_level(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    if let Some(spec) = flags.get("log-level") {
+        gendpr::obs::set_level(spec).map_err(|e| CliError::from(format!("--log-level: {e}")))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -191,7 +205,7 @@ fn main() -> ExitCode {
         Some("submit") => parse_flags(&args[1..], SUBMIT_FLAGS, SUBMIT_BOOLS)
             .map_err(CliError::from)
             .and_then(|f| cmd_submit(&f)),
-        Some("status") => parse_flags(&args[1..], STATUS_FLAGS, &[])
+        Some("status") => parse_flags(&args[1..], STATUS_FLAGS, STATUS_BOOLS)
             .map_err(CliError::from)
             .and_then(|f| cmd_status(&f)),
         Some("results") => parse_flags(&args[1..], RESULTS_FLAGS, &[])
@@ -233,9 +247,10 @@ gendpr node   --id K --peers HOST:PORT,... --case FILE --reference FILE\n       
 gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n  \
 gendpr serve  --case FILE --reference FILE --ledger FILE [--gdos N] [--tcp]\n                \
 [--listen ADDR] [--collusion f|all] [--seed N] [--maf F] [--ld F]\n                \
-[--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n  \
+[--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n                \
+[--metrics-addr HOST:PORT] [--log-level LEVEL]\n  \
 gendpr submit [--addr HOST:PORT] [--snps all|A-B|A,B,...] [--batches N] [--no-wait]\n  \
-gendpr status [--addr HOST:PORT]\n  \
+gendpr status [--addr HOST:PORT] [--metrics]\n  \
 gendpr results --job ID [--addr HOST:PORT]\n  \
 gendpr stop   [--addr HOST:PORT]\n\n\
 `assess --distributed` spawns one `gendpr node` process per GDO on free\n\
@@ -254,6 +269,15 @@ across daemon restarts. `submit` queues a job (blocking until certified\n  \
 unless --no-wait); `--batches N` routes it through the dynamic assessor.\n  \
 `status` shows queue depth and cumulative per-link traffic; `results`\n  \
 fetches a job's ledger record; `stop` shuts the daemon down cleanly.\n\n\
+OBSERVABILITY:\n  \
+--metrics-addr H:P  serve the daemon's metrics in the Prometheus text\n                      \
+format at http://H:P/metrics (per-phase timings,\n                      \
+transport counters, job-queue gauges)\n  \
+--log-level LEVEL   JSON-lines event logging to stderr: off, error,\n                      \
+warn, info, debug or trace (overrides GENDPR_LOG;\n                      \
+also on assess/node/serve)\n  \
+status --metrics    dump the same exposition document over the client\n                      \
+protocol, no HTTP endpoint needed\n\n\
 FAULT TOLERANCE:\n  --max-epochs N    survive member crashes via up to N-1 view changes\n                    \
 (default 1: abort on the first silent member)\n  --min-quorum N    smallest surviving roster \
 allowed to re-form\n                    (default G−f from the collusion mode)\n  \
@@ -490,6 +514,7 @@ fn release_for(cohort: &Cohort, safe_snps: &[gendpr::genomics::snp::SnpId]) -> G
 }
 
 fn cmd_assess(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    apply_log_level(flags)?;
     if flags.contains_key("distributed") {
         if flags.contains_key("batches") {
             return Err(CliError::from(
@@ -627,6 +652,7 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), CliErro
             "max-epochs",
             "heartbeat-ms",
             "threads",
+            "log-level",
         ] {
             if let Some(v) = flags.get(name) {
                 cmd.arg(format!("--{name}")).arg(v);
@@ -704,6 +730,7 @@ fn resolve_addr(spec: &str) -> Result<SocketAddr, String> {
 /// crash) and exits with the dedicated code 7.
 fn cmd_node(flags: &HashMap<String, String>) -> Result<(), CliError> {
     signals::install();
+    apply_log_level(flags)?;
     let worker_flags = flags.clone();
     let worker = std::thread::Builder::new()
         .name("gendpr-member".into())
@@ -899,6 +926,7 @@ fn cmd_assess_dynamic(flags: &HashMap<String, String>, batches: u32) -> Result<(
 /// release.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     signals::install();
+    apply_log_level(flags)?;
     let cohort = load_cohort(flags)?;
     let gdos: usize = flag(flags, "gdos", 3)?;
     let params = params_from_flags(flags)?;
@@ -964,12 +992,27 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
     let service = AssessmentService::start(federation, ledger, &cohort, params, listener)
         .map_err(service_error)?;
+    // Held until `run()` returns: dropping the server stops the exporter.
+    let metrics_server = match flags.get("metrics-addr") {
+        Some(spec) => {
+            let addr = resolve_addr(spec)?;
+            let server = gendpr::obs::MetricsServer::start(addr)
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            println!(
+                "metrics exposition on http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     println!(
         "serving on {} — submit jobs with `gendpr submit --addr {}`",
         service.client_addr(),
         service.client_addr()
     );
     service.run().map_err(service_error)?;
+    drop(metrics_server);
     println!("service stopped cleanly");
     Ok(())
 }
@@ -1082,6 +1125,11 @@ fn cmd_status(flags: &HashMap<String, String>) -> Result<(), CliError> {
             "link {} → {}: {} messages, {} wire bytes ({} plaintext)",
             link.from, link.to, link.messages, link.wire_bytes, link.plaintext_bytes
         );
+    }
+    if flags.contains_key("metrics") {
+        // The same Prometheus text document `serve --metrics-addr` serves,
+        // fetched over the client protocol so no HTTP endpoint is needed.
+        print!("{}", status.metrics);
     }
     Ok(())
 }

@@ -13,7 +13,9 @@
 //! * [`fednet`] — the federation transport, wire codec and traffic metrics,
 //! * [`core`] — the GenDPR protocol, baselines, collusion tolerance, attacks,
 //! * [`service`] — the serving layer: long-running assessment daemon, release
-//!   ledger, client protocol.
+//!   ledger, client protocol,
+//! * [`obs`] — observability: metrics registry, Prometheus text exposition,
+//!   span timers and JSON-lines event logging (`GENDPR_LOG`).
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -46,6 +48,7 @@ pub use gendpr_core as core;
 pub use gendpr_crypto as crypto;
 pub use gendpr_fednet as fednet;
 pub use gendpr_genomics as genomics;
+pub use gendpr_obs as obs;
 pub use gendpr_service as service;
 pub use gendpr_stats as stats;
 pub use gendpr_tee as tee;

@@ -1,0 +1,197 @@
+//! Observability must be a pure observer: running the federation with
+//! tracing at its loudest and the metrics exporter scraping may not
+//! change a single released byte or certificate, over either transport.
+//! The exposition itself must be well-formed Prometheus text format with
+//! the per-phase protocol timers present.
+
+use gendpr::core::config::{FederationConfig, GwasParams};
+use gendpr::core::runtime::RuntimeOptions;
+use gendpr::core::serving::{JobOutcome, JobSpec, ServiceFederation};
+use gendpr::fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
+use gendpr::fednet::transport::PeerId;
+use gendpr::genomics::snp::SnpId;
+use gendpr::genomics::synth::SyntheticCohort;
+use gendpr::obs::MetricsServer;
+use gendpr::stats::lr::LrTestParams;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn study() -> SyntheticCohort {
+    SyntheticCohort::builder()
+        .snps(80)
+        .case_individuals(100)
+        .reference_individuals(90)
+        .seed(53)
+        .drift(0.25)
+        .build()
+}
+
+fn config() -> FederationConfig {
+    FederationConfig::new(3).with_seed(17)
+}
+
+fn params() -> GwasParams {
+    GwasParams {
+        maf_cutoff: 0.05,
+        ld_cutoff: 1e-5,
+        lr: LrTestParams {
+            false_positive_rate: 0.1,
+            power_threshold: 0.6,
+        },
+    }
+}
+
+fn options() -> RuntimeOptions {
+    RuntimeOptions {
+        timeout: Duration::from_secs(30),
+        ..RuntimeOptions::default()
+    }
+}
+
+/// Two chained jobs (the second seeded with the first's release) over an
+/// already-started session; the outcome pair is the equivalence witness.
+fn run_jobs(mut session: ServiceFederation) -> (JobOutcome, JobOutcome) {
+    let first = session
+        .submit(&JobSpec {
+            job_id: 1,
+            panel: (0..50).map(SnpId).collect(),
+            forced: vec![],
+        })
+        .unwrap();
+    let second = session
+        .submit(&JobSpec {
+            job_id: 2,
+            panel: (30..80).map(SnpId).collect(),
+            forced: first.released.clone(),
+        })
+        .unwrap();
+    session.shutdown().unwrap();
+    (first, second)
+}
+
+fn in_memory_session() -> ServiceFederation {
+    ServiceFederation::start_in_memory(config(), params(), study(), options()).unwrap()
+}
+
+fn tcp_session() -> ServiceFederation {
+    let (roster, listeners) = ephemeral_listeners(3).expect("localhost listeners");
+    let transports: Vec<TcpTransport> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            TcpTransport::from_listener(PeerId(id as u32), listener, &roster, TcpOptions::default())
+                .expect("transport from bound listener")
+        })
+        .collect();
+    ServiceFederation::start_over(transports, config(), params(), study(), options()).unwrap()
+}
+
+/// Everything that reaches the outside world: released ids, statistics
+/// and the certificate quote. Traffic is excluded (idle keepalives make
+/// it timing-dependent) — it never leaves the federation anyway.
+fn witness(outcome: &JobOutcome) -> impl PartialEq + std::fmt::Debug {
+    (
+        outcome.released.clone(),
+        outcome.case_freqs.clone(),
+        outcome.ref_freqs.clone(),
+        outcome.final_power.to_bits(),
+        outcome.certificate.clone(),
+    )
+}
+
+fn scrape(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn observability_on_is_byte_identical_to_off() {
+    // Baseline: whatever logging state the process starts in (GENDPR_LOG
+    // unset in CI ⇒ off), no exporter running.
+    let baseline_memory = run_jobs(in_memory_session());
+    let baseline_tcp = run_jobs(tcp_session());
+
+    // Loudest possible observability: trace-level events on stderr and a
+    // live exporter being scraped while the jobs run.
+    gendpr::obs::set_level("trace").unwrap();
+    let server = MetricsServer::start("127.0.0.1:0").expect("exporter binds");
+    let loud_memory = run_jobs(in_memory_session());
+    let mid_run_scrape = scrape(server.local_addr());
+    let loud_tcp = run_jobs(tcp_session());
+    gendpr::obs::set_level("off").unwrap();
+
+    assert_eq!(
+        witness(&baseline_memory.0),
+        witness(&loud_memory.0),
+        "in-memory job 1 must not change under observability"
+    );
+    assert_eq!(witness(&baseline_memory.1), witness(&loud_memory.1));
+    assert_eq!(
+        witness(&baseline_tcp.0),
+        witness(&loud_tcp.0),
+        "TCP job 1 must not change under observability"
+    );
+    assert_eq!(witness(&baseline_tcp.1), witness(&loud_tcp.1));
+    // And the two transports agree with each other while instrumented.
+    assert_eq!(witness(&loud_memory.0), witness(&loud_tcp.0));
+    assert_eq!(witness(&loud_memory.1), witness(&loud_tcp.1));
+
+    // The exporter observed the runs: per-phase timers have samples.
+    assert!(mid_run_scrape.contains("200 OK"), "{mid_run_scrape}");
+    for phase in ["maf", "ld", "lr"] {
+        assert!(
+            mid_run_scrape.contains(&format!("gendpr_phase_seconds_count{{phase=\"{phase}\"}}")),
+            "missing {phase} timer in exposition:\n{mid_run_scrape}"
+        );
+    }
+}
+
+#[test]
+fn metrics_endpoint_serves_wellformed_exposition() {
+    // What `gendpr serve` does at startup, so never-hit series (e.g. the
+    // one-shot runtime's aggregation timer) still expose at zero.
+    gendpr::service::telemetry::register_service_metrics();
+    // Run one job so the protocol metrics have real samples.
+    let _ = run_jobs(in_memory_session());
+
+    let server = MetricsServer::start("127.0.0.1:0").expect("exporter binds");
+    let response = scrape(server.local_addr());
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+
+    // Every metric family carries HELP and TYPE lines, histograms end in
+    // a +Inf bucket and expose _sum/_count.
+    assert!(body.contains("# HELP gendpr_phase_seconds"));
+    assert!(body.contains("# TYPE gendpr_phase_seconds histogram"));
+    assert!(body.contains("le=\"+Inf\""));
+    assert!(body.contains("gendpr_phase_seconds_sum"));
+    assert!(body.contains("gendpr_phase_seconds_count"));
+    assert!(body.contains("# TYPE gendpr_subset_evaluations_total counter"));
+    assert!(body.contains("# TYPE gendpr_net_frames_sent_total counter"));
+
+    // Per-phase timers observed the run.
+    for phase in ["aggregation", "maf", "ld", "lr"] {
+        assert!(
+            body.contains(&format!("phase=\"{phase}\"")),
+            "missing phase label {phase}:\n{body}"
+        );
+    }
+
+    // Unknown paths 404, the root path aliases /metrics.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(b"GET /nope HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+}

@@ -323,6 +323,38 @@ fn client_protocol_drives_a_live_daemon() {
 }
 
 #[test]
+fn panicking_job_leaves_the_daemon_serving() {
+    let path = temp_ledger("panic");
+    let daemon = start_daemon(ReleaseLedger::open(&path).unwrap());
+    let addr = daemon.client_addr();
+    // Arm the failpoint for the next job id (fresh ledger ⇒ job 1): the
+    // worker panics mid-job, the daemon must catch the unwind, answer the
+    // waiting client with the panic message, and keep serving.
+    daemon.inject_job_panic(1);
+    let serve = std::thread::spawn(move || daemon.run());
+    let client = ServiceClient::new(addr);
+
+    let failed = client.submit_and_wait((0..60).collect(), 0).unwrap_err();
+    assert!(
+        failed.to_string().contains("job panicked"),
+        "client sees the panic as a typed job failure, got: {failed}"
+    );
+
+    // The daemon survived: status answers and the next job certifies.
+    let status = client.status().unwrap();
+    assert_eq!(status.jobs_queued, 0);
+    let ok = client.submit_and_wait((0..60).collect(), 0).unwrap();
+    assert_eq!(ok.job_id, 2, "the panicked job consumed id 1");
+    assert!(!ok.released.is_empty());
+    assert!(ok.certificate.is_some());
+
+    client.shutdown().unwrap();
+    serve.join().unwrap().unwrap();
+    // Only the successful job reached the ledger.
+    assert_eq!(ReleaseLedger::open(&path).unwrap().len(), 1);
+}
+
+#[test]
 fn malformed_specs_are_rejected_without_poisoning_the_session() {
     let mut session =
         ServiceFederation::start_in_memory(config(2), params(), study(), options()).unwrap();

@@ -90,6 +90,45 @@ proptest! {
         bytes.extend(std::iter::repeat_n(0u8, extra));
         prop_assert!(from_bytes::<CountsReport>(&bytes).is_err());
     }
+
+    #[test]
+    fn adversarial_vec_length_prefixes_never_outallocate_the_body(
+        claimed in any::<u64>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // A hostile length prefix must be bounded by what the body could
+        // actually hold at each element type's minimum wire width — a
+        // claim the pre-check lets through can reserve at most the body
+        // it arrived in, never `claimed * size_of::<T>()`.
+        let mut bytes = claimed.to_le_bytes().to_vec();
+        bytes.extend(&tail);
+        if let Ok(v) = from_bytes::<Vec<u64>>(&bytes) {
+            prop_assert!(v.len() * 8 <= tail.len());
+        }
+        if let Ok(v) = from_bytes::<Vec<u32>>(&bytes) {
+            prop_assert!(v.len() * 4 <= tail.len());
+        }
+        if let Ok(v) = from_bytes::<Vec<f64>>(&bytes) {
+            prop_assert!(v.len() * 8 <= tail.len());
+        }
+        if let Ok(v) = from_bytes::<Vec<String>>(&bytes) {
+            // A String is at least its 8-byte length prefix on the wire.
+            prop_assert!(v.len() * 8 <= tail.len());
+        }
+    }
+
+    #[test]
+    fn length_prefix_claims_are_checked_against_element_width(
+        n in 1u64..1_000_000,
+        tail_len in 0usize..64,
+    ) {
+        // Claim `n` u64 elements while shipping fewer than n*8 body bytes:
+        // the decoder must reject before reserving anything.
+        prop_assume!((tail_len as u64) < n.saturating_mul(8));
+        let mut bytes = n.to_le_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0u8, tail_len));
+        prop_assert!(from_bytes::<Vec<u64>>(&bytes).is_err());
+    }
 }
 
 proptest! {
