@@ -1,0 +1,376 @@
+//! Load-tests the assessment daemon's concurrent scheduler: hundreds of
+//! simulated clients hammer one daemon over the client protocol, first
+//! with a single worker lane (the historical FIFO behaviour), then with
+//! a pool, and the harness reports per-phase throughput and latency
+//! percentiles from the daemon's own `gendpr_sched_*` histograms.
+//!
+//! Job *execution* on a development box is microseconds of arithmetic,
+//! which no scheduler can speed up on one core. What the worker pool
+//! actually buys is overlap of the protocol's **network waits** — the
+//! paper's GDOs are geo-distributed, and every MAF/LD/LR round blocks on
+//! the slowest link. The harness reproduces that honestly: each lane's
+//! member mesh runs over real loopback TCP with seeded fault-plan delays
+//! (`reorder_window_ms`, zero loss, zero duplication), so every job
+//! spends most of its life waiting on sockets, exactly like a WAN
+//! deployment, and lanes overlap those waits.
+//!
+//! The binary enforces its own pass criteria (everything completed,
+//! nothing dropped, optional `--min-speedup`), so `scripts/loadtest.sh`
+//! needs no JSON parsing; `--out` writes `BENCH_service.json`.
+
+use gendpr_core::config::{FederationConfig, GwasParams};
+use gendpr_core::runtime::RuntimeOptions;
+use gendpr_core::serving::ServiceFederation;
+use gendpr_fednet::fault::{ChaosFaults, FaultPlan};
+use gendpr_fednet::tcp::{ephemeral_listeners, TcpOptions, TcpTransport};
+use gendpr_fednet::transport::{PeerId, Transport};
+use gendpr_genomics::synth::SyntheticCohort;
+use gendpr_obs::quantile_from_counts;
+use gendpr_service::daemon::AssessmentService;
+use gendpr_service::ledger::ReleaseLedger;
+use gendpr_service::{telemetry, SchedulerConfig, ServiceClient};
+use gendpr_stats::lr::LrTestParams;
+use std::io::ErrorKind;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const GDOS: usize = 3;
+const SNPS: usize = 96;
+const JOB_PANEL: u32 = 16;
+
+struct Config {
+    clients: usize,
+    delay_ms: u32,
+    max_queue: usize,
+    worker_phases: Vec<usize>,
+    min_speedup: f64,
+    out: String,
+    smoke: bool,
+}
+
+struct PhaseReport {
+    workers: usize,
+    wall: Duration,
+    completed: u64,
+    dropped: u64,
+    queue_full_rejects: u64,
+    latency: [f64; 3],
+    wait_p50: f64,
+}
+
+fn study() -> SyntheticCohort {
+    SyntheticCohort::builder()
+        .snps(SNPS)
+        .case_individuals(64)
+        .reference_individuals(48)
+        .seed(97)
+        .drift(0.3)
+        .build()
+}
+
+fn params() -> GwasParams {
+    GwasParams {
+        maf_cutoff: 0.05,
+        ld_cutoff: 1e-5,
+        lr: LrTestParams {
+            false_positive_rate: 0.1,
+            power_threshold: 0.6,
+        },
+    }
+}
+
+/// One federation lane over loopback TCP with seeded delay faults on
+/// every member, so each protocol round has genuine socket waits.
+fn start_lane(lane: usize, delay_ms: u32) -> ServiceFederation {
+    let (roster, listeners) = ephemeral_listeners(GDOS).expect("localhost listeners");
+    let transports: Vec<TcpTransport> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let transport = TcpTransport::from_listener(
+                PeerId(id as u32),
+                listener,
+                &roster,
+                TcpOptions::default(),
+            )
+            .expect("transport from bound listener");
+            let mut plan = FaultPlan::none();
+            plan.chaos(ChaosFaults {
+                seed: 1000 + (lane * GDOS + id) as u64,
+                drop_rate: 0.0,
+                duplicate_rate: 0.0,
+                reorder_window_ms: delay_ms,
+            });
+            transport.set_faults(plan);
+            transport
+        })
+        .collect();
+    let options = RuntimeOptions {
+        timeout: Duration::from_secs(120),
+        ..RuntimeOptions::default()
+    };
+    ServiceFederation::start_over(
+        transports,
+        FederationConfig::new(GDOS).with_seed(53),
+        params(),
+        study(),
+        options,
+    )
+    .expect("lane session starts")
+}
+
+/// Snapshot of the cumulative scheduler histograms; subtracting two
+/// isolates one phase's observations.
+struct MetricsSnapshot {
+    latency: Vec<u64>,
+    wait: Vec<u64>,
+    queue_full: u64,
+}
+
+fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        latency: telemetry::sched_job_latency_seconds().bucket_counts(),
+        wait: telemetry::sched_job_wait_seconds().bucket_counts(),
+        queue_full: telemetry::sched_admission_rejects("queue_full").get(),
+    }
+}
+
+fn delta(before: &[u64], after: &[u64]) -> Vec<u64> {
+    after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect()
+}
+
+fn run_phase(config: &Config, workers: usize, ledger_path: &PathBuf) -> PhaseReport {
+    eprintln!(
+        "phase: {workers} worker lane(s), {} clients…",
+        config.clients
+    );
+    let lanes: Vec<ServiceFederation> = (0..workers)
+        .map(|lane| {
+            let session = start_lane(lane, config.delay_ms);
+            eprintln!("  lane {lane} attested");
+            session
+        })
+        .collect();
+    let cohort = study();
+    let ledger = ReleaseLedger::open(ledger_path).expect("fresh ledger");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("client listener");
+    let service = AssessmentService::start_with(
+        lanes,
+        ledger,
+        cohort.as_ref(),
+        params(),
+        listener,
+        SchedulerConfig {
+            workers,
+            max_queue: config.max_queue,
+        },
+    )
+    .expect("daemon starts");
+    let addr = service.client_addr();
+    eprintln!("  daemon on {addr}");
+
+    let before = snapshot();
+    let completed = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..config.clients)
+        .map(|i| {
+            let completed = Arc::clone(&completed);
+            let dropped = Arc::clone(&dropped);
+            thread::spawn(move || {
+                let client = ServiceClient::new(addr);
+                // Distinct overlapping slices so jobs differ but stay valid.
+                let start = (i as u32 * 7) % (SNPS as u32 - JOB_PANEL);
+                let panel: Vec<u32> = (start..start + JOB_PANEL).collect();
+                let deadline = Instant::now() + Duration::from_secs(600);
+                loop {
+                    match client.submit_and_wait(panel.clone(), 0) {
+                        Ok(_) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        // Backpressure: the queue is full, retry shortly.
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            if Instant::now() > deadline {
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            thread::sleep(Duration::from_millis(5 + (i as u64 % 7)));
+                        }
+                        Err(e) => {
+                            eprintln!("client {i}: job lost: {e}");
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let wall = started.elapsed();
+    let after = snapshot();
+    service.stop().expect("daemon drains cleanly");
+
+    let latency_delta = delta(&before.latency, &after.latency);
+    let wait_delta = delta(&before.wait, &after.wait);
+    let bounds = telemetry::sched_job_latency_seconds().bounds().to_vec();
+    PhaseReport {
+        workers,
+        wall,
+        completed: completed.load(Ordering::Relaxed),
+        dropped: dropped.load(Ordering::Relaxed),
+        queue_full_rejects: after.queue_full - before.queue_full,
+        latency: [0.5, 0.95, 0.99].map(|q| quantile_from_counts(&bounds, &latency_delta, q)),
+        wait_p50: quantile_from_counts(&bounds, &wait_delta, 0.5),
+    }
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        clients: 200,
+        delay_ms: 12,
+        max_queue: 48,
+        worker_phases: vec![1, 4],
+        min_speedup: 0.0,
+        out: String::from("BENCH_service.json"),
+        smoke: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                config.smoke = true;
+                config.clients = 24;
+                config.delay_ms = 4;
+                config.max_queue = 8;
+            }
+            "--clients" => {
+                i += 1;
+                config.clients = args[i].parse().expect("--clients needs a count");
+            }
+            "--delay-ms" => {
+                i += 1;
+                config.delay_ms = args[i].parse().expect("--delay-ms needs milliseconds");
+            }
+            "--max-queue" => {
+                i += 1;
+                config.max_queue = args[i].parse().expect("--max-queue needs a bound");
+            }
+            "--min-speedup" => {
+                i += 1;
+                config.min_speedup = args[i].parse().expect("--min-speedup needs a factor");
+            }
+            "--out" => {
+                i += 1;
+                config.out = args[i].clone();
+            }
+            other => panic!(
+                "unknown argument {other}; use --smoke | --clients N | --delay-ms MS | \
+                 --max-queue N | --min-speedup F | --out PATH"
+            ),
+        }
+        i += 1;
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    // Job-lifecycle events for hundreds of jobs would swamp stderr.
+    gendpr_obs::set_level("error").expect("valid log level");
+
+    let mut reports = Vec::new();
+    let mut ledgers = Vec::new();
+    for &workers in &config.worker_phases {
+        let ledger_path = std::env::temp_dir().join(format!(
+            "gendpr-load-{}-w{workers}.ledger",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&ledger_path);
+        let report = run_phase(&config, workers, &ledger_path);
+        eprintln!(
+            "  {} lane(s): {} jobs in {:.2?} ({:.2} jobs/s), {} queue-full rejects, p50 {:.0} ms",
+            report.workers,
+            report.completed,
+            report.wall,
+            report.completed as f64 / report.wall.as_secs_f64(),
+            report.queue_full_rejects,
+            report.latency[0] * 1e3,
+        );
+        reports.push(report);
+        ledgers.push(ledger_path);
+    }
+    for ledger in &ledgers {
+        let _ = std::fs::remove_file(ledger);
+    }
+
+    let throughput =
+        |r: &PhaseReport| -> f64 { r.completed as f64 / r.wall.as_secs_f64().max(1e-9) };
+    let speedup = if reports.len() >= 2 {
+        throughput(&reports[reports.len() - 1]) / throughput(&reports[0]).max(1e-9)
+    } else {
+        1.0
+    };
+
+    let phase_json: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"workers\": {},\n      \"wall_s\": {:.3},\n      \"completed\": {},\n      \"dropped\": {},\n      \"queue_full_rejects\": {},\n      \"throughput_jobs_per_s\": {:.3},\n      \"latency_s\": {{ \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n      \"queue_wait_p50_s\": {:.4}\n    }}",
+                r.workers,
+                r.wall.as_secs_f64(),
+                r.completed,
+                r.dropped,
+                r.queue_full_rejects,
+                throughput(r),
+                r.latency[0],
+                r.latency[1],
+                r.latency[2],
+                r.wait_p50,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"clients\": {},\n    \"gdos\": {GDOS},\n    \"snps\": {SNPS},\n    \"job_panel\": {JOB_PANEL},\n    \"link_delay_ms\": {},\n    \"max_queue\": {},\n    \"smoke\": {}\n  }},\n  \"phases\": [\n{}\n  ],\n  \"speedup\": {:.2}\n}}\n",
+        config.clients,
+        config.delay_ms,
+        config.max_queue,
+        config.smoke,
+        phase_json.join(",\n"),
+        speedup,
+    );
+    std::fs::write(&config.out, &json).expect("writing the JSON report");
+    println!("report written to {}", config.out);
+    println!("speedup: {speedup:.2}x");
+
+    let expected = config.clients as u64;
+    for report in &reports {
+        assert_eq!(
+            report.dropped, 0,
+            "{} lane(s): {} job(s) dropped",
+            report.workers, report.dropped
+        );
+        assert_eq!(
+            report.completed, expected,
+            "{} lane(s): only {}/{expected} jobs completed",
+            report.workers, report.completed
+        );
+    }
+    assert!(
+        speedup >= config.min_speedup,
+        "worker-pool speedup {speedup:.2}x is below the required {:.2}x",
+        config.min_speedup
+    );
+}

@@ -465,6 +465,17 @@ impl Transport for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
+        // Deliver reorder-held frames before tearing down. The chaos plan
+        // models *delay*; only `drop_rate` may lose frames. Without this
+        // flush a session-closing frame sent moments before the transport
+        // drops would silently vanish with the flusher thread, stranding
+        // peers that keep waiting for it.
+        let held: Vec<HeldTcpFrame> = std::mem::take(&mut lock(&self.shared.held));
+        for f in held {
+            if let Some(&addr) = self.shared.peers.get(&f.to) {
+                let _ = write_frame(&self.shared, f.to, addr, &f.bytes, f.plaintext_len);
+            }
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Closing outbound connections EOFs the peers' readers.
         lock(&self.shared.conns).clear();

@@ -4,11 +4,13 @@
 //! registry rendered in text format 0.0.4, one short-lived connection per
 //! scrape, on a dedicated thread. It understands just enough HTTP/1.x for
 //! Prometheus, curl, and a shell `/dev/tcp` scrape; anything else gets a
-//! 404 or 400. Shutdown reuses the daemon's poke idiom: set the flag, then
-//! open a throwaway connection to unblock `accept`.
+//! 404 or 400. The listener is non-blocking and poll-driven: the thread
+//! alternates accepting ready connections with a short sleep, so dropping
+//! the server stops it within one poll interval — no self-connect poke,
+//! and no dependence on the listener ever seeing another connection.
 
 use crate::metrics;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -19,6 +21,9 @@ use std::time::Duration;
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// Socket deadline for reading the request and writing the response.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long the accept loop sleeps when no connection is pending; bounds
+/// shutdown latency and adds at most this much to a scrape's wait.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// A running exposition endpoint. Dropping it stops the listener thread.
 pub struct MetricsServer {
@@ -32,6 +37,7 @@ impl MetricsServer {
     /// serves the global registry until the returned server is dropped.
     pub fn start<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
@@ -54,8 +60,6 @@ impl MetricsServer {
 impl Drop for MetricsServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept so the thread observes the flag.
-        let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -63,20 +67,23 @@ impl Drop for MetricsServer {
 }
 
 fn serve_loop(listener: TcpListener, shutdown: Arc<AtomicBool>) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        if let Ok(stream) = stream {
-            // Scrapes are rare and the render is cheap; serving inline keeps
-            // the thread count flat.
-            let _ = answer(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare and the render is cheap; serving inline
+                // keeps the thread count flat.
+                let _ = answer(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (per-connection resets); don't spin.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
     }
 }
 
 /// Reads one request head and writes one response.
 fn answer(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut head = Vec::with_capacity(256);
@@ -135,5 +142,18 @@ mod tests {
         let missing = get(server.local_addr(), "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
         drop(server);
+    }
+
+    #[test]
+    fn drop_stops_the_listener_without_a_wakeup_connection() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind metrics endpoint");
+        let addr = server.local_addr();
+        let started = std::time::Instant::now();
+        drop(server);
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "poll-driven accept should notice shutdown within one interval"
+        );
+        assert!(TcpStream::connect(addr).is_err(), "listener must be closed");
     }
 }

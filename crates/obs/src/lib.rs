@@ -21,7 +21,10 @@ pub mod span;
 
 pub use http::MetricsServer;
 pub use log::{enabled, event, set_level, Level, Value};
-pub use metrics::{global, Counter, Gauge, Histogram, Registry, BYTE_BUCKETS, DURATION_BUCKETS};
+pub use metrics::{
+    global, quantile_from_counts, Counter, Gauge, Histogram, Registry, BYTE_BUCKETS,
+    DURATION_BUCKETS,
+};
 pub use span::SpanTimer;
 
 /// Gets or creates a counter in the global registry.

@@ -126,6 +126,65 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
+
+    /// Ascending bucket upper bounds, exclusive of the implicit `+Inf`.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// A snapshot of the non-cumulative per-bucket counts; one extra
+    /// trailing slot for `+Inf`. Subtracting two snapshots isolates a
+    /// measurement window, which is how the load harness derives
+    /// per-phase percentiles from the cumulative process registry.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`) of everything observed so
+    /// far; see [`quantile_from_counts`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_counts(self.bounds(), &self.bucket_counts(), q)
+    }
+}
+
+/// Estimated `q`-quantile of a histogram given its bucket `bounds` and
+/// non-cumulative `counts` (one extra trailing `+Inf` slot), using linear
+/// interpolation within the covering bucket — the same estimator as
+/// Prometheus's `histogram_quantile`. Returns `0.0` for an empty
+/// histogram; observations above the last finite bound clamp to it.
+pub fn quantile_from_counts(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    assert!(
+        counts.len() == bounds.len() + 1,
+        "counts must cover every bound plus +Inf"
+    );
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        let below = cumulative;
+        cumulative += count;
+        if cumulative >= rank {
+            if i == bounds.len() {
+                // Inside +Inf: the best finite statement is the last bound.
+                return bounds.last().copied().unwrap_or(f64::INFINITY);
+            }
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let fraction = if count == 0 {
+                1.0
+            } else {
+                (rank - below) as f64 / count as f64
+            };
+            return lower + (bounds[i] - lower) * fraction;
+        }
+    }
+    bounds.last().copied().unwrap_or(f64::INFINITY)
 }
 
 /// Upper bounds for wall-clock spans: 500µs to 60s, roughly ×2.5 apart.
@@ -366,6 +425,27 @@ mod tests {
         assert!(text.contains("t_seconds_bucket{le=\"1\"} 2"));
         assert!(text.contains("t_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("t_seconds_count 3"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_q_seconds", "help", &[], &[0.1, 1.0, 10.0]);
+        for _ in 0..90 {
+            h.observe(0.05);
+        }
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        assert_eq!(h.bounds(), &[0.1, 1.0, 10.0]);
+        assert_eq!(h.bucket_counts(), vec![90, 10, 0, 0]);
+        // p50 lands mid-way through the first bucket, p95 inside the second.
+        assert!((h.quantile(0.5) - 0.1 * (50.0 / 90.0)).abs() < 1e-12);
+        let p95 = h.quantile(0.95);
+        assert!(p95 > 0.1 && p95 <= 1.0, "p95 = {p95}");
+        // Empty histogram and +Inf overflow behave predictably.
+        assert_eq!(quantile_from_counts(&[1.0], &[0, 0], 0.5), 0.0);
+        assert_eq!(quantile_from_counts(&[1.0], &[0, 3], 0.99), 1.0);
     }
 
     #[test]

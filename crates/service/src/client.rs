@@ -4,7 +4,7 @@
 //! connects.
 
 use crate::ledger::LedgerRecord;
-use crate::protocol::{ClientRequest, ClientResponse, ServiceStatus};
+use crate::protocol::{ClientRequest, ClientResponse, RejectReason, ServiceStatus};
 use gendpr_fednet::client::{read_message, write_message};
 use gendpr_fednet::tcp::{connect_retry, TcpOptions};
 use std::io;
@@ -45,8 +45,11 @@ impl ServiceClient {
     ///
     /// # Errors
     ///
-    /// I/O failure, or [`io::ErrorKind::Other`] carrying the daemon's
-    /// rejection message.
+    /// I/O failure; [`io::ErrorKind::WouldBlock`] when admission control
+    /// rejected the job for a full queue (retry after a backoff);
+    /// [`io::ErrorKind::ConnectionAborted`] when the daemon is shutting
+    /// down; [`io::ErrorKind::Other`] carrying any other rejection
+    /// message.
     pub fn submit(&self, panel: Vec<u32>, batches: u32) -> io::Result<u64> {
         match self.call(&ClientRequest::Submit {
             panel,
@@ -62,7 +65,9 @@ impl ServiceClient {
     ///
     /// # Errors
     ///
-    /// I/O failure, or [`io::ErrorKind::Other`] carrying the daemon's
+    /// I/O failure; [`io::ErrorKind::WouldBlock`] for a full queue;
+    /// [`io::ErrorKind::ConnectionAborted`] when the daemon shut down
+    /// before the job ran; [`io::ErrorKind::Other`] carrying any other
     /// rejection or the job's failure message.
     pub fn submit_and_wait(&self, panel: Vec<u32>, batches: u32) -> io::Result<LedgerRecord> {
         match self.call(&ClientRequest::Submit {
@@ -113,9 +118,17 @@ impl ServiceClient {
 }
 
 fn unexpected(response: ClientResponse) -> io::Error {
-    let message = match response {
-        ClientResponse::Error(message) => message,
-        other => format!("unexpected response: {other:?}"),
-    };
-    io::Error::other(message)
+    match response {
+        // Typed rejections keep their kind so callers can branch on them
+        // (retry-with-backoff on a full queue, give up on shutdown)
+        // without parsing messages.
+        ClientResponse::Rejected(reason @ RejectReason::QueueFull { .. }) => {
+            io::Error::new(io::ErrorKind::WouldBlock, reason.to_string())
+        }
+        ClientResponse::Rejected(reason @ RejectReason::ShuttingDown) => {
+            io::Error::new(io::ErrorKind::ConnectionAborted, reason.to_string())
+        }
+        ClientResponse::Error(message) => io::Error::other(message),
+        other => io::Error::other(format!("unexpected response: {other:?}")),
+    }
 }

@@ -1,116 +1,111 @@
-//! The assessment daemon: a FIFO job queue in front of a long-lived
-//! [`ServiceFederation`], with every certified release recorded in the
-//! [`ReleaseLedger`].
+//! The assessment daemon: a bounded job queue with admission control in
+//! front of a pool of [`ServiceFederation`] worker lanes, with every
+//! certified release recorded in the [`ReleaseLedger`].
 //!
 //! # Job lifecycle
 //!
 //! 1. A client connects to the daemon's listener and sends one
-//!    [`ClientRequest::Submit`]; the accept loop validates the panel,
-//!    assigns the next job id and queues the job.
-//! 2. The serve loop ([`AssessmentService::run`]) pops jobs in FIFO
-//!    order. Every job's LR phase is seeded with the ledger's
-//!    [`ReleaseLedger::released_union`] — the union of *all* SNPs ever
-//!    released, by any earlier job, in any earlier run of the daemon —
-//!    so the certified adversary power covers the cumulative release.
+//!    [`ClientRequest::Submit`]; admission validates the panel, assigns
+//!    the next job id and queues the job — or rejects it with a typed
+//!    verdict ([`ClientResponse::Rejected`]) when the bounded queue is
+//!    full or the daemon is draining. A waiting submit hands its socket
+//!    to the scheduler instead of parking the handler thread.
+//! 2. Worker lanes pull jobs in FIFO order ([`crate::sched`]). Every
+//!    job's LR phase is seeded with the ledger's
+//!    [`ReleaseLedger::released_union`] snapshotted at dispatch — the
+//!    union of *all* SNPs ever released, by any earlier job, in any
+//!    earlier run of the daemon — so the certified adversary power
+//!    covers the cumulative release.
 //! 3. The job's record is appended (checksummed, fsynced) to the ledger
-//!    before the submitter is answered; a crash after the append can
-//!    lose the response but never the release.
+//!    — commits serialized in dispatch order — before the submitter is
+//!    answered; a crash after the append can lose the response but never
+//!    the release.
 //!
-//! Federated jobs run on the attested member session (one election and
-//! attestation per daemon lifetime, channels ratcheted between jobs);
-//! dynamic jobs (`batches > 0`) run [`DynamicAssessor`] locally over the
-//! case cohort, seeded from the same ledger.
+//! Federated jobs run on a lane's attested member session (one election
+//! and attestation per lane per daemon lifetime, channels ratcheted
+//! between jobs); dynamic jobs (`batches > 0`) run
+//! [`gendpr_core::dynamic::DynamicAssessor`] locally over the case
+//! cohort, seeded from the same ledger.
 
 use crate::error::ServiceError;
-use crate::ledger::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger};
+use crate::ledger::{LedgerRecord, LinkRecord, ReleaseLedger};
 use crate::protocol::{ClientRequest, ClientResponse, ServiceStatus};
+use crate::sched::{
+    ExecutionContext, JobVerdict, Limits, ReplySink, Scheduler, SchedulerConfig, WorkerPool,
+};
 use crate::signals;
-use gendpr_core::attack::{MembershipAttacker, ReleasedStatistics};
 use gendpr_core::config::GwasParams;
-use gendpr_core::dynamic::DynamicAssessor;
 use gendpr_core::error::ProtocolError;
-use gendpr_core::serving::{JobSpec, ServiceFederation};
+use gendpr_core::serving::ServiceFederation;
 use gendpr_fednet::client::{read_message, write_message};
 use gendpr_genomics::cohort::Cohort;
-use gendpr_genomics::genotype::GenotypeMatrix;
-use gendpr_genomics::snp::SnpId;
 use gendpr_obs::{event, Level};
-use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
-/// How often the serve loop wakes to poll the shutdown-signal flag while
-/// the queue is empty.
+/// How often the serve loop wakes to poll the shutdown-signal flag.
 const SIGNAL_POLL: Duration = Duration::from_millis(100);
 
-/// One queued job.
-struct QueuedJob {
-    job_id: u64,
-    panel: Vec<u32>,
-    batches: u32,
-    /// Present when the submitter is blocking for the result.
-    reply: Option<mpsc::Sender<Result<LedgerRecord, String>>>,
-}
+/// How often the nonblocking accept loop re-checks the shutdown flag
+/// while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
-/// State shared between the serve loop and the client accept loop.
+/// State shared between the scheduler, the worker lanes and the client
+/// accept loop.
 struct Shared {
     leader: u32,
     gdos: u32,
-    panel_len: u64,
-    case_genomes: u64,
-    state: Mutex<Inner>,
-    cv: Condvar,
-}
-
-struct Inner {
-    queue: VecDeque<QueuedJob>,
-    done: Vec<LedgerRecord>,
-    next_job_id: u64,
-    running: bool,
-    shutdown: bool,
-    /// Crash-test failpoint: job ids armed to panic at the top of
-    /// [`AssessmentService::run_job`]. See
-    /// [`AssessmentService::inject_job_panic`].
-    panic_jobs: Vec<u64>,
-}
-
-/// Locks the daemon state, recovering from a poisoned mutex. Worker job
-/// panics are caught before they can poison anything, but a panic in any
-/// other thread (client handler, test harness) must not brick the daemon:
-/// the queue/done-list invariants hold at every await point, so the state
-/// behind a poisoned lock is still consistent.
-fn lock_state(shared: &Shared) -> MutexGuard<'_, Inner> {
-    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+    sched: Arc<Scheduler>,
 }
 
 /// The long-running assessment service.
 pub struct AssessmentService {
-    federation: ServiceFederation,
-    ledger: ReleaseLedger,
-    case: GenotypeMatrix,
-    reference: GenotypeMatrix,
-    params: GwasParams,
     shared: Arc<Shared>,
+    pool: Option<WorkerPool>,
     accept: Option<thread::JoinHandle<()>>,
     client_addr: SocketAddr,
 }
 
-impl AssessmentService {
-    /// Puts the daemon in front of an already-started federation session,
-    /// serving the client protocol on `listener`.
-    ///
-    /// The ledger's existing records immediately count: the first job's
-    /// LR seed is the union of everything released in earlier runs.
+/// A handle on one in-memory waiting submit: the job is queued; `wait`
+/// blocks until a worker commits it.
+pub struct JobTicket {
+    job_id: u64,
+    rx: mpsc::Receiver<JobVerdict>,
+}
+
+impl JobTicket {
+    /// The id admission assigned.
+    #[must_use]
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Blocks until the job's terminal verdict.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Protocol`] when the federation's panel width does
-    /// not match the cohort; [`ServiceError::Io`] when the accept thread
-    /// cannot start.
+    /// [`ServiceError::JobFailed`] when the job ran and failed,
+    /// [`ServiceError::ShuttingDown`] when the daemon drained it (or
+    /// exited) before it ran.
+    pub fn wait(self) -> Result<LedgerRecord, ServiceError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServiceError::ShuttingDown)?
+            .into_result()
+    }
+}
+
+impl AssessmentService {
+    /// Puts the daemon in front of one already-started federation
+    /// session, serving the client protocol on `listener` — the
+    /// single-lane configuration, byte-identical to the historical FIFO
+    /// daemon.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssessmentService::start_with`].
     pub fn start(
         federation: ServiceFederation,
         ledger: ReleaseLedger,
@@ -118,29 +113,72 @@ impl AssessmentService {
         params: GwasParams,
         listener: TcpListener,
     ) -> Result<Self, ServiceError> {
-        if federation.panel_len() != cohort.case().snps() {
-            return Err(ProtocolError::InvalidConfig(
-                "federation panel width differs from the cohort",
-            )
-            .into());
+        Self::start_with(
+            vec![federation],
+            ledger,
+            cohort,
+            params,
+            listener,
+            SchedulerConfig::default(),
+        )
+    }
+
+    /// Puts the daemon in front of a pool of federation lanes, one
+    /// worker per lane. Lanes must be sessions over the same cohort and
+    /// federation config (same seed ⇒ same leader, deterministic
+    /// certification on every lane).
+    ///
+    /// The ledger's existing records immediately count: the first job's
+    /// LR seed is the union of everything released in earlier runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] when no lane is given, a lane's panel
+    /// width does not match the cohort, or the lanes disagree on the
+    /// leader; [`ServiceError::Io`] when a thread cannot start.
+    pub fn start_with(
+        lanes: Vec<ServiceFederation>,
+        ledger: ReleaseLedger,
+        cohort: &Cohort,
+        params: GwasParams,
+        listener: TcpListener,
+        config: SchedulerConfig,
+    ) -> Result<Self, ServiceError> {
+        let Some(first) = lanes.first() else {
+            return Err(ProtocolError::InvalidConfig("a daemon needs at least one lane").into());
+        };
+        let (leader, gdos) = (first.leader(), first.gdo_count());
+        for lane in &lanes {
+            if lane.panel_len() != cohort.case().snps() {
+                return Err(ProtocolError::InvalidConfig(
+                    "federation panel width differs from the cohort",
+                )
+                .into());
+            }
+            if lane.leader() != leader || lane.gdo_count() != gdos {
+                return Err(ProtocolError::InvalidConfig(
+                    "worker lanes disagree on the federation (different config or seed?)",
+                )
+                .into());
+            }
+        }
+        if config.max_queue == 0 {
+            return Err(ProtocolError::InvalidConfig("max-queue must be at least 1").into());
         }
         let client_addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            leader: federation.leader() as u32,
-            gdos: federation.gdo_count() as u32,
-            panel_len: federation.panel_len() as u64,
+        let limits = Limits {
+            panel_len: first.panel_len() as u64,
             case_genomes: cohort.case_individuals() as u64,
-            state: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                done: ledger.records().to_vec(),
-                next_job_id: ledger.next_job_id(),
-                running: false,
-                shutdown: false,
-                panic_jobs: Vec::new(),
-            }),
-            cv: Condvar::new(),
-        });
+            max_queue: config.max_queue,
+            workers: lanes.len(),
+        };
         crate::telemetry::register_service_metrics();
+        let sched = Arc::new(Scheduler::new(ledger, limits));
+        let shared = Arc::new(Shared {
+            leader: leader as u32,
+            gdos: gdos as u32,
+            sched: Arc::clone(&sched),
+        });
         event(
             Level::Info,
             "service",
@@ -148,23 +186,26 @@ impl AssessmentService {
             &[
                 ("addr", client_addr.to_string().as_str().into()),
                 ("gdos", shared.gdos.into()),
-                ("panel_len", shared.panel_len.into()),
-                ("ledger_records", ledger.records().len().into()),
+                ("panel_len", limits.panel_len.into()),
+                ("workers", limits.workers.into()),
+                ("max_queue", limits.max_queue.into()),
             ],
         );
+        let context = Arc::new(ExecutionContext {
+            params,
+            case: cohort.case().clone(),
+            reference: cohort.reference().clone(),
+        });
+        let pool = WorkerPool::spawn(lanes, &sched, &context)?;
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("gendpr-accept".into())
-                .spawn(move || accept_loop(listener, &shared))?
+                .spawn(move || accept_loop(&listener, &shared))?
         };
         Ok(Self {
-            federation,
-            ledger,
-            case: cohort.case().clone(),
-            reference: cohort.reference().clone(),
-            params,
             shared,
+            pool: Some(pool),
             accept: Some(accept),
             client_addr,
         })
@@ -176,30 +217,68 @@ impl AssessmentService {
         self.client_addr
     }
 
-    /// The ledger (e.g. for inspecting records between jobs in tests).
-    #[must_use]
-    pub fn ledger(&self) -> &ReleaseLedger {
-        &self.ledger
-    }
-
-    /// Runs one job synchronously, outside the queue: assigns the next
-    /// job id, seeds from the ledger, executes, appends the record.
+    /// Queues one job and blocks until its record is committed — the
+    /// in-memory equivalent of a waiting submit. Workers run from
+    /// `start`, so this works without [`AssessmentService::run`].
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Protocol`] on a rejected spec or failed job,
-    /// [`ServiceError::Io`] on a ledger write failure.
+    /// A typed admission rejection, [`ServiceError::JobFailed`] when the
+    /// job ran and failed, [`ServiceError::ShuttingDown`] when the
+    /// daemon drained it.
     pub fn execute(&mut self, panel: Vec<u32>, batches: u32) -> Result<LedgerRecord, ServiceError> {
-        let job_id = {
-            let mut inner = lock_state(&self.shared);
-            let id = inner.next_job_id;
-            inner.next_job_id += 1;
-            id
-        };
-        let record = self.run_job_caught(job_id, panel, batches)?;
-        let mut inner = lock_state(&self.shared);
-        inner.done.push(record.clone());
-        Ok(record)
+        self.submit_ticket(panel, batches)?.wait()
+    }
+
+    /// Queues one job and returns a ticket to wait on, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidJob`], [`ServiceError::QueueFull`] or
+    /// [`ServiceError::ShuttingDown`] when admission turns it away.
+    pub fn submit_ticket(&self, panel: Vec<u32>, batches: u32) -> Result<JobTicket, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        match self
+            .shared
+            .sched
+            .enqueue(panel, batches, ReplySink::Channel(tx))
+        {
+            Ok(job_id) => Ok(JobTicket { job_id, rx }),
+            Err((_, error)) => Err(error),
+        }
+    }
+
+    /// Queues one fire-and-forget job and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// The same admission verdicts as [`AssessmentService::submit_ticket`].
+    pub fn submit_detached(&self, panel: Vec<u32>, batches: u32) -> Result<u64, ServiceError> {
+        match self.shared.sched.enqueue(panel, batches, ReplySink::None) {
+            Ok(job_id) => Ok(job_id),
+            Err((_, error)) => Err(error),
+        }
+    }
+
+    /// The committed record of one finished job, if any.
+    #[must_use]
+    pub fn results(&self, job_id: u64) -> Option<LedgerRecord> {
+        self.shared
+            .sched
+            .with_core(|core| core.done.iter().find(|r| r.job_id == job_id).cloned())
+    }
+
+    /// The same status snapshot the client protocol serves.
+    #[must_use]
+    pub fn status(&self) -> ServiceStatus {
+        status_snapshot(&self.shared)
+    }
+
+    /// Blocks until the queue is empty and every lane is idle, or
+    /// `timeout` elapses; returns whether the scheduler drained.
+    #[must_use]
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        self.shared.sched.wait_drained(timeout)
     }
 
     /// Arms a crash-test failpoint: when the job with `job_id` starts
@@ -208,134 +287,49 @@ impl AssessmentService {
     /// response, the daemon surviving) is the production code under test.
     #[doc(hidden)]
     pub fn inject_job_panic(&self, job_id: u64) {
-        lock_state(&self.shared).panic_jobs.push(job_id);
+        self.shared.sched.arm_panic(job_id);
     }
 
-    /// Serves the queue until a client asks for [`ClientRequest::Shutdown`]
-    /// or a SIGTERM/SIGINT arrives: the in-flight job finishes, its
-    /// record is flushed to the ledger, queued-but-unstarted jobs are
-    /// answered with an error, and the federation session closes cleanly.
+    /// Test hook: holds dispatch so admission can be driven to the
+    /// `max_queue` bound deterministically.
+    #[doc(hidden)]
+    pub fn pause_dispatch(&self) {
+        self.shared.sched.set_paused(true);
+    }
+
+    /// Releases a [`AssessmentService::pause_dispatch`] hold.
+    #[doc(hidden)]
+    pub fn resume_dispatch(&self) {
+        self.shared.sched.set_paused(false);
+    }
+
+    /// Serves until a client asks for [`ClientRequest::Shutdown`], a
+    /// SIGTERM/SIGINT arrives, or a lane dies: in-flight jobs finish and
+    /// their records are flushed to the ledger, queued-but-undispatched
+    /// jobs are answered with the typed shutting-down rejection, and
+    /// every federation session closes cleanly.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Interrupted`] (wrapped) when the exit was caused
     /// by a shutdown signal — the CLI maps it to its own exit code — or
-    /// the underlying failure when the federation session died.
-    pub fn run(mut self) -> Result<(), ServiceError> {
+    /// the underlying failure when a federation session died.
+    pub fn run(self) -> Result<(), ServiceError> {
         loop {
-            let job = {
-                let mut inner = lock_state(&self.shared);
-                loop {
-                    if signals::requested() || inner.shutdown {
-                        break None;
-                    }
-                    if let Some(job) = inner.queue.pop_front() {
-                        inner.running = true;
-                        crate::telemetry::jobs_queued().set(inner.queue.len() as i64);
-                        crate::telemetry::jobs_running().set(1);
-                        break Some(job);
-                    }
-                    let (guard, _) = self
-                        .shared
-                        .cv
-                        .wait_timeout(inner, SIGNAL_POLL)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    inner = guard;
-                }
-            };
-            let Some(job) = job else {
-                return self.finish(signals::requested());
-            };
-            event(
-                Level::Info,
-                "service",
-                "job_running",
-                &[("job_id", job.job_id.into())],
-            );
-            let result = self.run_job_caught(job.job_id, job.panel, job.batches);
-            let mut inner = lock_state(&self.shared);
-            inner.running = false;
-            crate::telemetry::jobs_running().set(0);
-            match result {
-                Ok(record) => {
-                    crate::telemetry::jobs_certified().inc();
-                    event(
-                        Level::Info,
-                        "service",
-                        "job_certified",
-                        &[
-                            ("job_id", record.job_id.into()),
-                            ("released", record.released.len().into()),
-                        ],
-                    );
-                    inner.done.push(record.clone());
-                    if let Some(reply) = job.reply {
-                        let _ = reply.send(Ok(record));
-                    }
-                }
-                Err(error) => {
-                    crate::telemetry::jobs_failed().inc();
-                    let message = error.to_string();
-                    event(
-                        Level::Warn,
-                        "service",
-                        "job_failed",
-                        &[
-                            ("job_id", job.job_id.into()),
-                            ("error", message.as_str().into()),
-                        ],
-                    );
-                    if let Some(reply) = job.reply {
-                        let _ = reply.send(Err(message));
-                    }
-                    // A rejected spec — or a job whose worker panicked
-                    // before touching the session — leaves the federation
-                    // healthy; anything else means it (or the ledger) is
-                    // gone.
-                    match &error {
-                        ServiceError::Protocol(
-                            ProtocolError::InvalidConfig(_) | ProtocolError::EmptyStudy,
-                        )
-                        | ServiceError::JobPanicked(_) => {}
-                        _ => {
-                            drop(inner);
-                            let _ = self.finish(false);
-                            return Err(error);
-                        }
-                    }
-                }
+            if signals::requested() || self.shared.sched.shutdown_requested() {
+                break;
             }
+            thread::sleep(SIGNAL_POLL);
         }
+        self.finish(signals::requested())
     }
 
-    /// Runs one job with an unwind barrier: a panic anywhere in job code
-    /// becomes [`ServiceError::JobPanicked`] instead of unwinding through
-    /// the serve loop, killing the daemon and poisoning the shared state
-    /// every client handler locks.
-    fn run_job_caught(
-        &mut self,
-        job_id: u64,
-        panel: Vec<u32>,
-        batches: u32,
-    ) -> Result<LedgerRecord, ServiceError> {
-        catch_unwind(AssertUnwindSafe(|| self.run_job(job_id, panel, batches))).unwrap_or_else(
-            |payload| {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(ServiceError::JobPanicked(message))
-            },
-        )
-    }
-
-    /// Closes the daemon without serving: drains the queue, stops the
-    /// accept thread and shuts the federation session down.
+    /// Closes the daemon without serving: drains the queue, the workers
+    /// and the accept thread, and shuts every federation session down.
     ///
     /// # Errors
     ///
-    /// The federation session's failure, if it died.
+    /// A federation session's failure, if one died.
     pub fn stop(self) -> Result<(), ServiceError> {
         self.finish(false)
     }
@@ -347,155 +341,52 @@ impl AssessmentService {
             "daemon_stopping",
             &[("interrupted", interrupted.into())],
         );
-        {
-            let mut inner = lock_state(&self.shared);
-            inner.shutdown = true;
-            for job in inner.queue.drain(..) {
-                if let Some(reply) = job.reply {
-                    let _ = reply.send(Err("service shutting down".to_string()));
-                }
-            }
+        // Rejects everything undispatched with the typed verdict, then
+        // waits for the lanes: each finishes its in-flight job, commits
+        // it (ledger append + fsync) and closes its session.
+        self.shared.sched.request_shutdown();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
         }
-        self.shared.cv.notify_all();
-        // The accept loop blocks in `accept`; poke it so it re-checks the
-        // shutdown flag and exits.
-        let _ = TcpStream::connect(self.client_addr);
+        // The accept loop polls the shutdown flag; no poke needed.
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        self.federation.shutdown()?;
+        if let Some(fatal) = self.shared.sched.take_fatal() {
+            return Err(fatal);
+        }
         if interrupted {
             return Err(ProtocolError::Interrupted.into());
         }
         Ok(())
     }
-
-    fn run_job(
-        &mut self,
-        job_id: u64,
-        panel: Vec<u32>,
-        batches: u32,
-    ) -> Result<LedgerRecord, ServiceError> {
-        if lock_state(&self.shared).panic_jobs.contains(&job_id) {
-            panic!("injected failpoint panic for job {job_id}");
-        }
-        let forced = self.ledger.released_union();
-        let record = if batches == 0 {
-            let spec = JobSpec {
-                job_id,
-                panel: panel.into_iter().map(SnpId).collect(),
-                forced,
-            };
-            let outcome = self.federation.submit(&spec)?;
-            LedgerRecord::from_outcome(&spec, &outcome)
-        } else {
-            self.run_dynamic_job(job_id, panel, batches, forced)?
-        };
-        self.ledger.append(record.clone())?;
-        Ok(record)
-    }
-
-    /// A dynamic job: feed the case cohort in `batches` chunks through
-    /// [`DynamicAssessor`], seeded with the ledger's released union, and
-    /// measure the final adversary power over the cumulative release.
-    fn run_dynamic_job(
-        &self,
-        job_id: u64,
-        panel: Vec<u32>,
-        batches: u32,
-        forced: Vec<SnpId>,
-    ) -> Result<LedgerRecord, ServiceError> {
-        let width = self.reference.snps();
-        if panel.len() != width || panel.iter().enumerate().any(|(i, &s)| s != i as u32) {
-            return Err(ProtocolError::InvalidConfig(
-                "dynamic jobs assess the full panel (submit --snps all)",
-            )
-            .into());
-        }
-        let genomes = self.case.individuals();
-        if batches as usize > genomes {
-            return Err(ProtocolError::InvalidConfig("more batches than case genomes").into());
-        }
-        let mut assessor = DynamicAssessor::new(self.params, self.reference.clone())?;
-        assessor.seed_released(&forced)?;
-        let base = genomes / batches as usize;
-        let extra = genomes % batches as usize;
-        let mut start = 0;
-        for i in 0..batches as usize {
-            let len = base + usize::from(i < extra);
-            assessor.add_batch(&self.case.row_range(start, len))?;
-            start += len;
-        }
-        let released: Vec<SnpId> = assessor
-            .released()
-            .iter()
-            .copied()
-            .filter(|s| forced.binary_search(s).is_err())
-            .collect();
-
-        let case_counts = self.case.column_counts();
-        let ref_counts = self.reference.column_counts();
-        let n_case = genomes as f64;
-        let n_ref = self.reference.individuals() as f64;
-        let freqs = |snps: &[SnpId]| -> (Vec<f64>, Vec<f64>) {
-            snps.iter()
-                .map(|s| {
-                    (
-                        case_counts[s.index()] as f64 / n_case,
-                        ref_counts[s.index()] as f64 / n_ref,
-                    )
-                })
-                .unzip()
-        };
-        let (case_freqs, ref_freqs) = freqs(&released);
-
-        // The certified quantity: adversary power over the *cumulative*
-        // release (seed ∪ new) given everything assessed so far.
-        let cumulative = assessor.released().to_vec();
-        let final_power = if cumulative.is_empty() {
-            0.0
-        } else {
-            let (cum_case, cum_ref) = freqs(&cumulative);
-            MembershipAttacker::calibrate(
-                ReleasedStatistics {
-                    snps: cumulative,
-                    case_freqs: cum_case,
-                    ref_freqs: cum_ref,
-                },
-                &self.reference,
-                self.params.lr.false_positive_rate,
-            )
-            .power_against(&self.case)
-        };
-
-        Ok(LedgerRecord {
-            job_id,
-            kind: JobKind::Dynamic,
-            panel,
-            forced: forced.iter().map(|s| s.0).collect(),
-            released: released.iter().map(|s| s.0).collect(),
-            final_power,
-            final_threshold: self.params.lr.power_threshold,
-            case_freqs,
-            ref_freqs,
-            epoch: u64::from(batches),
-            roster: Vec::new(),
-            traffic: Vec::new(),
-            certificate: None,
-        })
-    }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    for conn in listener.incoming() {
-        if lock_state(shared).shutdown {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    // Nonblocking accept so shutdown (flag or signal) is noticed within
+    // one poll interval, without the connect-to-self poke the blocking
+    // loop needed.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shared.sched.shutdown_requested() || signals::requested() {
             break;
         }
-        let Ok(stream) = conn else { continue };
-        let shared = Arc::clone(shared);
-        let _ = thread::Builder::new()
-            .name("gendpr-client".into())
-            .spawn(move || handle_client(stream, &shared));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Handlers do blocking frame I/O on the connection.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("gendpr-client".into())
+                    .spawn(move || handle_client(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
     }
 }
 
@@ -505,138 +396,78 @@ fn handle_client(mut stream: TcpStream, shared: &Arc<Shared>) {
     };
     let response = match request {
         ClientRequest::Status => ClientResponse::Status(status_snapshot(shared)),
-        ClientRequest::Results { job_id } => {
-            let inner = lock_state(shared);
-            ClientResponse::Results(inner.done.iter().find(|r| r.job_id == job_id).cloned())
-        }
+        ClientRequest::Results { job_id } => ClientResponse::Results(
+            shared
+                .sched
+                .with_core(|core| core.done.iter().find(|r| r.job_id == job_id).cloned()),
+        ),
         ClientRequest::Shutdown => {
-            let mut inner = lock_state(shared);
-            inner.shutdown = true;
-            drop(inner);
-            shared.cv.notify_all();
+            shared.sched.request_shutdown();
             ClientResponse::ShuttingDown
         }
         ClientRequest::Submit {
             panel,
             batches,
             wait,
-        } => match enqueue(shared, panel, batches, wait) {
-            Err(message) => ClientResponse::Error(message),
-            Ok(Enqueued::Accepted(job_id)) => ClientResponse::Accepted { job_id },
-            Ok(Enqueued::Wait(result)) => match result.recv() {
-                Ok(Ok(record)) => ClientResponse::Completed(record),
-                Ok(Err(message)) => ClientResponse::Error(message),
-                Err(_) => ClientResponse::Error("service exited".to_string()),
-            },
-        },
+        } => {
+            if wait {
+                // Hand the socket to the scheduler: the committing
+                // worker writes the response, this thread exits now.
+                match shared
+                    .sched
+                    .enqueue(panel, batches, ReplySink::Socket(stream))
+                {
+                    Ok(_) => {}
+                    Err((sink, error)) => sink.deliver(JobVerdict::from_error(&error)),
+                }
+                return;
+            }
+            match shared.sched.enqueue(panel, batches, ReplySink::None) {
+                Ok(job_id) => ClientResponse::Accepted { job_id },
+                Err((_, error)) => JobVerdict::from_error(&error).into_response(),
+            }
+        }
     };
     let _ = write_message(&mut stream, &response);
 }
 
-enum Enqueued {
-    Accepted(u64),
-    Wait(mpsc::Receiver<Result<LedgerRecord, String>>),
-}
-
-fn enqueue(
-    shared: &Arc<Shared>,
-    mut panel: Vec<u32>,
-    batches: u32,
-    wait: bool,
-) -> Result<Enqueued, String> {
-    panel.sort_unstable();
-    panel.dedup();
-    if panel.is_empty() {
-        return Err("job panel is empty".to_string());
-    }
-    if panel
-        .last()
-        .is_some_and(|&s| u64::from(s) >= shared.panel_len)
-    {
-        return Err(format!(
-            "SNP id out of range (panel width is {})",
-            shared.panel_len
-        ));
-    }
-    if batches > 0 {
-        if panel.len() as u64 != shared.panel_len {
-            return Err("dynamic jobs assess the full panel (submit --snps all)".to_string());
-        }
-        if u64::from(batches) > shared.case_genomes {
-            return Err(format!(
-                "more batches than case genomes ({})",
-                shared.case_genomes
-            ));
-        }
-    }
-    let mut inner = lock_state(shared);
-    if inner.shutdown {
-        return Err("service shutting down".to_string());
-    }
-    let job_id = inner.next_job_id;
-    inner.next_job_id += 1;
-    let (reply, result) = if wait {
-        let (tx, rx) = mpsc::channel();
-        (Some(tx), Some(rx))
-    } else {
-        (None, None)
-    };
-    inner.queue.push_back(QueuedJob {
-        job_id,
-        panel,
-        batches,
-        reply,
-    });
-    crate::telemetry::jobs_queued().set(inner.queue.len() as i64);
-    event(
-        Level::Info,
-        "service",
-        "job_queued",
-        &[
-            ("job_id", job_id.into()),
-            ("depth", inner.queue.len().into()),
-            ("batches", batches.into()),
-        ],
-    );
-    drop(inner);
-    shared.cv.notify_all();
-    Ok(match result {
-        Some(rx) => Enqueued::Wait(rx),
-        None => Enqueued::Accepted(job_id),
-    })
-}
-
 fn status_snapshot(shared: &Arc<Shared>) -> ServiceStatus {
-    let inner = lock_state(shared);
-    let mut links: Vec<LinkRecord> = Vec::new();
-    let mut released: Vec<u32> = Vec::new();
-    for record in &inner.done {
-        released.extend_from_slice(&record.released);
-        for link in &record.traffic {
-            match links
-                .iter_mut()
-                .find(|l| l.from == link.from && l.to == link.to)
-            {
-                Some(total) => {
-                    total.messages += link.messages;
-                    total.plaintext_bytes += link.plaintext_bytes;
-                    total.wire_bytes += link.wire_bytes;
+    let limits = *shared.sched.limits();
+    shared.sched.with_core(|core| {
+        let mut links: Vec<LinkRecord> = Vec::new();
+        let mut released: Vec<u32> = Vec::new();
+        for record in &core.done {
+            released.extend_from_slice(&record.released);
+            for link in &record.traffic {
+                match links
+                    .iter_mut()
+                    .find(|l| l.from == link.from && l.to == link.to)
+                {
+                    Some(total) => {
+                        total.messages += link.messages;
+                        total.plaintext_bytes += link.plaintext_bytes;
+                        total.wire_bytes += link.wire_bytes;
+                    }
+                    None => links.push(*link),
                 }
-                None => links.push(*link),
             }
         }
-    }
-    links.sort_unstable_by_key(|l| (l.from, l.to));
-    released.sort_unstable();
-    released.dedup();
-    ServiceStatus {
-        leader: shared.leader,
-        gdos: shared.gdos,
-        panel_len: shared.panel_len,
-        jobs_done: inner.done.len() as u64,
-        jobs_queued: inner.queue.len() as u64 + u64::from(inner.running),
-        released_total: released.len() as u64,
-        links,
-        metrics: gendpr_obs::render(),
-    }
+        links.sort_unstable_by_key(|l| (l.from, l.to));
+        released.sort_unstable();
+        released.dedup();
+        ServiceStatus {
+            leader: shared.leader,
+            gdos: shared.gdos,
+            panel_len: limits.panel_len,
+            jobs_done: core.done.len() as u64,
+            jobs_queued: core.queue.len() as u64 + u64::from(core.busy),
+            released_total: released.len() as u64,
+            links,
+            metrics: gendpr_obs::render(),
+            workers: limits.workers as u32,
+            workers_busy: core.busy,
+            max_queue: limits.max_queue as u64,
+            queue: core.queue.positions(),
+        }
+    })
 }

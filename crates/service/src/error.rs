@@ -1,6 +1,8 @@
 //! Service-layer errors: the daemon sits between the filesystem (ledger)
 //! and the protocol (federation, client codec), so its fallible paths
-//! surface one of those two worlds.
+//! surface one of those two worlds — plus the scheduler's own admission
+//! verdicts, which are typed so clients can tell backpressure apart from
+//! a broken request.
 
 use gendpr_core::error::ProtocolError;
 use std::fmt;
@@ -17,6 +19,27 @@ pub enum ServiceError {
     /// daemon catches the unwind, marks the job failed and keeps serving —
     /// the shared queue state is never poisoned by job code.
     JobPanicked(String),
+    /// Admission control turned the job away: the bounded queue is at
+    /// `max` jobs. This is backpressure, not failure — the client should
+    /// retry once the queue drains.
+    QueueFull {
+        /// Jobs waiting when the submit arrived.
+        depth: u64,
+        /// The daemon's `--max-queue` bound.
+        max: u64,
+    },
+    /// The daemon is draining for shutdown: queued-but-undispatched jobs
+    /// are rejected with this error, in-flight jobs still complete.
+    ShuttingDown,
+    /// The submitted job spec was rejected at admission (empty panel,
+    /// out-of-range SNP id, bad dynamic batching). The payload is the
+    /// human-readable reason; nothing was queued.
+    InvalidJob(String),
+    /// The job ran and failed; the payload is the failure rendered as a
+    /// message. Used on the in-memory submit path, where the worker that
+    /// owns the typed error must also keep it for the daemon's own exit
+    /// status.
+    JobFailed(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -25,6 +48,11 @@ impl fmt::Display for ServiceError {
             Self::Io(e) => write!(f, "service I/O: {e}"),
             Self::Protocol(e) => write!(f, "{e}"),
             Self::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
+            Self::QueueFull { depth, max } => {
+                write!(f, "job queue full ({depth} of {max} slots); retry later")
+            }
+            Self::ShuttingDown => write!(f, "service shutting down"),
+            Self::InvalidJob(msg) | Self::JobFailed(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -50,7 +78,28 @@ impl ServiceError {
     pub fn as_protocol(&self) -> Option<&ProtocolError> {
         match self {
             Self::Protocol(e) => Some(e),
-            Self::Io(_) | Self::JobPanicked(_) => None,
+            Self::Io(_)
+            | Self::JobPanicked(_)
+            | Self::QueueFull { .. }
+            | Self::ShuttingDown
+            | Self::InvalidJob(_)
+            | Self::JobFailed(_) => None,
+        }
+    }
+
+    /// Whether the error leaves the execution lane (federation session,
+    /// ledger) healthy: rejected specs, job panics and admission verdicts
+    /// do; transport or ledger failures mean the lane is gone.
+    #[must_use]
+    pub fn lane_survives(&self) -> bool {
+        match self {
+            Self::Protocol(ProtocolError::InvalidConfig(_) | ProtocolError::EmptyStudy)
+            | Self::JobPanicked(_)
+            | Self::QueueFull { .. }
+            | Self::ShuttingDown
+            | Self::InvalidJob(_)
+            | Self::JobFailed(_) => true,
+            Self::Protocol(_) | Self::Io(_) => false,
         }
     }
 }

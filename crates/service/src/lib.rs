@@ -11,10 +11,13 @@
 //! * [`ledger`] — the append-only, checksummed release ledger: every
 //!   certified release (SNP ids, statistics, certificate, epoch/roster),
 //!   durable across restarts, seeding each new job's LR phase,
-//! * [`daemon`] — the `gendpr serve` core: FIFO job queue, scheduler
-//!   over a [`gendpr_core::serving::ServiceFederation`], dynamic batch
-//!   jobs via [`gendpr_core::dynamic::DynamicAssessor`], client accept
-//!   loop, graceful signal shutdown,
+//! * [`daemon`] — the `gendpr serve` core: bounded job queue with
+//!   admission control, a pool of
+//!   [`gendpr_core::serving::ServiceFederation`] worker lanes, dynamic
+//!   batch jobs via [`gendpr_core::dynamic::DynamicAssessor`], client
+//!   accept loop, graceful signal shutdown,
+//! * [`sched`] — the scheduler underneath it: queue, admission,
+//!   dispatch-ordered ledger commits, worker lanes,
 //! * [`protocol`] — the length-prefixed client request/response codec
 //!   (`submit` / `status` / `results` / shutdown),
 //! * [`client`] — the client used by the `gendpr submit`, `status` and
@@ -27,11 +30,13 @@ pub mod daemon;
 pub mod error;
 pub mod ledger;
 pub mod protocol;
+pub mod sched;
 pub mod signals;
 pub mod telemetry;
 
 pub use client::ServiceClient;
-pub use daemon::AssessmentService;
+pub use daemon::{AssessmentService, JobTicket};
 pub use error::ServiceError;
 pub use ledger::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger, WireCertificate};
-pub use protocol::{ClientRequest, ClientResponse, ServiceStatus};
+pub use protocol::{ClientRequest, ClientResponse, QueuedJobStatus, RejectReason, ServiceStatus};
+pub use sched::SchedulerConfig;

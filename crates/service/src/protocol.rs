@@ -82,6 +82,71 @@ impl Decode for ClientRequest {
     }
 }
 
+/// Why the scheduler turned a submit away without queueing it. Typed so
+/// clients can tell backpressure (retry later) from a daemon that is
+/// going away (find another one): both are admission verdicts, neither
+/// is a job failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded job queue is at capacity; retry once it drains.
+    QueueFull {
+        /// Jobs waiting when the submit arrived.
+        depth: u64,
+        /// The daemon's `--max-queue` bound.
+        max: u64,
+    },
+    /// The daemon is draining for shutdown.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { depth, max } => {
+                write!(f, "job queue full ({depth} of {max} slots); retry later")
+            }
+            Self::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl Encode for RejectReason {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Self::QueueFull { depth, max } => {
+                0u8.encode(buf);
+                depth.encode(buf);
+                max.encode(buf);
+            }
+            Self::ShuttingDown => 1u8.encode(buf),
+        }
+    }
+}
+
+impl Decode for RejectReason {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::QueueFull {
+                depth: u64::decode(r)?,
+                max: u64::decode(r)?,
+            }),
+            1 => Ok(Self::ShuttingDown),
+            _ => Err(WireError::InvalidValue("reject reason tag")),
+        }
+    }
+}
+
+/// One undispatched job in the scheduler's queue, as reported by
+/// [`ServiceStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJobStatus {
+    /// The job's id (valid for [`ClientRequest::Results`] once it runs).
+    pub job_id: u64,
+    /// 1-based position in the dispatch order.
+    pub position: u64,
+}
+wire_struct!(QueuedJobStatus { job_id, position });
+
 /// A daemon status snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStatus {
@@ -105,6 +170,14 @@ pub struct ServiceStatus {
     /// exposition format — the same document `--metrics-addr` serves, so
     /// `gendpr status --metrics` works without an HTTP endpoint.
     pub metrics: String,
+    /// Worker lanes in the scheduler's pool (`--workers`).
+    pub workers: u32,
+    /// Lanes currently executing a job.
+    pub workers_busy: u32,
+    /// Admission bound on the queue (`--max-queue`).
+    pub max_queue: u64,
+    /// Undispatched jobs in dispatch order, with 1-based positions.
+    pub queue: Vec<QueuedJobStatus>,
 }
 wire_struct!(ServiceStatus {
     leader,
@@ -114,7 +187,11 @@ wire_struct!(ServiceStatus {
     jobs_queued,
     released_total,
     links,
-    metrics
+    metrics,
+    workers,
+    workers_busy,
+    max_queue,
+    queue
 });
 
 /// What the daemon answers.
@@ -135,6 +212,8 @@ pub enum ClientResponse {
     ShuttingDown,
     /// The request was rejected or the job failed.
     Error(String),
+    /// Admission control turned the submit away; nothing was queued.
+    Rejected(RejectReason),
 }
 
 impl Encode for ClientResponse {
@@ -161,6 +240,10 @@ impl Encode for ClientResponse {
                 5u8.encode(buf);
                 message.encode(buf);
             }
+            Self::Rejected(reason) => {
+                6u8.encode(buf);
+                reason.encode(buf);
+            }
         }
     }
 }
@@ -176,6 +259,7 @@ impl Decode for ClientResponse {
             3 => Ok(Self::Results(Option::decode(r)?)),
             4 => Ok(Self::ShuttingDown),
             5 => Ok(Self::Error(String::decode(r)?)),
+            6 => Ok(Self::Rejected(RejectReason::decode(r)?)),
             _ => Err(WireError::InvalidValue("client response tag")),
         }
     }
@@ -208,6 +292,11 @@ mod tests {
         roundtrip(ClientResponse::Results(None));
         roundtrip(ClientResponse::ShuttingDown);
         roundtrip(ClientResponse::Error("nope".into()));
+        roundtrip(ClientResponse::Rejected(RejectReason::QueueFull {
+            depth: 64,
+            max: 64,
+        }));
+        roundtrip(ClientResponse::Rejected(RejectReason::ShuttingDown));
         roundtrip(ClientResponse::Status(ServiceStatus {
             leader: 1,
             gdos: 3,
@@ -223,6 +312,13 @@ mod tests {
                 wire_bytes: 400,
             }],
             metrics: "# TYPE gendpr_jobs_queued gauge\ngendpr_jobs_queued 1\n".into(),
+            workers: 4,
+            workers_busy: 2,
+            max_queue: 64,
+            queue: vec![QueuedJobStatus {
+                job_id: 9,
+                position: 1,
+            }],
         }));
     }
 

@@ -1,0 +1,381 @@
+//! The scheduler's shared state machine: one lock owns the queue, the
+//! ledger and the dispatch/commit sequence numbers, so the two halves of
+//! the ledger-consistency rule are atomic by construction:
+//!
+//! * **Dispatch** pops the next job, assigns it the next dispatch
+//!   sequence number and snapshots the ledger's released-union — all
+//!   under the lock, so the snapshot is exactly the committed prefix at
+//!   the moment of dispatch.
+//! * **Commit** is gated on that sequence number: a worker that finishes
+//!   early parks on the commit condvar until every earlier-dispatched
+//!   job has been appended (or failed). Records therefore land in the
+//!   ledger in dispatch order, and a client is only answered once its
+//!   record is durable.
+//!
+//! Failed jobs pass through the same gate (advancing the sequence
+//! without appending) so a panic or rejected spec can never wedge the
+//! jobs dispatched after it.
+
+use super::admission::{self, Limits};
+use super::queue::{JobQueue, JobVerdict, QueuedJob, ReplySink};
+use crate::error::ServiceError;
+use crate::ledger::{LedgerRecord, ReleaseLedger};
+use crate::telemetry;
+use gendpr_genomics::snp::SnpId;
+use gendpr_obs::{event, Level};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How often a parked worker re-checks the shutdown flag while the queue
+/// is empty.
+const DISPATCH_POLL: Duration = Duration::from_millis(100);
+
+/// What [`Scheduler::next_dispatch`] hands a worker.
+pub enum Dispatch {
+    /// Run this job, then [`Scheduler::commit`] it.
+    Job(DispatchedJob),
+    /// The daemon is draining; exit the worker loop.
+    Shutdown,
+}
+
+/// A job bound to a lane, carrying its dispatch-time ledger snapshot and
+/// the sequence number its commit is gated on.
+pub struct DispatchedJob {
+    /// The job's id.
+    pub job_id: u64,
+    /// Sorted, deduplicated SNP panel.
+    pub panel: Vec<u32>,
+    /// Dynamic batch count (0 = federated).
+    pub batches: u32,
+    /// Where the terminal outcome goes.
+    pub reply: ReplySink,
+    /// When admission accepted the job.
+    pub enqueued: Instant,
+    /// Position in dispatch order; commits are serialized on it.
+    pub seq: u64,
+    /// The ledger's released-union at dispatch — the job's LR seed.
+    pub forced: Vec<SnpId>,
+}
+
+pub(crate) struct SchedCore {
+    pub(crate) queue: JobQueue,
+    pub(crate) ledger: ReleaseLedger,
+    /// Every committed record, including earlier runs of the daemon.
+    pub(crate) done: Vec<LedgerRecord>,
+    pub(crate) next_job_id: u64,
+    next_dispatch_seq: u64,
+    next_commit_seq: u64,
+    /// Lanes currently executing a job.
+    pub(crate) busy: u32,
+    pub(crate) shutdown: bool,
+    /// Test hook: hold dispatch so admission can be driven to the bound
+    /// deterministically.
+    paused: bool,
+    /// The first lane-fatal error; the daemon's exit status.
+    fatal: Option<ServiceError>,
+    /// Crash-test failpoint: job ids armed to panic when they start.
+    panic_jobs: Vec<u64>,
+}
+
+/// The shared scheduler: admission in, dispatch out, commits serialized.
+pub struct Scheduler {
+    limits: Limits,
+    core: Mutex<SchedCore>,
+    /// Signalled on enqueue, unpause and shutdown.
+    cv_dispatch: Condvar,
+    /// Signalled each time `next_commit_seq` advances.
+    cv_commit: Condvar,
+}
+
+impl Scheduler {
+    /// A scheduler over `ledger`, whose existing records immediately
+    /// count toward every snapshot.
+    #[must_use]
+    pub fn new(ledger: ReleaseLedger, limits: Limits) -> Self {
+        let core = SchedCore {
+            queue: JobQueue::new(limits.max_queue),
+            done: ledger.records().to_vec(),
+            next_job_id: ledger.next_job_id(),
+            ledger,
+            next_dispatch_seq: 0,
+            next_commit_seq: 0,
+            busy: 0,
+            shutdown: false,
+            paused: false,
+            fatal: None,
+            panic_jobs: Vec::new(),
+        };
+        Self {
+            limits,
+            core: Mutex::new(core),
+            cv_dispatch: Condvar::new(),
+            cv_commit: Condvar::new(),
+        }
+    }
+
+    /// The static limits admission checks against.
+    #[must_use]
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Locks the scheduler state, recovering from a poisoned mutex.
+    /// Worker job panics are caught before they can poison anything, but
+    /// a panic in any other thread (client handler, test harness) must
+    /// not brick the daemon: the queue/sequence invariants hold at every
+    /// point a guard can drop.
+    fn lock(&self) -> MutexGuard<'_, SchedCore> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs `f` under the scheduler lock (status snapshots, tests).
+    pub(crate) fn with_core<R>(&self, f: impl FnOnce(&SchedCore) -> R) -> R {
+        f(&self.lock())
+    }
+
+    /// Validates and admits a job, assigning its id and queue slot.
+    ///
+    /// # Errors
+    ///
+    /// The sink is handed back with the typed verdict —
+    /// [`ServiceError::InvalidJob`], [`ServiceError::QueueFull`] or
+    /// [`ServiceError::ShuttingDown`] — so the caller can answer the
+    /// submitter on whichever channel it came in on.
+    pub fn enqueue(
+        &self,
+        panel: Vec<u32>,
+        batches: u32,
+        reply: ReplySink,
+    ) -> Result<u64, (ReplySink, ServiceError)> {
+        let panel = match admission::validate(panel, batches, &self.limits) {
+            Ok(panel) => panel,
+            Err(error) => return Err((reply, error)),
+        };
+        let mut core = self.lock();
+        if let Err(error) = admission::admit(core.shutdown, core.queue.len(), core.queue.max()) {
+            return Err((reply, error));
+        }
+        let job_id = core.next_job_id;
+        core.next_job_id += 1;
+        core.queue.push(QueuedJob {
+            job_id,
+            panel,
+            batches,
+            reply,
+            enqueued: Instant::now(),
+        });
+        let depth = core.queue.len();
+        telemetry::jobs_queued().set(depth as i64);
+        telemetry::sched_queue_depth().set(depth as i64);
+        event(
+            Level::Info,
+            "service",
+            "job_queued",
+            &[
+                ("job_id", job_id.into()),
+                ("depth", depth.into()),
+                ("batches", batches.into()),
+            ],
+        );
+        drop(core);
+        self.cv_dispatch.notify_all();
+        Ok(job_id)
+    }
+
+    /// Blocks until a job is ready (or the daemon drains): pops it,
+    /// assigns the next dispatch sequence number and snapshots the
+    /// ledger, atomically.
+    pub fn next_dispatch(&self) -> Dispatch {
+        let mut core = self.lock();
+        loop {
+            if core.shutdown {
+                return Dispatch::Shutdown;
+            }
+            if !core.paused {
+                if let Some(job) = core.queue.pop() {
+                    let seq = core.next_dispatch_seq;
+                    core.next_dispatch_seq += 1;
+                    core.busy += 1;
+                    let forced = core.ledger.released_union();
+                    telemetry::jobs_queued().set(core.queue.len() as i64);
+                    telemetry::sched_queue_depth().set(core.queue.len() as i64);
+                    telemetry::jobs_running().set(i64::from(core.busy));
+                    telemetry::sched_workers_busy().set(i64::from(core.busy));
+                    telemetry::sched_jobs_dispatched().inc();
+                    telemetry::sched_job_wait_seconds().observe_duration(job.enqueued.elapsed());
+                    event(
+                        Level::Info,
+                        "service",
+                        "job_running",
+                        &[("job_id", job.job_id.into()), ("seq", seq.into())],
+                    );
+                    return Dispatch::Job(DispatchedJob {
+                        job_id: job.job_id,
+                        panel: job.panel,
+                        batches: job.batches,
+                        reply: job.reply,
+                        enqueued: job.enqueued,
+                        seq,
+                        forced,
+                    });
+                }
+            }
+            let (guard, _) = self
+                .cv_dispatch
+                .wait_timeout(core, DISPATCH_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            core = guard;
+        }
+    }
+
+    /// Commits a finished job: waits for its turn in dispatch order,
+    /// appends the record (success) or records the failure, then answers
+    /// the submitter. A lane-fatal error additionally drains the queue
+    /// and flips the daemon into shutdown so nothing parks forever
+    /// behind a dead lane.
+    pub fn commit(&self, job: DispatchedJob, result: Result<LedgerRecord, ServiceError>) {
+        let DispatchedJob {
+            job_id,
+            reply,
+            enqueued,
+            seq,
+            ..
+        } = job;
+        let mut core = self.lock();
+        while core.next_commit_seq != seq {
+            let (guard, _) = self
+                .cv_commit
+                .wait_timeout(core, DISPATCH_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            core = guard;
+        }
+        // The append is part of the commit: an Ok job whose record cannot
+        // be made durable is a failed job (and a dead ledger is fatal).
+        let outcome = result.and_then(|record| core.ledger.append(record.clone()).map(|()| record));
+        let mut drained = Vec::new();
+        let verdict = match outcome {
+            Ok(record) => {
+                telemetry::jobs_certified().inc();
+                event(
+                    Level::Info,
+                    "service",
+                    "job_certified",
+                    &[
+                        ("job_id", record.job_id.into()),
+                        ("released", record.released.len().into()),
+                    ],
+                );
+                core.done.push(record.clone());
+                JobVerdict::Certified(Box::new(record))
+            }
+            Err(error) => {
+                telemetry::jobs_failed().inc();
+                event(
+                    Level::Warn,
+                    "service",
+                    "job_failed",
+                    &[
+                        ("job_id", job_id.into()),
+                        ("error", error.to_string().as_str().into()),
+                    ],
+                );
+                let verdict = JobVerdict::from_error(&error);
+                if !error.lane_survives() {
+                    core.shutdown = true;
+                    core.fatal.get_or_insert(error);
+                    drained = core.queue.drain();
+                }
+                verdict
+            }
+        };
+        core.next_commit_seq = seq + 1;
+        core.busy -= 1;
+        telemetry::jobs_running().set(i64::from(core.busy));
+        telemetry::sched_workers_busy().set(i64::from(core.busy));
+        telemetry::jobs_queued().set(core.queue.len() as i64);
+        telemetry::sched_queue_depth().set(core.queue.len() as i64);
+        telemetry::sched_job_latency_seconds().observe_duration(enqueued.elapsed());
+        drop(core);
+        self.cv_commit.notify_all();
+        self.cv_dispatch.notify_all();
+        reply.deliver(verdict);
+        for job in drained {
+            telemetry::sched_admission_rejects("shutdown").inc();
+            job.reply.deliver(JobVerdict::Rejected(
+                crate::protocol::RejectReason::ShuttingDown,
+            ));
+        }
+    }
+
+    /// Flips the daemon into shutdown and rejects every undispatched job
+    /// with the typed [`ServiceError::ShuttingDown`] verdict; in-flight
+    /// jobs still commit.
+    pub fn request_shutdown(&self) {
+        let mut core = self.lock();
+        core.shutdown = true;
+        let drained = core.queue.drain();
+        telemetry::jobs_queued().set(0);
+        telemetry::sched_queue_depth().set(0);
+        drop(core);
+        self.cv_dispatch.notify_all();
+        self.cv_commit.notify_all();
+        for job in drained {
+            telemetry::sched_admission_rejects("shutdown").inc();
+            job.reply.deliver(JobVerdict::Rejected(
+                crate::protocol::RejectReason::ShuttingDown,
+            ));
+        }
+    }
+
+    /// Whether shutdown has been requested (by a client, a signal
+    /// handler's caller, or a lane-fatal error).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Takes the first lane-fatal error, if any — the daemon's exit
+    /// status.
+    pub fn take_fatal(&self) -> Option<ServiceError> {
+        self.lock().fatal.take()
+    }
+
+    /// Records a lane teardown failure if no fatal error is recorded yet
+    /// (a lane that died mid-job already put the interesting error in).
+    pub(crate) fn record_fatal(&self, error: ServiceError) {
+        self.lock().fatal.get_or_insert(error);
+    }
+
+    /// Arms the crash-test failpoint for `job_id`.
+    pub(crate) fn arm_panic(&self, job_id: u64) {
+        self.lock().panic_jobs.push(job_id);
+    }
+
+    /// Whether `job_id` is armed to panic.
+    pub(crate) fn panic_armed(&self, job_id: u64) -> bool {
+        self.lock().panic_jobs.contains(&job_id)
+    }
+
+    /// Test hook: holds (`true`) or releases (`false`) dispatch, so a
+    /// test can fill the queue to the admission bound deterministically.
+    pub(crate) fn set_paused(&self, paused: bool) {
+        self.lock().paused = paused;
+        self.cv_dispatch.notify_all();
+    }
+
+    /// Blocks until the queue is empty and every lane is idle, or
+    /// `timeout` elapses. Returns whether the scheduler drained.
+    #[must_use]
+    pub fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.with_core(|core| core.queue.is_empty() && core.busy == 0) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

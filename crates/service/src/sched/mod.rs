@@ -1,0 +1,66 @@
+//! The job scheduler: many concurrent client sessions multiplexed onto a
+//! bounded queue, executed by a pool of worker lanes, with ledger commits
+//! serialized in dispatch order.
+//!
+//! # Why lanes, not one shared session
+//!
+//! A [`gendpr_core::serving::ServiceFederation`] is one attested member
+//! session: jobs on it are strictly sequential (the members walk the
+//! protocol phases in lockstep). Parallelism therefore comes from
+//! *lanes* — each worker owns its own federation session over the same
+//! cohort and config. Elections and channel derivation are seeded, so
+//! every lane certifies a given `(job, panel, forced)` identically; the
+//! daemon-restart test already pins that property for fresh sessions.
+//!
+//! # The ledger-consistency rule
+//!
+//! Concurrency must not blur what a certificate attests. Two invariants,
+//! both enforced under the scheduler's single state lock
+//! ([`dispatch::Scheduler`]):
+//!
+//! 1. **Snapshot at dispatch** — a job's LR phase is seeded with the
+//!    ledger's released-union as of the moment the job is handed to a
+//!    lane, never a partially-committed in-flight release.
+//! 2. **Commit in dispatch order** — workers may *finish* out of order,
+//!    but records are appended to the ledger (and clients answered) in
+//!    the order jobs were dispatched, gated on a commit sequence number.
+//!
+//! Together they make a single-client run (every submit waits for the
+//! previous result) byte-identical to the old FIFO daemon regardless of
+//! `--workers`: each dispatch then observes a fully-committed prefix, so
+//! snapshot, record order and certificates all coincide with the
+//! sequential execution.
+//!
+//! Module map: [`queue`] (bounded FIFO, reply sinks), [`admission`]
+//! (spec validation and typed backpressure), [`dispatch`] (the shared
+//! scheduler state machine), [`workers`] (the lane pool and job
+//! execution).
+
+pub mod admission;
+pub mod dispatch;
+pub mod queue;
+pub mod workers;
+
+pub use admission::Limits;
+pub use dispatch::{Dispatch, DispatchedJob, Scheduler};
+pub use queue::{JobQueue, JobVerdict, QueuedJob, ReplySink};
+pub use workers::{ExecutionContext, WorkerPool};
+
+/// Scheduler sizing, surfaced as `gendpr serve --workers/--max-queue`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker lanes (each its own federation session). Must be ≥ 1.
+    pub workers: usize,
+    /// Bound on *undispatched* jobs; submits beyond it are rejected with
+    /// [`crate::error::ServiceError::QueueFull`]. Must be ≥ 1.
+    pub max_queue: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_queue: 64,
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The worker pool: long-lived lanes, each owning one attested
+//! [`ServiceFederation`] session, pulling jobs from the scheduler.
+//!
+//! Lanes are threads rather than a scoped [`gendpr_core::pool`] fan-out
+//! because a federation session is stateful — election, attestation and
+//! channel ratchets live for the daemon's lifetime, so each lane keeps
+//! its session warm across jobs exactly like the old single-session
+//! daemon did. (The scoped pool is still what builds the lanes in
+//! parallel at startup and what sizes `--workers` defaults.)
+//!
+//! A worker's loop is dispatch → execute → commit. Execution runs under
+//! an unwind barrier: a panic in job code becomes
+//! [`ServiceError::JobPanicked`] and commits as a failed job, keeping
+//! both the lane and the commit sequence alive.
+
+use super::dispatch::{Dispatch, DispatchedJob, Scheduler};
+use crate::error::ServiceError;
+use crate::ledger::{JobKind, LedgerRecord};
+use crate::telemetry;
+use gendpr_core::attack::{MembershipAttacker, ReleasedStatistics};
+use gendpr_core::config::GwasParams;
+use gendpr_core::dynamic::DynamicAssessor;
+use gendpr_core::error::ProtocolError;
+use gendpr_core::serving::{JobSpec, ServiceFederation};
+use gendpr_genomics::genotype::GenotypeMatrix;
+use gendpr_genomics::snp::SnpId;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// The read-only study data every lane executes jobs against.
+pub struct ExecutionContext {
+    /// GWAS parameters (shared with the federations).
+    pub params: GwasParams,
+    /// The case cohort (dynamic jobs feed it in batches).
+    pub case: GenotypeMatrix,
+    /// The reference panel.
+    pub reference: GenotypeMatrix,
+}
+
+/// The running lanes; joining drains them.
+pub struct WorkerPool {
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns one worker thread per lane.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when a worker thread cannot be spawned.
+    pub fn spawn(
+        lanes: Vec<ServiceFederation>,
+        scheduler: &Arc<Scheduler>,
+        context: &Arc<ExecutionContext>,
+    ) -> io::Result<Self> {
+        let mut handles = Vec::with_capacity(lanes.len());
+        for (worker, lane) in lanes.into_iter().enumerate() {
+            let scheduler = Arc::clone(scheduler);
+            let context = Arc::clone(context);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("gendpr-worker-{worker}"))
+                    .spawn(move || worker_loop(worker, lane, &scheduler, &context))?,
+            );
+        }
+        Ok(Self { handles })
+    }
+
+    /// Waits for every lane to drain its in-flight job and close its
+    /// federation session.
+    pub fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    mut lane: ServiceFederation,
+    scheduler: &Arc<Scheduler>,
+    context: &Arc<ExecutionContext>,
+) {
+    let busy = telemetry::sched_worker_busy_seconds(worker);
+    loop {
+        match scheduler.next_dispatch() {
+            Dispatch::Shutdown => break,
+            Dispatch::Job(job) => {
+                let started = Instant::now();
+                let result = run_job_caught(&mut lane, context, scheduler, &job);
+                busy.observe_duration(started.elapsed());
+                scheduler.commit(job, result);
+            }
+        }
+    }
+    // A healthy session closes cleanly; a session that died mid-job has
+    // already recorded the interesting error, so this one is dropped.
+    if let Err(error) = lane.shutdown() {
+        scheduler.record_fatal(error.into());
+    }
+}
+
+/// Runs one job with an unwind barrier: a panic anywhere in job code
+/// becomes [`ServiceError::JobPanicked`] instead of unwinding through
+/// the worker loop and leaving its dispatch sequence uncommitted.
+fn run_job_caught(
+    lane: &mut ServiceFederation,
+    context: &ExecutionContext,
+    scheduler: &Scheduler,
+    job: &DispatchedJob,
+) -> Result<LedgerRecord, ServiceError> {
+    catch_unwind(AssertUnwindSafe(|| run_job(lane, context, scheduler, job))).unwrap_or_else(
+        |payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(ServiceError::JobPanicked(message))
+        },
+    )
+}
+
+fn run_job(
+    lane: &mut ServiceFederation,
+    context: &ExecutionContext,
+    scheduler: &Scheduler,
+    job: &DispatchedJob,
+) -> Result<LedgerRecord, ServiceError> {
+    if scheduler.panic_armed(job.job_id) {
+        panic!("injected failpoint panic for job {}", job.job_id);
+    }
+    if job.batches == 0 {
+        let spec = JobSpec {
+            job_id: job.job_id,
+            panel: job.panel.iter().copied().map(SnpId).collect(),
+            forced: job.forced.clone(),
+        };
+        let outcome = lane.submit(&spec)?;
+        Ok(LedgerRecord::from_outcome(&spec, &outcome))
+    } else {
+        run_dynamic_job(context, job)
+    }
+}
+
+/// A dynamic job: feed the case cohort in `batches` chunks through
+/// [`DynamicAssessor`], seeded with the job's dispatch-time ledger
+/// snapshot, and measure the final adversary power over the cumulative
+/// release.
+fn run_dynamic_job(
+    context: &ExecutionContext,
+    job: &DispatchedJob,
+) -> Result<LedgerRecord, ServiceError> {
+    let forced = &job.forced;
+    let width = context.reference.snps();
+    if job.panel.len() != width || job.panel.iter().enumerate().any(|(i, &s)| s != i as u32) {
+        return Err(ProtocolError::InvalidConfig(
+            "dynamic jobs assess the full panel (submit --snps all)",
+        )
+        .into());
+    }
+    let genomes = context.case.individuals();
+    if job.batches as usize > genomes {
+        return Err(ProtocolError::InvalidConfig("more batches than case genomes").into());
+    }
+    let mut assessor = DynamicAssessor::new(context.params, context.reference.clone())?;
+    assessor.seed_released(forced)?;
+    let base = genomes / job.batches as usize;
+    let extra = genomes % job.batches as usize;
+    let mut start = 0;
+    for i in 0..job.batches as usize {
+        let len = base + usize::from(i < extra);
+        assessor.add_batch(&context.case.row_range(start, len))?;
+        start += len;
+    }
+    let released: Vec<SnpId> = assessor
+        .released()
+        .iter()
+        .copied()
+        .filter(|s| forced.binary_search(s).is_err())
+        .collect();
+
+    let case_counts = context.case.column_counts();
+    let ref_counts = context.reference.column_counts();
+    let n_case = genomes as f64;
+    let n_ref = context.reference.individuals() as f64;
+    let freqs = |snps: &[SnpId]| -> (Vec<f64>, Vec<f64>) {
+        snps.iter()
+            .map(|s| {
+                (
+                    case_counts[s.index()] as f64 / n_case,
+                    ref_counts[s.index()] as f64 / n_ref,
+                )
+            })
+            .unzip()
+    };
+    let (case_freqs, ref_freqs) = freqs(&released);
+
+    // The certified quantity: adversary power over the *cumulative*
+    // release (seed ∪ new) given everything assessed so far.
+    let cumulative = assessor.released().to_vec();
+    let final_power = if cumulative.is_empty() {
+        0.0
+    } else {
+        let (cum_case, cum_ref) = freqs(&cumulative);
+        MembershipAttacker::calibrate(
+            ReleasedStatistics {
+                snps: cumulative,
+                case_freqs: cum_case,
+                ref_freqs: cum_ref,
+            },
+            &context.reference,
+            context.params.lr.false_positive_rate,
+        )
+        .power_against(&context.case)
+    };
+
+    Ok(LedgerRecord {
+        job_id: job.job_id,
+        kind: JobKind::Dynamic,
+        panel: job.panel.clone(),
+        forced: forced.iter().map(|s| s.0).collect(),
+        released: released.iter().map(|s| s.0).collect(),
+        final_power,
+        final_threshold: context.params.lr.power_threshold,
+        case_freqs,
+        ref_freqs,
+        epoch: u64::from(job.batches),
+        roster: Vec::new(),
+        traffic: Vec::new(),
+        certificate: None,
+    })
+}

@@ -18,7 +18,9 @@ static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 #[cfg(unix)]
 mod imp {
     const SIGINT: i32 = 2;
+    const SIGPIPE: i32 = 13;
     const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -35,6 +37,12 @@ mod imp {
             signal(SIGTERM, handler);
         }
     }
+
+    pub fn die_on_sigpipe() {
+        unsafe {
+            signal(SIGPIPE, SIG_DFL);
+        }
+    }
 }
 
 #[cfg(not(unix))]
@@ -42,11 +50,23 @@ mod imp {
     /// No signal story off Unix; the flag can still be set via
     /// [`super::request`] (e.g. from a ctrl-c handler the embedder owns).
     pub fn install() {}
+
+    pub fn die_on_sigpipe() {}
 }
 
 /// Installs the SIGINT/SIGTERM handlers (idempotent).
 pub fn install() {
     imp::install();
+}
+
+/// Restores the default SIGPIPE disposition (terminate) for short-lived
+/// client commands, so `gendpr status | head` dies quietly like any
+/// Unix tool instead of panicking on a closed stdout. Daemons must NOT
+/// call this: with Rust's default (SIGPIPE ignored) a write to a
+/// disconnected client socket is a recoverable `EPIPE` error, which is
+/// what a long-running server wants.
+pub fn die_on_sigpipe() {
+    imp::die_on_sigpipe();
 }
 
 /// True once a shutdown signal has been received (or [`request`]ed).

@@ -20,13 +20,13 @@ pub fn jobs_queued() -> &'static obs::Gauge {
     })
 }
 
-/// Whether a job is currently executing (0 or 1).
+/// Jobs currently executing (one per busy worker lane).
 pub fn jobs_running() -> &'static obs::Gauge {
     static G: OnceLock<obs::Gauge> = OnceLock::new();
     G.get_or_init(|| {
         obs::gauge(
             "gendpr_jobs_running",
-            "Jobs currently executing (0 or 1)",
+            "Jobs currently executing (one per busy worker lane)",
             &[],
         )
     })
@@ -92,6 +92,91 @@ pub fn ledger_records() -> &'static obs::Gauge {
     })
 }
 
+/// Jobs sitting in the scheduler's bounded queue, undispatched.
+pub fn sched_queue_depth() -> &'static obs::Gauge {
+    static G: OnceLock<obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        obs::gauge(
+            "gendpr_sched_queue_depth",
+            "Jobs waiting in the scheduler's bounded queue (undispatched)",
+            &[],
+        )
+    })
+}
+
+/// Workers currently executing a job.
+pub fn sched_workers_busy() -> &'static obs::Gauge {
+    static G: OnceLock<obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        obs::gauge(
+            "gendpr_sched_workers_busy",
+            "Worker lanes currently executing a job",
+            &[],
+        )
+    })
+}
+
+/// Jobs handed to a worker lane, in dispatch order.
+pub fn sched_jobs_dispatched() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_sched_jobs_dispatched_total",
+            "Jobs handed to a worker lane",
+            &[],
+        )
+    })
+}
+
+/// Submits turned away by admission control, by reason.
+pub fn sched_admission_rejects(reason: &'static str) -> obs::Counter {
+    obs::counter(
+        "gendpr_sched_admission_rejects_total",
+        "Submits rejected by admission control, by reason",
+        &[("reason", reason)],
+    )
+}
+
+/// Queue wait: enqueue to dispatch.
+pub fn sched_job_wait_seconds() -> &'static obs::Histogram {
+    static H: OnceLock<obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::histogram(
+            "gendpr_sched_job_wait_seconds",
+            "Queue wait from admission to dispatch",
+            &[],
+            obs::DURATION_BUCKETS,
+        )
+    })
+}
+
+/// End-to-end job latency: enqueue to ledger commit.
+pub fn sched_job_latency_seconds() -> &'static obs::Histogram {
+    static H: OnceLock<obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::histogram(
+            "gendpr_sched_job_latency_seconds",
+            "End-to-end job latency from admission to ledger commit",
+            &[],
+            obs::DURATION_BUCKETS,
+        )
+    })
+}
+
+/// Per-worker execution time, one observation per job; the series' `_sum`
+/// is the worker lane's cumulative busy time.
+pub fn sched_worker_busy_seconds(worker: usize) -> obs::Histogram {
+    // Worker counts are tiny (a handful of lanes); a leaked label string
+    // per lane per process is the cost of a static-free registry key.
+    let label: &'static str = Box::leak(worker.to_string().into_boxed_str());
+    obs::histogram(
+        "gendpr_sched_worker_busy_seconds",
+        "Per-job execution time by worker lane (sum = lane busy time)",
+        &[("worker", label)],
+        obs::DURATION_BUCKETS,
+    )
+}
+
 /// Registers every service metric eagerly, plus the protocol and transport
 /// families underneath, so a daemon's exposition endpoint is fully
 /// populated (at zero) from the first scrape.
@@ -103,6 +188,14 @@ pub fn register_service_metrics() {
     ledger_appends();
     ledger_fsyncs();
     ledger_records();
+    sched_queue_depth();
+    sched_workers_busy();
+    sched_jobs_dispatched();
+    sched_admission_rejects("queue_full");
+    sched_admission_rejects("shutdown");
+    sched_admission_rejects("invalid");
+    sched_job_wait_seconds();
+    sched_job_latency_seconds();
     gendpr_core::telemetry::register_protocol_metrics();
     gendpr_fednet::telemetry::register_transport_metrics();
 }

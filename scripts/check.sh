@@ -19,4 +19,7 @@ cargo bench --no-run
 echo "==> service smoke test"
 scripts/service_smoke.sh
 
+echo "==> scheduler load test (smoke)"
+scripts/loadtest.sh --smoke
+
 echo "All checks passed."

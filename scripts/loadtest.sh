@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Load-tests the assessment daemon's concurrent scheduler: hundreds of
+# simulated clients hammer one daemon over the client protocol, first on a
+# single worker lane (the historical FIFO behaviour), then on a pool of
+# four, with seeded link delays on every lane's member mesh so jobs have
+# genuine network waits for the pool to overlap. The harness enforces its
+# own pass criteria: every job completes, nothing is dropped, and the full
+# run must show at least 2x throughput from the pool. Percentiles come
+# from the daemon's own gendpr_sched_* histograms.
+#
+# Usage: scripts/loadtest.sh [--smoke]
+#   --smoke   quick CI gate (24 clients, no speedup floor, temp report)
+#   default   full run (200 clients), writes BENCH_service.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p gendpr-bench --bin load_service
+
+if [ "${1:-}" = "--smoke" ]; then
+  OUT=$(mktemp "${TMPDIR:-/tmp}/gendpr-loadtest.XXXXXX.json")
+  trap 'rm -f "$OUT"' EXIT
+  # The smoke gate asserts completion (all jobs certified, zero dropped);
+  # speedup on a loaded CI box is informational.
+  target/release/load_service --smoke --out "$OUT"
+else
+  target/release/load_service --min-speedup 2.0 --out BENCH_service.json
+  echo "full report in BENCH_service.json"
+fi

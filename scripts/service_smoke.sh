@@ -73,7 +73,10 @@ if grep -q 'seeded with 0 prior' <<<"$JOB2"; then
   exit 1
 fi
 grep -q 'seeded with' <<<"$JOB2"
-"$BIN" status --addr "$ADDR" | grep -q 'link' # per-link traffic is reported
+# Capture first, then grep: `CMD | grep -q` lets grep exit at the first
+# match and SIGPIPE the client mid-print, which pipefail reports.
+"$BIN" status --addr "$ADDR" >"$DIR/status.out"
+grep -q 'link' "$DIR/status.out" # per-link traffic is reported
 
 echo "==> metrics exposition at $METRICS_ADDR"
 METRICS=$(scrape_metrics)
@@ -104,7 +107,8 @@ grep -q '"msg":"job_certified"' "$DIR/serve.log" || {
   exit 1
 }
 # `status --metrics` dumps the same exposition without the HTTP endpoint.
-"$BIN" status --addr "$ADDR" --metrics | grep -q '^gendpr_jobs_queued' || {
+"$BIN" status --addr "$ADDR" --metrics >"$DIR/status-metrics.out"
+grep -q '^gendpr_jobs_queued' "$DIR/status-metrics.out" || {
   echo "error: status --metrics did not include the queue gauge" >&2
   exit 1
 }
@@ -117,6 +121,61 @@ METRICS_ADDR="127.0.0.1:$((9500 + RANDOM % 2000))"
 serve "$DIR/ledger-continuous.bin"
 "$BIN" submit --addr "$ADDR" --snps 0-39 >/dev/null
 FP_CONTINUOUS=$("$BIN" submit --addr "$ADDR" --snps 20-59 | fingerprint)
+stop_daemon
+
+echo "==> worker pool: concurrent clients against a --workers 2 daemon"
+ADDR="127.0.0.1:$((7500 + RANDOM % 2000))"
+METRICS_ADDR="127.0.0.1:$((9500 + RANDOM % 2000))"
+serve_pool() { # $1 = ledger file
+  "$BIN" serve --gdos 2 --workers 2 --max-queue 8 \
+    --case "$DIR/data/case.vcf" --reference "$DIR/data/reference.vcf" \
+    --ledger "$1" --listen "$ADDR" --timeout 60 \
+    --metrics-addr "$METRICS_ADDR" --log-level info 2>>"$DIR/serve-pool.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    if "$BIN" status --addr "$ADDR" >/dev/null 2>&1; then return; fi
+    sleep 0.2
+  done
+  echo "error: pooled daemon at $ADDR never came up" >&2
+  exit 1
+}
+serve_pool "$DIR/ledger-pool.bin"
+"$BIN" status --addr "$ADDR" >"$DIR/status-pool.out"
+grep -q 'scheduler: 0/2 workers busy' "$DIR/status-pool.out" || {
+  echo "error: status does not report the worker pool" >&2
+  exit 1
+}
+# Four concurrent waiting submits share the two lanes; all must certify.
+PIDS=()
+for range in 0-19 10-29 20-39 30-49; do
+  "$BIN" submit --addr "$ADDR" --snps "$range" >"$DIR/job-$range.out" &
+  PIDS+=($!)
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || {
+    echo "error: a concurrent submit failed" >&2
+    cat "$DIR"/job-*.out >&2
+    exit 1
+  }
+done
+grep -L 'assessment certificate' "$DIR"/job-*.out | while read -r missing; do
+  echo "error: $missing certified nothing" >&2
+  exit 1
+done
+# The scheduler's own series must have counted the storm.
+METRICS=$(scrape_metrics)
+for series in gendpr_sched_jobs_dispatched_total gendpr_sched_queue_depth \
+  gendpr_sched_workers_busy gendpr_sched_job_wait_seconds; do
+  if ! grep -q "^# TYPE $series" <<<"$METRICS"; then
+    echo "error: metrics exposition is missing $series" >&2
+    exit 1
+  fi
+done
+DISPATCHED=$(awk -F' ' '/^gendpr_sched_jobs_dispatched_total / {print $2}' <<<"$METRICS")
+if [ -z "$DISPATCHED" ] || [ "$DISPATCHED" -lt 4 ]; then
+  echo "error: scheduler dispatched ${DISPATCHED:-nothing}, expected >= 4" >&2
+  exit 1
+fi
 stop_daemon
 
 [ -n "$FP_RESTARTED" ]

@@ -34,7 +34,7 @@ use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::genomics::vcf;
 use gendpr::service::daemon::AssessmentService;
 use gendpr::service::ledger::{LedgerRecord, ReleaseLedger};
-use gendpr::service::{signals, ServiceClient, ServiceError};
+use gendpr::service::{signals, SchedulerConfig, ServiceClient, ServiceError};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -108,6 +108,8 @@ const SERVE_FLAGS: &[&str] = &[
     "ledger",
     "listen",
     "metrics-addr",
+    "workers",
+    "max-queue",
     "log-level",
 ];
 const SERVE_BOOLS: &[&str] = &["tcp"];
@@ -248,7 +250,8 @@ gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HE
 gendpr serve  --case FILE --reference FILE --ledger FILE [--gdos N] [--tcp]\n                \
 [--listen ADDR] [--collusion f|all] [--seed N] [--maf F] [--ld F]\n                \
 [--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n                \
-[--metrics-addr HOST:PORT] [--log-level LEVEL]\n  \
+[--workers N] [--max-queue N] [--metrics-addr HOST:PORT]\n                \
+[--log-level LEVEL]\n  \
 gendpr submit [--addr HOST:PORT] [--snps all|A-B|A,B,...] [--batches N] [--no-wait]\n  \
 gendpr status [--addr HOST:PORT] [--metrics]\n  \
 gendpr results --job ID [--addr HOST:PORT]\n  \
@@ -267,8 +270,12 @@ either way). Every certified release is appended to the checksummed\n  \
 adversary power always covers the cumulative release — across jobs and\n  \
 across daemon restarts. `submit` queues a job (blocking until certified\n  \
 unless --no-wait); `--batches N` routes it through the dynamic assessor.\n  \
-`status` shows queue depth and cumulative per-link traffic; `results`\n  \
-fetches a job's ledger record; `stop` shuts the daemon down cleanly.\n\n\
+`--workers N` runs N federation lanes concurrently; releases stay\n  \
+deterministic because every job's seed is a ledger snapshot taken at\n  \
+dispatch and commits land in dispatch order. `--max-queue N` bounds the\n  \
+job queue; over-limit submits get a typed queue-full rejection. `status`\n  \
+shows queue depth, worker utilisation and cumulative per-link traffic;\n  \
+`results` fetches a job's ledger record; `stop` drains and exits.\n\n\
 OBSERVABILITY:\n  \
 --metrics-addr H:P  serve the daemon's metrics in the Prometheus text\n                      \
 format at http://H:P/metrics (per-phase timings,\n                      \
@@ -955,34 +962,47 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         recovery: RecoveryOptions::default(),
         threads: threads_from_flags(flags)?,
     };
-    let federation = if flags.contains_key("tcp") {
-        let (roster, listeners) = ephemeral_listeners(gdos)
-            .map_err(|e| format!("binding member loopback listeners: {e}"))?;
-        let mut transports = Vec::with_capacity(gdos);
-        for (id, listener) in listeners.into_iter().enumerate() {
-            transports.push(
-                TcpTransport::from_listener(
-                    PeerId(id as u32),
-                    listener,
-                    &roster,
-                    TcpOptions::default(),
-                )
-                .map_err(|e| format!("member {id} transport: {e}"))?,
-            );
-        }
-        ServiceFederation::start_over(transports, config, params, &cohort, options)
-    } else {
-        ServiceFederation::start_in_memory(config, params, &cohort, options)
+    let workers: usize = flag(flags, "workers", 1)?;
+    if workers == 0 {
+        return Err(CliError::from("--workers must be at least 1".to_string()));
     }
-    .map_err(protocol_error)?;
+    let max_queue: usize = flag(flags, "max-queue", 64)?;
+    // Every lane is a full federation session from the same config and
+    // seed, so each certifies identically; the scheduler serialises their
+    // ledger commits in dispatch order.
+    let mut lanes = Vec::with_capacity(workers);
+    for lane in 0..workers {
+        let federation = if flags.contains_key("tcp") {
+            let (roster, listeners) = ephemeral_listeners(gdos)
+                .map_err(|e| format!("lane {lane}: binding member loopback listeners: {e}"))?;
+            let mut transports = Vec::with_capacity(gdos);
+            for (id, listener) in listeners.into_iter().enumerate() {
+                transports.push(
+                    TcpTransport::from_listener(
+                        PeerId(id as u32),
+                        listener,
+                        &roster,
+                        TcpOptions::default(),
+                    )
+                    .map_err(|e| format!("lane {lane}: member {id} transport: {e}"))?,
+                );
+            }
+            ServiceFederation::start_over(transports, config, params, &cohort, options)
+        } else {
+            ServiceFederation::start_in_memory(config, params, &cohort, options)
+        }
+        .map_err(protocol_error)?;
+        lanes.push(federation);
+    }
     println!(
-        "federation up: {gdos} members over {} transport, leader GDO {}",
+        "federation up: {gdos} members over {} transport, leader GDO {}, {workers} worker lane{}",
         if flags.contains_key("tcp") {
             "loopback TCP"
         } else {
             "in-memory"
         },
-        federation.leader()
+        lanes[0].leader(),
+        if workers == 1 { "" } else { "s" }
     );
 
     let listen = match flags.get("listen") {
@@ -990,8 +1010,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
     };
     let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
-    let service = AssessmentService::start(federation, ledger, &cohort, params, listener)
-        .map_err(service_error)?;
+    let service = AssessmentService::start_with(
+        lanes,
+        ledger,
+        &cohort,
+        params,
+        listener,
+        SchedulerConfig { workers, max_queue },
+    )
+    .map_err(service_error)?;
     // Held until `run()` returns: dropping the server stops the exporter.
     let metrics_server = match flags.get("metrics-addr") {
         Some(spec) => {
@@ -1018,6 +1045,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 fn service_client(flags: &HashMap<String, String>) -> Result<ServiceClient, CliError> {
+    // Client commands are ordinary short-lived Unix tools: piping their
+    // stdout into `head`/`grep -q` must end them quietly, not panic.
+    signals::die_on_sigpipe();
     let addr = match flags.get("addr") {
         Some(spec) => resolve_addr(spec)?,
         None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
@@ -1120,6 +1150,16 @@ fn cmd_status(flags: &HashMap<String, String>) -> Result<(), CliError> {
         "jobs: {} done, {} queued | cumulative release: {} SNPs",
         status.jobs_done, status.jobs_queued, status.released_total
     );
+    println!(
+        "scheduler: {}/{} workers busy, queue {}/{}",
+        status.workers_busy,
+        status.workers,
+        status.queue.len(),
+        status.max_queue
+    );
+    for job in &status.queue {
+        println!("  job {}: queue position {}", job.job_id, job.position);
+    }
     for link in &status.links {
         println!(
             "link {} → {}: {} messages, {} wire bytes ({} plaintext)",

@@ -666,3 +666,69 @@ fn distributed_assess_matches_in_process_release() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_a_loaded_worker_pool_and_flushes_the_ledger() {
+    let dir = temp_dir("sigterm-drain");
+    synth_into(&dir);
+    let addr = free_peer_roster(1);
+    let daemon = bin()
+        .args(["serve", "--gdos", "2", "--workers", "2", "--max-queue", "8"])
+        .arg("--ledger")
+        .arg(dir.join("ledger.bin"))
+        .arg("--case")
+        .arg(dir.join("case.vcf"))
+        .arg("--reference")
+        .arg(dir.join("reference.vcf"))
+        .args(["--listen", &addr, "--timeout", "60"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    wait_for_daemon(&addr);
+
+    // The status snapshot reports the pool shape before any job runs.
+    let status = bin()
+        .args(["status", "--addr", &addr])
+        .output()
+        .expect("status runs");
+    assert!(status.status.success());
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(
+        stdout.contains("scheduler: 0/2 workers busy, queue 0/8"),
+        "{stdout}"
+    );
+
+    // Pile up fire-and-forget jobs, then SIGTERM with work in flight:
+    // the daemon must drain what was dispatched, flush the ledger and
+    // exit with the dedicated interrupted code — not die mid-commit.
+    for snps in ["0-19", "10-29", "20-39"] {
+        let job = bin()
+            .args(["submit", "--addr", &addr, "--snps", snps, "--no-wait"])
+            .output()
+            .expect("submit runs");
+        assert!(
+            job.status.success(),
+            "{}",
+            String::from_utf8_lossy(&job.stderr)
+        );
+        assert!(String::from_utf8_lossy(&job.stdout).contains("queued"));
+    }
+    terminate(daemon.id());
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("shutdown signal"));
+    // Whatever was committed before the drain survived on disk intact;
+    // a fresh daemon could seed its next job from it.
+    assert!(
+        std::fs::metadata(dir.join("ledger.bin")).unwrap().len() > 0,
+        "dispatched jobs were flushed to the ledger before exit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

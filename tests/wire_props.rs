@@ -225,3 +225,99 @@ fn frame_header_is_four_bytes_little_endian() {
     let body_len = u32::from_le_bytes(bytes[..FRAME_HEADER_BYTES].try_into().unwrap()) as usize;
     assert_eq!(body_len, bytes.len() - FRAME_HEADER_BYTES);
 }
+
+// --- client protocol: the scheduler's status and rejection types ---
+
+use gendpr::service::{ClientResponse, LinkRecord, QueuedJobStatus, RejectReason, ServiceStatus};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn service_status_roundtrips_with_scheduler_fields(
+        leader in any::<u32>(),
+        gdos in any::<u32>(),
+        jobs_done in any::<u64>(),
+        workers in any::<u32>(),
+        workers_busy in any::<u32>(),
+        max_queue in any::<u64>(),
+        queue_ids in proptest::collection::vec(any::<u64>(), 0..20),
+        links in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..10,
+        ),
+        metrics in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let status = ServiceStatus {
+            leader,
+            gdos,
+            panel_len: u64::from(gdos) * 7,
+            jobs_done,
+            jobs_queued: queue_ids.len() as u64,
+            released_total: jobs_done.wrapping_mul(3),
+            links: links
+                .into_iter()
+                .map(|(from, to, messages, plaintext_bytes, wire_bytes)| LinkRecord {
+                    from,
+                    to,
+                    messages,
+                    plaintext_bytes,
+                    wire_bytes,
+                })
+                .collect(),
+            metrics: String::from_utf8_lossy(&metrics).into_owned(),
+            workers,
+            workers_busy,
+            max_queue,
+            queue: queue_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &job_id)| QueuedJobStatus {
+                    job_id,
+                    position: i as u64 + 1,
+                })
+                .collect(),
+        };
+        let back: ServiceStatus = from_bytes(&to_bytes(&status)).unwrap();
+        prop_assert_eq!(back, status);
+    }
+
+    #[test]
+    fn typed_rejections_roundtrip_through_the_client_response(
+        depth in any::<u64>(),
+        max in any::<u64>(),
+        shutting_down in any::<bool>(),
+    ) {
+        let reason = if shutting_down {
+            RejectReason::ShuttingDown
+        } else {
+            RejectReason::QueueFull { depth, max }
+        };
+        let response = ClientResponse::Rejected(reason);
+        let back: ClientResponse = from_bytes(&to_bytes(&response)).unwrap();
+        prop_assert_eq!(back, response);
+    }
+
+    #[test]
+    fn truncated_status_frames_error_rather_than_misparse(
+        cut in 1usize..40,
+    ) {
+        let status = ServiceStatus {
+            leader: 1,
+            gdos: 3,
+            panel_len: 100,
+            jobs_done: 4,
+            jobs_queued: 1,
+            released_total: 9,
+            links: vec![],
+            metrics: String::new(),
+            workers: 2,
+            workers_busy: 1,
+            max_queue: 64,
+            queue: vec![QueuedJobStatus { job_id: 5, position: 1 }],
+        };
+        let bytes = to_bytes(&status);
+        prop_assume!(cut < bytes.len());
+        prop_assert!(from_bytes::<ServiceStatus>(&bytes[..bytes.len() - cut]).is_err());
+    }
+}

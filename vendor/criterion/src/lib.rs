@@ -1,0 +1,218 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the registry `criterion` cannot be resolved. This vendored
+//! crate implements the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `bench_function`, benchmark
+//! groups with `bench_with_input`/`sample_size`/`throughput`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] — as a thin wall-clock
+//! harness: each bench runs a bounded number of timed samples and prints
+//! the mean time per iteration. There is no statistical analysis, HTML
+//! report, or baseline comparison; `scripts/bench.sh` uses the dedicated
+//! `gendpr-bench` binaries for tracked numbers.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 10;
+const MAX_SAMPLES: usize = 20;
+/// Per-bench wall-clock budget; sampling stops early once exceeded.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(250);
+
+/// The benchmark harness handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Times `bench` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, bench: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, DEFAULT_SAMPLES, None, bench);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Declares the work per iteration so results report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `bench` under this group.
+    pub fn bench_function<I, F>(&mut self, id: I, bench: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.samples, self.throughput, bench);
+        self
+    }
+
+    /// Times `bench(input)` under this group.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut bench: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.samples, self.throughput, |b| bench(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Names one benchmark within a group, optionally parameterised.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The amount of work one iteration performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then up to the configured
+    /// number of samples within the per-bench time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.samples.min(MAX_SAMPLES) {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut bench: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    bench(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label}: no timed iterations");
+        return;
+    }
+    let per_iter = bencher.total / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+    let rate = throughput.map(|t| {
+        let secs = per_iter.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / secs / (1 << 20) as f64),
+            Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / secs),
+        }
+    });
+    println!(
+        "{label}: {per_iter:?}/iter over {} samples{}",
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group (CLI arguments from
+/// `cargo bench` are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Collection strategies: `Vec` with a generated length.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+use std::ops::Range;
+
+/// A `Vec` strategy whose length is drawn from `size` and whose elements
+/// come from `element`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

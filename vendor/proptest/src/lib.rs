@@ -1,0 +1,112 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the registry `proptest` cannot be resolved. This vendored
+//! crate implements the *exact* API surface the workspace's property
+//! tests use — `proptest!` with `#![proptest_config]`, `any`, range and
+//! tuple and `collection::vec` strategies, `prop_map`, `sample::Index`,
+//! and the `prop_assert*`/`prop_assume!` macros — as a genuinely working
+//! property-test engine with deterministic seeded generation.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and generated-input
+//!   path; re-running is deterministic, so the failure reproduces exactly.
+//! * **Deterministic seeds.** Each test's case stream is derived from the
+//!   test name, so runs are reproducible across machines and reorderings.
+//! * Only the strategies this workspace uses are implemented; adding more
+//!   is a few lines in [`strategy`].
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// the generating seed reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body; operands are evaluated once.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (drawing a replacement) when a generated
+/// input does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $config;
+                $crate::test_runner::run(&__pt_config, ::core::stringify!($name), |__pt_rng| {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng); )+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

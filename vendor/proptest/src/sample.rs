@@ -1,0 +1,29 @@
+//! Sampling helpers: a collection-agnostic index.
+
+use crate::strategy::Arbitrary;
+use crate::test_runner::Rng;
+
+/// An index into a collection of unknown-at-generation-time length;
+/// generate one with `any::<prop::sample::Index>()` and resolve it with
+/// [`Index::index`].
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// This index resolved against a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// When `len` is zero.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        usize::try_from(self.0 % len as u64).expect("index fits usize")
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        Self(rng.next_u64())
+    }
+}

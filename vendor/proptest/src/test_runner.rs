@@ -1,0 +1,119 @@
+//! The case runner: deterministic seed derivation, the per-test config,
+//! and the reject/fail bookkeeping behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-test configuration; only the knob this workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Generated cases per property (successful draws, not counting
+    /// `prop_assume!` rejects).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated; carries the assertion message.
+    Fail(String),
+    /// `prop_assume!` discarded the inputs; draw a replacement.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self::Fail(message)
+    }
+}
+
+/// The deterministic generator handed to strategies: splitmix64 over a
+/// per-case seed, so every case is reproducible from `(test name, case)`.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `case` against `config.cases` generated inputs. Rejected draws
+/// (`prop_assume!`) are replaced, up to a bounded number of attempts.
+///
+/// # Panics
+///
+/// When a case fails or panics (reporting the case seed so the failure
+/// can be reproduced), or when too many draws are rejected.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes()) ^ 0xA076_1D64_78BD_642F;
+    let max_attempts = config.cases.saturating_mul(16).max(64);
+    let mut accepted = 0u32;
+    let mut attempt = 0u32;
+    while accepted < config.cases {
+        assert!(
+            attempt < max_attempts,
+            "proptest '{name}': {accepted}/{} cases accepted after {attempt} draws; \
+             prop_assume! rejects too aggressively",
+            config.cases
+        );
+        let seed = base ^ (u64::from(attempt)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let mut rng = Rng::new(seed);
+        attempt += 1;
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => {}
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!("proptest '{name}' failed (case seed {seed:#018x}): {message}");
+            }
+            Err(payload) => {
+                eprintln!("proptest '{name}' panicked (case seed {seed:#018x})");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
