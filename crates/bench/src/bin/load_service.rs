@@ -171,6 +171,7 @@ fn run_phase(config: &Config, workers: usize, ledger_path: &PathBuf) -> PhaseRep
         SchedulerConfig {
             workers,
             max_queue: config.max_queue,
+            ..SchedulerConfig::default()
         },
     )
     .expect("daemon starts");

@@ -1,0 +1,72 @@
+//! Deterministic crash injection for the soak harness.
+//!
+//! A *kill point* is a named site in a hot path (a ledger append between
+//! write and fsync, a transport frame send) where the process can be
+//! made to die as abruptly as a SIGKILL — no unwinding, no `Drop` glue,
+//! no buffered flushes. The soak driver arms exactly one site per
+//! daemon run via the environment:
+//!
+//! ```text
+//! GENDPR_KILLPOINT=<site>:<n>
+//! ```
+//!
+//! means "abort on the `n`-th hit of `<site>`". The spec is read once
+//! (first hit) and the counter is process-global, so a seeded driver
+//! choosing `n` gets a reproducible crash offset. Unset, every [`hit`]
+//! is a single relaxed-ordering branch on a cold `OnceLock` — nothing a
+//! production deployment can trip over.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
+
+struct KillPoint {
+    site: String,
+    remaining: AtomicI64,
+}
+
+static ARMED: OnceLock<Option<KillPoint>> = OnceLock::new();
+
+fn parse() -> Option<KillPoint> {
+    let spec = std::env::var("GENDPR_KILLPOINT").ok()?;
+    let (site, count) = spec.rsplit_once(':')?;
+    let count: i64 = count.parse().ok()?;
+    (count > 0 && !site.is_empty()).then(|| KillPoint {
+        site: site.to_string(),
+        remaining: AtomicI64::new(count),
+    })
+}
+
+/// Registers a pass through the kill point named `site`; aborts the
+/// process (exit as-if-SIGKILLed: no unwinding, no flushes) when the
+/// armed countdown for that site reaches zero.
+pub fn hit(site: &str) {
+    if let Some(armed) = ARMED.get_or_init(parse) {
+        if armed.site == site && armed.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // eprintln is deliberate: the soak driver greps the daemon's
+            // stderr to tell an armed abort from an unexpected death.
+            eprintln!("killpoint: aborting at {site}");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_hits_are_noops() {
+        // The suite runs without GENDPR_KILLPOINT; hammering a site must
+        // neither abort nor panic.
+        for _ in 0..100 {
+            hit("net_send");
+            hit("ledger_append");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        // parse() reads the real environment, which is unset here.
+        assert!(parse().is_none());
+    }
+}

@@ -17,6 +17,8 @@
 //!   discussion,
 //! * [`fault`] — deterministic crash/partition injection (the paper's
 //!   no-liveness-under-faults caveat),
+//! * [`killpoint`] — env-armed process-abort sites for the soak
+//!   harness's seeded SIGKILL-equivalent crashes,
 //! * [`latency`] — an affine latency model for geo-distributed estimates.
 //!
 //! # Example
@@ -34,6 +36,7 @@
 
 pub mod client;
 pub mod fault;
+pub mod killpoint;
 pub mod latency;
 pub mod metrics;
 pub mod tcp;

@@ -9,7 +9,6 @@
 //! the server stops it within one poll interval — no self-connect poke,
 //! and no dependence on the listener ever seeing another connection.
 
-use crate::metrics;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -105,7 +104,9 @@ fn answer(mut stream: TcpStream) -> std::io::Result<()> {
     let (status, body) = if method != "GET" {
         ("400 Bad Request", String::from("only GET is supported\n"))
     } else if path == "/metrics" || path == "/" {
-        ("200 OK", metrics::global().render())
+        // crate::render (not the registry directly) so the process
+        // resource gauges are refreshed on every scrape.
+        ("200 OK", crate::render())
     } else {
         ("404 Not Found", String::from("try /metrics\n"))
     };
@@ -131,7 +132,7 @@ mod tests {
 
     #[test]
     fn serves_global_registry_and_404s_elsewhere() {
-        metrics::global()
+        crate::metrics::global()
             .counter("obs_http_test_total", "exposition test counter", &[])
             .add(5);
         let server = MetricsServer::start("127.0.0.1:0").expect("bind metrics endpoint");

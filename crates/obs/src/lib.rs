@@ -17,6 +17,7 @@
 pub mod http;
 pub mod log;
 pub mod metrics;
+pub mod process;
 pub mod span;
 
 pub use http::MetricsServer;
@@ -47,7 +48,10 @@ pub fn histogram(
     global().histogram(name, help, labels, bounds)
 }
 
-/// Renders the global registry in the Prometheus text format.
+/// Renders the global registry in the Prometheus text format, refreshing
+/// the process resource gauges first so every scrape sees current
+/// thread/fd/RSS readings.
 pub fn render() -> String {
+    process::sample();
     global().render()
 }

@@ -129,6 +129,9 @@ fn unexpected(response: ClientResponse) -> io::Error {
             io::Error::new(io::ErrorKind::ConnectionAborted, reason.to_string())
         }
         ClientResponse::Error(message) => io::Error::other(message),
+        ClientResponse::Retried { attempts, message } => io::Error::other(format!(
+            "job failed after {attempts} attempts; last error: {message}"
+        )),
         other => io::Error::other(format!("unexpected response: {other:?}")),
     }
 }

@@ -31,7 +31,8 @@ use crate::error::ServiceError;
 use crate::ledger::{LedgerRecord, LinkRecord, ReleaseLedger};
 use crate::protocol::{ClientRequest, ClientResponse, ServiceStatus};
 use crate::sched::{
-    ExecutionContext, JobVerdict, Limits, ReplySink, Scheduler, SchedulerConfig, WorkerPool,
+    ExecutionContext, JobVerdict, LaneFactory, Limits, ReplySink, Scheduler, SchedulerConfig,
+    WorkerPool,
 };
 use crate::signals;
 use gendpr_core::config::GwasParams;
@@ -66,6 +67,7 @@ pub struct AssessmentService {
     pool: Option<WorkerPool>,
     accept: Option<thread::JoinHandle<()>>,
     client_addr: SocketAddr,
+    drain_timeout: Duration,
 }
 
 /// A handle on one in-memory waiting submit: the job is queued; `wait`
@@ -144,6 +146,49 @@ impl AssessmentService {
         listener: TcpListener,
         config: SchedulerConfig,
     ) -> Result<Self, ServiceError> {
+        Self::start_inner(lanes, None, ledger, cohort, params, listener, config)
+    }
+
+    /// Like [`AssessmentService::start_with`], but *supervised*: the
+    /// factory builds replacement lanes, so a lane that loses quorum,
+    /// gets evicted or panics has its in-flight job re-queued (bounded
+    /// by [`SchedulerConfig::max_retries`]) and the lane re-elected and
+    /// returned to the pool — a lane crash never loses a job or kills
+    /// the daemon. The factory must build sessions over the same cohort
+    /// and seeded config as `lanes`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssessmentService::start_with`].
+    pub fn start_supervised(
+        lanes: Vec<ServiceFederation>,
+        factory: LaneFactory,
+        ledger: ReleaseLedger,
+        cohort: &Cohort,
+        params: GwasParams,
+        listener: TcpListener,
+        config: SchedulerConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::start_inner(
+            lanes,
+            Some(factory),
+            ledger,
+            cohort,
+            params,
+            listener,
+            config,
+        )
+    }
+
+    fn start_inner(
+        lanes: Vec<ServiceFederation>,
+        factory: Option<LaneFactory>,
+        ledger: ReleaseLedger,
+        cohort: &Cohort,
+        params: GwasParams,
+        listener: TcpListener,
+        config: SchedulerConfig,
+    ) -> Result<Self, ServiceError> {
         let Some(first) = lanes.first() else {
             return Err(ProtocolError::InvalidConfig("a daemon needs at least one lane").into());
         };
@@ -171,9 +216,11 @@ impl AssessmentService {
             case_genomes: cohort.case_individuals() as u64,
             max_queue: config.max_queue,
             workers: lanes.len(),
+            max_retries: config.max_retries,
         };
         crate::telemetry::register_service_metrics();
         let sched = Arc::new(Scheduler::new(ledger, limits));
+        sched.set_lane_crash_every(config.lane_crash_every);
         let shared = Arc::new(Shared {
             leader: leader as u32,
             gdos: gdos as u32,
@@ -196,7 +243,7 @@ impl AssessmentService {
             case: cohort.case().clone(),
             reference: cohort.reference().clone(),
         });
-        let pool = WorkerPool::spawn(lanes, &sched, &context)?;
+        let pool = WorkerPool::spawn_supervised(lanes, factory, &sched, &context)?;
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -208,6 +255,7 @@ impl AssessmentService {
             pool: Some(pool),
             accept: Some(accept),
             client_addr,
+            drain_timeout: config.drain_timeout,
         })
     }
 
@@ -290,6 +338,23 @@ impl AssessmentService {
         self.shared.sched.arm_panic(job_id);
     }
 
+    /// Arms a one-shot lane-crash failpoint: the first attempt of
+    /// `job_id` dies with a lane-fatal error. Only the error itself is
+    /// synthetic — the teardown, re-queue, lane rebuild (a real seeded
+    /// election + attestation) and retry are the production supervision
+    /// path under test.
+    #[doc(hidden)]
+    pub fn inject_lane_crash(&self, job_id: u64) {
+        self.shared.sched.arm_lane_crash(job_id);
+    }
+
+    /// Arms a stall failpoint: every attempt of `job_id` sleeps
+    /// `millis` before executing, for exercising the hard drain timeout.
+    #[doc(hidden)]
+    pub fn inject_job_stall(&self, job_id: u64, millis: u64) {
+        self.shared.sched.arm_stall(job_id, millis);
+    }
+
     /// Test hook: holds dispatch so admission can be driven to the
     /// `max_queue` bound deterministically.
     #[doc(hidden)]
@@ -343,10 +408,26 @@ impl AssessmentService {
         );
         // Rejects everything undispatched with the typed verdict, then
         // waits for the lanes: each finishes its in-flight job, commits
-        // it (ledger append + fsync) and closes its session.
+        // it (ledger append + fsync) and closes its session. The wait is
+        // bounded: a lane wedged mid-election (a member that will never
+        // answer) must not hold the exit past the drain deadline, so at
+        // the timeout the stragglers' submitters get the typed
+        // shutting-down verdict and their threads are detached.
         self.shared.sched.request_shutdown();
         if let Some(pool) = self.pool.take() {
-            pool.join();
+            if !pool.join_timeout(self.drain_timeout) {
+                let stragglers = self.shared.sched.drain_stragglers();
+                crate::telemetry::sched_drain_timeouts().inc();
+                event(
+                    Level::Warn,
+                    "service",
+                    "drain_timeout",
+                    &[
+                        ("timeout_ms", (self.drain_timeout.as_millis() as u64).into()),
+                        ("stragglers", stragglers.into()),
+                    ],
+                );
+            }
         }
         // The accept loop polls the shutdown flag; no poke needed.
         if let Some(accept) = self.accept.take() {

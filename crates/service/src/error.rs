@@ -40,6 +40,17 @@ pub enum ServiceError {
     /// owns the typed error must also keep it for the daemon's own exit
     /// status.
     JobFailed(String),
+    /// A supervised job exhausted its retry budget: every attempt died
+    /// with a lane crash (or panic), the lane was rebuilt each time, and
+    /// the job still failed. `attempts` counts executions; `last` is the
+    /// final attempt's rendered error. The daemon keeps serving — only
+    /// this job is answered with the failure.
+    Retried {
+        /// Executions the job got before the budget ran out.
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -53,6 +64,12 @@ impl fmt::Display for ServiceError {
             }
             Self::ShuttingDown => write!(f, "service shutting down"),
             Self::InvalidJob(msg) | Self::JobFailed(msg) => write!(f, "{msg}"),
+            Self::Retried { attempts, last } => {
+                write!(
+                    f,
+                    "job failed after {attempts} attempts; last error: {last}"
+                )
+            }
         }
     }
 }
@@ -83,7 +100,8 @@ impl ServiceError {
             | Self::QueueFull { .. }
             | Self::ShuttingDown
             | Self::InvalidJob(_)
-            | Self::JobFailed(_) => None,
+            | Self::JobFailed(_)
+            | Self::Retried { .. } => None,
         }
     }
 
@@ -98,8 +116,31 @@ impl ServiceError {
             | Self::QueueFull { .. }
             | Self::ShuttingDown
             | Self::InvalidJob(_)
-            | Self::JobFailed(_) => true,
+            | Self::JobFailed(_)
+            | Self::Retried { .. } => true,
             Self::Protocol(_) | Self::Io(_) => false,
+        }
+    }
+
+    /// Whether a supervised scheduler may re-queue the job after this
+    /// failure. Lane deaths (quorum loss, eviction, member timeout,
+    /// security failure — any lane-fatal protocol error) and job panics
+    /// qualify: the job itself may be fine, the execution environment
+    /// was not. Spec rejections are the submitter's fault and ledger
+    /// (I/O) failures poison the daemon's durable state, so neither is
+    /// retried.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        match self {
+            Self::JobPanicked(_) => true,
+            Self::Protocol(ProtocolError::InvalidConfig(_) | ProtocolError::EmptyStudy) => false,
+            Self::Protocol(_) => true,
+            Self::Io(_)
+            | Self::QueueFull { .. }
+            | Self::ShuttingDown
+            | Self::InvalidJob(_)
+            | Self::JobFailed(_)
+            | Self::Retried { .. } => false,
         }
     }
 }

@@ -28,6 +28,7 @@ use gendpr_fednet::tcp::MAX_FRAME_BYTES;
 use gendpr_fednet::wire::{self, Decode, Encode, Reader, WireError};
 use gendpr_fednet::wire_struct;
 use gendpr_genomics::snp::SnpId;
+use gendpr_obs::{event, Level};
 use gendpr_tee::attestation::Quote;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -292,6 +293,31 @@ impl ReleaseLedger {
         }
         let recovered = (bytes.len() - good) as u64;
         if recovered > 0 {
+            // Count what the torn tail held before discarding it: whole
+            // frames that failed their checksum or decode, plus one for
+            // a trailing partial frame. Recovery must be loud — a crash
+            // mid-fsync is exactly what the soak harness audits for.
+            let mut truncated_frames = 0u64;
+            let mut scan = good;
+            while let Some(end) = next_frame(&bytes, scan) {
+                truncated_frames += 1;
+                scan = end;
+            }
+            if scan < bytes.len() {
+                truncated_frames += 1;
+            }
+            crate::telemetry::ledger_truncated_frames().add(truncated_frames);
+            event(
+                Level::Warn,
+                "ledger",
+                "ledger_truncated",
+                &[
+                    ("path", path.display().to_string().as_str().into()),
+                    ("bytes", recovered.into()),
+                    ("frames", truncated_frames.into()),
+                    ("records_kept", records.len().into()),
+                ],
+            );
             file.set_len(good as u64)?;
             file.sync_data()?;
             crate::telemetry::ledger_fsyncs().inc();
@@ -324,9 +350,18 @@ impl ReleaseLedger {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&body);
         frame.extend_from_slice(&sha256::digest(&body));
-        self.file.write_all(&frame)?;
+        // Soak-harness kill points cover the three crash windows
+        // recovery must handle: mid-write (a genuinely torn frame on
+        // disk), post-write pre-fsync, and right after durability (a
+        // committed frame whose response was never delivered).
+        let split = frame.len() / 2;
+        self.file.write_all(&frame[..split])?;
+        gendpr_fednet::killpoint::hit("ledger_tear");
+        self.file.write_all(&frame[split..])?;
         self.file.flush()?;
+        gendpr_fednet::killpoint::hit("ledger_append");
         self.file.sync_data()?;
+        gendpr_fednet::killpoint::hit("ledger_commit");
         crate::telemetry::ledger_appends().inc();
         crate::telemetry::ledger_fsyncs().inc();
         self.next_id = self.next_id.max(record.job_id + 1);

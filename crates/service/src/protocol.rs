@@ -214,6 +214,17 @@ pub enum ClientResponse {
     Error(String),
     /// Admission control turned the submit away; nothing was queued.
     Rejected(RejectReason),
+    /// The job exhausted its supervised retry budget: it was executed
+    /// `attempts` times, each attempt died with a lane crash (or panic),
+    /// and the budget ran out. Typed so a client can tell "the service
+    /// kept its promise and the job itself is cursed" from an ordinary
+    /// failure.
+    Retried {
+        /// Executions the job got.
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        message: String,
+    },
 }
 
 impl Encode for ClientResponse {
@@ -244,6 +255,11 @@ impl Encode for ClientResponse {
                 6u8.encode(buf);
                 reason.encode(buf);
             }
+            Self::Retried { attempts, message } => {
+                7u8.encode(buf);
+                attempts.encode(buf);
+                message.encode(buf);
+            }
         }
     }
 }
@@ -260,6 +276,10 @@ impl Decode for ClientResponse {
             4 => Ok(Self::ShuttingDown),
             5 => Ok(Self::Error(String::decode(r)?)),
             6 => Ok(Self::Rejected(RejectReason::decode(r)?)),
+            7 => Ok(Self::Retried {
+                attempts: u32::decode(r)?,
+                message: String::decode(r)?,
+            }),
             _ => Err(WireError::InvalidValue("client response tag")),
         }
     }
@@ -297,6 +317,10 @@ mod tests {
             max: 64,
         }));
         roundtrip(ClientResponse::Rejected(RejectReason::ShuttingDown));
+        roundtrip(ClientResponse::Retried {
+            attempts: 3,
+            message: "member 1 unresponsive".into(),
+        });
         roundtrip(ClientResponse::Status(ServiceStatus {
             leader: 1,
             gdos: 3,

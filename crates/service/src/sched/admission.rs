@@ -30,6 +30,10 @@ pub struct Limits {
     pub max_queue: usize,
     /// Worker lanes in the pool.
     pub workers: usize,
+    /// Retry budget per job under lane supervision (a job runs at most
+    /// `max_retries + 1` times before the typed
+    /// [`ServiceError::Retried`] verdict).
+    pub max_retries: u32,
 }
 
 /// Validates and normalizes a submitted spec: sorts and deduplicates the

@@ -15,6 +15,18 @@
 //! Failed jobs pass through the same gate (advancing the sequence
 //! without appending) so a panic or rejected spec can never wedge the
 //! jobs dispatched after it.
+//!
+//! # Supervision
+//!
+//! A *supervised* scheduler (one whose pool has a lane factory) treats a
+//! lane crash differently: instead of flipping the daemon into fatal
+//! shutdown, the crashed job is put back at the front of the queue with
+//! a bounded retry budget and the worker rebuilds its lane. The job's
+//! reply sink lives in the scheduler's in-flight table between dispatch
+//! and commit, so a re-queued job keeps its waiting submitter and a
+//! timed-out shutdown drain can answer stragglers. Elections are seeded,
+//! so a rebuilt lane certifies the retried job identically to a lane
+//! that never crashed.
 
 use super::admission::{self, Limits};
 use super::queue::{JobQueue, JobVerdict, QueuedJob, ReplySink};
@@ -23,6 +35,7 @@ use crate::ledger::{LedgerRecord, ReleaseLedger};
 use crate::telemetry;
 use gendpr_genomics::snp::SnpId;
 use gendpr_obs::{event, Level};
+use std::collections::HashMap;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -39,7 +52,10 @@ pub enum Dispatch {
 }
 
 /// A job bound to a lane, carrying its dispatch-time ledger snapshot and
-/// the sequence number its commit is gated on.
+/// the sequence number its commit is gated on. The reply sink does *not*
+/// travel with the job: it stays in the scheduler's in-flight table so a
+/// crash-requeued job keeps its submitter and a hard drain can answer
+/// stragglers.
 pub struct DispatchedJob {
     /// The job's id.
     pub job_id: u64,
@@ -47,14 +63,14 @@ pub struct DispatchedJob {
     pub panel: Vec<u32>,
     /// Dynamic batch count (0 = federated).
     pub batches: u32,
-    /// Where the terminal outcome goes.
-    pub reply: ReplySink,
     /// When admission accepted the job.
     pub enqueued: Instant,
     /// Position in dispatch order; commits are serialized on it.
     pub seq: u64,
     /// The ledger's released-union at dispatch — the job's LR seed.
     pub forced: Vec<SnpId>,
+    /// Executions this job has already had (0 on the first dispatch).
+    pub attempts: u32,
 }
 
 pub(crate) struct SchedCore {
@@ -75,6 +91,21 @@ pub(crate) struct SchedCore {
     fatal: Option<ServiceError>,
     /// Crash-test failpoint: job ids armed to panic when they start.
     panic_jobs: Vec<u64>,
+    /// Whether the pool has a lane factory: lane crashes re-queue the
+    /// job and rebuild the lane instead of killing the daemon.
+    supervised: bool,
+    /// Reply sinks of dispatched-but-uncommitted jobs, keyed by dispatch
+    /// sequence number.
+    inflight: HashMap<u64, ReplySink>,
+    /// Crash-test failpoint: job ids armed (one-shot) to kill their lane
+    /// when they start executing.
+    lane_crash_jobs: Vec<u64>,
+    /// Chaos knob: crash the lane on the first attempt of every job
+    /// whose id is a multiple of this.
+    lane_crash_every: Option<u64>,
+    /// Crash-test failpoint: `(job_id, millis)` pairs armed to stall
+    /// execution, for exercising the hard drain timeout.
+    stall_jobs: Vec<(u64, u64)>,
 }
 
 /// The shared scheduler: admission in, dispatch out, commits serialized.
@@ -104,6 +135,11 @@ impl Scheduler {
             paused: false,
             fatal: None,
             panic_jobs: Vec::new(),
+            supervised: false,
+            inflight: HashMap::new(),
+            lane_crash_jobs: Vec::new(),
+            lane_crash_every: None,
+            stall_jobs: Vec::new(),
         };
         Self {
             limits,
@@ -163,6 +199,7 @@ impl Scheduler {
             batches,
             reply,
             enqueued: Instant::now(),
+            attempts: 0,
         });
         let depth = core.queue.len();
         telemetry::jobs_queued().set(depth as i64);
@@ -207,16 +244,21 @@ impl Scheduler {
                         Level::Info,
                         "service",
                         "job_running",
-                        &[("job_id", job.job_id.into()), ("seq", seq.into())],
+                        &[
+                            ("job_id", job.job_id.into()),
+                            ("seq", seq.into()),
+                            ("attempt", (u64::from(job.attempts) + 1).into()),
+                        ],
                     );
+                    core.inflight.insert(seq, job.reply);
                     return Dispatch::Job(DispatchedJob {
                         job_id: job.job_id,
                         panel: job.panel,
                         batches: job.batches,
-                        reply: job.reply,
                         enqueued: job.enqueued,
                         seq,
                         forced,
+                        attempts: job.attempts,
                     });
                 }
             }
@@ -230,15 +272,26 @@ impl Scheduler {
 
     /// Commits a finished job: waits for its turn in dispatch order,
     /// appends the record (success) or records the failure, then answers
-    /// the submitter. A lane-fatal error additionally drains the queue
-    /// and flips the daemon into shutdown so nothing parks forever
-    /// behind a dead lane.
+    /// the submitter.
+    ///
+    /// Failure handling splits on supervision. Unsupervised (no lane
+    /// factory), a lane-fatal error drains the queue and flips the
+    /// daemon into shutdown so nothing parks forever behind a dead lane.
+    /// Supervised, a retryable failure (lane crash, job panic) instead
+    /// puts the job back at the *front* of the queue — keeping its
+    /// waiting submitter via the in-flight sink table — until its retry
+    /// budget runs out, at which point the submitter gets the typed
+    /// [`ServiceError::Retried`] verdict and the daemon keeps serving.
+    /// Ledger (I/O) failures stay fatal either way: the ledger is shared
+    /// state, not a lane.
     pub fn commit(&self, job: DispatchedJob, result: Result<LedgerRecord, ServiceError>) {
         let DispatchedJob {
             job_id,
-            reply,
+            panel,
+            batches,
             enqueued,
             seq,
+            attempts,
             ..
         } = job;
         let mut core = self.lock();
@@ -249,10 +302,14 @@ impl Scheduler {
                 .unwrap_or_else(PoisonError::into_inner);
             core = guard;
         }
+        // A hard drain may have answered the submitter already; a None
+        // sink commits normally but delivers to nobody.
+        let mut reply = core.inflight.remove(&seq);
         // The append is part of the commit: an Ok job whose record cannot
         // be made durable is a failed job (and a dead ledger is fatal).
         let outcome = result.and_then(|record| core.ledger.append(record.clone()).map(|()| record));
         let mut drained = Vec::new();
+        let mut requeued = false;
         let verdict = match outcome {
             Ok(record) => {
                 telemetry::jobs_certified().inc();
@@ -266,26 +323,64 @@ impl Scheduler {
                     ],
                 );
                 core.done.push(record.clone());
-                JobVerdict::Certified(Box::new(record))
+                Some(JobVerdict::Certified(Box::new(record)))
             }
             Err(error) => {
-                telemetry::jobs_failed().inc();
-                event(
-                    Level::Warn,
-                    "service",
-                    "job_failed",
-                    &[
-                        ("job_id", job_id.into()),
-                        ("error", error.to_string().as_str().into()),
-                    ],
-                );
-                let verdict = JobVerdict::from_error(&error);
-                if !error.lane_survives() {
-                    core.shutdown = true;
-                    core.fatal.get_or_insert(error);
-                    drained = core.queue.drain();
+                let recoverable = core.supervised && error.retryable();
+                if recoverable && !core.shutdown && attempts < self.limits.max_retries {
+                    // Not terminal: the job goes back to the head of the
+                    // queue with its submitter still attached, and the
+                    // crashed worker rebuilds its lane.
+                    telemetry::sched_job_retries().inc();
+                    event(
+                        Level::Warn,
+                        "service",
+                        "job_requeued",
+                        &[
+                            ("job_id", job_id.into()),
+                            ("attempt", (u64::from(attempts) + 1).into()),
+                            ("error", error.to_string().as_str().into()),
+                        ],
+                    );
+                    core.queue.requeue(QueuedJob {
+                        job_id,
+                        panel,
+                        batches,
+                        reply: reply.take().unwrap_or(ReplySink::None),
+                        enqueued,
+                        attempts: attempts + 1,
+                    });
+                    requeued = true;
+                    None
+                } else {
+                    telemetry::jobs_failed().inc();
+                    let error = if recoverable {
+                        // Budget exhausted (or the daemon is draining):
+                        // the typed verdict says how hard we tried.
+                        ServiceError::Retried {
+                            attempts: attempts + 1,
+                            last: error.to_string(),
+                        }
+                    } else {
+                        error
+                    };
+                    event(
+                        Level::Warn,
+                        "service",
+                        "job_failed",
+                        &[
+                            ("job_id", job_id.into()),
+                            ("error", error.to_string().as_str().into()),
+                        ],
+                    );
+                    let verdict = JobVerdict::from_error(&error);
+                    if !error.lane_survives() {
+                        core.shutdown = true;
+                        core.fatal.get_or_insert(error);
+                        drained = core.queue.drain();
+                    }
+                    Some(verdict)
                 }
-                verdict
             }
         };
         core.next_commit_seq = seq + 1;
@@ -294,11 +389,15 @@ impl Scheduler {
         telemetry::sched_workers_busy().set(i64::from(core.busy));
         telemetry::jobs_queued().set(core.queue.len() as i64);
         telemetry::sched_queue_depth().set(core.queue.len() as i64);
-        telemetry::sched_job_latency_seconds().observe_duration(enqueued.elapsed());
+        if !requeued {
+            telemetry::sched_job_latency_seconds().observe_duration(enqueued.elapsed());
+        }
         drop(core);
         self.cv_commit.notify_all();
         self.cv_dispatch.notify_all();
-        reply.deliver(verdict);
+        if let (Some(reply), Some(verdict)) = (reply, verdict) {
+            reply.deliver(verdict);
+        }
         for job in drained {
             telemetry::sched_admission_rejects("shutdown").inc();
             job.reply.deliver(JobVerdict::Rejected(
@@ -354,6 +453,86 @@ impl Scheduler {
     /// Whether `job_id` is armed to panic.
     pub(crate) fn panic_armed(&self, job_id: u64) -> bool {
         self.lock().panic_jobs.contains(&job_id)
+    }
+
+    /// Marks the scheduler as supervised (its pool has a lane factory):
+    /// lane crashes re-queue the job instead of killing the daemon.
+    pub(crate) fn set_supervised(&self, supervised: bool) {
+        self.lock().supervised = supervised;
+    }
+
+    /// Sets the chaos knob that crashes the executing lane on the first
+    /// attempt of every job whose id is a multiple of `every`.
+    pub(crate) fn set_lane_crash_every(&self, every: Option<u64>) {
+        self.lock().lane_crash_every = every;
+    }
+
+    /// Arms a one-shot lane-crash failpoint for `job_id`: the first
+    /// attempt tears the executing lane down (a real session teardown —
+    /// the retry runs on a rebuilt, re-elected lane).
+    pub(crate) fn arm_lane_crash(&self, job_id: u64) {
+        self.lock().lane_crash_jobs.push(job_id);
+    }
+
+    /// Takes (consumes) a pending lane-crash trigger for this execution.
+    /// One-shot arms fire once; the `lane_crash_every` knob fires only
+    /// on a job's first attempt so a retry can succeed.
+    pub(crate) fn take_lane_crash(&self, job_id: u64, attempts: u32) -> bool {
+        let mut core = self.lock();
+        if let Some(i) = core.lane_crash_jobs.iter().position(|&j| j == job_id) {
+            core.lane_crash_jobs.swap_remove(i);
+            return true;
+        }
+        attempts == 0
+            && core
+                .lane_crash_every
+                .is_some_and(|every| every > 0 && job_id.is_multiple_of(every))
+    }
+
+    /// Arms a stall failpoint: execution of `job_id` sleeps `millis`
+    /// before running, for exercising the hard drain timeout.
+    pub(crate) fn arm_stall(&self, job_id: u64, millis: u64) {
+        self.lock().stall_jobs.push((job_id, millis));
+    }
+
+    /// The armed stall for `job_id`, if any (not consumed: a requeued
+    /// attempt stalls again).
+    pub(crate) fn stall_armed(&self, job_id: u64) -> Option<u64> {
+        self.lock()
+            .stall_jobs
+            .iter()
+            .find(|(j, _)| *j == job_id)
+            .map(|&(_, ms)| ms)
+    }
+
+    /// Answers every job the shutdown drain could not finish — queued
+    /// *and* in-flight — with the typed shutting-down rejection, and
+    /// returns how many there were. Called when the drain deadline
+    /// passes with lanes still wedged (e.g. mid-election against a dead
+    /// member): the stragglers' eventual commits find their sinks gone
+    /// and deliver to nobody.
+    pub fn drain_stragglers(&self) -> usize {
+        let mut core = self.lock();
+        core.shutdown = true;
+        let sinks: Vec<ReplySink> = core.inflight.drain().map(|(_, sink)| sink).collect();
+        let queued = core.queue.drain();
+        drop(core);
+        self.cv_dispatch.notify_all();
+        self.cv_commit.notify_all();
+        let count = sinks.len() + queued.len();
+        for sink in sinks {
+            telemetry::sched_admission_rejects("shutdown").inc();
+            sink.deliver(JobVerdict::Rejected(
+                crate::protocol::RejectReason::ShuttingDown,
+            ));
+        }
+        for job in queued {
+            telemetry::sched_admission_rejects("shutdown").inc();
+            job.reply.deliver(JobVerdict::Rejected(
+                crate::protocol::RejectReason::ShuttingDown,
+            ));
+        }
+        count
     }
 
     /// Test hook: holds (`true`) or releases (`false`) dispatch, so a

@@ -44,9 +44,12 @@ pub mod workers;
 pub use admission::Limits;
 pub use dispatch::{Dispatch, DispatchedJob, Scheduler};
 pub use queue::{JobQueue, JobVerdict, QueuedJob, ReplySink};
-pub use workers::{ExecutionContext, WorkerPool};
+pub use workers::{ExecutionContext, LaneFactory, WorkerPool};
 
-/// Scheduler sizing, surfaced as `gendpr serve --workers/--max-queue`.
+use std::time::Duration;
+
+/// Scheduler sizing and supervision knobs, surfaced as `gendpr serve
+/// --workers/--max-queue/--max-retries/--drain-timeout`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Worker lanes (each its own federation session). Must be ≥ 1.
@@ -54,6 +57,24 @@ pub struct SchedulerConfig {
     /// Bound on *undispatched* jobs; submits beyond it are rejected with
     /// [`crate::error::ServiceError::QueueFull`]. Must be ≥ 1.
     pub max_queue: usize,
+    /// How many times a supervised scheduler re-queues a job whose lane
+    /// crashed (or whose execution panicked) before answering the
+    /// submitter with [`crate::error::ServiceError::Retried`]. The job
+    /// runs at most `max_retries + 1` times. Ignored without a lane
+    /// factory (unsupervised pools fail jobs on the first crash, as
+    /// before).
+    pub max_retries: u32,
+    /// Hard bound on the shutdown drain: when the worker lanes have not
+    /// finished their in-flight jobs within this window (a lane wedged
+    /// mid-election, a member that will never answer), the stragglers'
+    /// submitters are answered with the typed shutting-down verdict and
+    /// the daemon exits anyway.
+    pub drain_timeout: Duration,
+    /// Chaos knob for the soak harness: crash the executing lane on the
+    /// *first* attempt of every job whose id is a multiple of this value
+    /// (`None` disables). The crash is a real lane teardown — the session
+    /// is torn down and re-elected through the supervision path.
+    pub lane_crash_every: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -61,6 +82,9 @@ impl Default for SchedulerConfig {
         Self {
             workers: 1,
             max_queue: 64,
+            max_retries: 2,
+            drain_timeout: Duration::from_secs(30),
+            lane_crash_every: None,
         }
     }
 }

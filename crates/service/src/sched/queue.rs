@@ -55,6 +55,14 @@ pub enum JobVerdict {
     Failed(String),
     /// Admission (or shutdown drain) turned the job away untried.
     Rejected(RejectReason),
+    /// A supervised job exhausted its retry budget: every execution hit
+    /// a lane crash or panic; `message` renders the last attempt's error.
+    Retried {
+        /// Executions the job got.
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        message: String,
+    },
 }
 
 impl JobVerdict {
@@ -69,6 +77,10 @@ impl JobVerdict {
                 max: *max,
             }),
             ServiceError::ShuttingDown => Self::Rejected(RejectReason::ShuttingDown),
+            ServiceError::Retried { attempts, last } => Self::Retried {
+                attempts: *attempts,
+                message: last.clone(),
+            },
             other => Self::Failed(other.to_string()),
         }
     }
@@ -80,6 +92,7 @@ impl JobVerdict {
             Self::Certified(record) => ClientResponse::Completed(*record),
             Self::Failed(message) => ClientResponse::Error(message),
             Self::Rejected(reason) => ClientResponse::Rejected(reason),
+            Self::Retried { attempts, message } => ClientResponse::Retried { attempts, message },
         }
     }
 
@@ -88,8 +101,8 @@ impl JobVerdict {
     /// # Errors
     ///
     /// [`ServiceError::QueueFull`] / [`ServiceError::ShuttingDown`] for
-    /// rejections, [`ServiceError::JobFailed`] for a job that ran and
-    /// failed.
+    /// rejections, [`ServiceError::Retried`] for an exhausted retry
+    /// budget, [`ServiceError::JobFailed`] for a job that ran and failed.
     pub fn into_result(self) -> Result<LedgerRecord, ServiceError> {
         match self {
             Self::Certified(record) => Ok(*record),
@@ -98,6 +111,10 @@ impl JobVerdict {
                 Err(ServiceError::QueueFull { depth, max })
             }
             Self::Rejected(RejectReason::ShuttingDown) => Err(ServiceError::ShuttingDown),
+            Self::Retried { attempts, message } => Err(ServiceError::Retried {
+                attempts,
+                last: message,
+            }),
         }
     }
 }
@@ -114,6 +131,10 @@ pub struct QueuedJob {
     pub reply: ReplySink,
     /// When admission accepted the job (feeds the wait histogram).
     pub enqueued: Instant,
+    /// Executions the job has already had (0 for a fresh submit;
+    /// incremented each time supervision re-queues it after a lane
+    /// crash).
+    pub attempts: u32,
 }
 
 /// A FIFO of admitted jobs with a hard capacity; the bound is *checked*
@@ -166,6 +187,15 @@ impl JobQueue {
     /// Removes the next job in dispatch order.
     pub fn pop(&mut self) -> Option<QueuedJob> {
         self.jobs.pop_front()
+    }
+
+    /// Puts a crash-recovered job back at the *front* of the queue, so a
+    /// retry runs before anything admitted after it — the job already
+    /// held a slot once and its submitter is still waiting. Deliberately
+    /// not bounds-checked: the job's original slot was freed at
+    /// dispatch, so a re-queue can transiently sit one above `max`.
+    pub fn requeue(&mut self, job: QueuedJob) {
+        self.jobs.push_front(job);
     }
 
     /// Every waiting job with its 1-based dispatch position, for

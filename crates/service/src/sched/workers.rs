@@ -12,6 +12,19 @@
 //! an unwind barrier: a panic in job code becomes
 //! [`ServiceError::JobPanicked`] and commits as a failed job, keeping
 //! both the lane and the commit sequence alive.
+//!
+//! # Lane supervision
+//!
+//! A pool spawned with a [`LaneFactory`] is *supervised*: when a job
+//! dies with a lane-fatal error (quorum lost, member evicted or
+//! unresponsive, security failure), the worker commits the failure —
+//! which, supervised, re-queues the job instead of killing the daemon —
+//! then tears the dead session down and asks the factory for a fresh
+//! one. The factory runs a full election + attestation; because both
+//! are seeded, the rebuilt lane certifies the retried job identically
+//! to a lane that never crashed. Repeated factory failures are the one
+//! thing supervision cannot survive: the worker records the error as
+//! fatal and flips the daemon into shutdown.
 
 use super::dispatch::{Dispatch, DispatchedJob, Scheduler};
 use crate::error::ServiceError;
@@ -24,11 +37,24 @@ use gendpr_core::error::ProtocolError;
 use gendpr_core::serving::{JobSpec, ServiceFederation};
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
+use gendpr_obs::{event, Level};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Builds a replacement worker lane: a fresh, attested
+/// [`ServiceFederation`] session over the same cohort and config as the
+/// originals (same seed ⇒ same leader, identical certification).
+pub type LaneFactory = Arc<dyn Fn() -> Result<ServiceFederation, ServiceError> + Send + Sync>;
+
+/// How many times a worker asks the factory for a replacement lane
+/// before declaring the failure fatal.
+const LANE_REBUILD_ATTEMPTS: u32 = 5;
+
+/// Backoff unit between rebuild attempts (grows linearly).
+const LANE_REBUILD_BACKOFF: Duration = Duration::from_millis(100);
 
 /// The read-only study data every lane executes jobs against.
 pub struct ExecutionContext {
@@ -46,7 +72,8 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns one worker thread per lane.
+    /// Spawns one worker thread per lane, unsupervised: a lane crash is
+    /// fatal to the daemon (the historical behaviour).
     ///
     /// # Errors
     ///
@@ -56,14 +83,32 @@ impl WorkerPool {
         scheduler: &Arc<Scheduler>,
         context: &Arc<ExecutionContext>,
     ) -> io::Result<Self> {
+        Self::spawn_supervised(lanes, None, scheduler, context)
+    }
+
+    /// Spawns one worker thread per lane. With a factory the pool is
+    /// supervised: crashed lanes are torn down and rebuilt, their
+    /// in-flight jobs re-queued under the scheduler's retry budget.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when a worker thread cannot be spawned.
+    pub fn spawn_supervised(
+        lanes: Vec<ServiceFederation>,
+        factory: Option<LaneFactory>,
+        scheduler: &Arc<Scheduler>,
+        context: &Arc<ExecutionContext>,
+    ) -> io::Result<Self> {
+        scheduler.set_supervised(factory.is_some());
         let mut handles = Vec::with_capacity(lanes.len());
         for (worker, lane) in lanes.into_iter().enumerate() {
             let scheduler = Arc::clone(scheduler);
             let context = Arc::clone(context);
+            let factory = factory.clone();
             handles.push(
                 thread::Builder::new()
                     .name(format!("gendpr-worker-{worker}"))
-                    .spawn(move || worker_loop(worker, lane, &scheduler, &context))?,
+                    .spawn(move || worker_loop(worker, lane, factory, &scheduler, &context))?,
             );
         }
         Ok(Self { handles })
@@ -76,31 +121,145 @@ impl WorkerPool {
             let _ = handle.join();
         }
     }
+
+    /// Like [`WorkerPool::join`], but bounded: returns `false` when a
+    /// lane is still running at the deadline (wedged mid-election, a
+    /// member that will never answer). The straggler threads are
+    /// detached — the caller answers their submitters via
+    /// [`Scheduler::drain_stragglers`] and exits without them.
+    #[must_use]
+    pub fn join_timeout(self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.handles.iter().all(thread::JoinHandle::is_finished) {
+                for handle in self.handles {
+                    let _ = handle.join();
+                }
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
 }
 
 fn worker_loop(
     worker: usize,
-    mut lane: ServiceFederation,
+    lane: ServiceFederation,
+    factory: Option<LaneFactory>,
     scheduler: &Arc<Scheduler>,
     context: &Arc<ExecutionContext>,
 ) {
     let busy = telemetry::sched_worker_busy_seconds(worker);
+    // Seeded elections: every healthy lane (and every rebuild) must agree.
+    let expected = (lane.leader(), lane.gdo_count());
+    let mut lane = Some(lane);
     loop {
         match scheduler.next_dispatch() {
             Dispatch::Shutdown => break,
             Dispatch::Job(job) => {
+                let Some(session) = lane.as_mut() else { break };
                 let started = Instant::now();
-                let result = run_job_caught(&mut lane, context, scheduler, &job);
+                let result = run_job_caught(session, context, scheduler, &job);
                 busy.observe_duration(started.elapsed());
+                let lane_died = matches!(&result, Err(error) if !error.lane_survives());
+                // Commit first: supervised, this re-queues the job (or
+                // answers the submitter) before the slow rebuild starts,
+                // so another lane can pick the retry up immediately.
                 scheduler.commit(job, result);
+                if lane_died {
+                    telemetry::sched_lane_crashes().inc();
+                    event(
+                        Level::Warn,
+                        "service",
+                        "lane_crashed",
+                        &[("worker", worker.into())],
+                    );
+                    // The session is gone (or poisoned); close what is
+                    // left of it. The interesting error is already
+                    // committed, so teardown failures are dropped.
+                    if let Some(dead) = lane.take() {
+                        let _ = dead.shutdown();
+                    }
+                    let Some(factory) = factory.as_ref() else {
+                        break; // unsupervised: the commit went fatal
+                    };
+                    match rebuild_lane(worker, factory, scheduler, expected) {
+                        Some(fresh) => lane = Some(fresh),
+                        None => break,
+                    }
+                }
             }
         }
     }
     // A healthy session closes cleanly; a session that died mid-job has
     // already recorded the interesting error, so this one is dropped.
-    if let Err(error) = lane.shutdown() {
-        scheduler.record_fatal(error.into());
+    if let Some(lane) = lane {
+        if let Err(error) = lane.shutdown() {
+            scheduler.record_fatal(error.into());
+        }
     }
+}
+
+/// Asks the factory for a replacement lane, with bounded attempts and
+/// linear backoff. Returns `None` when the daemon is draining or the
+/// factory keeps failing (the latter records the fatal error and flips
+/// the daemon into shutdown).
+fn rebuild_lane(
+    worker: usize,
+    factory: &LaneFactory,
+    scheduler: &Scheduler,
+    expected: (usize, usize),
+) -> Option<ServiceFederation> {
+    let mut last: Option<ServiceError> = None;
+    for attempt in 1..=LANE_REBUILD_ATTEMPTS {
+        if scheduler.shutdown_requested() {
+            return None;
+        }
+        match factory() {
+            Ok(fresh) => {
+                if (fresh.leader(), fresh.gdo_count()) != expected {
+                    // Unreachable with seeded elections; treated as a
+                    // failed attempt rather than trusted.
+                    let _ = fresh.shutdown();
+                    last = Some(
+                        ProtocolError::InvalidConfig("rebuilt lane disagrees on the federation")
+                            .into(),
+                    );
+                    continue;
+                }
+                telemetry::sched_lane_rebuilds().inc();
+                event(
+                    Level::Info,
+                    "service",
+                    "lane_rebuilt",
+                    &[("worker", worker.into()), ("attempt", attempt.into())],
+                );
+                return Some(fresh);
+            }
+            Err(error) => {
+                event(
+                    Level::Warn,
+                    "service",
+                    "lane_rebuild_failed",
+                    &[
+                        ("worker", worker.into()),
+                        ("attempt", attempt.into()),
+                        ("error", error.to_string().as_str().into()),
+                    ],
+                );
+                last = Some(error);
+                thread::sleep(LANE_REBUILD_BACKOFF * attempt);
+            }
+        }
+    }
+    scheduler.record_fatal(last.unwrap_or_else(|| {
+        ProtocolError::InvalidConfig("lane rebuild failed with no error").into()
+    }));
+    scheduler.request_shutdown();
+    None
 }
 
 /// Runs one job with an unwind barrier: a panic anywhere in job code
@@ -130,8 +289,21 @@ fn run_job(
     scheduler: &Scheduler,
     job: &DispatchedJob,
 ) -> Result<LedgerRecord, ServiceError> {
+    if let Some(millis) = scheduler.stall_armed(job.job_id) {
+        thread::sleep(Duration::from_millis(millis));
+    }
     if scheduler.panic_armed(job.job_id) {
         panic!("injected failpoint panic for job {}", job.job_id);
+    }
+    if scheduler.take_lane_crash(job.job_id, job.attempts) {
+        // A synthetic lane death: the error is lane-fatal, so the
+        // supervision path (re-queue, teardown, rebuild, retry) runs
+        // exactly as it would for a real member loss.
+        return Err(ProtocolError::MemberUnresponsive {
+            member: 0,
+            phase: "lane-crash failpoint",
+        }
+        .into());
     }
     if job.batches == 0 {
         let spec = JobSpec {

@@ -163,6 +163,66 @@ pub fn sched_job_latency_seconds() -> &'static obs::Histogram {
     })
 }
 
+/// Jobs re-queued by supervision after a lane crash or panic.
+pub fn sched_job_retries() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_sched_job_retries_total",
+            "Jobs re-queued by lane supervision after a crash",
+            &[],
+        )
+    })
+}
+
+/// Lane-fatal failures detected by the worker pool.
+pub fn sched_lane_crashes() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_sched_lane_crashes_total",
+            "Worker lanes lost to a lane-fatal error",
+            &[],
+        )
+    })
+}
+
+/// Replacement lanes built (re-elected, re-attested) by supervision.
+pub fn sched_lane_rebuilds() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_sched_lane_rebuilds_total",
+            "Replacement worker lanes built after a crash",
+            &[],
+        )
+    })
+}
+
+/// Shutdown drains that hit the hard deadline with lanes still running.
+pub fn sched_drain_timeouts() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_sched_drain_timeouts_total",
+            "Shutdown drains that timed out with straggler lanes",
+            &[],
+        )
+    })
+}
+
+/// Frames discarded from the ledger's torn tail at open (crash mid-append).
+pub fn ledger_truncated_frames() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_ledger_truncated_frames_total",
+            "Frames discarded from the ledger's torn tail at open",
+            &[],
+        )
+    })
+}
+
 /// Per-worker execution time, one observation per job; the series' `_sum`
 /// is the worker lane's cumulative busy time.
 pub fn sched_worker_busy_seconds(worker: usize) -> obs::Histogram {
@@ -196,6 +256,12 @@ pub fn register_service_metrics() {
     sched_admission_rejects("invalid");
     sched_job_wait_seconds();
     sched_job_latency_seconds();
+    sched_job_retries();
+    sched_lane_crashes();
+    sched_lane_rebuilds();
+    sched_drain_timeouts();
+    ledger_truncated_frames();
+    gendpr_obs::process::sample();
     gendpr_core::telemetry::register_protocol_metrics();
     gendpr_fednet::telemetry::register_transport_metrics();
 }

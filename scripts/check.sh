@@ -22,4 +22,7 @@ scripts/service_smoke.sh
 echo "==> scheduler load test (smoke)"
 scripts/loadtest.sh --smoke
 
+echo "==> crash-recovery soak (smoke)"
+scripts/soak.sh --smoke
+
 echo "All checks passed."

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Continuous soak harness: boots the assessment daemon as a real process
+# (TCP member mesh, seeded link chaos, supervised worker lanes), drives
+# sustained mixed client traffic against it, and kills it mid-flight every
+# round — SIGTERM, SIGKILL, or an armed in-process kill point that aborts
+# mid-ledger-write. Between rounds the harness audits the ledger file for
+# frame integrity and monotone job ids, replays a reference job to prove
+# certificates still charge a committed prefix, and scrapes the daemon's
+# own metrics to enforce SLOs: zero dropped jobs, bounded p99 latency, and
+# no thread/fd/RSS creep across rounds.
+#
+# Usage: scripts/soak.sh [--smoke] [soak args...]
+#   --smoke   quick CI gate (~60s: 5 rounds, 5 jobs/round, temp report)
+#   default   full run, writes BENCH_soak.json + soak_report.jsonl
+#
+# Extra arguments are passed through to the soak binary, e.g.
+#   scripts/soak.sh --rounds 20 --seed 42
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q
+cargo build --release -q -p gendpr-bench --bin soak
+
+if [ "${1:-}" = "--smoke" ]; then
+  shift
+  OUT=$(mktemp "${TMPDIR:-/tmp}/gendpr-soak.XXXXXX.json")
+  REPORT=$(mktemp "${TMPDIR:-/tmp}/gendpr-soak.XXXXXX.jsonl")
+  trap 'rm -f "$OUT" "$REPORT"' EXIT
+  target/release/soak --smoke --out "$OUT" --report "$REPORT" "$@"
+else
+  target/release/soak "$@"
+  echo "full report in BENCH_soak.json (rounds in soak_report.jsonl)"
+fi

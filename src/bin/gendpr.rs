@@ -110,6 +110,10 @@ const SERVE_FLAGS: &[&str] = &[
     "metrics-addr",
     "workers",
     "max-queue",
+    "max-retries",
+    "drain-timeout",
+    "lane-crash-every",
+    "chaos",
     "log-level",
 ];
 const SERVE_BOOLS: &[&str] = &["tcp"];
@@ -250,8 +254,9 @@ gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HE
 gendpr serve  --case FILE --reference FILE --ledger FILE [--gdos N] [--tcp]\n                \
 [--listen ADDR] [--collusion f|all] [--seed N] [--maf F] [--ld F]\n                \
 [--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n                \
-[--workers N] [--max-queue N] [--metrics-addr HOST:PORT]\n                \
-[--log-level LEVEL]\n  \
+[--workers N] [--max-queue N] [--max-retries N]\n                \
+[--drain-timeout SECS] [--lane-crash-every N] [--chaos SEED]\n                \
+[--metrics-addr HOST:PORT] [--log-level LEVEL]\n  \
 gendpr submit [--addr HOST:PORT] [--snps all|A-B|A,B,...] [--batches N] [--no-wait]\n  \
 gendpr status [--addr HOST:PORT] [--metrics]\n  \
 gendpr results --job ID [--addr HOST:PORT]\n  \
@@ -275,7 +280,13 @@ deterministic because every job's seed is a ledger snapshot taken at\n  \
 dispatch and commits land in dispatch order. `--max-queue N` bounds the\n  \
 job queue; over-limit submits get a typed queue-full rejection. `status`\n  \
 shows queue depth, worker utilisation and cumulative per-link traffic;\n  \
-`results` fetches a job's ledger record; `stop` drains and exits.\n\n\
+`results` fetches a job's ledger record; `stop` drains and exits.\n  \
+Lanes are supervised: a lane that loses quorum or panics is torn down,\n  \
+its job retried on a fresh re-elected lane (--max-retries, default 2,\n  \
+then a typed `retried` rejection), and shutdown converts stragglers\n  \
+past --drain-timeout SECS (default 30) to shutting-down verdicts.\n  \
+--chaos SEED (with --tcp) arms seeded member-link faults;\n  \
+--lane-crash-every N crashes a lane on every Nth job id (soak testing).\n\n\
 OBSERVABILITY:\n  \
 --metrics-addr H:P  serve the daemon's metrics in the Prometheus text\n                      \
 format at http://H:P/metrics (per-phase timings,\n                      \
@@ -967,32 +978,75 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         return Err(CliError::from("--workers must be at least 1".to_string()));
     }
     let max_queue: usize = flag(flags, "max-queue", 64)?;
+    let max_retries: u32 = flag(flags, "max-retries", 2)?;
+    let drain_timeout = Duration::from_secs(flag(flags, "drain-timeout", 30u64)?);
+    let lane_crash_every: u64 = flag(flags, "lane-crash-every", 0)?;
+    let chaos_seed: Option<u64> = match flags.get("chaos") {
+        None => None,
+        Some(spec) => Some(
+            spec.parse()
+                .map_err(|_| format!("--chaos: expected a seed, got {spec:?}"))?,
+        ),
+    };
+    let tcp = flags.contains_key("tcp");
+    if chaos_seed.is_some() && !tcp {
+        return Err(CliError::from(
+            "--chaos needs --tcp (the in-memory fabric has no fault plan)".to_string(),
+        ));
+    }
+
     // Every lane is a full federation session from the same config and
     // seed, so each certifies identically; the scheduler serialises their
-    // ledger commits in dispatch order.
-    let mut lanes = Vec::with_capacity(workers);
-    for lane in 0..workers {
-        let federation = if flags.contains_key("tcp") {
-            let (roster, listeners) = ephemeral_listeners(gdos)
-                .map_err(|e| format!("lane {lane}: binding member loopback listeners: {e}"))?;
+    // ledger commits in dispatch order. The factory closure is kept by the
+    // worker pool to re-elect and re-attest a replacement lane whenever a
+    // running one crashes (loses quorum, gets evicted, or panics).
+    let cohort = std::sync::Arc::new(cohort);
+    let factory_cohort = std::sync::Arc::clone(&cohort);
+    let lane_counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let factory: gendpr::service::sched::LaneFactory = std::sync::Arc::new(move || {
+        let lane = lane_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let lane_err = |e: String| ServiceError::from(std::io::Error::other(e));
+        if tcp {
+            let (roster, listeners) = ephemeral_listeners(gdos).map_err(|e| {
+                lane_err(format!(
+                    "lane {lane}: binding member loopback listeners: {e}"
+                ))
+            })?;
             let mut transports = Vec::with_capacity(gdos);
             for (id, listener) in listeners.into_iter().enumerate() {
-                transports.push(
-                    TcpTransport::from_listener(
-                        PeerId(id as u32),
-                        listener,
-                        &roster,
-                        TcpOptions::default(),
-                    )
-                    .map_err(|e| format!("lane {lane}: member {id} transport: {e}"))?,
-                );
+                let transport = TcpTransport::from_listener(
+                    PeerId(id as u32),
+                    listener,
+                    &roster,
+                    TcpOptions::default(),
+                )
+                .map_err(|e| lane_err(format!("lane {lane}: member {id} transport: {e}")))?;
+                if let Some(seed) = chaos_seed {
+                    // Distinct per-link streams, reproducible per (lane, member).
+                    let mut plan = FaultPlan::none();
+                    plan.chaos(ChaosFaults::seeded(
+                        seed.wrapping_add((lane * gdos as u64) + id as u64),
+                    ));
+                    transport.set_faults(plan);
+                }
+                transports.push(transport);
             }
-            ServiceFederation::start_over(transports, config, params, &cohort, options)
+            ServiceFederation::start_over(transports, config, params, &factory_cohort, options)
+                .map_err(ServiceError::from)
         } else {
-            ServiceFederation::start_in_memory(config, params, &cohort, options)
+            ServiceFederation::start_in_memory(config, params, &factory_cohort, options)
+                .map_err(ServiceError::from)
         }
-        .map_err(protocol_error)?;
-        lanes.push(federation);
+    });
+    let mut lanes = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        lanes.push(factory().map_err(service_error)?);
+    }
+    if chaos_seed.is_some() {
+        println!(
+            "chaos enabled on member links (seed {})",
+            chaos_seed.unwrap_or(0)
+        );
     }
     println!(
         "federation up: {gdos} members over {} transport, leader GDO {}, {workers} worker lane{}",
@@ -1010,13 +1064,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
     };
     let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
-    let service = AssessmentService::start_with(
+    let service = AssessmentService::start_supervised(
         lanes,
+        factory,
         ledger,
         &cohort,
         params,
         listener,
-        SchedulerConfig { workers, max_queue },
+        SchedulerConfig {
+            workers,
+            max_queue,
+            max_retries,
+            drain_timeout,
+            lane_crash_every: (lane_crash_every > 0).then_some(lane_crash_every),
+        },
     )
     .map_err(service_error)?;
     // Held until `run()` returns: dropping the server stops the exporter.

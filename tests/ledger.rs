@@ -253,3 +253,67 @@ proptest! {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+/// A small fixed record so the exhaustive kill sweep stays fast.
+fn small_record(job_id: u64) -> LedgerRecord {
+    LedgerRecord {
+        job_id,
+        kind: JobKind::Federated,
+        panel: vec![1, 2, 3],
+        forced: Vec::new(),
+        released: vec![2],
+        final_power: 0.5,
+        final_threshold: 0.25,
+        case_freqs: Vec::new(),
+        ref_freqs: Vec::new(),
+        epoch: 1,
+        roster: vec![0, 1, 2],
+        traffic: Vec::new(),
+        certificate: None,
+    }
+}
+
+/// Exhaustive SIGKILL sweep: a kill can land at *any* byte offset of an
+/// in-progress append. For every possible surviving prefix of a
+/// three-record ledger, recovery must restore the longest whole-frame
+/// prefix — physically (the file bytes equal the intact prefix
+/// verbatim) and idempotently (a second open recovers nothing).
+#[test]
+fn a_kill_at_every_append_offset_recovers_byte_identical_state() {
+    let records: Vec<LedgerRecord> = (1..=3).map(small_record).collect();
+    let (path, sizes) = write_ledger("kill-sweep", &records);
+    let original = std::fs::read(&path).unwrap();
+    let total: usize = sizes.iter().sum();
+    assert_eq!(original.len(), total);
+    let mut boundaries = vec![0usize];
+    for size in &sizes {
+        boundaries.push(boundaries.last().unwrap() + size);
+    }
+    for cut in 0..=total {
+        let victim = scratch("kill-sweep-case");
+        std::fs::write(&victim, &original[..cut]).unwrap();
+        let intact = *boundaries.iter().rfind(|&&b| b <= cut).unwrap();
+        let expect = boundaries.iter().position(|&b| b == intact).unwrap();
+
+        let ledger = ReleaseLedger::open(&victim).unwrap();
+        assert_eq!(ledger.len(), expect, "cut at {cut}");
+        assert_eq!(ledger.records(), &records[..expect], "cut at {cut}");
+        assert_eq!(
+            ledger.recovered_bytes(),
+            (cut - intact) as u64,
+            "cut at {cut}"
+        );
+        drop(ledger);
+
+        assert_eq!(
+            std::fs::read(&victim).unwrap(),
+            &original[..intact],
+            "recovery at cut {cut} must leave exactly the intact prefix on disk"
+        );
+        let reopened = ReleaseLedger::open(&victim).unwrap();
+        assert_eq!(reopened.recovered_bytes(), 0, "cut at {cut}");
+        assert_eq!(reopened.len(), expect, "cut at {cut}");
+        let _ = std::fs::remove_file(&victim);
+    }
+    let _ = std::fs::remove_file(&path);
+}

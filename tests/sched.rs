@@ -13,6 +13,7 @@ use gendpr::fednet::transport::PeerId;
 use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::service::daemon::AssessmentService;
 use gendpr::service::ledger::{LedgerRecord, ReleaseLedger};
+use gendpr::service::sched::LaneFactory;
 use gendpr::service::{SchedulerConfig, ServiceClient, ServiceError};
 use gendpr::stats::lr::LrTestParams;
 use proptest::prelude::*;
@@ -102,7 +103,40 @@ fn start_pool(
         cohort.as_ref(),
         params(),
         listener,
-        SchedulerConfig { workers, max_queue },
+        SchedulerConfig {
+            workers,
+            max_queue,
+            ..SchedulerConfig::default()
+        },
+    )
+    .expect("daemon starts")
+}
+
+/// A pool under lane supervision: the daemon holds a factory that
+/// re-elects and re-attests a replacement federation whenever a lane
+/// dies, so lane crashes retry instead of failing the job.
+fn supervised_pool(config: SchedulerConfig, ledger: ReleaseLedger, tcp: bool) -> AssessmentService {
+    let cohort = std::sync::Arc::new(study());
+    let factory_cohort = std::sync::Arc::clone(&cohort);
+    let factory: LaneFactory = std::sync::Arc::new(move || {
+        Ok(if tcp {
+            tcp_lane(&factory_cohort)
+        } else {
+            memory_lane(&factory_cohort)
+        })
+    });
+    let lanes: Vec<ServiceFederation> = (0..config.workers)
+        .map(|_| factory().expect("initial lane starts"))
+        .collect();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral client listener");
+    AssessmentService::start_supervised(
+        lanes,
+        factory,
+        ledger,
+        (*cohort).as_ref(),
+        params(),
+        listener,
+        config,
     )
     .expect("daemon starts")
 }
@@ -461,4 +495,122 @@ proptest! {
             .expect("daemon drains cleanly");
         prop_assert_eq!(ReleaseLedger::open(&path).unwrap().len(), certified);
     }
+}
+
+/// The crash-free reference run for the supervision tests: the same
+/// three-job workload every crash scenario must reproduce byte for byte.
+fn crash_free_baseline() -> &'static Vec<LedgerRecord> {
+    static BASELINE: std::sync::OnceLock<Vec<LedgerRecord>> = std::sync::OnceLock::new();
+    BASELINE.get_or_init(|| single_client_workload(2, "crash-baseline", false))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // A lane dying at a random point in the workload must be invisible in
+    // the output: the job is re-queued, a replacement lane is re-elected
+    // and re-attested, and every certificate is byte-identical to the
+    // crash-free run — on both transports.
+    #[test]
+    fn lane_crash_mid_workload_certifies_identically(crash_job in 1u64..4) {
+        for tcp in [false, true] {
+            let path = temp_ledger(&format!("lane-crash-{crash_job}-{tcp}"));
+            let mut service = supervised_pool(
+                SchedulerConfig {
+                    workers: 2,
+                    max_queue: 16,
+                    ..SchedulerConfig::default()
+                },
+                ReleaseLedger::open(&path).unwrap(),
+                tcp,
+            );
+            service.inject_lane_crash(crash_job);
+            let panels: [Vec<u32>; 3] = [(0..60).collect(), (30..100).collect(), (0..40).collect()];
+            let records: Vec<LedgerRecord> = panels
+                .into_iter()
+                .map(|panel| {
+                    service
+                        .execute(panel, 0)
+                        .expect("job certifies despite the lane crash")
+                })
+                .collect();
+            service.stop().expect("daemon drains cleanly");
+            let normalized: Vec<LedgerRecord> = records.iter().map(deterministic).collect();
+            prop_assert_eq!(
+                &normalized,
+                crash_free_baseline(),
+                "a lane crash (tcp={}) changed a certificate",
+                tcp
+            );
+        }
+    }
+}
+
+#[test]
+fn retry_budget_exhaustion_surfaces_the_typed_verdict() {
+    let path = temp_ledger("retry-exhaustion");
+    let mut service = supervised_pool(
+        SchedulerConfig {
+            workers: 1,
+            max_queue: 8,
+            max_retries: 1,
+            ..SchedulerConfig::default()
+        },
+        ReleaseLedger::open(&path).unwrap(),
+        false,
+    );
+    // The panic failpoint is persistent: every attempt of job 1 dies, so
+    // the one-retry budget is exhausted and the client gets the typed
+    // exhaustion verdict with the attempt count.
+    service.inject_job_panic(1);
+    let err = service
+        .submit_ticket((0..30).collect(), 0)
+        .expect("admitted")
+        .wait()
+        .expect_err("the retry budget must exhaust");
+    match err {
+        ServiceError::Retried { attempts, last } => {
+            assert_eq!(attempts, 2, "initial attempt + one retry");
+            assert!(last.contains("panic"), "last error is preserved: {last}");
+        }
+        other => panic!("expected the typed Retried verdict, got {other:?}"),
+    }
+    // Exhaustion fails the job, never the daemon: the next job certifies.
+    let record = service
+        .execute((0..40).collect(), 0)
+        .expect("next job runs");
+    assert!(record.certificate.is_some());
+    service.stop().expect("daemon drains cleanly");
+    assert_eq!(ReleaseLedger::open(&path).unwrap().len(), 1);
+}
+
+#[test]
+fn hard_drain_timeout_answers_stragglers_with_shutting_down() {
+    let path = temp_ledger("hard-drain");
+    let service = supervised_pool(
+        SchedulerConfig {
+            workers: 1,
+            max_queue: 8,
+            drain_timeout: Duration::from_millis(200),
+            ..SchedulerConfig::default()
+        },
+        ReleaseLedger::open(&path).unwrap(),
+        false,
+    );
+    // Job 1 stalls far past the drain timeout; stop() must convert it to
+    // a shutting-down verdict instead of waiting out the stall.
+    service.inject_job_stall(1, 20_000);
+    let ticket = service
+        .submit_ticket((0..30).collect(), 0)
+        .expect("admitted");
+    // Let the worker pick the job up so it is genuinely in flight.
+    std::thread::sleep(Duration::from_millis(400));
+    let started = std::time::Instant::now();
+    service.stop().expect("hard drain still exits cleanly");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "stop() waited out the stall instead of hard-draining"
+    );
+    assert!(matches!(ticket.wait(), Err(ServiceError::ShuttingDown)));
+    assert_eq!(ReleaseLedger::open(&path).unwrap().len(), 0);
 }
