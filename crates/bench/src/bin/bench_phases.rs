@@ -26,10 +26,25 @@ use gendpr_core::protocol::Federation;
 use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
+use gendpr_stats::lr::{
+    select_safe_subset_naive, select_safe_subset_threads, BitLrMatrix, LrColumns, LrMatrix,
+    LrValues,
+};
+use gendpr_stats::ranking::{rank_by_association, sort_most_significant_first};
 use std::time::{Duration, Instant};
 
 const G: usize = 5;
 const F: usize = 2;
+
+/// SplitMix64 step: cheap deterministic words for the synthetic packed
+/// matrices (quality is irrelevant here, width is).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 fn checksum(acc: u64, m: LdMoments) -> u64 {
     acc.rotate_left(7)
@@ -148,9 +163,74 @@ fn main() {
         "kernel rework changed the pooled moments"
     );
 
+    // ---- LR subset search: naive dense vs columnar kernels ----
+    // One combination (the full pooled roster) over the whole panel. The
+    // "before" path is the retained scalar reference verbatim: a dense
+    // per-cell matrix for each population plus per-scalar add/back-out
+    // sweeps. The "after" path is the production route: bit-packed
+    // SNP-major gathers and branchless word kernels. Both include their
+    // matrix construction in the timed region, and the selections must be
+    // identical — the comparison doubles as a checksum gate.
+    let case_all = cohort.case();
+    let n_case_all = case_all.individuals() as u64;
+    let case_counts_all = case_all.column_counts();
+    let ids: Vec<SnpId> = (0..snps as u32).map(SnpId).collect();
+    let cf: Vec<f64> = case_counts_all
+        .iter()
+        .map(|&c| c as f64 / n_case_all.max(1) as f64)
+        .collect();
+    let rf: Vec<f64> = ref_counts
+        .iter()
+        .map(|&c| c as f64 / n_ref.max(1) as f64)
+        .collect();
+    let ranks = rank_by_association(&ids, &case_counts_all, n_case_all, &ref_counts, n_ref);
+    let order: Vec<usize> = sort_most_significant_first(ranks)
+        .iter()
+        .map(|r| r.snp.index())
+        .collect();
+    let params = GwasParams::secure_genome_defaults();
+
+    eprintln!("timing naive dense LR search ({} candidates)…", order.len());
+    let t = Instant::now();
+    let naive_selection = {
+        let case_matrix = LrMatrix::from_genotypes(case_all, &ids, &cf, &rf);
+        let null_matrix = LrMatrix::from_genotypes(reference, &ids, &cf, &rf);
+        select_safe_subset_naive(&case_matrix, &null_matrix, &order, &params.lr)
+    };
+    let lr_naive = t.elapsed();
+
+    eprintln!("timing columnar LR search (single thread)…");
+    let t = Instant::now();
+    let (case_cols, null_cols) = {
+        let case_view = ColumnarGenotypes::from_matrix(case_all);
+        let null_view = ColumnarGenotypes::from_matrix(reference);
+        (
+            LrColumns::from_columnar(&case_view, &ids, &cf, &rf),
+            LrColumns::from_columnar(&null_view, &ids, &cf, &rf),
+        )
+    };
+    let columnar_selection =
+        select_safe_subset_threads(&case_cols, &null_cols, &order, &params.lr, 1);
+    let lr_columnar = t.elapsed();
+    assert_eq!(
+        naive_selection, columnar_selection,
+        "columnar kernels changed the LR selection"
+    );
+
+    let workers = gendpr_core::pool::available_parallelism();
+    eprintln!("timing columnar LR search ({workers} threads)…");
+    let t = Instant::now();
+    let threaded_selection =
+        select_safe_subset_threads(&case_cols, &null_cols, &order, &params.lr, workers);
+    let lr_threaded = t.elapsed();
+    assert_eq!(
+        naive_selection, threaded_selection,
+        "row chunking changed the LR selection"
+    );
+    drop((case_cols, null_cols));
+
     // ---- Full protocol phase breakdown at the same scale ----
     eprintln!("running the full three-phase protocol for the phase breakdown…");
-    let params = GwasParams::secure_genome_defaults();
     let config = FederationConfig::new(G).with_collusion(CollusionMode::Fixed(F));
     let run = |threads: usize| {
         Federation::new(config, params, &cohort)
@@ -159,34 +239,115 @@ fn main() {
             .expect("protocol completes")
     };
     let sequential = run(1);
-    let workers = gendpr_core::pool::available_parallelism();
     let parallel = run(workers);
     assert_eq!(
         sequential.safe_snps, parallel.safe_snps,
         "thread count changed the release"
     );
 
+    // ---- Chromosome-scale workloads ----
+    // (a) A full three-phase run at chromosome width: 10x the panel of the
+    // paper's Table 5 setting, same populations.
+    let chrom_snps = scaled(100_000);
+    eprintln!("chromosome workload: full run at {genomes} x {chrom_snps}…");
+    let chrom_cohort = paper_cohort(genomes, chrom_snps);
+    let chrom = Federation::new(config, params, &chrom_cohort)
+        .with_threads(1)
+        .run()
+        .expect("chromosome-scale protocol completes");
+    drop(chrom_cohort);
+
+    // (b) The LR phase alone at 1M SNPs: synthetic packed indicator
+    // matrices (the screens would never pass a million candidates, but the
+    // kernels must sustain the width), transposed to columns and swept in
+    // admission order.
+    let mega_snps = scaled(1_000_000);
+    let mega_individuals = scaled(2_000);
+    eprintln!("chromosome workload: LR-only sweep at {mega_individuals} x {mega_snps}…");
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let words_per_row = mega_snps.div_ceil(64);
+    let tail_mask = if mega_snps % 64 == 0 {
+        u64::MAX
+    } else {
+        (1u64 << (mega_snps % 64)) - 1
+    };
+    let packed = |rng: &mut u64| -> Vec<u64> {
+        let mut bits: Vec<u64> = (0..mega_individuals * words_per_row)
+            .map(|_| splitmix(rng))
+            .collect();
+        for row in bits.chunks_mut(words_per_row) {
+            row[words_per_row - 1] &= tail_mask;
+        }
+        bits
+    };
+    let case_bits = packed(&mut rng);
+    let null_bits = packed(&mut rng);
+    let mega_cf: Vec<f64> = (0..mega_snps)
+        .map(|_| 0.1 + (splitmix(&mut rng) % 1000) as f64 / 1250.0)
+        .collect();
+    let mega_rf: Vec<f64> = (0..mega_snps)
+        .map(|_| 0.1 + (splitmix(&mut rng) % 1000) as f64 / 1250.0)
+        .collect();
+    let mega_case =
+        BitLrMatrix::from_raw_bits(mega_individuals, mega_snps, case_bits, &mega_cf, &mega_rf)
+            .expect("well-formed packed case matrix");
+    let mega_null =
+        BitLrMatrix::from_raw_bits(mega_individuals, mega_snps, null_bits, &mega_cf, &mega_rf)
+            .expect("well-formed packed null matrix");
+    let mega_order: Vec<usize> = (0..mega_snps).collect();
+    let t = Instant::now();
+    let mega_cols = (
+        mega_case.to_columns().expect("two-valued packed matrix"),
+        mega_null.to_columns().expect("two-valued packed matrix"),
+    );
+    let mega_selection =
+        select_safe_subset_threads(&mega_cols.0, &mega_cols.1, &mega_order, &params.lr, 1);
+    let mega_lr = t.elapsed();
+    drop(mega_cols);
+    eprintln!(
+        "LR-only sweep kept {} of {} candidates in {:.1} s",
+        mega_selection.kept_columns.len(),
+        mega_snps,
+        mega_lr.as_secs_f64()
+    );
+
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let speedup = before.as_secs_f64() / after.as_secs_f64().max(1e-9);
+    let lr_speedup = lr_naive.as_secs_f64() / lr_columnar.as_secs_f64().max(1e-9);
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"case_genomes\": {genomes},\n    \"snps\": {snps},\n    \"gdos\": {G},\n    \"colluders\": {F},\n    \"combinations\": {},\n    \"pairs\": {},\n    \"scale\": {scale}\n  }},\n  \"pooled_ld_moments\": {{\n    \"row_major_ms\": {:.3},\n    \"columnar_memo_ms\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"protocol_phases_ms\": {{\n    \"threads\": 1,\n    \"aggregation\": {:.3},\n    \"indexing\": {:.3},\n    \"ld\": {:.3},\n    \"lr\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"protocol_parallel\": {{\n    \"threads\": {workers},\n    \"total_ms\": {:.3},\n    \"release_identical\": true\n  }}\n}}\n",
+        "{{\n  \"workload\": {{\n    \"case_genomes\": {genomes},\n    \"snps\": {snps},\n    \"gdos\": {G},\n    \"colluders\": {F},\n    \"combinations\": {},\n    \"pairs\": {},\n    \"scale\": {scale}\n  }},\n  \"pooled_ld_moments\": {{\n    \"row_major_ms\": {:.3},\n    \"columnar_memo_ms\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"lr_subset_search\": {{\n    \"candidates\": {},\n    \"naive_dense_ms\": {:.3},\n    \"columnar_ms\": {:.3},\n    \"columnar_threaded_ms\": {:.3},\n    \"threads\": {workers},\n    \"speedup\": {:.2},\n    \"selection_identical\": true\n  }},\n  \"protocol_phases_ms\": {{\n    \"threads\": 1,\n    \"aggregation\": {:.3},\n    \"indexing\": {:.3},\n    \"ld\": {:.3},\n    \"lr\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"protocol_parallel\": {{\n    \"threads\": {workers},\n    \"total_ms\": {:.3},\n    \"release_identical\": true\n  }},\n  \"chromosome_100k\": {{\n    \"snps\": {chrom_snps},\n    \"lr_ms\": {:.3},\n    \"total_ms\": {:.3},\n    \"safe_snps\": {}\n  }},\n  \"chromosome_1m_lr_only\": {{\n    \"snps\": {mega_snps},\n    \"individuals\": {mega_individuals},\n    \"search_ms\": {:.3},\n    \"kept_columns\": {}\n  }}\n}}\n",
         subsets.len(),
         pairs.len(),
         ms(before),
         ms(after),
         speedup,
+        order.len(),
+        ms(lr_naive),
+        ms(lr_columnar),
+        ms(lr_threaded),
+        lr_speedup,
         ms(sequential.timings.aggregation),
         ms(sequential.timings.indexing),
         ms(sequential.timings.ld),
         ms(sequential.timings.lr),
         ms(sequential.timings.total()),
         ms(parallel.timings.total()),
+        ms(chrom.timings.lr),
+        ms(chrom.timings.total()),
+        chrom.safe_snps.len(),
+        ms(mega_lr),
+        mega_selection.kept_columns.len(),
     );
     std::fs::write(&out, &json).expect("writing the JSON report");
     println!(
         "pooled LD moments: row-major {:.1} ms -> columnar+memo {:.1} ms ({speedup:.1}x)",
         ms(before),
         ms(after)
+    );
+    println!(
+        "LR subset search: naive dense {:.1} ms -> columnar {:.1} ms ({lr_speedup:.1}x)",
+        ms(lr_naive),
+        ms(lr_columnar)
     );
     println!("report written to {out}");
 }

@@ -27,10 +27,11 @@
 use crate::config::GwasParams;
 use crate::error::ProtocolError;
 use crate::phases::ld::run_ld_scan;
+use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
-use gendpr_stats::lr::{select_safe_subset_seeded, LrMatrix};
+use gendpr_stats::lr::{select_safe_subset_seeded, LrColumns};
 use gendpr_stats::maf::passes_maf;
 use gendpr_stats::ranking::{rank_by_association, sort_most_significant_first};
 
@@ -56,6 +57,9 @@ pub struct EpochReport {
 pub struct DynamicAssessor {
     params: GwasParams,
     reference: GenotypeMatrix,
+    // SNP-major view of the reference, built once: every epoch's null
+    // matrix is gathered straight from these bit vectors.
+    reference_columnar: ColumnarGenotypes,
     ref_counts: Vec<u64>,
     cumulative: GenotypeMatrix,
     released: Vec<SnpId>,
@@ -77,9 +81,11 @@ impl DynamicAssessor {
         }
         let ref_counts = reference.column_counts();
         let snps = reference.snps();
+        let reference_columnar = ColumnarGenotypes::from_matrix(&reference);
         Ok(Self {
             params,
             reference,
+            reference_columnar,
             ref_counts,
             cumulative: GenotypeMatrix::zeroed(0, snps),
             released: Vec::new(),
@@ -206,10 +212,16 @@ impl DynamicAssessor {
             .iter()
             .map(|s| self.ref_counts[s.index()] as f64 / n_ref as f64)
             .collect();
+        // Columnar matrices: the case side re-transposes the cumulative
+        // shard (it grew this epoch), the null side gathers from the
+        // constructor-built reference view. The seeded search runs on the
+        // word-wise kernels; no memoized prefix — the frequency vectors
+        // (and with them every column's values) change each epoch.
+        let case_columnar = ColumnarGenotypes::from_matrix(&self.cumulative);
         let case_matrix =
-            LrMatrix::from_genotypes(&self.cumulative, &columns, &case_freqs, &ref_freqs);
+            LrColumns::from_columnar(&case_columnar, &columns, &case_freqs, &ref_freqs);
         let null_matrix =
-            LrMatrix::from_genotypes(&self.reference, &columns, &case_freqs, &ref_freqs);
+            LrColumns::from_columnar(&self.reference_columnar, &columns, &case_freqs, &ref_freqs);
         let forced: Vec<usize> = (0..self.released.len()).collect();
         // Candidate order: most significant first (the paper's admission
         // order), as column indices into `columns`.

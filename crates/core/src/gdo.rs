@@ -58,6 +58,14 @@ impl GdoNode {
         &self.shard
     }
 
+    /// The SNP-major view of the shard. The in-process protocol driver
+    /// assembles columnar LR matrices straight from these bit vectors, so
+    /// Phase 3 never materializes a dense per-cell matrix.
+    #[must_use]
+    pub fn columnar(&self) -> &ColumnarGenotypes {
+        &self.columnar
+    }
+
     /// Pre-processing: `caseLocalCounts[L_des]_g` plus `N^case_g`.
     #[must_use]
     pub fn counts_report(&self) -> CountsReport {
@@ -96,22 +104,29 @@ impl GdoNode {
     /// here is exactly the naïve protocol's mistake).
     #[must_use]
     pub fn lr_report(&self, snps: &[SnpId], case_freqs: &[f64], ref_freqs: &[f64]) -> LrReport {
-        LrReport::from_matrix(&LrMatrix::from_genotypes(
-            &self.shard,
-            snps,
-            case_freqs,
-            ref_freqs,
+        let (major, minor) = gendpr_stats::lr::lr_levels(case_freqs, ref_freqs);
+        let words_per_row = snps.len().div_ceil(64);
+        let bits = self.columnar.select_row_major(snps);
+        LrReport::from_matrix(&LrMatrix::from_indicator(
+            self.shard.individuals(),
+            snps.len(),
+            &major,
+            &minor,
+            |i, j| bits[i * words_per_row + j / 64] >> (j % 64) & 1 == 1,
         ))
     }
 
     /// Phase 3, compressed transport: the same local LR matrix as
     /// [`Self::lr_report`], encoded as one indicator bit per cell (the
     /// leader rebuilds the values from its own broadcast frequencies).
+    /// The bit buffer is gathered word-at-a-time from the SNP-major view.
     #[must_use]
     pub fn lr_report_compact(&self, snps: &[SnpId]) -> LrReportCompact {
-        LrReportCompact::from_indicator(self.shard.individuals(), snps.len(), |i, j| {
-            self.shard.get(i, snps[j].index()) == 1
-        })
+        LrReportCompact {
+            individuals: self.shard.individuals() as u64,
+            snps: snps.len() as u64,
+            bits: self.columnar.select_row_major(snps),
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 use gendpr_genomics::snp::SnpId;
 #[cfg(test)]
 use gendpr_stats::lr::LrMatrix;
-use gendpr_stats::lr::{select_safe_subset, LrTestParams, LrValues};
+use gendpr_stats::lr::{select_safe_subset_threads, LrTestParams, LrValues};
 use gendpr_stats::oblivious::select_safe_subset_oblivious;
 use gendpr_stats::ranking::{sort_most_significant_first, SnpRank};
 
@@ -65,6 +65,38 @@ pub fn run_lr_test_with<M: LrValues + ?Sized, N: LrValues + ?Sized>(
     params: &LrTestParams,
     kernel: SelectionKernel,
 ) -> Vec<SnpId> {
+    run_lr_test_threads(
+        candidates,
+        case_matrix,
+        null_matrix,
+        ranks,
+        params,
+        kernel,
+        1,
+    )
+}
+
+/// [`run_lr_test_with`] with row-chunked search parallelism: `threads`
+/// workers split the per-individual sum updates of the Fast kernel
+/// (byte-identical selections for every thread count, see
+/// `gendpr_stats::lr::select_safe_subset_threads`). The Oblivious kernel
+/// stays single-threaded — its data-independent access pattern is the
+/// point.
+///
+/// # Panics
+///
+/// Same conditions as [`run_lr_test`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_lr_test_threads<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    candidates: &[SnpId],
+    case_matrix: &M,
+    null_matrix: &N,
+    ranks: &[SnpRank],
+    params: &LrTestParams,
+    kernel: SelectionKernel,
+    threads: usize,
+) -> Vec<SnpId> {
     assert_eq!(
         case_matrix.snps(),
         candidates.len(),
@@ -94,7 +126,9 @@ pub fn run_lr_test_with<M: LrValues + ?Sized, N: LrValues + ?Sized>(
         .collect();
 
     let selection = match kernel {
-        SelectionKernel::Fast => select_safe_subset(case_matrix, null_matrix, &order, params),
+        SelectionKernel::Fast => {
+            select_safe_subset_threads(case_matrix, null_matrix, &order, params, threads)
+        }
         SelectionKernel::Oblivious => {
             select_safe_subset_oblivious(case_matrix, null_matrix, &order, params)
         }

@@ -17,7 +17,7 @@ use crate::leader::elect_seeded;
 use crate::memo::MomentMemo;
 use crate::messages::CountsReport;
 use crate::phases::ld::{run_ld_scan, scan_comparisons};
-use crate::phases::lrtest::{run_lr_test_with, SelectionKernel};
+use crate::phases::lrtest::{run_lr_test_threads, SelectionKernel};
 use crate::phases::maf::{run_maf, MafOutcome};
 use crate::pool::parallel_map;
 use gendpr_genomics::cohort::Cohort;
@@ -25,7 +25,7 @@ use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
-use gendpr_stats::lr::LrMatrix;
+use gendpr_stats::lr::LrColumns;
 use gendpr_stats::ranking::{rank_by_association, SnpRank};
 use std::time::{Duration, Instant};
 
@@ -353,6 +353,10 @@ impl Federation {
 
         // ---- Phase 3: LR-test analysis ----
         let t = Instant::now();
+        // Threads left over once the combinations are spread across the
+        // pool go into row-chunked search parallelism (any split is
+        // byte-identical, so the heuristic only affects speed).
+        let inner_threads = (self.threads / subsets.len().max(1)).max(1);
         let lr_results: Vec<(Vec<SnpId>, Vec<f64>, Vec<f64>)> =
             parallel_map(self.threads, &subsets, |c, subset| {
                 let outcome = &maf_outcomes[c];
@@ -365,20 +369,20 @@ impl Federation {
                     .map(|&s| outcome.ref_frequency(s))
                     .collect();
 
-                // Each member builds its local LR matrix with the broadcast
-                // frequencies; the leader concatenates them (Figure 4).
-                let parts: Vec<LrMatrix> = subset
-                    .iter()
-                    .map(|&i| {
-                        self.nodes[i]
-                            .lr_report(&l_double_prime, &case_freqs, &ref_freqs)
-                            .into_matrix()
-                            .expect("locally built matrices are well-formed")
-                    })
-                    .collect();
-                let case_matrix = LrMatrix::concat_rows(&parts);
-                let null_matrix = LrMatrix::from_genotypes(
-                    &self.reference,
+                // Each member contributes its SNP-major shard view; the
+                // leader stitches the columns end to end — the columnar
+                // equivalent of the row-concatenation of Figure 4, with no
+                // dense per-cell matrix ever materialized in process.
+                let shards: Vec<&ColumnarGenotypes> =
+                    subset.iter().map(|&i| self.nodes[i].columnar()).collect();
+                let case_matrix = LrColumns::from_columnar_parts(
+                    &shards,
+                    &l_double_prime,
+                    &case_freqs,
+                    &ref_freqs,
+                );
+                let null_matrix = LrColumns::from_columnar(
+                    &self.reference_columnar,
                     &l_double_prime,
                     &case_freqs,
                     &ref_freqs,
@@ -387,13 +391,14 @@ impl Federation {
                     .iter()
                     .map(|&s| rankings[c][s.index()])
                     .collect();
-                let safe = run_lr_test_with(
+                let safe = run_lr_test_threads(
                     &l_double_prime,
                     &case_matrix,
                     &null_matrix,
                     &ranks,
                     &self.params.lr,
                     self.kernel,
+                    inner_threads,
                 );
                 (safe, case_freqs, ref_freqs)
             });

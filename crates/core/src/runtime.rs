@@ -47,7 +47,7 @@ use crate::messages::{
     ProtocolMessage,
 };
 use crate::phases::ld::run_ld_scan;
-use crate::phases::lrtest::run_lr_test;
+use crate::phases::lrtest::{run_lr_test_threads, SelectionKernel};
 use crate::phases::maf::{run_maf, MafOutcome};
 use crate::pool::parallel_map;
 use crate::protocol::PhaseTimings;
@@ -1104,12 +1104,14 @@ fn leader_main<T: Transport>(
                     &ref_freqs,
                 );
                 epc.alloc(null_matrix.heap_bytes() as u64);
-                let safe = run_lr_test(
+                let safe = run_lr_test_threads(
                     &l_double_prime,
                     &case_matrix,
                     &null_matrix,
                     &ranks,
                     &params.lr,
+                    SelectionKernel::Fast,
+                    ctx.threads,
                 );
                 let freed = case_matrix.heap_bytes() as u64 + null_matrix.heap_bytes() as u64;
                 (safe, freed)
@@ -1155,12 +1157,14 @@ fn leader_main<T: Transport>(
                 let null_matrix =
                     LrMatrix::from_genotypes(reference, &l_double_prime, &case_freqs, &ref_freqs);
                 epc.alloc(null_matrix.heap_bytes() as u64);
-                let safe = run_lr_test(
+                let safe = run_lr_test_threads(
                     &l_double_prime,
                     &case_matrix,
                     &null_matrix,
                     &ranks,
                     &params.lr,
+                    SelectionKernel::Fast,
+                    ctx.threads,
                 );
                 let freed = case_matrix.heap_bytes() as u64 + null_matrix.heap_bytes() as u64;
                 (safe, freed)

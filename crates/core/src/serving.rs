@@ -33,6 +33,7 @@ use crate::collusion::{evaluation_subsets_of, intersect_selections};
 use crate::config::{FederationConfig, GwasParams};
 use crate::error::ProtocolError;
 use crate::gdo::GdoNode;
+use crate::memo::LrPrefixMemo;
 use crate::messages::{
     CountsReport, JobStartBroadcast, MomentsRequest, Phase1Broadcast, Phase2Broadcast,
     Phase3Broadcast, ProtocolMessage,
@@ -50,7 +51,10 @@ use gendpr_genomics::cohort::Cohort;
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
 use gendpr_stats::ld::LdMoments;
-use gendpr_stats::lr::{select_safe_subset_seeded, BitLrMatrix, LrMatrix, LrSelection, LrValues};
+use gendpr_stats::lr::{
+    select_safe_subset_seeded, select_safe_subset_seeded_threads, BitLrMatrix, LrMatrix,
+    LrPrefixSums, LrSelection, LrTestParams, LrValues,
+};
 use gendpr_stats::ranking::{sort_most_significant_first, SnpRank};
 use gendpr_tee::session::SecureChannel;
 use std::collections::HashMap;
@@ -252,6 +256,11 @@ struct LeaderState<'a> {
     rankings: Vec<Vec<SnpRank>>,
     panel_len: usize,
     ref_counts: Vec<u64>,
+    // Forced-prefix sums per (combination, forced sequence): the session
+    // inputs behind them (shards, frequencies, reference) are fixed for
+    // the lifetime of this state, so later jobs against the same ledger
+    // prefix skip the re-accumulation entirely.
+    lr_memo: LrPrefixMemo,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -327,6 +336,7 @@ fn leader_session<T: Transport>(
         rankings,
         panel_len,
         ref_counts,
+        lr_memo: LrPrefixMemo::new(),
     };
     let _ = events.send(SessionEvent::Ready { leader: me });
 
@@ -659,6 +669,7 @@ fn run_leader_job<T: Transport>(
             &forced_cols,
             &order,
             params,
+            &state.lr_memo,
         )?;
         let mut safe_c: Vec<SnpId> = selection.kept_columns.iter().map(|&j| columns[j]).collect();
         safe_c.sort_unstable();
@@ -732,6 +743,46 @@ fn run_leader_job<T: Transport>(
     })
 }
 
+/// Runs the seeded subset search, preferring the columnar kernels with the
+/// per-combination forced-prefix memo.
+///
+/// When both matrices expose a two-valued column view, the forced columns'
+/// cumulative sums come from `memo` — accumulated once per (combination,
+/// forced sequence) and reused across every later job with the same ledger
+/// prefix — and the candidate sweep runs on `threads` row chunks. Either
+/// matrix declining the columnar view (a third value per column, e.g. from
+/// a degenerate frequency pair) falls back to the naïve seeded search;
+/// both routes produce byte-identical selections.
+#[allow(clippy::too_many_arguments)]
+fn seeded_selection<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    forced_cols: &[usize],
+    order: &[usize],
+    params: &LrTestParams,
+    threads: usize,
+    combo: u32,
+    columns: &[SnpId],
+    memo: &LrPrefixMemo,
+) -> LrSelection {
+    if let (Some(case_cols), Some(null_cols)) = (case.to_columns(), null.to_columns()) {
+        let prefix = memo.get_or_compute(combo, &columns[..forced_cols.len()], || {
+            LrPrefixSums::accumulate(&case_cols, &null_cols, forced_cols, params)
+        });
+        select_safe_subset_seeded_threads(
+            &case_cols,
+            &null_cols,
+            forced_cols,
+            order,
+            params,
+            threads,
+            Some(&prefix),
+        )
+    } else {
+        select_safe_subset_seeded(case, null, forced_cols, order, params)
+    }
+}
+
 /// Collects the subset's LR matrices (compact or dense, mirroring the
 /// one-shot runtime's enclave accounting) and runs the seeded search.
 #[allow(clippy::too_many_arguments)]
@@ -748,8 +799,10 @@ fn collect_seeded_selection<T: Transport>(
     forced_cols: &[usize],
     order: &[usize],
     params: &GwasParams,
+    lr_memo: &LrPrefixMemo,
 ) -> Result<LrSelection, Interrupt> {
     let me = ctx.id;
+    let threads = ctx.threads;
     if ctx.compact_lr {
         let mut parts: Vec<BitLrMatrix> = Vec::with_capacity(subset.len());
         if subset.contains(&me) {
@@ -789,12 +842,16 @@ fn collect_seeded_selection<T: Transport>(
             let null_matrix =
                 BitLrMatrix::from_genotypes(reference, columns, case_freqs, ref_freqs);
             epc.alloc(null_matrix.heap_bytes() as u64);
-            let selection = select_safe_subset_seeded(
+            let selection = seeded_selection(
                 &case_matrix,
                 &null_matrix,
                 forced_cols,
                 order,
                 &params.lr,
+                threads,
+                combo,
+                columns,
+                lr_memo,
             );
             let freed = case_matrix.heap_bytes() as u64 + null_matrix.heap_bytes() as u64;
             (selection, freed)
@@ -838,12 +895,16 @@ fn collect_seeded_selection<T: Transport>(
             epc.alloc(case_matrix.heap_bytes() as u64);
             let null_matrix = LrMatrix::from_genotypes(reference, columns, case_freqs, ref_freqs);
             epc.alloc(null_matrix.heap_bytes() as u64);
-            let selection = select_safe_subset_seeded(
+            let selection = seeded_selection(
                 &case_matrix,
                 &null_matrix,
                 forced_cols,
                 order,
                 &params.lr,
+                threads,
+                combo,
+                columns,
+                lr_memo,
             );
             let freed = case_matrix.heap_bytes() as u64 + null_matrix.heap_bytes() as u64;
             (selection, freed)

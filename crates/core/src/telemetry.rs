@@ -71,4 +71,5 @@ pub fn register_protocol_metrics() {
     subsets_evaluated();
     suspicions();
     view_changes();
+    gendpr_stats::lr::register_lr_metrics();
 }

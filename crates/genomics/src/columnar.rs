@@ -20,7 +20,11 @@ use crate::snp::SnpId;
 ///
 /// `a[r]` is row `r` with LSB-first columns: bit `c` of `a[r]` is element
 /// `(r, c)`. After the call, bit `c` of `a[r]` is the original `(c, r)`.
-pub(crate) fn transpose64(a: &mut [u64; 64]) {
+///
+/// Exported so downstream word kernels (the columnar LR search in
+/// `gendpr-stats`) can re-pack between row- and SNP-major layouts without
+/// reimplementing the block swap.
+pub fn transpose64(a: &mut [u64; 64]) {
     let mut j = 32usize;
     let mut m = 0x0000_0000_FFFF_FFFFu64;
     while j != 0 {
@@ -168,6 +172,39 @@ impl ColumnarGenotypes {
             .map(|&b| and_popcount(col_a, self.snp_words(b)))
             .collect()
     }
+
+    /// Gathers the selected columns back into a row-major bit buffer
+    /// (row stride `⌈snps.len()/64⌉` words, 64 SNPs per word, LSB-first)
+    /// — the word-at-a-time kernel behind LR matrix construction, which
+    /// replaces per-cell `get` loops with one 64×64 block transpose per
+    /// tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id in `snps` is out of bounds.
+    #[must_use]
+    pub fn select_row_major(&self, snps: &[SnpId]) -> Vec<u64> {
+        let words_per_row = snps.len().div_ceil(64);
+        let mut out = vec![0u64; self.individuals * words_per_row];
+        let mut block = [0u64; 64];
+        for q in 0..self.words_per_snp {
+            let rows = (self.individuals - q * 64).min(64);
+            for w in 0..words_per_row {
+                let cols = (snps.len() - w * 64).min(64);
+                for (k, slot) in block.iter_mut().enumerate().take(cols) {
+                    *slot = self.snp_words(snps[w * 64 + k])[q];
+                }
+                for slot in block.iter_mut().skip(cols) {
+                    *slot = 0;
+                }
+                transpose64(&mut block);
+                for (r, &row) in block.iter().enumerate().take(rows) {
+                    out[(q * 64 + r) * words_per_row + w] = row;
+                }
+            }
+        }
+        out
+    }
 }
 
 impl From<&GenotypeMatrix> for ColumnarGenotypes {
@@ -284,6 +321,25 @@ mod tests {
         let batched = c.pair_counts(SnpId(17), &partners);
         for (i, &b) in partners.iter().enumerate() {
             assert_eq!(batched[i], c.pair_count(SnpId(17), b));
+        }
+    }
+
+    #[test]
+    fn select_row_major_matches_per_cell_gets() {
+        for &(n, l) in &[(1, 1), (3, 70), (65, 63), (130, 129), (67, 200)] {
+            let m = random_matrix(n, l, (n * 31 + l) as u64, 0.4);
+            let c = ColumnarGenotypes::from_matrix(&m);
+            // A strided, boundary-straddling selection.
+            let snps: Vec<SnpId> = (0..l as u32).rev().step_by(3).map(SnpId).collect();
+            let words_per_row = snps.len().div_ceil(64);
+            let packed = c.select_row_major(&snps);
+            assert_eq!(packed.len(), n * words_per_row);
+            for i in 0..n {
+                for (j, id) in snps.iter().enumerate() {
+                    let bit = packed[i * words_per_row + j / 64] >> (j % 64) & 1;
+                    assert_eq!(bit == 1, m.get(i, id.index()) == 1, "{n}x{l} ({i},{j})");
+                }
+            }
         }
     }
 

@@ -11,9 +11,28 @@
 //! per-SNP LR *contributions* for its local genomes — using the **global**
 //! case/reference frequencies broadcast by the leader — and ships that
 //! matrix; the leader concatenates the rows and runs the subset search.
+//!
+//! # Columnar search kernels
+//!
+//! The subset search is the protocol's hot path (~98% of a full run at
+//! paper scale), so [`select_safe_subset`] and [`select_safe_subset_seeded`]
+//! route through [`LrColumns`], a column-major bit-packed view in which each
+//! candidate SNP is a contiguous `individuals`-bit vector. Admitting or
+//! backing out a column is then a branchless word-wise sweep over the
+//! cumulative per-individual sums, and the per-candidate null quantile runs
+//! as a quickselect over reusable `i64` total-order keys — no per-candidate
+//! allocation anywhere. The scalar reference implementations are retained as
+//! [`select_safe_subset_naive`] / [`select_safe_subset_seeded_naive`]; the
+//! kernels replicate their per-individual floating-point operation sequence
+//! exactly, so selections are byte-identical (asserted by property tests).
 
+use gendpr_genomics::columnar::{transpose64, ColumnarGenotypes};
 use gendpr_genomics::genotype::GenotypeMatrix;
 use gendpr_genomics::snp::SnpId;
+use gendpr_obs as obs;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::Instant;
 
 /// Frequencies are clamped away from 0/1 so `ln` stays finite even for
 /// degenerate counts.
@@ -237,6 +256,15 @@ pub trait LrValues {
     fn snps(&self) -> usize;
     /// The contribution of `individual` at column `snp`.
     fn get(&self, individual: usize, snp: usize) -> f64;
+    /// A column-major bit-packed view of the table, if every column takes
+    /// at most two (bitwise-)distinct values — the representation the
+    /// subset search's word kernels run on. `None` routes the search to
+    /// the scalar reference path.
+    fn to_columns(&self) -> Option<LrColumns> {
+        columns_from_fn(self.individuals(), self.snps(), |i, j| {
+            self.get(i, j).to_bits()
+        })
+    }
 }
 
 impl LrValues for LrMatrix {
@@ -248,6 +276,12 @@ impl LrValues for LrMatrix {
     }
     fn get(&self, individual: usize, snp: usize) -> f64 {
         LrMatrix::get(self, individual, snp)
+    }
+    fn to_columns(&self) -> Option<LrColumns> {
+        // Direct slice scan: no per-cell bounds asserts or dispatch.
+        columns_from_fn(self.individuals, self.snps, |i, j| {
+            self.values[i * self.snps + j].to_bits()
+        })
     }
 }
 
@@ -424,6 +458,241 @@ impl LrValues for BitLrMatrix {
             self.major[snp]
         }
     }
+    fn to_columns(&self) -> Option<LrColumns> {
+        Some(LrColumns::from_bit_matrix(self))
+    }
+}
+
+/// Column-major bit-packed LR contributions: each SNP is a contiguous
+/// `individuals`-bit minor-allele indicator (64 individuals per word,
+/// LSB-first), plus the two per-column contribution levels — the transpose
+/// of [`BitLrMatrix`], mirroring `genomics::columnar`.
+///
+/// This is the layout the subset-search kernels run on: admitting a column
+/// is one linear sweep of its bit words against the cumulative sum vector,
+/// instead of a strided per-cell walk of a row-major matrix. The bit buffer
+/// is `Arc`-shared so cloning a view (e.g. to reuse indicator bits across
+/// collusion combinations) costs nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrColumns {
+    individuals: usize,
+    snps: usize,
+    words_per_col: usize,
+    bits: Arc<[u64]>,
+    major: Vec<f64>,
+    minor: Vec<f64>,
+}
+
+impl LrColumns {
+    /// Builds the columnar view straight from a SNP-major genotype shard:
+    /// each selected column is a word-for-word copy of the shard's
+    /// contiguous SNP bit-vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency vectors do not match `snps` in length or an
+    /// id is out of bounds.
+    #[must_use]
+    pub fn from_columnar(
+        genotypes: &ColumnarGenotypes,
+        snps: &[SnpId],
+        case_freqs: &[f64],
+        ref_freqs: &[f64],
+    ) -> Self {
+        assert_eq!(snps.len(), case_freqs.len(), "one case frequency per SNP");
+        let (major, minor) = lr_levels(case_freqs, ref_freqs);
+        let n = genotypes.individuals();
+        let words_per_col = n.div_ceil(64);
+        let mut bits = vec![0u64; snps.len() * words_per_col];
+        for (j, &id) in snps.iter().enumerate() {
+            bits[j * words_per_col..(j + 1) * words_per_col]
+                .copy_from_slice(genotypes.snp_words(id));
+        }
+        Self {
+            individuals: n,
+            snps: snps.len(),
+            words_per_col,
+            bits: bits.into(),
+            major,
+            minor,
+        }
+    }
+
+    /// Builds the columnar view of the row-concatenation of several
+    /// SNP-major shards (the leader-side merge), stitching each column's
+    /// bit-vectors end to end. Shard sizes need not be word-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, the frequency vectors do not match
+    /// `snps`, or an id is out of bounds for some shard.
+    #[must_use]
+    pub fn from_columnar_parts(
+        parts: &[&ColumnarGenotypes],
+        snps: &[SnpId],
+        case_freqs: &[f64],
+        ref_freqs: &[f64],
+    ) -> Self {
+        assert!(!parts.is_empty(), "need at least one shard");
+        assert_eq!(snps.len(), case_freqs.len(), "one case frequency per SNP");
+        let (major, minor) = lr_levels(case_freqs, ref_freqs);
+        let n: usize = parts.iter().map(|p| p.individuals()).sum();
+        let words_per_col = n.div_ceil(64);
+        let mut bits = vec![0u64; snps.len() * words_per_col];
+        for (j, &id) in snps.iter().enumerate() {
+            let col = &mut bits[j * words_per_col..(j + 1) * words_per_col];
+            let mut offset = 0usize;
+            for part in parts {
+                let words = part.snp_words(id);
+                let base = offset / 64;
+                let shift = offset % 64;
+                if shift == 0 {
+                    col[base..base + words.len()].copy_from_slice(words);
+                } else {
+                    for (k, &w) in words.iter().enumerate() {
+                        col[base + k] |= w << shift;
+                        let carry = w >> (64 - shift);
+                        if base + k + 1 < col.len() {
+                            col[base + k + 1] |= carry;
+                        } else {
+                            debug_assert_eq!(carry, 0, "shard tail bits must be zero");
+                        }
+                    }
+                }
+                offset += part.individuals();
+            }
+        }
+        Self {
+            individuals: n,
+            snps: snps.len(),
+            words_per_col,
+            bits: bits.into(),
+            major,
+            minor,
+        }
+    }
+
+    /// 64×64 block-transposes a row-major [`BitLrMatrix`] into the
+    /// column-major layout.
+    #[must_use]
+    pub fn from_bit_matrix(m: &BitLrMatrix) -> Self {
+        let n = m.individuals;
+        let l = m.snps;
+        let words_per_col = n.div_ceil(64);
+        let mut bits = vec![0u64; l * words_per_col];
+        let mut block = [0u64; 64];
+        for q in 0..words_per_col {
+            let rows = (n - q * 64).min(64);
+            for w in 0..m.words_per_row {
+                for (r, slot) in block.iter_mut().enumerate().take(rows) {
+                    *slot = m.bits[(q * 64 + r) * m.words_per_row + w];
+                }
+                for slot in block.iter_mut().skip(rows) {
+                    *slot = 0;
+                }
+                transpose64(&mut block);
+                let cols = (l - w * 64).min(64);
+                for (j, &col) in block.iter().enumerate().take(cols) {
+                    bits[(w * 64 + j) * words_per_col + q] = col;
+                }
+            }
+        }
+        Self {
+            individuals: n,
+            snps: l,
+            words_per_col,
+            bits: bits.into(),
+            major: m.major.clone(),
+            minor: m.minor.clone(),
+        }
+    }
+
+    /// One column's contiguous bit words.
+    #[inline]
+    fn col_words(&self, col: usize) -> &[u64] {
+        &self.bits[col * self.words_per_col..(col + 1) * self.words_per_col]
+    }
+
+    /// Approximate heap size in bytes (enclave memory accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len() * 8 + (self.major.len() + self.minor.len()) * 8
+    }
+}
+
+impl LrValues for LrColumns {
+    fn individuals(&self) -> usize {
+        self.individuals
+    }
+    fn snps(&self) -> usize {
+        self.snps
+    }
+    fn get(&self, individual: usize, snp: usize) -> f64 {
+        assert!(
+            individual < self.individuals && snp < self.snps,
+            "index out of bounds"
+        );
+        let w = self.bits[snp * self.words_per_col + individual / 64];
+        if w >> (individual % 64) & 1 == 1 {
+            self.minor[snp]
+        } else {
+            self.major[snp]
+        }
+    }
+    fn to_columns(&self) -> Option<LrColumns> {
+        Some(self.clone())
+    }
+}
+
+/// Scans an arbitrary two-valued table into [`LrColumns`]; `None` if some
+/// column holds a third bitwise-distinct value. Values are compared by bit
+/// pattern (`to_bits`), not `==`: `+0.0` and `-0.0` compare equal but are
+/// not interchangeable under summation or `total_cmp`, and NaNs never
+/// compare equal to themselves.
+fn columns_from_fn(
+    individuals: usize,
+    snps: usize,
+    get_bits: impl Fn(usize, usize) -> u64,
+) -> Option<LrColumns> {
+    let words_per_col = individuals.div_ceil(64);
+    let mut bits = vec![0u64; snps * words_per_col];
+    let mut major = vec![0u64; snps];
+    let mut minor = vec![0u64; snps];
+    // 0 = no value seen, 1 = one distinct value, 2 = two distinct values.
+    let mut seen = vec![0u8; snps];
+    for i in 0..individuals {
+        for j in 0..snps {
+            let b = get_bits(i, j);
+            let is_minor = match seen[j] {
+                0 => {
+                    major[j] = b;
+                    minor[j] = b;
+                    seen[j] = 1;
+                    false
+                }
+                1 if b == major[j] => false,
+                1 => {
+                    minor[j] = b;
+                    seen[j] = 2;
+                    true
+                }
+                _ if b == major[j] => false,
+                _ if b == minor[j] => true,
+                _ => return None,
+            };
+            if is_minor {
+                bits[j * words_per_col + i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+    Some(LrColumns {
+        individuals,
+        snps,
+        words_per_col,
+        bits: bits.into(),
+        major: major.into_iter().map(f64::from_bits).collect(),
+        minor: minor.into_iter().map(f64::from_bits).collect(),
+    })
 }
 
 /// Parameters of the LR-test subset search.
@@ -470,6 +739,10 @@ pub struct LrSelection {
 /// is kept iff the attack's power over the kept-set-so-far stays *below*
 /// `params.power_threshold`.
 ///
+/// Routes through the columnar word kernels whenever both inputs expose a
+/// two-valued column view ([`LrValues::to_columns`]); the result is
+/// byte-identical to [`select_safe_subset_naive`] either way.
+///
 /// # Panics
 ///
 /// Panics if the matrices disagree on columns, `order` indexes out of
@@ -481,20 +754,52 @@ pub fn select_safe_subset<M: LrValues + ?Sized, N: LrValues + ?Sized>(
     order: &[usize],
     params: &LrTestParams,
 ) -> LrSelection {
-    assert_eq!(
-        case.snps(),
-        null.snps(),
-        "case and null must cover the same SNPs"
-    );
-    assert!(
-        null.individuals() > 0,
-        "need reference individuals for the null model"
-    );
-    assert!(
-        (0.0..1.0).contains(&params.false_positive_rate),
-        "false-positive rate must be in [0,1)"
-    );
+    select_safe_subset_threads(case, null, order, params, 1)
+}
 
+/// [`select_safe_subset`] with row-chunked parallel column updates:
+/// `threads ≤ 1` runs the serial kernels, larger values split the
+/// per-individual sum vectors across worker threads at 64-row boundaries.
+/// Each individual's scalar accumulation sequence is unchanged by the
+/// chunking, so the selection is byte-identical for every thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`select_safe_subset`].
+#[must_use]
+pub fn select_safe_subset_threads<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    order: &[usize],
+    params: &LrTestParams,
+    threads: usize,
+) -> LrSelection {
+    check_search_inputs(case, null, params);
+    match (case.to_columns(), null.to_columns()) {
+        (Some(c), Some(n)) => columns_search(&c, &n, None, order, params, threads),
+        _ => select_safe_subset_naive(case, null, order, params),
+    }
+}
+
+/// The retained scalar reference implementation of the subset search
+/// (per-cell `get` loops, one quickselect scratch reuse per search). The
+/// columnar kernels are validated against it cell-for-cell by property
+/// tests and the bench harness; production callers use
+/// [`select_safe_subset`].
+///
+/// # Panics
+///
+/// Same conditions as [`select_safe_subset`].
+#[must_use]
+pub fn select_safe_subset_naive<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    order: &[usize],
+    params: &LrTestParams,
+) -> LrSelection {
+    check_search_inputs(case, null, params);
+
+    let mut scratch = Vec::new();
     let mut case_sums = vec![0.0f64; case.individuals()];
     let mut null_sums = vec![0.0f64; null.individuals()];
     let mut kept = Vec::new();
@@ -510,7 +815,8 @@ pub fn select_safe_subset<M: LrValues + ?Sized, N: LrValues + ?Sized>(
         for (i, sum) in null_sums.iter_mut().enumerate() {
             *sum += null.get(i, col);
         }
-        let threshold = null_quantile(&null_sums, 1.0 - params.false_positive_rate);
+        let threshold =
+            null_quantile_with(&mut scratch, &null_sums, 1.0 - params.false_positive_rate);
         let detected = case_sums.iter().filter(|&&s| s > threshold).count();
         let power = detected as f64 / case.individuals().max(1) as f64;
         if power < params.power_threshold {
@@ -558,20 +864,78 @@ pub fn select_safe_subset_seeded<M: LrValues + ?Sized, N: LrValues + ?Sized>(
     order: &[usize],
     params: &LrTestParams,
 ) -> LrSelection {
-    assert_eq!(
-        case.snps(),
-        null.snps(),
-        "case and null must cover the same SNPs"
-    );
-    assert!(
-        null.individuals() > 0,
-        "need reference individuals for the null model"
-    );
-    assert!(
-        (0.0..1.0).contains(&params.false_positive_rate),
-        "false-positive rate must be in [0,1)"
-    );
+    select_safe_subset_seeded_threads(case, null, forced, order, params, 1, None)
+}
 
+/// [`select_safe_subset_seeded`] with row-chunked parallelism (see
+/// [`select_safe_subset_threads`]) and an optional memoized forced-prefix
+/// snapshot: when `prefix` is given it must be
+/// [`LrPrefixSums::accumulate`] of these same matrices and forced set
+/// (callers memoize it per job and share it across collusion
+/// combinations); the forced columns are then not re-accumulated.
+///
+/// # Panics
+///
+/// Same conditions as [`select_safe_subset_seeded`], plus a `prefix` whose
+/// dimensions do not match the matrices.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn select_safe_subset_seeded_threads<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    forced: &[usize],
+    order: &[usize],
+    params: &LrTestParams,
+    threads: usize,
+    prefix: Option<&LrPrefixSums>,
+) -> LrSelection {
+    check_search_inputs(case, null, params);
+    match (case.to_columns(), null.to_columns()) {
+        (Some(c), Some(n)) => {
+            let computed;
+            let prefix = match prefix {
+                Some(p) => p,
+                None => {
+                    computed = LrPrefixSums::accumulate(&c, &n, forced, params);
+                    &computed
+                }
+            };
+            assert_eq!(
+                prefix.case_sums.len(),
+                c.individuals,
+                "prefix does not match the case matrix"
+            );
+            assert_eq!(
+                prefix.null_sums.len(),
+                n.individuals,
+                "prefix does not match the null matrix"
+            );
+            for &col in order {
+                debug_assert!(!forced.contains(&col), "candidate overlaps forced set");
+            }
+            columns_search(&c, &n, Some(prefix), order, params, threads)
+        }
+        _ => select_safe_subset_seeded_naive(case, null, forced, order, params),
+    }
+}
+
+/// The retained scalar reference implementation of the seeded search; see
+/// [`select_safe_subset_naive`].
+///
+/// # Panics
+///
+/// Same conditions as [`select_safe_subset_seeded`].
+#[must_use]
+pub fn select_safe_subset_seeded_naive<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    forced: &[usize],
+    order: &[usize],
+    params: &LrTestParams,
+) -> LrSelection {
+    check_search_inputs(case, null, params);
+
+    let mut scratch = Vec::new();
     let mut case_sums = vec![0.0f64; case.individuals()];
     let mut null_sums = vec![0.0f64; null.individuals()];
     for &col in forced {
@@ -590,7 +954,7 @@ pub fn select_safe_subset_seeded<M: LrValues + ?Sized, N: LrValues + ?Sized>(
     let mut final_threshold = if forced.is_empty() {
         f64::INFINITY
     } else {
-        null_quantile(&null_sums, 1.0 - params.false_positive_rate)
+        null_quantile_with(&mut scratch, &null_sums, 1.0 - params.false_positive_rate)
     };
     let mut final_power = if forced.is_empty() {
         0.0
@@ -608,7 +972,8 @@ pub fn select_safe_subset_seeded<M: LrValues + ?Sized, N: LrValues + ?Sized>(
         for (i, sum) in null_sums.iter_mut().enumerate() {
             *sum += null.get(i, col);
         }
-        let threshold = null_quantile(&null_sums, 1.0 - params.false_positive_rate);
+        let threshold =
+            null_quantile_with(&mut scratch, &null_sums, 1.0 - params.false_positive_rate);
         let power = power_of(&case_sums, threshold);
         if power < params.power_threshold {
             kept.push(col);
@@ -631,10 +996,31 @@ pub fn select_safe_subset_seeded<M: LrValues + ?Sized, N: LrValues + ?Sized>(
     }
 }
 
+/// The common input validation of every search entry point.
+fn check_search_inputs<M: LrValues + ?Sized, N: LrValues + ?Sized>(
+    case: &M,
+    null: &N,
+    params: &LrTestParams,
+) {
+    assert_eq!(
+        case.snps(),
+        null.snps(),
+        "case and null must cover the same SNPs"
+    );
+    assert!(
+        null.individuals() > 0,
+        "need reference individuals for the null model"
+    );
+    assert!(
+        (0.0..1.0).contains(&params.false_positive_rate),
+        "false-positive rate must be in [0,1)"
+    );
+}
+
 /// The (1−β) quantile of the null LR sums: the type-7 estimator, computed
-/// with two quickselects instead of a full sort (the subset search calls
-/// this once per candidate SNP).
-fn null_quantile(null_sums: &[f64], q: f64) -> f64 {
+/// with two quickselects instead of a full sort. `scratch` is reused
+/// across calls so the per-candidate invocation allocates nothing.
+fn null_quantile_with(scratch: &mut Vec<f64>, null_sums: &[f64], q: f64) -> f64 {
     let n = null_sums.len();
     if n == 1 {
         return null_sums[0];
@@ -642,7 +1028,8 @@ fn null_quantile(null_sums: &[f64], q: f64) -> f64 {
     let h = q * (n as f64 - 1.0);
     let lo = (h.floor() as usize).min(n - 1);
     let frac = h - lo as f64;
-    let mut scratch = null_sums.to_vec();
+    scratch.clear();
+    scratch.extend_from_slice(null_sums);
     // total_cmp: LR sums can degenerate to NaN (log of a zero-probability
     // genotype); quickselect must stay panic-free and deterministic.
     let cmp = |a: &f64, b: &f64| a.total_cmp(b);
@@ -656,6 +1043,524 @@ fn null_quantile(null_sums: &[f64], q: f64) -> f64 {
         .min_by(|a, b| cmp(a, b))
         .expect("rest is non-empty");
     low_stat + frac * (high_stat - low_stat)
+}
+
+#[cfg(test)]
+fn null_quantile(null_sums: &[f64], q: f64) -> f64 {
+    null_quantile_with(&mut Vec::new(), null_sums, q)
+}
+
+// ---------------------------------------------------------------------------
+// Columnar search kernels
+// ---------------------------------------------------------------------------
+
+/// LR subset-search candidates examined (both kernels and reference path
+/// route through the same counters).
+fn lr_candidates_total() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_lr_candidates_total",
+            "Candidate SNP columns examined by the LR subset search",
+            &[],
+        )
+    })
+}
+
+/// Columns admitted into the safe subset.
+fn lr_columns_kept_total() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_lr_columns_kept_total",
+            "Candidate SNP columns admitted as safe by the LR subset search",
+            &[],
+        )
+    })
+}
+
+/// Per-candidate null-quantile latency inside the columnar kernels.
+fn lr_quantile_seconds() -> &'static obs::Histogram {
+    static H: OnceLock<obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::histogram(
+            "gendpr_lr_quantile_seconds",
+            "Null-quantile computation time per LR search candidate",
+            &[],
+            obs::DURATION_BUCKETS,
+        )
+    })
+}
+
+/// Eagerly registers the LR kernel metrics so they render (at zero) before
+/// the first search runs.
+pub fn register_lr_metrics() {
+    let _ = lr_candidates_total();
+    let _ = lr_columns_kept_total();
+    let _ = lr_quantile_seconds();
+}
+
+/// Maps an `f64` to an `i64` whose natural order equals `f64::total_cmp`:
+/// an involution flipping the low 63 bits of negative values. Keys let the
+/// per-candidate quickselect run on plain integer comparisons.
+#[inline]
+fn total_order_key(v: f64) -> i64 {
+    let b = v.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+/// Inverse of [`total_order_key`] (the transform is its own inverse, since
+/// it never flips the sign bit).
+#[inline]
+fn key_value(k: i64) -> f64 {
+    f64::from_bits((k ^ (((k >> 63) as u64) >> 1) as i64) as u64)
+}
+
+/// `sums[i] += level(bit_i)`, 64 individuals per bit word. The value is
+/// selected branchlessly from the two per-column levels by bit masking, so
+/// each individual sees the exact scalar `+=` the reference path performs.
+#[inline]
+fn add_column(sums: &mut [f64], words: &[u64], major: f64, minor: f64) {
+    let (ma, mi) = (major.to_bits(), minor.to_bits());
+    for (chunk, &word) in sums.chunks_mut(64).zip(words) {
+        let mut w = word;
+        for s in chunk {
+            let mask = (w & 1).wrapping_neg();
+            w >>= 1;
+            *s += f64::from_bits((ma & !mask) | (mi & mask));
+        }
+    }
+}
+
+/// The back-out pass: `sums[i] -= level(bit_i)`. Subtracting (rather than
+/// restoring a snapshot) reproduces the reference path's `(a+b)−b`
+/// round-trip bit-for-bit.
+#[inline]
+fn sub_column(sums: &mut [f64], words: &[u64], major: f64, minor: f64) {
+    let (ma, mi) = (major.to_bits(), minor.to_bits());
+    for (chunk, &word) in sums.chunks_mut(64).zip(words) {
+        let mut w = word;
+        for s in chunk {
+            let mask = (w & 1).wrapping_neg();
+            w >>= 1;
+            *s -= f64::from_bits((ma & !mask) | (mi & mask));
+        }
+    }
+}
+
+/// Fused null update: adds the column and refreshes the quantile key of
+/// every touched sum in the same sweep.
+#[inline]
+fn add_column_fill_keys(sums: &mut [f64], keys: &mut [i64], words: &[u64], major: f64, minor: f64) {
+    let (ma, mi) = (major.to_bits(), minor.to_bits());
+    for ((chunk, kchunk), &word) in sums.chunks_mut(64).zip(keys.chunks_mut(64)).zip(words) {
+        let mut w = word;
+        for (s, k) in chunk.iter_mut().zip(kchunk) {
+            let mask = (w & 1).wrapping_neg();
+            w >>= 1;
+            *s += f64::from_bits((ma & !mask) | (mi & mask));
+            *k = total_order_key(*s);
+        }
+    }
+}
+
+/// Fused case update: adds the column and counts detections against the
+/// threshold in the same sweep.
+#[inline]
+fn add_column_count(
+    sums: &mut [f64],
+    words: &[u64],
+    major: f64,
+    minor: f64,
+    threshold: f64,
+) -> usize {
+    let (ma, mi) = (major.to_bits(), minor.to_bits());
+    let mut detected = 0usize;
+    for (chunk, &word) in sums.chunks_mut(64).zip(words) {
+        let mut w = word;
+        for s in chunk {
+            let mask = (w & 1).wrapping_neg();
+            w >>= 1;
+            *s += f64::from_bits((ma & !mask) | (mi & mask));
+            detected += usize::from(*s > threshold);
+        }
+    }
+    detected
+}
+
+/// Type-7 quantile over the current null sums, evaluated on their reusable
+/// total-order keys. The k-th order statistic is representation-agnostic,
+/// so the result is bit-identical to [`null_quantile_with`] on the same
+/// sums (including the interpolation arithmetic, evaluated on the decoded
+/// `f64` endpoints).
+fn quantile_from_keys(keys: &mut [i64], q: f64) -> f64 {
+    let n = keys.len();
+    debug_assert!(n > 0, "null model cannot be empty");
+    let h = q * (n as f64 - 1.0);
+    let lo = (h.floor() as usize).min(n - 1);
+    let frac = h - lo as f64;
+    let (_, &mut low_key, rest) = keys.select_nth_unstable(lo);
+    let low_stat = key_value(low_key);
+    if frac == 0.0 || rest.is_empty() {
+        return low_stat;
+    }
+    let high_stat = key_value(*rest.iter().min().expect("rest is non-empty"));
+    low_stat + frac * (high_stat - low_stat)
+}
+
+/// Snapshot of the seeded search state after accumulating the forced
+/// columns: cumulative case/null sums plus the forced-only threshold and
+/// power. A leader job computes this once and shares it across all
+/// C(G,G−f) collusion-combination evaluations (see `core::memo`), instead
+/// of re-accumulating the forced columns per combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrPrefixSums {
+    case_sums: Vec<f64>,
+    null_sums: Vec<f64>,
+    threshold: f64,
+    power: f64,
+}
+
+impl LrPrefixSums {
+    /// Accumulates the forced columns in order, replicating the reference
+    /// seeded search's operation sequence exactly (per column: case adds,
+    /// then null adds), then evaluates the forced-only threshold/power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a forced column is out of range.
+    #[must_use]
+    pub fn accumulate(
+        case: &LrColumns,
+        null: &LrColumns,
+        forced: &[usize],
+        params: &LrTestParams,
+    ) -> Self {
+        let mut case_sums = vec![0.0f64; case.individuals];
+        let mut null_sums = vec![0.0f64; null.individuals];
+        for &col in forced {
+            assert!(col < case.snps, "forced column out of range");
+            add_column(
+                &mut case_sums,
+                case.col_words(col),
+                case.major[col],
+                case.minor[col],
+            );
+            add_column(
+                &mut null_sums,
+                null.col_words(col),
+                null.major[col],
+                null.minor[col],
+            );
+        }
+        let (threshold, power) = if forced.is_empty() {
+            (f64::INFINITY, 0.0)
+        } else {
+            let mut keys: Vec<i64> = null_sums.iter().map(|&s| total_order_key(s)).collect();
+            let threshold = quantile_from_keys(&mut keys, 1.0 - params.false_positive_rate);
+            let detected = case_sums.iter().filter(|&&s| s > threshold).count();
+            (threshold, detected as f64 / case.individuals.max(1) as f64)
+        };
+        Self {
+            case_sums,
+            null_sums,
+            threshold,
+            power,
+        }
+    }
+
+    /// Approximate heap size in bytes (enclave memory accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        (self.case_sums.len() + self.null_sums.len()) * 8
+    }
+}
+
+/// Dispatches between the serial and row-chunked parallel columnar search.
+fn columns_search(
+    case: &LrColumns,
+    null: &LrColumns,
+    prefix: Option<&LrPrefixSums>,
+    order: &[usize],
+    params: &LrTestParams,
+    threads: usize,
+) -> LrSelection {
+    // More workers than 64-row word chunks would only idle at barriers.
+    let workers = threads.min(case.words_per_col.max(null.words_per_col));
+    let selection = if workers > 1 {
+        columns_search_mt(case, null, prefix, order, params, workers)
+    } else {
+        columns_search_serial(case, null, prefix, order, params)
+    };
+    lr_candidates_total().add(order.len() as u64);
+    lr_columns_kept_total().add(selection.kept_columns.len() as u64);
+    selection
+}
+
+fn columns_search_serial(
+    case: &LrColumns,
+    null: &LrColumns,
+    prefix: Option<&LrPrefixSums>,
+    order: &[usize],
+    params: &LrTestParams,
+) -> LrSelection {
+    let n_case = case.individuals;
+    let q = 1.0 - params.false_positive_rate;
+    let (mut case_sums, mut null_sums, mut final_threshold, mut final_power) = match prefix {
+        Some(p) => (
+            p.case_sums.clone(),
+            p.null_sums.clone(),
+            p.threshold,
+            p.power,
+        ),
+        None => (
+            vec![0.0f64; case.individuals],
+            vec![0.0f64; null.individuals],
+            f64::INFINITY,
+            0.0,
+        ),
+    };
+    // Quantile keys are fully refreshed by every candidate's null sweep, so
+    // the in-place quickselect permutation never needs undoing.
+    let mut keys = vec![0i64; null.individuals];
+    let mut kept = Vec::new();
+    let quantile_hist = lr_quantile_seconds();
+
+    for &col in order {
+        assert!(col < case.snps, "ranking indexes a non-existent column");
+        add_column_fill_keys(
+            &mut null_sums,
+            &mut keys,
+            null.col_words(col),
+            null.major[col],
+            null.minor[col],
+        );
+        let t0 = Instant::now();
+        let threshold = quantile_from_keys(&mut keys, q);
+        quantile_hist.observe_duration(t0.elapsed());
+        let detected = add_column_count(
+            &mut case_sums,
+            case.col_words(col),
+            case.major[col],
+            case.minor[col],
+            threshold,
+        );
+        let power = detected as f64 / n_case.max(1) as f64;
+        if power < params.power_threshold {
+            kept.push(col);
+            final_power = power;
+            final_threshold = threshold;
+        } else {
+            sub_column(
+                &mut case_sums,
+                case.col_words(col),
+                case.major[col],
+                case.minor[col],
+            );
+            sub_column(
+                &mut null_sums,
+                null.col_words(col),
+                null.major[col],
+                null.minor[col],
+            );
+        }
+    }
+
+    LrSelection {
+        kept_columns: kept,
+        final_power,
+        final_threshold,
+    }
+}
+
+// Op codes of the persistent fork-join loop below.
+const OP_LOAD_PREFIX: u8 = 0;
+const OP_ADD_NULL: u8 = 1;
+const OP_ADD_CASE_COUNT: u8 = 2;
+const OP_SUB_BOTH: u8 = 3;
+const OP_QUIT: u8 = 4;
+
+/// One op descriptor shared between the search driver and its workers;
+/// the two barrier crossings around each op order all accesses, so relaxed
+/// atomics suffice.
+struct SharedOp {
+    kind: AtomicU8,
+    col: AtomicUsize,
+    threshold: AtomicU64,
+    detected: AtomicUsize,
+}
+
+/// Splits `words` whole bit-words into `parts` contiguous ranges, so each
+/// worker owns a 64-row-aligned slice of the sum vectors.
+fn word_ranges(words: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = words / parts;
+    let extra = words % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// A worker's event loop: owns one row chunk of the case and null sum
+/// vectors and applies each published op to it. Chunking never reorders an
+/// individual's scalar accumulation, so the parallel search is
+/// byte-identical to the serial one.
+#[allow(clippy::too_many_arguments)]
+fn search_worker(
+    case: &LrColumns,
+    null: &LrColumns,
+    prefix: Option<&LrPrefixSums>,
+    keys: &[AtomicI64],
+    op: &SharedOp,
+    barrier: &Barrier,
+    case_words: (usize, usize),
+    null_words: (usize, usize),
+) {
+    // Both ends clamp to the population: a trailing chunk past the last
+    // partial word must collapse to an empty row range, not slice beyond it.
+    let case_rows = (
+        (case_words.0 * 64).min(case.individuals),
+        (case_words.1 * 64).min(case.individuals),
+    );
+    let null_rows = (
+        (null_words.0 * 64).min(null.individuals),
+        (null_words.1 * 64).min(null.individuals),
+    );
+    let mut case_sums = vec![0.0f64; case_rows.1 - case_rows.0];
+    let mut null_sums = vec![0.0f64; null_rows.1 - null_rows.0];
+    loop {
+        barrier.wait();
+        let kind = op.kind.load(Ordering::Relaxed);
+        if kind == OP_QUIT {
+            return;
+        }
+        let col = op.col.load(Ordering::Relaxed);
+        match kind {
+            OP_LOAD_PREFIX => {
+                let p = prefix.expect("prefix op requires a prefix");
+                case_sums.copy_from_slice(&p.case_sums[case_rows.0..case_rows.1]);
+                null_sums.copy_from_slice(&p.null_sums[null_rows.0..null_rows.1]);
+            }
+            OP_ADD_NULL => {
+                let words = &null.col_words(col)[null_words.0..null_words.1];
+                add_column(&mut null_sums, words, null.major[col], null.minor[col]);
+                for (k, &s) in keys[null_rows.0..null_rows.1].iter().zip(&null_sums) {
+                    k.store(total_order_key(s), Ordering::Relaxed);
+                }
+            }
+            OP_ADD_CASE_COUNT => {
+                let words = &case.col_words(col)[case_words.0..case_words.1];
+                let threshold = f64::from_bits(op.threshold.load(Ordering::Relaxed));
+                let d = add_column_count(
+                    &mut case_sums,
+                    words,
+                    case.major[col],
+                    case.minor[col],
+                    threshold,
+                );
+                op.detected.fetch_add(d, Ordering::Relaxed);
+            }
+            OP_SUB_BOTH => {
+                sub_column(
+                    &mut case_sums,
+                    &case.col_words(col)[case_words.0..case_words.1],
+                    case.major[col],
+                    case.minor[col],
+                );
+                sub_column(
+                    &mut null_sums,
+                    &null.col_words(col)[null_words.0..null_words.1],
+                    null.major[col],
+                    null.minor[col],
+                );
+            }
+            _ => unreachable!("unknown search op"),
+        }
+        barrier.wait();
+    }
+}
+
+/// The row-chunked parallel search: a persistent fork-join pool spanning
+/// the whole candidate loop (spawning per column would dominate the
+/// kernels). The driver publishes one op at a time; workers update their
+/// chunks between two barrier crossings. Quantiles still run on the driver
+/// thread, over a copy of the worker-written key array.
+fn columns_search_mt(
+    case: &LrColumns,
+    null: &LrColumns,
+    prefix: Option<&LrPrefixSums>,
+    order: &[usize],
+    params: &LrTestParams,
+    workers: usize,
+) -> LrSelection {
+    let n_case = case.individuals;
+    let q = 1.0 - params.false_positive_rate;
+    let case_ranges = word_ranges(case.words_per_col, workers);
+    let null_ranges = word_ranges(null.words_per_col, workers);
+    let keys: Vec<AtomicI64> = (0..null.individuals).map(|_| AtomicI64::new(0)).collect();
+    let op = SharedOp {
+        kind: AtomicU8::new(OP_QUIT),
+        col: AtomicUsize::new(0),
+        threshold: AtomicU64::new(0),
+        detected: AtomicUsize::new(0),
+    };
+    let barrier = Barrier::new(workers + 1);
+    let mut select_buf = vec![0i64; null.individuals];
+    let mut kept = Vec::new();
+    let (mut final_threshold, mut final_power) =
+        prefix.map_or((f64::INFINITY, 0.0), |p| (p.threshold, p.power));
+    let quantile_hist = lr_quantile_seconds();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (cw, nw) = (case_ranges[w], null_ranges[w]);
+            let (keys, op, barrier) = (&keys[..], &op, &barrier);
+            scope.spawn(move || search_worker(case, null, prefix, keys, op, barrier, cw, nw));
+        }
+        let run = |kind: u8, col: usize, threshold: f64| {
+            op.kind.store(kind, Ordering::Relaxed);
+            op.col.store(col, Ordering::Relaxed);
+            op.threshold.store(threshold.to_bits(), Ordering::Relaxed);
+            barrier.wait(); // release the op to the workers
+            barrier.wait(); // wait for every chunk to finish it
+        };
+        if prefix.is_some() {
+            run(OP_LOAD_PREFIX, 0, 0.0);
+        }
+        for &col in order {
+            assert!(col < case.snps, "ranking indexes a non-existent column");
+            run(OP_ADD_NULL, col, 0.0);
+            for (dst, k) in select_buf.iter_mut().zip(&keys) {
+                *dst = k.load(Ordering::Relaxed);
+            }
+            let t0 = Instant::now();
+            let threshold = quantile_from_keys(&mut select_buf, q);
+            quantile_hist.observe_duration(t0.elapsed());
+            op.detected.store(0, Ordering::Relaxed);
+            run(OP_ADD_CASE_COUNT, col, threshold);
+            let detected = op.detected.load(Ordering::Relaxed);
+            let power = detected as f64 / n_case.max(1) as f64;
+            if power < params.power_threshold {
+                kept.push(col);
+                final_power = power;
+                final_threshold = threshold;
+            } else {
+                run(OP_SUB_BOTH, col, 0.0);
+            }
+        }
+        op.kind.store(OP_QUIT, Ordering::Relaxed);
+        barrier.wait();
+    });
+
+    LrSelection {
+        kept_columns: kept,
+        final_power,
+        final_threshold,
+    }
 }
 
 /// Normal-approximation of the LR-test (used by the ablation benches and to

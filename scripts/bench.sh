@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Kernel performance report: builds the release binaries and runs the
-# pooled LD-moment before/after comparison plus a full protocol phase
-# breakdown, writing machine-readable BENCH_phases.json.
+# pooled LD-moment and LR-subset-search before/after comparisons, a full
+# protocol phase breakdown, and the chromosome-scale workloads (100k-SNP
+# full run, 1M-SNP LR-only sweep), writing machine-readable
+# BENCH_phases.json. Every before/after pair is checksum-gated: the run
+# aborts if a reworked kernel changes a result.
 #
 # Usage: scripts/bench.sh [--scale F] [--out PATH]
 #   --scale F   workload fraction of the paper's 14,860 x 10,000 Table 5

@@ -16,6 +16,15 @@ cargo test -q
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+# Reduced-scale bench run: bench_phases asserts naive-vs-columnar checksum
+# and LR-selection equality internally, so a clean exit is the validation.
+echo "==> bench smoke (checksum-validated, --scale 0.02)"
+BENCH_SMOKE_OUT=$(mktemp "${TMPDIR:-/tmp}/gendpr-bench-smoke.XXXXXX.json")
+trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+scripts/bench.sh --scale 0.02 --out "$BENCH_SMOKE_OUT" >/dev/null
+grep -q '"selection_identical": true' "$BENCH_SMOKE_OUT"
+grep -q '"release_identical": true' "$BENCH_SMOKE_OUT"
+
 echo "==> service smoke test"
 scripts/service_smoke.sh
 

@@ -42,12 +42,13 @@ fn options() -> RuntimeOptions {
 }
 
 fn run_over_tcp(g: usize, cohort: &Cohort) -> Result<RuntimeReport, ProtocolError> {
-    run_over_tcp_with(g, cohort, options())
+    run_over_tcp_with(g, cohort, GwasParams::secure_genome_defaults(), options())
 }
 
 fn run_over_tcp_with(
     g: usize,
     cohort: &Cohort,
+    params: GwasParams,
     opts: RuntimeOptions,
 ) -> Result<RuntimeReport, ProtocolError> {
     let (roster, listeners) = ephemeral_listeners(g).expect("localhost listeners");
@@ -59,13 +60,7 @@ fn run_over_tcp_with(
                 .expect("transport from bound listener")
         })
         .collect();
-    run_federation_over(
-        transports,
-        config(g),
-        GwasParams::secure_genome_defaults(),
-        cohort,
-        opts,
-    )
+    run_federation_over(transports, config(g), params, cohort, opts)
 }
 
 fn release_of(cohort: &Cohort, report: &RuntimeReport) -> String {
@@ -141,13 +136,76 @@ fn thread_count_never_changes_release_or_certificate() {
             release_of(cohort, &sequential)
         );
     }
-    let over_tcp = run_over_tcp_with(g, cohort, threaded(4)).unwrap();
+    let over_tcp = run_over_tcp_with(g, cohort, params, threaded(4)).unwrap();
     assert_eq!(over_tcp.safe_snps, sequential.safe_snps);
     assert_eq!(over_tcp.certificate, sequential.certificate);
     assert_eq!(
         release_of(cohort, &over_tcp),
         release_of(cohort, &sequential)
     );
+}
+
+#[test]
+fn lr_row_chunking_is_byte_identical_on_both_transports() {
+    // The columnar LR kernels split each per-individual sum update across
+    // `threads` row chunks. Chunking never touches an individual's scalar
+    // accumulation order, so every thread count must reproduce the exact
+    // serial selection — through a study with strong effects (the subset
+    // search really rejects columns here, exercising the back-out path),
+    // on the dense and the compact wire format, in-memory and over TCP.
+    let g = 3;
+    let study = SyntheticCohort::builder()
+        .snps(140)
+        .case_individuals(130)
+        .reference_individuals(110)
+        .effects(0.3, 0.5)
+        .seed(41)
+        .build();
+    let cohort: &Cohort = study.as_ref();
+    let mut params = GwasParams::secure_genome_defaults();
+    params.lr.power_threshold = 0.6;
+    for compact_lr in [false, true] {
+        let with_threads = |threads| RuntimeOptions {
+            threads,
+            compact_lr,
+            ..options()
+        };
+        let serial = run_federation_with(config(g), params, cohort, None, with_threads(1)).unwrap();
+        assert!(
+            serial.safe_snps.len() < serial.l_double_prime.len(),
+            "study must make the LR phase reject something"
+        );
+        for threads in [2, 3, 8] {
+            let chunked =
+                run_federation_with(config(g), params, cohort, None, with_threads(threads))
+                    .unwrap();
+            assert_eq!(chunked.l_prime, serial.l_prime, "compact={compact_lr}");
+            assert_eq!(
+                chunked.l_double_prime, serial.l_double_prime,
+                "compact={compact_lr}"
+            );
+            assert_eq!(chunked.safe_snps, serial.safe_snps, "compact={compact_lr}");
+            assert_eq!(
+                chunked.certificate, serial.certificate,
+                "compact={compact_lr} threads={threads}"
+            );
+            assert_eq!(
+                release_of(cohort, &chunked),
+                release_of(cohort, &serial),
+                "compact={compact_lr} threads={threads}"
+            );
+        }
+        let over_tcp = run_over_tcp_with(g, cohort, params, with_threads(3)).unwrap();
+        assert_eq!(over_tcp.leader, serial.leader, "compact={compact_lr}");
+        assert_eq!(over_tcp.l_prime, serial.l_prime, "compact={compact_lr}");
+        assert_eq!(
+            over_tcp.l_double_prime, serial.l_double_prime,
+            "compact={compact_lr}"
+        );
+        assert_eq!(over_tcp.safe_snps, serial.safe_snps, "compact={compact_lr}");
+        assert_eq!(over_tcp.certificate, serial.certificate);
+        assert_eq!(release_of(cohort, &over_tcp), release_of(cohort, &serial));
+    }
 }
 
 #[test]
