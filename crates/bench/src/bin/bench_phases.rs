@@ -25,6 +25,7 @@ use gendpr_core::memo::MomentMemo;
 use gendpr_core::protocol::Federation;
 use gendpr_genomics::columnar::ColumnarGenotypes;
 use gendpr_genomics::snp::SnpId;
+use gendpr_service::ShardPlan;
 use gendpr_stats::ld::LdMoments;
 use gendpr_stats::lr::{
     select_safe_subset_naive, select_safe_subset_threads, BitLrMatrix, LrColumns, LrMatrix,
@@ -57,6 +58,7 @@ fn checksum(acc: u64, m: LdMoments) -> u64 {
 fn main() {
     let mut scale = 1.0f64;
     let mut out = String::from("BENCH_phases.json");
+    let mut shard_sweep: Vec<u32> = vec![1, 2, 4, 8];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -73,7 +75,19 @@ fn main() {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
-            other => panic!("unknown argument {other}; use --scale <f> | --out <path>"),
+            "--shards" => {
+                i += 1;
+                shard_sweep = args
+                    .get(i)
+                    .expect("--shards needs a comma-separated list")
+                    .split(',')
+                    .map(|s| s.parse().expect("--shards entries must be integers"))
+                    .collect();
+                assert!(!shard_sweep.is_empty(), "--shards list is empty");
+            }
+            other => {
+                panic!("unknown argument {other}; use --scale <f> | --out <path> | --shards S,...")
+            }
         }
         i += 1;
     }
@@ -255,6 +269,94 @@ fn main() {
         .with_threads(1)
         .run()
         .expect("chromosome-scale protocol completes");
+
+    // ---- SNP-sharded phase 1-2 sweep at chromosome width ----
+    // `gendpr serve --shards S` splits the panel into word-aligned ranges,
+    // each assessed by its own sub-federation, and the merge recombines
+    // per-shard counts and LD moments by coordinate translation. This
+    // sweep runs the same split over the phase 1-2 kernels: each shard
+    // thread slices its column range, computes the per-SNP counts (the MAF
+    // screen's input) and the within-shard adjacent-pair LD moments; the
+    // merge concatenates counts and stitches boundary pairs from the
+    // primary view, exactly as the shard-merge oracle does. Every shard
+    // count must reproduce the unsharded checksum bit for bit.
+    let shard_case = chrom_cohort.case();
+    let n_chrom = shard_case.individuals() as u64;
+    let chrom_truth = shard_case.column_counts();
+    let chrom_columnar = ColumnarGenotypes::from_matrix(shard_case);
+    let fold = |counts: &[u64], moments: &[LdMoments]| -> u64 {
+        let acc = counts.iter().fold(0u64, |acc, &c| acc.rotate_left(3) ^ c);
+        moments.iter().fold(acc, |acc, &m| checksum(acc, m))
+    };
+    let mut shard_rows: Vec<(u32, usize, Duration)> = Vec::new();
+    let mut shard_truth_sum: Option<u64> = None;
+    for &s in &shard_sweep {
+        let plan = ShardPlan::new(chrom_snps, s);
+        eprintln!(
+            "shard sweep: phase 1-2 kernels, --shards {s} ({} shard lanes)…",
+            plan.len()
+        );
+        let t = Instant::now();
+        let per_shard: Vec<(usize, Vec<u64>, Vec<LdMoments>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .ranges()
+                .iter()
+                .map(|range| {
+                    let cohort = &chrom_cohort;
+                    scope.spawn(move || {
+                        let slice = cohort
+                            .as_ref()
+                            .column_range(range.start as usize, range.len as usize);
+                        let case = slice.case();
+                        let counts = case.column_counts();
+                        let view = ColumnarGenotypes::from_matrix(case);
+                        let n = case.individuals() as u64;
+                        let moments: Vec<LdMoments> = (1..range.len as usize)
+                            .map(|i| {
+                                LdMoments::from_counts(
+                                    counts[i - 1],
+                                    counts[i],
+                                    view.pair_count(SnpId(i as u32 - 1), SnpId(i as u32)),
+                                    n,
+                                )
+                            })
+                            .collect();
+                        (range.start as usize, counts, moments)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread completes"))
+                .collect()
+        });
+        // Merge: concatenate translated counts, stitch the cross-shard
+        // boundary pairs from the primary (unsliced) view.
+        let mut merged_counts = Vec::with_capacity(chrom_snps);
+        let mut merged_moments = Vec::with_capacity(chrom_snps.saturating_sub(1));
+        for (start, counts, moments) in &per_shard {
+            if *start > 0 {
+                let b = *start as u32;
+                merged_moments.push(LdMoments::from_counts(
+                    chrom_truth[*start - 1],
+                    chrom_truth[*start],
+                    chrom_columnar.pair_count(SnpId(b - 1), SnpId(b)),
+                    n_chrom,
+                ));
+            }
+            merged_counts.extend_from_slice(counts);
+            merged_moments.extend_from_slice(moments);
+        }
+        let elapsed = t.elapsed();
+        assert_eq!(merged_counts, chrom_truth, "sharding changed the counts");
+        let sum = fold(&merged_counts, &merged_moments);
+        match shard_truth_sum {
+            None => shard_truth_sum = Some(sum),
+            Some(truth) => assert_eq!(sum, truth, "--shards {s} changed the merged moments"),
+        }
+        shard_rows.push((s, plan.len(), elapsed));
+    }
+    drop(chrom_columnar);
     drop(chrom_cohort);
 
     // (b) The LR phase alone at 1M SNPs: synthetic packed indicator
@@ -314,8 +416,18 @@ fn main() {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let speedup = before.as_secs_f64() / after.as_secs_f64().max(1e-9);
     let lr_speedup = lr_naive.as_secs_f64() / lr_columnar.as_secs_f64().max(1e-9);
+    let shard_json = shard_rows
+        .iter()
+        .map(|(s, lanes, d)| {
+            format!(
+                "      {{ \"shards\": {s}, \"lanes\": {lanes}, \"phase12_ms\": {:.3} }}",
+                ms(*d)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"case_genomes\": {genomes},\n    \"snps\": {snps},\n    \"gdos\": {G},\n    \"colluders\": {F},\n    \"combinations\": {},\n    \"pairs\": {},\n    \"scale\": {scale}\n  }},\n  \"pooled_ld_moments\": {{\n    \"row_major_ms\": {:.3},\n    \"columnar_memo_ms\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"lr_subset_search\": {{\n    \"candidates\": {},\n    \"naive_dense_ms\": {:.3},\n    \"columnar_ms\": {:.3},\n    \"columnar_threaded_ms\": {:.3},\n    \"threads\": {workers},\n    \"speedup\": {:.2},\n    \"selection_identical\": true\n  }},\n  \"protocol_phases_ms\": {{\n    \"threads\": 1,\n    \"aggregation\": {:.3},\n    \"indexing\": {:.3},\n    \"ld\": {:.3},\n    \"lr\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"protocol_parallel\": {{\n    \"threads\": {workers},\n    \"total_ms\": {:.3},\n    \"release_identical\": true\n  }},\n  \"chromosome_100k\": {{\n    \"snps\": {chrom_snps},\n    \"lr_ms\": {:.3},\n    \"total_ms\": {:.3},\n    \"safe_snps\": {}\n  }},\n  \"chromosome_1m_lr_only\": {{\n    \"snps\": {mega_snps},\n    \"individuals\": {mega_individuals},\n    \"search_ms\": {:.3},\n    \"kept_columns\": {}\n  }}\n}}\n",
+        "{{\n  \"workload\": {{\n    \"case_genomes\": {genomes},\n    \"snps\": {snps},\n    \"gdos\": {G},\n    \"colluders\": {F},\n    \"combinations\": {},\n    \"pairs\": {},\n    \"scale\": {scale}\n  }},\n  \"pooled_ld_moments\": {{\n    \"row_major_ms\": {:.3},\n    \"columnar_memo_ms\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"lr_subset_search\": {{\n    \"candidates\": {},\n    \"naive_dense_ms\": {:.3},\n    \"columnar_ms\": {:.3},\n    \"columnar_threaded_ms\": {:.3},\n    \"threads\": {workers},\n    \"speedup\": {:.2},\n    \"selection_identical\": true\n  }},\n  \"protocol_phases_ms\": {{\n    \"threads\": 1,\n    \"aggregation\": {:.3},\n    \"indexing\": {:.3},\n    \"ld\": {:.3},\n    \"lr\": {:.3},\n    \"total\": {:.3}\n  }},\n  \"protocol_parallel\": {{\n    \"threads\": {workers},\n    \"total_ms\": {:.3},\n    \"release_identical\": true\n  }},\n  \"chromosome_100k\": {{\n    \"snps\": {chrom_snps},\n    \"lr_ms\": {:.3},\n    \"total_ms\": {:.3},\n    \"safe_snps\": {}\n  }},\n  \"shard_sweep\": {{\n    \"snps\": {chrom_snps},\n    \"plans\": [\n{shard_json}\n    ],\n    \"shard_identical\": true\n  }},\n  \"chromosome_1m_lr_only\": {{\n    \"snps\": {mega_snps},\n    \"individuals\": {mega_individuals},\n    \"search_ms\": {:.3},\n    \"kept_columns\": {}\n  }}\n}}\n",
         subsets.len(),
         pairs.len(),
         ms(before),
@@ -349,5 +461,11 @@ fn main() {
         ms(lr_naive),
         ms(lr_columnar)
     );
+    for (s, lanes, d) in &shard_rows {
+        println!(
+            "shard sweep: --shards {s} -> {lanes} lanes, phase 1-2 in {:.1} ms (merge identical)",
+            ms(*d)
+        );
+    }
     println!("report written to {out}");
 }

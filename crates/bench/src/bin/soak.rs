@@ -4,7 +4,10 @@
 //! re-election churn) driven by sustained mixed client traffic, each
 //! round ended by a seeded failure — clean stop, SIGTERM mid-traffic,
 //! SIGKILL mid-traffic, or an env-armed kill point inside the network
-//! send or ledger append/fsync path — followed by invariant audits:
+//! send or ledger append/fsync path. Half the rounds (seeded) run the
+//! daemon multi-shard (`--shards`), so every failure class also lands on
+//! deployments with live SNP-shard sub-federations. Each round is
+//! followed by invariant audits:
 //!
 //! * the ledger re-opens with frame-hash integrity, strictly monotone
 //!   job ids, and byte-idempotent recovery (a second open recovers 0),
@@ -35,8 +38,10 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Synthetic study width; job panels are slices of `0..SNPS`.
-const SNPS: u32 = 96;
+/// Synthetic study width; job panels are slices of `0..SNPS`. Four
+/// words of 64 SNPs, so the multi-shard rounds (`--shards`) survive the
+/// shard plan's degrade rule instead of silently collapsing to one lane.
+const SNPS: u32 = 256;
 /// Federation seed, fixed across rounds so every restart re-elects the
 /// same leader and certifies identically.
 const FED_SEED: u64 = 29;
@@ -92,6 +97,7 @@ struct Config {
     gdos: usize,
     max_queue: usize,
     lane_crash_every: u64,
+    shards: u32,
     bin: PathBuf,
     out: String,
     report: String,
@@ -108,6 +114,7 @@ fn parse_args() -> Config {
         gdos: 3,
         max_queue: 4,
         lane_crash_every: 5,
+        shards: 2,
         bin: PathBuf::from("target/release/gendpr"),
         out: String::from("BENCH_soak.json"),
         report: String::from("soak_report.jsonl"),
@@ -147,6 +154,10 @@ fn parse_args() -> Config {
                 i += 1;
                 config.lane_crash_every = args[i].parse().expect("--lane-crash-every needs N");
             }
+            "--shards" => {
+                i += 1;
+                config.shards = args[i].parse().expect("--shards needs a count");
+            }
             "--bin" => {
                 i += 1;
                 config.bin = PathBuf::from(&args[i]);
@@ -165,8 +176,8 @@ fn parse_args() -> Config {
             }
             other => panic!(
                 "unknown argument {other}; use --smoke | --rounds N | --seed N | --jobs N | \
-                 --workers N | --max-queue N | --lane-crash-every N | --bin PATH | --out PATH | \
-                 --report PATH | --p99-max-s F"
+                 --workers N | --max-queue N | --lane-crash-every N | --shards N | --bin PATH | \
+                 --out PATH | --report PATH | --p99-max-s F"
             ),
         }
         i += 1;
@@ -195,6 +206,7 @@ fn spawn_daemon(
     data: &Path,
     ledger: &Path,
     round: usize,
+    shards: u32,
     killpoint: Option<String>,
     rng: &mut Rng,
 ) -> Daemon {
@@ -226,6 +238,7 @@ fn spawn_daemon(
             .args(["--workers", &config.workers.to_string()])
             .args(["--max-queue", &config.max_queue.to_string()])
             .args(["--max-retries", "3"])
+            .args(["--shards", &shards.to_string()])
             .args(["--drain-timeout", "10"])
             .args(["--lane-crash-every", &config.lane_crash_every.to_string()])
             .args(["--listen", &addr.to_string()])
@@ -620,15 +633,28 @@ fn main() {
             Failure::KillPoint(site) => Some(format!("{site}:{}", 2_000 + rng.below(8_000))),
             _ => None,
         };
+        // Half the rounds (seeded) run the daemon multi-shard, so every
+        // failure class also lands on deployments with live shard lanes —
+        // and the certificates across restarts must still be identical,
+        // whichever shard counts the surviving ledger was written under.
+        let shards = if rng.below(2) == 0 { config.shards } else { 1 };
 
         let boot = Instant::now();
-        let mut daemon = spawn_daemon(&config, &data, &ledger_path, round, killpoint, &mut rng);
+        let mut daemon = spawn_daemon(
+            &config,
+            &data,
+            &ledger_path,
+            round,
+            shards,
+            killpoint,
+            &mut rng,
+        );
         let ready = boot.elapsed().as_secs_f64();
         if let Some(prev) = prev_failure {
             recoveries.entry(prev.name()).or_default().push(ready);
         }
         eprintln!(
-            "round {round}/{}: {} in {ready:.2}s, failure class {}",
+            "round {round}/{}: {} in {ready:.2}s, failure class {}, {shards} shard(s)",
             total_rounds - 1,
             daemon.addr,
             failure.name()
@@ -864,7 +890,7 @@ fn main() {
         samples.insert(round, sample.clone());
 
         report_lines.push(format!(
-            "{{\"round\": {round}, \"failure\": \"{}\", \"ready_s\": {ready:.3}, \
+            "{{\"round\": {round}, \"failure\": \"{}\", \"shards\": {shards}, \"ready_s\": {ready:.3}, \
              \"completed\": {round_completed}, \"interrupted\": {round_interrupted}, \
              \"queue_full_rejects\": {}, \"hostile_frames\": {hostile}, \
              \"ledger_records\": {}, \"recovered_bytes\": {}, \

@@ -261,6 +261,18 @@ wire_struct!(JobStartBroadcast {
     forced
 });
 
+/// Leader broadcast opening one *shard job* inside a service session: the
+/// sub-federation evaluates phases 1–2 over its column-sliced cohort and
+/// then answers moment requests until [`ProtocolMessage::ShardDone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStartBroadcast {
+    /// Service-assigned job id the shard belongs to.
+    pub job_id: u64,
+    /// Which shard of the plan this lane evaluates.
+    pub shard: u32,
+}
+wire_struct!(ShardStartBroadcast { job_id, shard });
+
 /// Every message of the protocol, tagged for transport.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -301,6 +313,12 @@ pub enum ProtocolMessage {
     /// Leader → members: the service session ends; members may tear down
     /// their channels and exit cleanly.
     SessionEnd,
+    /// Leader → members: a shard job starts; followers serve moment
+    /// requests for the shard until [`Self::ShardDone`].
+    ShardStart(ShardStartBroadcast),
+    /// Leader → members: the shard job is complete; rekey and return to
+    /// awaiting the next job.
+    ShardDone,
 }
 
 impl Encode for ProtocolMessage {
@@ -360,6 +378,11 @@ impl Encode for ProtocolMessage {
                 m.encode(buf);
             }
             Self::SessionEnd => 11u8.encode(buf),
+            Self::ShardStart(m) => {
+                12u8.encode(buf);
+                m.encode(buf);
+            }
+            Self::ShardDone => 13u8.encode(buf),
         }
     }
 }
@@ -383,6 +406,8 @@ impl Decode for ProtocolMessage {
             },
             10 => Self::JobStart(JobStartBroadcast::decode(r)?),
             11 => Self::SessionEnd,
+            12 => Self::ShardStart(ShardStartBroadcast::decode(r)?),
+            13 => Self::ShardDone,
             _ => return Err(WireError::InvalidValue("ProtocolMessage tag")),
         })
     }
@@ -453,6 +478,11 @@ mod tests {
             forced: vec![2, 3],
         }));
         roundtrip(ProtocolMessage::SessionEnd);
+        roundtrip(ProtocolMessage::ShardStart(ShardStartBroadcast {
+            job_id: 9,
+            shard: 3,
+        }));
+        roundtrip(ProtocolMessage::ShardDone);
     }
 
     #[test]

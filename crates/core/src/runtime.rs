@@ -1355,6 +1355,54 @@ pub(crate) fn follower_serve<T: Transport>(
     }
 }
 
+/// Serves one shard-scoped assessment as a follower: answers the shard
+/// leader's moments queries until the `ShardDone` broadcast. Shard lanes
+/// never run Phase 2/3 (the LR intersection search runs once, globally,
+/// on the merged state), so only the oracle arm is live here.
+pub(crate) fn follower_serve_shard<T: Transport>(
+    ctx: &mut MemberCtx<T>,
+    node: &GdoNode,
+    channel: &mut SecureChannel,
+    leader: usize,
+) -> Result<(), Interrupt> {
+    loop {
+        match recv_protocol(ctx, channel, leader, "shard-serve")? {
+            ProtocolMessage::MomentsRequest(pairs) => {
+                let reports: Vec<MomentsReport> = pairs
+                    .iter()
+                    .map(|p| node.ld_moments(SnpId(p.a), SnpId(p.b)))
+                    .collect();
+                send_protocol(ctx, channel, leader, &ProtocolMessage::Moments(reports))?;
+            }
+            ProtocolMessage::ShardDone => return Ok(()),
+            ProtocolMessage::QuorumLost {
+                epoch,
+                survivors,
+                required,
+            } => {
+                return Err(ProtocolError::QuorumLost {
+                    epoch,
+                    survivors: survivors as usize,
+                    required: required as usize,
+                }
+                .into());
+            }
+            ProtocolMessage::Abort(reason) => {
+                return Err(ProtocolError::MemberUnresponsive {
+                    member: leader,
+                    phase: if reason.is_empty() {
+                        "aborted"
+                    } else {
+                        "aborted-by-leader"
+                    },
+                }
+                .into());
+            }
+            _ => return Err(ProtocolError::MalformedMessage { member: leader }.into()),
+        }
+    }
+}
+
 /// Runs the full threaded deployment over `cohort`.
 ///
 /// `faults` optionally injects crashes/partitions; `timeout` bounds every

@@ -36,14 +36,14 @@ use crate::gdo::GdoNode;
 use crate::memo::LrPrefixMemo;
 use crate::messages::{
     CountsReport, JobStartBroadcast, MomentsRequest, Phase1Broadcast, Phase2Broadcast,
-    Phase3Broadcast, ProtocolMessage,
+    Phase3Broadcast, ProtocolMessage, ShardStartBroadcast,
 };
 use crate::phases::ld::run_ld_scan;
 use crate::phases::maf::{run_maf, MafOutcome};
 use crate::pool::parallel_map;
 use crate::runtime::{
-    abort_all, build_member_ctx, establish_channel, follower_serve, recv_protocol, run_election,
-    send_protocol, Interrupt, MemberCtx, RuntimeOptions,
+    abort_all, build_member_ctx, establish_channel, follower_serve, follower_serve_shard,
+    recv_protocol, run_election, send_protocol, Interrupt, MemberCtx, RuntimeOptions,
 };
 use gendpr_fednet::metrics::TrafficStats;
 use gendpr_fednet::transport::{Endpoint, Network, PeerId, Transport};
@@ -74,6 +74,54 @@ pub struct JobSpec {
     pub panel: Vec<SnpId>,
     /// SNPs released by earlier jobs — the irreversible prefix.
     pub forced: Vec<SnpId>,
+}
+
+/// Phases 1–2 of one job restricted to a single SNP shard, expressed in
+/// the shard lane's *local* 0-based ids (the lane's cohort is a
+/// [`Cohort::column_range`] slice of the study, so its panel starts at 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardJobSpec {
+    /// The global job this shard contributes to.
+    pub job_id: u64,
+    /// Which shard of the plan this is (0-based).
+    pub shard: u32,
+    /// The job panel intersected with the shard range, shifted to local ids.
+    pub panel: Vec<SnpId>,
+    /// The forced prefix intersected with the shard range, shifted likewise.
+    pub forced: Vec<SnpId>,
+}
+
+/// One evaluation subset's LD scan over a shard: the survivors, plus every
+/// pooled moment the scan exchanged. The merging leader replays its own
+/// global scan against this log as a cache, falling back to live oracle
+/// queries only for pairs the shard never saw (shard-boundary pairs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardScan {
+    /// LD survivors within the shard, local ids.
+    pub retained: Vec<SnpId>,
+    /// `(a, b, pooled)` for every adjacent pair the scan evaluated.
+    pub moments: Vec<(u32, u32, LdMoments)>,
+}
+
+/// What one shard lane computed for a job: MAF survivors and one LD scan
+/// per evaluation subset, all in local ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPhases {
+    /// MAF survivors of the shard's candidates (Phase 1), local ids.
+    pub l_prime: Vec<SnpId>,
+    /// One scan per evaluation subset, in subset order.
+    pub scans: Vec<ShardScan>,
+}
+
+/// A shard's phases tagged with where its range starts in the global
+/// panel, so the merge can translate local ids back (`global = local +
+/// start`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutput {
+    /// First global SNP id of the shard's range (64-aligned).
+    pub start: u32,
+    /// The lane's phases 1–2 output.
+    pub phases: ShardPhases,
 }
 
 /// Traffic of one directed link during one job.
@@ -122,7 +170,10 @@ pub struct JobOutcome {
 
 /// Commands the handle sends into the leader's session loop.
 enum SessionCommand {
-    Run(JobSpec),
+    /// Run a full job; `Some(shards)` merges pre-computed shard phases.
+    Run(JobSpec, Option<Vec<ShardOutput>>),
+    /// Run phases 1–2 only, scoped to one shard.
+    RunShard(ShardJobSpec),
     Shutdown,
 }
 
@@ -151,6 +202,13 @@ enum SessionEvent {
         safe: Vec<SnpId>,
         traffic: Vec<LinkUsage>,
         detail: Option<Box<LeaderDetail>>,
+    },
+    /// A shard-scoped job finished (leader only; followers stay silent so
+    /// a shard run produces exactly one event).
+    ShardFinished {
+        job_id: u64,
+        shard: u32,
+        phases: Box<ShardPhases>,
     },
     /// The member left the session cleanly after `SessionEnd`.
     Closed,
@@ -342,9 +400,17 @@ fn leader_session<T: Transport>(
 
     loop {
         match commands.recv() {
-            Ok(SessionCommand::Run(spec)) => {
+            Ok(SessionCommand::Run(spec, shards)) => {
                 let before = snapshot_links(ctx, &roster);
-                match run_leader_job(ctx, &mut channels, node, params, &state, &spec) {
+                match run_leader_job(
+                    ctx,
+                    &mut channels,
+                    node,
+                    params,
+                    &state,
+                    &spec,
+                    shards.as_deref(),
+                ) {
                     Ok(detail) => {
                         // Ratchet every channel at the job boundary; the
                         // followers do the same after Phase 3, so the next
@@ -361,6 +427,29 @@ fn leader_session<T: Transport>(
                             safe: detail.released.clone(),
                             traffic,
                             detail: Some(Box::new(detail)),
+                        });
+                    }
+                    Err(intr) => {
+                        let e = fatal(intr);
+                        abort_all(ctx, &mut channels, &e);
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(SessionCommand::RunShard(spec)) => {
+                match run_leader_shard(ctx, &mut channels, node, params, &state, &spec) {
+                    Ok(phases) => {
+                        // Same rekey discipline as a full job: followers
+                        // ratchet after `ShardDone`, the leader here.
+                        for &peer in &roster {
+                            if peer != me {
+                                channels.get_mut(&peer).expect("channel").rekey();
+                            }
+                        }
+                        let _ = events.send(SessionEvent::ShardFinished {
+                            job_id: spec.job_id,
+                            shard: spec.shard,
+                            phases: Box::new(phases),
                         });
                     }
                     Err(intr) => {
@@ -427,6 +516,13 @@ fn follower_session<T: Transport>(
                     detail: None,
                 });
             }
+            ProtocolMessage::ShardStart(_) => {
+                follower_serve_shard(ctx, node, &mut channel, leader).map_err(fatal)?;
+                // No Finished event: shard lanes report through the
+                // leader's `ShardFinished` alone, but the channel still
+                // ratchets so shard and full jobs share one key schedule.
+                channel.rekey();
+            }
             ProtocolMessage::SessionEnd => {
                 let _ = events.send(SessionEvent::Closed);
                 return Ok(());
@@ -453,9 +549,69 @@ fn follower_session<T: Transport>(
     }
 }
 
+/// Pools the LD moments of one SNP pair across a subset: one
+/// `MomentsRequest` to every remote subset member, the reference
+/// moments from cached counts, the leader's own shard if it is in the
+/// subset, then the replies — in subset order, so the message schedule
+/// is identical wherever this is called from.
+#[allow(clippy::too_many_arguments)]
+fn pooled_pair_moments<T: Transport>(
+    ctx: &mut MemberCtx<T>,
+    channels: &mut HashMap<usize, SecureChannel>,
+    node: &GdoNode,
+    reference: &GenotypeMatrix,
+    ref_counts: &[u64],
+    subset: &[usize],
+    a: SnpId,
+    b: SnpId,
+) -> Result<LdMoments, Interrupt> {
+    let me = ctx.id;
+    let request = ProtocolMessage::MomentsRequest(vec![MomentsRequest { a: a.0, b: b.0 }]);
+    for &peer in subset {
+        if peer == me {
+            continue;
+        }
+        let channel = channels.get_mut(&peer).expect("channel");
+        send_protocol(ctx, channel, peer, &request)?;
+    }
+    let mut pooled = LdMoments::from_cached_counts(
+        reference,
+        a,
+        b,
+        ref_counts[a.index()],
+        ref_counts[b.index()],
+    );
+    if subset.contains(&me) {
+        pooled = pooled.merge(LdMoments::from(node.ld_moments(a, b)));
+    }
+    for &peer in subset {
+        if peer == me {
+            continue;
+        }
+        let channel = channels.get_mut(&peer).expect("channel");
+        match recv_protocol(ctx, channel, peer, "ld-moments")? {
+            ProtocolMessage::Moments(ms) if ms.len() == 1 => {
+                pooled = pooled.merge(LdMoments::from(ms[0]));
+            }
+            _ => return Err(ProtocolError::MalformedMessage { member: peer }.into()),
+        }
+    }
+    Ok(pooled)
+}
+
 /// Drives one job as the leader: announce, Phase 1 over the requested
 /// candidates, the LD scan, and the *seeded* LR search in which the
 /// forced prefix is charged before any new candidate.
+///
+/// With `shards`, the job is a *merge*: phases 1–2 were already run by
+/// shard lanes over column slices of the same cohort, whose integer
+/// counts and moments are byte-identical to this session's. Phase 1 is
+/// recomputed locally (it is a cheap intersection over session-cached
+/// MAF outcomes) and asserted against the concatenated shard results;
+/// the Phase 2 scan replays against the shards' moment logs, touching
+/// the live oracle only for pairs that straddle a shard boundary. Phase
+/// 3 — the seeded LR search, which is inherently global because the
+/// power budget couples every column — runs unchanged.
 #[allow(clippy::too_many_lines)]
 fn run_leader_job<T: Transport>(
     ctx: &mut MemberCtx<T>,
@@ -464,6 +620,7 @@ fn run_leader_job<T: Transport>(
     params: &GwasParams,
     state: &LeaderState<'_>,
     spec: &JobSpec,
+    shards: Option<&[ShardOutput]>,
 ) -> Result<LeaderDetail, Interrupt> {
     let me = ctx.id;
     let roster = ctx.roster.clone();
@@ -531,6 +688,32 @@ fn run_leader_job<T: Transport>(
         })
         .collect();
     let l_prime = intersect_selections(&per_subset);
+
+    // ---- Merge invariant ----
+    // Shard ranges partition the panel in order, and MAF is per-SNP over
+    // counts that are bit-identical between a column slice and the full
+    // cohort, so the concatenated shard survivors must equal this
+    // session's own Phase 1. Anything else means a lane ran over a
+    // different study and the merge would certify garbage.
+    if let Some(shards) = shards {
+        let mut merged: Vec<SnpId> = Vec::new();
+        for s in shards {
+            if s.phases.scans.len() != state.subsets.len() {
+                return Err(ProtocolError::InvalidConfig(
+                    "shard merge diverged from the primary lane's MAF phase",
+                )
+                .into());
+            }
+            merged.extend(s.phases.l_prime.iter().map(|l| SnpId(l.0 + s.start)));
+        }
+        if merged != l_prime {
+            return Err(ProtocolError::InvalidConfig(
+                "shard merge diverged from the primary lane's MAF phase",
+            )
+            .into());
+        }
+    }
+
     let phase1 = ProtocolMessage::Phase1(Phase1Broadcast {
         retained: l_prime.iter().map(|s| s.0).collect(),
     });
@@ -544,10 +727,30 @@ fn run_leader_job<T: Transport>(
     crate::telemetry::phase_seconds("maf").observe_duration(phase_clock.elapsed());
 
     // ---- Phase 2: LD scan per subset over this job's L' ----
+    // In a merge, each subset's scan first consults the cache built from
+    // the shard lanes' moment logs (translated to global ids); pooled
+    // moments are integer sums over the same genotype bits, so a cache
+    // hit is exactly the value a live exchange would pool. Misses —
+    // shard-boundary pairs and replay divergence after one — fall back
+    // to the oracle.
+    let caches: Option<Vec<HashMap<(u32, u32), LdMoments>>> = shards.map(|shards| {
+        (0..state.subsets.len())
+            .map(|c| {
+                let mut cache = HashMap::new();
+                for s in shards {
+                    for &(a, b, m) in &s.phases.scans[c].moments {
+                        cache.insert((a + s.start, b + s.start), m);
+                    }
+                }
+                cache
+            })
+            .collect()
+    });
     let phase_clock = Instant::now();
     let mut ld_selections = Vec::with_capacity(state.subsets.len());
     for (c, subset) in state.subsets.iter().enumerate() {
         let ranks = &state.rankings[c];
+        let cache = caches.as_ref().map(|cs| &cs[c]);
         let mut scan_error: Option<Interrupt> = None;
         let retained = {
             let channels = &mut *channels;
@@ -559,47 +762,30 @@ fn run_leader_job<T: Transport>(
                     if scan_error.is_some() {
                         return LdMoments::default();
                     }
-                    let request =
-                        ProtocolMessage::MomentsRequest(vec![MomentsRequest { a: a.0, b: b.0 }]);
-                    for &peer in subset.iter() {
-                        if peer == me {
-                            continue;
+                    if let Some(cache) = cache {
+                        if let Some(&m) = cache.get(&(a.0, b.0)) {
+                            crate::telemetry::shard_cache_pairs().add(1);
+                            return m;
                         }
-                        let mut ctx = ctx_cell.borrow_mut();
-                        let channel = channels.get_mut(&peer).expect("channel");
-                        if let Err(e) = send_protocol(&mut ctx, channel, peer, &request) {
-                            *scan_error = Some(e.into());
-                            return LdMoments::default();
-                        }
+                        crate::telemetry::shard_oracle_pairs().add(1);
                     }
-                    let mut pooled = LdMoments::from_cached_counts(
+                    let mut guard = ctx_cell.borrow_mut();
+                    match pooled_pair_moments(
+                        &mut **guard,
+                        channels,
+                        node,
                         state.reference,
+                        &state.ref_counts,
+                        subset,
                         a,
                         b,
-                        state.ref_counts[a.index()],
-                        state.ref_counts[b.index()],
-                    );
-                    if subset.contains(&me) {
-                        pooled = pooled.merge(LdMoments::from(node.ld_moments(a, b)));
-                    }
-                    for &peer in subset.iter() {
-                        if peer == me {
-                            continue;
-                        }
-                        let mut ctx = ctx_cell.borrow_mut();
-                        let channel = channels.get_mut(&peer).expect("channel");
-                        match recv_protocol(&mut ctx, channel, peer, "ld-moments") {
-                            Ok(ProtocolMessage::Moments(ms)) if ms.len() == 1 => {
-                                pooled = pooled.merge(LdMoments::from(ms[0]));
-                            }
-                            Ok(_) => {
-                                *scan_error =
-                                    Some(ProtocolError::MalformedMessage { member: peer }.into());
-                            }
-                            Err(e) => *scan_error = Some(e),
+                    ) {
+                        Ok(pooled) => pooled,
+                        Err(e) => {
+                            *scan_error = Some(e);
+                            LdMoments::default()
                         }
                     }
-                    pooled
                 },
                 |s| ranks[s.index()].p_value,
                 params.ld_cutoff,
@@ -741,6 +927,145 @@ fn run_leader_job<T: Transport>(
         epoch: ctx.epoch,
         roster: roster_u32,
     })
+}
+
+/// Drives phases 1–2 of one shard as the leader: announce with
+/// `ShardStart`, the MAF intersection over the session's cached
+/// outcomes, then one LD scan per evaluation subset with every pooled
+/// moment logged, closed by `ShardDone`. No Phase 1/2/3 broadcasts go
+/// out — followers only serve the moments oracle — and an *empty* shard
+/// panel is legal: a shard whose range misses the job panel still
+/// announces and completes, so every lane's channels ratchet in
+/// lockstep however the panel lands.
+fn run_leader_shard<T: Transport>(
+    ctx: &mut MemberCtx<T>,
+    channels: &mut HashMap<usize, SecureChannel>,
+    node: &GdoNode,
+    params: &GwasParams,
+    state: &LeaderState<'_>,
+    spec: &ShardJobSpec,
+) -> Result<ShardPhases, Interrupt> {
+    let me = ctx.id;
+    let roster = ctx.roster.clone();
+    let mut panel = spec.panel.clone();
+    panel.sort_unstable();
+    panel.dedup();
+    let mut forced = spec.forced.clone();
+    forced.sort_unstable();
+    forced.dedup();
+    if panel
+        .iter()
+        .chain(&forced)
+        .any(|s| s.index() >= state.panel_len)
+    {
+        return Err(ProtocolError::InvalidConfig("job names a SNP outside the study panel").into());
+    }
+
+    gendpr_obs::event(
+        gendpr_obs::Level::Info,
+        "serving",
+        "shard_announced",
+        &[
+            ("job_id", spec.job_id.into()),
+            ("shard", u64::from(spec.shard).into()),
+            ("panel", panel.len().into()),
+        ],
+    );
+
+    // ---- Announce the shard ----
+    let announce = ProtocolMessage::ShardStart(ShardStartBroadcast {
+        job_id: spec.job_id,
+        shard: spec.shard,
+    });
+    for &peer in &roster {
+        if peer != me {
+            let channel = channels.get_mut(&peer).expect("channel");
+            send_protocol(ctx, channel, peer, &announce)?;
+        }
+    }
+
+    // ---- Phase 1 over the shard's candidates ----
+    let phase_clock = Instant::now();
+    let candidates: Vec<SnpId> = panel
+        .iter()
+        .copied()
+        .filter(|s| forced.binary_search(s).is_err())
+        .collect();
+    let per_subset: Vec<Vec<SnpId>> = state
+        .maf_outcomes
+        .iter()
+        .map(|o| {
+            o.retained
+                .iter()
+                .copied()
+                .filter(|s| candidates.binary_search(s).is_ok())
+                .collect()
+        })
+        .collect();
+    let l_prime = intersect_selections(&per_subset);
+    crate::telemetry::phase_seconds("maf").observe_duration(phase_clock.elapsed());
+
+    // ---- Phase 2: LD scan per subset, logging every pooled moment ----
+    let phase_clock = Instant::now();
+    let mut scans = Vec::with_capacity(state.subsets.len());
+    for (c, subset) in state.subsets.iter().enumerate() {
+        let ranks = &state.rankings[c];
+        let mut moments_log: Vec<(u32, u32, LdMoments)> = Vec::new();
+        let mut scan_error: Option<Interrupt> = None;
+        let retained = {
+            let channels = &mut *channels;
+            let ctx_cell = std::cell::RefCell::new(&mut *ctx);
+            let scan_error = &mut scan_error;
+            let moments_log = &mut moments_log;
+            run_ld_scan(
+                &l_prime,
+                |a, b| {
+                    if scan_error.is_some() {
+                        return LdMoments::default();
+                    }
+                    let mut guard = ctx_cell.borrow_mut();
+                    match pooled_pair_moments(
+                        &mut **guard,
+                        channels,
+                        node,
+                        state.reference,
+                        &state.ref_counts,
+                        subset,
+                        a,
+                        b,
+                    ) {
+                        Ok(pooled) => {
+                            moments_log.push((a.0, b.0, pooled));
+                            pooled
+                        }
+                        Err(e) => {
+                            *scan_error = Some(e);
+                            LdMoments::default()
+                        }
+                    }
+                },
+                |s| ranks[s.index()].p_value,
+                params.ld_cutoff,
+            )
+        };
+        if let Some(intr) = scan_error {
+            return Err(intr);
+        }
+        scans.push(ShardScan {
+            retained,
+            moments: moments_log,
+        });
+    }
+    crate::telemetry::phase_seconds("ld").observe_duration(phase_clock.elapsed());
+
+    // ---- Close the shard ----
+    for &peer in &roster {
+        if peer != me {
+            let channel = channels.get_mut(&peer).expect("channel");
+            send_protocol(ctx, channel, peer, &ProtocolMessage::ShardDone)?;
+        }
+    }
+    Ok(ShardPhases { l_prime, scans })
 }
 
 /// Runs the seeded subset search, preferring the columnar kernels with the
@@ -1089,6 +1414,41 @@ impl ServiceFederation {
     /// Panics if honest members disagree on the released set (a protocol
     /// invariant violation, as in the one-shot runtime).
     pub fn submit(&mut self, spec: &JobSpec) -> Result<JobOutcome, ProtocolError> {
+        self.submit_inner(spec, None)
+    }
+
+    /// Runs one job whose phases 1–2 were already computed by shard
+    /// lanes (see [`Self::submit_shard`]): the leader asserts the merged
+    /// Phase 1 against its own, replays the LD scans from the shards'
+    /// moment logs, and runs the global seeded LR search as usual.
+    ///
+    /// `shards` must be ordered by [`ShardOutput::start`] and cover the
+    /// job panel exactly, with one [`ShardScan`] per evaluation subset.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::submit`], plus
+    /// [`ProtocolError::InvalidConfig`] if the shard outputs do not
+    /// reassemble to this session's own Phase 1 — that means a lane ran
+    /// over a different study, so the session is torn down rather than
+    /// left to certify a merge it cannot trust.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::submit`].
+    pub fn submit_sharded(
+        &mut self,
+        spec: &JobSpec,
+        shards: Vec<ShardOutput>,
+    ) -> Result<JobOutcome, ProtocolError> {
+        self.submit_inner(spec, Some(shards))
+    }
+
+    fn submit_inner(
+        &mut self,
+        spec: &JobSpec,
+        shards: Option<Vec<ShardOutput>>,
+    ) -> Result<JobOutcome, ProtocolError> {
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
@@ -1106,7 +1466,7 @@ impl ServiceFederation {
             ));
         }
         if self.commands[self.leader]
-            .send(SessionCommand::Run(spec.clone()))
+            .send(SessionCommand::Run(spec.clone(), shards))
             .is_err()
         {
             let e = ProtocolError::MemberUnresponsive {
@@ -1171,6 +1531,64 @@ impl ServiceFederation {
             roster: detail.roster,
             traffic,
         })
+    }
+
+    /// Runs phases 1–2 of one shard to completion and returns the lane's
+    /// output, in the lane's local SNP ids.
+    ///
+    /// Unlike [`Self::submit`], an empty panel is legal — a shard whose
+    /// range misses the job panel still runs (trivially) so that every
+    /// lane of a plan ratchets its channels in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] for out-of-range SNP ids (the
+    /// session stays usable), or the session's fatal error if a member
+    /// died — poisoning the handle like any other job.
+    pub fn submit_shard(&mut self, spec: &ShardJobSpec) -> Result<ShardPhases, ProtocolError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if spec
+            .panel
+            .iter()
+            .chain(&spec.forced)
+            .any(|s| s.index() >= self.panel_len)
+        {
+            return Err(ProtocolError::InvalidConfig(
+                "job names a SNP outside the study panel",
+            ));
+        }
+        if self.commands[self.leader]
+            .send(SessionCommand::RunShard(spec.clone()))
+            .is_err()
+        {
+            let e = ProtocolError::MemberUnresponsive {
+                member: self.leader,
+                phase: "service-session",
+            };
+            self.failed = Some(e.clone());
+            return Err(e);
+        }
+        loop {
+            match self.recv_event()? {
+                SessionEvent::ShardFinished {
+                    job_id,
+                    shard,
+                    phases,
+                } => {
+                    if job_id != spec.job_id || shard != spec.shard {
+                        continue;
+                    }
+                    return Ok(*phases);
+                }
+                _ => {
+                    let e = ProtocolError::InvalidConfig("unexpected event during shard job");
+                    self.failed = Some(e.clone());
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Ends the session cleanly: the leader broadcasts `SessionEnd`,

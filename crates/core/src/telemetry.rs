@@ -62,6 +62,31 @@ pub fn view_changes() -> &'static obs::Counter {
     })
 }
 
+/// LD pairs answered from shard-lane scan caches during a merged job.
+pub fn shard_cache_pairs() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_shard_cache_pairs_total",
+            "LD pairs served from shard-lane scan caches during merges",
+            &[],
+        )
+    })
+}
+
+/// LD pairs a merged job had to resolve with live oracle exchanges
+/// (shard-boundary pairs and replay divergence after a boundary).
+pub fn shard_oracle_pairs() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_shard_oracle_pairs_total",
+            "LD pairs resolved by live oracle exchanges during merges",
+            &[],
+        )
+    })
+}
+
 /// Registers every protocol metric eagerly so the exposition endpoint
 /// shows them (at zero) before the first job runs.
 pub fn register_protocol_metrics() {
@@ -71,5 +96,7 @@ pub fn register_protocol_metrics() {
     subsets_evaluated();
     suspicions();
     view_changes();
+    shard_cache_pairs();
+    shard_oracle_pairs();
     gendpr_stats::lr::register_lr_metrics();
 }

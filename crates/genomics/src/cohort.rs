@@ -113,6 +113,25 @@ impl Cohort {
         shards
     }
 
+    /// Restricts the study to the SNP columns `[start, start + len)`.
+    ///
+    /// `start` must sit on a 64-SNP word boundary (see
+    /// [`GenotypeMatrix::column_range`]); the sliced cohort is a complete
+    /// study over the narrower panel, so a federation built on it runs
+    /// every phase with local 0-based SNP ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is unaligned or the range exceeds the panel.
+    #[must_use]
+    pub fn column_range(&self, start: usize, len: usize) -> Cohort {
+        Self {
+            panel: self.panel.range(start, len),
+            case: self.case.column_range(start, len),
+            reference: self.reference.column_range(start, len),
+        }
+    }
+
     /// Total number of case individuals.
     #[must_use]
     pub fn case_individuals(&self) -> usize {
@@ -182,6 +201,24 @@ mod tests {
         let shards = cohort.split_case_among(2);
         let rebuilt = shards[0].stack(&shards[1]).unwrap();
         assert_eq!(rebuilt, case);
+    }
+
+    #[test]
+    fn column_range_scopes_panel_and_matrices() {
+        let panel = SnpPanel::synthetic(130);
+        let mut case = GenotypeMatrix::zeroed(3, 130);
+        case.set(1, 64, true);
+        case.set(2, 129, true);
+        let cohort = Cohort::new(panel.clone(), case, GenotypeMatrix::zeroed(2, 130)).unwrap();
+        let shard = cohort.column_range(64, 66);
+        assert_eq!(shard.panel().len(), 66);
+        assert_eq!(
+            shard.panel().get(crate::snp::SnpId(0)),
+            panel.get(crate::snp::SnpId(64))
+        );
+        assert_eq!(shard.case().get(1, 0), 1);
+        assert_eq!(shard.case().get(2, 65), 1);
+        assert_eq!(shard.reference().snps(), 66);
     }
 
     #[test]

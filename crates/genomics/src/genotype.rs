@@ -223,6 +223,44 @@ impl GenotypeMatrix {
         out
     }
 
+    /// Creates a sub-matrix containing columns `[start, start + len)`.
+    ///
+    /// `start` must sit on a 64-SNP word boundary so the packed words can
+    /// be copied verbatim — every surviving bit keeps its in-word
+    /// position, which is what lets sharded columnar kernels reproduce
+    /// the whole-panel arithmetic exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not word-aligned or the range exceeds the
+    /// matrix.
+    #[must_use]
+    pub fn column_range(&self, start: usize, len: usize) -> GenotypeMatrix {
+        assert!(
+            start.is_multiple_of(64),
+            "column range must start on a word boundary"
+        );
+        assert!(start + len <= self.snps, "column range out of bounds");
+        let mut out = Self::zeroed(self.individuals, len);
+        let word_start = start / 64;
+        let words = len.div_ceil(64);
+        let tail_bits = len % 64;
+        let tail_mask = if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        for row in 0..self.individuals {
+            let src = row * self.words_per_row + word_start;
+            let dst = row * out.words_per_row;
+            out.words[dst..dst + words].copy_from_slice(&self.words[src..src + words]);
+            if words > 0 {
+                out.words[dst + words - 1] &= tail_mask;
+            }
+        }
+        out
+    }
+
     /// Vertically stacks `self` on top of `other`.
     ///
     /// # Errors
@@ -340,6 +378,46 @@ mod tests {
         assert_eq!(top.individuals(), 4);
         assert_eq!(bottom.individuals(), 5);
         assert_eq!(top.stack(&bottom).unwrap(), m);
+    }
+
+    #[test]
+    fn column_range_preserves_bits_and_masks_the_tail() {
+        let m = checkerboard(9, 150); // 3 words per row, ragged tail
+        for (start, len) in [(0usize, 64usize), (64, 64), (64, 86), (128, 22), (0, 150)] {
+            let sub = m.column_range(start, len);
+            assert_eq!(sub.snps(), len);
+            assert_eq!(sub.individuals(), 9);
+            for i in 0..9 {
+                for j in 0..len {
+                    assert_eq!(
+                        sub.get(i, j),
+                        m.get(i, start + j),
+                        "({start},{len}) @ {i},{j}"
+                    );
+                }
+            }
+            // The tail word must be clean so popcount kernels see only
+            // in-range bits.
+            let counts = sub.column_counts();
+            let total: u64 = counts.iter().sum();
+            let manual: u64 = (0..9)
+                .map(|i| {
+                    (0..len)
+                        .map(|j| u64::from(m.get(i, start + j)))
+                        .sum::<u64>()
+                })
+                .sum();
+            assert_eq!(total, manual);
+        }
+        let empty = m.column_range(64, 0);
+        assert_eq!(empty.snps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word boundary")]
+    fn column_range_rejects_unaligned_start() {
+        let m = checkerboard(2, 100);
+        let _ = m.column_range(32, 10);
     }
 
     #[test]

@@ -124,6 +124,20 @@ impl SnpPanel {
     pub fn all_ids(&self) -> Vec<SnpId> {
         (0..self.snps.len() as u32).map(SnpId).collect()
     }
+
+    /// The sub-panel covering positions `[start, start + len)`, used to
+    /// scope a cohort to one SNP shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the panel.
+    #[must_use]
+    pub fn range(&self, start: usize, len: usize) -> SnpPanel {
+        assert!(start + len <= self.snps.len(), "panel range out of bounds");
+        Self {
+            snps: self.snps[start..start + len].to_vec(),
+        }
+    }
 }
 
 impl FromIterator<SnpInfo> for SnpPanel {

@@ -34,6 +34,7 @@ use crate::sched::{
     ExecutionContext, JobVerdict, LaneFactory, Limits, ReplySink, Scheduler, SchedulerConfig,
     WorkerPool,
 };
+use crate::shard::{ShardSet, ShardSpec};
 use crate::signals;
 use gendpr_core::config::GwasParams;
 use gendpr_core::error::ProtocolError;
@@ -146,7 +147,7 @@ impl AssessmentService {
         listener: TcpListener,
         config: SchedulerConfig,
     ) -> Result<Self, ServiceError> {
-        Self::start_inner(lanes, None, ledger, cohort, params, listener, config)
+        Self::start_inner(lanes, None, None, ledger, cohort, params, listener, config)
     }
 
     /// Like [`AssessmentService::start_with`], but *supervised*: the
@@ -172,6 +173,7 @@ impl AssessmentService {
         Self::start_inner(
             lanes,
             Some(factory),
+            None,
             ledger,
             cohort,
             params,
@@ -180,9 +182,48 @@ impl AssessmentService {
         )
     }
 
+    /// Like [`AssessmentService::start_supervised`], with SNP sharding:
+    /// each worker gets its own [`ShardSet`] built from `shard` (a plan
+    /// plus a factory for per-shard sub-federations), so a federated
+    /// job's phases 1–2 run once per shard in parallel and merge into
+    /// the primary lane's global LR search. With a plan of one shard
+    /// (or `shard` = `None`) the daemon behaves exactly as
+    /// [`AssessmentService::start_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AssessmentService::start_with`]; additionally
+    /// [`ServiceError::Protocol`] when the plan's panel length differs
+    /// from the cohort, and whatever the shard factory fails with while
+    /// the sets are built eagerly at startup.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_supervised_sharded(
+        lanes: Vec<ServiceFederation>,
+        factory: LaneFactory,
+        shard: Option<ShardSpec>,
+        ledger: ReleaseLedger,
+        cohort: &Cohort,
+        params: GwasParams,
+        listener: TcpListener,
+        config: SchedulerConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::start_inner(
+            lanes,
+            Some(factory),
+            shard,
+            ledger,
+            cohort,
+            params,
+            listener,
+            config,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn start_inner(
         lanes: Vec<ServiceFederation>,
         factory: Option<LaneFactory>,
+        shard: Option<ShardSpec>,
         ledger: ReleaseLedger,
         cohort: &Cohort,
         params: GwasParams,
@@ -210,6 +251,28 @@ impl AssessmentService {
         if config.max_queue == 0 {
             return Err(ProtocolError::InvalidConfig("max-queue must be at least 1").into());
         }
+        if let Some(spec) = &shard {
+            if spec.plan.panel_len() != cohort.case().snps() {
+                return Err(ProtocolError::InvalidConfig(
+                    "shard plan panel length differs from the cohort",
+                )
+                .into());
+            }
+        }
+        // Shard sets are built eagerly — every sub-federation for every
+        // worker elected and attested before the first job — so a bad
+        // shard factory fails the daemon at startup, not mid-job. A
+        // one-shard plan degrades to plain (unsharded) submits.
+        let shard_sets: Vec<Option<ShardSet>> = match &shard {
+            Some(spec) if spec.plan.len() > 1 => {
+                let mut sets = Vec::with_capacity(lanes.len());
+                for _ in 0..lanes.len() {
+                    sets.push(Some(ShardSet::build(spec)?));
+                }
+                sets
+            }
+            _ => (0..lanes.len()).map(|_| None).collect(),
+        };
         let client_addr = listener.local_addr()?;
         let limits = Limits {
             panel_len: first.panel_len() as u64,
@@ -243,7 +306,7 @@ impl AssessmentService {
             case: cohort.case().clone(),
             reference: cohort.reference().clone(),
         });
-        let pool = WorkerPool::spawn_supervised(lanes, factory, &sched, &context)?;
+        let pool = WorkerPool::spawn_sharded(lanes, factory, shard_sets, &sched, &context)?;
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -353,6 +416,16 @@ impl AssessmentService {
     #[doc(hidden)]
     pub fn inject_job_stall(&self, job_id: u64, millis: u64) {
         self.shared.sched.arm_stall(job_id, millis);
+    }
+
+    /// Arms a one-shot shard-crash failpoint: before `job_id` runs shard
+    /// `shard`, that shard lane is torn down. Only the teardown trigger
+    /// is synthetic — the rebuild (a real seeded election + attestation
+    /// of the sub-federation) and the re-run of just that shard are the
+    /// production recovery path under test. A no-op on unsharded daemons.
+    #[doc(hidden)]
+    pub fn inject_shard_crash(&self, job_id: u64, shard: u32) {
+        self.shared.sched.arm_shard_crash(job_id, shard);
     }
 
     /// Test hook: holds dispatch so admission can be driven to the

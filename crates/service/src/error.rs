@@ -51,6 +51,16 @@ pub enum ServiceError {
         /// The last attempt's error, rendered.
         last: String,
     },
+    /// A shard lane failed phases 1–2 even after its per-shard retry
+    /// budget (teardown → seeded rebuild → re-run of just that shard).
+    /// The primary lane and the other shards are untouched, so the job
+    /// is retryable and the daemon keeps serving.
+    ShardFailed {
+        /// Which shard of the plan gave up.
+        shard: u32,
+        /// The final attempt's error, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -69,6 +79,9 @@ impl fmt::Display for ServiceError {
                     f,
                     "job failed after {attempts} attempts; last error: {last}"
                 )
+            }
+            Self::ShardFailed { shard, last } => {
+                write!(f, "shard {shard} failed: {last}")
             }
         }
     }
@@ -101,7 +114,8 @@ impl ServiceError {
             | Self::ShuttingDown
             | Self::InvalidJob(_)
             | Self::JobFailed(_)
-            | Self::Retried { .. } => None,
+            | Self::Retried { .. }
+            | Self::ShardFailed { .. } => None,
         }
     }
 
@@ -117,7 +131,8 @@ impl ServiceError {
             | Self::ShuttingDown
             | Self::InvalidJob(_)
             | Self::JobFailed(_)
-            | Self::Retried { .. } => true,
+            | Self::Retried { .. }
+            | Self::ShardFailed { .. } => true,
             Self::Protocol(_) | Self::Io(_) => false,
         }
     }
@@ -132,7 +147,7 @@ impl ServiceError {
     #[must_use]
     pub fn retryable(&self) -> bool {
         match self {
-            Self::JobPanicked(_) => true,
+            Self::JobPanicked(_) | Self::ShardFailed { .. } => true,
             Self::Protocol(ProtocolError::InvalidConfig(_) | ProtocolError::EmptyStudy) => false,
             Self::Protocol(_) => true,
             Self::Io(_)

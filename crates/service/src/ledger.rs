@@ -19,6 +19,17 @@
 //! incomplete (or whose checksum mismatches), and [`ReleaseLedger::open`]
 //! truncates the file back to the last intact record. The intact prefix
 //! always loads — appends never rewrite earlier bytes.
+//!
+//! # Mirrored durability
+//!
+//! [`ReleaseLedger::open_replicated`] keeps the same log on several
+//! files: every append writes the frame to each of them and succeeds
+//! once a majority of the set acknowledged its fsync. A replica whose
+//! write fails is retired for the rest of the process (so it can only
+//! ever hold a strict *prefix* of the truth, never a divergent
+//! history); at the next open the longest intact prefix across the set
+//! wins and every other file — lagging, torn, or flipped — is healed
+//! by rewriting it to the winner's bytes.
 
 use crate::error::ServiceError;
 use gendpr_core::certificate::AssessmentCertificate;
@@ -248,6 +259,8 @@ impl LedgerRecord {
 pub struct ReleaseLedger {
     file: File,
     path: PathBuf,
+    /// Mirror files; retired (set to `None`) on the first failed write.
+    replicas: Vec<Replica>,
     records: Vec<LedgerRecord>,
     /// Bytes discarded from a torn tail by [`ReleaseLedger::open`].
     recovered: u64,
@@ -255,6 +268,61 @@ pub struct ReleaseLedger {
     /// and `append` so `next_job_id` does not rescan the whole log on
     /// every submit.
     next_id: u64,
+}
+
+/// One mirror of the ledger.
+#[derive(Debug)]
+struct Replica {
+    /// `None` once a write failed: a retired replica stops receiving
+    /// frames (its file stays a strict prefix of the truth) and is
+    /// healed at the next open.
+    file: Option<File>,
+    path: PathBuf,
+}
+
+/// One ledger file's state as found on disk at open.
+struct LoadedFile {
+    file: File,
+    path: PathBuf,
+    bytes: Vec<u8>,
+    records: Vec<LedgerRecord>,
+    /// Length of the intact frame prefix.
+    good: usize,
+}
+
+/// Opens (creating if absent) one ledger file and scans its intact
+/// frame prefix.
+fn load_file(path: &Path) -> Result<LoadedFile, ServiceError> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .append(true)
+        .create(true)
+        .open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut good = 0usize;
+    while let Some(end) = next_frame(&bytes, good) {
+        let body = &bytes[good + 4..end - CHECKSUM_LEN];
+        let claimed = &bytes[end - CHECKSUM_LEN..end];
+        if sha256::digest(body).as_slice() != claimed {
+            break;
+        }
+        match wire::from_bytes::<LedgerRecord>(body) {
+            Ok(record) => {
+                records.push(record);
+                good = end;
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(LoadedFile {
+        file,
+        path: path.to_path_buf(),
+        bytes,
+        records,
+        good,
+    })
 }
 
 impl ReleaseLedger {
@@ -266,40 +334,46 @@ impl ReleaseLedger {
     ///
     /// [`ServiceError::Io`] on filesystem failures.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
-        let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        Self::open_replicated(path, &[])
+    }
 
-        let mut records = Vec::new();
-        let mut good = 0usize;
-        while let Some(end) = next_frame(&bytes, good) {
-            let body = &bytes[good + 4..end - CHECKSUM_LEN];
-            let claimed = &bytes[end - CHECKSUM_LEN..end];
-            if sha256::digest(body).as_slice() != claimed {
-                break;
-            }
-            match wire::from_bytes::<LedgerRecord>(body) {
-                Ok(record) => {
-                    records.push(record);
-                    good = end;
-                }
-                Err(_) => break,
-            }
+    /// Opens the ledger mirrored across `primary` plus `replicas`
+    /// (creating any that are absent): the file with the longest intact
+    /// frame prefix wins, every other file is healed by rewriting it to
+    /// the winner's bytes, and subsequent appends go to all of them
+    /// under a majority-fsync quorum.
+    ///
+    /// On ties the earliest file wins (the primary first), so a set of
+    /// identical files loads exactly like [`ReleaseLedger::open`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on filesystem failures — at open, every
+    /// file must be readable and healable; only at append time may a
+    /// minority of the set fail.
+    pub fn open_replicated(
+        primary: impl AsRef<Path>,
+        replicas: &[PathBuf],
+    ) -> Result<Self, ServiceError> {
+        let mut loaded = vec![load_file(primary.as_ref())?];
+        for path in replicas {
+            loaded.push(load_file(path)?);
         }
-        let recovered = (bytes.len() - good) as u64;
+        let winner = (0..loaded.len())
+            .max_by_key(|&i| (loaded[i].good, std::cmp::Reverse(i)))
+            .expect("at least the primary");
+        let winner_bytes = loaded[winner].bytes[..loaded[winner].good].to_vec();
+        let records = std::mem::take(&mut loaded[winner].records);
+
+        // The primary's own torn tail is accounted the way `open`
+        // always did — recovery must be loud, it is exactly what the
+        // soak harness audits for.
+        let recovered = (loaded[0].bytes.len() - loaded[0].good) as u64;
         if recovered > 0 {
-            // Count what the torn tail held before discarding it: whole
-            // frames that failed their checksum or decode, plus one for
-            // a trailing partial frame. Recovery must be loud — a crash
-            // mid-fsync is exactly what the soak harness audits for.
+            let bytes = &loaded[0].bytes;
             let mut truncated_frames = 0u64;
-            let mut scan = good;
-            while let Some(end) = next_frame(&bytes, scan) {
+            let mut scan = loaded[0].good;
+            while let Some(end) = next_frame(bytes, scan) {
                 truncated_frames += 1;
                 scan = end;
             }
@@ -312,22 +386,56 @@ impl ReleaseLedger {
                 "ledger",
                 "ledger_truncated",
                 &[
-                    ("path", path.display().to_string().as_str().into()),
+                    ("path", loaded[0].path.display().to_string().as_str().into()),
                     ("bytes", recovered.into()),
                     ("frames", truncated_frames.into()),
-                    ("records_kept", records.len().into()),
+                    ("records_kept", loaded[0].records.len().into()),
                 ],
             );
-            file.set_len(good as u64)?;
-            file.sync_data()?;
-            crate::telemetry::ledger_fsyncs().inc();
         }
-        file.seek(SeekFrom::End(0))?;
+
+        // Heal: every file whose content is not exactly the winning
+        // prefix is rewritten to it. (A crash mid-heal leaves that file
+        // with some prefix of the winner's bytes — the next open still
+        // finds the full prefix on the quorum that acknowledged it.)
+        for (i, state) in loaded.iter_mut().enumerate() {
+            if state.bytes == winner_bytes {
+                state.file.seek(SeekFrom::End(0))?;
+                continue;
+            }
+            state.file.set_len(0)?;
+            state.file.write_all(&winner_bytes)?;
+            state.file.sync_data()?;
+            crate::telemetry::ledger_fsyncs().inc();
+            if i != winner {
+                crate::telemetry::ledger_replica_heals().inc();
+                event(
+                    Level::Warn,
+                    "ledger",
+                    "ledger_replica_healed",
+                    &[
+                        ("path", state.path.display().to_string().as_str().into()),
+                        ("had_bytes", (state.bytes.len() as u64).into()),
+                        ("now_bytes", (winner_bytes.len() as u64).into()),
+                    ],
+                );
+            }
+        }
+
+        let mut loaded = loaded.into_iter();
+        let first = loaded.next().expect("at least the primary");
+        let replicas = loaded
+            .map(|state| Replica {
+                file: Some(state.file),
+                path: state.path,
+            })
+            .collect();
         let next_id = records.iter().map(|r| r.job_id).max().unwrap_or(0) + 1;
         crate::telemetry::ledger_records().set(records.len() as i64);
         Ok(Self {
-            file,
-            path,
+            file: first.file,
+            path: first.path,
+            replicas,
             records,
             recovered,
             next_id,
@@ -335,11 +443,18 @@ impl ReleaseLedger {
     }
 
     /// Appends one record durably (flushed and fsynced before returning).
+    /// With replicas the frame goes to every live mirror and the append
+    /// succeeds once a majority of the whole set (primary included)
+    /// acknowledged its fsync; a replica whose write fails is retired
+    /// until the next open heals it.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Io`] on write failures; the in-memory view is only
-    /// extended after the bytes are synced.
+    /// [`ServiceError::Io`] when the primary write fails or the quorum
+    /// is lost; the in-memory view is only extended after the quorum
+    /// holds. (A quorum-lost append may still have reached some files —
+    /// exactly like a crash after fsync, the record can resurface at
+    /// the next open.)
     pub fn append(&mut self, record: LedgerRecord) -> Result<(), ServiceError> {
         let body = wire::to_bytes(&record);
         assert!(
@@ -352,8 +467,9 @@ impl ReleaseLedger {
         frame.extend_from_slice(&sha256::digest(&body));
         // Soak-harness kill points cover the three crash windows
         // recovery must handle: mid-write (a genuinely torn frame on
-        // disk), post-write pre-fsync, and right after durability (a
-        // committed frame whose response was never delivered).
+        // disk), post-write pre-fsync (the primary ahead of every
+        // replica), and right after durability (a committed frame whose
+        // response was never delivered).
         let split = frame.len() / 2;
         self.file.write_all(&frame[..split])?;
         gendpr_fednet::killpoint::hit("ledger_tear");
@@ -361,7 +477,44 @@ impl ReleaseLedger {
         self.file.flush()?;
         gendpr_fednet::killpoint::hit("ledger_append");
         self.file.sync_data()?;
+        let mut acks = 1usize; // the primary's fsync
+        for replica in &mut self.replicas {
+            let Some(file) = replica.file.as_mut() else {
+                continue;
+            };
+            let written = file
+                .write_all(&frame)
+                .and_then(|()| file.flush())
+                .and_then(|()| file.sync_data());
+            match written {
+                Ok(()) => acks += 1,
+                Err(e) => {
+                    // Retired: one missing frame must never be followed
+                    // by later ones, or the mirror would hold a valid-
+                    // looking history that skips a record.
+                    replica.file = None;
+                    crate::telemetry::ledger_replica_write_failures().inc();
+                    event(
+                        Level::Warn,
+                        "ledger",
+                        "ledger_replica_retired",
+                        &[
+                            ("path", replica.path.display().to_string().as_str().into()),
+                            ("error", e.to_string().as_str().into()),
+                        ],
+                    );
+                }
+            }
+        }
         gendpr_fednet::killpoint::hit("ledger_commit");
+        let quorum = self.replicas.len().div_ceil(2) + 1;
+        if acks < quorum {
+            return Err(std::io::Error::other(format!(
+                "ledger quorum lost: {acks} of {} copies acknowledged (need {quorum})",
+                1 + self.replicas.len()
+            ))
+            .into());
+        }
         crate::telemetry::ledger_appends().inc();
         crate::telemetry::ledger_fsyncs().inc();
         self.next_id = self.next_id.max(record.job_id + 1);
@@ -398,6 +551,19 @@ impl ReleaseLedger {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Paths of the mirror files (empty without replication).
+    #[must_use]
+    pub fn replica_paths(&self) -> Vec<&Path> {
+        self.replicas.iter().map(|r| r.path.as_path()).collect()
+    }
+
+    /// Mirrors still receiving appends (a failed write retires one
+    /// until the next open heals it).
+    #[must_use]
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.file.is_some()).count()
     }
 
     /// The next job id: one past the highest ever recorded, starting at 1
@@ -530,6 +696,54 @@ mod tests {
         ledger.append(sample(2)).unwrap();
         drop(ledger);
         assert_eq!(ReleaseLedger::open(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn replicated_appends_mirror_byte_identically() {
+        let primary = tmp("repl-primary");
+        let mirrors = vec![tmp("repl-a"), tmp("repl-b")];
+        for p in std::iter::once(&primary).chain(&mirrors) {
+            let _ = std::fs::remove_file(p);
+        }
+        {
+            let mut ledger = ReleaseLedger::open_replicated(&primary, &mirrors).unwrap();
+            assert_eq!(ledger.live_replicas(), 2);
+            ledger.append(sample(1)).unwrap();
+            ledger.append(sample(2)).unwrap();
+        }
+        let truth = std::fs::read(&primary).unwrap();
+        assert!(!truth.is_empty());
+        for mirror in &mirrors {
+            assert_eq!(std::fs::read(mirror).unwrap(), truth);
+        }
+    }
+
+    #[test]
+    fn open_heals_every_copy_to_the_longest_intact_prefix() {
+        let primary = tmp("heal-primary");
+        let mirrors = vec![tmp("heal-a"), tmp("heal-b")];
+        for p in std::iter::once(&primary).chain(&mirrors) {
+            let _ = std::fs::remove_file(p);
+        }
+        {
+            let mut ledger = ReleaseLedger::open_replicated(&primary, &mirrors).unwrap();
+            ledger.append(sample(1)).unwrap();
+            ledger.append(sample(2)).unwrap();
+            ledger.append(sample(3)).unwrap();
+        }
+        let truth = std::fs::read(&primary).unwrap();
+        // Crash aftermath: the primary torn mid-frame, one mirror a
+        // record behind, one intact. The intact mirror must win and
+        // every copy come back byte-identical to it.
+        std::fs::write(&primary, &truth[..truth.len() - 9]).unwrap();
+        std::fs::write(&mirrors[0], &truth[..truth.len() / 3]).unwrap();
+        let ledger = ReleaseLedger::open_replicated(&primary, &mirrors).unwrap();
+        assert_eq!(ledger.len(), 3, "the intact mirror's full history wins");
+        assert_eq!(ledger.records()[2], sample(3));
+        drop(ledger);
+        for p in std::iter::once(&primary).chain(&mirrors) {
+            assert_eq!(std::fs::read(p).unwrap(), truth);
+        }
     }
 
     #[test]

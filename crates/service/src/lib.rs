@@ -18,6 +18,9 @@
 //!   accept loop, graceful signal shutdown,
 //! * [`sched`] — the scheduler underneath it: queue, admission,
 //!   dispatch-ordered ledger commits, worker lanes,
+//! * [`shard`] — SNP-sharded assessment: the panel partitioned across
+//!   parallel sub-federations (phases 1–2 per shard, merged
+//!   byte-identically into the global LR search),
 //! * [`protocol`] — the length-prefixed client request/response codec
 //!   (`submit` / `status` / `results` / shutdown),
 //! * [`client`] — the client used by the `gendpr submit`, `status` and
@@ -31,6 +34,7 @@ pub mod error;
 pub mod ledger;
 pub mod protocol;
 pub mod sched;
+pub mod shard;
 pub mod signals;
 pub mod telemetry;
 
@@ -40,3 +44,4 @@ pub use error::ServiceError;
 pub use ledger::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger, WireCertificate};
 pub use protocol::{ClientRequest, ClientResponse, QueuedJobStatus, RejectReason, ServiceStatus};
 pub use sched::SchedulerConfig;
+pub use shard::{ShardLaneFactory, ShardPlan, ShardRange, ShardSet, ShardSpec};

@@ -106,6 +106,9 @@ pub(crate) struct SchedCore {
     /// Crash-test failpoint: `(job_id, millis)` pairs armed to stall
     /// execution, for exercising the hard drain timeout.
     stall_jobs: Vec<(u64, u64)>,
+    /// Crash-test failpoint: `(job_id, shard)` pairs armed to tear the
+    /// named shard lane down before its first attempt of that job.
+    shard_crash_jobs: Vec<(u64, u32)>,
 }
 
 /// The shared scheduler: admission in, dispatch out, commits serialized.
@@ -140,6 +143,7 @@ impl Scheduler {
             lane_crash_jobs: Vec::new(),
             lane_crash_every: None,
             stall_jobs: Vec::new(),
+            shard_crash_jobs: Vec::new(),
         };
         Self {
             limits,
@@ -493,6 +497,29 @@ impl Scheduler {
     /// before running, for exercising the hard drain timeout.
     pub(crate) fn arm_stall(&self, job_id: u64, millis: u64) {
         self.lock().stall_jobs.push((job_id, millis));
+    }
+
+    /// Arms a one-shot shard-crash failpoint: before `job_id`'s first
+    /// attempt touches shard `shard`, that lane is torn down — the
+    /// per-shard recovery path (rebuild + re-run of just that shard) is
+    /// the production code under test.
+    pub(crate) fn arm_shard_crash(&self, job_id: u64, shard: u32) {
+        self.lock().shard_crash_jobs.push((job_id, shard));
+    }
+
+    /// Takes (consumes) every shard-crash trigger armed for `job_id`.
+    pub(crate) fn take_shard_crashes(&self, job_id: u64) -> Vec<u32> {
+        let mut core = self.lock();
+        let mut shards = Vec::new();
+        core.shard_crash_jobs.retain(|&(j, s)| {
+            if j == job_id {
+                shards.push(s);
+                false
+            } else {
+                true
+            }
+        });
+        shards
     }
 
     /// The armed stall for `job_id`, if any (not consumed: a requeued

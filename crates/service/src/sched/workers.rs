@@ -29,6 +29,7 @@
 use super::dispatch::{Dispatch, DispatchedJob, Scheduler};
 use crate::error::ServiceError;
 use crate::ledger::{JobKind, LedgerRecord};
+use crate::shard::ShardSet;
 use crate::telemetry;
 use gendpr_core::attack::{MembershipAttacker, ReleasedStatistics};
 use gendpr_core::config::GwasParams;
@@ -99,16 +100,44 @@ impl WorkerPool {
         scheduler: &Arc<Scheduler>,
         context: &Arc<ExecutionContext>,
     ) -> io::Result<Self> {
+        let none = (0..lanes.len()).map(|_| None).collect();
+        Self::spawn_sharded(lanes, factory, none, scheduler, context)
+    }
+
+    /// Like [`WorkerPool::spawn_supervised`], with a pre-built
+    /// [`ShardSet`] per worker: a worker with one runs its federated
+    /// jobs sharded (phases 1–2 fanned across the set's sub-federation
+    /// lanes, merged on the primary lane), a worker without one runs
+    /// them whole. Shard-lane crashes recover *inside* the set; the
+    /// primary lane's supervision is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when a worker thread cannot be spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_sets` is not one entry per lane.
+    pub fn spawn_sharded(
+        lanes: Vec<ServiceFederation>,
+        factory: Option<LaneFactory>,
+        shard_sets: Vec<Option<ShardSet>>,
+        scheduler: &Arc<Scheduler>,
+        context: &Arc<ExecutionContext>,
+    ) -> io::Result<Self> {
+        assert_eq!(lanes.len(), shard_sets.len(), "one shard set slot per lane");
         scheduler.set_supervised(factory.is_some());
         let mut handles = Vec::with_capacity(lanes.len());
-        for (worker, lane) in lanes.into_iter().enumerate() {
+        for (worker, (lane, shard_set)) in lanes.into_iter().zip(shard_sets).enumerate() {
             let scheduler = Arc::clone(scheduler);
             let context = Arc::clone(context);
             let factory = factory.clone();
             handles.push(
                 thread::Builder::new()
                     .name(format!("gendpr-worker-{worker}"))
-                    .spawn(move || worker_loop(worker, lane, factory, &scheduler, &context))?,
+                    .spawn(move || {
+                        worker_loop(worker, lane, factory, shard_set, &scheduler, &context);
+                    })?,
             );
         }
         Ok(Self { handles })
@@ -149,6 +178,7 @@ fn worker_loop(
     worker: usize,
     lane: ServiceFederation,
     factory: Option<LaneFactory>,
+    mut shard_set: Option<ShardSet>,
     scheduler: &Arc<Scheduler>,
     context: &Arc<ExecutionContext>,
 ) {
@@ -162,7 +192,7 @@ fn worker_loop(
             Dispatch::Job(job) => {
                 let Some(session) = lane.as_mut() else { break };
                 let started = Instant::now();
-                let result = run_job_caught(session, context, scheduler, &job);
+                let result = run_job_caught(session, shard_set.as_mut(), context, scheduler, &job);
                 busy.observe_duration(started.elapsed());
                 let lane_died = matches!(&result, Err(error) if !error.lane_survives());
                 // Commit first: supervised, this re-queues the job (or
@@ -267,24 +297,27 @@ fn rebuild_lane(
 /// the worker loop and leaving its dispatch sequence uncommitted.
 fn run_job_caught(
     lane: &mut ServiceFederation,
+    shard_set: Option<&mut ShardSet>,
     context: &ExecutionContext,
     scheduler: &Scheduler,
     job: &DispatchedJob,
 ) -> Result<LedgerRecord, ServiceError> {
-    catch_unwind(AssertUnwindSafe(|| run_job(lane, context, scheduler, job))).unwrap_or_else(
-        |payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(ServiceError::JobPanicked(message))
-        },
-    )
+    catch_unwind(AssertUnwindSafe(|| {
+        run_job(lane, shard_set, context, scheduler, job)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(ServiceError::JobPanicked(message))
+    })
 }
 
 fn run_job(
     lane: &mut ServiceFederation,
+    shard_set: Option<&mut ShardSet>,
     context: &ExecutionContext,
     scheduler: &Scheduler,
     job: &DispatchedJob,
@@ -311,7 +344,14 @@ fn run_job(
             panel: job.panel.iter().copied().map(SnpId).collect(),
             forced: job.forced.clone(),
         };
-        let outcome = lane.submit(&spec)?;
+        let outcome = match shard_set {
+            Some(set) => {
+                let crashes = scheduler.take_shard_crashes(job.job_id);
+                telemetry::shard_jobs().inc();
+                set.run_job(lane, &spec, &crashes)?
+            }
+            None => lane.submit(&spec)?,
+        };
         Ok(LedgerRecord::from_outcome(&spec, &outcome))
     } else {
         run_dynamic_job(context, job)

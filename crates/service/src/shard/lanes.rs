@@ -1,0 +1,211 @@
+//! Shard lane sets: one attested sub-federation per shard, run in
+//! parallel, supervised per shard.
+//!
+//! A [`ShardSet`] owns `S` [`ServiceFederation`] sessions, each over a
+//! [`Cohort::column_range`] slice of the study. For every job it fans
+//! the per-shard sub-jobs out on scoped threads, retries a crashed
+//! shard lane in place (teardown → seeded rebuild → re-submit, touching
+//! *only* that shard), and hands the collected outputs to the primary
+//! lane's merging [`ServiceFederation::submit_sharded`]. A shard that
+//! exhausts its per-shard budget surfaces as
+//! [`ServiceError::ShardFailed`] — retryable and primary-lane-safe, so
+//! the scheduler's outer supervision re-queues the whole job without
+//! tearing anything else down.
+//!
+//! [`Cohort::column_range`]: gendpr_genomics::cohort::Cohort::column_range
+
+use super::merge::{merge_outputs, shard_jobs};
+use super::plan::{ShardPlan, ShardRange};
+use crate::error::ServiceError;
+use crate::telemetry;
+use gendpr_core::error::ProtocolError;
+use gendpr_core::serving::{JobOutcome, JobSpec, ServiceFederation, ShardJobSpec, ShardPhases};
+use gendpr_obs::{event, Level};
+use std::sync::Arc;
+
+/// Builds one shard lane: a fresh, attested [`ServiceFederation`] over
+/// the cohort slice `range` describes, with the same federation config
+/// and seed as every other lane.
+pub type ShardLaneFactory =
+    Arc<dyn Fn(usize, ShardRange) -> Result<ServiceFederation, ServiceError> + Send + Sync>;
+
+/// Everything needed to build (and rebuild) a worker's shard lanes.
+#[derive(Clone)]
+pub struct ShardSpec {
+    /// How the panel is partitioned.
+    pub plan: ShardPlan,
+    /// Builds the lane for one shard.
+    pub factory: ShardLaneFactory,
+    /// Per-shard retry budget: a shard lane that crashes is rebuilt and
+    /// its sub-job re-run up to this many extra times before the whole
+    /// job fails with [`ServiceError::ShardFailed`].
+    pub max_retries: u32,
+}
+
+/// One worker's shard lanes, kept warm across jobs like the primary.
+pub struct ShardSet {
+    plan: ShardPlan,
+    lanes: Vec<Option<ServiceFederation>>,
+    factory: ShardLaneFactory,
+    max_retries: u32,
+}
+
+impl ShardSet {
+    /// Builds every shard lane eagerly (one election + attestation per
+    /// shard), so a misconfigured factory fails the daemon at startup
+    /// rather than on the first job.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the factory fails with.
+    pub fn build(spec: &ShardSpec) -> Result<Self, ServiceError> {
+        let mut lanes = Vec::with_capacity(spec.plan.len());
+        for (i, range) in spec.plan.ranges().iter().enumerate() {
+            lanes.push(Some((spec.factory)(i, *range)?));
+        }
+        Ok(Self {
+            plan: spec.plan.clone(),
+            lanes,
+            factory: Arc::clone(&spec.factory),
+            max_retries: spec.max_retries,
+        })
+    }
+
+    /// How the panel is partitioned.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Runs one job sharded: phases 1–2 on every shard lane in
+    /// parallel, then the byte-identity-checked merge and the global LR
+    /// search on `primary`. `crash_shards` names shards whose lane is
+    /// torn down before their first attempt (crash-drill failpoint) —
+    /// the production per-shard recovery path then rebuilds and re-runs
+    /// exactly that shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShardFailed`] when a shard exhausts its retry
+    /// budget (the primary lane is untouched), or whatever the merging
+    /// submit on `primary` fails with.
+    pub fn run_job(
+        &mut self,
+        primary: &mut ServiceFederation,
+        spec: &JobSpec,
+        crash_shards: &[u32],
+    ) -> Result<JobOutcome, ServiceError> {
+        if self.plan.len() <= 1 {
+            return primary.submit(spec).map_err(Into::into);
+        }
+        let jobs = shard_jobs(&self.plan, spec);
+        let ranges: Vec<ShardRange> = self.plan.ranges().to_vec();
+        let factory = &self.factory;
+        let max_retries = self.max_retries;
+        let results: Vec<Result<ShardPhases, ServiceError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .zip(&jobs)
+                .map(|((i, slot), job)| {
+                    let range = ranges[i];
+                    let crash = crash_shards.contains(&(i as u32));
+                    s.spawn(move || {
+                        run_shard_lane(i, range, slot, job, factory, max_retries, crash)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ServiceError::JobPanicked(
+                            "shard lane thread panicked".to_string(),
+                        ))
+                    })
+                })
+                .collect()
+        });
+        let mut phases = Vec::with_capacity(results.len());
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(p) => phases.push(p),
+                Err(error) => {
+                    return Err(ServiceError::ShardFailed {
+                        shard: i as u32,
+                        last: error.to_string(),
+                    })
+                }
+            }
+        }
+        primary
+            .submit_sharded(spec, merge_outputs(&self.plan, phases))
+            .map_err(Into::into)
+    }
+}
+
+/// One shard's dispatch: run the sub-job, rebuilding the lane (a real
+/// seeded election + attestation over the same cohort slice) after each
+/// crash, up to `max_retries` extra attempts.
+fn run_shard_lane(
+    shard: usize,
+    range: ShardRange,
+    slot: &mut Option<ServiceFederation>,
+    job: &ShardJobSpec,
+    factory: &ShardLaneFactory,
+    max_retries: u32,
+    crash: bool,
+) -> Result<ShardPhases, ServiceError> {
+    if crash {
+        // A synthetic shard-lane death before the first attempt: only
+        // the teardown trigger is injected — the rebuild and re-run
+        // below are the production recovery path under test.
+        if let Some(dead) = slot.take() {
+            let _ = dead.shutdown();
+        }
+        telemetry::shard_lane_crashes().inc();
+        event(
+            Level::Warn,
+            "service",
+            "shard_lane_crashed",
+            &[("shard", shard.into()), ("job_id", job.job_id.into())],
+        );
+    }
+    let mut last: Option<ServiceError> = None;
+    for _ in 0..=max_retries {
+        if slot.is_none() {
+            match factory(shard, range) {
+                Ok(fresh) => {
+                    telemetry::shard_lane_rebuilds().inc();
+                    event(
+                        Level::Info,
+                        "service",
+                        "shard_lane_rebuilt",
+                        &[("shard", shard.into())],
+                    );
+                    *slot = Some(fresh);
+                }
+                Err(error) => {
+                    last = Some(error);
+                    continue;
+                }
+            }
+        }
+        let lane = slot.as_mut().expect("shard lane present");
+        match lane.submit_shard(job) {
+            Ok(phases) => return Ok(phases),
+            Err(error) => {
+                // The session is dead or poisoned; close what is left
+                // and retry on a rebuilt lane.
+                if let Some(dead) = slot.take() {
+                    let _ = dead.shutdown();
+                }
+                telemetry::shard_lane_crashes().inc();
+                last = Some(error.into());
+            }
+        }
+    }
+    Err(last
+        .unwrap_or_else(|| ProtocolError::InvalidConfig("shard lane failed with no error").into()))
+}

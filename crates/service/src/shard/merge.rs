@@ -1,0 +1,96 @@
+//! Splitting a job across shards and reassembling the outputs.
+//!
+//! The split is pure id arithmetic: a shard's sub-job is the global
+//! panel (and forced prefix) intersected with the shard's range, shifted
+//! to the lane's local 0-based ids. The reassembly tags each lane's
+//! phases with its range start so the merging leader can translate
+//! local ids back (`global = local + start`) — the actual cross-checks
+//! (Phase 1 equality, scan replay) live in
+//! [`gendpr_core::serving::ServiceFederation::submit_sharded`].
+
+use super::plan::ShardPlan;
+use gendpr_core::serving::{JobSpec, ShardJobSpec, ShardOutput, ShardPhases};
+use gendpr_genomics::snp::SnpId;
+
+/// The per-shard sub-jobs of `spec` under `plan`, in shard order.
+///
+/// A shard whose range misses the panel gets an empty sub-job — it still
+/// runs (trivially) so every lane ratchets its channels in lockstep.
+#[must_use]
+pub fn shard_jobs(plan: &ShardPlan, spec: &JobSpec) -> Vec<ShardJobSpec> {
+    plan.ranges()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| ShardJobSpec {
+            job_id: spec.job_id,
+            shard: i as u32,
+            panel: localize(&spec.panel, r.start, r.len),
+            forced: localize(&spec.forced, r.start, r.len),
+        })
+        .collect()
+}
+
+/// Tags each lane's phases with its range start, in shard order.
+#[must_use]
+pub fn merge_outputs(plan: &ShardPlan, phases: Vec<ShardPhases>) -> Vec<ShardOutput> {
+    plan.ranges()
+        .iter()
+        .zip(phases)
+        .map(|(r, p)| ShardOutput {
+            start: r.start,
+            phases: p,
+        })
+        .collect()
+}
+
+fn localize(snps: &[SnpId], start: u32, len: u32) -> Vec<SnpId> {
+    snps.iter()
+        .filter(|s| s.0 >= start && s.0 - start < len)
+        .map(|s| SnpId(s.0 - start))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_localizes_and_partitions_the_spec() {
+        let plan = ShardPlan::new(192, 3);
+        let spec = JobSpec {
+            job_id: 7,
+            panel: vec![SnpId(0), SnpId(63), SnpId(64), SnpId(130), SnpId(191)],
+            forced: vec![SnpId(64), SnpId(128)],
+        };
+        let jobs = shard_jobs(&plan, &spec);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].panel, vec![SnpId(0), SnpId(63)]);
+        assert!(jobs[0].forced.is_empty());
+        assert_eq!(jobs[1].panel, vec![SnpId(0)]);
+        assert_eq!(jobs[1].forced, vec![SnpId(0)]);
+        assert_eq!(jobs[2].panel, vec![SnpId(2), SnpId(63)]);
+        assert_eq!(jobs[2].forced, vec![SnpId(0)]);
+        // Every panel SNP lands in exactly one shard.
+        let total: usize = jobs.iter().map(|j| j.panel.len()).sum();
+        assert_eq!(total, spec.panel.len());
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.job_id, 7);
+            assert_eq!(job.shard, i as u32);
+        }
+    }
+
+    #[test]
+    fn merge_tags_phases_with_range_starts() {
+        let plan = ShardPlan::new(192, 3);
+        let phases = vec![
+            ShardPhases {
+                l_prime: vec![SnpId(1)],
+                scans: Vec::new(),
+            };
+            3
+        ];
+        let outputs = merge_outputs(&plan, phases);
+        let starts: Vec<u32> = outputs.iter().map(|o| o.start).collect();
+        assert_eq!(starts, vec![0, 64, 128]);
+    }
+}

@@ -1,0 +1,40 @@
+//! SNP-sharded assessment: partition the panel across sub-federations
+//! and merge byte-identically.
+//!
+//! Phases 1–2 of the protocol (MAF filtering and the adjacent-pair LD
+//! scan) are *per-SNP-range local*: allele counts and pair moments are
+//! integer sums over the genotype bits of the SNPs involved, so a
+//! federation over a word-aligned column slice of the cohort computes
+//! exactly the values the full federation would for those SNPs. Phase 3
+//! (the seeded LR intersection search) is not — the adversary's power
+//! budget couples every released column — so it must run once, globally.
+//!
+//! The subsystem exploits that split:
+//!
+//! * [`plan`] — [`ShardPlan`]: the panel as `S` contiguous ranges
+//!   aligned to 64-SNP word boundaries (degrading to one shard when the
+//!   panel is too small to give every shard a full word),
+//! * [`merge`] — pure id arithmetic splitting a job into per-shard
+//!   sub-jobs and tagging the outputs for the merging leader,
+//! * [`lanes`] — [`ShardSet`]: one attested sub-federation per shard,
+//!   run in parallel on scoped threads with per-shard crash recovery
+//!   (a dead shard lane is rebuilt and re-runs *only its shard*).
+//!
+//! The merge itself lives in the core session
+//! ([`ServiceFederation::submit_sharded`]): the leader recomputes
+//! Phase 1 from its session-cached MAF outcomes and asserts it equals
+//! the concatenated shard results, replays the LD scans against the
+//! shards' moment logs (live oracle only for shard-boundary pairs), and
+//! runs the global LR search unchanged — so for every plan, transport
+//! and restart, a sharded run's releases and certificates are
+//! byte-identical to `--shards 1`.
+//!
+//! [`ServiceFederation::submit_sharded`]: gendpr_core::serving::ServiceFederation::submit_sharded
+
+pub mod lanes;
+pub mod merge;
+pub mod plan;
+
+pub use lanes::{ShardLaneFactory, ShardSet, ShardSpec};
+pub use merge::{merge_outputs, shard_jobs};
+pub use plan::{ShardPlan, ShardRange};

@@ -1,0 +1,138 @@
+//! Panel partitioning: contiguous, word-aligned SNP ranges.
+//!
+//! A shard plan splits the study's `L`-SNP panel into `S` contiguous
+//! ranges whose starts sit on 64-SNP word boundaries, so a shard lane's
+//! [`gendpr_genomics::cohort::Cohort::column_range`] slice is a pure
+//! word copy and every per-SNP integer count is bit-identical to the
+//! full cohort's. Ranges cover the panel exactly once, in order.
+
+/// One contiguous SNP range of a [`ShardPlan`], in global panel ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First SNP of the range (a multiple of 64).
+    pub start: u32,
+    /// SNPs in the range (> 0; only the last range may be a partial word).
+    pub len: u32,
+}
+
+impl ShardRange {
+    /// Whether global SNP id `snp` falls in this range.
+    #[must_use]
+    pub fn contains(&self, snp: u32) -> bool {
+        snp >= self.start && snp - self.start < self.len
+    }
+}
+
+/// A partition of the panel into word-aligned shards.
+///
+/// Construction degrades to a single shard whenever the requested count
+/// cannot give every shard at least one full 64-SNP word — tiny panels
+/// run exactly like `--shards 1` instead of spawning degenerate lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    panel_len: usize,
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardPlan {
+    /// Plans `shards` ranges over a `panel_len`-SNP panel.
+    ///
+    /// The panel's `ceil(panel_len / 64)` words are distributed as evenly
+    /// as possible (the first `words % shards` ranges get one extra
+    /// word). Requests with `shards <= 1` or `shards > panel_len / 64`
+    /// degrade to one shard covering everything.
+    #[must_use]
+    pub fn new(panel_len: usize, shards: u32) -> Self {
+        let shards = shards as usize;
+        let effective = if shards <= 1 || panel_len == 0 || shards > panel_len / 64 {
+            1
+        } else {
+            shards
+        };
+        let words = panel_len.div_ceil(64).max(1);
+        let base = words / effective;
+        let extra = words % effective;
+        let mut ranges = Vec::with_capacity(effective);
+        let mut word = 0usize;
+        for i in 0..effective {
+            let w = base + usize::from(i < extra);
+            let start = word * 64;
+            let end = ((word + w) * 64).min(panel_len);
+            ranges.push(ShardRange {
+                start: start as u32,
+                len: (end - start) as u32,
+            });
+            word += w;
+        }
+        Self { panel_len, ranges }
+    }
+
+    /// The panel width this plan partitions.
+    #[must_use]
+    pub fn panel_len(&self) -> usize {
+        self.panel_len
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// A plan always has at least one range.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The ranges, ordered by `start`.
+    #[must_use]
+    pub fn ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_covers_everything() {
+        for panel_len in [1usize, 63, 64, 100, 448] {
+            let plan = ShardPlan::new(panel_len, 1);
+            assert_eq!(plan.len(), 1);
+            assert_eq!(
+                plan.ranges()[0],
+                ShardRange {
+                    start: 0,
+                    len: panel_len as u32
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn small_panels_degrade_to_one_shard() {
+        // 96 SNPs = 1 full word: 2 shards would leave one empty.
+        assert_eq!(ShardPlan::new(96, 2).len(), 1);
+        assert_eq!(ShardPlan::new(0, 4).len(), 1);
+        // 448 SNPs = 7 words: 8 shards degrade, 7 do not.
+        assert_eq!(ShardPlan::new(448, 8).len(), 1);
+        assert_eq!(ShardPlan::new(448, 7).len(), 7);
+    }
+
+    #[test]
+    fn ranges_partition_the_panel_word_aligned() {
+        for (panel_len, shards) in [(448usize, 2u32), (448, 4), (448, 7), (1000, 3), (129, 2)] {
+            let plan = ShardPlan::new(panel_len, shards);
+            let mut next = 0u32;
+            for r in plan.ranges() {
+                assert_eq!(r.start, next, "gap/overlap at {panel_len}x{shards}");
+                assert_eq!(r.start % 64, 0, "unaligned at {panel_len}x{shards}");
+                assert!(r.len > 0, "empty shard at {panel_len}x{shards}");
+                next = r.start + r.len;
+            }
+            assert_eq!(next as usize, panel_len);
+        }
+    }
+}

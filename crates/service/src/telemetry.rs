@@ -223,6 +223,67 @@ pub fn ledger_truncated_frames() -> &'static obs::Counter {
     })
 }
 
+/// Jobs executed through a shard plan (phases 1–2 fanned out, merged).
+pub fn shard_jobs() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_shard_jobs_total",
+            "Jobs executed across shard lanes and merged",
+            &[],
+        )
+    })
+}
+
+/// Shard lanes lost to a crash (real or injected).
+pub fn shard_lane_crashes() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_shard_lane_crashes_total",
+            "Shard lanes lost to a lane-fatal error",
+            &[],
+        )
+    })
+}
+
+/// Replacement shard lanes built (re-elected, re-attested) in place.
+pub fn shard_lane_rebuilds() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_shard_lane_rebuilds_total",
+            "Replacement shard lanes built after a crash",
+            &[],
+        )
+    })
+}
+
+/// Ledger replicas healed at open (truncated or rewritten to the
+/// longest intact prefix found across the set).
+pub fn ledger_replica_heals() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_ledger_replica_heals_total",
+            "Ledger replicas rewritten to the winning prefix at open",
+            &[],
+        )
+    })
+}
+
+/// Replica appends that failed (the quorum may still have held).
+pub fn ledger_replica_write_failures() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_ledger_replica_write_failures_total",
+            "Ledger replica appends that failed",
+            &[],
+        )
+    })
+}
+
 /// Per-worker execution time, one observation per job; the series' `_sum`
 /// is the worker lane's cumulative busy time.
 pub fn sched_worker_busy_seconds(worker: usize) -> obs::Histogram {
@@ -261,6 +322,11 @@ pub fn register_service_metrics() {
     sched_lane_rebuilds();
     sched_drain_timeouts();
     ledger_truncated_frames();
+    shard_jobs();
+    shard_lane_crashes();
+    shard_lane_rebuilds();
+    ledger_replica_heals();
+    ledger_replica_write_failures();
     gendpr_obs::process::sample();
     gendpr_core::telemetry::register_protocol_metrics();
     gendpr_fednet::telemetry::register_transport_metrics();

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Kernel performance report: builds the release binaries and runs the
 # pooled LD-moment and LR-subset-search before/after comparisons, a full
-# protocol phase breakdown, and the chromosome-scale workloads (100k-SNP
-# full run, 1M-SNP LR-only sweep), writing machine-readable
-# BENCH_phases.json. Every before/after pair is checksum-gated: the run
-# aborts if a reworked kernel changes a result.
+# protocol phase breakdown, the chromosome-scale workloads (100k-SNP
+# full run, 1M-SNP LR-only sweep) and the SNP-shard sweep (phase 1-2
+# kernels split across --shards sub-panels at the 100k-SNP width, merged
+# by coordinate translation), writing machine-readable BENCH_phases.json.
+# Every before/after pair — including every shard count — is
+# checksum-gated: the run aborts if a reworked kernel changes a result.
 #
-# Usage: scripts/bench.sh [--scale F] [--out PATH]
-#   --scale F   workload fraction of the paper's 14,860 x 10,000 Table 5
-#               setting (default 1.0; CI uses a reduced scale)
-#   --out PATH  output path (default BENCH_phases.json in the repo root)
+# Usage: scripts/bench.sh [--scale F] [--out PATH] [--shards S,...]
+#   --scale F      workload fraction of the paper's 14,860 x 10,000 Table 5
+#                  setting (default 1.0; CI uses a reduced scale)
+#   --out PATH     output path (default BENCH_phases.json in the repo root)
+#   --shards S,... shard counts for the sharded phase 1-2 sweep
+#                  (default 1,2,4,8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

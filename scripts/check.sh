@@ -24,9 +24,13 @@ trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
 scripts/bench.sh --scale 0.02 --out "$BENCH_SMOKE_OUT" >/dev/null
 grep -q '"selection_identical": true' "$BENCH_SMOKE_OUT"
 grep -q '"release_identical": true' "$BENCH_SMOKE_OUT"
+grep -q '"shard_identical": true' "$BENCH_SMOKE_OUT"
 
 echo "==> service smoke test"
 scripts/service_smoke.sh
+
+echo "==> shard equivalence (--shards 4 vs --shards 1)"
+scripts/shard_check.sh
 
 echo "==> scheduler load test (smoke)"
 scripts/loadtest.sh --smoke

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Shard-equivalence check: the same three-job workload submitted to a
+# `--shards 4` daemon and a `--shards 1` daemon must produce identical
+# certificate fingerprints — sharding changes where phases 1-2 run,
+# never what a job certifies.
+# Usage: scripts/shard_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/gendpr
+cargo build --release -q
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/gendpr-shard-check.XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# 320 SNPs = 5 words of 64: wide enough that --shards 4 does not degrade.
+"$BIN" synth --snps 320 --cases 40 --reference 40 --seed 7 --out "$DIR/data"
+
+serve() { # $1 = ledger file, $2 = shard count
+  "$BIN" serve --gdos 2 --shards "$2" \
+    --case "$DIR/data/case.vcf" --reference "$DIR/data/reference.vcf" \
+    --ledger "$1" --listen "$ADDR" --timeout 60 >>"$DIR/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    if "$BIN" status --addr "$ADDR" >/dev/null 2>&1; then return; fi
+    sleep 0.2
+  done
+  echo "error: daemon at $ADDR never came up" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$BIN" stop --addr "$ADDR" >/dev/null
+  wait "$SERVE_PID" # clean shutdown: exit code 0
+  SERVE_PID=""
+}
+
+fingerprint() { grep 'assessment certificate' | awk '{print $3}'; }
+
+run_workload() { # $1 = shard count; prints one fingerprint per job
+  ADDR="127.0.0.1:$((7500 + RANDOM % 2000))"
+  serve "$DIR/ledger-shards-$1.bin" "$1"
+  # Panels straddle the shard boundaries of the 4-way plan; the third
+  # lands entirely inside its first shard.
+  for range in 0-219 100-319 0-59; do
+    "$BIN" submit --addr "$ADDR" --snps "$range" >"$DIR/job.out"
+    fingerprint <"$DIR/job.out"
+  done
+  stop_daemon
+}
+
+BASELINE=$(run_workload 1)
+SHARDED=$(run_workload 4)
+[ -n "$BASELINE" ]
+if [ "$BASELINE" != "$SHARDED" ]; then
+  echo "error: --shards 4 changed a certificate fingerprint:" >&2
+  printf -- '--shards 1:\n%s\n--shards 4:\n%s\n' "$BASELINE" "$SHARDED" >&2
+  exit 1
+fi
+echo "shard equivalence passed ($(wc -l <<<"$BASELINE") certificates identical)"

@@ -34,7 +34,9 @@ use gendpr::genomics::synth::SyntheticCohort;
 use gendpr::genomics::vcf;
 use gendpr::service::daemon::AssessmentService;
 use gendpr::service::ledger::{LedgerRecord, ReleaseLedger};
-use gendpr::service::{signals, SchedulerConfig, ServiceClient, ServiceError};
+use gendpr::service::{
+    signals, SchedulerConfig, ServiceClient, ServiceError, ShardPlan, ShardSpec,
+};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -106,6 +108,8 @@ const SERVE_FLAGS: &[&str] = &[
     "timeout",
     "threads",
     "ledger",
+    "ledger-replicas",
+    "shards",
     "listen",
     "metrics-addr",
     "workers",
@@ -252,6 +256,7 @@ gendpr node   --id K --peers HOST:PORT,... --case FILE --reference FILE\n       
 [--heartbeat-ms MS] [--threads N] [--chaos SEED]\n  \
 gendpr attack --release FILE --victims FILE --reference FILE [--fpr F] [--key HEX]\n  \
 gendpr serve  --case FILE --reference FILE --ledger FILE [--gdos N] [--tcp]\n                \
+[--ledger-replicas PATH,...] [--shards S]\n                \
 [--listen ADDR] [--collusion f|all] [--seed N] [--maf F] [--ld F]\n                \
 [--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n                \
 [--workers N] [--max-queue N] [--max-retries N]\n                \
@@ -285,6 +290,13 @@ Lanes are supervised: a lane that loses quorum or panics is torn down,\n  \
 its job retried on a fresh re-elected lane (--max-retries, default 2,\n  \
 then a typed `retried` rejection), and shutdown converts stragglers\n  \
 past --drain-timeout SECS (default 30) to shutting-down verdicts.\n  \
+--shards S partitions the SNP panel into S word-aligned ranges, each\n  \
+assessed by its own attested sub-federation in parallel (phases 1–2);\n  \
+the per-shard results merge byte-identically into the primary lane's\n  \
+global LR search, so releases and certificates equal --shards 1. A\n  \
+crashed shard lane is rebuilt and re-runs only its shard.\n  \
+--ledger-replicas PATH,... mirrors the ledger: appends need a majority\n  \
+fsync quorum, and on open the longest intact prefix heals the rest.\n  \
 --chaos SEED (with --tcp) arms seeded member-link faults;\n  \
 --lane-crash-every N crashes a lane on every Nth job id (soak testing).\n\n\
 OBSERVABILITY:\n  \
@@ -951,8 +963,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let config = config_from_flags(flags, gdos)?;
     let timeout: u64 = flag(flags, "timeout", 3_600)?;
     let ledger_path = required(flags, "ledger")?.to_string();
+    let replica_paths: Vec<PathBuf> = flags
+        .get("ledger-replicas")
+        .map(|spec| spec.split(',').map(|p| PathBuf::from(p.trim())).collect())
+        .unwrap_or_default();
 
-    let ledger = ReleaseLedger::open(&ledger_path).map_err(service_error)?;
+    let ledger =
+        ReleaseLedger::open_replicated(&ledger_path, &replica_paths).map_err(service_error)?;
+    if !replica_paths.is_empty() {
+        println!(
+            "ledger mirrored across {} files (majority-fsync quorum)",
+            1 + replica_paths.len()
+        );
+    }
     if ledger.recovered_bytes() > 0 {
         println!(
             "ledger: recovered from a torn write ({} trailing bytes dropped)",
@@ -997,14 +1020,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
     // Every lane is a full federation session from the same config and
     // seed, so each certifies identically; the scheduler serialises their
-    // ledger commits in dispatch order. The factory closure is kept by the
-    // worker pool to re-elect and re-attest a replacement lane whenever a
-    // running one crashes (loses quorum, gets evicted, or panics).
+    // ledger commits in dispatch order. The builder is shared by the
+    // primary-lane factory (kept by the worker pool to re-elect and
+    // re-attest a replacement lane whenever a running one crashes) and
+    // the shard-lane factory (same, per shard); the lane counter spans
+    // both so every session gets distinct chaos fault streams.
     let cohort = std::sync::Arc::new(cohort);
-    let factory_cohort = std::sync::Arc::clone(&cohort);
     let lane_counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let factory: gendpr::service::sched::LaneFactory = std::sync::Arc::new(move || {
-        let lane = lane_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    type LaneBuilder = std::sync::Arc<
+        dyn Fn(u64, &Cohort) -> Result<ServiceFederation, ServiceError> + Send + Sync,
+    >;
+    let build: LaneBuilder = std::sync::Arc::new(move |lane: u64, study: &Cohort| {
         let lane_err = |e: String| ServiceError::from(std::io::Error::other(e));
         if tcp {
             let (roster, listeners) = ephemeral_listeners(gdos).map_err(|e| {
@@ -1031,16 +1057,54 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 }
                 transports.push(transport);
             }
-            ServiceFederation::start_over(transports, config, params, &factory_cohort, options)
+            ServiceFederation::start_over(transports, config, params, study, options)
                 .map_err(ServiceError::from)
         } else {
-            ServiceFederation::start_in_memory(config, params, &factory_cohort, options)
+            ServiceFederation::start_in_memory(config, params, study, options)
                 .map_err(ServiceError::from)
+        }
+    });
+    let factory: gendpr::service::sched::LaneFactory = {
+        let build = std::sync::Arc::clone(&build);
+        let cohort = std::sync::Arc::clone(&cohort);
+        let lane_counter = std::sync::Arc::clone(&lane_counter);
+        std::sync::Arc::new(move || {
+            let lane = lane_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            build(lane, &cohort)
+        })
+    };
+    let shards: u32 = flag(flags, "shards", 1)?;
+    let plan = ShardPlan::new(cohort.panel().len(), shards);
+    if shards > 1 && plan.len() == 1 {
+        println!(
+            "--shards {shards}: panel too narrow to give every shard a full \
+             64-SNP word; running unsharded"
+        );
+    }
+    let shard = (plan.len() > 1).then(|| {
+        let build = std::sync::Arc::clone(&build);
+        let shard_cohort = std::sync::Arc::clone(&cohort);
+        let lane_counter = std::sync::Arc::clone(&lane_counter);
+        ShardSpec {
+            plan: plan.clone(),
+            factory: std::sync::Arc::new(move |_shard, range| {
+                let lane = lane_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let slice = shard_cohort.column_range(range.start as usize, range.len as usize);
+                build(lane, &slice)
+            }),
+            max_retries,
         }
     });
     let mut lanes = Vec::with_capacity(workers);
     for _ in 0..workers {
         lanes.push(factory().map_err(service_error)?);
+    }
+    if plan.len() > 1 {
+        println!(
+            "sharded assessment: {} shards per worker (phases 1–2 per shard, merged \
+             byte-identically into the global LR search)",
+            plan.len()
+        );
     }
     if chaos_seed.is_some() {
         println!(
@@ -1064,9 +1128,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
     };
     let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
-    let service = AssessmentService::start_supervised(
+    let service = AssessmentService::start_supervised_sharded(
         lanes,
         factory,
+        shard,
         ledger,
         &cohort,
         params,

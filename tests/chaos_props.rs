@@ -37,10 +37,7 @@ fn plan(chaos: ChaosFaults) -> FaultPlan {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Lossless chaos (duplicates + reordering, no drops) is invisible:
     /// the per-link sequence layer must reconstruct the exact frame

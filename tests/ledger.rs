@@ -273,6 +273,94 @@ fn small_record(job_id: u64) -> LedgerRecord {
     }
 }
 
+/// Replica-divergence SIGKILL sweep: with a mirrored ledger, a kill
+/// mid-append leaves the copies at *different* lengths — the primary
+/// torn at any byte offset, a replica at any whole-frame boundary
+/// (replicas only ever receive whole frames, so they are always a clean
+/// prefix). For every such divergence, `open_replicated` must load the
+/// longest intact prefix across the set — whichever file holds it — and
+/// heal every copy to those exact bytes, idempotently.
+#[test]
+fn a_kill_during_a_replicated_append_heals_every_divergence() {
+    let records: Vec<LedgerRecord> = (1..=3).map(small_record).collect();
+    let (path, sizes) = write_ledger("replica-sweep", &records);
+    let original = std::fs::read(&path).unwrap();
+    let total: usize = sizes.iter().sum();
+    let mut boundaries = vec![0usize];
+    for size in &sizes {
+        boundaries.push(boundaries.last().unwrap() + size);
+    }
+    for cut_primary in 0..=total {
+        for &cut_replica in &boundaries {
+            let primary = scratch("replica-sweep-p");
+            let replica = scratch("replica-sweep-r");
+            std::fs::write(&primary, &original[..cut_primary]).unwrap();
+            std::fs::write(&replica, &original[..cut_replica]).unwrap();
+
+            let intact = *boundaries.iter().rfind(|&&b| b <= cut_primary).unwrap();
+            let winner = intact.max(cut_replica);
+            let expect = boundaries.iter().position(|&b| b == winner).unwrap();
+            let case = format!("primary cut {cut_primary}, replica cut {cut_replica}");
+
+            let ledger =
+                ReleaseLedger::open_replicated(&primary, std::slice::from_ref(&replica)).unwrap();
+            assert_eq!(ledger.len(), expect, "{case}");
+            assert_eq!(ledger.records(), &records[..expect], "{case}");
+            assert_eq!(
+                ledger.recovered_bytes(),
+                (cut_primary - intact) as u64,
+                "{case}: the primary's torn tail is accounted"
+            );
+            assert_eq!(ledger.live_replicas(), 1, "{case}");
+            drop(ledger);
+
+            // Both copies hold the winning prefix verbatim, and a second
+            // open heals (and recovers) nothing.
+            assert_eq!(
+                std::fs::read(&primary).unwrap(),
+                &original[..winner],
+                "{case}"
+            );
+            assert_eq!(
+                std::fs::read(&replica).unwrap(),
+                &original[..winner],
+                "{case}"
+            );
+            let reopened =
+                ReleaseLedger::open_replicated(&primary, std::slice::from_ref(&replica)).unwrap();
+            assert_eq!(reopened.recovered_bytes(), 0, "{case}");
+            assert_eq!(reopened.len(), expect, "{case}");
+            let _ = std::fs::remove_file(&primary);
+            let _ = std::fs::remove_file(&replica);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Replicated appends after healing continue the mirrored history: every
+/// copy stays byte-identical through a heal → append → reopen cycle.
+#[test]
+fn appends_after_a_heal_keep_every_copy_identical() {
+    let records: Vec<LedgerRecord> = (1..=3).map(small_record).collect();
+    let (path, sizes) = write_ledger("replica-resume", &records);
+    let original = std::fs::read(&path).unwrap();
+    let primary = scratch("replica-resume-p");
+    let replica = scratch("replica-resume-r");
+    // The replica is one frame ahead of the torn primary: its history wins.
+    std::fs::write(&primary, &original[..sizes[0] + 5]).unwrap();
+    std::fs::write(&replica, &original[..sizes[0] + sizes[1]]).unwrap();
+    let mut ledger =
+        ReleaseLedger::open_replicated(&primary, std::slice::from_ref(&replica)).unwrap();
+    assert_eq!(ledger.len(), 2, "the replica's longer prefix wins");
+    ledger.append(small_record(3)).unwrap();
+    drop(ledger);
+    assert_eq!(std::fs::read(&primary).unwrap(), original);
+    assert_eq!(std::fs::read(&replica).unwrap(), original);
+    let reopened = ReleaseLedger::open_replicated(&primary, &[replica]).unwrap();
+    assert_eq!(reopened.records(), records.as_slice());
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Exhaustive SIGKILL sweep: a kill can land at *any* byte offset of an
 /// in-progress append. For every possible surviving prefix of a
 /// three-record ledger, recovery must restore the longest whole-frame

@@ -243,7 +243,7 @@ fn assert_prefix_seeded(records: &[LedgerRecord]) {
     }
     for (i, record) in records.iter().enumerate() {
         assert!(
-            prefixes[..=i].iter().any(|p| *p == record.forced),
+            prefixes[..=i].contains(&record.forced),
             "job {} was seeded with {:?}, not a committed prefix",
             record.job_id,
             record.forced
