@@ -6,8 +6,12 @@
 //! SIGKILL mid-traffic, or an env-armed kill point inside the network
 //! send or ledger append/fsync path. Half the rounds (seeded) run the
 //! daemon multi-shard (`--shards`), so every failure class also lands on
-//! deployments with live SNP-shard sub-federations. Each round is
-//! followed by invariant audits:
+//! deployments with live SNP-shard sub-federations; half the rounds
+//! (independently seeded) run a multi-process replica-track fleet
+//! (`--tracks`) over the shared ledger, with the induced failure always
+//! landing on track 0 so the survivors' lease-expiry reclaim path gets
+//! exercised by every failure class. Each round is followed by
+//! invariant audits:
 //!
 //! * the ledger re-opens with frame-hash integrity, strictly monotone
 //!   job ids, and byte-idempotent recovery (a second open recovers 0),
@@ -98,6 +102,7 @@ struct Config {
     max_queue: usize,
     lane_crash_every: u64,
     shards: u32,
+    tracks: u32,
     bin: PathBuf,
     out: String,
     report: String,
@@ -115,9 +120,10 @@ fn parse_args() -> Config {
         max_queue: 4,
         lane_crash_every: 5,
         shards: 2,
+        tracks: 2,
         bin: PathBuf::from("target/release/gendpr"),
         out: String::from("BENCH_soak.json"),
-        report: String::from("soak_report.jsonl"),
+        report: String::from("results/soak_report.jsonl"),
         p99_max_s: 60.0,
         smoke: false,
     };
@@ -158,6 +164,11 @@ fn parse_args() -> Config {
                 i += 1;
                 config.shards = args[i].parse().expect("--shards needs a count");
             }
+            "--tracks" => {
+                i += 1;
+                config.tracks = args[i].parse().expect("--tracks needs a count");
+                assert!(config.tracks >= 1, "--tracks must be at least 1");
+            }
             "--bin" => {
                 i += 1;
                 config.bin = PathBuf::from(&args[i]);
@@ -176,8 +187,8 @@ fn parse_args() -> Config {
             }
             other => panic!(
                 "unknown argument {other}; use --smoke | --rounds N | --seed N | --jobs N | \
-                 --workers N | --max-queue N | --lane-crash-every N | --shards N | --bin PATH | \
-                 --out PATH | --report PATH | --p99-max-s F"
+                 --workers N | --max-queue N | --lane-crash-every N | --shards N | --tracks N | \
+                 --bin PATH | --out PATH | --report PATH | --p99-max-s F"
             ),
         }
         i += 1;
@@ -199,14 +210,22 @@ fn probe_client(addr: SocketAddr) -> ServiceClient {
     })
 }
 
-/// Spawns the daemon for one round and waits until its client protocol
-/// answers. Ports are derived from the seed and bumped on bind clashes.
+/// Lease on every soak claim: short enough that survivors reclaim a
+/// killed track's jobs within a round, long enough that a slow-but-live
+/// commit is never stolen.
+const TRACK_LEASE_MS: u64 = 2_000;
+
+/// Spawns one daemon (track `track` of this round's fleet) and waits
+/// until its client protocol answers. Ports are derived from the seed
+/// and bumped on bind clashes.
+#[allow(clippy::too_many_arguments)]
 fn spawn_daemon(
     config: &Config,
     data: &Path,
     ledger: &Path,
     round: usize,
     shards: u32,
+    track: u32,
     killpoint: Option<String>,
     rng: &mut Rng,
 ) -> Daemon {
@@ -216,8 +235,8 @@ fn spawn_daemon(
         let (port, mport) = (base as u16, (base + 1) as u16);
         let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
         let metrics: SocketAddr = format!("127.0.0.1:{mport}").parse().unwrap();
-        let log =
-            std::fs::File::create(data.join(format!("round-{round}.log"))).expect("round log file");
+        let log = std::fs::File::create(data.join(format!("round-{round}-t{track}.log")))
+            .expect("round log file");
         let elog = log.try_clone().expect("round log handle");
         let mut command = Command::new(&config.bin);
         command
@@ -241,6 +260,8 @@ fn spawn_daemon(
             .args(["--shards", &shards.to_string()])
             .args(["--drain-timeout", "10"])
             .args(["--lane-crash-every", &config.lane_crash_every.to_string()])
+            .args(["--track-id", &track.to_string()])
+            .args(["--track-lease-ms", &TRACK_LEASE_MS.to_string()])
             .args(["--listen", &addr.to_string()])
             .args(["--metrics-addr", &metrics.to_string()])
             .args(["--timeout", "120"])
@@ -590,7 +611,10 @@ fn main() {
     let mut pending: Vec<(Vec<u32>, u32)> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut recoveries: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
-    let mut samples: BTreeMap<usize, ResourceSample> = BTreeMap::new();
+    // Per-round resource sample, keyed with the round's (shards, tracks)
+    // shape: thread/fd footprints scale with the deployment shape, so
+    // drift is only meaningful between same-shape rounds.
+    let mut samples: BTreeMap<usize, (u32, u32, ResourceSample)> = BTreeMap::new();
     let mut prev_failure: Option<Failure> = None;
     let mut prev_union: Vec<u32> = Vec::new();
     let mut totals_completed = 0u64;
@@ -638,6 +662,13 @@ fn main() {
         // and the certificates across restarts must still be identical,
         // whichever shard counts the surviving ledger was written under.
         let shards = if rng.below(2) == 0 { config.shards } else { 1 };
+        // Half the rounds (independently seeded) run a multi-track fleet
+        // over the shared ledger. Every round is *tracked* (a 1-track
+        // fleet is byte-identical to an untracked daemon by design), so
+        // the claim log never mixes tracked and untracked commits; the
+        // induced failure always lands on track 0, and the secondaries
+        // are the lease-expiry survivors.
+        let tracks = if rng.below(2) == 0 { config.tracks } else { 1 };
 
         let boot = Instant::now();
         let mut daemon = spawn_daemon(
@@ -646,6 +677,7 @@ fn main() {
             &ledger_path,
             round,
             shards,
+            0,
             killpoint,
             &mut rng,
         );
@@ -653,8 +685,27 @@ fn main() {
         if let Some(prev) = prev_failure {
             recoveries.entry(prev.name()).or_default().push(ready);
         }
+        // Secondary tracks never carry the killpoint env: the induced
+        // death must hit track 0 so the survivors do the reclaiming.
+        let mut secondaries: Vec<Daemon> = (1..tracks)
+            .map(|track| {
+                spawn_daemon(
+                    &config,
+                    &data,
+                    &ledger_path,
+                    round,
+                    shards,
+                    track,
+                    None,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let endpoints: Vec<SocketAddr> = std::iter::once(daemon.addr)
+            .chain(secondaries.iter().map(|s| s.addr))
+            .collect();
         eprintln!(
-            "round {round}/{}: {} in {ready:.2}s, failure class {}, {shards} shard(s)",
+            "round {round}/{}: {} in {ready:.2}s, failure class {}, {shards} shard(s), {tracks} track(s)",
             total_rounds - 1,
             daemon.addr,
             failure.name()
@@ -722,9 +773,14 @@ fn main() {
                 let outcomes = Arc::clone(&outcomes);
                 let stats = Arc::clone(&stats);
                 let stagger = Duration::from_millis(stagger_ms);
+                // Clients carry the whole fleet's address list: on clean
+                // rounds every dial lands on track 0 (listed first and
+                // alive), keeping the admission accounting exact; on
+                // kill rounds traffic fails over to the survivors.
+                let endpoints = endpoints.clone();
                 thread::spawn(move || {
                     thread::sleep(stagger);
-                    let client = ServiceClient::new(addr);
+                    let client = ServiceClient::with_endpoints(endpoints);
                     let (outcome, rejects) = drive_job(&client, panel, batches, no_wait);
                     let mut stats = stats.lock().unwrap();
                     stats.queue_full_rejects += rejects;
@@ -830,6 +886,16 @@ fn main() {
             ),
         }
 
+        // Stop the surviving tracks through the protocol before the
+        // ledger audit so nothing is appending while the file is copied.
+        // No exit-code assertion here: the induced failure is track 0's
+        // alone, the survivors just have to drain and leave.
+        for secondary in &mut secondaries {
+            let _ = ServiceClient::new(secondary.addr).shutdown();
+            let _ = wait_with_deadline(&mut secondary.child, Duration::from_secs(60));
+        }
+        drop(secondaries);
+
         // Collect the wave's outcomes.
         let outcomes = Arc::try_unwrap(outcomes)
             .map_err(|_| ())
@@ -887,10 +953,10 @@ fn main() {
                 sample.queue_full_rejects
             );
         }
-        samples.insert(round, sample.clone());
+        samples.insert(round, (shards, tracks, sample.clone()));
 
         report_lines.push(format!(
-            "{{\"round\": {round}, \"failure\": \"{}\", \"shards\": {shards}, \"ready_s\": {ready:.3}, \
+            "{{\"round\": {round}, \"failure\": \"{}\", \"shards\": {shards}, \"tracks\": {tracks}, \"ready_s\": {ready:.3}, \
              \"completed\": {round_completed}, \"interrupted\": {round_interrupted}, \
              \"queue_full_rejects\": {}, \"hostile_frames\": {hostile}, \
              \"ledger_records\": {}, \"recovered_bytes\": {}, \
@@ -912,6 +978,11 @@ fn main() {
         );
     }
 
+    if let Some(parent) = Path::new(&config.report).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("report directory");
+        }
+    }
     std::fs::write(&config.report, report_lines.join("\n") + "\n")
         .expect("writing the round report");
 
@@ -935,15 +1006,30 @@ fn main() {
     );
     // Resource ceilings: the daemon's own gauges must not drift between
     // an early warmed-up round and the last one — restarts being
-    // equivalent is exactly the no-leak property under supervision.
-    let baseline_round = 3.min(total_rounds - 1);
-    let baseline = samples.get(&baseline_round).cloned().unwrap_or_default();
-    let last = samples
-        .values()
+    // equivalent is exactly the no-leak property under supervision. The
+    // baseline is the earliest warmed-up round with the *same deployment
+    // shape* (shards and tracks) as the last sampled one; thread and fd
+    // counts legitimately differ across shapes.
+    let last_entry = samples
+        .iter()
         .rev()
-        .find(|s| s.rss_bytes > 0.0)
-        .cloned()
-        .unwrap_or_default();
+        .find(|(_, (_, _, s))| s.rss_bytes > 0.0)
+        .map(|(round, entry)| (*round, entry.clone()));
+    let (last_round, last_shape, last) = match last_entry {
+        Some((round, (shards, tracks, sample))) => (round, (shards, tracks), sample),
+        None => (0, (0, 0), ResourceSample::default()),
+    };
+    let (baseline_round, baseline) = samples
+        .iter()
+        .find(|(round, (shards, tracks, s))| {
+            **round >= 1
+                && **round < last_round
+                && (*shards, *tracks) == last_shape
+                && s.rss_bytes > 0.0
+        })
+        .map_or((last_round, ResourceSample::default()), |(round, entry)| {
+            (*round, entry.2.clone())
+        });
     let (threads_delta, fds_delta, rss_delta) = (
         last.threads - baseline.threads,
         last.open_fds - baseline.open_fds,

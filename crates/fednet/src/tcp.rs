@@ -502,6 +502,68 @@ pub fn connect_retry(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, Ne
     dial(addr, opts)
 }
 
+/// Connects to the first reachable endpoint in `addrs`, sharing one
+/// `opts.connect_timeout` budget across the whole list. Each round
+/// probes every endpoint in order (a probe is capped to an even share
+/// of the remaining budget, so one blackholed address cannot starve a
+/// live one further down the list), then sleeps the same jittered
+/// backoff schedule as [`connect_retry`] before the next round.
+///
+/// This is the client side of a replica-track fleet: the tracks serve
+/// identical state, so a client holding every track's address stays
+/// available as long as any one track survives.
+///
+/// # Errors
+///
+/// [`NetError::Timeout`] when the budget is exhausted with no endpoint
+/// reachable, or when `addrs` is empty.
+pub fn connect_any(addrs: &[SocketAddr], opts: TcpOptions) -> Result<TcpStream, NetError> {
+    match addrs {
+        [] => Err(NetError::Timeout),
+        [addr] => dial(*addr, opts),
+        addrs => {
+            let deadline = Instant::now() + opts.connect_timeout;
+            let mut backoff = opts.retry_initial;
+            let mut jitter_state = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0x9E37_79B9, |d| u64::from(d.subsec_nanos()))
+                ^ (u64::from(addrs[0].port()) << 32);
+            loop {
+                for addr in addrs {
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        telemetry::connect_timeouts().inc();
+                        return Err(NetError::Timeout);
+                    };
+                    let probe = (remaining / addrs.len() as u32)
+                        .max(opts.retry_initial)
+                        .min(remaining);
+                    match TcpStream::connect_timeout(addr, probe) {
+                        Ok(stream) => {
+                            let _ = stream.set_nodelay(true);
+                            return Ok(stream);
+                        }
+                        Err(_) => telemetry::connect_retries().inc(),
+                    }
+                }
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    telemetry::connect_timeouts().inc();
+                    return Err(NetError::Timeout);
+                };
+                let span = (backoff / 2).as_nanos().max(1) as u64;
+                let jitter =
+                    Duration::from_nanos(crate::fault::splitmix64(&mut jitter_state) % span);
+                let sleep = (backoff / 2 + jitter).min(remaining);
+                if sleep >= remaining {
+                    telemetry::connect_timeouts().inc();
+                    return Err(NetError::Timeout);
+                }
+                thread::sleep(sleep);
+                backoff = (backoff * 2).min(opts.retry_max);
+            }
+        }
+    }
+}
+
 fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
     let deadline = Instant::now() + opts.connect_timeout;
     let mut backoff = opts.retry_initial;
@@ -528,11 +590,21 @@ fn dial(addr: SocketAddr, opts: TcpOptions) -> Result<TcpStream, NetError> {
                     return Err(NetError::Timeout);
                 };
                 // Sleep a uniform draw from [backoff/2, backoff] so
-                // simultaneous reconnects desynchronize.
+                // simultaneous reconnects desynchronize — clamped to the
+                // remaining budget so a large `retry_max` can never push
+                // the dial past its deadline.
                 let span = (backoff / 2).as_nanos().max(1) as u64;
                 let jitter =
                     Duration::from_nanos(crate::fault::splitmix64(&mut jitter_state) % span);
-                thread::sleep((backoff / 2 + jitter).min(remaining));
+                let sleep = (backoff / 2 + jitter).min(remaining);
+                if sleep >= remaining {
+                    // The clamped sleep would consume the whole budget:
+                    // fail now instead of sleeping into the deadline and
+                    // burning one more doomed connect attempt.
+                    telemetry::connect_timeouts().inc();
+                    return Err(NetError::Timeout);
+                }
+                thread::sleep(sleep);
                 backoff = (backoff * 2).min(opts.retry_max);
             }
         }
@@ -639,6 +711,64 @@ mod tests {
         )
         .unwrap();
         (a, b)
+    }
+
+    #[test]
+    fn dial_never_overshoots_a_tight_timeout() {
+        // A port with nothing listening: every dial is refused, so the
+        // retry loop spins through its backoff schedule. With a backoff
+        // cap far above the connect budget, an unclamped jittered sleep
+        // could overshoot the deadline by up to retry_max/2.
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let opts = TcpOptions {
+            connect_timeout: Duration::from_millis(100),
+            retry_initial: Duration::from_millis(40),
+            retry_max: Duration::from_secs(10),
+            reconnect_timeout: Duration::from_millis(100),
+        };
+        let started = Instant::now();
+        let result = connect_retry(addr, opts);
+        let elapsed = started.elapsed();
+        assert!(matches!(result, Err(NetError::Timeout)), "got {result:?}");
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "dial blew through its 100ms budget: took {elapsed:?} \
+             (retry_max/2 overshoot would be ~5s)"
+        );
+    }
+
+    #[test]
+    fn connect_any_fails_over_past_a_dead_endpoint() {
+        // First address is dead (bound then dropped), second is live:
+        // the multi-endpoint dial must skip the refusal and land on the
+        // survivor within the same budget.
+        let dead = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let live = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live_addr = live.local_addr().unwrap();
+        let stream = connect_any(&[dead, live_addr], TcpOptions::default()).unwrap();
+        assert_eq!(stream.peer_addr().unwrap(), live_addr);
+
+        // All endpoints dead: typed timeout, within the tight budget.
+        let opts = TcpOptions {
+            connect_timeout: Duration::from_millis(100),
+            retry_initial: Duration::from_millis(20),
+            retry_max: Duration::from_secs(10),
+            reconnect_timeout: Duration::from_millis(100),
+        };
+        let started = Instant::now();
+        let result = connect_any(&[dead, dead], opts);
+        assert!(matches!(result, Err(NetError::Timeout)), "got {result:?}");
+        assert!(started.elapsed() < Duration::from_secs(1));
+        assert!(matches!(
+            connect_any(&[], TcpOptions::default()),
+            Err(NetError::Timeout)
+        ));
     }
 
     #[test]

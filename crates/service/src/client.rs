@@ -1,19 +1,22 @@
 //! Client side of the assessment service: one TCP connection per
 //! request, dialed with the federation's retry/backoff machinery so a
 //! client started a moment before the daemon finishes binding still
-//! connects.
+//! connects. A client may hold several endpoints — the addresses of a
+//! replica-track fleet — and each request lands on whichever track
+//! answers first, failing over past dead tracks automatically.
 
 use crate::ledger::LedgerRecord;
 use crate::protocol::{ClientRequest, ClientResponse, RejectReason, ServiceStatus};
 use gendpr_fednet::client::{read_message, write_message};
-use gendpr_fednet::tcp::{connect_retry, TcpOptions};
+use gendpr_fednet::tcp::{connect_any, TcpOptions};
 use std::io;
 use std::net::SocketAddr;
 
-/// A handle on a running `gendpr serve` daemon.
+/// A handle on a running `gendpr serve` daemon, or on a fleet of
+/// replica tracks serving the same ledger.
 #[derive(Debug, Clone)]
 pub struct ServiceClient {
-    addr: SocketAddr,
+    endpoints: Vec<SocketAddr>,
     options: TcpOptions,
 }
 
@@ -21,8 +24,18 @@ impl ServiceClient {
     /// A client for the daemon at `addr` with default dial options.
     #[must_use]
     pub fn new(addr: SocketAddr) -> Self {
+        Self::with_endpoints(vec![addr])
+    }
+
+    /// A client holding every track of a fleet. Each request dials the
+    /// endpoints in order and uses the first that accepts a connection,
+    /// so requests keep succeeding as long as any one track is alive.
+    /// The tracks coordinate through the shared ledger, so it does not
+    /// matter which one answers.
+    #[must_use]
+    pub fn with_endpoints(endpoints: Vec<SocketAddr>) -> Self {
         Self {
-            addr,
+            endpoints,
             options: TcpOptions::default(),
         }
     }
@@ -34,8 +47,14 @@ impl ServiceClient {
         self
     }
 
+    /// The endpoints this client fails over across.
+    #[must_use]
+    pub fn endpoints(&self) -> &[SocketAddr] {
+        &self.endpoints
+    }
+
     fn call(&self, request: &ClientRequest) -> io::Result<ClientResponse> {
-        let mut stream = connect_retry(self.addr, self.options)
+        let mut stream = connect_any(&self.endpoints, self.options)
             .map_err(|e| io::Error::new(io::ErrorKind::ConnectionRefused, e.to_string()))?;
         write_message(&mut stream, request)?;
         read_message(&mut stream)

@@ -36,6 +36,7 @@ use crate::sched::{
 };
 use crate::shard::{ShardSet, ShardSpec};
 use crate::signals;
+use crate::tracks::TrackCoordinator;
 use gendpr_core::config::GwasParams;
 use gendpr_core::error::ProtocolError;
 use gendpr_core::serving::ServiceFederation;
@@ -147,7 +148,9 @@ impl AssessmentService {
         listener: TcpListener,
         config: SchedulerConfig,
     ) -> Result<Self, ServiceError> {
-        Self::start_inner(lanes, None, None, ledger, cohort, params, listener, config)
+        Self::start_inner(
+            lanes, None, None, None, ledger, cohort, params, listener, config,
+        )
     }
 
     /// Like [`AssessmentService::start_with`], but *supervised*: the
@@ -173,6 +176,7 @@ impl AssessmentService {
         Self::start_inner(
             lanes,
             Some(factory),
+            None,
             None,
             ledger,
             cohort,
@@ -211,6 +215,44 @@ impl AssessmentService {
             lanes,
             Some(factory),
             shard,
+            None,
+            ledger,
+            cohort,
+            params,
+            listener,
+            config,
+        )
+    }
+
+    /// Like [`AssessmentService::start_supervised_sharded`], serving as
+    /// one *track* of a replica fleet: the coordinator (from
+    /// [`TrackCoordinator::open`], which also opened `ledger` under the
+    /// fleet lock) makes every admitted job stake a claim in the shared
+    /// claim log and every successful job commit through the
+    /// cross-process gate — see [`crate::tracks`]. A fleet of one track
+    /// behaves byte-identically to
+    /// [`AssessmentService::start_supervised_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AssessmentService::start_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_tracked(
+        lanes: Vec<ServiceFederation>,
+        factory: LaneFactory,
+        shard: Option<ShardSpec>,
+        tracker: Arc<TrackCoordinator>,
+        ledger: ReleaseLedger,
+        cohort: &Cohort,
+        params: GwasParams,
+        listener: TcpListener,
+        config: SchedulerConfig,
+    ) -> Result<Self, ServiceError> {
+        Self::start_inner(
+            lanes,
+            Some(factory),
+            shard,
+            Some(tracker),
             ledger,
             cohort,
             params,
@@ -224,6 +266,7 @@ impl AssessmentService {
         lanes: Vec<ServiceFederation>,
         factory: Option<LaneFactory>,
         shard: Option<ShardSpec>,
+        tracker: Option<Arc<TrackCoordinator>>,
         ledger: ReleaseLedger,
         cohort: &Cohort,
         params: GwasParams,
@@ -284,6 +327,9 @@ impl AssessmentService {
         crate::telemetry::register_service_metrics();
         let sched = Arc::new(Scheduler::new(ledger, limits));
         sched.set_lane_crash_every(config.lane_crash_every);
+        if let Some(tracker) = tracker {
+            sched.set_tracker(tracker);
+        }
         let shared = Arc::new(Shared {
             leader: leader as u32,
             gdos: gdos as u32,
@@ -371,9 +417,12 @@ impl AssessmentService {
         }
     }
 
-    /// The committed record of one finished job, if any.
+    /// The committed record of one finished job, if any. In tracks mode
+    /// this answers for the whole fleet — records committed by other
+    /// tracks are pulled in first.
     #[must_use]
     pub fn results(&self, job_id: u64) -> Option<LedgerRecord> {
+        self.shared.sched.refresh_view();
         self.shared
             .sched
             .with_core(|core| core.done.iter().find(|r| r.job_id == job_id).cloned())
@@ -550,11 +599,16 @@ fn handle_client(mut stream: TcpStream, shared: &Arc<Shared>) {
     };
     let response = match request {
         ClientRequest::Status => ClientResponse::Status(status_snapshot(shared)),
-        ClientRequest::Results { job_id } => ClientResponse::Results(
-            shared
-                .sched
-                .with_core(|core| core.done.iter().find(|r| r.job_id == job_id).cloned()),
-        ),
+        ClientRequest::Results { job_id } => {
+            // Any track can answer for any job: pull other tracks'
+            // commits in before the lookup.
+            shared.sched.refresh_view();
+            ClientResponse::Results(
+                shared
+                    .sched
+                    .with_core(|core| core.done.iter().find(|r| r.job_id == job_id).cloned()),
+            )
+        }
         ClientRequest::Shutdown => {
             shared.sched.request_shutdown();
             ClientResponse::ShuttingDown
@@ -587,41 +641,42 @@ fn handle_client(mut stream: TcpStream, shared: &Arc<Shared>) {
 
 fn status_snapshot(shared: &Arc<Shared>) -> ServiceStatus {
     let limits = *shared.sched.limits();
-    shared.sched.with_core(|core| {
-        let mut links: Vec<LinkRecord> = Vec::new();
-        let mut released: Vec<u32> = Vec::new();
-        for record in &core.done {
-            released.extend_from_slice(&record.released);
-            for link in &record.traffic {
-                match links
-                    .iter_mut()
-                    .find(|l| l.from == link.from && l.to == link.to)
-                {
-                    Some(total) => {
-                        total.messages += link.messages;
-                        total.plaintext_bytes += link.plaintext_bytes;
-                        total.wire_bytes += link.wire_bytes;
-                    }
-                    None => links.push(*link),
-                }
-            }
+    // Fleet mode: fold other tracks' commits in, then count the claims
+    // still unresolved. Each lock is taken and released on its own (the
+    // fleet→core order only matters when nested), so a slightly stale
+    // figure is possible — fine for status.
+    shared.sched.refresh_view();
+    let tracker = shared.sched.tracker();
+    let (track, claims_open) = match &tracker {
+        Some(tracker) => {
+            let committed = shared
+                .sched
+                .with_core(|core| core.done.iter().map(|r| r.job_id).collect());
+            (Some(tracker.track()), tracker.open_claims(&committed))
         }
-        links.sort_unstable_by_key(|l| (l.from, l.to));
-        released.sort_unstable();
-        released.dedup();
+        None => (None, 0),
+    };
+    shared.sched.with_core(|core| {
+        // The commit path maintains keyed aggregates (indexed by
+        // `(from, to)`, already in sorted order) so status never rescans
+        // the full `done` history.
+        let links: Vec<LinkRecord> = core.link_totals.values().copied().collect();
+        let released_total = core.released_ids.len() as u64;
         ServiceStatus {
             leader: shared.leader,
             gdos: shared.gdos,
             panel_len: limits.panel_len,
             jobs_done: core.done.len() as u64,
             jobs_queued: core.queue.len() as u64 + u64::from(core.busy),
-            released_total: released.len() as u64,
+            released_total,
             links,
             metrics: gendpr_obs::render(),
             workers: limits.workers as u32,
             workers_busy: core.busy,
             max_queue: limits.max_queue as u64,
             queue: core.queue.positions(),
+            track,
+            claims_open,
         }
     })
 }

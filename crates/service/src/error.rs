@@ -61,6 +61,17 @@ pub enum ServiceError {
         /// The final attempt's error, rendered.
         last: String,
     },
+    /// This track held the job's claim past its lease and another track
+    /// resolved it first — either committing its own re-execution or
+    /// marking the job failed. The local result is discarded: the claim
+    /// log's resolution is authoritative, re-running here would risk a
+    /// duplicate commit. The lane is healthy and nothing is retried.
+    TrackSuperseded {
+        /// The job whose claim was taken over.
+        job_id: u64,
+        /// The track that resolved it.
+        track: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -82,6 +93,12 @@ impl fmt::Display for ServiceError {
             }
             Self::ShardFailed { shard, last } => {
                 write!(f, "shard {shard} failed: {last}")
+            }
+            Self::TrackSuperseded { job_id, track } => {
+                write!(
+                    f,
+                    "job {job_id} was resolved by track {track} after this track's lease expired"
+                )
             }
         }
     }
@@ -115,7 +132,8 @@ impl ServiceError {
             | Self::InvalidJob(_)
             | Self::JobFailed(_)
             | Self::Retried { .. }
-            | Self::ShardFailed { .. } => None,
+            | Self::ShardFailed { .. }
+            | Self::TrackSuperseded { .. } => None,
         }
     }
 
@@ -132,7 +150,8 @@ impl ServiceError {
             | Self::InvalidJob(_)
             | Self::JobFailed(_)
             | Self::Retried { .. }
-            | Self::ShardFailed { .. } => true,
+            | Self::ShardFailed { .. }
+            | Self::TrackSuperseded { .. } => true,
             Self::Protocol(_) | Self::Io(_) => false,
         }
     }
@@ -155,7 +174,8 @@ impl ServiceError {
             | Self::ShuttingDown
             | Self::InvalidJob(_)
             | Self::JobFailed(_)
-            | Self::Retried { .. } => false,
+            | Self::Retried { .. }
+            | Self::TrackSuperseded { .. } => false,
         }
     }
 }

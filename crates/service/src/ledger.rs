@@ -46,7 +46,35 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// SHA-256 digest length, the per-record checksum trailer.
-const CHECKSUM_LEN: usize = 32;
+pub(crate) const CHECKSUM_LEN: usize = 32;
+
+/// Builds one self-delimiting ledger frame around `body`:
+/// `[u32 LE len][body][sha256(body)]`. Shared with the track claim log,
+/// which uses the same torn-write-detectable format.
+///
+/// # Panics
+///
+/// Panics when `body` exceeds the transport frame cap — a record that
+/// large could never have crossed the wire in the first place.
+#[must_use]
+pub(crate) fn seal_frame(body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_FRAME_BYTES, "ledger frame over cap");
+    let mut frame = Vec::with_capacity(4 + body.len() + CHECKSUM_LEN);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&sha256::digest(body));
+    frame
+}
+
+/// Extracts the checksummed body of the frame starting at `start`, or
+/// `None` for a torn/corrupt frame. On success also returns the frame's
+/// end offset.
+pub(crate) fn intact_frame(bytes: &[u8], start: usize) -> Option<(&[u8], usize)> {
+    let end = next_frame(bytes, start)?;
+    let body = &bytes[start + 4..end - CHECKSUM_LEN];
+    let claimed = &bytes[end - CHECKSUM_LEN..end];
+    (sha256::digest(body).as_slice() == claimed).then_some((body, end))
+}
 
 /// How a ledger record was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,6 +296,10 @@ pub struct ReleaseLedger {
     /// and `append` so `next_job_id` does not rescan the whole log on
     /// every submit.
     next_id: u64,
+    /// Byte length of the intact frame prefix this process has loaded —
+    /// where [`ReleaseLedger::refresh`] resumes scanning for frames
+    /// appended by other track processes.
+    offset: u64,
 }
 
 /// One mirror of the ledger.
@@ -302,12 +334,7 @@ fn load_file(path: &Path) -> Result<LoadedFile, ServiceError> {
     file.read_to_end(&mut bytes)?;
     let mut records = Vec::new();
     let mut good = 0usize;
-    while let Some(end) = next_frame(&bytes, good) {
-        let body = &bytes[good + 4..end - CHECKSUM_LEN];
-        let claimed = &bytes[end - CHECKSUM_LEN..end];
-        if sha256::digest(body).as_slice() != claimed {
-            break;
-        }
+    while let Some((body, end)) = intact_frame(&bytes, good) {
         match wire::from_bytes::<LedgerRecord>(body) {
             Ok(record) => {
                 records.push(record);
@@ -439,6 +466,7 @@ impl ReleaseLedger {
             records,
             recovered,
             next_id,
+            offset: winner_bytes.len() as u64,
         })
     }
 
@@ -457,14 +485,7 @@ impl ReleaseLedger {
     /// the next open.)
     pub fn append(&mut self, record: LedgerRecord) -> Result<(), ServiceError> {
         let body = wire::to_bytes(&record);
-        assert!(
-            body.len() <= MAX_FRAME_BYTES,
-            "ledger record over frame cap"
-        );
-        let mut frame = Vec::with_capacity(4 + body.len() + CHECKSUM_LEN);
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        frame.extend_from_slice(&sha256::digest(&body));
+        let frame = seal_frame(&body);
         // Soak-harness kill points cover the three crash windows
         // recovery must handle: mid-write (a genuinely torn frame on
         // disk), post-write pre-fsync (the primary ahead of every
@@ -518,9 +539,67 @@ impl ReleaseLedger {
         crate::telemetry::ledger_appends().inc();
         crate::telemetry::ledger_fsyncs().inc();
         self.next_id = self.next_id.max(record.job_id + 1);
+        self.offset += frame.len() as u64;
         self.records.push(record);
         crate::telemetry::ledger_records().set(self.records.len() as i64);
         Ok(())
+    }
+
+    /// Re-scans the primary file for frames appended by *other*
+    /// processes since this handle last loaded or appended, extending
+    /// the in-memory view in place. Replica track daemons share one
+    /// ledger this way: every view-then-append cycle runs under the
+    /// fleet's cross-process claim lock, so a refresh under that lock
+    /// sees exactly the committed prefix.
+    ///
+    /// A torn tail (a track killed mid-append) is truncated back to the
+    /// last intact frame so the next append starts on a frame boundary —
+    /// safe because the caller holds the exclusive fleet lock, meaning
+    /// no live process can be mid-write. Never call this without that
+    /// lock held.
+    ///
+    /// Returns the number of new records picked up.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on filesystem failures.
+    pub fn refresh(&mut self) -> Result<usize, ServiceError> {
+        self.file.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        let mut good = 0usize;
+        let mut fresh = 0usize;
+        while let Some((body, end)) = intact_frame(&bytes, good) {
+            let Ok(record) = wire::from_bytes::<LedgerRecord>(body) else {
+                break;
+            };
+            self.next_id = self.next_id.max(record.job_id + 1);
+            self.records.push(record);
+            good = end;
+            fresh += 1;
+        }
+        self.offset += good as u64;
+        if good < bytes.len() {
+            // Crash leavings from a dead track. The claim lock is held,
+            // so nothing live is writing: drop the tail the same way
+            // open would have.
+            crate::telemetry::ledger_truncated_frames().inc();
+            event(
+                Level::Warn,
+                "ledger",
+                "ledger_tail_dropped_on_refresh",
+                &[
+                    ("path", self.path.display().to_string().as_str().into()),
+                    ("bytes", ((bytes.len() - good) as u64).into()),
+                ],
+            );
+            self.file.set_len(self.offset)?;
+            self.file.sync_data()?;
+        }
+        if fresh > 0 {
+            crate::telemetry::ledger_records().set(self.records.len() as i64);
+        }
+        Ok(fresh)
     }
 
     /// Every record, in append order.

@@ -21,6 +21,10 @@
 //! * [`shard`] — SNP-sharded assessment: the panel partitioned across
 //!   parallel sub-federations (phases 1–2 per shard, merged
 //!   byte-identically into the global LR search),
+//! * [`tracks`] — replica federation tracks: N daemon processes serving
+//!   over one shared ledger, coordinating exclusively through a
+//!   mirrored claim log (claim at admission, commit in claim order,
+//!   lease-expiry reclaim of crashed tracks' jobs),
 //! * [`protocol`] — the length-prefixed client request/response codec
 //!   (`submit` / `status` / `results` / shutdown),
 //! * [`client`] — the client used by the `gendpr submit`, `status` and
@@ -37,6 +41,7 @@ pub mod sched;
 pub mod shard;
 pub mod signals;
 pub mod telemetry;
+pub mod tracks;
 
 pub use client::ServiceClient;
 pub use daemon::{AssessmentService, JobTicket};
@@ -45,3 +50,4 @@ pub use ledger::{JobKind, LedgerRecord, LinkRecord, ReleaseLedger, WireCertifica
 pub use protocol::{ClientRequest, ClientResponse, QueuedJobStatus, RejectReason, ServiceStatus};
 pub use sched::SchedulerConfig;
 pub use shard::{ShardLaneFactory, ShardPlan, ShardRange, ShardSet, ShardSpec};
+pub use tracks::{TrackConfig, TrackCoordinator};

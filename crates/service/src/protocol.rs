@@ -178,6 +178,12 @@ pub struct ServiceStatus {
     pub max_queue: u64,
     /// Undispatched jobs in dispatch order, with 1-based positions.
     pub queue: Vec<QueuedJobStatus>,
+    /// This daemon's track id when it serves as one track of a fleet
+    /// (`--track-id`); `None` for a standalone daemon.
+    pub track: Option<u32>,
+    /// Fleet-wide claims not yet resolved (committed or marked failed),
+    /// as visible to this track. Always 0 for a standalone daemon.
+    pub claims_open: u64,
 }
 wire_struct!(ServiceStatus {
     leader,
@@ -191,7 +197,9 @@ wire_struct!(ServiceStatus {
     workers,
     workers_busy,
     max_queue,
-    queue
+    queue,
+    track,
+    claims_open
 });
 
 /// What the daemon answers.
@@ -343,6 +351,8 @@ mod tests {
                 job_id: 9,
                 position: 1,
             }],
+            track: Some(2),
+            claims_open: 3,
         }));
     }
 

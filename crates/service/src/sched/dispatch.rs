@@ -31,12 +31,14 @@
 use super::admission::{self, Limits};
 use super::queue::{JobQueue, JobVerdict, QueuedJob, ReplySink};
 use crate::error::ServiceError;
-use crate::ledger::{LedgerRecord, ReleaseLedger};
+use crate::ledger::{LedgerRecord, LinkRecord, ReleaseLedger};
 use crate::telemetry;
+use crate::tracks::claims::{ClaimEntry, ClaimFrame};
+use crate::tracks::TrackCoordinator;
 use gendpr_genomics::snp::SnpId;
 use gendpr_obs::{event, Level};
-use std::collections::HashMap;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How often a parked worker re-checks the shutdown flag while the queue
@@ -49,6 +51,20 @@ pub enum Dispatch {
     Job(DispatchedJob),
     /// The daemon is draining; exit the worker loop.
     Shutdown,
+}
+
+/// What [`Scheduler::commit`] did with the job, so a tracked worker can
+/// tell a terminal failure (whose fleet claim must be resolved with a
+/// `Done` marker) from a local re-queue (whose claim stays live).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The record was appended and the submitter answered.
+    Committed,
+    /// The failure was recoverable: the job went back to the front of
+    /// the queue and will run again locally.
+    Requeued,
+    /// The failure was terminal: the submitter got the error verdict.
+    Terminal,
 }
 
 /// A job bound to a lane, carrying its dispatch-time ledger snapshot and
@@ -78,6 +94,13 @@ pub(crate) struct SchedCore {
     pub(crate) ledger: ReleaseLedger,
     /// Every committed record, including earlier runs of the daemon.
     pub(crate) done: Vec<LedgerRecord>,
+    /// Per-link traffic totals over `done`, keyed by `(from, to)` and
+    /// maintained incrementally at commit so a `status` call never
+    /// rescans completed jobs.
+    pub(crate) link_totals: BTreeMap<(u32, u32), LinkRecord>,
+    /// Deduplicated union of every released SNP in `done`, kept in step
+    /// with `link_totals` for the same reason.
+    pub(crate) released_ids: BTreeSet<u32>,
     pub(crate) next_job_id: u64,
     next_dispatch_seq: u64,
     next_commit_seq: u64,
@@ -111,6 +134,56 @@ pub(crate) struct SchedCore {
     shard_crash_jobs: Vec<(u64, u32)>,
 }
 
+impl SchedCore {
+    /// Folds one committed record into the running status aggregates.
+    pub(crate) fn absorb_record(&mut self, record: &LedgerRecord) {
+        self.released_ids.extend(record.released.iter().copied());
+        for link in &record.traffic {
+            let total = self
+                .link_totals
+                .entry((link.from, link.to))
+                .or_insert(LinkRecord {
+                    from: link.from,
+                    to: link.to,
+                    messages: 0,
+                    plaintext_bytes: 0,
+                    wire_bytes: 0,
+                });
+            total.messages += link.messages;
+            total.plaintext_bytes += link.plaintext_bytes;
+            total.wire_bytes += link.wire_bytes;
+        }
+    }
+
+    /// Catches `done` (and the status aggregates) up with the ledger.
+    /// In tracks mode the ledger grows behind the scheduler's back —
+    /// by [`ReleaseLedger::refresh`] pulling other tracks' commits, or
+    /// by a coordinator appending directly — and `done` must stay an
+    /// exact copy of the record list for `results` and `status` to
+    /// answer about the whole fleet.
+    pub(crate) fn sync_ledger(&mut self) {
+        while self.done.len() < self.ledger.len() {
+            let record = self.ledger.records()[self.done.len()].clone();
+            self.absorb_record(&record);
+            self.done.push(record);
+        }
+    }
+
+    /// Re-scans the shared ledger file for records committed by other
+    /// tracks and folds them in. Must be called with the fleet lock
+    /// held (the refresh truncates torn tails).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] when the ledger file cannot be re-read.
+    pub(crate) fn sync_from_disk(&mut self) -> Result<usize, ServiceError> {
+        let fresh = self.ledger.refresh()?;
+        self.sync_ledger();
+        self.next_job_id = self.next_job_id.max(self.ledger.next_job_id());
+        Ok(fresh)
+    }
+}
+
 /// The shared scheduler: admission in, dispatch out, commits serialized.
 pub struct Scheduler {
     limits: Limits,
@@ -119,6 +192,10 @@ pub struct Scheduler {
     cv_dispatch: Condvar,
     /// Signalled each time `next_commit_seq` advances.
     cv_commit: Condvar,
+    /// Set when the daemon serves as one track of a fleet: admission
+    /// stakes claims through it, and successful jobs commit through its
+    /// cross-process gate instead of [`Scheduler::commit`].
+    tracker: OnceLock<Arc<TrackCoordinator>>,
 }
 
 impl Scheduler {
@@ -126,7 +203,7 @@ impl Scheduler {
     /// count toward every snapshot.
     #[must_use]
     pub fn new(ledger: ReleaseLedger, limits: Limits) -> Self {
-        let core = SchedCore {
+        let mut core = SchedCore {
             queue: JobQueue::new(limits.max_queue),
             done: ledger.records().to_vec(),
             next_job_id: ledger.next_job_id(),
@@ -144,12 +221,48 @@ impl Scheduler {
             lane_crash_every: None,
             stall_jobs: Vec::new(),
             shard_crash_jobs: Vec::new(),
+            link_totals: BTreeMap::new(),
+            released_ids: BTreeSet::new(),
         };
+        let seeded = std::mem::take(&mut core.done);
+        for record in &seeded {
+            core.absorb_record(record);
+        }
+        core.done = seeded;
         Self {
             limits,
             core: Mutex::new(core),
             cv_dispatch: Condvar::new(),
             cv_commit: Condvar::new(),
+            tracker: OnceLock::new(),
+        }
+    }
+
+    /// Attaches the fleet coordinator: from here on, every admitted job
+    /// stakes a claim and every successful job commits through the
+    /// cross-process gate. Set once, before the daemon accepts work.
+    pub fn set_tracker(&self, tracker: Arc<TrackCoordinator>) {
+        let _ = self.tracker.set(tracker);
+    }
+
+    /// The fleet coordinator, when this daemon is a track.
+    #[must_use]
+    pub fn tracker(&self) -> Option<Arc<TrackCoordinator>> {
+        self.tracker.get().cloned()
+    }
+
+    /// In tracks mode, pulls records other tracks committed since the
+    /// last shared-file access into the local view (under the fleet
+    /// lock), so `status` and `results` answer for the whole fleet. A
+    /// no-op for a standalone daemon; errors are swallowed — a read-only
+    /// snapshot must not take the daemon down, and the next write path
+    /// will surface a broken ledger anyway.
+    pub fn refresh_view(&self) {
+        if let Some(tracker) = self.tracker() {
+            if let Ok(guard) = tracker.fleet() {
+                let _ = self.with_core_mut(|core| core.sync_from_disk());
+                drop(guard);
+            }
         }
     }
 
@@ -173,6 +286,13 @@ impl Scheduler {
         f(&self.lock())
     }
 
+    /// Runs `f` under the scheduler lock with mutable state — the
+    /// coordinator's hook for refreshing and appending to the shared
+    /// ledger. Callers touching ledger files must hold the fleet lock.
+    pub(crate) fn with_core_mut<R>(&self, f: impl FnOnce(&mut SchedCore) -> R) -> R {
+        f(&mut self.lock())
+    }
+
     /// Validates and admits a job, assigning its id and queue slot.
     ///
     /// # Errors
@@ -191,6 +311,9 @@ impl Scheduler {
             Ok(panel) => panel,
             Err(error) => return Err((reply, error)),
         };
+        if let Some(tracker) = self.tracker() {
+            return self.enqueue_tracked(&tracker, panel, batches, reply);
+        }
         let mut core = self.lock();
         if let Err(error) = admission::admit(core.shutdown, core.queue.len(), core.queue.max()) {
             return Err((reply, error));
@@ -204,6 +327,7 @@ impl Scheduler {
             reply,
             enqueued: Instant::now(),
             attempts: 0,
+            forced: None,
         });
         let depth = core.queue.len();
         telemetry::jobs_queued().set(depth as i64);
@@ -223,6 +347,80 @@ impl Scheduler {
         Ok(job_id)
     }
 
+    /// Tracked admission: under the fleet lock, refresh the shared view,
+    /// allocate the globally next job id, freeze the claim-time ledger
+    /// snapshot, and append a quorum-acknowledged claim frame before the
+    /// job enters the local queue. The claim *is* the admission — if it
+    /// cannot be made durable, nothing was queued and the submitter gets
+    /// the error.
+    fn enqueue_tracked(
+        &self,
+        tracker: &TrackCoordinator,
+        panel: Vec<u32>,
+        batches: u32,
+        reply: ReplySink,
+    ) -> Result<u64, (ReplySink, ServiceError)> {
+        let mut fleet = match tracker.fleet() {
+            Ok(fleet) => fleet,
+            Err(error) => return Err((reply, error)),
+        };
+        if let Err(error) = fleet.log().refresh() {
+            return Err((reply, error));
+        }
+        let claims_next = fleet.log().next_job_id();
+        let mut core = self.lock();
+        if let Err(error) = core.sync_from_disk() {
+            return Err((reply, error));
+        }
+        if let Err(error) = admission::admit(core.shutdown, core.queue.len(), core.queue.max()) {
+            return Err((reply, error));
+        }
+        let job_id = core.ledger.next_job_id().max(claims_next);
+        let forced = core.ledger.released_union();
+        let claim = ClaimFrame {
+            job_id,
+            track: tracker.track(),
+            attempt: 1,
+            lease_ms: tracker.lease_ms(),
+            prefix: core.ledger.len() as u64,
+            batches,
+            panel: panel.clone(),
+            forced: forced.iter().map(|s| s.0).collect(),
+        };
+        if let Err(error) = fleet.log().append(ClaimEntry::Claim(claim)) {
+            return Err((reply, error));
+        }
+        telemetry::track_claims().inc();
+        core.next_job_id = core.next_job_id.max(job_id + 1);
+        core.queue.push(QueuedJob {
+            job_id,
+            panel,
+            batches,
+            reply,
+            enqueued: Instant::now(),
+            attempts: 0,
+            forced: Some(forced),
+        });
+        let depth = core.queue.len();
+        telemetry::jobs_queued().set(depth as i64);
+        telemetry::sched_queue_depth().set(depth as i64);
+        event(
+            Level::Info,
+            "service",
+            "job_claimed",
+            &[
+                ("job_id", job_id.into()),
+                ("track", u64::from(tracker.track()).into()),
+                ("depth", depth.into()),
+                ("batches", batches.into()),
+            ],
+        );
+        drop(core);
+        drop(fleet);
+        self.cv_dispatch.notify_all();
+        Ok(job_id)
+    }
+
     /// Blocks until a job is ready (or the daemon drains): pops it,
     /// assigns the next dispatch sequence number and snapshots the
     /// ledger, atomically.
@@ -237,7 +435,13 @@ impl Scheduler {
                     let seq = core.next_dispatch_seq;
                     core.next_dispatch_seq += 1;
                     core.busy += 1;
-                    let forced = core.ledger.released_union();
+                    // Tracked jobs run against their claim-time snapshot
+                    // (frozen when the claim was staked); untracked jobs
+                    // snapshot the ledger at dispatch, as always.
+                    let forced = job
+                        .forced
+                        .clone()
+                        .unwrap_or_else(|| core.ledger.released_union());
                     telemetry::jobs_queued().set(core.queue.len() as i64);
                     telemetry::sched_queue_depth().set(core.queue.len() as i64);
                     telemetry::jobs_running().set(i64::from(core.busy));
@@ -288,7 +492,15 @@ impl Scheduler {
     /// [`ServiceError::Retried`] verdict and the daemon keeps serving.
     /// Ledger (I/O) failures stay fatal either way: the ledger is shared
     /// state, not a lane.
-    pub fn commit(&self, job: DispatchedJob, result: Result<LedgerRecord, ServiceError>) {
+    ///
+    /// Returns what happened, so a tracked worker knows whether the
+    /// job's fleet claim still needs resolving.
+    pub fn commit(
+        &self,
+        job: DispatchedJob,
+        result: Result<LedgerRecord, ServiceError>,
+    ) -> CommitOutcome {
+        let tracked = self.tracker.get().is_some();
         let DispatchedJob {
             job_id,
             panel,
@@ -296,7 +508,7 @@ impl Scheduler {
             enqueued,
             seq,
             attempts,
-            ..
+            forced,
         } = job;
         let mut core = self.lock();
         while core.next_commit_seq != seq {
@@ -326,6 +538,7 @@ impl Scheduler {
                         ("released", record.released.len().into()),
                     ],
                 );
+                core.absorb_record(&record);
                 core.done.push(record.clone());
                 Some(JobVerdict::Certified(Box::new(record)))
             }
@@ -353,6 +566,10 @@ impl Scheduler {
                         reply: reply.take().unwrap_or(ReplySink::None),
                         enqueued,
                         attempts: attempts + 1,
+                        // A tracked retry keeps the claim-time snapshot:
+                        // the claim is still live and the fleet expects
+                        // the committed record to charge it.
+                        forced: tracked.then_some(forced),
                     });
                     requeued = true;
                     None
@@ -399,6 +616,13 @@ impl Scheduler {
         drop(core);
         self.cv_commit.notify_all();
         self.cv_dispatch.notify_all();
+        let outcome = if requeued {
+            CommitOutcome::Requeued
+        } else if matches!(verdict, Some(JobVerdict::Certified(_))) {
+            CommitOutcome::Committed
+        } else {
+            CommitOutcome::Terminal
+        };
         if let (Some(reply), Some(verdict)) = (reply, verdict) {
             reply.deliver(verdict);
         }
@@ -407,6 +631,49 @@ impl Scheduler {
             job.reply.deliver(JobVerdict::Rejected(
                 crate::protocol::RejectReason::ShuttingDown,
             ));
+        }
+        outcome
+    }
+
+    /// The tracked twin of [`Scheduler::commit`] for a job whose record
+    /// is *already durable* — appended by the fleet gate (this track's
+    /// own commit, or a reclaimer's that this track adopts). Waits for
+    /// the local commit turn, answers the submitter with the certified
+    /// record, and advances the sequence; nothing touches the ledger.
+    pub fn commit_durable(&self, job: DispatchedJob, record: LedgerRecord) {
+        let DispatchedJob { seq, enqueued, .. } = job;
+        let mut core = self.lock();
+        while core.next_commit_seq != seq {
+            let (guard, _) = self
+                .cv_commit
+                .wait_timeout(core, DISPATCH_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            core = guard;
+        }
+        let reply = core.inflight.remove(&seq);
+        // The gate appended under the fleet lock; fold anything new in
+        // (idempotent when commit_step's sync already did).
+        core.sync_ledger();
+        telemetry::jobs_certified().inc();
+        event(
+            Level::Info,
+            "service",
+            "job_certified",
+            &[
+                ("job_id", record.job_id.into()),
+                ("released", record.released.len().into()),
+            ],
+        );
+        core.next_commit_seq = seq + 1;
+        core.busy -= 1;
+        telemetry::jobs_running().set(i64::from(core.busy));
+        telemetry::sched_workers_busy().set(i64::from(core.busy));
+        telemetry::sched_job_latency_seconds().observe_duration(enqueued.elapsed());
+        drop(core);
+        self.cv_commit.notify_all();
+        self.cv_dispatch.notify_all();
+        if let Some(reply) = reply {
+            reply.deliver(JobVerdict::Certified(Box::new(record)));
         }
     }
 

@@ -42,7 +42,7 @@ pub mod queue;
 pub mod workers;
 
 pub use admission::Limits;
-pub use dispatch::{Dispatch, DispatchedJob, Scheduler};
+pub use dispatch::{CommitOutcome, Dispatch, DispatchedJob, Scheduler};
 pub use queue::{JobQueue, JobVerdict, QueuedJob, ReplySink};
 pub use workers::{ExecutionContext, LaneFactory, WorkerPool};
 

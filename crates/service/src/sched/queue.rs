@@ -12,6 +12,7 @@ use crate::error::ServiceError;
 use crate::ledger::LedgerRecord;
 use crate::protocol::{ClientResponse, QueuedJobStatus, RejectReason};
 use gendpr_fednet::client::write_message;
+use gendpr_genomics::snp::SnpId;
 use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::sync::mpsc;
@@ -135,6 +136,10 @@ pub struct QueuedJob {
     /// incremented each time supervision re-queues it after a lane
     /// crash).
     pub attempts: u32,
+    /// The claim-time ledger snapshot, frozen when this daemon (as a
+    /// fleet track) staked the job's claim. `None` outside tracks mode:
+    /// dispatch snapshots the ledger instead.
+    pub forced: Option<Vec<SnpId>>,
 }
 
 /// A FIFO of admitted jobs with a hard capacity; the bound is *checked*

@@ -26,11 +26,13 @@
 //! thing supervision cannot survive: the worker records the error as
 //! fatal and flips the daemon into shutdown.
 
-use super::dispatch::{Dispatch, DispatchedJob, Scheduler};
+use super::dispatch::{CommitOutcome, Dispatch, DispatchedJob, Scheduler};
 use crate::error::ServiceError;
 use crate::ledger::{JobKind, LedgerRecord};
 use crate::shard::ShardSet;
 use crate::telemetry;
+use crate::tracks::claims::ClaimFrame;
+use crate::tracks::{TrackCoordinator, TrackStep};
 use gendpr_core::attack::{MembershipAttacker, ReleasedStatistics};
 use gendpr_core::config::GwasParams;
 use gendpr_core::dynamic::DynamicAssessor;
@@ -56,6 +58,10 @@ const LANE_REBUILD_ATTEMPTS: u32 = 5;
 
 /// Backoff unit between rebuild attempts (grows linearly).
 const LANE_REBUILD_BACKOFF: Duration = Duration::from_millis(100);
+
+/// How long a worker parked at the fleet commit gate sleeps between
+/// polls of the shared claim log.
+const TRACK_GATE_POLL: Duration = Duration::from_millis(50);
 
 /// The read-only study data every lane executes jobs against.
 pub struct ExecutionContext {
@@ -183,6 +189,7 @@ fn worker_loop(
     context: &Arc<ExecutionContext>,
 ) {
     let busy = telemetry::sched_worker_busy_seconds(worker);
+    let tracker = scheduler.tracker();
     // Seeded elections: every healthy lane (and every rebuild) must agree.
     let expected = (lane.leader(), lane.gdo_count());
     let mut lane = Some(lane);
@@ -194,11 +201,47 @@ fn worker_loop(
                 let started = Instant::now();
                 let result = run_job_caught(session, shard_set.as_mut(), context, scheduler, &job);
                 busy.observe_duration(started.elapsed());
-                let lane_died = matches!(&result, Err(error) if !error.lane_survives());
-                // Commit first: supervised, this re-queues the job (or
-                // answers the submitter) before the slow rebuild starts,
-                // so another lane can pick the retry up immediately.
-                scheduler.commit(job, result);
+                let mut lane_died = matches!(&result, Err(error) if !error.lane_survives());
+                match (tracker.as_deref(), result) {
+                    (Some(coordinator), Ok(record)) => {
+                        // Tracked success: the record goes through the
+                        // fleet's cross-process gate, not the local
+                        // ledger append; while parked, this worker runs
+                        // dead tracks' reclaimed jobs inline.
+                        let lane_ok = track_commit(
+                            coordinator,
+                            scheduler,
+                            session,
+                            shard_set.as_mut(),
+                            context,
+                            job,
+                            record,
+                        );
+                        lane_died = lane_died || !lane_ok;
+                    }
+                    (coordinator, result) => {
+                        // Failures (and every untracked outcome) commit
+                        // locally first: supervised, this re-queues the
+                        // job before the slow rebuild starts, so another
+                        // lane can pick the retry up immediately.
+                        let job_id = job.job_id;
+                        let message = result.as_ref().err().map(ToString::to_string);
+                        let outcome = scheduler.commit(job, result);
+                        if let (Some(coordinator), CommitOutcome::Terminal, Some(message)) =
+                            (coordinator, outcome, message)
+                        {
+                            // Resolve the fleet claim, or the survivors
+                            // would wait out the lease and re-run a job
+                            // this track already answered as failed.
+                            if let Err(error) =
+                                coordinator.resolve_failed(scheduler, job_id, &message)
+                            {
+                                scheduler.record_fatal(error);
+                                scheduler.request_shutdown();
+                            }
+                        }
+                    }
+                }
                 if lane_died {
                     telemetry::sched_lane_crashes().inc();
                     event(
@@ -290,6 +333,136 @@ fn rebuild_lane(
     }));
     scheduler.request_shutdown();
     None
+}
+
+/// Drives one successful job's record through the fleet's cross-process
+/// commit gate (see [`crate::tracks`]): polls [`TrackCoordinator::commit_step`]
+/// until the record is appended in claim order, adopted from a faster
+/// reclaimer, or superseded by a `Done` marker. While parked behind a
+/// dead track's expired claim, the worker reclaims that job and runs it
+/// *inline* on its own (idle) lane — waiting for another local worker
+/// would deadlock a `--workers 1` track.
+///
+/// Returns whether the lane is still healthy (a reclaimed run can kill
+/// it; the caller tears down and rebuilds exactly as for its own jobs).
+fn track_commit(
+    coordinator: &TrackCoordinator,
+    scheduler: &Arc<Scheduler>,
+    lane: &mut ServiceFederation,
+    mut shard_set: Option<&mut ShardSet>,
+    context: &Arc<ExecutionContext>,
+    job: DispatchedJob,
+    record: LedgerRecord,
+) -> bool {
+    let mut lane_ok = true;
+    loop {
+        let step = match coordinator.commit_step(scheduler, job.job_id, &record) {
+            Ok(step) => step,
+            Err(error) => {
+                // The shared files (or their quorum) are gone: fatal,
+                // exactly like a local ledger append failing.
+                scheduler.commit(job, Err(error));
+                return lane_ok;
+            }
+        };
+        match step {
+            TrackStep::Committed => {
+                scheduler.commit_durable(job, record);
+                return lane_ok;
+            }
+            TrackStep::AdoptRecord(fleet_record) => {
+                // A reclaimer beat this track's lease: its committed
+                // record is the job's one truth, ours is discarded.
+                scheduler.commit_durable(job, *fleet_record);
+                return lane_ok;
+            }
+            TrackStep::Superseded { track } => {
+                let job_id = job.job_id;
+                scheduler.commit(job, Err(ServiceError::TrackSuperseded { job_id, track }));
+                return lane_ok;
+            }
+            TrackStep::RunReclaimed(claim) => {
+                if claim.job_id == job.job_id {
+                    // Took our own claim back from a reclaimer that died
+                    // too; the next poll commits our record.
+                    continue;
+                }
+                run_reclaimed(
+                    coordinator,
+                    scheduler,
+                    lane,
+                    shard_set.as_deref_mut(),
+                    context,
+                    &claim,
+                    &mut lane_ok,
+                );
+            }
+            TrackStep::Wait => thread::sleep(TRACK_GATE_POLL),
+        }
+    }
+}
+
+/// Executes a dead track's reclaimed job from the spec embedded in its
+/// claim and resolves it in the fleet: the committed record on success,
+/// a terminal `Done` marker on failure (the reclaim already was the
+/// job's retry). The submitter, if any, was connected to the dead
+/// track — nobody local is answered and no local queue slot is touched.
+fn run_reclaimed(
+    coordinator: &TrackCoordinator,
+    scheduler: &Arc<Scheduler>,
+    lane: &mut ServiceFederation,
+    shard_set: Option<&mut ShardSet>,
+    context: &Arc<ExecutionContext>,
+    claim: &ClaimFrame,
+    lane_ok: &mut bool,
+) {
+    let reclaimed = DispatchedJob {
+        job_id: claim.job_id,
+        panel: claim.panel.clone(),
+        batches: claim.batches,
+        enqueued: Instant::now(),
+        // Never passed to commit()/commit_durable(): no local sequence.
+        seq: u64::MAX,
+        forced: claim.forced.iter().copied().map(SnpId).collect(),
+        attempts: claim.attempt.saturating_sub(1),
+    };
+    let result = if *lane_ok {
+        run_job_caught(lane, shard_set, context, scheduler, &reclaimed)
+    } else {
+        Err(ServiceError::JobFailed(
+            "reclaiming track's execution lane is down".to_string(),
+        ))
+    };
+    match result {
+        Ok(record) => loop {
+            match coordinator.commit_step(scheduler, claim.job_id, &record) {
+                // The reclaimed job is the fleet head by construction,
+                // so this commits promptly — or someone else resolved it
+                // first and the re-run is discarded. Either way it no
+                // longer blocks the gate.
+                Ok(
+                    TrackStep::Committed | TrackStep::AdoptRecord(_) | TrackStep::Superseded { .. },
+                ) => break,
+                Ok(TrackStep::RunReclaimed(_) | TrackStep::Wait) => thread::sleep(TRACK_GATE_POLL),
+                Err(error) => {
+                    scheduler.record_fatal(error);
+                    scheduler.request_shutdown();
+                    break;
+                }
+            }
+        },
+        Err(error) => {
+            if !error.lane_survives() {
+                *lane_ok = false;
+            }
+            if let Err(resolve) =
+                coordinator.resolve_failed(scheduler, claim.job_id, &error.to_string())
+            {
+                scheduler.record_fatal(resolve);
+                scheduler.request_shutdown();
+            }
+        }
+    }
 }
 
 /// Runs one job with an unwind barrier: a panic anywhere in job code

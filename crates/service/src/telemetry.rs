@@ -301,6 +301,79 @@ pub fn sched_worker_busy_seconds(worker: usize) -> obs::Histogram {
 /// Registers every service metric eagerly, plus the protocol and transport
 /// families underneath, so a daemon's exposition endpoint is fully
 /// populated (at zero) from the first scrape.
+/// Jobs this track claimed in the fleet's shared claim log.
+pub fn track_claims() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_claims_total",
+            "Jobs claimed by this track in the shared claim log",
+            &[],
+        )
+    })
+}
+
+/// Expired-lease claims this track took over from a dead track.
+pub fn track_reclaims() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_reclaims_total",
+            "Expired-lease claims this track took over and re-ran",
+            &[],
+        )
+    })
+}
+
+/// Claim leases this track observed expiring on other tracks.
+pub fn track_lease_expiries() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_lease_expiries_total",
+            "Claim leases observed expiring on other tracks",
+            &[],
+        )
+    })
+}
+
+/// Terminal-failure markers this track appended to the claim log.
+pub fn track_done_markers() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_done_markers_total",
+            "Terminal-failure markers appended to the claim log",
+            &[],
+        )
+    })
+}
+
+/// Commit-gate waits: polls spent parked behind earlier unresolved claims.
+pub fn track_commit_waits() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_commit_waits_total",
+            "Commit-gate polls spent behind earlier unresolved claims",
+            &[],
+        )
+    })
+}
+
+/// Locally computed results abandoned because another track resolved
+/// the claim first (at-most-once commit in action).
+pub fn track_superseded_commits() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_superseded_commits_total",
+            "Local results abandoned because another track resolved the claim",
+            &[],
+        )
+    })
+}
+
 pub fn register_service_metrics() {
     jobs_queued();
     jobs_running();
@@ -327,6 +400,12 @@ pub fn register_service_metrics() {
     shard_lane_rebuilds();
     ledger_replica_heals();
     ledger_replica_write_failures();
+    track_claims();
+    track_reclaims();
+    track_lease_expiries();
+    track_done_markers();
+    track_commit_waits();
+    track_superseded_commits();
     gendpr_obs::process::sample();
     gendpr_core::telemetry::register_protocol_metrics();
     gendpr_fednet::telemetry::register_transport_metrics();

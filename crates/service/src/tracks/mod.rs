@@ -1,0 +1,41 @@
+//! Replica federation tracks: multi-process horizontal serving over the
+//! shared release ledger.
+//!
+//! A *track* is one full assessment daemon — its own attested
+//! federation, worker lanes and client endpoint — that shares the
+//! append-only release ledger with the other tracks of a *fleet*. The
+//! tracks never talk to each other directly: all coordination flows
+//! through two files next to the ledger,
+//!
+//! * `<ledger>.claims` — the [`claims::ClaimLog`], an append-only,
+//!   checksummed, mirrored log of job claims and terminal-failure
+//!   markers, and
+//! * `<ledger>.claims.lock` — the fleet's advisory exclusive lock,
+//!
+//! with the protocol implemented by [`TrackCoordinator`]:
+//!
+//! 1. **Claim at admission.** Accepting a submit appends a
+//!    quorum-acknowledged `Claim{job, track, lease}` frame under the
+//!    fleet lock, allocating the globally next job id and freezing the
+//!    claim-time ledger snapshot (the forced seed). First intact claim
+//!    wins the job; the frame carries the full spec so any survivor can
+//!    re-run it.
+//! 2. **Commit in claim order.** A finished job's record may only be
+//!    appended once every earlier claim has resolved — committed,
+//!    marked failed, or superseded. With one track this degenerates to
+//!    the single daemon's serial commit order, so `--tracks 1` output
+//!    is byte-identical to no tracks at all; with N tracks it keeps the
+//!    shared ledger strictly monotone, which is what makes each
+//!    certificate's cumulative-release charge sound.
+//! 3. **Lease expiry.** A track that dies between claim and commit
+//!    stalls the gate until its lease (measured by each survivor from
+//!    its own first sighting of the claim — no shared clock) runs out;
+//!    the first survivor to notice appends a reclaim and re-runs the
+//!    job from the spec embedded in the claim, committing at the *same*
+//!    position. At-most-once commit holds throughout: execution may be
+//!    duplicated by a slow-but-alive claimant, the append never is.
+
+pub mod claims;
+pub mod coordinator;
+
+pub use coordinator::{TrackConfig, TrackCoordinator, TrackStep};

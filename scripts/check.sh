@@ -32,6 +32,9 @@ scripts/service_smoke.sh
 echo "==> shard equivalence (--shards 4 vs --shards 1)"
 scripts/shard_check.sh
 
+echo "==> track equivalence and failover (2-track fleet vs single daemon)"
+scripts/track_check.sh
+
 echo "==> scheduler load test (smoke)"
 scripts/loadtest.sh --smoke
 

@@ -3,7 +3,11 @@
 # (TCP member mesh, seeded link chaos, supervised worker lanes), drives
 # sustained mixed client traffic against it, and kills it mid-flight every
 # round — SIGTERM, SIGKILL, or an armed in-process kill point that aborts
-# mid-ledger-write. Between rounds the harness audits the ledger file for
+# mid-ledger-write. Half the rounds run a multi-process replica-track
+# fleet (--tracks, default 2) over the shared ledger with the induced
+# failure always landing on track 0, so lease-expiry reclaim by the
+# survivors sees every failure class. Between rounds the harness audits
+# the ledger file for
 # frame integrity and monotone job ids, replays a reference job to prove
 # certificates still charge a committed prefix, and scrapes the daemon's
 # own metrics to enforce SLOs: zero dropped jobs, bounded p99 latency, and
@@ -11,7 +15,7 @@
 #
 # Usage: scripts/soak.sh [--smoke] [soak args...]
 #   --smoke   quick CI gate (~60s: 5 rounds, 5 jobs/round, temp report)
-#   default   full run, writes BENCH_soak.json + soak_report.jsonl
+#   default   full run, writes BENCH_soak.json + results/soak_report.jsonl
 #
 # Extra arguments are passed through to the soak binary, e.g.
 #   scripts/soak.sh --rounds 20 --seed 42
@@ -28,6 +32,7 @@ if [ "${1:-}" = "--smoke" ]; then
   trap 'rm -f "$OUT" "$REPORT"' EXIT
   target/release/soak --smoke --out "$OUT" --report "$REPORT" "$@"
 else
+  mkdir -p results
   target/release/soak "$@"
-  echo "full report in BENCH_soak.json (rounds in soak_report.jsonl)"
+  echo "full report in BENCH_soak.json (rounds in results/soak_report.jsonl)"
 fi

@@ -35,9 +35,11 @@ use gendpr::genomics::vcf;
 use gendpr::service::daemon::AssessmentService;
 use gendpr::service::ledger::{LedgerRecord, ReleaseLedger};
 use gendpr::service::{
-    signals, SchedulerConfig, ServiceClient, ServiceError, ShardPlan, ShardSpec,
+    signals, SchedulerConfig, ServiceClient, ServiceError, ShardPlan, ShardSpec, TrackConfig,
+    TrackCoordinator,
 };
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
@@ -117,10 +119,39 @@ const SERVE_FLAGS: &[&str] = &[
     "max-retries",
     "drain-timeout",
     "lane-crash-every",
+    "track-id",
+    "track-lease-ms",
     "chaos",
     "log-level",
 ];
 const SERVE_BOOLS: &[&str] = &["tcp"];
+const TRACKS_FLAGS: &[&str] = &[
+    "tracks",
+    "case",
+    "reference",
+    "gdos",
+    "collusion",
+    "seed",
+    "maf",
+    "ld",
+    "fpr",
+    "power",
+    "key",
+    "timeout",
+    "threads",
+    "ledger",
+    "ledger-replicas",
+    "shards",
+    "workers",
+    "max-queue",
+    "max-retries",
+    "drain-timeout",
+    "lane-crash-every",
+    "track-lease-ms",
+    "chaos",
+    "log-level",
+];
+const TRACKS_BOOLS: &[&str] = &["tcp"];
 const SUBMIT_FLAGS: &[&str] = &["addr", "snps", "batches"];
 const SUBMIT_BOOLS: &[&str] = &["no-wait"];
 const STATUS_FLAGS: &[&str] = &["addr"];
@@ -212,6 +243,9 @@ fn main() -> ExitCode {
         Some("serve") => parse_flags(&args[1..], SERVE_FLAGS, SERVE_BOOLS)
             .map_err(CliError::from)
             .and_then(|f| cmd_serve(&f)),
+        Some("tracks") => parse_flags(&args[1..], TRACKS_FLAGS, TRACKS_BOOLS)
+            .map_err(CliError::from)
+            .and_then(|f| cmd_tracks(&f)),
         Some("submit") => parse_flags(&args[1..], SUBMIT_FLAGS, SUBMIT_BOOLS)
             .map_err(CliError::from)
             .and_then(|f| cmd_submit(&f)),
@@ -261,11 +295,15 @@ gendpr serve  --case FILE --reference FILE --ledger FILE [--gdos N] [--tcp]\n   
 [--fpr F] [--power F] [--key HEX] [--timeout SECS] [--threads N]\n                \
 [--workers N] [--max-queue N] [--max-retries N]\n                \
 [--drain-timeout SECS] [--lane-crash-every N] [--chaos SEED]\n                \
+[--track-id N] [--track-lease-ms MS]\n                \
 [--metrics-addr HOST:PORT] [--log-level LEVEL]\n  \
-gendpr submit [--addr HOST:PORT] [--snps all|A-B|A,B,...] [--batches N] [--no-wait]\n  \
-gendpr status [--addr HOST:PORT] [--metrics]\n  \
-gendpr results --job ID [--addr HOST:PORT]\n  \
-gendpr stop   [--addr HOST:PORT]\n\n\
+gendpr tracks --tracks N --case FILE --reference FILE --ledger FILE\n                \
+[any serve flag except --listen/--track-id/--metrics-addr]\n  \
+gendpr submit [--addr HOST:PORT[,HOST:PORT...]] [--snps all|A-B|A,B,...]\n                \
+[--batches N] [--no-wait]\n  \
+gendpr status [--addr HOST:PORT[,...]] [--metrics]\n  \
+gendpr results --job ID [--addr HOST:PORT[,...]]\n  \
+gendpr stop   [--addr HOST:PORT[,...]]\n\n\
 `assess --distributed` spawns one `gendpr node` process per GDO on free\n\
 localhost ports and runs the protocol over real TCP sockets; `node` runs a\n\
 single member against an explicit peer roster (same seed + study files on\n\
@@ -297,6 +335,14 @@ global LR search, so releases and certificates equal --shards 1. A\n  \
 crashed shard lane is rebuilt and re-runs only its shard.\n  \
 --ledger-replicas PATH,... mirrors the ledger: appends need a majority\n  \
 fsync quorum, and on open the longest intact prefix heals the rest.\n  \
+--track-id N joins the daemon to a replica-track fleet: every track\n  \
+serves the same shared ledger and claims jobs through a quorum-mirrored\n  \
+claim log (append-wins, at-most-once execution), committing strictly in\n  \
+claim order so a 1-track fleet is byte-identical to a plain daemon. A\n  \
+crashed track's claims expire after --track-lease-ms MS (default 10000)\n  \
+and survivors re-run them at the same ledger position. `gendpr tracks`\n  \
+launches a local fleet of N such daemons on probed ports; clients fail\n  \
+over across tracks with a comma-separated --addr list.\n  \
 --chaos SEED (with --tcp) arms seeded member-link faults;\n  \
 --lane-crash-every N crashes a lane on every Nth job id (soak testing).\n\n\
 OBSERVABILITY:\n  \
@@ -719,14 +765,7 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), CliErro
                 .code()
                 .and_then(|c| u8::try_from(c).ok())
                 .unwrap_or(1);
-            let rank = |c: u8| match c {
-                EXIT_QUORUM_LOST => 0,
-                EXIT_SECURITY => 1,
-                EXIT_EVICTED => 2,
-                EXIT_UNRESPONSIVE => 3,
-                _ => 4,
-            };
-            if failed_code.is_none_or(|prev| rank(code) < rank(prev)) {
+            if failed_code.is_none_or(|prev| exit_rank(code) < exit_rank(prev)) {
                 failed_code = Some(code);
             }
         }
@@ -743,6 +782,20 @@ fn cmd_assess_distributed(flags: &HashMap<String, String>) -> Result<(), CliErro
         println!("distributed assessment complete (pass --out FILE to save the release)");
     }
     Ok(())
+}
+
+/// Orders child exit codes by how telling they are, so a multi-process
+/// parent (`assess --distributed`, `tracks`) propagates the most
+/// interesting one: a typed protocol code (3–6) beats the generic 1,
+/// and quorum loss beats a plain timeout.
+fn exit_rank(code: u8) -> u8 {
+    match code {
+        EXIT_QUORUM_LOST => 0,
+        EXIT_SECURITY => 1,
+        EXIT_EVICTED => 2,
+        EXIT_UNRESPONSIVE => 3,
+        _ => 4,
+    }
 }
 
 fn resolve_addr(spec: &str) -> Result<SocketAddr, String> {
@@ -968,8 +1021,45 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         .map(|spec| spec.split(',').map(|p| PathBuf::from(p.trim())).collect())
         .unwrap_or_default();
 
-    let ledger =
-        ReleaseLedger::open_replicated(&ledger_path, &replica_paths).map_err(service_error)?;
+    let track_id: Option<u32> = match flags.get("track-id") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--track-id: expected a track index, got {v:?}"))?,
+        ),
+    };
+    let track_lease_ms: u64 = flag(flags, "track-lease-ms", 10_000)?;
+    if track_lease_ms == 0 {
+        return Err(CliError::from(
+            "--track-lease-ms must be at least 1".to_string(),
+        ));
+    }
+
+    // A tracked daemon opens the ledger through the fleet coordinator so
+    // the claim log and ledger heal under one file lock; a standalone
+    // daemon opens it directly, exactly as before.
+    let (tracker, ledger) = match track_id {
+        Some(track) => {
+            let (tracker, ledger) = TrackCoordinator::open(
+                TrackConfig {
+                    track,
+                    lease: Duration::from_millis(track_lease_ms),
+                },
+                Path::new(&ledger_path),
+                &replica_paths,
+            )
+            .map_err(service_error)?;
+            println!(
+                "track {track} joined the fleet over {} (lease {track_lease_ms} ms)",
+                ledger_path
+            );
+            (Some(std::sync::Arc::new(tracker)), ledger)
+        }
+        None => (
+            None,
+            ReleaseLedger::open_replicated(&ledger_path, &replica_paths).map_err(service_error)?,
+        ),
+    };
     if !replica_paths.is_empty() {
         println!(
             "ledger mirrored across {} files (majority-fsync quorum)",
@@ -1128,22 +1218,36 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
     };
     let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
-    let service = AssessmentService::start_supervised_sharded(
-        lanes,
-        factory,
-        shard,
-        ledger,
-        &cohort,
-        params,
-        listener,
-        SchedulerConfig {
-            workers,
-            max_queue,
-            max_retries,
-            drain_timeout,
-            lane_crash_every: (lane_crash_every > 0).then_some(lane_crash_every),
-        },
-    )
+    let sched_config = SchedulerConfig {
+        workers,
+        max_queue,
+        max_retries,
+        drain_timeout,
+        lane_crash_every: (lane_crash_every > 0).then_some(lane_crash_every),
+    };
+    let service = match tracker {
+        Some(tracker) => AssessmentService::start_tracked(
+            lanes,
+            factory,
+            shard,
+            tracker,
+            ledger,
+            &cohort,
+            params,
+            listener,
+            sched_config,
+        ),
+        None => AssessmentService::start_supervised_sharded(
+            lanes,
+            factory,
+            shard,
+            ledger,
+            &cohort,
+            params,
+            listener,
+            sched_config,
+        ),
+    }
     .map_err(service_error)?;
     // Held until `run()` returns: dropping the server stops the exporter.
     let metrics_server = match flags.get("metrics-addr") {
@@ -1170,15 +1274,165 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `gendpr tracks`: launch a local fleet of `--tracks N` replica-track
+/// daemons over one shared ledger. Each track is a full `gendpr serve`
+/// process with its own attested federation and its own client port;
+/// the tracks coordinate exclusively through the ledger's claim log, so
+/// clients may submit to any of them (or to all, with a comma-separated
+/// `--addr` list that fails over past dead tracks).
+fn cmd_tracks(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    signals::install();
+    apply_log_level(flags)?;
+    let tracks: u32 = flag(flags, "tracks", 2)?;
+    if tracks == 0 {
+        return Err(CliError::from("--tracks must be at least 1".to_string()));
+    }
+    let ledger = required(flags, "ledger")?.to_string();
+    required(flags, "case")?;
+    required(flags, "reference")?;
+
+    // Probe free client ports by binding ephemeral listeners, then
+    // release them for the track daemons to claim — the same trick
+    // `assess --distributed` uses for its member roster.
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(tracks as usize);
+    {
+        let mut probes = Vec::with_capacity(tracks as usize);
+        for _ in 0..tracks {
+            let probe = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| format!("probing a free localhost port: {e}"))?;
+            addrs.push(probe.local_addr().map_err(|e| e.to_string())?);
+            probes.push(probe);
+        }
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("locating gendpr binary: {e}"))?;
+    println!("launching {tracks} replica tracks over ledger {ledger}");
+
+    let mut children = Vec::with_capacity(tracks as usize);
+    for (track, addr) in addrs.iter().enumerate() {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("serve")
+            .args(["--track-id", &track.to_string()])
+            .args(["--listen", &addr.to_string()]);
+        for name in [
+            "case",
+            "reference",
+            "gdos",
+            "collusion",
+            "seed",
+            "maf",
+            "ld",
+            "fpr",
+            "power",
+            "key",
+            "timeout",
+            "threads",
+            "ledger",
+            "ledger-replicas",
+            "shards",
+            "workers",
+            "max-queue",
+            "max-retries",
+            "drain-timeout",
+            "lane-crash-every",
+            "track-lease-ms",
+            "chaos",
+            "log-level",
+        ] {
+            if let Some(v) = flags.get(name) {
+                cmd.arg(format!("--{name}")).arg(v);
+            }
+        }
+        if flags.contains_key("tcp") {
+            cmd.arg("--tcp");
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning track {track}: {e}"))?;
+        // Relay both output streams live, prefixed with the track id, so
+        // the fleet reads like one interleaved log.
+        if let Some(stdout) = child.stdout.take() {
+            std::thread::spawn(move || {
+                for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                    println!("[track {track}] {line}");
+                }
+            });
+        }
+        if let Some(stderr) = child.stderr.take() {
+            std::thread::spawn(move || {
+                for line in BufReader::new(stderr).lines().map_while(Result::ok) {
+                    eprintln!("[track {track}] {line}");
+                }
+            });
+        }
+        children.push((track, child));
+    }
+    let endpoints = addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("fleet up — submit to any track: `gendpr submit --addr {endpoints}`");
+
+    // Babysit the fleet: relay a shutdown signal to every track (a
+    // terminal Ctrl-C already reaches the children through the process
+    // group; an external SIGTERM to this launcher alone would not), then
+    // wait for all of them and propagate the most telling exit code.
+    // A track that exited via the interrupt path (code 7) is clean.
+    let mut failed_code: Option<u8> = None;
+    let mut stop_sent = false;
+    while !children.is_empty() {
+        if signals::requested() && !stop_sent {
+            stop_sent = true;
+            eprintln!("shutdown signal received; stopping every track");
+            for (track, _) in &children {
+                let _ = ServiceClient::new(addrs[*track]).shutdown();
+            }
+        }
+        children.retain_mut(|(track, child)| match child.try_wait() {
+            Ok(None) => true,
+            Ok(Some(status)) => {
+                let code = status
+                    .code()
+                    .and_then(|c| u8::try_from(c).ok())
+                    .unwrap_or(1);
+                if !status.success() && code != EXIT_INTERRUPTED {
+                    eprintln!("track {track} exited with code {code}");
+                    if failed_code.is_none_or(|prev| exit_rank(code) < exit_rank(prev)) {
+                        failed_code = Some(code);
+                    }
+                }
+                false
+            }
+            Err(_) => false,
+        });
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if let Some(code) = failed_code {
+        return Err(CliError {
+            message: "one or more tracks failed".to_string(),
+            code,
+        });
+    }
+    println!("all tracks stopped cleanly");
+    Ok(())
+}
+
 fn service_client(flags: &HashMap<String, String>) -> Result<ServiceClient, CliError> {
     // Client commands are ordinary short-lived Unix tools: piping their
     // stdout into `head`/`grep -q` must end them quietly, not panic.
     signals::die_on_sigpipe();
-    let addr = match flags.get("addr") {
-        Some(spec) => resolve_addr(spec)?,
-        None => resolve_addr(DEFAULT_SERVICE_ADDR)?,
-    };
-    Ok(ServiceClient::new(addr))
+    let spec = flags
+        .get("addr")
+        .map_or(DEFAULT_SERVICE_ADDR, String::as_str);
+    // `--addr` takes a comma-separated endpoint list — the addresses of
+    // a replica-track fleet — and each request lands on the first track
+    // that answers.
+    let mut endpoints = Vec::new();
+    for part in spec.split(',') {
+        endpoints.push(resolve_addr(part.trim())?);
+    }
+    Ok(ServiceClient::with_endpoints(endpoints))
 }
 
 /// Parses `--snps`: `all` (the daemon's full panel), an inclusive range
@@ -1283,6 +1537,13 @@ fn cmd_status(flags: &HashMap<String, String>) -> Result<(), CliError> {
         status.queue.len(),
         status.max_queue
     );
+    if let Some(track) = status.track {
+        println!(
+            "replica track {track} | {} fleet claim{} open",
+            status.claims_open,
+            if status.claims_open == 1 { "" } else { "s" }
+        );
+    }
     for job in &status.queue {
         println!("  job {}: queue position {}", job.job_id, job.position);
     }

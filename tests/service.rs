@@ -308,6 +308,38 @@ fn client_protocol_drives_a_live_daemon() {
     assert!(!status.links.is_empty(), "per-link traffic is reported");
     assert!(status.links.iter().any(|l| l.wire_bytes > 0));
 
+    // The daemon keeps link totals as a running keyed aggregate; they
+    // must equal the per-job sum over every completed record, and the
+    // released counter must equal the deduplicated union.
+    let mut expected: std::collections::BTreeMap<(u32, u32), (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut expected_released: Vec<u32> = Vec::new();
+    for record in [&first, &second, &dynamic] {
+        expected_released.extend_from_slice(&record.released);
+        for link in &record.traffic {
+            let slot = expected.entry((link.from, link.to)).or_insert((0, 0, 0));
+            slot.0 += link.messages;
+            slot.1 += link.plaintext_bytes;
+            slot.2 += link.wire_bytes;
+        }
+    }
+    expected_released.sort_unstable();
+    expected_released.dedup();
+    assert_eq!(status.released_total, expected_released.len() as u64);
+    assert_eq!(status.links.len(), expected.len());
+    for link in &status.links {
+        let slot = expected
+            .get(&(link.from, link.to))
+            .expect("status reports only links seen in completed jobs");
+        assert_eq!(
+            (link.messages, link.plaintext_bytes, link.wire_bytes),
+            *slot,
+            "aggregated totals for link {}->{} match the per-job sum",
+            link.from,
+            link.to
+        );
+    }
+
     assert_eq!(client.results(1).unwrap().unwrap(), first);
     assert!(client.results(99).unwrap().is_none());
 

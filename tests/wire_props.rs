@@ -277,6 +277,8 @@ proptest! {
                     position: i as u64 + 1,
                 })
                 .collect(),
+            track: (jobs_done % 2 == 0).then_some(gdos),
+            claims_open: jobs_done % 5,
         };
         let back: ServiceStatus = from_bytes(&to_bytes(&status)).unwrap();
         prop_assert_eq!(back, status);
@@ -315,6 +317,8 @@ proptest! {
             workers_busy: 1,
             max_queue: 64,
             queue: vec![QueuedJobStatus { job_id: 5, position: 1 }],
+            track: Some(0),
+            claims_open: 2,
         };
         let bytes = to_bytes(&status);
         prop_assume!(cut < bytes.len());
