@@ -596,10 +596,82 @@ impl ReleaseLedger {
             self.file.set_len(self.offset)?;
             self.file.sync_data()?;
         }
+        self.heal_mirror_tails()?;
         if fresh > 0 {
             crate::telemetry::ledger_records().set(self.records.len() as i64);
         }
         Ok(fresh)
+    }
+
+    /// Verifies, under the same fleet lock as [`ReleaseLedger::refresh`],
+    /// that every live mirror ends exactly where the primary's intact
+    /// prefix does, and heals any that does not by rewriting it from the
+    /// primary. A track killed mid-append can leave a mirror with a torn
+    /// tail — or missing the primary's fsynced last frame entirely — and
+    /// because every handle appends with `O_APPEND`, a surviving track
+    /// would otherwise write the next frame after the damage: the mirror
+    /// ends up unreadable past the tear (or worse, a valid-looking
+    /// history that silently skips a record) while its fsync still
+    /// counts toward the append quorum. A mirror that cannot be healed
+    /// is retired instead of acked, exactly like a failed append.
+    ///
+    /// Appends are serialized fleet-wide and write identical bytes to
+    /// every copy, so "same length as the primary's intact prefix"
+    /// implies "same bytes" under the process-kill failure model; the
+    /// check per refresh is one `stat` per mirror.
+    fn heal_mirror_tails(&mut self) -> Result<(), ServiceError> {
+        let offset = self.offset;
+        let primary = &mut self.file;
+        let mut truth: Option<Vec<u8>> = None;
+        for replica in &mut self.replicas {
+            let Some(mirror) = replica.file.as_mut() else {
+                continue;
+            };
+            if mirror.metadata().map(|m| m.len()).ok() == Some(offset) {
+                continue;
+            }
+            // A primary read failure is the primary's problem, not the
+            // mirror's: surface it instead of retiring the mirror.
+            if truth.is_none() {
+                primary.seek(SeekFrom::Start(0))?;
+                let mut bytes = vec![0u8; offset as usize];
+                primary.read_exact(&mut bytes)?;
+                truth = Some(bytes);
+            }
+            let bytes = truth.as_ref().expect("primary prefix loaded");
+            let healed = mirror
+                .set_len(0)
+                .and_then(|()| mirror.write_all(bytes))
+                .and_then(|()| mirror.sync_data());
+            match healed {
+                Ok(()) => {
+                    crate::telemetry::ledger_replica_heals().inc();
+                    event(
+                        Level::Warn,
+                        "ledger",
+                        "ledger_mirror_tail_healed",
+                        &[
+                            ("path", replica.path.display().to_string().as_str().into()),
+                            ("now_bytes", offset.into()),
+                        ],
+                    );
+                }
+                Err(e) => {
+                    replica.file = None;
+                    crate::telemetry::ledger_replica_write_failures().inc();
+                    event(
+                        Level::Warn,
+                        "ledger",
+                        "ledger_replica_retired",
+                        &[
+                            ("path", replica.path.display().to_string().as_str().into()),
+                            ("error", e.to_string().as_str().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Every record, in append order.
@@ -840,5 +912,70 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let ledger = ReleaseLedger::open(&path).unwrap();
         assert_eq!(ledger.len(), 1);
+    }
+
+    #[test]
+    fn refresh_heals_a_mirrors_torn_tail() {
+        let primary = tmp("refresh-tear-primary");
+        let mirrors = vec![tmp("refresh-tear-mirror")];
+        for p in std::iter::once(&primary).chain(&mirrors) {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut ledger = ReleaseLedger::open_replicated(&primary, &mirrors).unwrap();
+        ledger.append(sample(1)).unwrap();
+        // Crash aftermath on the *mirror*: a partial frame another track
+        // was killed mid-write of. The survivor's handle is O_APPEND, so
+        // without the refresh-time heal its next append would land after
+        // the garbage and the mirror's suffix would be unreadable while
+        // still acking the fsync quorum.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&mirrors[0])
+                .unwrap();
+            f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        }
+        assert_eq!(ledger.refresh().unwrap(), 0);
+        ledger.append(sample(2)).unwrap();
+        drop(ledger);
+        let truth = std::fs::read(&primary).unwrap();
+        assert_eq!(std::fs::read(&mirrors[0]).unwrap(), truth);
+        // The mirror alone now replays the full history.
+        let standalone = ReleaseLedger::open(&mirrors[0]).unwrap();
+        assert_eq!(standalone.len(), 2);
+        assert_eq!(standalone.records()[1], sample(2));
+    }
+
+    #[test]
+    fn refresh_heals_a_mirror_missing_the_primaries_last_frame() {
+        let primary = tmp("refresh-skip-primary");
+        let mirrors = vec![tmp("refresh-skip-mirror")];
+        for p in std::iter::once(&primary).chain(&mirrors) {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut ledger = ReleaseLedger::open_replicated(&primary, &mirrors).unwrap();
+        ledger.append(sample(1)).unwrap();
+        // Another track commits a frame that reaches (and is fsynced on)
+        // the primary but not this mirror before the track dies. Without
+        // the heal the next append would give the mirror a valid-looking
+        // history that silently skips record 2.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&primary)
+                .unwrap();
+            f.write_all(&seal_frame(&wire::to_bytes(&sample(2)))).unwrap();
+        }
+        assert_eq!(ledger.refresh().unwrap(), 1);
+        assert_eq!(ledger.records()[1], sample(2));
+        ledger.append(sample(3)).unwrap();
+        drop(ledger);
+        let truth = std::fs::read(&primary).unwrap();
+        assert_eq!(std::fs::read(&mirrors[0]).unwrap(), truth);
+        let standalone = ReleaseLedger::open(&mirrors[0]).unwrap();
+        assert_eq!(standalone.len(), 3);
+        assert_eq!(standalone.records()[1], sample(2));
     }
 }

@@ -101,6 +101,14 @@ pub(crate) struct SchedCore {
     /// Deduplicated union of every released SNP in `done`, kept in step
     /// with `link_totals` for the same reason.
     pub(crate) released_ids: BTreeSet<u32>,
+    /// Tracked job ids that are still alive in *this* process — queued
+    /// or dispatched-but-uncommitted. The fleet commit gate parks behind
+    /// an own-track claim only while its job is in this set: a claim by
+    /// the same track id with no local job behind it is a pre-crash
+    /// leftover (or an abandoned reclaim) that nobody here will ever
+    /// commit, so it must become reclaimable on lease expiry. Empty
+    /// outside tracks mode.
+    pub(crate) tracked_live: BTreeSet<u64>,
     pub(crate) next_job_id: u64,
     next_dispatch_seq: u64,
     next_commit_seq: u64,
@@ -223,6 +231,7 @@ impl Scheduler {
             shard_crash_jobs: Vec::new(),
             link_totals: BTreeMap::new(),
             released_ids: BTreeSet::new(),
+            tracked_live: BTreeSet::new(),
         };
         let seeded = std::mem::take(&mut core.done);
         for record in &seeded {
@@ -392,6 +401,7 @@ impl Scheduler {
         }
         telemetry::track_claims().inc();
         core.next_job_id = core.next_job_id.max(job_id + 1);
+        core.tracked_live.insert(job_id);
         core.queue.push(QueuedJob {
             job_id,
             panel,
@@ -599,11 +609,17 @@ impl Scheduler {
                         core.shutdown = true;
                         core.fatal.get_or_insert(error);
                         drained = core.queue.drain();
+                        for job in &drained {
+                            core.tracked_live.remove(&job.job_id);
+                        }
                     }
                     Some(verdict)
                 }
             }
         };
+        if !requeued {
+            core.tracked_live.remove(&job_id);
+        }
         core.next_commit_seq = seq + 1;
         core.busy -= 1;
         telemetry::jobs_running().set(i64::from(core.busy));
@@ -641,7 +657,12 @@ impl Scheduler {
     /// the local commit turn, answers the submitter with the certified
     /// record, and advances the sequence; nothing touches the ledger.
     pub fn commit_durable(&self, job: DispatchedJob, record: LedgerRecord) {
-        let DispatchedJob { seq, enqueued, .. } = job;
+        let DispatchedJob {
+            job_id,
+            seq,
+            enqueued,
+            ..
+        } = job;
         let mut core = self.lock();
         while core.next_commit_seq != seq {
             let (guard, _) = self
@@ -651,6 +672,7 @@ impl Scheduler {
             core = guard;
         }
         let reply = core.inflight.remove(&seq);
+        core.tracked_live.remove(&job_id);
         // The gate appended under the fleet lock; fold anything new in
         // (idempotent when commit_step's sync already did).
         core.sync_ledger();
@@ -684,6 +706,9 @@ impl Scheduler {
         let mut core = self.lock();
         core.shutdown = true;
         let drained = core.queue.drain();
+        for job in &drained {
+            core.tracked_live.remove(&job.job_id);
+        }
         telemetry::jobs_queued().set(0);
         telemetry::sched_queue_depth().set(0);
         drop(core);
@@ -810,6 +835,9 @@ impl Scheduler {
         core.shutdown = true;
         let sinks: Vec<ReplySink> = core.inflight.drain().map(|(_, sink)| sink).collect();
         let queued = core.queue.drain();
+        for job in &queued {
+            core.tracked_live.remove(&job.job_id);
+        }
         drop(core);
         self.cv_dispatch.notify_all();
         self.cv_commit.notify_all();

@@ -214,6 +214,9 @@ fn worker_loop(
                             session,
                             shard_set.as_mut(),
                             context,
+                            worker,
+                            factory.as_ref(),
+                            expected,
                             job,
                             record,
                         );
@@ -343,43 +346,51 @@ fn rebuild_lane(
 /// *inline* on its own (idle) lane — waiting for another local worker
 /// would deadlock a `--workers 1` track.
 ///
-/// Returns whether the lane is still healthy (a reclaimed run can kill
-/// it; the caller tears down and rebuilds exactly as for its own jobs).
+/// A reclaimed run that kills the lane is recovered *here*: the lane is
+/// torn down and rebuilt in place (the abandoned claim's lease expires
+/// and a healthy track — possibly this one, rebuilt — re-runs it), so
+/// the gate keeps being served even in a `--tracks 1` fleet. Returns
+/// whether the lane is still healthy; `false` only when a rebuild was
+/// impossible, in which case the caller's own job has already been
+/// resolved as failed.
+#[allow(clippy::too_many_arguments)]
 fn track_commit(
     coordinator: &TrackCoordinator,
     scheduler: &Arc<Scheduler>,
     lane: &mut ServiceFederation,
     mut shard_set: Option<&mut ShardSet>,
     context: &Arc<ExecutionContext>,
+    worker: usize,
+    factory: Option<&LaneFactory>,
+    expected: (usize, usize),
     job: DispatchedJob,
     record: LedgerRecord,
 ) -> bool {
-    let mut lane_ok = true;
     loop {
-        let step = match coordinator.commit_step(scheduler, job.job_id, &record) {
+        let step = match coordinator.commit_step(scheduler, job.job_id, &record, true) {
             Ok(step) => step,
             Err(error) => {
                 // The shared files (or their quorum) are gone: fatal,
                 // exactly like a local ledger append failing.
                 scheduler.commit(job, Err(error));
-                return lane_ok;
+                return true;
             }
         };
         match step {
             TrackStep::Committed => {
                 scheduler.commit_durable(job, record);
-                return lane_ok;
+                return true;
             }
             TrackStep::AdoptRecord(fleet_record) => {
                 // A reclaimer beat this track's lease: its committed
                 // record is the job's one truth, ours is discarded.
                 scheduler.commit_durable(job, *fleet_record);
-                return lane_ok;
+                return true;
             }
             TrackStep::Superseded { track } => {
                 let job_id = job.job_id;
                 scheduler.commit(job, Err(ServiceError::TrackSuperseded { job_id, track }));
-                return lane_ok;
+                return true;
             }
             TrackStep::RunReclaimed(claim) => {
                 if claim.job_id == job.job_id {
@@ -387,6 +398,7 @@ fn track_commit(
                     // too; the next poll commits our record.
                     continue;
                 }
+                let mut lane_ok = true;
                 run_reclaimed(
                     coordinator,
                     scheduler,
@@ -396,6 +408,46 @@ fn track_commit(
                     &claim,
                     &mut lane_ok,
                 );
+                if lane_ok {
+                    continue;
+                }
+                // The reclaimed run killed the lane. Rebuild it in
+                // place: this worker still owes the fleet its own job's
+                // commit, and the abandoned claim needs a healthy lane
+                // somewhere — in a one-track fleet, this one.
+                telemetry::sched_lane_crashes().inc();
+                event(
+                    Level::Warn,
+                    "service",
+                    "lane_crashed",
+                    &[("worker", worker.into())],
+                );
+                match factory.and_then(|f| rebuild_lane(worker, f, scheduler, expected)) {
+                    Some(fresh) => {
+                        let dead = std::mem::replace(lane, fresh);
+                        let _ = dead.shutdown();
+                    }
+                    None => {
+                        // Unsupervised, or the rebuild budget ran out
+                        // (fatal shutdown is already flagged): resolve
+                        // our own job as failed so neither the local
+                        // commit sequence nor the fleet gate is left
+                        // waiting on this worker.
+                        let job_id = job.job_id;
+                        let message = "track worker lane lost before fleet commit".to_string();
+                        let outcome =
+                            scheduler.commit(job, Err(ServiceError::JobFailed(message.clone())));
+                        if outcome == CommitOutcome::Terminal {
+                            if let Err(error) =
+                                coordinator.resolve_failed(scheduler, job_id, &message)
+                            {
+                                scheduler.record_fatal(error);
+                                scheduler.request_shutdown();
+                            }
+                        }
+                        return false;
+                    }
+                }
             }
             TrackStep::Wait => thread::sleep(TRACK_GATE_POLL),
         }
@@ -403,10 +455,18 @@ fn track_commit(
 }
 
 /// Executes a dead track's reclaimed job from the spec embedded in its
-/// claim and resolves it in the fleet: the committed record on success,
-/// a terminal `Done` marker on failure (the reclaim already was the
-/// job's retry). The submitter, if any, was connected to the dead
-/// track — nobody local is answered and no local queue slot is touched.
+/// claim and resolves it in the fleet: the committed record on success;
+/// on failure, a terminal `Done` marker only when the error is
+/// deterministic (a spec the federation rejects, a dead ledger) or the
+/// fleet-wide attempt budget is spent. A *transient* infrastructure
+/// failure — lane crash, shard death, job panic — instead leaves the
+/// reclaim's lease to run out, so a healthy track re-runs the job the
+/// same way the local scheduler re-queues its own crashed jobs; marking
+/// it `Done` would fail it fleet-wide (and discard a slow-but-alive
+/// original claimant's good record as superseded) over a failure that
+/// had nothing to do with the job. The submitter, if any, was connected
+/// to the dead track — nobody local is answered and no local queue slot
+/// is touched.
 fn run_reclaimed(
     coordinator: &TrackCoordinator,
     scheduler: &Arc<Scheduler>,
@@ -426,20 +486,13 @@ fn run_reclaimed(
         forced: claim.forced.iter().copied().map(SnpId).collect(),
         attempts: claim.attempt.saturating_sub(1),
     };
-    let result = if *lane_ok {
-        run_job_caught(lane, shard_set, context, scheduler, &reclaimed)
-    } else {
-        Err(ServiceError::JobFailed(
-            "reclaiming track's execution lane is down".to_string(),
-        ))
-    };
-    match result {
+    match run_job_caught(lane, shard_set, context, scheduler, &reclaimed) {
         Ok(record) => loop {
-            match coordinator.commit_step(scheduler, claim.job_id, &record) {
-                // The reclaimed job is the fleet head by construction,
-                // so this commits promptly — or someone else resolved it
-                // first and the re-run is discarded. Either way it no
-                // longer blocks the gate.
+            // `can_execute: false`: the reclaimed job is the fleet head
+            // by construction, so this commits promptly — or someone
+            // else resolved it first and the re-run is discarded —
+            // without ever staking a further (nested) reclaim.
+            match coordinator.commit_step(scheduler, claim.job_id, &record, false) {
                 Ok(
                     TrackStep::Committed | TrackStep::AdoptRecord(_) | TrackStep::Superseded { .. },
                 ) => break,
@@ -455,7 +508,21 @@ fn run_reclaimed(
             if !error.lane_survives() {
                 *lane_ok = false;
             }
-            if let Err(resolve) =
+            // `claim.attempt` counts this execution, so the budget
+            // matches the local rule: at most `max_retries + 1` runs.
+            if error.retryable() && claim.attempt <= scheduler.limits().max_retries {
+                telemetry::track_reclaims_abandoned().inc();
+                event(
+                    Level::Warn,
+                    "tracks",
+                    "reclaim_abandoned",
+                    &[
+                        ("job_id", claim.job_id.into()),
+                        ("attempt", u64::from(claim.attempt).into()),
+                        ("error", error.to_string().as_str().into()),
+                    ],
+                );
+            } else if let Err(resolve) =
                 coordinator.resolve_failed(scheduler, claim.job_id, &error.to_string())
             {
                 scheduler.record_fatal(resolve);

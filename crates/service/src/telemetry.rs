@@ -337,6 +337,20 @@ pub fn track_lease_expiries() -> &'static obs::Counter {
     })
 }
 
+/// Reclaimed runs abandoned after a transient infrastructure failure:
+/// the claim's lease is left to expire so a healthy track re-runs the
+/// job instead of it being marked terminally failed fleet-wide.
+pub fn track_reclaims_abandoned() -> &'static obs::Counter {
+    static C: OnceLock<obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        obs::counter(
+            "gendpr_track_reclaims_abandoned_total",
+            "Reclaimed runs abandoned to lease expiry after transient failures",
+            &[],
+        )
+    })
+}
+
 /// Terminal-failure markers this track appended to the claim log.
 pub fn track_done_markers() -> &'static obs::Counter {
     static C: OnceLock<obs::Counter> = OnceLock::new();
@@ -402,6 +416,7 @@ pub fn register_service_metrics() {
     ledger_replica_write_failures();
     track_claims();
     track_reclaims();
+    track_reclaims_abandoned();
     track_lease_expiries();
     track_done_markers();
     track_commit_waits();

@@ -290,7 +290,65 @@ impl ClaimLog {
             self.file.set_len(self.offset)?;
             self.file.sync_data()?;
         }
+        self.heal_mirror_tails()?;
         Ok(count)
+    }
+
+    /// The claim-log twin of the release ledger's mirror-tail heal (see
+    /// `ReleaseLedger::heal_mirror_tails`): under the fleet lock, every
+    /// live mirror must end exactly where the primary's intact prefix
+    /// does — a track killed mid-append leaves a torn (or missing) tail
+    /// on a mirror that `O_APPEND` writes from survivors would bury,
+    /// while the mirror kept counting toward the quorum. Length mismatch
+    /// heals the mirror from the primary; a mirror that cannot be healed
+    /// is retired instead of acked.
+    fn heal_mirror_tails(&mut self) -> Result<(), ServiceError> {
+        let offset = self.offset;
+        let primary = &mut self.file;
+        let mut truth: Option<Vec<u8>> = None;
+        for mirror in &mut self.mirrors {
+            let Some(file) = mirror.file.as_mut() else {
+                continue;
+            };
+            if file.metadata().map(|m| m.len()).ok() == Some(offset) {
+                continue;
+            }
+            if truth.is_none() {
+                primary.seek(SeekFrom::Start(0))?;
+                let mut bytes = vec![0u8; offset as usize];
+                primary.read_exact(&mut bytes)?;
+                truth = Some(bytes);
+            }
+            let bytes = truth.as_ref().expect("primary prefix loaded");
+            let healed = file
+                .set_len(0)
+                .and_then(|()| file.write_all(bytes))
+                .and_then(|()| file.sync_data());
+            match healed {
+                Ok(()) => event(
+                    Level::Warn,
+                    "tracks",
+                    "claim_mirror_tail_healed",
+                    &[
+                        ("path", mirror.path.display().to_string().as_str().into()),
+                        ("now_bytes", offset.into()),
+                    ],
+                ),
+                Err(e) => {
+                    mirror.file = None;
+                    event(
+                        Level::Warn,
+                        "tracks",
+                        "claim_mirror_retired",
+                        &[
+                            ("path", mirror.path.display().to_string().as_str().into()),
+                            ("error", e.to_string().as_str().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Appends one frame durably under the same majority-quorum rule as

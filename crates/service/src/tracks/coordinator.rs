@@ -29,9 +29,12 @@
 //!   headship (commit-in-claim-order, at-most-once);
 //! * the caller's job was resolved by someone else → surrender the
 //!   local result and adopt the fleet's resolution;
-//! * the head belongs to another track and its lease (measured from
-//!   this process's first sighting) expired → append a reclaim and
-//!   hand the claim's embedded job spec back to the caller to re-run;
+//! * the head's lease (measured from this process's first sighting)
+//!   expired and nothing local will ever commit it — another track's
+//!   claim, or this track's own claim with no matching live local job
+//!   (a leftover of a previous incarnation killed between claim and
+//!   commit, or an abandoned reclaim) → append a reclaim and hand the
+//!   claim's embedded job spec back to the caller to re-run;
 //! * otherwise → park and poll again.
 
 use super::claims::{ClaimEntry, ClaimFrame, ClaimLog, DoneFrame};
@@ -197,7 +200,12 @@ impl TrackCoordinator {
 
     /// One poll of the cross-process commit gate for `job_id`, whose
     /// locally computed `record` is ready. See the module docs for the
-    /// outcomes.
+    /// outcomes. `can_execute` says whether the caller has a healthy
+    /// lane to run a reclaimed job on: when it does not, an expired
+    /// foreign head is left unclaimed (parking instead) so a healthy
+    /// track stakes the reclaim — a claim staked here could never be
+    /// honoured. Taking this track's *own* job back needs no lane and
+    /// is always allowed.
     ///
     /// # Errors
     ///
@@ -208,14 +216,15 @@ impl TrackCoordinator {
         sched: &Scheduler,
         job_id: u64,
         record: &LedgerRecord,
+        can_execute: bool,
     ) -> Result<TrackStep, ServiceError> {
         let mut fleet = self.fleet()?;
         fleet.log().refresh()?;
-        let (committed, existing) = sched.with_core_mut(|core| {
+        let (committed, existing, live) = sched.with_core_mut(|core| {
             core.sync_from_disk()?;
             let committed: HashSet<u64> = core.done.iter().map(|r| r.job_id).collect();
             let existing = core.done.iter().find(|r| r.job_id == job_id).cloned();
-            Ok::<_, ServiceError>((committed, existing))
+            Ok::<_, ServiceError>((committed, existing, core.tracked_live.clone()))
         })?;
 
         // Our job may already be resolved — by a reclaiming track's
@@ -247,13 +256,30 @@ impl TrackCoordinator {
             return Ok(TrackStep::Committed);
         }
         let expired = fleet.log().lease_expired(head.index, &head.claim);
-        if head.claim.track == self.config.track || !expired {
+        // An own-track claim parks the gate only while the job it stakes
+        // is still queued or in flight *in this process* (local FIFO
+        // dispatch guarantees it will progress). The same track id with
+        // no live local job behind it is a previous incarnation's
+        // leftover — killed between claim and commit and restarted with
+        // the same `--track-id` — or a reclaim this process abandoned;
+        // nobody here will ever commit it, so it must fall through to
+        // the expiry arm like any dead peer's claim (a `--tracks 1`
+        // fleet has no other survivor to reclaim it).
+        let own_live =
+            head.claim.track == self.config.track && live.contains(&head.claim.job_id);
+        if own_live || !expired {
             // An earlier claim that is still live — another track's
-            // within its lease, or this track's own (a job queued or
-            // executing on another local lane, which local FIFO dispatch
-            // guarantees will progress). If our own job's claim was
-            // taken over by a reclaimer that is still live, this same
-            // arm parks us until the reclaimer resolves it.
+            // within its lease, or this track's own backed by a local
+            // job. If our own job's claim was taken over by a reclaimer
+            // that is still live, this same arm parks us until the
+            // reclaimer resolves it.
+            telemetry::track_commit_waits().inc();
+            return Ok(TrackStep::Wait);
+        }
+        if !can_execute && head.claim.job_id != job_id {
+            // The caller's lane is down: staking a reclaim it cannot run
+            // would only reset the lease clock. Park and leave the
+            // expired head for a track that can actually execute it.
             telemetry::track_commit_waits().inc();
             return Ok(TrackStep::Wait);
         }

@@ -32,8 +32,15 @@
 //!    its own first sighting of the claim — no shared clock) runs out;
 //!    the first survivor to notice appends a reclaim and re-runs the
 //!    job from the spec embedded in the claim, committing at the *same*
-//!    position. At-most-once commit holds throughout: execution may be
-//!    duplicated by a slow-but-alive claimant, the append never is.
+//!    position. A track's *own* claims are subject to the same rule
+//!    whenever no live local job backs them — so a track restarted with
+//!    the same id reclaims its previous incarnation's leftovers instead
+//!    of wedging behind them. A reclaimed run that fails transiently
+//!    (lane crash, panic) is abandoned back to lease expiry within the
+//!    shared attempt budget; only deterministic failures (or a spent
+//!    budget) append the terminal `Done` marker. At-most-once commit
+//!    holds throughout: execution may be duplicated by a slow-but-alive
+//!    claimant, the append never is.
 
 pub mod claims;
 pub mod coordinator;

@@ -325,6 +325,155 @@ fn an_abandoned_claim_is_rerun_once_at_its_original_position() {
 }
 
 #[test]
+fn a_restarted_track_reclaims_its_own_pre_crash_claim() {
+    // A track SIGKILLed between claim and commit that comes back with
+    // the *same* `--track-id` finds its previous incarnation's claim at
+    // the head of the fleet. Own-track claims park the gate only while
+    // a live local job backs them — this one has none, so the restarted
+    // track must treat it like any dead track's claim: wait out the
+    // lease, re-run it from the embedded spec, and commit it at its
+    // original position. (Before the live-job rule, `--tracks 1` would
+    // wedge forever here: no other track exists to reclaim it.)
+    let dir = temp_dir("own-reclaim");
+    let path = dir.join("ledger.bin");
+    let claims_path = path.with_extension("bin.claims");
+    let [p1, p2, _] = workload_panels();
+    {
+        let mut log = ClaimLog::open(&claims_path, &[]).unwrap();
+        log.append(ClaimEntry::Claim(ClaimFrame {
+            job_id: 1,
+            track: 0, // the restarted daemon's own id
+            attempt: 1,
+            lease_ms: 300,
+            prefix: 0,
+            batches: 0,
+            panel: p1,
+            forced: Vec::new(),
+        }))
+        .unwrap();
+    }
+    let mut survivor = tracked_pool(0, Duration::from_millis(300), &path, false);
+    let record = survivor.execute(p2, 0).expect("the restarted track's new job certifies");
+    assert_eq!(record.job_id, 2, "the new job follows the leftover claim");
+    let reclaimed = survivor
+        .results(1)
+        .expect("the pre-crash claim was re-run and committed");
+    survivor.stop().expect("survivor drains cleanly");
+
+    let reopened = ReleaseLedger::open(&path).unwrap();
+    assert_eq!(reopened.len(), 2, "no duplicate or skipped commit");
+    assert_eq!(reopened.records()[0].job_id, 1);
+    assert_eq!(reopened.records()[1].job_id, 2);
+    assert_eq!(deterministic(&reclaimed), baseline(false)[0]);
+}
+
+#[test]
+fn a_transiently_failing_reclaim_is_abandoned_and_retried_not_failed() {
+    // The reclaimed re-run itself dies of a lane crash — a transient
+    // infrastructure failure that says nothing about the job. The fleet
+    // must NOT resolve the claim with a terminal `Done` marker; the
+    // reclaim is abandoned back to lease expiry, the reclaimer rebuilds
+    // its lane in place, and a later reclaim (here: the same track,
+    // being the only one) commits the job at its original position.
+    let dir = temp_dir("transient-reclaim");
+    let path = dir.join("ledger.bin");
+    let claims_path = path.with_extension("bin.claims");
+    let [p1, p2, _] = workload_panels();
+    {
+        let mut log = ClaimLog::open(&claims_path, &[]).unwrap();
+        log.append(ClaimEntry::Claim(ClaimFrame {
+            job_id: 1,
+            track: 9,
+            attempt: 1,
+            lease_ms: 300,
+            prefix: 0,
+            batches: 0,
+            panel: p1,
+            forced: Vec::new(),
+        }))
+        .unwrap();
+    }
+    let mut survivor = tracked_pool(0, Duration::from_millis(300), &path, false);
+    // One-shot: the first (reclaimed, inline) execution of job 1 dies
+    // lane-fatally; every later attempt runs clean.
+    survivor.inject_lane_crash(1);
+    let record = survivor.execute(p2, 0).expect("the live job certifies");
+    assert_eq!(record.job_id, 2);
+    let reclaimed = survivor
+        .results(1)
+        .expect("the reclaimed job must eventually commit despite the lane crash");
+    survivor.stop().expect("survivor drains cleanly");
+
+    let reopened = ReleaseLedger::open(&path).unwrap();
+    assert_eq!(reopened.len(), 2, "both jobs reached the ledger");
+    assert_eq!(reopened.records()[0].job_id, 1);
+    assert_eq!(reopened.records()[1].job_id, 2);
+    assert_eq!(deterministic(&reclaimed), baseline(false)[0]);
+    let log = ClaimLog::open(&claims_path, &[]).unwrap();
+    assert!(
+        !log.entries()
+            .iter()
+            .any(|e| matches!(&e.entry, ClaimEntry::Done(d) if d.job_id == 1)),
+        "a transient failure must not fail the job fleet-wide"
+    );
+    let attempts: Vec<u32> = log
+        .entries()
+        .iter()
+        .filter_map(|e| match &e.entry {
+            ClaimEntry::Claim(c) if c.job_id == 1 => Some(c.attempt),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        attempts.len() >= 3 && attempts.windows(2).all(|w| w[1] == w[0] + 1),
+        "the abandoned reclaim was re-staked with a bumped attempt: {attempts:?}"
+    );
+}
+
+#[test]
+fn claim_log_refresh_heals_a_mirrors_torn_tail() {
+    // A track killed mid-append can tear a *mirror* of the claim log
+    // while the primary frame landed whole. Survivors' handles append
+    // with O_APPEND, so without the refresh-time heal the next claim
+    // would land after the garbage and the mirror's suffix would be
+    // unreadable — while its fsync still counted toward the quorum.
+    let dir = temp_dir("claims-mirror-heal");
+    let primary = dir.join("ledger.claims");
+    let mirror = dir.join("ledger.claims.mirror");
+    let entry = |job_id| {
+        ClaimEntry::Claim(ClaimFrame {
+            job_id,
+            track: 0,
+            attempt: 1,
+            lease_ms: 1_000,
+            prefix: 0,
+            batches: 0,
+            panel: vec![1, 2, 3],
+            forced: Vec::new(),
+        })
+    };
+    let mut log = ClaimLog::open(&primary, std::slice::from_ref(&mirror)).unwrap();
+    log.append(entry(1)).unwrap();
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&mirror)
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    }
+    assert_eq!(log.refresh().unwrap(), 0);
+    log.append(entry(2)).unwrap();
+    drop(log);
+    let truth = std::fs::read(&primary).unwrap();
+    assert_eq!(std::fs::read(&mirror).unwrap(), truth);
+    // The healed mirror alone replays the full history.
+    let standalone = ClaimLog::open(&mirror, &[]).unwrap();
+    assert_eq!(standalone.entries().len(), 2);
+    assert_eq!(standalone.entries()[1].entry, entry(2));
+}
+
+#[test]
 fn a_done_marker_resolves_a_dead_claim_without_a_commit() {
     // The other half of lease recovery: when the reclaimed run itself
     // fails terminally, the fleet records a Done marker instead of a
